@@ -1,0 +1,77 @@
+//! Encoding-kernel benchmarks (the Fig. 3 / Fig. 8 machinery): how fast
+//! the four encoders decompose 8-bit value populations, and the
+//! bit-serial HESE unit against the word-level reference.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tr_encoding::{hese, term_count_histogram, Encoding};
+use tr_hw::HeseEncoderUnit;
+use tr_tensor::Rng;
+
+fn value_population(n: usize) -> Vec<i32> {
+    let mut rng = Rng::seed_from_u64(8);
+    (0..n).map(|_| (rng.normal() * 30.0).clamp(-127.0, 127.0) as i32).collect()
+}
+
+fn bench_encoders(c: &mut Criterion) {
+    let values = value_population(4096);
+    let mut group = c.benchmark_group("fig8/encode_4096_values");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    for enc in Encoding::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(enc.name()), &enc, |b, &enc| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &v in &values {
+                    total += enc.weight_of(black_box(v));
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_term_cdf(c: &mut Criterion) {
+    let values = value_population(65_536);
+    c.bench_function("fig3/term_count_histogram_64k", |b| {
+        b.iter(|| term_count_histogram(Encoding::Hese, black_box(&values)))
+    });
+}
+
+fn bench_hese_unit_vs_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hese/word_vs_bitserial");
+    group.bench_function("reference_word_level", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for v in 0u32..256 {
+                acc += hese(black_box(v)).weight();
+            }
+            acc
+        })
+    });
+    group.bench_function("hardware_bit_serial", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for v in 0u32..256 {
+                let (mag, _) = HeseEncoderUnit::encode(8, black_box(v));
+                acc += mag.iter().filter(|&&m| m).count();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    // Single-core CI budget: fewer samples, shorter windows.
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_encoders, bench_term_cdf, bench_hese_unit_vs_reference
+}
+criterion_main!(benches);

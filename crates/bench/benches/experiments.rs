@@ -1,0 +1,29 @@
+//! Whole-experiment benchmarks: wall-clock of the cheap (model-free)
+//! experiment modules, so regressions in the harness itself are visible.
+//! Model-backed experiments (fig3, fig15, ...) are exercised by the
+//! `repro` binary and the integration tests instead — training inside a
+//! Criterion loop would be meaningless.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tr_bench::experiments::{fig7, table1, table2};
+
+fn bench_model_free_experiments(c: &mut Criterion) {
+    c.bench_function("experiments/fig7", |b| b.iter(fig7::run));
+    c.bench_function("experiments/table1", |b| b.iter(table1::run));
+    c.bench_function("experiments/table2", |b| b.iter(table2::run));
+}
+
+fn quick() -> Criterion {
+    // Single-core CI budget: fewer samples, shorter windows.
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_model_free_experiments
+}
+criterion_main!(benches);

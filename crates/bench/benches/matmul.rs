@@ -1,0 +1,73 @@
+//! Matmul benchmarks across the three execution domains: float (training
+//! substrate), integer (QT reference), and term-pair (what the tMAC
+//! hardware does), with and without TR. The TR-vs-raw term matmul ratio
+//! is the software analogue of the paper's latency claims.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tr_core::{term_matmul_i64, TermMatrix, TrConfig};
+use tr_encoding::Encoding;
+use tr_quant::{calibrate_max_abs, quantize, QTensor};
+use tr_tensor::{Rng, Shape, Tensor};
+
+const M: usize = 48;
+const K: usize = 256;
+const N: usize = 32;
+
+fn float_pair() -> (Tensor, Tensor) {
+    let mut rng = Rng::seed_from_u64(10);
+    (
+        Tensor::randn(Shape::d2(M, K), 0.3, &mut rng),
+        Tensor::randn(Shape::d2(K, N), 0.3, &mut rng),
+    )
+}
+
+fn quantized_pair() -> (QTensor, QTensor) {
+    let (a, b) = float_pair();
+    (quantize(&a, calibrate_max_abs(&a, 8)), quantize(&b, calibrate_max_abs(&b, 8)))
+}
+
+fn bench_domains(c: &mut Criterion) {
+    let (a, b) = float_pair();
+    let (qa, qb) = quantized_pair();
+    let mut group = c.benchmark_group("matmul/48x256x32");
+    group.throughput(Throughput::Elements((M * K * N) as u64));
+    group.bench_function("float32", |bch| bch.iter(|| black_box(&a).matmul(black_box(&b))));
+    group.bench_function("int_qt8", |bch| {
+        bch.iter(|| black_box(&qa).matmul_i64(black_box(&qb)))
+    });
+    let wm = TermMatrix::from_weights(&qa, Encoding::Hese);
+    let xm = TermMatrix::from_data_transposed(&qb, Encoding::Hese);
+    group.bench_function("term_pairs_raw", |bch| {
+        bch.iter(|| term_matmul_i64(black_box(&wm), black_box(&xm)))
+    });
+    let cfg = TrConfig::new(8, 12).with_data_terms(3);
+    let wm_tr = TermMatrix::from_weights(&qa, Encoding::Hese).reveal(&cfg);
+    let xm_tr = TermMatrix::from_data_transposed(&qb, Encoding::Hese).cap_terms(3);
+    group.bench_function("term_pairs_tr_g8k12s3", |bch| {
+        bch.iter(|| term_matmul_i64(black_box(&wm_tr), black_box(&xm_tr)))
+    });
+    group.finish();
+}
+
+fn bench_transb(c: &mut Criterion) {
+    let (a, b) = float_pair();
+    let bt = b.transpose2d();
+    c.bench_function("matmul/transb_48x256x32", |bch| {
+        bch.iter(|| black_box(&a).matmul_transb(black_box(&bt)))
+    });
+}
+
+fn quick() -> Criterion {
+    // Single-core CI budget: fewer samples, shorter windows.
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_domains, bench_transb
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Term Revealing kernel benchmarks: the receding-water pass, the
+//! term-pair counting behind Figs. 5/15, and the per-group histogram.
+//! Includes the DESIGN.md ablation of group size vs reveal cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tr_core::{group_pair_histogram, term_pairs_total, TermMatrix, TrConfig};
+use tr_encoding::Encoding;
+use tr_quant::{calibrate_max_abs, quantize, QTensor};
+use tr_tensor::{Rng, Shape, Tensor};
+
+fn quantized(rows: usize, cols: usize, seed: u64) -> QTensor {
+    let mut rng = Rng::seed_from_u64(seed);
+    let t = Tensor::randn(Shape::d2(rows, cols), 0.3, &mut rng);
+    quantize(&t, calibrate_max_abs(&t, 8))
+}
+
+fn bench_reveal(c: &mut Criterion) {
+    let qw = quantized(64, 512, 1);
+    let mut group = c.benchmark_group("fig16/reveal_64x512");
+    group.throughput(Throughput::Elements(qw.numel() as u64));
+    for g in [2usize, 8, 32] {
+        let cfg = TrConfig::new(g, (g as f64 * 1.5) as usize);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("g{g}")), &cfg, |b, cfg| {
+            b.iter(|| {
+                TermMatrix::from_weights(black_box(&qw), Encoding::Hese).reveal(cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pair_counting(c: &mut Criterion) {
+    let qw = quantized(64, 256, 2);
+    let qx = quantized(256, 32, 3);
+    let wm = TermMatrix::from_weights(&qw, Encoding::Binary);
+    let xm = TermMatrix::from_data_transposed(&qx, Encoding::Binary);
+    c.bench_function("fig15/term_pairs_total_64x256x32", |b| {
+        b.iter(|| term_pairs_total(black_box(&wm), black_box(&xm)))
+    });
+    c.bench_function("fig5/group_pair_histogram_g16", |b| {
+        b.iter(|| group_pair_histogram(black_box(&wm), black_box(&xm), 16))
+    });
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    let qw = quantized(128, 512, 4);
+    let mut group = c.benchmark_group("termmatrix/decompose_128x512");
+    group.throughput(Throughput::Elements(qw.numel() as u64));
+    for enc in [Encoding::Binary, Encoding::Hese] {
+        group.bench_with_input(BenchmarkId::from_parameter(enc.name()), &enc, |b, &enc| {
+            b.iter(|| TermMatrix::from_weights(black_box(&qw), enc))
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    // Single-core CI budget: fewer samples, shorter windows.
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_reveal, bench_pair_counting, bench_decompose
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! The reproduction driver: regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! ```text
+//! repro all                 # run every experiment
+//! repro fig15 table3        # run selected experiments
+//! repro --list              # list experiment ids
+//! repro --out FILE all      # also append markdown to FILE
+//! ```
+//!
+//! Models are trained once and cached under `target/tr-zoo/`; set
+//! `TR_ZOO_QUICK=1` for smoke-test budgets.
+
+use std::io::Write;
+use tr_bench::experiments;
+use tr_bench::Zoo;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repro [--out FILE] (all | --list | <experiment-id>...)");
+        eprintln!("experiments: {}", experiments::ALL.join(", "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in experiments::ALL {
+            println!("{id}");
+        }
+        return;
+    }
+    let mut out_file = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--out" {
+            let path = it.next().unwrap_or_else(|| {
+                eprintln!("--out requires a file path");
+                std::process::exit(2);
+            });
+            out_file = Some(path);
+        } else if arg == "all" {
+            ids.extend(experiments::ALL.iter().map(|s| s.to_string()));
+        } else {
+            ids.push(arg);
+        }
+    }
+    for id in &ids {
+        if !experiments::ALL.contains(&id.as_str()) {
+            eprintln!("unknown experiment: {id} (known: {})", experiments::ALL.join(", "));
+            std::process::exit(2);
+        }
+    }
+
+    let zoo = Zoo::new();
+    let mut markdown = String::new();
+    for id in &ids {
+        eprintln!("== running {id} ==");
+        let t0 = std::time::Instant::now();
+        let tables = experiments::run(id, &zoo);
+        for table in &tables {
+            table.print();
+            markdown.push_str(&table.markdown());
+            markdown.push('\n');
+        }
+        eprintln!("== {id} done in {:.1}s ==\n", t0.elapsed().as_secs_f64());
+    }
+    if let Some(path) = out_file {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot open {path}: {e}");
+                std::process::exit(1);
+            });
+        f.write_all(markdown.as_bytes()).expect("write output file");
+        eprintln!("appended results to {path}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Shared experiment plumbing.
+
+use tr_nn::layer::{ForwardCtx, Layer};
+use tr_nn::Sequential;
+use tr_quant::{calibrate_max_abs, quantize, QTensor};
+use tr_tensor::{Conv2dGeometry, Rng, Shape, Tensor};
+
+/// Clone every quantization-site weight `(name, (out, in) tensor)`.
+pub fn site_weights(model: &mut dyn Layer) -> Vec<(String, Tensor)> {
+    let mut out = Vec::new();
+    model.visit_quant_sites(&mut |site| out.push((site.name, site.weight.value.clone())));
+    out
+}
+
+/// 8-bit max-abs quantization of a tensor.
+pub fn quantize8(t: &Tensor) -> QTensor {
+    quantize(t, calibrate_max_abs(t, 8))
+}
+
+/// The activations entering stage 1 of a zoo CNN: the output of the stem
+/// `conv → bn → relu` (top-level layer index 2 in every zoo CNN) on the
+/// first `n` test images.
+pub fn stem_activations(model: &mut Sequential, images: &Tensor, n: usize, rng: &mut Rng) -> Tensor {
+    let n = n.min(images.shape().dim(0));
+    let x = images.slice_batch(0, n);
+    let mut ctx = ForwardCtx::eval(rng);
+    let outs = model.forward_collect(&x, &mut ctx);
+    assert!(outs.len() > 2, "zoo CNNs start with conv-bn-relu");
+    outs[2].clone()
+}
+
+/// im2col the stem activations with the stage-1 3×3 geometry, giving the
+/// `(patch_len, n_patches)` data matrix whose columns are the dot-product
+/// vectors of the first stage-1 convolution — the paper's canonical
+/// "weights and data of a mid-network conv layer" pairing.
+pub fn stage1_data_matrix(acts: &Tensor) -> Tensor {
+    assert_eq!(acts.shape().rank(), 4);
+    let (n, c, h, w) = (
+        acts.shape().dim(0),
+        acts.shape().dim(1),
+        acts.shape().dim(2),
+        acts.shape().dim(3),
+    );
+    let g = Conv2dGeometry { in_channels: c, in_h: h, in_w: w, k_h: 3, k_w: 3, stride: 1, pad: 1 };
+    let per = c * h * w;
+    let mut cols = Vec::new();
+    let mut rows = 0;
+    let mut width = 0;
+    for i in 0..n {
+        let m = tr_tensor::im2col(&acts.data()[i * per..(i + 1) * per], &g);
+        let (r, cdim) = m.shape().as_matrix();
+        rows = r;
+        width += cdim;
+        cols.push(m);
+    }
+    // Concatenate along patches.
+    let mut out = Tensor::zeros(Shape::d2(rows, width));
+    let mut off = 0;
+    for m in cols {
+        let (_, cdim) = m.shape().as_matrix();
+        for r in 0..rows {
+            out.data_mut()[r * width + off..r * width + off + cdim].copy_from_slice(m.row(r));
+        }
+        off += cdim;
+    }
+    out
+}
+
+/// The stage-1 conv weight of a zoo CNN: the second quant site (the first
+/// is the 3-channel stem).
+pub fn stage1_weight(model: &mut dyn Layer) -> Tensor {
+    let sites = site_weights(model);
+    assert!(sites.len() > 1);
+    sites[1].1.clone()
+}

@@ -1,0 +1,180 @@
+//! Fig. 15 — QT vs TR: term-pair multiplications per sample against model
+//! performance, for the MLP (left), the four CNNs (center), and the LSTM
+//! (right).
+//!
+//! Paper: TR reduces term pairs 3–10× (14× for the over-provisioned VGG)
+//! at matched accuracy/perplexity. QT's cost per value pair is
+//! `(w_bits−1) × 7`; TR's is the group bound `k × s / g` per value pair.
+
+use crate::report::{count, f, pct, ratio, Table};
+use crate::zoo::Zoo;
+use tr_core::TrConfig;
+use tr_nn::exec::{
+    calibrate_lstm, calibrate_model, evaluate_precision, evaluate_precision_lstm,
+};
+use tr_nn::models::CnnKind;
+use tr_nn::Precision;
+use tr_tensor::Rng;
+
+/// The QT weight bit-widths the paper sweeps.
+pub const QT_BITS: [u8; 5] = [4, 5, 6, 7, 8];
+/// The TR budgets (g = 8) the paper's α grid corresponds to.
+pub const TR_BUDGETS: [usize; 5] = [8, 12, 16, 20, 24];
+/// Data-side term cap.
+pub const S: usize = 3;
+
+/// One sweep point.
+struct Point {
+    label: String,
+    pairs_bound: f64,
+    pairs_actual: f64,
+    metric: f64,
+}
+
+fn sweep_classifier(
+    model: &mut tr_nn::Sequential,
+    ds: &tr_nn::data::Dataset,
+    rng: &mut Rng,
+) -> Vec<Point> {
+    let calib = ds.train.x.slice_batch(0, 32.min(ds.train.len()));
+    calibrate_model(model, &calib, 8, rng);
+    let mut points = Vec::new();
+    for bits in QT_BITS {
+        let p = Precision::Qt { weight_bits: bits, act_bits: 8 };
+        let (acc, counts) = evaluate_precision(model, ds, &p, 8, rng);
+        points.push(Point {
+            label: p.label(),
+            pairs_bound: counts.bound_per_sample(),
+            pairs_actual: counts.actual_per_sample(),
+            metric: acc,
+        });
+    }
+    for k in TR_BUDGETS {
+        let cfg = TrConfig::new(8, k).with_data_terms(S);
+        let p = Precision::Tr(cfg);
+        let (acc, counts) = evaluate_precision(model, ds, &p, 8, rng);
+        points.push(Point {
+            label: p.label(),
+            pairs_bound: counts.bound_per_sample(),
+            pairs_actual: counts.actual_per_sample(),
+            metric: acc,
+        });
+    }
+    points
+}
+
+/// The matched-performance reduction: cheapest TR point whose metric is
+/// within `tol` of the best QT point, versus the 8-bit QT cost.
+fn matched_reduction(points: &[Point], higher_better: bool, tol: f64) -> Option<f64> {
+    let qt8 = points.iter().find(|p| p.label == "qt-w8a8")?;
+    let ok = |p: &Point| {
+        if higher_better {
+            p.metric >= qt8.metric - tol
+        } else {
+            p.metric <= qt8.metric + tol
+        }
+    };
+    points
+        .iter()
+        .filter(|p| p.label.starts_with("tr-") && ok(p))
+        .map(|p| qt8.pairs_bound / p.pairs_bound)
+        .fold(None, |best, r| Some(best.map_or(r, |b: f64| b.max(r))))
+}
+
+fn panel(title: &str, points: &[Point], metric_name: &str, higher_better: bool, tol: f64) -> Table {
+    let mut t = Table::new(
+        "fig15",
+        title,
+        &["setting", "pairs/sample (bound)", "pairs/sample (actual)", metric_name],
+    );
+    for p in points {
+        let metric = if higher_better { pct(p.metric) } else { f(p.metric, 2) };
+        t.row(vec![
+            p.label.clone(),
+            count(p.pairs_bound as u64),
+            count(p.pairs_actual as u64),
+            metric,
+        ]);
+    }
+    if let Some(r) = matched_reduction(points, higher_better, tol) {
+        t.note(format!(
+            "term-pair reduction at matched performance (within {tol} of qt-w8a8): {}",
+            ratio(r)
+        ));
+    }
+    t
+}
+
+/// Run the experiment.
+pub fn run(zoo: &Zoo) -> Vec<Table> {
+    let mut rng = Rng::seed_from_u64(15);
+    let mut tables = Vec::new();
+
+    // Left panel: MLP.
+    let (mut mlp, digits) = zoo.mlp();
+    let pts = sweep_classifier(&mut mlp, &digits, &mut rng);
+    tables.push(panel("MLP on synthetic digits (paper: MNIST, 5x reduction)", &pts, "accuracy", true, 0.005));
+
+    // Center panel: the four CNNs.
+    for kind in CnnKind::ALL {
+        let (mut cnn, images) = zoo.cnn(kind);
+        let pts = sweep_classifier(&mut cnn, &images, &mut rng);
+        tables.push(panel(
+            &format!("{kind} on synthetic images (paper: ImageNet)"),
+            &pts,
+            "accuracy",
+            true,
+            0.01,
+        ));
+    }
+
+    // Right panel: LSTM perplexity.
+    let (mut lm, corpus) = zoo.lstm();
+    calibrate_lstm(&mut lm, &corpus.valid[..256.min(corpus.valid.len())], 8, &mut rng);
+    let mut pts = Vec::new();
+    for bits in QT_BITS {
+        let p = Precision::Qt { weight_bits: bits, act_bits: 8 };
+        let (ppl, counts) = evaluate_precision_lstm(&mut lm, &corpus.valid, &p, 128, &mut rng);
+        pts.push(Point {
+            label: p.label(),
+            pairs_bound: counts.bound_per_sample(),
+            pairs_actual: counts.actual_per_sample(),
+            metric: ppl,
+        });
+    }
+    for k in TR_BUDGETS {
+        let cfg = TrConfig::new(8, k).with_data_terms(S);
+        let p = Precision::Tr(cfg);
+        let (ppl, counts) = evaluate_precision_lstm(&mut lm, &corpus.valid, &p, 128, &mut rng);
+        pts.push(Point {
+            label: p.label(),
+            pairs_bound: counts.bound_per_sample(),
+            pairs_actual: counts.actual_per_sample(),
+            metric: ppl,
+        });
+    }
+    tables.push(panel(
+        "LSTM on synthetic Markov text (paper: Wikitext-2, 3x reduction; pairs per token)",
+        &pts,
+        "perplexity",
+        false,
+        0.05,
+    ));
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_panel_shows_tr_winning() {
+        let zoo = crate::zoo::test_zoo();
+        let mut rng = Rng::seed_from_u64(1);
+        let (mut mlp, ds) = zoo.mlp();
+        let pts = sweep_classifier(&mut mlp, &ds, &mut rng);
+        assert_eq!(pts.len(), QT_BITS.len() + TR_BUDGETS.len());
+        let r = matched_reduction(&pts, true, 0.02).expect("a TR point should match QT8");
+        assert!(r > 2.0, "reduction {r}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Fig. 17 — isolating the contributions of TR and HESE.
+//!
+//! Four curves over α: per-value truncation with binary terms ("QT") and
+//! HESE terms ("HESE"), and group-based TR (g = 8) on top of each
+//! ("QT + TR", "HESE + TR"). Paper: HESE > QT below α = 4; TR improves
+//! both; HESE + TR is best.
+
+use crate::report::{f, pct, Table};
+use crate::zoo::Zoo;
+use tr_core::TrConfig;
+use tr_nn::exec::{apply_precision, calibrate_model, evaluate_accuracy};
+use tr_nn::models::CnnKind;
+use tr_nn::Precision;
+use tr_encoding::Encoding;
+use tr_tensor::Rng;
+
+/// α grid matching the paper's k ∈ {8, 12, 16, 20, 24} at g = 8.
+pub const ALPHAS: [f64; 5] = [1.0, 1.5, 2.0, 2.5, 3.0];
+
+/// Run the experiment.
+pub fn run(zoo: &Zoo) -> Vec<Table> {
+    let (mut model, ds) = zoo.cnn(CnnKind::ResNet);
+    let mut rng = Rng::seed_from_u64(17);
+    let calib = ds.train.x.slice_batch(0, 32.min(ds.train.len()));
+    calibrate_model(&mut model, &calib, 8, &mut rng);
+
+    let mut t = Table::new(
+        "fig17",
+        "Isolating TR and HESE on the ResNet-style CNN (accuracy vs alpha)",
+        &["alpha", "QT (binary, g=1)", "HESE (g=1)", "QT + TR (g=8)", "HESE + TR (g=8)"],
+    );
+    for &alpha in &ALPHAS {
+        let k1 = alpha.round().max(1.0) as usize;
+        let k8 = ((alpha * 8.0).round() as usize).max(1);
+        let settings = [
+            Precision::PerValue { encoding: Encoding::Binary, weight_terms: k1, data_terms: None },
+            Precision::PerValue { encoding: Encoding::Hese, weight_terms: k1, data_terms: None },
+            Precision::Tr(TrConfig::new(8, k8).with_weight_encoding(Encoding::Binary)),
+            Precision::Tr(TrConfig::new(8, k8).with_weight_encoding(Encoding::Hese)),
+        ];
+        let mut row = vec![f(alpha, 1)];
+        for p in settings {
+            apply_precision(&mut model, &p);
+            row.push(pct(evaluate_accuracy(&mut model, &ds, &mut rng)));
+        }
+        t.row(row);
+    }
+    t.note(
+        "expected ordering at low alpha (paper): HESE+TR >= QT+TR >= HESE >= QT; \
+         all curves converge once alpha covers most values' terms",
+    );
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hese_tr_is_best_at_tight_alpha() {
+        let zoo = crate::zoo::test_zoo();
+        let tables = run(&zoo);
+        let parse = |s: &str| s.trim_end_matches('%').parse::<f64>().unwrap();
+        let row = &tables[0].rows[0]; // alpha = 1
+        let (qt, hese_tr) = (parse(&row[1]), parse(&row[4]));
+        assert!(hese_tr >= qt - 2.0, "HESE+TR {hese_tr} vs QT {qt}");
+            }
+}

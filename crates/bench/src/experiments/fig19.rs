@@ -1,0 +1,109 @@
+//! Fig. 19 — normalized latency and energy-efficiency improvements of TR
+//! over QT on the full FPGA system model, for all six models.
+//!
+//! Paper settings: g = 8 for every model; k = 8, 12, 12, 18, 16, 20 for
+//! MLP, VGG-16, ResNet-18, MobileNet-v2, EfficientNet-b0, LSTM; s = 3
+//! except VGG (s = 2). Paper result: 7.8× latency and 4.3× energy
+//! efficiency on average.
+
+use crate::report::{f, ratio, Table};
+use crate::zoo::Zoo;
+use tr_core::TrConfig;
+use tr_hw::{ControlRegisters, LayerShape, TrSystem};
+
+/// `(model, k, s)` per Fig. 19.
+pub const SETTINGS: [(&str, usize, usize); 6] = [
+    ("mlp", 8, 3),
+    ("vgg-16", 12, 2),
+    ("resnet-18", 12, 3),
+    ("mobilenet-v2", 18, 3),
+    ("efficientnet-b0", 16, 3),
+    ("lstm", 20, 3),
+];
+
+/// Paper-scale layer shapes per model (see `tr_hw::netlists`): the
+/// hardware experiments run the published architectures' geometry while
+/// accuracy columns come from the synthetic-scale zoo (DESIGN.md §1).
+pub fn shapes_for(model: &str) -> Vec<LayerShape> {
+    match model {
+        "mlp" => tr_hw::netlists::mnist_mlp(),
+        "vgg-16" => tr_hw::netlists::vgg16(),
+        "resnet-18" => tr_hw::netlists::resnet18(),
+        "mobilenet-v2" => tr_hw::netlists::mobilenet_v2(),
+        "efficientnet-b0" => tr_hw::netlists::efficientnet_b0(),
+        "lstm" => tr_hw::netlists::wikitext_lstm_step(),
+        other => panic!("unknown model {other}"),
+    }
+}
+
+/// Run the experiment.
+pub fn run(_zoo: &Zoo) -> Vec<Table> {
+    let sys = TrSystem::default();
+    let mut t = Table::new(
+        "fig19",
+        "Normalized TR-over-QT improvements on the system model (g = 8 everywhere)",
+        &["model", "k", "s", "qt latency (ms)", "tr latency (ms)", "latency gain", "energy gain"],
+    );
+    let mut lat_gains = Vec::new();
+    let mut energy_gains = Vec::new();
+    for (model, k, s) in SETTINGS {
+        let shapes = shapes_for(model);
+        let qt = ControlRegisters::for_qt(8);
+        let cfg = TrConfig::new(8, k).with_data_terms(s);
+        cfg.check();
+        let tr = ControlRegisters::for_tr(&cfg);
+        let r_qt = sys.simulate_network(&shapes, &qt, None);
+        let r_tr = sys.simulate_network(&shapes, &tr, None);
+        let lat_gain = r_qt.latency_ms / r_tr.latency_ms;
+        let energy_gain = r_qt.energy_fa / r_tr.energy_fa;
+        lat_gains.push(lat_gain);
+        energy_gains.push(energy_gain);
+        t.row(vec![
+            model.to_string(),
+            k.to_string(),
+            s.to_string(),
+            f(r_qt.latency_ms, 3),
+            f(r_tr.latency_ms, 3),
+            ratio(lat_gain),
+            ratio(energy_gain),
+        ]);
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    t.note(format!(
+        "averages: latency {} (paper 7.8x), energy efficiency {} (paper 4.3x)",
+        ratio(avg(&lat_gains)),
+        ratio(avg(&energy_gains))
+    ));
+    t.note(
+        "as in the paper, the conservative budget (LSTM k=20) gains least and the \
+         aggressive one (MLP k=8) most",
+    );
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gains_track_paper_shape() {
+        let zoo = Zoo::at(std::env::temp_dir().join("tr-zoo-fig19"));
+        let tables = run(&zoo);
+        let parse = |s: &str| s.trim_end_matches('x').parse::<f64>().unwrap();
+        let rows = &tables[0].rows;
+        // Every model gains in both latency and energy.
+        for row in rows {
+            assert!(parse(&row[5]) > 1.5, "{} latency gain too small", row[0]);
+            assert!(parse(&row[6]) > 1.0, "{} energy gain too small", row[0]);
+        }
+        // Aggressive budgets gain more: MLP (k=8) > LSTM (k=20).
+        assert!(parse(&rows[0][5]) > parse(&rows[5][5]));
+    }
+
+    #[test]
+    fn all_models_have_shapes() {
+        for (m, _, _) in SETTINGS {
+            assert!(!shapes_for(m).is_empty());
+        }
+    }
+}

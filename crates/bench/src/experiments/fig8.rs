@@ -1,0 +1,77 @@
+//! Fig. 8(c) — cumulative term-count distributions of binary, Booth
+//! radix-4, and HESE over DNN data values and a uniform distribution.
+//!
+//! Paper: HESE dominates both; Booth only helps on the large values that
+//! real (half-normal) data rarely contains, so it is ≈ binary (or worse)
+//! on data; with HESE, 99% of data values need ≤ 3 terms.
+
+use crate::experiments::common::{quantize8, stem_activations};
+use crate::report::{pct, Table};
+use crate::zoo::Zoo;
+use tr_encoding::{term_count_histogram, Encoding};
+use tr_nn::models::CnnKind;
+use tr_tensor::Rng;
+
+/// Run the experiment.
+pub fn run(zoo: &Zoo) -> Vec<Table> {
+    let (mut model, ds) = zoo.cnn(CnnKind::ResNet);
+    let mut rng = Rng::seed_from_u64(8);
+    let acts = stem_activations(&mut model, &ds.test.x, 16, &mut rng);
+    let data_codes = quantize8(&acts).values().to_vec();
+    let uniform_codes: Vec<i32> = {
+        let mut rng = Rng::seed_from_u64(88);
+        (0..data_codes.len()).map(|_| rng.below(128) as i32).collect()
+    };
+
+    let mut tables = Vec::new();
+    for (name, codes) in [("DNN data", &data_codes), ("uniform", &uniform_codes)] {
+        let encs = [Encoding::Binary, Encoding::BoothRadix4, Encoding::Hese];
+        let cdfs: Vec<_> = encs.iter().map(|&e| term_count_histogram(e, codes)).collect();
+        let mut t = Table::new(
+            "fig8",
+            &format!("Cumulative % of {name} values representable in <= k terms"),
+            &["terms k", "binary", "booth-r4", "hese"],
+        );
+        for k in 0..=5usize {
+            t.row(vec![
+                k.to_string(),
+                pct(cdfs[0].cdf(k)),
+                pct(cdfs[1].cdf(k)),
+                pct(cdfs[2].cdf(k)),
+            ]);
+        }
+        t.note(format!(
+            "means: binary {:.2}, booth {:.2}, hese {:.2} terms/value",
+            cdfs[0].mean(),
+            cdfs[1].mean(),
+            cdfs[2].mean()
+        ));
+        if name == "DNN data" {
+            t.note(format!(
+                "paper: 99% of data values in <= 3 HESE terms; measured {}",
+                pct(cdfs[2].cdf(3))
+            ));
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hese_dominates_on_both_distributions() {
+        let zoo = crate::zoo::test_zoo();
+        let tables = run(&zoo);
+        for t in &tables {
+            for row in &t.rows {
+                let parse = |s: &str| s.trim_end_matches('%').parse::<f64>().unwrap();
+                let (binary, booth, hese) = (parse(&row[1]), parse(&row[2]), parse(&row[3]));
+                assert!(hese + 1e-9 >= binary, "{}: k={} hese<binary", t.title, row[0]);
+                assert!(hese + 1e-9 >= booth, "{}: k={} hese<booth", t.title, row[0]);
+            }
+        }
+            }
+}

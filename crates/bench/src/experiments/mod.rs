@@ -1,0 +1,54 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod ablation;
+pub mod bounds;
+pub mod common;
+pub mod extensions;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig3;
+pub mod fig5;
+pub mod fig7;
+pub mod fig8;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+use crate::report::Table;
+use crate::zoo::Zoo;
+
+/// Every experiment id in paper order.
+pub const ALL: [&str; 16] = [
+    "fig3", "fig5", "fig7", "fig8", "fig15", "fig16", "fig17", "fig18", "fig19", "table1",
+    "table2", "table3", "table4", "ablation", "bounds", "extensions",
+];
+
+/// Run one experiment by id.
+///
+/// # Panics
+/// If the id is unknown.
+pub fn run(id: &str, zoo: &Zoo) -> Vec<Table> {
+    match id {
+        "fig3" => fig3::run(zoo),
+        "fig5" => fig5::run(zoo),
+        "fig7" => fig7::run(),
+        "fig8" => fig8::run(zoo),
+        "fig15" => fig15::run(zoo),
+        "fig16" => fig16::run(zoo),
+        "fig17" => fig17::run(zoo),
+        "fig18" => fig18::run(zoo),
+        "fig19" => fig19::run(zoo),
+        "table1" => table1::run(),
+        "table2" => table2::run(),
+        "table3" => table3::run(zoo),
+        "table4" => table4::run(zoo),
+        "ablation" => ablation::run(zoo),
+        "bounds" => bounds::run(zoo),
+        "extensions" => extensions::run(zoo),
+        other => panic!("unknown experiment id: {other} (known: {ALL:?})"),
+    }
+}

@@ -1,0 +1,43 @@
+//! Table I — the control registers supporting QT and TR, and the cost of
+//! switching between them at run time.
+
+use crate::report::{f, Table};
+use tr_core::TrConfig;
+use tr_hw::ControlRegisters;
+
+/// Run the experiment.
+pub fn run() -> Vec<Table> {
+    let qt = ControlRegisters::for_qt(8);
+    let tr = ControlRegisters::for_tr(&TrConfig::new(8, 16).with_data_terms(3));
+    let mut t = Table::new(
+        "table1",
+        "Control registers for QT and TR (paper Table I)",
+        &["register", "bits", "QT value", "TR value"],
+    );
+    t.row(vec!["HESE_ENCODER_ON".into(), "1".into(), qt.hese_encoder_on.to_string(), tr.hese_encoder_on.to_string()]);
+    t.row(vec!["COMPARATOR_ON".into(), "1".into(), qt.comparator_on.to_string(), tr.comparator_on.to_string()]);
+    t.row(vec!["QUANT_BITWIDTH".into(), "4".into(), qt.quant_bitwidth.to_string(), tr.quant_bitwidth.to_string()]);
+    t.row(vec!["DATA_TERMS".into(), "4".into(), qt.data_terms.to_string(), tr.data_terms.to_string()]);
+    t.row(vec!["GROUP_SIZE".into(), "3".into(), qt.group_size.to_string(), tr.group_size.to_string()]);
+    t.row(vec!["GROUP_BUDGET".into(), "5".into(), qt.group_budget.to_string(), tr.group_budget.to_string()]);
+    let cycles = qt.switch_cycles(&tr);
+    let ns = cycles as f64 / 170.0e6 * 1e9;
+    t.note(format!(
+        "QT->TR switch touches {cycles} registers = {cycles} cycles = {} ns at 170 MHz \
+         (paper: within 100 ns); total register budget {} bits",
+        f(ns, 1),
+        ControlRegisters::TOTAL_BITS
+    ));
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_registers() {
+        let tables = run();
+        assert_eq!(tables[0].rows.len(), 6);
+    }
+}

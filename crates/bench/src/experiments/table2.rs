@@ -1,0 +1,35 @@
+//! Table II — FPGA resource consumption of pMAC vs tMAC.
+
+use crate::report::{ratio, Table};
+use tr_hw::ResourceModel;
+
+/// Run the experiment.
+pub fn run() -> Vec<Table> {
+    let m = ResourceModel::default();
+    let mut t = Table::new(
+        "table2",
+        "Per-cell FPGA resources (paper Table II)",
+        &["cell", "LUT", "FF"],
+    );
+    t.row(vec!["pMAC".into(), m.pmac.lut.to_string(), m.pmac.ff.to_string()]);
+    t.row(vec!["tMAC".into(), m.tmac.lut.to_string(), m.tmac.ff.to_string()]);
+    t.note(format!(
+        "tMAC uses {} fewer LUTs and {} fewer FFs (paper: 6.5x / 6.0x) — 3-bit exponent \
+         adds replace the 8-bit multiplier and 32-bit accumulator",
+        ratio(m.pmac.lut as f64 / m.tmac.lut as f64),
+        ratio(m.pmac.ff as f64 / m.tmac.ff as f64)
+    ));
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_numbers() {
+        let tables = run();
+        assert_eq!(tables[0].rows[0][1], "154");
+        assert_eq!(tables[0].rows[1][1], "25");
+    }
+}

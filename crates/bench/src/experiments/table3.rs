@@ -1,0 +1,139 @@
+//! Table III — accuracy and energy efficiency, pMAC vs tMAC, across the
+//! four CNNs at the paper's per-model `(s, k, g = 8)` settings.
+//!
+//! The pMAC column is the conventional 8-bit design: accuracy is 8-bit QT
+//! accuracy; energy is the dense-MAC work of the same layer shapes. The
+//! tMAC column applies TR; accuracy must stay within ~0.15% of the pMAC
+//! row (the paper's selection rule) while energy efficiency improves
+//! (paper: 2.1× on average).
+
+use crate::experiments::fig19::shapes_for;
+use crate::report::{pct, ratio, Table};
+use crate::zoo::Zoo;
+use tr_core::TrConfig;
+use tr_hw::{ControlRegisters, EnergyModel, LayerShape, MemorySubsystem, TrSystem, WorkReport};
+use tr_nn::exec::{apply_precision, calibrate_model, evaluate_accuracy};
+use tr_nn::models::CnnKind;
+use tr_nn::Precision;
+use tr_tensor::Rng;
+
+/// The paper's Table III settings: `(model, s, k)` at g = 8. The paper
+/// *chose* each k so that accuracy stays within 0.15% of the pMAC row;
+/// on our synthetic substrate the same rule can land on a different k,
+/// so [`run`] applies the rule (starting from the paper's k as the
+/// candidate floor) and reports the chosen budget.
+pub const SETTINGS: [(CnnKind, usize, usize); 4] = [
+    (CnnKind::ResNet, 3, 12),
+    (CnnKind::Vgg, 2, 12),
+    (CnnKind::MobileNet, 3, 18),
+    (CnnKind::EffNet, 3, 16),
+];
+
+/// Candidate group budgets for the accuracy-matching rule.
+const K_CANDIDATES: [usize; 5] = [8, 12, 16, 20, 24];
+
+fn model_key(kind: CnnKind) -> &'static str {
+    kind.name()
+}
+
+/// pMAC-array work for a network: the same 128×64 weight-stationary
+/// schedule, but each cell is a bit-parallel MAC that processes its group
+/// of g = 8 values in 8 single-MAC cycles (beat = 8), paying the full
+/// multiplier work for every MAC.
+pub fn pmac_network_work(shapes: &[LayerShape], model: &EnergyModel) -> WorkReport {
+    let array = tr_hw::SystolicArray::paper_build();
+    let cells = (array.rows * array.cols) as f64;
+    let mem = MemorySubsystem::default();
+    let mut total = WorkReport::default();
+    for shape in shapes {
+        let sched = array.schedule_custom(shape.m, shape.k, shape.n, 8, 8, &mem);
+        total.merge(&WorkReport {
+            cycles: sched.total_cycles(),
+            compute_fa: shape.macs() as f64 * model.pmac_cycle_fa,
+            static_fa: cells * sched.total_cycles() as f64 * model.pmac_static_fa,
+            overhead_fa: 0.0,
+            sram_bytes: sched.dram_bytes,
+            dram_bytes: sched.dram_bytes,
+        });
+    }
+    total
+}
+
+/// Run the experiment.
+pub fn run(zoo: &Zoo) -> Vec<Table> {
+    let mut rng = Rng::seed_from_u64(33);
+    let sys = TrSystem::default();
+    let mut t = Table::new(
+        "table3",
+        "pMAC vs tMAC: accuracy and relative energy efficiency (paper Table III)",
+        &["model", "mac", "s", "k", "g", "accuracy", "energy eff."],
+    );
+    let mut gains = Vec::new();
+    for (kind, s, paper_k) in SETTINGS {
+        let (mut model, ds) = zoo.cnn(kind);
+        let calib = ds.train.x.slice_batch(0, 32.min(ds.train.len()));
+        calibrate_model(&mut model, &calib, 8, &mut rng);
+        apply_precision(&mut model, &Precision::Qt { weight_bits: 8, act_bits: 8 });
+        let acc_pmac = evaluate_accuracy(&mut model, &ds, &mut rng);
+        // The paper's selection rule: the smallest budget within ~0.15%
+        // of the pMAC accuracy (we allow 1% for the small synthetic test
+        // split), starting the search at the paper's own k.
+        let mut k = paper_k;
+        let mut acc_tmac = 0.0;
+        let mut cfg = TrConfig::new(8, k).with_data_terms(s);
+        let candidates =
+            std::iter::once(paper_k).chain(K_CANDIDATES.into_iter().filter(|&c| c > paper_k));
+        for candidate in candidates {
+            cfg = TrConfig::new(8, candidate).with_data_terms(s);
+            apply_precision(&mut model, &Precision::Tr(cfg));
+            acc_tmac = evaluate_accuracy(&mut model, &ds, &mut rng);
+            k = candidate;
+            if acc_tmac >= acc_pmac - 0.01 {
+                break;
+            }
+        }
+
+        let shapes = shapes_for(model_key(kind));
+        let pmac_energy = pmac_network_work(&shapes, &sys.energy).energy(&sys.energy);
+        let tr_regs = ControlRegisters::for_tr(&cfg);
+        let tmac_energy = sys.simulate_network(&shapes, &tr_regs, None).energy_fa;
+        let gain = pmac_energy / tmac_energy;
+        gains.push(gain);
+
+        t.row(vec![kind.name().into(), "pMAC".into(), "-".into(), "-".into(), "-".into(), pct(acc_pmac), ratio(1.0)]);
+        t.row(vec![
+            kind.name().into(),
+            "tMAC".into(),
+            s.to_string(),
+            k.to_string(),
+            "8".into(),
+            pct(acc_tmac),
+            ratio(gain),
+        ]);
+    }
+    let avg = gains.iter().sum::<f64>() / gains.len() as f64;
+    t.note(format!(
+        "average tMAC energy-efficiency gain {} (paper: 2.1x); accuracy drops stay small \
+         by construction of the per-model budgets",
+        ratio(avg)
+    ));
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tmac_always_wins_energy() {
+        let sys = TrSystem::default();
+        for (kind, s, k) in SETTINGS {
+            let shapes = shapes_for(model_key(kind));
+            let pmac = pmac_network_work(&shapes, &sys.energy).energy(&sys.energy);
+            let cfg = TrConfig::new(8, k).with_data_terms(s);
+            let tmac =
+                sys.simulate_network(&shapes, &ControlRegisters::for_tr(&cfg), None).energy_fa;
+            assert!(pmac / tmac > 1.0, "{}: gain {}", kind.name(), pmac / tmac);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Table IV — the TR system versus published FPGA accelerators.
+//!
+//! The four baseline rows are the papers' published numbers (we do not
+//! re-implement third-party accelerators; neither does the paper). Our
+//! row combines (a) the simulator's latency and resource estimates for
+//! the ResNet-style network at g = 8, k = 16, (b) the zoo ResNet's
+//! accuracy under that TR setting, and (c) the paper's published 25.22
+//! frames/J as the energy calibration anchor (the simulator's abstract
+//! energy units cannot be converted to joules without silicon).
+
+use crate::report::{f, pct, Table};
+use crate::zoo::Zoo;
+use tr_core::TrConfig;
+use tr_hw::fpga_baselines::{paper_own_row, published_baselines};
+use tr_hw::netlists::resnet18;
+use tr_hw::{ControlRegisters, TrSystem};
+use tr_nn::exec::{apply_precision, calibrate_model, evaluate_accuracy};
+use tr_nn::models::CnnKind;
+use tr_nn::Precision;
+use tr_tensor::Rng;
+
+/// Run the experiment.
+pub fn run(zoo: &Zoo) -> Vec<Table> {
+    let mut t = Table::new(
+        "table4",
+        "Comparison with published FPGA accelerators (paper Table IV)",
+        &["system", "chip", "acc (%)", "MHz", "LUT", "FF", "DSP", "BRAM", "latency (ms)", "frames/J"],
+    );
+    for b in published_baselines() {
+        t.row(vec![
+            b.name.into(),
+            b.chip.into(),
+            b.accuracy_pct.map(|a| f(a, 2)).unwrap_or_else(|| "n/a".into()),
+            f(b.frequency_mhz, 0),
+            b.resources.lut.to_string(),
+            b.resources.ff.to_string(),
+            b.resources.dsp.to_string(),
+            b.resources.bram.to_string(),
+            f(b.latency_ms, 2),
+            f(b.frames_per_joule, 2),
+        ]);
+    }
+
+    // Our simulated row.
+    let sys = TrSystem::default();
+    let cfg = TrConfig::new(8, 16).with_data_terms(3);
+    let regs = ControlRegisters::for_tr(&cfg);
+    let report = sys.simulate_network(&resnet18(), &regs, None);
+    let used = sys.resource_usage(8, 606);
+
+    let mut rng = Rng::seed_from_u64(44);
+    let (mut model, ds) = zoo.cnn(CnnKind::ResNet);
+    let calib = ds.train.x.slice_batch(0, 32.min(ds.train.len()));
+    calibrate_model(&mut model, &calib, 8, &mut rng);
+    apply_precision(&mut model, &Precision::Tr(cfg));
+    let acc = evaluate_accuracy(&mut model, &ds, &mut rng);
+
+    let paper = paper_own_row();
+    t.row(vec![
+        "Ours (simulated)".into(),
+        "VC707 (model)".into(),
+        f(100.0 * acc, 2),
+        f(170.0, 0),
+        used.lut.to_string(),
+        used.ff.to_string(),
+        used.dsp.to_string(),
+        used.bram.to_string(),
+        f(report.latency_ms, 2),
+        f(paper.frames_per_joule, 2),
+    ]);
+    t.note(format!(
+        "our accuracy column is on the synthetic 10-class task ({}), not ImageNet; the \
+         frames/J entry is the paper's published calibration anchor (see DESIGN.md §1)",
+        pct(acc)
+    ));
+    t.note(
+        "the paper's claims to check: highest accuracy and frames/J of the table, \
+         second-lowest latency, and far fewer DSPs than the multiplier-based designs",
+    );
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn our_row_uses_no_dsp_heavy_multipliers() {
+        let sys = TrSystem::default();
+        let used = sys.resource_usage(8, 606);
+        // tMACs are multiplier-free: DSP usage should be far below the
+        // published multiplier-based designs (725-3177 DSPs).
+        assert!(used.dsp < 700, "dsp {}", used.dsp);
+    }
+
+    #[test]
+    fn simulated_latency_same_order_as_paper() {
+        let sys = TrSystem::default();
+        let cfg = TrConfig::new(8, 16).with_data_terms(3);
+        let report =
+            sys.simulate_network(&resnet18(), &ControlRegisters::for_tr(&cfg), None);
+        // The paper's build reports 7.21 ms; the cycle model lands within
+        // a small constant factor (tiling/utilization differences).
+        assert!(report.latency_ms > 2.0 && report.latency_ms < 60.0, "{} ms", report.latency_ms);
+    }
+}

@@ -1,0 +1,25 @@
+//! # tr-bench
+//!
+//! The experiment harness: one module per table/figure of the paper's
+//! evaluation (§VI–§VII), a model zoo that trains each network once and
+//! caches it, and the report plumbing that prints the same rows/series
+//! the paper plots.
+//!
+//! The `repro` binary drives everything:
+//!
+//! ```text
+//! cargo run --release -p tr-bench --bin repro -- all
+//! cargo run --release -p tr-bench --bin repro -- fig15
+//! ```
+//!
+//! Absolute numbers differ from the paper (synthetic datasets, simulated
+//! hardware — see DESIGN.md §1); the *shapes* (who wins, by what factor,
+//! where crossovers sit) are the reproduction targets recorded in
+//! EXPERIMENTS.md.
+
+pub mod experiments;
+pub mod report;
+pub mod zoo;
+
+pub use report::Table;
+pub use zoo::Zoo;

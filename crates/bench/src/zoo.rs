@@ -1,0 +1,199 @@
+//! The cached model zoo.
+//!
+//! Every experiment sweeps quantization settings over *pretrained* models
+//! (the paper's whole premise is post-training quantization), so each
+//! model is trained once per machine and checkpointed under
+//! `target/tr-zoo/`. Delete that directory to force retraining. Set
+//! `TR_ZOO_QUICK=1` to use reduced training budgets (for smoke tests).
+
+use std::path::{Path, PathBuf};
+use tr_nn::data::{markov_corpus, synth_digits, synth_images, Dataset, MarkovCorpus};
+use tr_nn::io::{load_lstm, load_model, save_lstm, save_model};
+
+use tr_nn::lstm::LstmLm;
+use tr_nn::models::{mlp::build_mlp, CnnKind};
+use tr_nn::optim::Sgd;
+use tr_nn::train::{eval_lstm_perplexity, train_classifier, train_lstm, TrainConfig};
+use tr_nn::Sequential;
+use tr_tensor::Rng;
+
+/// Vocabulary size of the zoo corpus.
+pub const VOCAB: usize = 40;
+/// Hidden width of the zoo LSTM.
+pub const LSTM_HIDDEN: usize = 64;
+
+/// Handle to the cached zoo.
+pub struct Zoo {
+    dir: PathBuf,
+    /// Reduced budgets for smoke testing.
+    pub quick: bool,
+    /// Base seed for data and training.
+    pub seed: u64,
+}
+
+/// Serializes train-or-load sections so parallel tests sharing one cache
+/// directory train each model exactly once.
+static TRAIN_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// The shared quick-budget zoo used by this workspace's tests: one fixed
+/// directory, so the first test to need a model trains it and the rest
+/// load the checkpoint.
+pub fn test_zoo() -> Zoo {
+    let mut zoo = Zoo::at(std::env::temp_dir().join("tr-zoo-shared-test"));
+    zoo.quick = true;
+    zoo
+}
+
+impl Default for Zoo {
+    fn default() -> Self {
+        Zoo::new()
+    }
+}
+
+impl Zoo {
+    /// Zoo rooted at `target/tr-zoo` (honoring `TR_ZOO_QUICK`).
+    pub fn new() -> Zoo {
+        let dir = std::env::var("TR_ZOO_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target/tr-zoo"));
+        let quick = std::env::var("TR_ZOO_QUICK").map(|v| v != "0").unwrap_or(false);
+        Zoo { dir, quick, seed: 0x7E57 }
+    }
+
+    /// Zoo rooted at an explicit directory.
+    pub fn at(dir: impl Into<PathBuf>) -> Zoo {
+        Zoo { dir: dir.into(), quick: false, seed: 0x7E57 }
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        let suffix = if self.quick { "-quick" } else { "" };
+        self.dir.join(format!("{name}{suffix}.bin"))
+    }
+
+    /// The digit dataset (MNIST substitute).
+    pub fn digits(&self) -> Dataset {
+        if self.quick {
+            synth_digits(400, 200, self.seed)
+        } else {
+            synth_digits(2000, 500, self.seed)
+        }
+    }
+
+    /// The image dataset (ImageNet substitute).
+    pub fn images(&self) -> Dataset {
+        if self.quick {
+            synth_images(300, 150, self.seed + 1)
+        } else {
+            synth_images(1600, 400, self.seed + 1)
+        }
+    }
+
+    /// The token corpus (Wikitext-2 substitute).
+    pub fn corpus(&self) -> MarkovCorpus {
+        if self.quick {
+            markov_corpus(VOCAB, 4, 3000, 500, self.seed + 2)
+        } else {
+            markov_corpus(VOCAB, 4, 12_000, 1500, self.seed + 2)
+        }
+    }
+
+    /// The trained MLP and its dataset. Trains and caches on first use.
+    pub fn mlp(&self) -> (Sequential, Dataset) {
+        let ds = self.digits();
+        let mut rng = Rng::seed_from_u64(self.seed + 10);
+        let mut model = build_mlp(ds.classes, &mut rng);
+        let path = self.path("mlp");
+        let _guard = TRAIN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        if load_model(&path, &mut model).is_err() {
+            let mut opt = Sgd::new(0.1, 0.9, 1e-4);
+            let epochs = if self.quick { 2 } else { 5 };
+            let cfg = TrainConfig { epochs, batch: 32, lr_drop_at: Some(epochs - 1), verbose: false };
+            let hist = train_classifier(&mut model, &ds, &mut opt, &cfg, &mut rng);
+            eprintln!(
+                "[zoo] trained mlp: acc {:.2}%",
+                100.0 * hist.last().map(|h| h.test_accuracy).unwrap_or(0.0)
+            );
+            save_model(&path, &mut model).expect("zoo checkpoint write");
+        }
+        (model, ds)
+    }
+
+    /// A trained CNN of the given kind and its dataset.
+    pub fn cnn(&self, kind: CnnKind) -> (Sequential, Dataset) {
+        let ds = self.images();
+        let mut rng = Rng::seed_from_u64(self.seed + 20 + kind as u64);
+        let mut model = kind.build(ds.classes, &mut rng);
+        let path = self.path(kind.name());
+        let _guard = TRAIN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        if load_model(&path, &mut model).is_err() {
+            let mut opt = Sgd::new(0.05, 0.9, 5e-4);
+            let epochs = if self.quick { 1 } else { 4 };
+            let cfg = TrainConfig { epochs, batch: 32, lr_drop_at: Some(epochs.saturating_sub(1)), verbose: false };
+            let t0 = std::time::Instant::now();
+            let hist = train_classifier(&mut model, &ds, &mut opt, &cfg, &mut rng);
+            eprintln!(
+                "[zoo] trained {}: acc {:.2}% in {:.0}s",
+                kind.name(),
+                100.0 * hist.last().map(|h| h.test_accuracy).unwrap_or(0.0),
+                t0.elapsed().as_secs_f64()
+            );
+            save_model(&path, &mut model).expect("zoo checkpoint write");
+        }
+        (model, ds)
+    }
+
+    /// The trained LSTM language model and its corpus.
+    pub fn lstm(&self) -> (LstmLm, MarkovCorpus) {
+        let corpus = self.corpus();
+        let mut rng = Rng::seed_from_u64(self.seed + 30);
+        let mut lm = LstmLm::new(corpus.vocab, LSTM_HIDDEN, 0.1, &mut rng);
+        let path = self.path("lstm");
+        let _guard = TRAIN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        if load_lstm(&path, &mut lm).is_err() {
+            let epochs = if self.quick { 2 } else { 4 };
+            let ppl =
+                train_lstm(&mut lm, &corpus.train, &corpus.valid, epochs, 24, 0.01, &mut rng);
+            eprintln!("[zoo] trained lstm: ppl {ppl:.2} (floor {:.2})", corpus.entropy_rate.exp());
+            save_lstm(&path, &mut lm).expect("zoo checkpoint write");
+        }
+        (lm, corpus)
+    }
+
+    /// Wipe the cache directory (used by tests that need fresh training).
+    pub fn clear(&self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Evaluate the LSTM's float perplexity (convenience used by experiments).
+pub fn float_perplexity(lm: &mut LstmLm, corpus: &MarkovCorpus, rng: &mut Rng) -> f64 {
+    eval_lstm_perplexity(lm, &corpus.valid, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_zoo_trains_and_caches_mlp() {
+        let dir = std::env::temp_dir().join("tr-zoo-test-mlp");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut zoo = Zoo::at(&dir);
+        zoo.quick = true;
+        let t0 = std::time::Instant::now();
+        let (_m1, ds) = zoo.mlp();
+        let first = t0.elapsed();
+        assert!(!ds.train.is_empty());
+        let t1 = std::time::Instant::now();
+        let (_m2, _) = zoo.mlp();
+        let second = t1.elapsed();
+        assert!(second < first, "cache not faster: {second:?} vs {first:?}");
+        assert!(zoo.path("mlp").exists());
+        zoo.clear();
+    }
+}

@@ -1,0 +1,121 @@
+//! Term Revealing configuration.
+
+use tr_encoding::Encoding;
+
+/// The knobs of a Term Revealing deployment (§III-C, §III-E and Table I).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrConfig {
+    /// Group size `g`: number of consecutive reduction-dimension values
+    /// sharing one term budget (2–8 in the FPGA; up to 32 in Fig. 16).
+    pub group_size: usize,
+    /// Group budget `k`: maximum terms revealed per group.
+    pub group_budget: usize,
+    /// Encoding used to decompose weight values into terms.
+    pub weight_encoding: Encoding,
+    /// Encoding used to decompose data values into terms.
+    pub data_encoding: Encoding,
+    /// `s`: per-value cap on data terms (Table III keeps the top `s`
+    /// HESE terms of each activation). `None` leaves data uncapped.
+    pub data_terms: Option<usize>,
+}
+
+impl TrConfig {
+    /// A configuration with the paper's default encodings (HESE for both
+    /// operands) and uncapped data terms.
+    pub fn new(group_size: usize, group_budget: usize) -> TrConfig {
+        TrConfig {
+            group_size,
+            group_budget,
+            weight_encoding: Encoding::Hese,
+            data_encoding: Encoding::Hese,
+            data_terms: None,
+        }
+    }
+
+    /// Builder-style: set the per-value data term cap `s`.
+    pub fn with_data_terms(mut self, s: usize) -> TrConfig {
+        self.data_terms = Some(s);
+        self
+    }
+
+    /// Builder-style: set the weight encoding.
+    pub fn with_weight_encoding(mut self, e: Encoding) -> TrConfig {
+        self.weight_encoding = e;
+        self
+    }
+
+    /// Builder-style: set the data encoding.
+    pub fn with_data_encoding(mut self, e: Encoding) -> TrConfig {
+        self.data_encoding = e;
+        self
+    }
+
+    /// `α = k / g`, the average number of terms budgeted per value
+    /// (§III-E; the x-axis of Figs. 16 and 17).
+    pub fn alpha(&self) -> f64 {
+        self.group_budget as f64 / self.group_size as f64
+    }
+
+    /// The TR processing bound on term pairs per group: `k × s`
+    /// (§V, Fig. 10). `s_max` is the per-value data term cap in effect.
+    pub fn pair_bound(&self, s_max: usize) -> usize {
+        self.group_budget * s_max
+    }
+
+    /// The corresponding *conventional* bound without TR:
+    /// `max_terms² × g` (7 × 7 × g for 8-bit binary, §III-D).
+    pub fn baseline_pair_bound(&self, max_terms: usize) -> usize {
+        max_terms * max_terms * self.group_size
+    }
+
+    /// Validate invariants; call before handing the config to kernels.
+    ///
+    /// # Panics
+    /// If `g == 0` or `k == 0`.
+    pub fn check(&self) {
+        assert!(self.group_size > 0, "group size must be positive");
+        assert!(self.group_budget > 0, "group budget must be positive");
+        if let Some(s) = self.data_terms {
+            assert!(s > 0, "data term cap must be positive");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_is_budget_per_value() {
+        assert_eq!(TrConfig::new(8, 16).alpha(), 2.0);
+        assert_eq!(TrConfig::new(3, 4).alpha(), 4.0 / 3.0);
+    }
+
+    #[test]
+    fn paper_bound_comparison() {
+        // §III-C worked numbers: g = 3, k = 6, 7-term data: TR bound
+        // 7 × 6 = 42 vs 4-bit QT bound 7 × 4 × 3 = 84.
+        let cfg = TrConfig::new(3, 6);
+        assert_eq!(cfg.pair_bound(7), 42);
+        // The 4-bit QT comparison keeps 4 terms per value over 3 values.
+        assert_eq!(7 * 4 * 3, 84);
+        assert_eq!(cfg.baseline_pair_bound(7), 7 * 7 * 3);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = TrConfig::new(8, 12)
+            .with_data_terms(3)
+            .with_weight_encoding(Encoding::Binary);
+        assert_eq!(cfg.data_terms, Some(3));
+        assert_eq!(cfg.weight_encoding, Encoding::Binary);
+        assert_eq!(cfg.pair_bound(3), 36);
+        cfg.check();
+    }
+
+    #[test]
+    #[should_panic(expected = "group size")]
+    fn check_rejects_zero_group() {
+        TrConfig::new(0, 4).check();
+    }
+}

@@ -1,0 +1,143 @@
+//! Truncation-error bounds (§III-F).
+//!
+//! The paper bounds the relative error TR introduces: if the receding
+//! water line settles at exponent `i`, each truncated value loses at most
+//! the geometric tail below `2^i`, giving a per-value relative error
+//! `σ ≤ (2^i − 1) / 2^(i+1) ≤ 1/2` (for α = 1.5), and the relative error
+//! of a whole dot product with non-negative data is bounded by the largest
+//! per-value σ. These helpers compute the analytical bounds and the
+//! realized errors so tests and benches can check one against the other.
+
+use tr_encoding::TermExpr;
+
+/// The §III-F analytical bound on per-value relative truncation error for
+/// a waterline at exponent `i` with `α ≥ 1.5` terms per value: kept mass
+/// is at least `2^(i+1)` per value while the truncated tail is at most
+/// `2^i − 1`, so `σ ≤ (2^i − 1) / 2^(i+1) < 1/2`.
+pub fn waterline_sigma_bound(waterline_exp: u8) -> f64 {
+    let i = waterline_exp as i32;
+    ((2f64.powi(i)) - 1.0) / 2f64.powi(i + 1)
+}
+
+/// Realized relative error of a truncated value: `σ = (x − x') / x` for
+/// the original code `x` and truncated code `x'` (0 when `x == 0`).
+///
+/// With signed encodings the truncated value can exceed the original
+/// (pruning a negative term), so σ can be negative; the *magnitude* is
+/// what the bound constrains.
+pub fn value_sigma(original: i64, truncated: i64) -> f64 {
+    if original == 0 {
+        0.0
+    } else {
+        (original - truncated) as f64 / original as f64
+    }
+}
+
+/// The §III-F dot-product bound: for non-negative data values truncated
+/// with per-value relative errors `σ_i ≤ σ` and fixed weights, the
+/// relative error of the dot product is at most `σ`.
+///
+/// Returns `(realized_relative_error, max_abs_sigma)` for the supplied
+/// original/truncated operand pair, so callers can assert
+/// `realized ≤ max_sigma` (up to sign caveats documented in the paper).
+pub fn dot_product_error_bound(
+    weights: &[i64],
+    data_original: &[i64],
+    data_truncated: &[i64],
+) -> (f64, f64) {
+    assert_eq!(weights.len(), data_original.len());
+    assert_eq!(weights.len(), data_truncated.len());
+    let exact: i64 = weights.iter().zip(data_original).map(|(&w, &x)| w * x).sum();
+    let approx: i64 = weights.iter().zip(data_truncated).map(|(&w, &x)| w * x).sum();
+    let realized = if exact == 0 { 0.0 } else { (exact - approx) as f64 / exact as f64 };
+    let max_sigma = data_original
+        .iter()
+        .zip(data_truncated)
+        .map(|(&o, &t)| value_sigma(o, t).abs())
+        .fold(0.0f64, f64::max);
+    (realized, max_sigma)
+}
+
+/// Sum of the term magnitudes pruned from `original` relative to the kept
+/// magnitude — the quantity the receding-water bound controls directly.
+pub fn truncated_mass_ratio(original: &TermExpr, kept: &TermExpr) -> f64 {
+    let kept_mass: i64 = kept.iter().map(|t| t.value().abs()).sum();
+    let orig_mass: i64 = original.iter().map(|t| t.value().abs()).sum();
+    let truncated = (orig_mass - kept_mass).max(0);
+    if kept_mass + truncated == 0 {
+        0.0
+    } else {
+        truncated as f64 / (kept_mass + truncated) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reveal::reveal_group;
+    use tr_encoding::Encoding;
+
+    #[test]
+    fn sigma_bound_is_below_half() {
+        for i in 0..16 {
+            let b = waterline_sigma_bound(i);
+            assert!(b < 0.5, "bound {b} at waterline {i}");
+            if i > 0 {
+                assert!(b > waterline_sigma_bound(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn value_sigma_signs() {
+        assert_eq!(value_sigma(100, 96), 0.04);
+        assert_eq!(value_sigma(0, 0), 0.0);
+        // Signed truncation rounding up gives negative sigma.
+        assert!(value_sigma(31, 32) < 0.0);
+    }
+
+    #[test]
+    fn dot_product_error_bounded_by_max_sigma_nonneg() {
+        // §III-F setting: positive weights, non-negative data, per-value
+        // truncation shrinking each value.
+        let weights = vec![3i64, 7, 2, 9];
+        let original = vec![100i64, 64, 80, 33];
+        let truncated = vec![96i64, 64, 80, 32];
+        let (realized, max_sigma) = dot_product_error_bound(&weights, &original, &truncated);
+        assert!(realized >= 0.0);
+        assert!(realized <= max_sigma + 1e-12, "{realized} > {max_sigma}");
+    }
+
+    #[test]
+    fn receding_water_respects_mass_ratio() {
+        // Prune a dense binary group and verify the truncated-mass ratio
+        // of every value stays below the waterline bound.
+        let group: Vec<_> = [119i32, 95, 87].iter().map(|&v| Encoding::Binary.terms_of(v)).collect();
+        let out = reveal_group(&group, 6);
+        let wl = out.waterline_exp.expect("should prune");
+        for (orig, kept) in group.iter().zip(&out.revealed) {
+            let ratio = truncated_mass_ratio(orig, kept);
+            // Tail below 2^wl is at most 2^wl - 1 of a value that kept at
+            // least 2^wl of mass... the per-value ratio is <= (2^wl - 1) /
+            // (kept + tail); for values that kept anything the group-level
+            // bound applies. Values pruned to zero are covered by the
+            // group-level argument, so only check non-empty ones here.
+            if !kept.is_empty() {
+                let kept_mass: i64 = kept.iter().map(|t| t.value().abs()).sum();
+                // The waterline row itself can be partially pruned (the
+                // budget can run out mid-row), so the truncated tail is
+                // bounded by 2^(wl+1) - 1 rather than the paper's clean
+                // row-boundary 2^wl - 1.
+                let tail_max = (1i64 << (wl + 1)) - 1;
+                let bound = tail_max as f64 / (kept_mass + tail_max) as f64;
+                assert!(ratio <= bound + 1e-12, "ratio {ratio} > bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_kept_mass_ratio() {
+        let orig = Encoding::Binary.terms_of(0);
+        assert_eq!(truncated_mass_ratio(&orig, &orig), 0.0);
+    }
+}

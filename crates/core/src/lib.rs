@@ -1,0 +1,56 @@
+//! # tr-core
+//!
+//! **Term Revealing (TR)** — the primary contribution of *"Term Revealing:
+//! Furthering Quantization at Run Time on Quantized DNNs"* (Kung, McDanel
+//! & Zhang, SC 2020).
+//!
+//! TR is a *group-based, run-time* quantization applied on top of a
+//! conventionally quantized DNN. For each group of `g` values taking part
+//! in a dot product, TR keeps only the `k` largest power-of-two terms
+//! across the whole group (the **receding water** algorithm, §III-C) and
+//! prunes the rest. Because trained DNN weights are approximately normal
+//! and activations half-normal, most groups hold far fewer than `k` terms
+//! and lose nothing, while the occasional term-rich group is trimmed —
+//! giving every group the same tight processing bound of `k × s` term-pair
+//! multiplications, which is what lets systolic cells stay in lockstep.
+//!
+//! The crate provides:
+//!
+//! * [`TrConfig`] — group size `g`, group budget `k`, encodings, data `s`;
+//! * [`reveal::reveal_group`] — the receding-water algorithm on one group;
+//! * [`TermMatrix`] — a term-decomposed operand matrix with TR applied;
+//! * [`termpairs`] — the term-pair-multiplication cost proxy (§III-B,
+//!   Figs. 5/15);
+//! * [`matmul`] — an exact term-pair matmul kernel (what the tMAC hardware
+//!   computes), parallelized with rayon;
+//! * [`error_bound`] — the §III-F truncation-error bounds.
+//!
+//! ```
+//! use tr_core::{TrConfig, TermMatrix};
+//! use tr_encoding::Encoding;
+//! use tr_quant::{quantize, calibrate_max_abs};
+//! use tr_tensor::{Tensor, Shape, Rng};
+//!
+//! let mut rng = Rng::seed_from_u64(0);
+//! let w = Tensor::randn(Shape::d2(8, 64), 0.3, &mut rng);
+//! let qw = quantize(&w, calibrate_max_abs(&w, 8));
+//!
+//! // Reveal the top k = 16 terms of every group of g = 8 weights.
+//! let cfg = TrConfig::new(8, 16);
+//! let tw = TermMatrix::from_weights(&qw, Encoding::Hese).reveal(&cfg);
+//! assert!(tw.max_group_terms_for(8) <= 16);
+//! ```
+
+pub mod config;
+pub mod error_bound;
+pub mod matmul;
+pub mod reveal;
+pub mod termmatrix;
+pub mod termpairs;
+
+pub use config::TrConfig;
+pub use error_bound::{dot_product_error_bound, value_sigma, waterline_sigma_bound};
+pub use matmul::{term_dot, term_matmul, term_matmul_i64};
+pub use reveal::{reveal_group, reveal_group_with_tiebreak, RevealOutcome, TieBreak};
+pub use termmatrix::TermMatrix;
+pub use termpairs::{group_pair_histogram, straggler_factor, term_pairs_total, GroupPairStats};

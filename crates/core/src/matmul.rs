@@ -1,0 +1,148 @@
+//! Exact term-pair matrix multiplication.
+//!
+//! Computes dot products the way the tMAC hardware does (§V-B): every
+//! (weight term, data term) pair is one exponent addition, accumulated
+//! into the result. The output is numerically identical to an integer
+//! matmul over the *reconstructed* (post-TR) codes, which is the property
+//! the hardware simulator and the paper-claims tests verify.
+
+use crate::termmatrix::TermMatrix;
+use rayon::prelude::*;
+use tr_encoding::TermExpr;
+
+/// Dot product of two equal-length term vectors via term pairs.
+///
+/// Exponents of a term pair add; signs multiply; each pair contributes
+/// `±2^(e_w + e_x)` — a shift-and-accumulate, never a multiply.
+pub fn term_dot(w: &[TermExpr], x: &[TermExpr]) -> i64 {
+    debug_assert_eq!(w.len(), x.len());
+    let mut acc = 0i64;
+    for (we, xe) in w.iter().zip(x) {
+        for wt in we.iter() {
+            for xt in xe.iter() {
+                let p = wt.mul(*xt);
+                acc += p.value();
+            }
+        }
+    }
+    acc
+}
+
+/// `W (M,K) @ X (K,N)` over term matrices, producing exact `i64`
+/// accumulators in row-major `(M, N)` order. Parallel over output rows.
+pub fn term_matmul_i64(w: &TermMatrix, x: &TermMatrix) -> Vec<i64> {
+    assert_eq!(w.len(), x.len(), "reduction dims differ: {} vs {}", w.len(), x.len());
+    let (m, n) = (w.rows(), x.rows());
+    let mut out = vec![0i64; m * n];
+    out.par_chunks_mut(n).enumerate().for_each(|(i, orow)| {
+        let wrow = w.row(i);
+        for (j, o) in orow.iter_mut().enumerate() {
+            *o = term_dot(wrow, x.row(j));
+        }
+    });
+    out
+}
+
+/// Like [`term_matmul_i64`] but scales the integer accumulators back to
+/// real values with the product of the two quantizer scales.
+pub fn term_matmul(w: &TermMatrix, x: &TermMatrix, scale: f32) -> Vec<f32> {
+    term_matmul_i64(w, x).into_iter().map(|v| v as f32 * scale).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrConfig;
+    use tr_encoding::Encoding;
+    use tr_quant::{calibrate_max_abs, quantize, QTensor};
+    use tr_tensor::{Rng, Shape, Tensor};
+
+    fn quantized(rows: usize, cols: usize, seed: u64) -> QTensor {
+        let mut rng = Rng::seed_from_u64(seed);
+        let t = Tensor::randn(Shape::d2(rows, cols), 0.25, &mut rng);
+        quantize(&t, calibrate_max_abs(&t, 8))
+    }
+
+    #[test]
+    fn paper_example_12_times_2() {
+        // §III-B: 12 = 2^3 + 2^2 times 2 = 2^1 is 2^4 + 2^3 = 24 via two
+        // term-pair multiplications.
+        let w = TermMatrix::from_vector(&[12], Encoding::Binary);
+        let x = TermMatrix::from_vector(&[2], Encoding::Binary);
+        assert_eq!(term_dot(w.row(0), x.row(0)), 24);
+    }
+
+    #[test]
+    fn matches_integer_matmul_without_pruning() {
+        // With no TR applied, the term-pair kernel must agree exactly with
+        // the reference integer matmul, for every encoding.
+        let qw = quantized(6, 32, 10);
+        let qx = quantized(32, 5, 11);
+        let reference = qw.matmul_i64(&qx);
+        for enc in Encoding::ALL {
+            let w = TermMatrix::from_weights(&qw, enc);
+            let x = TermMatrix::from_data_transposed(&qx, enc);
+            let got_t = term_matmul_i64(&w, &x);
+            // Transpose (N-major j within row i) is already row-major (M,N).
+            assert_eq!(got_t, reference, "{enc} disagrees with integer matmul");
+        }
+    }
+
+    #[test]
+    fn matches_truncated_integer_matmul_with_tr() {
+        // After TR, the kernel must equal an integer matmul over the
+        // reconstructed (pruned) codes — TR changes the operands, not the
+        // arithmetic.
+        let qw = quantized(4, 64, 12);
+        let qx = quantized(64, 6, 13);
+        let cfg = TrConfig::new(8, 12);
+        let w = TermMatrix::from_weights(&qw, Encoding::Hese).reveal(&cfg);
+        let x = TermMatrix::from_data_transposed(&qx, Encoding::Hese).cap_terms(3);
+        let got = term_matmul_i64(&w, &x);
+
+        let wc = w.reconstruct_codes();
+        let xc = x.reconstruct_codes();
+        let (m, k, n) = (4usize, 64usize, 6usize);
+        let mut expect = vec![0i64; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i64;
+                for kk in 0..k {
+                    acc += wc[i * k + kk] * xc[j * k + kk];
+                }
+                expect[i * n + j] = acc;
+            }
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn tr_output_error_is_small() {
+        // The quantization-error story of §III-F: TR-pruned dot products
+        // stay close to the unpruned ones.
+        let qw = quantized(8, 128, 14);
+        let qx = quantized(128, 8, 15);
+        let exact = qw.matmul_i64(&qx);
+        let cfg = TrConfig::new(8, 16);
+        let w = TermMatrix::from_weights(&qw, Encoding::Hese).reveal(&cfg);
+        let x = TermMatrix::from_data_transposed(&qx, Encoding::Hese);
+        let approx = term_matmul_i64(&w, &x);
+        let num: f64 = exact
+            .iter()
+            .zip(&approx)
+            .map(|(&e, &a)| ((e - a) as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        let den: f64 = exact.iter().map(|&e| (e as f64).powi(2)).sum::<f64>().sqrt();
+        let rel = num / den.max(1.0);
+        assert!(rel < 0.05, "relative output error {rel}");
+    }
+
+    #[test]
+    fn scaled_variant_applies_scale() {
+        let w = TermMatrix::from_vector(&[3], Encoding::Binary);
+        let x = TermMatrix::from_vector(&[5], Encoding::Binary);
+        let out = term_matmul(&w, &x, 0.5);
+        assert_eq!(out, vec![7.5]);
+    }
+}

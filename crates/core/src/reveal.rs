@@ -1,0 +1,305 @@
+//! The receding-water algorithm (§III-C, Fig. 6).
+//!
+//! Given the term expansions of a group of `g` values and a budget `k`,
+//! the algorithm scans a *waterline* from the largest exponent downwards,
+//! keeping terms row by row (and, within a row, value by value in index
+//! order) until `k` terms have been revealed. Everything below the final
+//! waterline is pruned. Groups holding `k` or fewer terms pass through
+//! untouched — which, given the normal-like distributions of trained DNNs,
+//! is the overwhelmingly common case.
+
+use tr_encoding::{Term, TermExpr};
+
+/// What the receding-water pass did to one group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RevealOutcome {
+    /// The per-value term expressions after pruning.
+    pub revealed: Vec<TermExpr>,
+    /// Terms kept (≤ budget).
+    pub kept_terms: usize,
+    /// Terms pruned from the group.
+    pub pruned_terms: usize,
+    /// The exponent at which the budget ran out, if pruning occurred:
+    /// terms with smaller exponents (and later same-exponent terms) were
+    /// dropped. `None` means the whole group fit in the budget.
+    pub waterline_exp: Option<u8>,
+}
+
+impl RevealOutcome {
+    /// True when no term was pruned.
+    pub fn lossless(&self) -> bool {
+        self.pruned_terms == 0
+    }
+}
+
+/// Apply receding water to one group.
+///
+/// # Panics
+/// If `budget == 0` (a zero budget would zero the group; configure that
+/// explicitly upstream if ever needed).
+pub fn reveal_group(group: &[TermExpr], budget: usize) -> RevealOutcome {
+    assert!(budget > 0, "group budget must be positive");
+    let total: usize = group.iter().map(TermExpr::len).sum();
+    if total <= budget {
+        // Fast path: nothing to prune (the common case the paper relies on).
+        return RevealOutcome {
+            revealed: group.to_vec(),
+            kept_terms: total,
+            pruned_terms: 0,
+            waterline_exp: None,
+        };
+    }
+
+    let max_exp = group.iter().filter_map(TermExpr::max_exp).max().unwrap_or(0);
+    let mut kept: Vec<Vec<Term>> = vec![Vec::new(); group.len()];
+    let mut kept_count = 0usize;
+    let mut waterline = None;
+    'scan: for e in (0..=max_exp).rev() {
+        for (i, expr) in group.iter().enumerate() {
+            // Each value has at most one term per exponent.
+            if let Some(&t) = expr.iter().find(|t| t.exp == e) {
+                kept[i].push(t);
+                kept_count += 1;
+                if kept_count == budget {
+                    waterline = Some(e);
+                    break 'scan;
+                }
+            }
+        }
+    }
+    RevealOutcome {
+        revealed: kept.into_iter().map(TermExpr::from_terms).collect(),
+        kept_terms: kept_count,
+        pruned_terms: total - kept_count,
+        waterline_exp: waterline,
+    }
+}
+
+/// How the last waterline row is split when the budget runs out mid-row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TieBreak {
+    /// Value-index order (the hardware comparator's behavior; default).
+    RowMajor,
+    /// Prefer the values that have kept the fewest terms so far, spreading
+    /// the final row across the group (a fairness ablation; costs an
+    /// extra priority pass in hardware).
+    Spread,
+}
+
+/// [`reveal_group`] with an explicit tie-break policy for the waterline
+/// row. `TieBreak::RowMajor` is identical to [`reveal_group`].
+pub fn reveal_group_with_tiebreak(
+    group: &[TermExpr],
+    budget: usize,
+    tiebreak: TieBreak,
+) -> RevealOutcome {
+    if tiebreak == TieBreak::RowMajor {
+        return reveal_group(group, budget);
+    }
+    assert!(budget > 0, "group budget must be positive");
+    let total: usize = group.iter().map(TermExpr::len).sum();
+    if total <= budget {
+        return RevealOutcome {
+            revealed: group.to_vec(),
+            kept_terms: total,
+            pruned_terms: 0,
+            waterline_exp: None,
+        };
+    }
+    let max_exp = group.iter().filter_map(TermExpr::max_exp).max().unwrap_or(0);
+    let mut kept: Vec<Vec<Term>> = vec![Vec::new(); group.len()];
+    let mut kept_count = 0usize;
+    let mut waterline = None;
+    'scan: for e in (0..=max_exp).rev() {
+        // Collect this row's candidates, then take them poorest-first.
+        let mut row: Vec<usize> = (0..group.len())
+            .filter(|&i| group[i].iter().any(|t| t.exp == e))
+            .collect();
+        row.sort_by_key(|&i| kept[i].len());
+        for i in row {
+            let t = *group[i].iter().find(|t| t.exp == e).unwrap();
+            kept[i].push(t);
+            kept_count += 1;
+            if kept_count == budget {
+                waterline = Some(e);
+                break 'scan;
+            }
+        }
+    }
+    RevealOutcome {
+        revealed: kept.into_iter().map(TermExpr::from_terms).collect(),
+        kept_terms: kept_count,
+        pruned_terms: total - kept_count,
+        waterline_exp: waterline,
+    }
+}
+
+/// Apply receding water to every `group_size`-chunk of a row of term
+/// expressions (the last chunk may be shorter). Returns the revealed
+/// expressions in place of the originals.
+pub fn reveal_row(row: &mut [TermExpr], group_size: usize, budget: usize) {
+    assert!(group_size > 0, "group size must be positive");
+    for chunk in row.chunks_mut(group_size) {
+        let outcome = reveal_group(chunk, budget);
+        for (slot, revealed) in chunk.iter_mut().zip(outcome.revealed) {
+            *slot = revealed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_encoding::Encoding;
+
+    fn exprs(values: &[i32], enc: Encoding) -> Vec<TermExpr> {
+        values.iter().map(|&v| enc.terms_of(v)).collect()
+    }
+
+    #[test]
+    fn paper_fig6_walkthrough() {
+        // Fig. 6: group (w1, w2, w3) with g = 3, k = 4. We reconstruct the
+        // figure's situation with binary encodings: the budget is reached
+        // at the 2^3 row and lower-order terms are pruned. Using
+        // w = [72, 41, 81]: terms 72 = 2^6+2^3, 41 = 2^5+2^3+2^0,
+        // 81 = 2^6+2^4+2^0.
+        let group = exprs(&[72, 41, 81], Encoding::Binary);
+        let out = reveal_group(&group, 4);
+        assert_eq!(out.kept_terms, 4);
+        assert_eq!(out.pruned_terms, 4); // 2 + 3 + 3 = 8 total terms
+        // Scan order: 2^6 row -> w1, w3; 2^5 row -> w2; 2^4 row -> w3.
+        // Budget of 4 reached at exponent 4; the 2^3 and 2^0 terms drop.
+        assert_eq!(out.waterline_exp, Some(4));
+        assert_eq!(out.revealed[0].value(), 64);
+        assert_eq!(out.revealed[1].value(), 32);
+        assert_eq!(out.revealed[2].value(), 80); // 81 -> 80, as in Fig. 6
+    }
+
+    #[test]
+    fn under_budget_groups_pass_through() {
+        // Fig. 7 group (a): six terms, budget six — TR is lossless where
+        // 4-bit QT would truncate every 2^0/2^1 term.
+        let group = exprs(&[3, 5, 9], Encoding::Binary);
+        let out = reveal_group(&group, 6);
+        assert!(out.lossless());
+        assert_eq!(out.waterline_exp, None);
+        let values: Vec<i64> = out.revealed.iter().map(TermExpr::value).collect();
+        assert_eq!(values, vec![3, 5, 9]);
+    }
+
+    #[test]
+    fn revealed_values_never_gain_magnitude_in_binary() {
+        // With nonnegative binary terms, pruning can only shrink values.
+        for budget in 1..=8 {
+            let group = exprs(&[127, 93, 55, 11], Encoding::Binary);
+            let out = reveal_group(&group, budget);
+            for (r, &orig) in out.revealed.iter().zip(&[127i64, 93, 55, 11]) {
+                assert!(r.value() <= orig, "budget {budget}");
+                assert!(r.value() >= 0);
+            }
+        }
+    }
+
+    #[test]
+    fn kept_terms_equal_budget_when_pruning() {
+        let group = exprs(&[127, 127, 127], Encoding::Binary);
+        for budget in 1..21 {
+            let out = reveal_group(&group, budget);
+            assert_eq!(out.kept_terms, budget);
+            assert_eq!(out.pruned_terms, 21 - budget);
+        }
+        let out = reveal_group(&group, 21);
+        assert!(out.lossless());
+    }
+
+    #[test]
+    fn larger_terms_survive_first() {
+        let group = exprs(&[96, 3], Encoding::Binary); // 2^6+2^5, 2^1+2^0
+        let out = reveal_group(&group, 2);
+        assert_eq!(out.revealed[0].value(), 96);
+        assert_eq!(out.revealed[1].value(), 0);
+    }
+
+    #[test]
+    fn row_major_tie_break_within_waterline() {
+        // Both values have a 2^2 term; the earlier value wins the last
+        // budget slot (the figure's left-to-right scan).
+        let group = exprs(&[4, 4], Encoding::Binary);
+        let out = reveal_group(&group, 1);
+        assert_eq!(out.revealed[0].value(), 4);
+        assert_eq!(out.revealed[1].value(), 0);
+        assert_eq!(out.waterline_exp, Some(2));
+    }
+
+    #[test]
+    fn signed_encodings_rank_by_exponent_magnitude() {
+        // HESE of 31 = +2^5 - 2^0. With budget 2 the 2^5 term wins the
+        // first slot; at the 2^0 waterline the scan reaches the first
+        // value's -2^0 before the second value's +2^0, so 31 survives
+        // intact and the lone 1 is pruned.
+        let group = exprs(&[31, 1], Encoding::Hese);
+        let out = reveal_group(&group, 2);
+        assert_eq!(out.revealed[0].value(), 31);
+        assert_eq!(out.revealed[1].value(), 0);
+        assert_eq!(out.waterline_exp, Some(0));
+        // With budget 1 only the big positive term survives: 31 rounds
+        // *up* to 32, the signed-truncation effect §IV relies on.
+        let out1 = reveal_group(&group, 1);
+        assert_eq!(out1.revealed[0].value(), 32);
+        assert_eq!(out1.revealed[1].value(), 0);
+    }
+
+    #[test]
+    fn reveal_row_chunks_groups_independently() {
+        let mut row = exprs(&[127, 0, 0, 127, 127, 127], Encoding::Binary);
+        reveal_row(&mut row, 3, 7);
+        // First group had 7 terms total: untouched.
+        assert_eq!(row[0].value(), 127);
+        // Second group had 21 terms: budget 7 keeps the top rows.
+        let kept: usize = row[3..].iter().map(TermExpr::len).sum();
+        assert_eq!(kept, 7);
+    }
+
+    #[test]
+    fn spread_tiebreak_matches_rowmajor_counts_but_spreads() {
+        // Two identical values with a 2-term budget on a 4-term group:
+        // row-major gives both slots of the 2^2 row... construct a case
+        // where the waterline row has more candidates than budget left.
+        let group = exprs(&[5, 5], Encoding::Binary); // {2,0} each
+        let rm = reveal_group_with_tiebreak(&group, 3, TieBreak::RowMajor);
+        let sp = reveal_group_with_tiebreak(&group, 3, TieBreak::Spread);
+        assert_eq!(rm.kept_terms, 3);
+        assert_eq!(sp.kept_terms, 3);
+        // Row-major: 2^2 (both), then 2^0 of value 0 -> values (5, 4).
+        assert_eq!(rm.revealed[0].value(), 5);
+        assert_eq!(rm.revealed[1].value(), 4);
+        // Spread behaves identically here (equal kept counts fall back to
+        // index order), but must stay a valid outcome.
+        let sum_sp: i64 = sp.revealed.iter().map(TermExpr::value).sum();
+        assert_eq!(sum_sp, 9);
+    }
+
+    #[test]
+    fn spread_prefers_poorer_values_on_the_waterline() {
+        // w1 = {6,5,0}, w2 = {4,0}: with budget 4 the rows 6,5,4 give
+        // w1 two terms and w2 one; the final 2^0 row has both candidates.
+        let group = exprs(&[0b1100001, 0b0010001], Encoding::Binary);
+        let rm = reveal_group_with_tiebreak(&group, 4, TieBreak::RowMajor);
+        let sp = reveal_group_with_tiebreak(&group, 4, TieBreak::Spread);
+        // Row-major hands the last slot to w1's 2^0.
+        assert_eq!(rm.revealed[0].value(), 0b1100001);
+        assert_eq!(rm.revealed[1].value(), 0b0010000);
+        // Spread hands it to w2 (fewer kept terms).
+        assert_eq!(sp.revealed[0].value(), 0b1100000);
+        assert_eq!(sp.revealed[1].value(), 0b0010001);
+        assert_eq!(rm.kept_terms, sp.kept_terms);
+    }
+
+    #[test]
+    fn zero_group_is_lossless() {
+        let group = exprs(&[0, 0, 0], Encoding::Binary);
+        let out = reveal_group(&group, 4);
+        assert!(out.lossless());
+        assert_eq!(out.kept_terms, 0);
+    }
+}

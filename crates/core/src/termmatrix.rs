@@ -1,0 +1,231 @@
+//! Term-decomposed operand matrices.
+//!
+//! A [`TermMatrix`] holds, for each dot-product vector (a weight row or a
+//! data column), the power-of-two term expansion of every element. It is
+//! the representation Term Revealing transforms and the term-pair kernels
+//! consume — the software analogue of the exponent/sign register arrays
+//! inside the tMAC (§V-B).
+
+use crate::config::TrConfig;
+use crate::reveal::reveal_row;
+use tr_encoding::{Encoding, TermExpr};
+use tr_quant::QTensor;
+
+/// A matrix of term expressions organized as `rows` vectors of `len`
+/// elements, where each row participates in dot products as a unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TermMatrix {
+    exprs: Vec<TermExpr>,
+    rows: usize,
+    len: usize,
+    encoding: Encoding,
+}
+
+impl TermMatrix {
+    /// Decompose a weight matrix `(M, K)`: row `m` is the weight vector of
+    /// output `m`, grouped along `K`.
+    pub fn from_weights(q: &QTensor, encoding: Encoding) -> TermMatrix {
+        let (rows, len) = q.as_matrix();
+        let exprs = q.values().iter().map(|&v| encoding.terms_of(v)).collect();
+        TermMatrix { exprs, rows, len, encoding }
+    }
+
+    /// Decompose a data matrix `(K, N)` *transposed*: row `n` of the
+    /// result is data column `n`, so weight rows and data rows align
+    /// element-by-element in dot products.
+    pub fn from_data_transposed(q: &QTensor, encoding: Encoding) -> TermMatrix {
+        let (k, n) = q.as_matrix();
+        let vals = q.values();
+        let mut exprs = Vec::with_capacity(k * n);
+        for col in 0..n {
+            for row in 0..k {
+                exprs.push(encoding.terms_of(vals[row * n + col]));
+            }
+        }
+        TermMatrix { exprs, rows: n, len: k, encoding }
+    }
+
+    /// Decompose a flat vector as a single row.
+    pub fn from_vector(values: &[i32], encoding: Encoding) -> TermMatrix {
+        TermMatrix {
+            exprs: values.iter().map(|&v| encoding.terms_of(v)).collect(),
+            rows: 1,
+            len: values.len(),
+            encoding,
+        }
+    }
+
+    /// Number of dot-product vectors.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Length of each vector (the reduction dimension).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the matrix holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.exprs.is_empty()
+    }
+
+    /// The encoding the elements were decomposed with.
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
+
+    /// Term expressions of row `r`.
+    pub fn row(&self, r: usize) -> &[TermExpr] {
+        assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        &self.exprs[r * self.len..(r + 1) * self.len]
+    }
+
+    /// All expressions, row-major.
+    pub fn exprs(&self) -> &[TermExpr] {
+        &self.exprs
+    }
+
+    /// Apply Term Revealing: receding water over every `g`-sized group of
+    /// every row, with budget `k`. Consumes and returns the matrix.
+    pub fn reveal(mut self, cfg: &TrConfig) -> TermMatrix {
+        cfg.check();
+        for r in 0..self.rows {
+            let row = &mut self.exprs[r * self.len..(r + 1) * self.len];
+            reveal_row(row, cfg.group_size, cfg.group_budget);
+        }
+        self
+    }
+
+    /// Cap every element to its top `s` terms (the per-value data-side
+    /// truncation of Table III). Consumes and returns the matrix.
+    pub fn cap_terms(mut self, s: usize) -> TermMatrix {
+        for e in &mut self.exprs {
+            *e = e.truncate_top(s);
+        }
+        self
+    }
+
+    /// Total terms across the matrix.
+    pub fn total_terms(&self) -> usize {
+        self.exprs.iter().map(TermExpr::len).sum()
+    }
+
+    /// Mean terms per element.
+    pub fn mean_terms(&self) -> f64 {
+        if self.exprs.is_empty() {
+            0.0
+        } else {
+            self.total_terms() as f64 / self.exprs.len() as f64
+        }
+    }
+
+    /// Largest per-element term count.
+    pub fn max_value_terms(&self) -> usize {
+        self.exprs.iter().map(TermExpr::len).max().unwrap_or(0)
+    }
+
+    /// Largest per-group term count under grouping `g` (how close groups
+    /// come to a budget). Groups chunk each row independently.
+    pub fn max_group_terms_for(&self, g: usize) -> usize {
+        assert!(g > 0);
+        let mut max = 0;
+        for r in 0..self.rows {
+            for chunk in self.row(r).chunks(g) {
+                max = max.max(chunk.iter().map(TermExpr::len).sum());
+            }
+        }
+        max
+    }
+
+    /// Reconstruct the integer codes the kept terms represent (row-major).
+    pub fn reconstruct_codes(&self) -> Vec<i64> {
+        self.exprs.iter().map(TermExpr::value).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_quant::QuantParams;
+    use tr_tensor::Shape;
+
+    fn qt(values: Vec<i32>, rows: usize, cols: usize) -> QTensor {
+        QTensor::from_codes(values, QuantParams { scale: 1.0, bits: 8 }, Shape::d2(rows, cols))
+    }
+
+    #[test]
+    fn weight_layout_is_row_major() {
+        let q = qt(vec![1, 2, 3, 4, 5, 6], 2, 3);
+        let m = TermMatrix::from_weights(&q, Encoding::Binary);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.len(), 3);
+        let row1: Vec<i64> = m.row(1).iter().map(TermExpr::value).collect();
+        assert_eq!(row1, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn data_layout_transposes_columns() {
+        // X (K=2, N=3): columns become rows of length K.
+        let q = qt(vec![1, 2, 3, 4, 5, 6], 2, 3);
+        let m = TermMatrix::from_data_transposed(&q, Encoding::Binary);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.len(), 2);
+        let col0: Vec<i64> = m.row(0).iter().map(TermExpr::value).collect();
+        assert_eq!(col0, vec![1, 4]);
+        let col2: Vec<i64> = m.row(2).iter().map(TermExpr::value).collect();
+        assert_eq!(col2, vec![3, 6]);
+    }
+
+    #[test]
+    fn reveal_enforces_group_budget() {
+        let q = qt(vec![127; 16], 1, 16);
+        let cfg = TrConfig::new(4, 6).with_weight_encoding(Encoding::Binary);
+        let m = TermMatrix::from_weights(&q, Encoding::Binary).reveal(&cfg);
+        assert!(m.max_group_terms_for(4) <= 6);
+        // 4 groups x budget 6 = 24 terms survive out of 16 x 7 = 112.
+        assert_eq!(m.total_terms(), 24);
+    }
+
+    #[test]
+    fn reveal_is_identity_for_sparse_rows() {
+        let q = qt(vec![1, 0, 2, 0, 4, 0, 8, 0], 1, 8);
+        let cfg = TrConfig::new(4, 6);
+        let before = TermMatrix::from_weights(&q, Encoding::Hese);
+        let total = before.total_terms();
+        let after = before.reveal(&cfg);
+        assert_eq!(after.total_terms(), total);
+        assert_eq!(after.reconstruct_codes(), vec![1, 0, 2, 0, 4, 0, 8, 0]);
+    }
+
+    #[test]
+    fn cap_terms_limits_each_value() {
+        let q = qt(vec![87, -87, 31], 1, 3);
+        let m = TermMatrix::from_vector(q.values(), Encoding::Binary).cap_terms(2);
+        assert!(m.exprs().iter().all(|e| e.len() <= 2));
+        assert_eq!(m.reconstruct_codes(), vec![80, -80, 24]);
+    }
+
+    #[test]
+    fn mean_terms_tracks_distribution() {
+        let q = qt(vec![0, 1, 3, 7], 1, 4);
+        let m = TermMatrix::from_weights(&q, Encoding::Binary);
+        #[allow(clippy::identity_op)] // popcounts of 0, 1, 3, 7
+        let expected = 0 + 1 + 2 + 3;
+        assert_eq!(m.total_terms(), expected);
+        assert_eq!(m.mean_terms(), 1.5);
+        assert_eq!(m.max_value_terms(), 3);
+    }
+
+    #[test]
+    fn groups_do_not_straddle_rows() {
+        // Two rows of length 3 with g = 2: each row chunks as [2, 1];
+        // terms never migrate across the row boundary.
+        let q = qt(vec![127, 127, 127, 0, 0, 0], 2, 3);
+        let cfg = TrConfig::new(2, 3).with_weight_encoding(Encoding::Binary);
+        let m = TermMatrix::from_weights(&q, Encoding::Binary).reveal(&cfg);
+        // Row 0: group [127,127] keeps 3 terms, group [127] keeps 3.
+        assert_eq!(m.row(0).iter().map(TermExpr::len).sum::<usize>(), 6);
+        assert_eq!(m.row(1).iter().map(TermExpr::len).sum::<usize>(), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Term-pair multiplication counting — the paper's computation-cost proxy.
+//!
+//! §III-B defines the cost of a dot product as the number of *term pair
+//! multiplications*: multiplying values `w` (with `r_w` terms) and `x`
+//! (with `r_x` terms) costs `r_w × r_x` exponent additions. §VI uses
+//! "term pair multiplications per inference sample" as the x-axis of
+//! Fig. 15, and Fig. 5 histograms the per-group counts that motivate the
+//! tight TR bound.
+
+use crate::termmatrix::TermMatrix;
+use rayon::prelude::*;
+use tr_encoding::TermExpr;
+use tr_tensor::stats::CountHistogram;
+
+/// Term pairs needed for the dot product of two equal-length term vectors.
+pub fn pairs_for_vectors(w: &[TermExpr], x: &[TermExpr]) -> u64 {
+    assert_eq!(w.len(), x.len(), "vector length mismatch");
+    w.iter().zip(x).map(|(a, b)| (a.len() * b.len()) as u64).sum()
+}
+
+/// Total term-pair multiplications for the full matmul `W (M,K) @ X (K,N)`
+/// given both operands as term matrices (`W` rows of length K, `X`
+/// transposed columns of length K).
+pub fn term_pairs_total(w: &TermMatrix, x: &TermMatrix) -> u64 {
+    assert_eq!(w.len(), x.len(), "reduction dims differ: {} vs {}", w.len(), x.len());
+    (0..w.rows())
+        .into_par_iter()
+        .map(|m| {
+            let wrow = w.row(m);
+            (0..x.rows()).map(|n| pairs_for_vectors(wrow, x.row(n))).sum::<u64>()
+        })
+        .sum()
+}
+
+/// Distribution statistics of per-group term-pair counts (Fig. 5) and the
+/// straggler analysis of §II-B.
+#[derive(Debug, Clone)]
+pub struct GroupPairStats {
+    /// Histogram over per-group term-pair counts.
+    pub histogram: CountHistogram,
+    /// Largest per-group count observed (the straggler).
+    pub max: usize,
+    /// Mean per-group count.
+    pub mean: f64,
+    /// 99th-percentile per-group count (the paper's "99% of groups need
+    /// under 110 pairs" observation).
+    pub p99: usize,
+}
+
+/// Histogram the term pairs of every `(group of g weights) × (aligned
+/// group of g data values)` partial dot product across the whole matmul.
+pub fn group_pair_histogram(w: &TermMatrix, x: &TermMatrix, g: usize) -> GroupPairStats {
+    assert_eq!(w.len(), x.len(), "reduction dims differ");
+    assert!(g > 0, "group size must be positive");
+    let per_row: Vec<CountHistogram> = (0..w.rows())
+        .into_par_iter()
+        .map(|m| {
+            let wrow = w.row(m);
+            let mut hist = CountHistogram::new();
+            for n in 0..x.rows() {
+                let xrow = x.row(n);
+                for (wg, xg) in wrow.chunks(g).zip(xrow.chunks(g)) {
+                    hist.record(pairs_for_vectors(wg, xg) as usize);
+                }
+            }
+            hist
+        })
+        .collect();
+    let mut histogram = CountHistogram::new();
+    for h in &per_row {
+        histogram.merge(h);
+    }
+    let max = histogram.max();
+    let mean = histogram.mean();
+    let p99 = histogram.quantile(0.99);
+    GroupPairStats { histogram, max, mean, p99 }
+}
+
+/// Straggler factor: how much more work the worst group needs than the
+/// average group (§II-B reports 2–3× for Bit-Pragmatic/Bit-Tactical-style
+/// synchronization).
+pub fn straggler_factor(stats: &GroupPairStats) -> f64 {
+    if stats.mean == 0.0 {
+        1.0
+    } else {
+        stats.max as f64 / stats.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrConfig;
+    use tr_encoding::Encoding;
+    use tr_quant::QTensor;
+    use tr_tensor::{Rng, Shape};
+
+    fn quantized(rows: usize, cols: usize, seed: u64) -> QTensor {
+        let mut rng = Rng::seed_from_u64(seed);
+        let t = tr_tensor::Tensor::randn(Shape::d2(rows, cols), 0.25, &mut rng);
+        tr_quant::quantize(&t, tr_quant::calibrate_max_abs(&t, 8))
+    }
+
+    #[test]
+    fn pair_count_is_product_of_term_counts() {
+        let w = TermMatrix::from_vector(&[12, 0], Encoding::Binary); // 2 terms, 0 terms
+        let x = TermMatrix::from_vector(&[2, 127], Encoding::Binary); // 1 term, 7 terms
+        #[allow(clippy::identity_op, clippy::erasing_op)] // terms(w_i) * terms(x_i)
+        let expected = 2 * 1 + 0 * 7;
+        assert_eq!(pairs_for_vectors(w.row(0), x.row(0)), expected);
+    }
+
+    #[test]
+    fn theoretical_max_for_8bit_group_of_16() {
+        // §III-B: all-127 weights and data, g = 16 -> 16 x 7 x 7 = 784.
+        let w = TermMatrix::from_vector(&[127; 16], Encoding::Binary);
+        let x = TermMatrix::from_vector(&[127; 16], Encoding::Binary);
+        assert_eq!(pairs_for_vectors(w.row(0), x.row(0)), 784);
+    }
+
+    #[test]
+    fn total_matches_manual_sum() {
+        let qw = quantized(4, 8, 1);
+        let qx = quantized(8, 3, 2);
+        let w = TermMatrix::from_weights(&qw, Encoding::Binary);
+        let x = TermMatrix::from_data_transposed(&qx, Encoding::Binary);
+        let total = term_pairs_total(&w, &x);
+        let mut manual = 0u64;
+        for m in 0..4 {
+            for n in 0..3 {
+                manual += pairs_for_vectors(w.row(m), x.row(n));
+            }
+        }
+        assert_eq!(total, manual);
+    }
+
+    #[test]
+    fn tr_reduces_pairs_and_bounds_groups() {
+        let qw = quantized(8, 64, 3);
+        let qx = quantized(64, 8, 4);
+        let w = TermMatrix::from_weights(&qw, Encoding::Hese);
+        let x = TermMatrix::from_data_transposed(&qx, Encoding::Hese).cap_terms(3);
+        let before = term_pairs_total(&w, &x);
+        let cfg = TrConfig::new(8, 12);
+        let w_tr = w.reveal(&cfg);
+        let after = term_pairs_total(&w_tr, &x);
+        assert!(after <= before);
+        // Post-TR, every group holds <= k weight terms and each data value
+        // <= 3 terms, so no group exceeds k x s = 36 pairs.
+        let stats = group_pair_histogram(&w_tr, &x, 8);
+        assert!(stats.max <= cfg.pair_bound(3), "max {} > bound", stats.max);
+    }
+
+    #[test]
+    fn histogram_counts_every_group() {
+        let qw = quantized(2, 16, 5);
+        let qx = quantized(16, 3, 6);
+        let w = TermMatrix::from_weights(&qw, Encoding::Binary);
+        let x = TermMatrix::from_data_transposed(&qx, Encoding::Binary);
+        let stats = group_pair_histogram(&w, &x, 4);
+        // 2 weight rows x 3 data columns x 4 groups per dot product.
+        assert_eq!(stats.histogram.total(), 2 * 3 * 4);
+        assert!(stats.p99 <= stats.max);
+        assert!(straggler_factor(&stats) >= 1.0);
+    }
+
+    #[test]
+    fn empty_terms_cost_nothing() {
+        let w = TermMatrix::from_vector(&[0, 0, 0], Encoding::Binary);
+        let x = TermMatrix::from_vector(&[127, 127, 127], Encoding::Binary);
+        assert_eq!(pairs_for_vectors(w.row(0), x.row(0)), 0);
+    }
+}

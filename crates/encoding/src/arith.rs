@@ -1,0 +1,160 @@
+//! Carry-free signed-digit arithmetic.
+//!
+//! §IV-A motivates SDRs with Avizienis's observation that redundant
+//! signed-digit number systems admit **carry-free addition**: the carry
+//! into each position can be determined from just the two digit pairs
+//! below it, so addition is O(1) depth regardless of word length — the
+//! property that made SDRs attractive for bit-parallel (and optical)
+//! arithmetic long before DNN accelerators.
+//!
+//! This module implements the classic two-step carry-free adder for
+//! radix-2 digits in `{-1, 0, 1}` and uses it for SDR accumulation, with
+//! tests pinning it to exact integer arithmetic.
+
+use crate::sdr::Sdr;
+
+/// Carry-free addition of two SDRs.
+///
+/// Classic two-step scheme: position `i` first rewrites the digit sum
+/// `s = a_i + b_i ∈ [-2, 2]` as `s = 2·t_{i+1} + w_i` with the *transfer*
+/// `t` chosen using one digit of lookbehind so that the final sum
+/// `w_i + t_i` never leaves `{-1, 0, 1}`; the second step adds transfer
+/// and interim digits with no further carries.
+pub fn add_carry_free(a: &Sdr, b: &Sdr) -> Sdr {
+    let n = a.len().max(b.len()) + 2;
+    let digit = |s: &Sdr, i: usize| -> i8 { s.digits().get(i).copied().unwrap_or(0) };
+    let mut interim = vec![0i8; n]; // w
+    let mut transfer = vec![0i8; n + 1]; // t (indexed by target position)
+    for i in 0..n {
+        let s = digit(a, i) + digit(b, i);
+        // Choose (t, w) with s = 2t + w. For s = ±1 the choice depends on
+        // whether the position below could push a same-signed transfer up
+        // (lookbehind), guaranteeing |w + t| <= 1 at every position.
+        let below = digit(a, i.wrapping_sub(1)) + digit(b, i.wrapping_sub(1));
+        let below = if i == 0 { 0 } else { below };
+        let (t, w) = match s {
+            2 => (1, 0),
+            -2 => (-1, 0),
+            1 => {
+                if below >= 1 {
+                    (1, -1) // a positive transfer may arrive: absorb it
+                } else {
+                    (0, 1)
+                }
+            }
+            -1 => {
+                if below <= -1 {
+                    (-1, 1)
+                } else {
+                    (0, -1)
+                }
+            }
+            _ => (0, 0),
+        };
+        transfer[i + 1] = t;
+        interim[i] = w;
+    }
+    let mut out = vec![0i8; n + 1];
+    for (i, o) in out.iter_mut().enumerate() {
+        let w = interim.get(i).copied().unwrap_or(0);
+        let t = transfer[i];
+        let d = w + t;
+        debug_assert!((-1..=1).contains(&d), "carry-free invariant violated at {i}");
+        *o = d;
+    }
+    Sdr::from_digits(out).trimmed()
+}
+
+/// Negate an SDR (digit-wise; SDR negation is free, unlike two's
+/// complement).
+pub fn negate(a: &Sdr) -> Sdr {
+    Sdr::from_digits(a.digits().iter().map(|&d| -d).collect())
+}
+
+/// Carry-free subtraction `a - b`.
+pub fn sub_carry_free(a: &Sdr, b: &Sdr) -> Sdr {
+    add_carry_free(a, &negate(b))
+}
+
+/// Accumulate many SDRs with a carry-free reduction tree (the structure a
+/// bit-parallel SDR accumulator array would use).
+pub fn sum_carry_free(terms: &[Sdr]) -> Sdr {
+    match terms.len() {
+        0 => Sdr::zero(),
+        1 => terms[0].clone(),
+        _ => {
+            let mid = terms.len() / 2;
+            add_carry_free(&sum_carry_free(&terms[..mid]), &sum_carry_free(&terms[mid..]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hese::hese;
+    use crate::naf::naf;
+
+    fn sdr_of(v: i64) -> Sdr {
+        if v >= 0 {
+            hese(v as u32)
+        } else {
+            negate(&hese((-v) as u32))
+        }
+    }
+
+    #[test]
+    fn exhaustive_small_additions() {
+        for a in -64i64..=64 {
+            for b in -64i64..=64 {
+                let s = add_carry_free(&sdr_of(a), &sdr_of(b));
+                assert_eq!(s.value(), a + b, "{a} + {b}");
+                assert!(
+                    s.digits().iter().all(|&d| (-1..=1).contains(&d)),
+                    "digit overflow for {a} + {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_wide_additions() {
+        let mut state = 0xDEADu64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as i64 % 1_000_000) - 500_000
+        };
+        for _ in 0..2000 {
+            let (a, b) = (next(), next());
+            assert_eq!(add_carry_free(&sdr_of(a), &sdr_of(b)).value(), a + b);
+        }
+    }
+
+    #[test]
+    fn subtraction_and_negation() {
+        for a in -40i64..=40 {
+            for b in -40i64..=40 {
+                assert_eq!(sub_carry_free(&sdr_of(a), &sdr_of(b)).value(), a - b);
+            }
+        }
+        assert_eq!(negate(&naf(27)).value(), -27);
+    }
+
+    #[test]
+    fn reduction_tree_sums_many_terms() {
+        let values: Vec<i64> = (-50..=50).collect();
+        let sdrs: Vec<Sdr> = values.iter().map(|&v| sdr_of(v)).collect();
+        let total = sum_carry_free(&sdrs);
+        assert_eq!(total.value(), values.iter().sum::<i64>());
+    }
+
+    #[test]
+    fn worst_case_carry_chains_stay_local() {
+        // Binary addition's worst case: 0111...1 + 1. Carry-free addition
+        // must handle it with digits in range (the whole point).
+        let a = sdr_of((1 << 20) - 1);
+        let b = sdr_of(1);
+        let s = add_carry_free(&a, &b);
+        assert_eq!(s.value(), 1 << 20);
+    }
+}

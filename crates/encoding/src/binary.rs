@@ -1,0 +1,52 @@
+//! Plain binary term expansion.
+
+use crate::term::{Term, TermExpr};
+
+/// The binary expansion of a magnitude: one positive term per set bit.
+///
+/// This is the encoding implied by conventional uniform quantization
+/// (Fig. 1's middle stage): an 8-bit value has at most 7 magnitude terms.
+pub fn binary_terms(mag: u32) -> TermExpr {
+    let mut terms = Vec::with_capacity(mag.count_ones() as usize);
+    let mut m = mag;
+    while m != 0 {
+        let exp = 31 - m.leading_zeros();
+        terms.push(Term::pos(exp as u8));
+        m &= !(1 << exp);
+    }
+    TermExpr::from_terms(terms)
+}
+
+/// Number of binary terms (popcount) — provided for symmetry with the
+/// other encodings.
+pub fn binary_weight(mag: u32) -> usize {
+    mag.count_ones() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_of_paper_examples() {
+        // 5 = 2^2 + 2^0 (paper §I), 12 = 2^3 + 2^2 (paper §III-B),
+        // 127 = all seven terms (paper §III-B).
+        assert_eq!(binary_terms(5).to_string(), "+2^2 +2^0");
+        assert_eq!(binary_terms(12).to_string(), "+2^3 +2^2");
+        assert_eq!(binary_terms(127).len(), 7);
+    }
+
+    #[test]
+    fn zero_has_no_terms() {
+        assert!(binary_terms(0).is_empty());
+        assert_eq!(binary_weight(0), 0);
+    }
+
+    #[test]
+    fn exhaustive_reconstruction_16bit() {
+        for v in 0u32..=0xFFFF {
+            assert_eq!(binary_terms(v).value(), v as i64);
+            assert_eq!(binary_terms(v).len(), binary_weight(v));
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Booth radix-4 recoding (§IV-A).
+//!
+//! Booth recoding converts a binary magnitude into signed digits
+//! `{-2, -1, 0, 1, 2}` at even bit positions, bounding an n-bit value to
+//! `n/2 + 1` terms. Each `±2` digit at radix-4 position `i` is the single
+//! power-of-two term `±2^(2i+1)`, so the recoding embeds directly into an
+//! [`Sdr`]. The paper uses Booth as the prior-art signed encoding that
+//! HESE improves on (Fig. 8c).
+
+use crate::sdr::Sdr;
+
+/// Booth radix-4 recode of a magnitude, returned as an SDR over binary
+/// positions (each radix-4 digit lands on bit `2i` or `2i+1`).
+pub fn booth_radix4(mag: u32) -> Sdr {
+    if mag == 0 {
+        return Sdr::zero();
+    }
+    let width = 32 - mag.leading_zeros() as usize;
+    // One extra radix-4 digit so the top window sees the sign-extension 0s.
+    let n_digits = width / 2 + 1;
+    let mut digits = vec![0i8; 2 * n_digits + 2];
+    let bit = |i: isize| -> i64 {
+        if i < 0 || i as usize >= 32 {
+            0
+        } else {
+            ((mag >> i) & 1) as i64
+        }
+    };
+    for i in 0..n_digits {
+        let p = 2 * i as isize;
+        // Classic window: d_i = b_{2i-1} + b_{2i} - 2 * b_{2i+1}.
+        let d = bit(p - 1) + bit(p) - 2 * bit(p + 1);
+        match d {
+            0 => {}
+            1 => digits[2 * i] = 1,
+            -1 => digits[2 * i] = -1,
+            2 => digits[2 * i + 1] = 1,
+            -2 => digits[2 * i + 1] = -1,
+            _ => unreachable!("booth digit out of range: {d}"),
+        }
+    }
+    Sdr::from_digits(digits).trimmed()
+}
+
+/// Upper bound on the number of Booth radix-4 terms for an `n`-bit value
+/// (`n/2 + 1`, per Booth 1951 as cited in §IV-A).
+pub fn booth_term_bound(n_bits: usize) -> usize {
+    n_bits / 2 + 1
+}
+
+/// Booth radix-2 (bit-pair) recoding: `d_i = b_{i-1} - b_i`.
+///
+/// This is the variant behind the paper's §IV-A worked example — it turns
+/// `27 = 11011` into `1 0 1̄ 1 0 1̄` (4 terms), one more than the minimum,
+/// which is precisely the weakness HESE's isolated-zero rule repairs.
+/// (True radix-4, [`booth_radix4`], happens to reach 3 terms on 27 but
+/// wastes terms elsewhere, e.g. `2 = +4 - 2`.)
+pub fn booth_radix2(mag: u32) -> Sdr {
+    if mag == 0 {
+        return Sdr::zero();
+    }
+    let width = 32 - mag.leading_zeros() as usize;
+    let bit = |i: isize| -> i8 {
+        if i < 0 || i as usize >= 32 {
+            0
+        } else {
+            ((mag >> i) & 1) as i8
+        }
+    };
+    let digits: Vec<i8> = (0..=width as isize).map(|i| bit(i - 1) - bit(i)).collect();
+    Sdr::from_digits(digits).trimmed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_30() {
+        // §IV-A: 30 = 0b11110 -> 2^5 - 2^1.
+        let s = booth_radix4(30);
+        assert_eq!(s.value(), 30);
+        assert_eq!(s.weight(), 2);
+        let terms = s.to_terms();
+        assert_eq!(terms.to_string(), "+2^5 -2^1");
+    }
+
+    #[test]
+    fn paper_example_27_radix2_is_suboptimal() {
+        // §IV-A: Booth turns 27 = 0b11011 into 1 0 1̄ 1 0 1̄ (4 terms),
+        // one more than the 3-term minimum. The paper's worked example
+        // corresponds to radix-2 recoding.
+        let s = booth_radix2(27);
+        assert_eq!(s.value(), 27);
+        assert_eq!(s.weight(), 4);
+        assert_eq!(s.display_msb_first(), "101\u{0304}101\u{0304}");
+    }
+
+    #[test]
+    fn radix2_reconstruction_exhaustive() {
+        for v in 0u32..=0xFFFF {
+            assert_eq!(booth_radix2(v).value(), v as i64, "radix2 failed on {v}");
+        }
+    }
+
+    #[test]
+    fn radix4_can_beat_and_lose_to_binary() {
+        // Fig. 8(c)'s observation: radix-4 helps on long runs but is
+        // "equal or worse than binary" for many small values.
+        assert_eq!(booth_radix4(30).weight(), 2); // binary: 4
+        assert_eq!(booth_radix4(2).weight(), 2); // binary: 1 (2 = 4 - 2)
+    }
+
+    #[test]
+    fn exhaustive_reconstruction_16bit() {
+        for v in 0u32..=0xFFFF {
+            assert_eq!(booth_radix4(v).value(), v as i64, "booth failed on {v}");
+        }
+    }
+
+    #[test]
+    fn respects_term_bound() {
+        for v in 0u32..=0xFFFF {
+            let width = if v == 0 { 0 } else { 32 - v.leading_zeros() as usize };
+            assert!(
+                booth_radix4(v).weight() <= booth_term_bound(width),
+                "bound violated for {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero() {
+        assert_eq!(booth_radix4(0).weight(), 0);
+        assert_eq!(booth_radix4(0).value(), 0);
+    }
+
+    #[test]
+    fn even_powers_of_two_are_single_terms() {
+        // Radix-4 digit positions are even, so 2^(2i) encodes in one term;
+        // odd powers recode as 2^(2i+2) - 2^(2i+1) (two terms).
+        for e in (0..16).step_by(2) {
+            assert_eq!(booth_radix4(1 << e).weight(), 1, "2^{e}");
+        }
+        assert_eq!(booth_radix4(2).weight(), 2);
+    }
+}

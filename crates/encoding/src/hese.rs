@@ -1,0 +1,354 @@
+//! HESE — Hybrid Encoding for Shortened Expressions (§IV).
+//!
+//! HESE converts a binary magnitude into a minimal-weight signed digit
+//! representation in **one pass, looking at only two bits at a time**
+//! (Fig. 8b). It hybridizes Booth's handling of runs of `1`s with an extra
+//! rewrite for an isolated `0` inside a run (Fig. 8a):
+//!
+//! * a run `1..1` of length ≥ 2 becomes `+2^(end+1) − 2^(start)`;
+//! * `11011`-style isolated zeros inside a run become a single `−1` digit,
+//!   keeping the run alive (`27 = 11011 → 1 0 0 1̄ 0 1̄`);
+//! * isolated `1`s stay `1`s.
+//!
+//! The encoder is a two-state FSM over the window `(current bit, next
+//! bit)`, consuming one input bit and emitting one signed digit per step —
+//! exactly the structure of the paper's hardware encoder (§V-D), which
+//! [`hese_streams`] mirrors at the bit-stream level.
+
+use crate::sdr::Sdr;
+
+/// FSM states (Fig. 8b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// NOT-IN-A-RUN: emitting isolated digits.
+    NotInRun,
+    /// IN-A-RUN: inside a (possibly bridged) run of 1s, owing a final `+1`.
+    InRun,
+}
+
+/// Encode a magnitude with HESE, producing a minimal-weight SDR.
+pub fn hese(mag: u32) -> Sdr {
+    let width = if mag == 0 { 0 } else { 32 - mag.leading_zeros() as usize };
+    hese_width(mag, width)
+}
+
+/// Encode the low `width` bits of `mag` with HESE.
+///
+/// The explicit width matches the hardware, which always processes a fixed
+/// bit-serial stream length (e.g. 8 cycles for 8-bit data). Bits above
+/// `width` are ignored; the output may use one digit position beyond
+/// `width` (a run reaching the MSB closes at `2^width`).
+///
+/// # Panics
+/// If `width > 31`.
+pub fn hese_width(mag: u32, width: usize) -> Sdr {
+    assert!(width <= 31, "hese_width supports up to 31 bits");
+    let masked = if width == 32 { mag } else { mag & ((1u32 << width) - 1) };
+    let bit = |i: usize| -> bool {
+        if i >= width {
+            false
+        } else {
+            (masked >> i) & 1 == 1
+        }
+    };
+    let mut digits = vec![0i8; width + 1];
+    let mut mode = Mode::NotInRun;
+    // One extra step so a run reaching the MSB emits its closing +1.
+    #[allow(clippy::needless_range_loop)] // the window also reads bit(i + 1)
+    for i in 0..=width {
+        let cur = bit(i);
+        let next = bit(i + 1);
+        match mode {
+            Mode::NotInRun => {
+                if cur && next {
+                    // Entering a run of >= 2 ones: the run contributes
+                    // -2^start now and +2^(end+1) when it closes.
+                    digits[i] = -1;
+                    mode = Mode::InRun;
+                } else if cur {
+                    // Isolated 1 stays a 1.
+                    digits[i] = 1;
+                }
+            }
+            Mode::InRun => {
+                if !cur && !next {
+                    // Run (including any bridged zeros) has ended: emit
+                    // the owed +1 one position past the last 1.
+                    digits[i] = 1;
+                    mode = Mode::NotInRun;
+                } else if !cur && next {
+                    // Isolated 0 inside a run (Fig. 8a rule 2): subtract
+                    // 2^i and keep the run alive.
+                    digits[i] = -1;
+                }
+                // cur == 1: swallowed by the run, emit 0.
+            }
+        }
+    }
+    debug_assert_eq!(mode, Mode::NotInRun, "run must close within width+1 digits");
+    Sdr::from_digits(digits).trimmed()
+}
+
+/// The bit-serial output of the hardware HESE encoder (§V-D): two parallel
+/// streams of `width + 1` bits, LSB first. `magnitude[i]` is set when the
+/// output has a nonzero digit at `2^i`; `sign[i]` is set when that digit
+/// is negative.
+///
+/// The paper's example: input `31 = 0b00011111` produces magnitude
+/// `00100001` and sign `00000001` (MSB-first), i.e. `31 = 2^5 - 2^0`.
+pub fn hese_streams(mag: u32, width: usize) -> (Vec<bool>, Vec<bool>) {
+    let sdr = hese_width(mag, width);
+    let mut magnitude = vec![false; width + 1];
+    let mut sign = vec![false; width + 1];
+    for (i, &d) in sdr.digits().iter().enumerate() {
+        if d != 0 {
+            magnitude[i] = true;
+            sign[i] = d < 0;
+        }
+    }
+    (magnitude, sign)
+}
+
+/// Reduce an arbitrary SDR to minimum weight (the §IV-B extension).
+///
+/// Adjacent mixed-sign digit pairs collapse (`+2^{i+1} - 2^i = +2^i`),
+/// leaving only runs of same-signed digits and isolated digits, after
+/// which the HESE run rules apply. We implement the collapse as digit
+/// arithmetic followed by a HESE re-encode of the positive and negative
+/// parts, which yields the same minimal weight.
+pub fn minimize_sdr(sdr: &Sdr) -> Sdr {
+    let v = sdr.value();
+    let mag = v.unsigned_abs() as u32;
+    let encoded = hese(mag);
+    if v < 0 {
+        Sdr::from_digits(encoded.digits().iter().map(|&d| -d).collect())
+    } else {
+        encoded
+    }
+}
+
+/// Upper bound on HESE terms for an `n`-bit magnitude: `ceil((n + 1) / 2)`,
+/// since minimal-weight SDRs have the NAF weight bound.
+pub fn hese_term_bound(n_bits: usize) -> usize {
+    (n_bits + 2) / 2
+}
+
+/// The §IV-B extension as the paper actually describes it: reduce an
+/// arbitrary SDR to minimum weight by *digit rewriting*, without ever
+/// converting to binary.
+///
+/// Two rules run to fixpoint:
+///
+/// 1. **mixed-sign collapse** — adjacent digits `(a, −a)` at positions
+///    `(i, i+1)` satisfy `a·2^i − a·2^(i+1) = −a·2^i`, so they rewrite to
+///    `(−a, 0)`, removing one term;
+/// 2. **run rewrite** — a run of ≥ 2 same-signed digits `a` spanning
+///    `i..=j` rewrites to `−a` at `i` and `+a` at `j+1` (the Fig. 8a rule
+///    generalized to either sign), after which collapses and run merges
+///    (including across the isolated-zero pattern) continue.
+///
+/// Every rewrite strictly decreases the weight or enables one that does,
+/// so the loop terminates; tests verify the result reaches the NAF weight.
+pub fn minimize_sdr_rewrite(sdr: &Sdr) -> Sdr {
+    // Working buffer with headroom: each run rewrite can push one digit
+    // past the current MSB.
+    let mut d: Vec<i8> = sdr.digits().to_vec();
+    d.resize(d.len() + 34, 0);
+    loop {
+        let mut changed = false;
+        // Rule 1 to fixpoint first (it only shrinks weight).
+        let mut collapsed = true;
+        while collapsed {
+            collapsed = false;
+            for i in 0..d.len() - 1 {
+                if d[i] != 0 && d[i + 1] == -d[i] {
+                    d[i] = -d[i];
+                    d[i + 1] = 0;
+                    collapsed = true;
+                    changed = true;
+                }
+            }
+        }
+        // Rule 2: rewrite the leftmost same-sign run of length >= 2.
+        let mut i = 0;
+        while i < d.len() {
+            if d[i] != 0 {
+                let a = d[i];
+                let mut j = i;
+                while j + 1 < d.len() && d[j + 1] == a {
+                    j += 1;
+                }
+                if j > i {
+                    for digit in d.iter_mut().take(j + 1).skip(i) {
+                        *digit = 0;
+                    }
+                    d[i] = -a;
+                    // d[j+1] is 0 here (a longer run would have extended j),
+                    // so this cannot overflow the digit range.
+                    debug_assert_eq!(d[j + 1], 0);
+                    d[j + 1] = a;
+                    changed = true;
+                    break;
+                }
+                i = j + 1;
+            } else {
+                i += 1;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Sdr::from_digits(d).trimmed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naf::minimal_weight;
+
+    #[test]
+    fn paper_example_27() {
+        // 27 = 0b11011 -> 1 0 0 1̄ 0 1̄ (msb-first), 3 terms.
+        let s = hese(27);
+        assert_eq!(s.value(), 27);
+        assert_eq!(s.weight(), 3);
+        assert_eq!(s.display_msb_first(), "1001\u{0304}01\u{0304}");
+    }
+
+    #[test]
+    fn paper_example_31_streams() {
+        // §V-D: 31 -> magnitude 00100001, sign 00000001 (msb-first over 8
+        // bits; our streams carry width+1 = 9 positions for the run-close
+        // digit, so the strings below have one extra leading zero).
+        let (magnitude, sign) = hese_streams(31, 8);
+        let msb = |v: &[bool]| -> String {
+            v.iter().rev().map(|&b| if b { '1' } else { '0' }).collect()
+        };
+        assert_eq!(msb(&magnitude), "000100001");
+        assert_eq!(msb(&sign), "000000001");
+    }
+
+    #[test]
+    fn paper_rule_five_ones() {
+        // Fig. 8a rule 1: 11111 -> 100001̄ (2 terms).
+        let s = hese(0b11111);
+        assert_eq!(s.value(), 31);
+        assert_eq!(s.weight(), 2);
+    }
+
+    #[test]
+    fn exhaustive_value_reconstruction() {
+        for v in 0u32..=0xFFFF {
+            assert_eq!(hese(v).value(), v as i64, "hese failed on {v}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_minimality_16bit() {
+        // The headline claim of §IV: HESE achieves the theoretical minimum
+        // number of terms (the NAF weight) in one pass.
+        for v in 0u32..=0xFFFF {
+            assert_eq!(
+                hese(v).weight(),
+                minimal_weight(v),
+                "hese not minimal on {v} ({v:b})"
+            );
+        }
+    }
+
+    #[test]
+    fn width_masks_high_bits() {
+        // Only the low 4 bits participate.
+        let s = hese_width(0xF7, 4);
+        assert_eq!(s.value(), 7);
+    }
+
+    #[test]
+    fn run_to_msb_uses_one_extra_digit() {
+        // 0b1111 with width 4 -> +2^4 - 2^0.
+        let s = hese_width(0b1111, 4);
+        assert_eq!(s.value(), 15);
+        assert_eq!(s.weight(), 2);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn minimize_sdr_reaches_naf_weight() {
+        // A deliberately wasteful SDR for 6: +8 -4 +2.
+        let bloated = Sdr::from_digits(vec![0, 1, -1, 1]);
+        assert_eq!(bloated.value(), 6);
+        assert_eq!(bloated.weight(), 3);
+        let min = minimize_sdr(&bloated);
+        assert_eq!(min.value(), 6);
+        assert_eq!(min.weight(), 2);
+    }
+
+    #[test]
+    fn minimize_sdr_handles_negatives() {
+        let neg = Sdr::from_digits(vec![-1, -1, -1]);
+        assert_eq!(neg.value(), -7);
+        let min = minimize_sdr(&neg);
+        assert_eq!(min.value(), -7);
+        assert_eq!(min.weight(), 2);
+    }
+
+    #[test]
+    fn bound_holds_for_8bit() {
+        for v in 0u32..=255 {
+            assert!(hese(v).weight() <= hese_term_bound(8));
+        }
+        // The paper's practical takeaway: 8-bit data needs at most 4 HESE
+        // terms, and ~99% of DNN data fits in 3.
+        assert_eq!(hese_term_bound(8), 5);
+        assert!(hese(255).weight() <= 2);
+    }
+
+    #[test]
+    fn zero_and_powers() {
+        assert_eq!(hese(0).weight(), 0);
+        for e in 0..16 {
+            assert_eq!(hese(1 << e).weight(), 1);
+        }
+    }
+
+    #[test]
+    fn rewrite_minimizer_paper_walkthrough() {
+        // §IV-B: 27 as a binary SDR rewrites to the 3-term minimum
+        // without ever leaving digit space.
+        let bin = Sdr::from_digits(vec![1, 1, 0, 1, 1]);
+        let min = minimize_sdr_rewrite(&bin);
+        assert_eq!(min.value(), 27);
+        assert_eq!(min.weight(), 3);
+    }
+
+    #[test]
+    fn rewrite_minimizer_handles_mixed_signs() {
+        // (+, -) adjacent pair: +2^0 - 2^1 = -1.
+        let sdr = Sdr::from_digits(vec![1, -1]);
+        let min = minimize_sdr_rewrite(&sdr);
+        assert_eq!(min.value(), -1);
+        assert_eq!(min.weight(), 1);
+    }
+
+    #[test]
+    fn rewrite_minimizer_exhaustive_on_random_sdrs() {
+        // Value preservation + NAF-minimality over many random SDRs,
+        // including negative values and long runs.
+        let mut state = 0x12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..2000 {
+            let len = 1 + (next() % 18) as usize;
+            let digits: Vec<i8> = (0..len).map(|_| (next() % 3) as i8 - 1).collect();
+            let sdr = Sdr::from_digits(digits);
+            let v = sdr.value();
+            let min = minimize_sdr_rewrite(&sdr);
+            assert_eq!(min.value(), v, "value changed for {sdr:?}");
+            let expected = crate::naf::minimal_weight(v.unsigned_abs() as u32);
+            assert_eq!(min.weight(), expected, "not minimal for {sdr:?} (value {v})");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Non-adjacent form (NAF).
+//!
+//! The NAF is the canonical *minimal-weight* SDR (Jedwab & Mitchell 1989,
+//! cited in §IV-A as the multi-pass minimal-length algorithm). The paper's
+//! contribution, HESE, matches NAF's weight in a single hardware-friendly
+//! pass; this module is the ground truth those claims are tested against.
+
+use crate::sdr::Sdr;
+
+/// The non-adjacent form of a magnitude.
+///
+/// Computed by the classic low-to-high recurrence: the two lowest bits of
+/// the residue determine each digit, so like HESE this examines two bits
+/// at a time — but it mutates the residue (a carry ripple), which is what
+/// makes it awkward to implement bit-serially in hardware.
+pub fn naf(mag: u32) -> Sdr {
+    let mut digits = Vec::new();
+    let mut x = mag as i64;
+    while x > 0 {
+        if x & 1 == 1 {
+            // Choose d in {-1, +1} so that (x - d) is divisible by 4,
+            // which forces the next digit to 0 (non-adjacency).
+            let d = 2 - (x & 3);
+            digits.push(d as i8);
+            x -= d;
+        } else {
+            digits.push(0);
+        }
+        x >>= 1;
+    }
+    Sdr::from_digits(digits).trimmed()
+}
+
+/// Minimal SDR weight of a magnitude (the NAF weight).
+pub fn minimal_weight(mag: u32) -> usize {
+    naf(mag).weight()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconstruction_and_nonadjacency_exhaustive() {
+        for v in 0u32..=0xFFFF {
+            let s = naf(v);
+            assert_eq!(s.value(), v as i64, "naf failed on {v}");
+            assert!(s.is_nonadjacent(), "adjacent digits for {v}");
+        }
+    }
+
+    #[test]
+    fn known_weights() {
+        assert_eq!(minimal_weight(0), 0);
+        assert_eq!(minimal_weight(1), 1);
+        assert_eq!(minimal_weight(7), 2); // 8 - 1
+        assert_eq!(minimal_weight(27), 3); // 32 - 4 - 1
+        assert_eq!(minimal_weight(170), 4); // 10101010
+        assert_eq!(minimal_weight(255), 2); // 256 - 1
+    }
+
+    #[test]
+    fn weight_never_exceeds_popcount() {
+        for v in 0u32..=0xFFFF {
+            assert!(minimal_weight(v) <= v.count_ones() as usize, "naf worse than binary on {v}");
+        }
+    }
+
+    #[test]
+    fn naf_weight_bound() {
+        // NAF of an n-bit number has at most ceil((n+1)/2) nonzero digits.
+        for v in 1u32..=0xFFFF {
+            let n = 32 - v.leading_zeros() as usize;
+            assert!(minimal_weight(v) <= (n + 2) / 2, "bound violated for {v}");
+        }
+    }
+}

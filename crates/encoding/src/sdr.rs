@@ -1,0 +1,148 @@
+//! Signed digit representations (SDRs).
+//!
+//! An SDR is a positional encoding where each digit is `-1`, `0`, or `+1`
+//! (§IV-A, after Avizienis). Booth, NAF and HESE all produce SDRs; this
+//! module is the common carrier type.
+
+use crate::term::{Term, TermExpr};
+
+/// A signed digit representation, least-significant digit first.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Sdr {
+    digits: Vec<i8>,
+}
+
+impl Sdr {
+    /// Build from LSB-first digits.
+    ///
+    /// # Panics
+    /// If any digit is outside `{-1, 0, 1}`.
+    pub fn from_digits(digits: Vec<i8>) -> Sdr {
+        assert!(
+            digits.iter().all(|&d| (-1..=1).contains(&d)),
+            "SDR digits must be in {{-1, 0, 1}}"
+        );
+        Sdr { digits }
+    }
+
+    /// The zero value.
+    pub fn zero() -> Sdr {
+        Sdr::default()
+    }
+
+    /// LSB-first digits.
+    pub fn digits(&self) -> &[i8] {
+        &self.digits
+    }
+
+    /// Number of nonzero digits — the number of power-of-two terms.
+    pub fn weight(&self) -> usize {
+        self.digits.iter().filter(|&&d| d != 0).count()
+    }
+
+    /// Number of digit positions (including leading zeros, if stored).
+    pub fn len(&self) -> usize {
+        self.digits.len()
+    }
+
+    /// True if no digit positions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.digits.is_empty()
+    }
+
+    /// Reconstruct the numeric value.
+    pub fn value(&self) -> i64 {
+        self.digits
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (d as i64) << i)
+            .sum()
+    }
+
+    /// Convert to a term expression (nonzero digits become terms).
+    pub fn to_terms(&self) -> TermExpr {
+        self.digits
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d != 0)
+            .map(|(i, &d)| Term { exp: i as u8, neg: d < 0 })
+            .collect()
+    }
+
+    /// True if no two adjacent digits are both nonzero (the NAF property).
+    pub fn is_nonadjacent(&self) -> bool {
+        self.digits.windows(2).all(|w| w[0] == 0 || w[1] == 0)
+    }
+
+    /// Drop trailing (most-significant) zero digits.
+    pub fn trimmed(mut self) -> Sdr {
+        while self.digits.last() == Some(&0) {
+            self.digits.pop();
+        }
+        self
+    }
+
+    /// Render MSB-first with `1̄` (overbar) for −1, as the paper writes SDRs.
+    pub fn display_msb_first(&self) -> String {
+        if self.digits.is_empty() {
+            return "0".to_string();
+        }
+        self.digits
+            .iter()
+            .rev()
+            .map(|&d| match d {
+                1 => "1".to_string(),
+                -1 => "1\u{0304}".to_string(),
+                _ => "0".to_string(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_reconstruction() {
+        // 1̄ 0 1̄ 0 0 1 msb-first == lsb [-1, 0, 0, -1, 0, 1] == 32 - 4 - 1? No:
+        // digits lsb-first [-1, 0, -1, 0, 0, 1]: -1 - 4 + 32 = 27.
+        let s = Sdr::from_digits(vec![-1, 0, -1, 0, 0, 1]);
+        assert_eq!(s.value(), 27);
+        assert_eq!(s.weight(), 3);
+    }
+
+    #[test]
+    fn terms_round_trip() {
+        let s = Sdr::from_digits(vec![1, 0, -1, 1]);
+        let t = s.to_terms();
+        assert_eq!(t.value(), s.value());
+        assert_eq!(t.len(), s.weight());
+    }
+
+    #[test]
+    fn nonadjacency_detection() {
+        assert!(Sdr::from_digits(vec![1, 0, -1, 0, 1]).is_nonadjacent());
+        assert!(!Sdr::from_digits(vec![1, 1, 0]).is_nonadjacent());
+        assert!(Sdr::zero().is_nonadjacent());
+    }
+
+    #[test]
+    fn trim_removes_leading_zeros_only() {
+        let s = Sdr::from_digits(vec![0, 1, 0, 0]).trimmed();
+        assert_eq!(s.digits(), &[0, 1]);
+        assert_eq!(s.value(), 2);
+    }
+
+    #[test]
+    fn msb_display() {
+        let s = Sdr::from_digits(vec![-1, 0, -1, 0, 0, 1]);
+        assert_eq!(s.display_msb_first(), "1001\u{0304}01\u{0304}");
+    }
+
+    #[test]
+    #[should_panic(expected = "digits must be in")]
+    fn rejects_wide_digits() {
+        Sdr::from_digits(vec![2]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Term-count statistics across value populations (Fig. 3 bottom, Fig. 8c).
+
+use crate::Encoding;
+
+/// Per-value term-count histogram for a population of signed values under
+/// one encoding.
+#[derive(Debug, Clone)]
+pub struct TermCdf {
+    encoding: Encoding,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl TermCdf {
+    /// Tally the term counts of every value in `values` under `encoding`.
+    pub fn build(encoding: Encoding, values: impl IntoIterator<Item = i32>) -> TermCdf {
+        let mut counts: Vec<u64> = Vec::new();
+        let mut total = 0u64;
+        for v in values {
+            let w = encoding.weight_of(v);
+            if w >= counts.len() {
+                counts.resize(w + 1, 0);
+            }
+            counts[w] += 1;
+            total += 1;
+        }
+        TermCdf { encoding, counts, total }
+    }
+
+    /// The encoding this CDF was built for.
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
+
+    /// Fraction of values representable in at most `k` terms — the y-axis
+    /// of Fig. 8(c).
+    pub fn cdf(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let s: u64 = self.counts.iter().take(k + 1).sum();
+        s as f64 / self.total as f64
+    }
+
+    /// Mean terms per value (e.g. the 2.46 quoted in §III-E).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let s: u64 = self.counts.iter().enumerate().map(|(w, &c)| w as u64 * c).sum();
+        s as f64 / self.total as f64
+    }
+
+    /// Largest observed term count.
+    pub fn max(&self) -> usize {
+        self.counts.iter().rposition(|&c| c > 0).unwrap_or(0)
+    }
+
+    /// Raw per-count tallies (index = number of terms).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total values tallied.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Build the per-value term-count histogram (Fig. 3 bottom row) for a
+/// slice of already-quantized integer values.
+pub fn term_count_histogram(encoding: Encoding, values: &[i32]) -> TermCdf {
+    TermCdf::build(encoding, values.iter().copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_monotone_and_saturates() {
+        let values: Vec<i32> = (-127..=127).collect();
+        for enc in Encoding::ALL {
+            let cdf = term_count_histogram(enc, &values);
+            let mut prev = 0.0;
+            for k in 0..=cdf.max() {
+                let c = cdf.cdf(k);
+                assert!(c >= prev, "{enc} CDF not monotone at {k}");
+                prev = c;
+            }
+            assert!((cdf.cdf(cdf.max()) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hese_dominates_binary_pointwise() {
+        // HESE encodings have "strictly equal or fewer terms than binary
+        // and Booth radix-4" (§IV-C), so its CDF dominates pointwise.
+        let values: Vec<i32> = (-127..=127).collect();
+        let hese = term_count_histogram(Encoding::Hese, &values);
+        let binary = term_count_histogram(Encoding::Binary, &values);
+        let booth = term_count_histogram(Encoding::BoothRadix4, &values);
+        for k in 0..8 {
+            assert!(hese.cdf(k) >= binary.cdf(k) - 1e-12, "k={k}");
+            assert!(hese.cdf(k) >= booth.cdf(k) - 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn mean_of_uniform_8bit_binary_is_three_and_a_half() {
+        // Uniform over 0..=255: mean popcount is 4 over all bits, but over
+        // 0..=127 magnitudes it's 3.5.
+        let values: Vec<i32> = (0..=127).collect();
+        let cdf = term_count_histogram(Encoding::Binary, &values);
+        assert!((cdf.mean() - 3.5).abs() < 0.03, "mean {}", cdf.mean());
+    }
+
+    #[test]
+    fn empty_population() {
+        let cdf = term_count_histogram(Encoding::Hese, &[]);
+        assert_eq!(cdf.cdf(3), 0.0);
+        assert_eq!(cdf.mean(), 0.0);
+        assert_eq!(cdf.total(), 0);
+    }
+}

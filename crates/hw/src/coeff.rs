@@ -1,0 +1,141 @@
+//! The coefficient vector and its bit-serial accumulators (§V-B, Fig. 12b).
+//!
+//! A tMAC accumulates term-pair products not into a wide binary adder but
+//! into a vector of per-power-of-two *coefficients*: the pair
+//! `(−2^0, +2^2)` decrements the coefficient of `2^2`. With 8-bit
+//! operands the largest pair is `2^7 × 2^7 = 2^14`, so the vector has 15
+//! entries; 12-bit signed entries guarantee no overflow for dot products
+//! up to length 4096 (§V-B).
+
+/// Coefficient vector length: exponents `0 ..= 14`.
+pub const COEFF_LEN: usize = 15;
+
+/// Signed width of each coefficient in bits.
+pub const COEFF_BITS: u32 = 12;
+
+/// The per-cell accumulator state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoefficientVector {
+    coeffs: [i32; COEFF_LEN],
+}
+
+impl Default for CoefficientVector {
+    fn default() -> Self {
+        CoefficientVector { coeffs: [0; COEFF_LEN] }
+    }
+}
+
+impl CoefficientVector {
+    /// A zeroed vector.
+    pub fn new() -> CoefficientVector {
+        CoefficientVector::default()
+    }
+
+    /// The raw coefficients, index = exponent.
+    pub fn coeffs(&self) -> &[i32; COEFF_LEN] {
+        &self.coeffs
+    }
+
+    /// Accumulate one term-pair product `±2^exp` (the CA operation: add or
+    /// subtract 1 from one coefficient).
+    ///
+    /// # Panics
+    /// If `exp` exceeds the vector or a coefficient overflows its 12-bit
+    /// budget — both indicate a misconfigured schedule, exactly the cases
+    /// the hardware's sizing analysis rules out.
+    pub fn add_term(&mut self, exp: u8, negative: bool) {
+        assert!((exp as usize) < COEFF_LEN, "exponent {exp} exceeds coefficient vector");
+        let c = &mut self.coeffs[exp as usize];
+        *c += if negative { -1 } else { 1 };
+        let limit = 1i32 << (COEFF_BITS - 1);
+        assert!(
+            -limit <= *c && *c < limit,
+            "coefficient at 2^{exp} overflowed its {COEFF_BITS}-bit budget"
+        );
+    }
+
+    /// Merge another coefficient vector (the `sec_acc` neighbour-passing
+    /// path of Fig. 12a).
+    pub fn merge(&mut self, other: &CoefficientVector) {
+        for (a, &b) in self.coeffs.iter_mut().zip(&other.coeffs) {
+            *a += b;
+        }
+    }
+
+    /// Reduce to a single signed value (the binary stream converter's job,
+    /// done here arithmetically for verification).
+    pub fn reduce(&self) -> i64 {
+        self.coeffs.iter().enumerate().map(|(e, &c)| (c as i64) << e).sum()
+    }
+
+    /// Reset to zero (start of a new dot product).
+    pub fn clear(&mut self) {
+        self.coeffs = [0; COEFF_LEN];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_value_81() {
+        // §V-B: coefficients (1, 3, -1, 0, 4, 1) for exponents 5..0
+        // represent 32 + 48 - 8 + 0 + 8 + 1 = 81.
+        let mut cv = CoefficientVector::new();
+        let sets: [(u8, i32); 6] = [(5, 1), (4, 3), (3, -1), (2, 0), (1, 4), (0, 1)];
+        for (exp, count) in sets {
+            for _ in 0..count.abs() {
+                cv.add_term(exp, count < 0);
+            }
+        }
+        assert_eq!(cv.reduce(), 81);
+    }
+
+    #[test]
+    fn add_and_cancel() {
+        let mut cv = CoefficientVector::new();
+        cv.add_term(3, false);
+        cv.add_term(3, true);
+        assert_eq!(cv.reduce(), 0);
+        assert_eq!(cv.coeffs()[3], 0);
+    }
+
+    #[test]
+    fn merge_sums_vectors() {
+        let mut a = CoefficientVector::new();
+        a.add_term(2, false);
+        let mut b = CoefficientVector::new();
+        b.add_term(0, false);
+        b.add_term(2, false);
+        a.merge(&b);
+        assert_eq!(a.reduce(), 4 + 4 + 1);
+    }
+
+    #[test]
+    fn capacity_covers_len_4096_dot_products() {
+        // Worst case per §V-B: 4096-length dot products. Each value pair
+        // contributes at most ~16 pairs under TR; even pathological
+        // accumulation of 2047 hits at one exponent fits in 12 bits.
+        let mut cv = CoefficientVector::new();
+        for _ in 0..2047 {
+            cv.add_term(14, false);
+        }
+        assert_eq!(cv.reduce(), 2047 << 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflowed")]
+    fn overflow_is_detected() {
+        let mut cv = CoefficientVector::new();
+        for _ in 0..3000 {
+            cv.add_term(0, false);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds coefficient vector")]
+    fn exponent_range_enforced() {
+        CoefficientVector::new().add_term(15, false);
+    }
+}

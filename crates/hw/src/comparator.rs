@@ -1,0 +1,189 @@
+//! The term comparator (§V-E, Figs. 13–14).
+//!
+//! Takes the magnitude/sign streams of `g` consecutive HESE encoders,
+//! MSB first, and applies Term Revealing on the fly: an accumulate-and-
+//! compare (A&C) tree counts the nonzero bits seen so far in each group
+//! and zeroes every term after the group budget `k` is reached. This is
+//! the hardware realization of the receding-water algorithm, and the
+//! tests pin it to `tr_core::reveal_group` bit for bit.
+
+use tr_encoding::{Term, TermExpr};
+
+/// A term comparator configured for group size `g` and budget `k`.
+#[derive(Debug, Clone, Copy)]
+pub struct TermComparator {
+    /// Group size (number of input streams per group).
+    pub group_size: usize,
+    /// Group term budget.
+    pub group_budget: usize,
+}
+
+/// The outcome of streaming one group through the comparator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparatorOutput {
+    /// Filtered magnitude streams (same layout as the input).
+    pub magnitude: Vec<Vec<bool>>,
+    /// Sign streams, passed through untouched for surviving terms.
+    pub sign: Vec<Vec<bool>>,
+    /// Cycles consumed (= stream length; one bit position per cycle).
+    pub cycles: u64,
+    /// Terms kept.
+    pub kept: usize,
+    /// Terms pruned.
+    pub pruned: usize,
+}
+
+impl TermComparator {
+    /// A comparator for `(g, k)`.
+    ///
+    /// # Panics
+    /// If `g` is outside the hardware's 1–8 range or `k` exceeds the
+    /// 5-bit budget register.
+    pub fn new(group_size: usize, group_budget: usize) -> TermComparator {
+        assert!((1..=8).contains(&group_size), "comparator supports g in 1..=8");
+        assert!((1..=24).contains(&group_budget), "budget register is 5 bits (<= 24)");
+        TermComparator { group_size, group_budget }
+    }
+
+    /// Stream one group of `(magnitude, sign)` pairs through the
+    /// comparator. All streams must share one length; bit index = exponent
+    /// (the hardware feeds MSB first; iteration order here is descending
+    /// exponent accordingly).
+    pub fn process_group(&self, inputs: &[(Vec<bool>, Vec<bool>)]) -> ComparatorOutput {
+        assert!(!inputs.is_empty() && inputs.len() <= self.group_size, "bad group width");
+        let len = inputs[0].0.len();
+        assert!(
+            inputs.iter().all(|(m, s)| m.len() == len && s.len() == len),
+            "streams must share one length"
+        );
+        let mut magnitude: Vec<Vec<bool>> = inputs.iter().map(|(m, _)| m.clone()).collect();
+        let sign: Vec<Vec<bool>> = inputs.iter().map(|(_, s)| s.clone()).collect();
+        let mut count = 0usize;
+        let mut kept = 0usize;
+        let mut pruned = 0usize;
+        // MSB-first scan: one cycle per bit position.
+        for pos in (0..len).rev() {
+            for stream in magnitude.iter_mut() {
+                if stream[pos] {
+                    if count < self.group_budget {
+                        count += 1;
+                        kept += 1;
+                    } else {
+                        stream[pos] = false;
+                        pruned += 1;
+                    }
+                }
+            }
+        }
+        ComparatorOutput { magnitude, sign, cycles: len as u64, kept, pruned }
+    }
+
+    /// Number of A&C blocks in the tree for this group size (Fig. 14):
+    /// a binary reduction tree over `g` leaves.
+    pub fn ac_blocks(&self) -> usize {
+        2 * self.group_size - 1
+    }
+
+    /// Depth of the A&C tree (levels of accumulation).
+    pub fn tree_depth(&self) -> usize {
+        (self.group_size as f64).log2().ceil() as usize + 1
+    }
+}
+
+/// Convert comparator output streams back to term expressions (test and
+/// downstream-consumer helper).
+pub fn streams_to_terms(magnitude: &[bool], sign: &[bool]) -> TermExpr {
+    magnitude
+        .iter()
+        .zip(sign)
+        .enumerate()
+        .filter(|(_, (&m, _))| m)
+        .map(|(i, (_, &s))| Term { exp: i as u8, neg: s })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hese_unit::HeseEncoderUnit;
+    use tr_core::reveal_group;
+    use tr_encoding::Encoding;
+    use tr_tensor::Rng;
+
+    fn encode_group(values: &[u32]) -> Vec<(Vec<bool>, Vec<bool>)> {
+        values.iter().map(|&v| HeseEncoderUnit::encode(8, v)).collect()
+    }
+
+    #[test]
+    fn passes_under_budget_groups_untouched() {
+        let comparator = TermComparator::new(2, 6);
+        let inputs = encode_group(&[5, 9]);
+        let out = comparator.process_group(&inputs);
+        assert_eq!(out.pruned, 0);
+        assert_eq!(out.magnitude, inputs.iter().map(|(m, _)| m.clone()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn prunes_low_order_terms_when_over_budget() {
+        let comparator = TermComparator::new(2, 3);
+        let inputs = encode_group(&[0b1010101, 0b0101010]); // 4 + 3 HESE terms
+        let out = comparator.process_group(&inputs);
+        assert_eq!(out.kept, 3);
+        assert!(out.pruned > 0);
+        // Survivors are the highest-exponent terms.
+        let t0 = streams_to_terms(&out.magnitude[0], &out.sign[0]);
+        let t1 = streams_to_terms(&out.magnitude[1], &out.sign[1]);
+        let min_kept =
+            t0.iter().chain(t1.iter()).map(|t| t.exp).min().unwrap();
+        assert!(min_kept >= 3, "kept a low term: 2^{min_kept}");
+    }
+
+    #[test]
+    fn matches_receding_water_reference() {
+        // The comparator must implement exactly tr_core::reveal_group on
+        // HESE expansions, including intra-row (value-order) tie breaks.
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..200 {
+            let g = 1 + rng.below(8);
+            let k = 1 + rng.below(12);
+            let values: Vec<u32> = (0..g).map(|_| rng.below(256) as u32).collect();
+            let inputs = encode_group(&values);
+            let comparator = TermComparator::new(g, k);
+            let out = comparator.process_group(&inputs);
+
+            let exprs: Vec<TermExpr> =
+                values.iter().map(|&v| Encoding::Hese.terms_of(v as i32)).collect();
+            let reference = reveal_group(&exprs, k);
+            for i in 0..g {
+                let hw = streams_to_terms(&out.magnitude[i], &out.sign[i]);
+                assert_eq!(
+                    hw.value(),
+                    reference.revealed[i].value(),
+                    "mismatch at value {i} of {values:?} (g={g}, k={k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cycles_equal_stream_length() {
+        let comparator = TermComparator::new(4, 8);
+        let out = comparator.process_group(&encode_group(&[1, 2, 3, 4]));
+        assert_eq!(out.cycles, 9); // 8-bit inputs -> 9-position HESE streams
+    }
+
+    #[test]
+    fn tree_scales_with_group_size(){
+        assert_eq!(TermComparator::new(1, 4).ac_blocks(), 1);
+        assert_eq!(TermComparator::new(2, 4).ac_blocks(), 3);
+        assert_eq!(TermComparator::new(8, 4).ac_blocks(), 15);
+        assert_eq!(TermComparator::new(8, 4).tree_depth(), 4);
+        assert_eq!(TermComparator::new(1, 4).tree_depth(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "g in 1..=8")]
+    fn rejects_oversized_groups() {
+        TermComparator::new(9, 4);
+    }
+}

@@ -1,0 +1,57 @@
+//! # tr-hw
+//!
+//! A cycle-level software model of the paper's FPGA system (§V, Fig. 9),
+//! standing in for the Xilinx VC707 implementation.
+//!
+//! Every block of the system diagram is a module with the paper's cycle
+//! semantics:
+//!
+//! * [`registers`] — the Table-I control registers and the QT↔TR switch;
+//! * [`coeff`] — the 15-element, 12-bit coefficient vector and its
+//!   bit-serial accumulators (§V-B);
+//! * [`tmac`] — the term MAC: exponent arrays, duplicator, 3-bit exponent
+//!   adder, coefficient accumulation (§V-B, Figs. 11–12);
+//! * [`pmac`] — the conventional bit-parallel MAC baseline (§V-A);
+//! * [`converter`] — binary stream converter + bit-serial ReLU (§V-C);
+//! * [`hese_unit`] — the bit-serial HESE encoder (§V-D);
+//! * [`comparator`] — the A&C term-comparator tree applying TR on data
+//!   streams (§V-E, Figs. 13–14);
+//! * [`memory`] — weight/data buffers with double-buffered DRAM prefetch
+//!   (§V-F);
+//! * [`energy`] / [`resources`] — the §V-A work model and Table-II
+//!   LUT/FF model;
+//! * [`systolic`] — the 128×64 array and its tiled layer schedule;
+//! * [`system`] — end-to-end latency/energy for whole networks, in QT or
+//!   TR mode ([`system::TrSystem`]);
+//! * [`fpga_baselines`] — the published Table-IV comparison rows.
+//!
+//! The model's claims are *relative* (tMAC vs pMAC, TR vs QT); absolute
+//! frequencies are taken from the paper's 170 MHz build where needed.
+
+pub mod coeff;
+pub mod comparator;
+pub mod converter;
+pub mod energy;
+pub mod fpga_baselines;
+pub mod hese_unit;
+pub mod memory;
+pub mod netlists;
+pub mod pmac;
+pub mod registers;
+pub mod resources;
+pub mod system;
+pub mod systolic;
+pub mod tmac;
+
+pub use coeff::CoefficientVector;
+pub use comparator::TermComparator;
+pub use converter::{BinaryStreamConverter, ReluUnit};
+pub use energy::{EnergyModel, WorkReport};
+pub use hese_unit::HeseEncoderUnit;
+pub use memory::MemorySubsystem;
+pub use pmac::Pmac;
+pub use registers::{ControlRegisters, HwMode};
+pub use resources::{ResourceModel, Resources};
+pub use system::{LayerShape, NetworkReport, TrSystem};
+pub use systolic::{SystolicArray, TileSchedule};
+pub use tmac::Tmac;

@@ -1,0 +1,178 @@
+//! Paper-scale layer shapes of the evaluated networks.
+//!
+//! The hardware experiments (Fig. 19, Tables III–IV) are *shape* driven:
+//! the simulator needs each matmul's `(M, K, N)`, not trained weights. We
+//! therefore use the real ImageNet-era architectures at their published
+//! geometry — ResNet-18, VGG-16, MobileNet-v2 and EfficientNet-b0 on
+//! 224×224 inputs, the MNIST MLP, and the Wikitext-2 LSTM — while the
+//! *accuracy* columns of those experiments come from the synthetic-scale
+//! zoo models (DESIGN.md §1).
+
+use crate::system::LayerShape;
+
+/// ResNet-18 on 224×224×3 (basic blocks, stride schedule 2-2-2-2).
+pub fn resnet18() -> Vec<LayerShape> {
+    let mut v = vec![LayerShape::conv(64, 3 * 49, 112 * 112)]; // 7x7 stem
+    // layer1: 2 basic blocks at 56x56, 64 channels.
+    for _ in 0..4 {
+        v.push(LayerShape::conv(64, 64 * 9, 56 * 56));
+    }
+    // layer2: downsample to 28x28, 128 channels.
+    v.push(LayerShape::conv(128, 64 * 9, 28 * 28));
+    v.push(LayerShape::conv(128, 64, 28 * 28)); // 1x1 shortcut
+    for _ in 0..3 {
+        v.push(LayerShape::conv(128, 128 * 9, 28 * 28));
+    }
+    // layer3: 14x14, 256 channels.
+    v.push(LayerShape::conv(256, 128 * 9, 14 * 14));
+    v.push(LayerShape::conv(256, 128, 14 * 14));
+    for _ in 0..3 {
+        v.push(LayerShape::conv(256, 256 * 9, 14 * 14));
+    }
+    // layer4: 7x7, 512 channels.
+    v.push(LayerShape::conv(512, 256 * 9, 7 * 7));
+    v.push(LayerShape::conv(512, 256, 7 * 7));
+    for _ in 0..3 {
+        v.push(LayerShape::conv(512, 512 * 9, 7 * 7));
+    }
+    v.push(LayerShape::fc(1000, 512));
+    v
+}
+
+/// VGG-16 on 224×224×3.
+pub fn vgg16() -> Vec<LayerShape> {
+    vec![
+        LayerShape::conv(64, 27, 224 * 224),
+        LayerShape::conv(64, 64 * 9, 224 * 224),
+        LayerShape::conv(128, 64 * 9, 112 * 112),
+        LayerShape::conv(128, 128 * 9, 112 * 112),
+        LayerShape::conv(256, 128 * 9, 56 * 56),
+        LayerShape::conv(256, 256 * 9, 56 * 56),
+        LayerShape::conv(256, 256 * 9, 56 * 56),
+        LayerShape::conv(512, 256 * 9, 28 * 28),
+        LayerShape::conv(512, 512 * 9, 28 * 28),
+        LayerShape::conv(512, 512 * 9, 28 * 28),
+        LayerShape::conv(512, 512 * 9, 14 * 14),
+        LayerShape::conv(512, 512 * 9, 14 * 14),
+        LayerShape::conv(512, 512 * 9, 14 * 14),
+        LayerShape::fc(4096, 512 * 49),
+        LayerShape::fc(4096, 4096),
+        LayerShape::fc(1000, 4096),
+    ]
+}
+
+fn inverted_residual(
+    v: &mut Vec<LayerShape>,
+    cin: usize,
+    cout: usize,
+    t: usize,
+    spatial_in: usize,
+    spatial_out: usize,
+) {
+    let mid = cin * t;
+    if t > 1 {
+        v.push(LayerShape::conv(mid, cin, spatial_in));
+    }
+    v.push(LayerShape::conv(mid, 9, spatial_out)); // depthwise
+    v.push(LayerShape::conv(cout, mid, spatial_out));
+}
+
+/// MobileNet-v2 on 224×224×3.
+pub fn mobilenet_v2() -> Vec<LayerShape> {
+    let mut v = vec![LayerShape::conv(32, 27, 112 * 112)];
+    let s = |side: usize| side * side;
+    inverted_residual(&mut v, 32, 16, 1, s(112), s(112));
+    inverted_residual(&mut v, 16, 24, 6, s(112), s(56));
+    inverted_residual(&mut v, 24, 24, 6, s(56), s(56));
+    inverted_residual(&mut v, 24, 32, 6, s(56), s(28));
+    inverted_residual(&mut v, 32, 32, 6, s(28), s(28));
+    inverted_residual(&mut v, 32, 32, 6, s(28), s(28));
+    inverted_residual(&mut v, 32, 64, 6, s(28), s(14));
+    for _ in 0..3 {
+        inverted_residual(&mut v, 64, 64, 6, s(14), s(14));
+    }
+    inverted_residual(&mut v, 64, 96, 6, s(14), s(14));
+    inverted_residual(&mut v, 96, 96, 6, s(14), s(14));
+    inverted_residual(&mut v, 96, 96, 6, s(14), s(14));
+    inverted_residual(&mut v, 96, 160, 6, s(14), s(7));
+    inverted_residual(&mut v, 160, 160, 6, s(7), s(7));
+    inverted_residual(&mut v, 160, 160, 6, s(7), s(7));
+    inverted_residual(&mut v, 160, 320, 6, s(7), s(7));
+    v.push(LayerShape::conv(1280, 320, 49));
+    v.push(LayerShape::fc(1000, 1280));
+    v
+}
+
+/// EfficientNet-b0 on 224×224×3 (MBConv stages, expansion 6 except the
+/// first; squeeze-excite layers folded out as in most accelerator
+/// evaluations).
+pub fn efficientnet_b0() -> Vec<LayerShape> {
+    let mut v = vec![LayerShape::conv(32, 27, 112 * 112)];
+    let s = |side: usize| side * side;
+    inverted_residual(&mut v, 32, 16, 1, s(112), s(112));
+    inverted_residual(&mut v, 16, 24, 6, s(112), s(56));
+    inverted_residual(&mut v, 24, 24, 6, s(56), s(56));
+    inverted_residual(&mut v, 24, 40, 6, s(56), s(28));
+    inverted_residual(&mut v, 40, 40, 6, s(28), s(28));
+    inverted_residual(&mut v, 40, 80, 6, s(28), s(14));
+    for _ in 0..2 {
+        inverted_residual(&mut v, 80, 80, 6, s(14), s(14));
+    }
+    inverted_residual(&mut v, 80, 112, 6, s(14), s(14));
+    for _ in 0..2 {
+        inverted_residual(&mut v, 112, 112, 6, s(14), s(14));
+    }
+    inverted_residual(&mut v, 112, 192, 6, s(14), s(7));
+    for _ in 0..3 {
+        inverted_residual(&mut v, 192, 192, 6, s(7), s(7));
+    }
+    inverted_residual(&mut v, 192, 320, 6, s(7), s(7));
+    v.push(LayerShape::conv(1280, 320, 49));
+    v.push(LayerShape::fc(1000, 1280));
+    v
+}
+
+/// The paper's MNIST MLP (784–512–10).
+pub fn mnist_mlp() -> Vec<LayerShape> {
+    vec![LayerShape::fc(512, 784), LayerShape::fc(10, 512)]
+}
+
+/// One token step of the paper's Wikitext-2 LSTM (650 hidden units,
+/// 33,278-word vocabulary): the two gate matmuls plus the output
+/// projection.
+pub fn wikitext_lstm_step() -> Vec<LayerShape> {
+    vec![
+        LayerShape::fc(4 * 650, 650),
+        LayerShape::fc(4 * 650, 650),
+        LayerShape::fc(33_278, 650),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_counts_are_imagenet_scale() {
+        let gmacs = |shapes: &[LayerShape]| {
+            shapes.iter().map(|s| s.macs()).sum::<u64>() as f64 / 1e9
+        };
+        // Published MAC counts: ResNet-18 ~1.8G, VGG-16 ~15.5G,
+        // MobileNet-v2 ~0.3G, EfficientNet-b0 ~0.4G.
+        let r = gmacs(&resnet18());
+        assert!((1.0..3.0).contains(&r), "resnet {r} GMACs");
+        let v = gmacs(&vgg16());
+        assert!((12.0..18.0).contains(&v), "vgg {v} GMACs");
+        let m = gmacs(&mobilenet_v2());
+        assert!((0.2..0.6).contains(&m), "mobilenet {m} GMACs");
+        let e = gmacs(&efficientnet_b0());
+        assert!((0.25..0.8).contains(&e), "effnet {e} GMACs");
+    }
+
+    #[test]
+    fn relative_order_matches_reality() {
+        let total = |shapes: &[LayerShape]| shapes.iter().map(|s| s.macs()).sum::<u64>();
+        assert!(total(&vgg16()) > total(&resnet18()));
+        assert!(total(&resnet18()) > total(&mobilenet_v2()));
+    }
+}

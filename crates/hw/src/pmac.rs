@@ -1,0 +1,95 @@
+//! The bit-parallel MAC baseline (§V-A, Fig. 10a).
+//!
+//! One 8-bit multiply plus one 32-bit accumulate per cycle: a group of `g`
+//! values takes exactly `g` cycles regardless of the data. Its *work* per
+//! cycle, in the paper's accounting, is 7 8-bit additions (the shift-add
+//! multiplier array) plus 1 32-bit accumulation.
+
+/// One group's processing outcome for the pMAC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PmacGroupReport {
+    /// Cycles consumed (= group size).
+    pub cycles: u64,
+    /// 8-bit additions performed (7 per multiply).
+    pub adds_8bit: u64,
+    /// 32-bit accumulations performed (1 per multiply).
+    pub accs_32bit: u64,
+}
+
+/// A bit-parallel MAC cell.
+#[derive(Debug, Clone, Default)]
+pub struct Pmac {
+    acc: i64,
+    total_cycles: u64,
+}
+
+impl Pmac {
+    /// A fresh cell.
+    pub fn new() -> Pmac {
+        Pmac::default()
+    }
+
+    /// The 32-bit accumulator value.
+    pub fn value(&self) -> i64 {
+        self.acc
+    }
+
+    /// Total cycles since reset.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Clear state.
+    pub fn reset(&mut self) {
+        self.acc = 0;
+        self.total_cycles = 0;
+    }
+
+    /// Process one group of 8-bit value pairs.
+    ///
+    /// # Panics
+    /// If the slices differ in length or a value exceeds 8-bit range.
+    pub fn process_group(&mut self, weights: &[i32], data: &[i32]) -> PmacGroupReport {
+        assert_eq!(weights.len(), data.len(), "group operands must align");
+        for (&w, &x) in weights.iter().zip(data) {
+            assert!(w.abs() <= 255 && x.abs() <= 255, "pMAC operands are 8-bit");
+            self.acc += (w as i64) * (x as i64);
+        }
+        let g = weights.len() as u64;
+        self.total_cycles += g;
+        PmacGroupReport { cycles: g, adds_8bit: 7 * g, accs_32bit: g }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_exact_dot_product() {
+        let mut p = Pmac::new();
+        let r = p.process_group(&[12, -3, 5], &[2, 6, 1]);
+        assert_eq!(p.value(), 24 - 18 + 5);
+        assert_eq!(r.cycles, 3);
+        assert_eq!(r.adds_8bit, 21); // §V-A: 21 8-bit additions for g = 3
+        assert_eq!(r.accs_32bit, 3); // and 3 32-bit accumulations
+    }
+
+    #[test]
+    fn cycles_are_data_independent() {
+        let mut p = Pmac::new();
+        let dense = p.process_group(&[127; 8], &[127; 8]);
+        p.reset();
+        let sparse = p.process_group(&[0; 8], &[0; 8]);
+        assert_eq!(dense.cycles, sparse.cycles);
+    }
+
+    #[test]
+    fn accumulates_across_groups() {
+        let mut p = Pmac::new();
+        p.process_group(&[2], &[3]);
+        p.process_group(&[4], &[5]);
+        assert_eq!(p.value(), 26);
+        assert_eq!(p.total_cycles(), 2);
+    }
+}

@@ -1,0 +1,174 @@
+//! Control registers (Table I) and QT↔TR reconfiguration.
+
+use tr_core::TrConfig;
+
+/// The operating mode selected by the registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HwMode {
+    /// Conventional uniform quantization.
+    Qt,
+    /// Term-revealing quantization.
+    Tr,
+}
+
+/// The register file of Table I. Field widths are enforced exactly as the
+/// hardware defines them; writing an out-of-range value is a programming
+/// error and panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlRegisters {
+    /// `HESE_ENCODER_ON` (1 bit).
+    pub hese_encoder_on: bool,
+    /// `COMPARATOR_ON` (1 bit).
+    pub comparator_on: bool,
+    /// `QUANT_BITWIDTH` (4 bits).
+    pub quant_bitwidth: u8,
+    /// `DATA_TERMS` (4 bits): max power-of-two terms per data value.
+    pub data_terms: u8,
+    /// `GROUP_SIZE` (3 bits): 1 for QT, 2–8 for TR.
+    pub group_size: u8,
+    /// `GROUP_BUDGET` (5 bits): up to 24 (= 8 × 3) for TR.
+    pub group_budget: u8,
+}
+
+/// Cycles needed to commit a register reconfiguration. The paper reports
+/// the QT↔TR switch completes "within 100 ns" at 170 MHz, i.e. a handful
+/// of cycles; we charge one cycle per changed register.
+pub const RECONFIG_CYCLES_PER_REGISTER: u64 = 1;
+
+impl ControlRegisters {
+    /// QT configuration at `bits`-wide uniform quantization (Table I left
+    /// column): encoder and comparator clock-gated off, group size 1,
+    /// budget = bitwidth.
+    pub fn for_qt(bits: u8) -> ControlRegisters {
+        let r = ControlRegisters {
+            hese_encoder_on: false,
+            comparator_on: false,
+            quant_bitwidth: bits,
+            data_terms: bits,
+            group_size: 1,
+            group_budget: bits,
+        };
+        r.validate();
+        r
+    }
+
+    /// TR configuration (Table I right column) from a [`TrConfig`].
+    pub fn for_tr(cfg: &TrConfig) -> ControlRegisters {
+        let r = ControlRegisters {
+            hese_encoder_on: true,
+            comparator_on: true,
+            quant_bitwidth: 8,
+            data_terms: cfg.data_terms.unwrap_or(3) as u8,
+            group_size: cfg.group_size as u8,
+            group_budget: cfg.group_budget as u8,
+        };
+        r.validate();
+        r
+    }
+
+    /// Which mode the registers select.
+    pub fn mode(&self) -> HwMode {
+        if self.comparator_on {
+            HwMode::Tr
+        } else {
+            HwMode::Qt
+        }
+    }
+
+    /// Enforce the Table-I field widths.
+    ///
+    /// # Panics
+    /// If any field exceeds its hardware width or the documented range.
+    pub fn validate(&self) {
+        assert!((2..=15).contains(&self.quant_bitwidth), "QUANT_BITWIDTH is 4 bits");
+        assert!(self.data_terms <= 15, "DATA_TERMS is 4 bits");
+        assert!((1..=8).contains(&self.group_size), "GROUP_SIZE is 3 bits (1-8)");
+        assert!(self.group_budget <= 24, "GROUP_BUDGET is 5 bits, max 8x3 = 24");
+        if self.mode() == HwMode::Qt {
+            assert_eq!(self.group_size, 1, "QT uses group size 1");
+        }
+    }
+
+    /// Cycles to switch from `self` to `next`: one per changed register.
+    /// Matches the paper's claim that the whole switch completes within
+    /// ~100 ns (≤ 17 cycles at 170 MHz).
+    pub fn switch_cycles(&self, next: &ControlRegisters) -> u64 {
+        let mut changed = 0u64;
+        if self.hese_encoder_on != next.hese_encoder_on {
+            changed += 1;
+        }
+        if self.comparator_on != next.comparator_on {
+            changed += 1;
+        }
+        if self.quant_bitwidth != next.quant_bitwidth {
+            changed += 1;
+        }
+        if self.data_terms != next.data_terms {
+            changed += 1;
+        }
+        if self.group_size != next.group_size {
+            changed += 1;
+        }
+        if self.group_budget != next.group_budget {
+            changed += 1;
+        }
+        changed * RECONFIG_CYCLES_PER_REGISTER
+    }
+
+    /// Total register bits (the "small number of control bits" claim).
+    pub const TOTAL_BITS: u32 = 1 + 1 + 4 + 4 + 3 + 5;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qt_config_gates_off_tr_blocks() {
+        let r = ControlRegisters::for_qt(8);
+        assert!(!r.hese_encoder_on && !r.comparator_on);
+        assert_eq!(r.mode(), HwMode::Qt);
+        assert_eq!(r.group_size, 1);
+        assert_eq!(r.group_budget, 8);
+    }
+
+    #[test]
+    fn tr_config_matches_table1() {
+        let cfg = TrConfig::new(8, 16).with_data_terms(3);
+        let r = ControlRegisters::for_tr(&cfg);
+        assert!(r.hese_encoder_on && r.comparator_on);
+        assert_eq!(r.mode(), HwMode::Tr);
+        assert_eq!(r.group_size, 8);
+        assert_eq!(r.group_budget, 16);
+        assert_eq!(r.data_terms, 3);
+    }
+
+    #[test]
+    fn switch_is_a_few_cycles() {
+        let qt = ControlRegisters::for_qt(8);
+        let tr = ControlRegisters::for_tr(&TrConfig::new(8, 16).with_data_terms(3));
+        let cycles = qt.switch_cycles(&tr);
+        assert!((1..=6).contains(&cycles), "switch cycles {cycles}");
+        // At 170 MHz, within the paper's 100 ns envelope.
+        let ns = cycles as f64 / 170.0e6 * 1e9;
+        assert!(ns < 100.0, "{ns} ns");
+        assert_eq!(qt.switch_cycles(&qt), 0);
+    }
+
+    #[test]
+    fn register_file_is_small() {
+        assert_eq!(ControlRegisters::TOTAL_BITS, 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "GROUP_BUDGET")]
+    fn budget_width_enforced() {
+        ControlRegisters::for_tr(&TrConfig::new(8, 25));
+    }
+
+    #[test]
+    #[should_panic(expected = "GROUP_SIZE")]
+    fn group_width_enforced() {
+        ControlRegisters::for_tr(&TrConfig::new(9, 8));
+    }
+}

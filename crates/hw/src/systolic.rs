@@ -1,0 +1,327 @@
+//! The systolic array and its tiled schedule (§II-C, §V).
+//!
+//! The array is a grid of `rows × cols` term MACs: rows map to output
+//! neurons (weight-matrix rows), columns to consecutive reduction-dim
+//! groups, so one array pass covers a `(rows, cols × g)` weight tile.
+//! Data vectors enter skewed from below; partial coefficient vectors flow
+//! horizontally. Because TR bounds every group to `k` weight terms and
+//! every data value to `s` terms, all cells finish a group within
+//! `k × s` cycles — the *beat* — and the whole array advances in
+//! lockstep, which is the paper's central hardware argument (§II-B).
+//!
+//! Two faces: [`SystolicArray::execute`] runs the functional model (real
+//! tMACs, exact results) for verification; [`SystolicArray::schedule`]
+//! produces the cycle/energy accounting for full-size layers.
+
+use crate::energy::{EnergyModel, WorkReport};
+use crate::memory::MemorySubsystem;
+use crate::registers::{ControlRegisters, HwMode};
+use crate::tmac::Tmac;
+use tr_encoding::TermExpr;
+
+/// Array geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystolicArray {
+    /// Cell rows (output neurons per tile). The paper's build: 128.
+    pub rows: usize,
+    /// Cell columns (reduction groups per tile). The paper's build: 64.
+    pub cols: usize,
+}
+
+/// The cycle accounting of one layer under a register configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileSchedule {
+    /// Weight tiles along the output dimension.
+    pub m_tiles: u64,
+    /// Weight tiles along the reduction dimension.
+    pub k_tiles: u64,
+    /// Synchronized cycles per beat (per-group processing bound).
+    pub beat_cycles: u64,
+    /// Beats per tile pass (data columns + pipeline skew).
+    pub beats_per_tile: u64,
+    /// Total compute cycles.
+    pub compute_cycles: u64,
+    /// DRAM stall cycles exposed beyond double buffering.
+    pub stall_cycles: u64,
+    /// Total DRAM traffic in bytes.
+    pub dram_bytes: u64,
+}
+
+impl TileSchedule {
+    /// Total cycles including stalls.
+    pub fn total_cycles(&self) -> u64 {
+        self.compute_cycles + self.stall_cycles
+    }
+}
+
+impl SystolicArray {
+    /// The paper's 128×64 build.
+    pub fn paper_build() -> SystolicArray {
+        SystolicArray { rows: 128, cols: 64 }
+    }
+
+    /// Synchronized cycles per beat for a register configuration: the
+    /// per-group term-pair bound.
+    ///
+    /// * TR: `k × s` (§V-B);
+    /// * QT on the same term hardware: every value contributes up to
+    ///   `(bw−1)²` pairs, so a group of `g = 1` values takes `(bw−1)²`.
+    pub fn beat_cycles(regs: &ControlRegisters) -> u64 {
+        match regs.mode() {
+            HwMode::Tr => regs.group_budget as u64 * regs.data_terms as u64,
+            HwMode::Qt => {
+                let t = (regs.quant_bitwidth - 1) as u64;
+                regs.group_size as u64 * t * t
+            }
+        }
+    }
+
+    /// Values of the reduction dimension covered by one tile pass.
+    pub fn k_per_tile(&self, g: usize) -> usize {
+        self.cols * g
+    }
+
+    /// Cycle/traffic schedule for a `(m, k, n)` matmul (dot products of
+    /// length `k`, `m` outputs, `n` input vectors).
+    pub fn schedule(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        regs: &ControlRegisters,
+        mem: &MemorySubsystem,
+    ) -> TileSchedule {
+        regs.validate();
+        let g = regs.group_size.max(1) as usize;
+        self.schedule_custom(m, k, n, g, Self::beat_cycles(regs), mem)
+    }
+
+    /// Schedule with an explicit grouping and beat length — used for
+    /// non-register-driven designs like the Table III pMAC array, whose
+    /// cells process a group of `g` values in `g` single-MAC cycles.
+    pub fn schedule_custom(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        g: usize,
+        beat_cycles: u64,
+        mem: &MemorySubsystem,
+    ) -> TileSchedule {
+        assert!(g > 0 && beat_cycles > 0, "degenerate schedule");
+        let m_tiles = m.div_ceil(self.rows) as u64;
+        let k_tiles = k.div_ceil(self.k_per_tile(g)) as u64;
+        // Pipeline skew: a data vector traverses `cols` cells and results
+        // drain over `rows`.
+        let beats_per_tile = (n + self.rows + self.cols) as u64;
+        let compute_per_tile = beats_per_tile * beat_cycles;
+        let tiles = m_tiles * k_tiles;
+        // Each weight byte is fetched exactly once (ragged tiles fetch
+        // only their valid region), so per-layer traffic is m × k bytes
+        // regardless of the tiling.
+        let total_bytes = (m * k) as u64;
+        let traffic = mem.tile_fetch(total_bytes.div_ceil(tiles.max(1)), compute_per_tile);
+        TileSchedule {
+            m_tiles,
+            k_tiles,
+            beat_cycles,
+            beats_per_tile,
+            compute_cycles: tiles * compute_per_tile,
+            stall_cycles: tiles * traffic.stall_cycles,
+            dram_bytes: total_bytes,
+        }
+    }
+
+    /// Work accounting for a schedule, given the layer's measured
+    /// term-pair statistics. `actual_pairs` is the total pairs a software
+    /// count (e.g. `tr-nn`'s pair counting) attributes to this matmul;
+    /// cells idle for the remainder of each beat and are charged static
+    /// work only.
+    pub fn work(
+        &self,
+        sched: &TileSchedule,
+        actual_pairs: u64,
+        regs: &ControlRegisters,
+        model: &EnergyModel,
+    ) -> WorkReport {
+        let cells = (self.rows * self.cols) as f64;
+        let compute_fa = actual_pairs as f64 * model.tmac_pair_fa;
+        let static_fa = cells * sched.total_cycles() as f64 * model.cell_static_fa;
+        // HESE + comparator run per output lane when TR is on: one stream
+        // bit per cycle per column.
+        let overhead_fa = if regs.hese_encoder_on {
+            let lane_bits = (self.cols as u64 * sched.total_cycles()) as f64;
+            lane_bits * (model.hese_bit_fa + model.comparator_bit_fa)
+        } else {
+            0.0
+        };
+        WorkReport {
+            cycles: sched.total_cycles(),
+            compute_fa,
+            static_fa,
+            overhead_fa,
+            sram_bytes: sched.dram_bytes, // every DRAM byte is also buffered
+            dram_bytes: sched.dram_bytes,
+        }
+    }
+
+    /// Cycle schedule for a *straggler-synchronized* term-serial design
+    /// (the Bit-Pragmatic / Bit-Tactical model of §II-B): no TR bound, so
+    /// every beat costs the worst group's term pairs. `straggler_pairs`
+    /// is the observed per-group maximum (e.g. from
+    /// `tr_core::group_pair_histogram`); the paper reports it runs 2–3×
+    /// over the average.
+    pub fn schedule_straggler(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        g: usize,
+        straggler_pairs: u64,
+        mem: &MemorySubsystem,
+    ) -> TileSchedule {
+        self.schedule_custom(m, k, n, g, straggler_pairs.max(1), mem)
+    }
+
+    /// Functional execution on a small array: compute `W (M,K) @ X (K,N)`
+    /// exactly with real tMACs, where both operands are term matrices in
+    /// the `tr_core::TermMatrix` layouts (weight rows / transposed data
+    /// columns). Returns row-major `(M, N)` accumulators and the
+    /// straggler-free cycle count (max cell cycles per beat, summed).
+    pub fn execute(
+        &self,
+        weights: &[Vec<TermExpr>],
+        data: &[Vec<TermExpr>],
+        g: usize,
+    ) -> (Vec<i64>, u64) {
+        let m = weights.len();
+        let n = data.len();
+        assert!(m > 0 && n > 0, "empty operands");
+        let k = weights[0].len();
+        assert!(weights.iter().all(|r| r.len() == k) && data.iter().all(|c| c.len() == k));
+        let mut out = vec![0i64; m * n];
+        let mut synchronized_cycles = 0u64;
+        // Process output tiles the way the schedule walks them; cells
+        // within a beat advance together, so the beat costs the max cell
+        // cycles (the straggler) — with TR applied upstream this max is
+        // bounded by k×s.
+        for col_block in (0..n).step_by(self.cols.max(1)) {
+            let col_end = (col_block + self.cols).min(n);
+            for row_block in (0..m).step_by(self.rows.max(1)) {
+                let row_end = (row_block + self.rows).min(m);
+                // One beat per (group, data column) wavefront.
+                for group_start in (0..k).step_by(g) {
+                    let group_end = (group_start + g).min(k);
+                    let mut beat_max = 0u64;
+                    for i in row_block..row_end {
+                        for j in col_block..col_end {
+                            let mut cell = Tmac::new();
+                            let report = cell.process_group(
+                                &weights[i][group_start..group_end],
+                                &data[j][group_start..group_end],
+                            );
+                            out[i * n + j] += cell.value();
+                            beat_max = beat_max.max(report.cycles);
+                        }
+                    }
+                    synchronized_cycles += beat_max;
+                }
+            }
+        }
+        (out, synchronized_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_core::{term_matmul_i64, TermMatrix, TrConfig};
+    use tr_encoding::Encoding;
+    use tr_quant::{calibrate_max_abs, quantize};
+    use tr_tensor::{Rng, Shape, Tensor};
+
+    fn term_rows(q: &TermMatrix) -> Vec<Vec<TermExpr>> {
+        (0..q.rows()).map(|r| q.row(r).to_vec()).collect()
+    }
+
+    #[test]
+    fn functional_execution_matches_term_matmul() {
+        let mut rng = Rng::seed_from_u64(1);
+        let w = Tensor::randn(Shape::d2(6, 32), 0.3, &mut rng);
+        let x = Tensor::randn(Shape::d2(32, 5), 0.3, &mut rng);
+        let qw = quantize(&w, calibrate_max_abs(&w, 8));
+        let qx = quantize(&x, calibrate_max_abs(&x, 8));
+        let wm = TermMatrix::from_weights(&qw, Encoding::Hese);
+        let xm = TermMatrix::from_data_transposed(&qx, Encoding::Hese);
+        let expect = term_matmul_i64(&wm, &xm);
+        let array = SystolicArray { rows: 4, cols: 4 };
+        let (got, cycles) = array.execute(&term_rows(&wm), &term_rows(&xm), 8);
+        assert_eq!(got, expect);
+        assert!(cycles > 0);
+    }
+
+    #[test]
+    fn tr_bounds_the_synchronized_beat() {
+        let mut rng = Rng::seed_from_u64(2);
+        let w = Tensor::randn(Shape::d2(8, 64), 0.3, &mut rng);
+        let x = Tensor::randn(Shape::d2(64, 4), 0.3, &mut rng);
+        let qw = quantize(&w, calibrate_max_abs(&w, 8));
+        let qx = quantize(&x, calibrate_max_abs(&x, 8));
+        let cfg = TrConfig::new(8, 12).with_data_terms(3);
+        let wm = TermMatrix::from_weights(&qw, Encoding::Hese).reveal(&cfg);
+        let xm = TermMatrix::from_data_transposed(&qx, Encoding::Hese).cap_terms(3);
+        let array = SystolicArray { rows: 4, cols: 4 };
+        let (_, tr_cycles) = array.execute(&term_rows(&wm), &term_rows(&xm), 8);
+        // Without TR the straggler beats are longer.
+        let wm_raw = TermMatrix::from_weights(&qw, Encoding::Hese);
+        let xm_raw = TermMatrix::from_data_transposed(&qx, Encoding::Hese);
+        let (_, raw_cycles) = array.execute(&term_rows(&wm_raw), &term_rows(&xm_raw), 8);
+        assert!(tr_cycles < raw_cycles, "{tr_cycles} vs {raw_cycles}");
+        // Beat bound: groups per dot x beats... every beat <= k*s.
+        let beats = (64usize / 8) as u64 * 2 /* row blocks */;
+        assert!(tr_cycles <= beats * (12 * 3) as u64);
+    }
+
+    #[test]
+    fn schedule_counts_tiles() {
+        let array = SystolicArray::paper_build();
+        let mem = MemorySubsystem::default();
+        let regs = ControlRegisters::for_tr(&TrConfig::new(8, 16).with_data_terms(3));
+        // ResNet-style layer: M = 256, K = 1152, N = 196.
+        let s = array.schedule(256, 1152, 196, &regs, &mem);
+        assert_eq!(s.m_tiles, 2);
+        assert_eq!(s.k_tiles, 1152usize.div_ceil(64 * 8) as u64);
+        assert_eq!(s.beat_cycles, 48);
+        assert_eq!(s.beats_per_tile, (196 + 128 + 64) as u64);
+        assert_eq!(s.compute_cycles, s.m_tiles * s.k_tiles * s.beats_per_tile * 48);
+    }
+
+    #[test]
+    fn tr_beats_qt_on_latency() {
+        let array = SystolicArray::paper_build();
+        let mem = MemorySubsystem::default();
+        let qt = ControlRegisters::for_qt(8);
+        let tr = ControlRegisters::for_tr(&TrConfig::new(8, 12).with_data_terms(3));
+        let s_qt = array.schedule(512, 4096, 196, &qt, &mem);
+        let s_tr = array.schedule(512, 4096, 196, &tr, &mem);
+        let speedup = s_qt.total_cycles() as f64 / s_tr.total_cycles() as f64;
+        // QT beat = 1 x 7 x 7 = 49 with k-coverage of 64 values/tile;
+        // TR beat = 36 with 512 values/tile: both effects compound.
+        assert!(speedup > 5.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn work_charges_idle_and_overhead() {
+        let array = SystolicArray::paper_build();
+        let mem = MemorySubsystem::default();
+        let model = EnergyModel::default();
+        let tr = ControlRegisters::for_tr(&TrConfig::new(8, 12).with_data_terms(3));
+        let sched = array.schedule(128, 512, 64, &tr, &mem);
+        let w = array.work(&sched, 1_000_000, &tr, &model);
+        assert!(w.compute_fa > 0.0 && w.static_fa > 0.0 && w.overhead_fa > 0.0);
+        let qt = ControlRegisters::for_qt(8);
+        let sched_qt = array.schedule(128, 512, 64, &qt, &mem);
+        let w_qt = array.work(&sched_qt, 10_000_000, &qt, &model);
+        assert_eq!(w_qt.overhead_fa, 0.0); // encoder/comparator gated off
+    }
+}

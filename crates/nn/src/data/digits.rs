@@ -1,0 +1,153 @@
+//! Synthetic 28×28 digit-like dataset (the MNIST substitute).
+//!
+//! Each class is a fixed smooth prototype pattern (a sum of a few seeded
+//! Gaussian blobs on the 28×28 grid); samples are the prototype under a
+//! random shift, amplitude jitter, and pixel noise. Like MNIST, classes
+//! are easily separable but not trivially so, and inputs live in `[0, 1]`
+//! — the regime the paper's MLP experiment (Fig. 15 left) needs.
+
+use super::{Dataset, Split};
+use tr_tensor::{Rng, Shape, Tensor};
+
+const SIDE: usize = 28;
+const CLASSES: usize = 10;
+
+/// One class prototype: a set of Gaussian blobs.
+struct Prototype {
+    blobs: Vec<(f32, f32, f32, f32)>, // (cy, cx, sigma, amplitude)
+}
+
+impl Prototype {
+    fn generate(class: usize) -> Prototype {
+        // Deterministic per class regardless of dataset seed, so train and
+        // test are drawn from the same class-conditional distribution.
+        let mut rng = Rng::seed_from_u64(0x5EED_0000 + class as u64);
+        let n_blobs = 3 + rng.below(3);
+        let blobs = (0..n_blobs)
+            .map(|_| {
+                (
+                    rng.uniform_range(6.0, 22.0),
+                    rng.uniform_range(6.0, 22.0),
+                    rng.uniform_range(2.0, 4.5),
+                    rng.uniform_range(0.6, 1.0),
+                )
+            })
+            .collect();
+        Prototype { blobs }
+    }
+
+    fn render(&self, dy: f32, dx: f32, gain: f32, noise: f32, rng: &mut Rng, out: &mut [f32]) {
+        for y in 0..SIDE {
+            for x in 0..SIDE {
+                let mut v = 0.0f32;
+                for &(cy, cx, sigma, amp) in &self.blobs {
+                    let ddy = y as f32 - (cy + dy);
+                    let ddx = x as f32 - (cx + dx);
+                    v += amp * (-(ddy * ddy + ddx * ddx) / (2.0 * sigma * sigma)).exp();
+                }
+                v = v * gain + noise * rng.normal();
+                out[y * SIDE + x] = v.clamp(0.0, 1.0);
+            }
+        }
+    }
+}
+
+fn make_split(prototypes: &[Prototype], n: usize, rng: &mut Rng) -> Split {
+    let mut x = Tensor::zeros(Shape::d2(n, SIDE * SIDE));
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % CLASSES;
+        let dy = rng.uniform_range(-4.0, 4.0);
+        let dx = rng.uniform_range(-4.0, 4.0);
+        let gain = rng.uniform_range(0.7, 1.3);
+        let row_off = i * SIDE * SIDE;
+        prototypes[class].render(
+            dy,
+            dx,
+            gain,
+            0.16,
+            rng,
+            &mut x.data_mut()[row_off..row_off + SIDE * SIDE],
+        );
+        y.push(class);
+    }
+    Split { x, y }
+}
+
+/// Generate the digit dataset: `n_train` + `n_test` samples, 10 classes,
+/// flattened `(N, 784)` inputs.
+pub fn synth_digits(n_train: usize, n_test: usize, seed: u64) -> Dataset {
+    let prototypes: Vec<Prototype> = (0..CLASSES).map(Prototype::generate).collect();
+    let mut rng = Rng::seed_from_u64(seed);
+    let train = make_split(&prototypes, n_train, &mut rng);
+    let test = make_split(&prototypes, n_test, &mut rng);
+    Dataset { train, test, classes: CLASSES }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_labels() {
+        let ds = synth_digits(100, 50, 1);
+        assert_eq!(ds.train.x.shape().dims(), &[100, 784]);
+        assert_eq!(ds.test.len(), 50);
+        assert_eq!(ds.classes, 10);
+        assert!(ds.train.y.iter().all(|&c| c < 10));
+        // Balanced classes.
+        let count0 = ds.train.y.iter().filter(|&&c| c == 0).count();
+        assert_eq!(count0, 10);
+    }
+
+    #[test]
+    fn pixels_in_unit_range() {
+        let ds = synth_digits(50, 10, 2);
+        assert!(ds.train.x.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn classes_are_distinguishable() {
+        // Nearest-centroid classification should already beat chance by a
+        // wide margin if the classes carry signal.
+        let ds = synth_digits(500, 200, 3);
+        let mut centroids = vec![vec![0.0f32; 784]; 10];
+        let mut counts = [0usize; 10];
+        for (i, &c) in ds.train.y.iter().enumerate() {
+            for (acc, &v) in centroids[c].iter_mut().zip(ds.train.x.row(i)) {
+                *acc += v;
+            }
+            counts[c] += 1;
+        }
+        for (c, cent) in centroids.iter_mut().enumerate() {
+            for v in cent.iter_mut() {
+                *v /= counts[c] as f32;
+            }
+        }
+        let mut correct = 0;
+        for (i, &label) in ds.test.y.iter().enumerate() {
+            let row = ds.test.x.row(i);
+            let best = (0..10)
+                .min_by(|&a, &b| {
+                    let da: f32 = centroids[a].iter().zip(row).map(|(c, v)| (c - v) * (c - v)).sum();
+                    let db: f32 = centroids[b].iter().zip(row).map(|(c, v)| (c - v) * (c - v)).sum();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap();
+            if best == label {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / ds.test.len() as f64;
+        assert!(acc > 0.6, "nearest-centroid accuracy {acc}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = synth_digits(10, 5, 7);
+        let b = synth_digits(10, 5, 7);
+        assert_eq!(a.train.x.data(), b.train.x.data());
+        let c = synth_digits(10, 5, 8);
+        assert_ne!(a.train.x.data(), c.train.x.data());
+    }
+}

@@ -1,0 +1,148 @@
+//! Synthetic 3×32×32 image dataset (the ImageNet substitute for the CNN
+//! experiments).
+//!
+//! Each class is a color texture prototype: a low-resolution 3×8×8 seed
+//! pattern bilinearly upsampled to 32×32, plus a class-specific oriented
+//! sinusoidal grating. Samples apply a random shift, horizontal flip,
+//! brightness jitter and pixel noise. The task is hard enough that the
+//! CNN architectures separate (deeper/wider models win) yet small enough
+//! to train in seconds — what the Fig. 15/16/17 sweeps need.
+
+use super::{Dataset, Split};
+use tr_tensor::{Rng, Shape, Tensor};
+
+const SIDE: usize = 32;
+const CH: usize = 3;
+const CLASSES: usize = 10;
+const LOW: usize = 8;
+
+struct Prototype {
+    low: Vec<f32>,          // 3 x 8 x 8 seed
+    freq: (f32, f32, f32),  // grating (fy, fx, phase)
+}
+
+impl Prototype {
+    fn generate(class: usize) -> Prototype {
+        let mut rng = Rng::seed_from_u64(0x1A6E_0000 + class as u64);
+        let low = (0..CH * LOW * LOW).map(|_| rng.uniform_range(0.1, 0.9)).collect();
+        let freq = (
+            rng.uniform_range(0.2, 0.9),
+            rng.uniform_range(0.2, 0.9),
+            rng.uniform_range(0.0, std::f32::consts::TAU),
+        );
+        Prototype { low, freq }
+    }
+
+    fn sample(&self, rng: &mut Rng, out: &mut [f32]) {
+        let dy = rng.uniform_range(-5.0, 5.0);
+        let dx = rng.uniform_range(-5.0, 5.0);
+        let flip = rng.bernoulli(0.5);
+        let gain = rng.uniform_range(0.75, 1.25);
+        let noise = 0.14f32;
+        let scale = LOW as f32 / SIDE as f32;
+        for c in 0..CH {
+            for y in 0..SIDE {
+                for x in 0..SIDE {
+                    let xe = if flip { (SIDE - 1 - x) as f32 } else { x as f32 };
+                    // Bilinear sample of the low-res seed at the shifted
+                    // position.
+                    let sy = ((y as f32 + dy) * scale).clamp(0.0, (LOW - 1) as f32 - 1e-3);
+                    let sx = ((xe + dx) * scale).clamp(0.0, (LOW - 1) as f32 - 1e-3);
+                    let (y0, x0) = (sy as usize, sx as usize);
+                    let (fy, fx) = (sy - y0 as f32, sx - x0 as f32);
+                    let at = |yy: usize, xx: usize| self.low[c * LOW * LOW + yy * LOW + xx];
+                    let base = at(y0, x0) * (1.0 - fy) * (1.0 - fx)
+                        + at(y0 + 1, x0) * fy * (1.0 - fx)
+                        + at(y0, x0 + 1) * (1.0 - fy) * fx
+                        + at(y0 + 1, x0 + 1) * fy * fx;
+                    let grate = 0.15
+                        * (self.freq.0 * (y as f32 + dy) + self.freq.1 * (xe + dx) + self.freq.2)
+                            .sin();
+                    let v = (base + grate) * gain + noise * rng.normal();
+                    out[(c * SIDE + y) * SIDE + x] = v.clamp(0.0, 1.0);
+                }
+            }
+        }
+    }
+}
+
+fn make_split(prototypes: &[Prototype], n: usize, rng: &mut Rng) -> Split {
+    let per = CH * SIDE * SIDE;
+    let mut x = Tensor::zeros(Shape::d4(n, CH, SIDE, SIDE));
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % CLASSES;
+        prototypes[class].sample(rng, &mut x.data_mut()[i * per..(i + 1) * per]);
+        y.push(class);
+    }
+    Split { x, y }
+}
+
+/// Generate the image dataset: `(N, 3, 32, 32)` inputs in `[0, 1]`,
+/// 10 classes.
+pub fn synth_images(n_train: usize, n_test: usize, seed: u64) -> Dataset {
+    let prototypes: Vec<Prototype> = (0..CLASSES).map(Prototype::generate).collect();
+    let mut rng = Rng::seed_from_u64(seed);
+    let train = make_split(&prototypes, n_train, &mut rng);
+    let test = make_split(&prototypes, n_test, &mut rng);
+    Dataset { train, test, classes: CLASSES }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_range() {
+        let ds = synth_images(40, 20, 1);
+        assert_eq!(ds.train.x.shape().dims(), &[40, 3, 32, 32]);
+        assert_eq!(ds.test.x.shape().dims(), &[20, 3, 32, 32]);
+        assert!(ds.train.x.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn classes_are_separable_by_centroid() {
+        let ds = synth_images(300, 100, 2);
+        let per = 3 * 32 * 32;
+        let mut centroids = vec![vec![0.0f32; per]; 10];
+        let mut counts = [0usize; 10];
+        for (i, &c) in ds.train.y.iter().enumerate() {
+            let row = &ds.train.x.data()[i * per..(i + 1) * per];
+            for (acc, &v) in centroids[c].iter_mut().zip(row) {
+                *acc += v;
+            }
+            counts[c] += 1;
+        }
+        for (c, cent) in centroids.iter_mut().enumerate() {
+            for v in cent.iter_mut() {
+                *v /= counts[c] as f32;
+            }
+        }
+        let mut correct = 0;
+        for (i, &label) in ds.test.y.iter().enumerate() {
+            let row = &ds.test.x.data()[i * per..(i + 1) * per];
+            let best = (0..10)
+                .min_by(|&a, &b| {
+                    let da: f32 = centroids[a].iter().zip(row).map(|(c, v)| (c - v) * (c - v)).sum();
+                    let db: f32 = centroids[b].iter().zip(row).map(|(c, v)| (c - v) * (c - v)).sum();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap();
+            if best == label {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / 100.0;
+        assert!(acc > 0.35, "nearest-centroid accuracy {acc}");
+    }
+
+    #[test]
+    fn augmentation_varies_samples_within_class() {
+        let ds = synth_images(20, 0, 3);
+        // Samples 0 and 10 are both class 0 but differently augmented.
+        let per = 3 * 32 * 32;
+        let a = &ds.train.x.data()[..per];
+        let b = &ds.train.x.data()[10 * per..11 * per];
+        assert_ne!(a, b);
+    }
+}

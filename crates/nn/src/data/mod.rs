@@ -1,0 +1,51 @@
+//! Synthetic datasets standing in for MNIST, ImageNet, and Wikitext-2.
+//!
+//! See DESIGN.md §1 for why these substitutions preserve the behaviour the
+//! paper's evaluation depends on: TR's accuracy story rests on the
+//! *distributional* properties of trained networks, not on the specific
+//! corpus.
+
+pub mod digits;
+pub mod images;
+pub mod text;
+
+pub use digits::synth_digits;
+pub use images::synth_images;
+pub use text::{markov_corpus, MarkovCorpus};
+
+use tr_tensor::Tensor;
+
+/// A labeled classification dataset split.
+pub struct Split {
+    /// Inputs, batched along the leading dimension.
+    pub x: Tensor,
+    /// Class labels, one per input.
+    pub y: Vec<usize>,
+}
+
+impl Split {
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when the split holds no examples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Borrow a contiguous minibatch `[start, end)`.
+    pub fn batch(&self, start: usize, end: usize) -> (Tensor, &[usize]) {
+        (self.x.slice_batch(start, end), &self.y[start..end])
+    }
+}
+
+/// A train/test pair.
+pub struct Dataset {
+    /// Training split.
+    pub train: Split,
+    /// Held-out split.
+    pub test: Split,
+    /// Number of classes.
+    pub classes: usize,
+}

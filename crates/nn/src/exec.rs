@@ -1,0 +1,296 @@
+//! Quantized / Term-Revealing inference orchestration.
+//!
+//! The evaluation workflow of §VI, as an API:
+//!
+//! 1. train (or load) a float model;
+//! 2. [`calibrate_model`] — one forward pass over calibration data records
+//!    per-site activation ranges and freezes the activation quantizers;
+//! 3. [`apply_precision`] — install the weight transform (QT, per-value
+//!    truncation, or TR) and activation caps at every site;
+//! 4. evaluate accuracy and, with [`enable_pair_counting`], collect the
+//!    term-pair-multiplication counts of Figs. 15–17.
+
+use crate::data::Dataset;
+use crate::fake_quant::{PairCounts, Precision};
+use crate::layer::{ForwardCtx, Layer};
+use crate::lstm::LstmLm;
+use crate::train::eval_accuracy_on;
+use tr_tensor::{Rng, Tensor};
+
+/// Put every site into calibration mode, run the batch, then freeze the
+/// activation quantizers at `act_bits`.
+pub fn calibrate_model(model: &mut dyn Layer, calib: &Tensor, act_bits: u8, rng: &mut Rng) {
+    model.visit_quant_sites(&mut |site| {
+        site.fq.calibrating = true;
+        site.fq.observed_max = 0.0;
+        // Activation observation requires act_params to be unset during
+        // the pass so transform_input stays the identity.
+        site.fq.act_params = None;
+    });
+    let mut ctx = ForwardCtx::eval(rng);
+    let _ = model.forward(calib, &mut ctx);
+    model.visit_quant_sites(&mut |site| site.fq.finish_calibration(act_bits));
+}
+
+/// Install `precision` at every quantization site of an already-calibrated
+/// model. `Precision::Float` removes all transforms.
+pub fn apply_precision(model: &mut dyn Layer, precision: &Precision) {
+    model.visit_quant_sites(&mut |site| {
+        site.fq.install_weights(&site.weight.value, precision);
+        site.fq.install_act_cap(precision);
+        if matches!(precision, Precision::Float) {
+            site.fq.act_params = None;
+        }
+    });
+}
+
+/// Install a possibly different precision at every site (§V-G's dynamic
+/// reconfiguration: the registers can change group size and budget per
+/// layer at run time with negligible delay). `choose` maps a site name to
+/// the precision it should run at.
+pub fn apply_precision_per_site(
+    model: &mut dyn Layer,
+    choose: &mut dyn FnMut(&str) -> Precision,
+) {
+    model.visit_quant_sites(&mut |site| {
+        let precision = choose(&site.name);
+        site.fq.install_weights(&site.weight.value, &precision);
+        site.fq.install_act_cap(&precision);
+        if matches!(precision, Precision::Float) {
+            site.fq.act_params = None;
+        }
+    });
+}
+
+/// Enable or disable term-pair counting at every site.
+pub fn enable_pair_counting(model: &mut dyn Layer, on: bool) {
+    model.visit_quant_sites(&mut |site| site.fq.count_pairs = on);
+}
+
+/// Zero the accumulated pair counts.
+pub fn reset_pair_counting(model: &mut dyn Layer) {
+    model.visit_quant_sites(&mut |site| site.fq.pairs = PairCounts::default());
+}
+
+/// Sum pair counts across sites.
+pub fn collect_pair_counts(model: &mut dyn Layer) -> PairCounts {
+    let mut total = PairCounts::default();
+    let mut max_samples = 0u64;
+    model.visit_quant_sites(&mut |site| {
+        total.actual += site.fq.pairs.actual;
+        total.bound += site.fq.pairs.bound;
+        total.macs += site.fq.pairs.macs;
+        max_samples = max_samples.max(site.fq.pairs.samples);
+    });
+    // Sites see the same samples; use the max rather than the sum.
+    total.samples = max_samples;
+    total
+}
+
+/// Evaluate accuracy under the currently installed precision.
+pub fn evaluate_accuracy(model: &mut dyn Layer, dataset: &Dataset, rng: &mut Rng) -> f64 {
+    eval_accuracy_on(model, &dataset.test.x, &dataset.test.y, 64, rng)
+}
+
+/// One-call sweep step: calibrate (if needed), apply a precision, and
+/// report `(accuracy, pair_counts)` measured over `count_samples` test
+/// inputs.
+pub fn evaluate_precision(
+    model: &mut dyn Layer,
+    dataset: &Dataset,
+    precision: &Precision,
+    count_samples: usize,
+    rng: &mut Rng,
+) -> (f64, PairCounts) {
+    apply_precision(model, precision);
+    let accuracy = evaluate_accuracy(model, dataset, rng);
+    // Pair counting on a subset (it is much more expensive than inference).
+    reset_pair_counting(model);
+    enable_pair_counting(model, true);
+    let n = count_samples.min(dataset.test.len()).max(1);
+    let x = dataset.test.x.slice_batch(0, n);
+    let mut ctx = ForwardCtx::eval(rng);
+    let _ = model.forward(&x, &mut ctx);
+    enable_pair_counting(model, false);
+    let mut counts = collect_pair_counts(model);
+    // Conv sites count one representative image per forward; normalize all
+    // sites to per-sample by recording the batch size here.
+    counts.samples = counts.samples.max(1);
+    counts
+        .samples
+        .checked_mul(1)
+        .expect("sample count overflow");
+    (accuracy, counts)
+}
+
+// --- LSTM variants -------------------------------------------------------
+
+/// Calibrate the LSTM's three sites on a token stream.
+pub fn calibrate_lstm(lm: &mut LstmLm, tokens: &[usize], act_bits: u8, rng: &mut Rng) {
+    lm.visit_quant_sites(&mut |site| {
+        site.fq.calibrating = true;
+        site.fq.observed_max = 0.0;
+        site.fq.act_params = None;
+    });
+    let _ = lm.forward(tokens, false, rng);
+    lm.visit_quant_sites(&mut |site| site.fq.finish_calibration(act_bits));
+}
+
+/// Install `precision` at the LSTM's sites.
+pub fn apply_precision_lstm(lm: &mut LstmLm, precision: &Precision) {
+    lm.visit_quant_sites(&mut |site| {
+        site.fq.install_weights(&site.weight.value, precision);
+        site.fq.install_act_cap(precision);
+        if matches!(precision, Precision::Float) {
+            site.fq.act_params = None;
+        }
+    });
+}
+
+/// Perplexity plus term-pair counts per token for the current precision.
+pub fn evaluate_precision_lstm(
+    lm: &mut LstmLm,
+    valid: &[usize],
+    precision: &Precision,
+    count_tokens: usize,
+    rng: &mut Rng,
+) -> (f64, PairCounts) {
+    apply_precision_lstm(lm, precision);
+    let ppl = crate::train::eval_lstm_perplexity(lm, valid, rng);
+    lm.visit_quant_sites(&mut |site| {
+        site.fq.pairs = PairCounts::default();
+        site.fq.count_pairs = true;
+    });
+    let n = count_tokens.min(valid.len().saturating_sub(1)).max(2);
+    let _ = lm.forward(&valid[..n], false, rng);
+    let mut counts = PairCounts::default();
+    lm.visit_quant_sites(&mut |site| {
+        site.fq.count_pairs = false;
+        counts.actual += site.fq.pairs.actual;
+        counts.bound += site.fq.pairs.bound;
+        counts.macs += site.fq.pairs.macs;
+    });
+    // LSTM sites record per-token work with samples = 0; normalize to
+    // "per token processed".
+    counts.samples = n as u64;
+    (ppl, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::synth_digits;
+    use crate::models::mlp::build_mlp;
+    use crate::optim::Sgd;
+    use crate::train::{train_classifier, TrainConfig};
+    use tr_core::TrConfig;
+
+    fn trained_mlp(rng: &mut Rng) -> (crate::Sequential, Dataset) {
+        let ds = synth_digits(600, 200, 31);
+        let mut model = build_mlp(10, rng);
+        let mut opt = Sgd::new(0.1, 0.9, 1e-4);
+        let cfg = TrainConfig { epochs: 3, batch: 32, lr_drop_at: Some(2), verbose: false };
+        train_classifier(&mut model, &ds, &mut opt, &cfg, rng);
+        (model, ds)
+    }
+
+    #[test]
+    fn qt8_preserves_accuracy_and_qt4_degrades() {
+        let mut rng = Rng::seed_from_u64(1);
+        let (mut model, ds) = trained_mlp(&mut rng);
+        let float_acc = evaluate_accuracy(&mut model, &ds, &mut rng);
+        let calib = ds.train.x.slice_batch(0, 64);
+        calibrate_model(&mut model, &calib, 8, &mut rng);
+
+        apply_precision(&mut model, &Precision::Qt { weight_bits: 8, act_bits: 8 });
+        let q8 = evaluate_accuracy(&mut model, &ds, &mut rng);
+        assert!(float_acc - q8 < 0.02, "8-bit QT lost too much: {float_acc} -> {q8}");
+
+        // Small eval sets allow a couple of points of noise in either
+        // direction, but 3-bit should not systematically beat 8-bit, and
+        // 2-bit (ternary weights) should visibly degrade.
+        apply_precision(&mut model, &Precision::Qt { weight_bits: 3, act_bits: 8 });
+        let q3 = evaluate_accuracy(&mut model, &ds, &mut rng);
+        assert!(q3 <= q8 + 0.03, "3-bit should not beat 8-bit: {q3} vs {q8}");
+        apply_precision(&mut model, &Precision::Qt { weight_bits: 2, act_bits: 8 });
+        let q2 = evaluate_accuracy(&mut model, &ds, &mut rng);
+        assert!(q2 < q8, "2-bit should degrade: {q2} vs {q8}");
+    }
+
+    #[test]
+    fn tr_preserves_accuracy_with_small_budget() {
+        let mut rng = Rng::seed_from_u64(2);
+        let (mut model, ds) = trained_mlp(&mut rng);
+        let calib = ds.train.x.slice_batch(0, 64);
+        calibrate_model(&mut model, &calib, 8, &mut rng);
+        apply_precision(&mut model, &Precision::Qt { weight_bits: 8, act_bits: 8 });
+        let q8 = evaluate_accuracy(&mut model, &ds, &mut rng);
+        let cfg = TrConfig::new(8, 12).with_data_terms(3);
+        apply_precision(&mut model, &Precision::Tr(cfg));
+        let tr = evaluate_accuracy(&mut model, &ds, &mut rng);
+        assert!(q8 - tr < 0.03, "TR(g8,k12,s3) lost too much: {q8} -> {tr}");
+    }
+
+    #[test]
+    fn tr_reduces_term_pairs_vs_qt8() {
+        let mut rng = Rng::seed_from_u64(3);
+        let (mut model, ds) = trained_mlp(&mut rng);
+        let calib = ds.train.x.slice_batch(0, 64);
+        calibrate_model(&mut model, &calib, 8, &mut rng);
+        let (_, qt_counts) = evaluate_precision(
+            &mut model,
+            &ds,
+            &Precision::Qt { weight_bits: 8, act_bits: 8 },
+            16,
+            &mut rng,
+        );
+        let cfg = TrConfig::new(8, 12).with_data_terms(3);
+        let (_, tr_counts) =
+            evaluate_precision(&mut model, &ds, &Precision::Tr(cfg), 16, &mut rng);
+        assert!(qt_counts.actual > 0 && tr_counts.actual > 0);
+        let reduction = qt_counts.bound_per_sample() / tr_counts.bound_per_sample();
+        assert!(reduction > 2.0, "TR bound reduction only {reduction:.2}x");
+        assert!(tr_counts.actual_per_sample() < qt_counts.bound_per_sample());
+    }
+
+    #[test]
+    fn per_site_precision_mixes_budgets() {
+        // Run the first linear layer at an aggressive budget and the
+        // classifier head conservatively — the §V-G mixed-configuration
+        // mode. Accuracy should sit between the uniform settings.
+        let mut rng = Rng::seed_from_u64(5);
+        let (mut model, ds) = trained_mlp(&mut rng);
+        let calib = ds.train.x.slice_batch(0, 64);
+        calibrate_model(&mut model, &calib, 8, &mut rng);
+
+        apply_precision(&mut model, &Precision::Tr(TrConfig::new(8, 8)));
+        let uniform_tight = evaluate_accuracy(&mut model, &ds, &mut rng);
+        apply_precision(&mut model, &Precision::Tr(TrConfig::new(8, 24)));
+        let uniform_loose = evaluate_accuracy(&mut model, &ds, &mut rng);
+
+        let mut first = true;
+        crate::exec::apply_precision_per_site(&mut model, &mut |_| {
+            let cfg = if first { TrConfig::new(8, 8) } else { TrConfig::new(8, 24) };
+            first = false;
+            Precision::Tr(cfg)
+        });
+        let mixed = evaluate_accuracy(&mut model, &ds, &mut rng);
+        assert!(
+            mixed + 1e-9 >= uniform_tight.min(uniform_loose) - 0.02,
+            "mixed {mixed} below both uniform settings ({uniform_tight}, {uniform_loose})"
+        );
+    }
+
+    #[test]
+    fn float_precision_clears_transforms() {
+        let mut rng = Rng::seed_from_u64(4);
+        let (mut model, ds) = trained_mlp(&mut rng);
+        let before = evaluate_accuracy(&mut model, &ds, &mut rng);
+        let calib = ds.train.x.slice_batch(0, 32);
+        calibrate_model(&mut model, &calib, 8, &mut rng);
+        apply_precision(&mut model, &Precision::Qt { weight_bits: 4, act_bits: 8 });
+        apply_precision(&mut model, &Precision::Float);
+        let after = evaluate_accuracy(&mut model, &ds, &mut rng);
+        assert_eq!(before, after);
+    }
+}

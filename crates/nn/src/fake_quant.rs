@@ -1,0 +1,387 @@
+//! Fake quantization: simulating QT / TR inference inside the float engine.
+//!
+//! The paper evaluates accuracy with a CUDA kernel that *simulates* TR on
+//! a pretrained model. We do the same: each compute layer carries a
+//! [`FakeQuant`] state that can (a) observe activation ranges during a
+//! calibration pass, (b) replace the layer's weights with their
+//! quantized/term-revealed reconstruction, (c) quantize-and-truncate the
+//! layer's input activations at run time, and (d) count the term-pair
+//! multiplications the equivalent term hardware would perform.
+//!
+//! Numerically, a dot product over reconstructed codes is exactly what the
+//! tMAC computes over kept terms (`tr_core::matmul` proves the identity),
+//! so fake quantization yields the same accuracy as bit-true execution
+//! while keeping inference fast enough for parameter sweeps.
+
+use tr_core::{term_pairs_total, TermMatrix, TrConfig};
+use tr_encoding::Encoding;
+use tr_quant::{calibrate_max_abs, quantize, truncate_terms, QuantParams};
+use tr_tensor::Tensor;
+
+/// The precision modes of the evaluation (Figs. 15–17, Table III).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Precision {
+    /// Full float (the pretrained baseline).
+    Float,
+    /// Conventional uniform quantization: `weight_bits` weights,
+    /// `act_bits` activations.
+    Qt {
+        /// Weight bit width (4–8 in Fig. 15).
+        weight_bits: u8,
+        /// Activation bit width (8 throughout the paper).
+        act_bits: u8,
+    },
+    /// Per-value term truncation without grouping (Fig. 17's "QT"/"HESE"
+    /// curves): weights are 8-bit quantized, then each weight keeps its
+    /// top `weight_terms` terms under `encoding`; activations are 8-bit
+    /// with an optional top-`s` cap.
+    PerValue {
+        /// Encoding used for the weight-side truncation.
+        encoding: Encoding,
+        /// Terms kept per weight value.
+        weight_terms: usize,
+        /// Terms kept per activation value (HESE), if capped.
+        data_terms: Option<usize>,
+    },
+    /// Term Revealing on 8-bit quantized weights, with HESE-capped
+    /// activations (the paper's full system).
+    Tr(TrConfig),
+}
+
+impl Precision {
+    /// Activation bit width in effect (8 except where QT overrides it).
+    pub fn act_bits(&self) -> u8 {
+        match self {
+            Precision::Qt { act_bits, .. } => *act_bits,
+            _ => 8,
+        }
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> String {
+        match self {
+            Precision::Float => "float32".to_string(),
+            Precision::Qt { weight_bits, act_bits } => format!("qt-w{weight_bits}a{act_bits}"),
+            Precision::PerValue { encoding, weight_terms, data_terms } => match data_terms {
+                Some(s) => format!("{}-k{weight_terms}-s{s}", encoding.name()),
+                None => format!("{}-k{weight_terms}", encoding.name()),
+            },
+            Precision::Tr(cfg) => match cfg.data_terms {
+                Some(s) => format!("tr-g{}k{}s{s}", cfg.group_size, cfg.group_budget),
+                None => format!("tr-g{}k{}", cfg.group_size, cfg.group_budget),
+            },
+        }
+    }
+}
+
+/// Term-pair accounting for one quantization site (§III-B cost proxy).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairCounts {
+    /// Term pairs actually required by the data that flowed through
+    /// (the Fig. 15 x-axis, summed over samples).
+    pub actual: u64,
+    /// The synchronized processing bound the hardware must provision:
+    /// `k·s` per group under TR, `(w_terms)·(a_terms)` per value under QT.
+    pub bound: u64,
+    /// Multiply-accumulates at this site (for ops-based normalization).
+    pub macs: u64,
+    /// Inference samples that contributed.
+    pub samples: u64,
+}
+
+impl PairCounts {
+    /// Merge another count into this one.
+    pub fn merge(&mut self, other: &PairCounts) {
+        self.actual += other.actual;
+        self.bound += other.bound;
+        self.macs += other.macs;
+        self.samples += other.samples;
+    }
+
+    /// Actual term pairs per sample.
+    pub fn actual_per_sample(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.actual as f64 / self.samples as f64
+        }
+    }
+
+    /// Bound term pairs per sample.
+    pub fn bound_per_sample(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.bound as f64 / self.samples as f64
+        }
+    }
+}
+
+/// Per-site fake-quantization state (one per weight matrix).
+#[derive(Debug, Clone, Default)]
+pub struct FakeQuant {
+    /// When true, `observe` records activation ranges.
+    pub calibrating: bool,
+    /// Largest input magnitude seen during calibration.
+    pub observed_max: f32,
+    /// Activation quantizer (set once calibration finishes).
+    pub act_params: Option<QuantParams>,
+    /// Per-value activation term cap `(encoding, s)`.
+    pub act_cap: Option<(Encoding, usize)>,
+    /// Replacement weight tensor (dequantized reconstruction), if any.
+    pub qweight: Option<Tensor>,
+    /// The weight quantizer used to build `qweight`.
+    pub weight_params: Option<QuantParams>,
+    /// Weight term matrix (post-TR) cached for pair counting.
+    pub weight_terms: Option<TermMatrix>,
+    /// Per-value weight term bound (for the QT bound accounting).
+    pub weight_term_bound: usize,
+    /// Per-value data term bound.
+    pub data_term_bound: usize,
+    /// TR config in effect, if mode is TR (for group bounds).
+    pub tr_config: Option<TrConfig>,
+    /// When true, forwards accumulate into `pairs`.
+    pub count_pairs: bool,
+    /// Accumulated pair counts.
+    pub pairs: PairCounts,
+}
+
+impl FakeQuant {
+    /// Reset to the float (disabled) state, keeping nothing.
+    pub fn clear(&mut self) {
+        *self = FakeQuant::default();
+    }
+
+    /// Record an activation range observation during calibration.
+    pub fn observe(&mut self, x: &Tensor) {
+        if self.calibrating {
+            self.observed_max = self.observed_max.max(x.max_abs());
+        }
+    }
+
+    /// Finish calibration: freeze the activation quantizer at `bits`.
+    pub fn finish_calibration(&mut self, bits: u8) {
+        self.calibrating = false;
+        let qmax = ((1i32 << (bits - 1)) - 1) as f32;
+        let scale = if self.observed_max == 0.0 { 0.0 } else { self.observed_max / qmax };
+        self.act_params = Some(QuantParams { scale, bits });
+    }
+
+    /// Whether any quantization is active at this site.
+    pub fn active(&self) -> bool {
+        self.qweight.is_some() || self.act_params.is_some()
+    }
+
+    /// Apply the activation transform (quantize → optional term cap →
+    /// dequantize). Identity while inactive or calibrating.
+    pub fn transform_input(&mut self, x: &Tensor) -> Tensor {
+        self.observe(x);
+        let Some(params) = self.act_params else {
+            return x.clone();
+        };
+        if self.calibrating {
+            return x.clone();
+        }
+        match self.act_cap {
+            None => x.map(|v| params.real(params.code(v))),
+            Some((enc, s)) => x.map(|v| {
+                let code = params.code(v);
+                let capped = tr_quant::truncate::truncate_value(enc, code, s);
+                params.real(capped)
+            }),
+        }
+    }
+
+    /// The weight tensor inference should use.
+    pub fn effective_weight<'a>(&'a self, w: &'a Tensor) -> &'a Tensor {
+        self.qweight.as_ref().unwrap_or(w)
+    }
+
+    /// Install the weight-side transform for `precision` on weight `w`
+    /// (an `(out, in)` matrix). Also caches the term matrix for pair
+    /// counting.
+    pub fn install_weights(&mut self, w: &Tensor, precision: &Precision) {
+        match precision {
+            Precision::Float => {
+                self.qweight = None;
+                self.weight_params = None;
+                self.weight_terms = None;
+                self.tr_config = None;
+            }
+            Precision::Qt { weight_bits, act_bits } => {
+                let params = calibrate_max_abs(w, *weight_bits);
+                let q = quantize(w, params);
+                self.qweight = Some(q.dequantize());
+                self.weight_params = Some(params);
+                self.weight_terms = Some(TermMatrix::from_weights(&q, Encoding::Binary));
+                self.weight_term_bound = params.max_terms();
+                self.data_term_bound = *act_bits as usize - 1;
+                self.tr_config = None;
+            }
+            Precision::PerValue { encoding, weight_terms, data_terms } => {
+                let params = calibrate_max_abs(w, 8);
+                let q = quantize(w, params);
+                let truncated = truncate_terms(*encoding, &q, *weight_terms);
+                self.qweight = Some(truncated.dequantize());
+                self.weight_params = Some(params);
+                self.weight_terms = Some(TermMatrix::from_weights(&truncated, *encoding));
+                self.weight_term_bound = *weight_terms;
+                self.data_term_bound = data_terms.unwrap_or(7);
+                self.tr_config = None;
+            }
+            Precision::Tr(cfg) => {
+                cfg.check();
+                let params = calibrate_max_abs(w, 8);
+                let q = quantize(w, params);
+                let tm = TermMatrix::from_weights(&q, cfg.weight_encoding).reveal(cfg);
+                let codes = tm.reconstruct_codes();
+                let data: Vec<f32> = codes.iter().map(|&c| c as f32 * params.scale).collect();
+                self.qweight = Some(Tensor::from_vec(data, w.shape().clone()));
+                self.weight_params = Some(params);
+                self.weight_terms = Some(tm);
+                self.weight_term_bound = cfg.group_budget; // per-group, see bound math
+                self.data_term_bound = cfg.data_terms.unwrap_or(7);
+                self.tr_config = Some(*cfg);
+            }
+        }
+    }
+
+    /// Install the activation-side cap implied by `precision` (the
+    /// quantizer scale itself comes from calibration).
+    pub fn install_act_cap(&mut self, precision: &Precision) {
+        self.act_cap = match precision {
+            Precision::PerValue { data_terms: Some(s), .. } => Some((Encoding::Hese, *s)),
+            Precision::Tr(cfg) => cfg.data_terms.map(|s| (cfg.data_encoding, s)),
+            _ => None,
+        };
+    }
+
+    /// Count term pairs for a dot-product batch: `data` is the quantized
+    /// data operand as a term matrix aligned with the cached weight terms,
+    /// `samples` the number of inference samples it covers.
+    pub fn count_matmul(&mut self, data: &TermMatrix, samples: u64) {
+        if !self.count_pairs {
+            return;
+        }
+        let Some(wt) = &self.weight_terms else { return };
+        let macs = (wt.rows() * wt.len() * data.rows()) as u64;
+        let actual = term_pairs_total(wt, data);
+        let bound = match self.tr_config {
+            Some(cfg) => {
+                // k·s per group, groups per dot product = ceil(K / g).
+                let groups = wt.len().div_ceil(cfg.group_size) as u64;
+                let per_dot = groups * cfg.pair_bound(self.data_term_bound) as u64;
+                per_dot * (wt.rows() * data.rows()) as u64
+            }
+            None => macs * (self.weight_term_bound * self.data_term_bound) as u64,
+        };
+        self.pairs.merge(&PairCounts { actual, bound, macs, samples });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_tensor::{Rng, Shape};
+
+    fn weight(seed: u64) -> Tensor {
+        let mut rng = Rng::seed_from_u64(seed);
+        Tensor::randn(Shape::d2(8, 32), 0.3, &mut rng)
+    }
+
+    #[test]
+    fn float_mode_is_identity() {
+        let w = weight(1);
+        let mut fq = FakeQuant::default();
+        fq.install_weights(&w, &Precision::Float);
+        assert!(std::ptr::eq(fq.effective_weight(&w), &w));
+        let x = weight(2);
+        assert_eq!(fq.transform_input(&x), x);
+    }
+
+    #[test]
+    fn qt_replaces_weights_with_reconstruction() {
+        let w = weight(3);
+        let mut fq = FakeQuant::default();
+        fq.install_weights(&w, &Precision::Qt { weight_bits: 8, act_bits: 8 });
+        let eff = fq.effective_weight(&w);
+        assert!(w.rel_l2(eff) < 0.01);
+        // 4-bit is coarser.
+        let mut fq4 = FakeQuant::default();
+        fq4.install_weights(&w, &Precision::Qt { weight_bits: 4, act_bits: 8 });
+        assert!(w.rel_l2(fq4.effective_weight(&w)) > w.rel_l2(eff));
+    }
+
+    #[test]
+    fn tr_mode_bounds_group_terms() {
+        let w = weight(4);
+        let cfg = TrConfig::new(8, 12).with_data_terms(3);
+        let mut fq = FakeQuant::default();
+        fq.install_weights(&w, &Precision::Tr(cfg));
+        let tm = fq.weight_terms.as_ref().unwrap();
+        assert!(tm.max_group_terms_for(8) <= 12);
+        fq.install_act_cap(&Precision::Tr(cfg));
+        assert_eq!(fq.act_cap, Some((Encoding::Hese, 3)));
+    }
+
+    #[test]
+    fn calibration_then_transform_quantizes_input() {
+        let mut fq = FakeQuant { calibrating: true, ..FakeQuant::default() };
+        let x = Tensor::from_vec(vec![0.5, -2.0, 1.0, 0.1], Shape::d1(4));
+        // While calibrating, identity + range recording.
+        let y = fq.transform_input(&x);
+        assert_eq!(y, x);
+        assert_eq!(fq.observed_max, 2.0);
+        fq.finish_calibration(8);
+        let y = fq.transform_input(&x);
+        assert!(x.rel_l2(&y) < 0.01);
+        assert_ne!(y, x); // actually quantized now
+    }
+
+    #[test]
+    fn act_cap_truncates_terms() {
+        let mut fq = FakeQuant {
+            act_params: Some(QuantParams { scale: 1.0, bits: 8 }),
+            act_cap: Some((Encoding::Binary, 1)),
+            ..FakeQuant::default()
+        };
+        let x = Tensor::from_vec(vec![87.0], Shape::d1(1));
+        let y = fq.transform_input(&x);
+        assert_eq!(y.data()[0], 64.0); // top binary term only
+    }
+
+    #[test]
+    fn pair_counting_accumulates() {
+        let w = weight(5);
+        let cfg = TrConfig::new(8, 12).with_data_terms(3);
+        let mut fq = FakeQuant::default();
+        fq.install_weights(&w, &Precision::Tr(cfg));
+        fq.count_pairs = true;
+        let data = TermMatrix::from_vector(&[3; 32], Encoding::Hese);
+        fq.count_matmul(&data, 1);
+        assert!(fq.pairs.actual > 0);
+        assert!(fq.pairs.bound >= fq.pairs.actual);
+        assert_eq!(fq.pairs.samples, 1);
+        let before = fq.pairs;
+        fq.count_matmul(&data, 1);
+        assert_eq!(fq.pairs.actual, 2 * before.actual);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            Precision::Float.label(),
+            Precision::Qt { weight_bits: 8, act_bits: 8 }.label(),
+            Precision::Qt { weight_bits: 4, act_bits: 8 }.label(),
+            Precision::Tr(TrConfig::new(8, 12)).label(),
+            Precision::PerValue {
+                encoding: Encoding::Hese,
+                weight_terms: 3,
+                data_terms: Some(3),
+            }
+            .label(),
+        ];
+        let set: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(set.len(), labels.len());
+    }
+}

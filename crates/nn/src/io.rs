@@ -1,0 +1,213 @@
+//! Checkpoint IO.
+//!
+//! Experiments train each model once and sweep many quantization settings
+//! over it, so checkpoints matter. The format is a minimal named-tensor
+//! container (magic, version, then `name / rank / dims / f32 LE data` per
+//! entry); BN running statistics are stored as pseudo-parameters by the
+//! callers that need them.
+
+use crate::layer::Layer;
+use crate::lstm::LstmLm;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use tr_tensor::{Shape, Tensor};
+
+const MAGIC: &[u8; 8] = b"TRCKPT01";
+
+/// Write a named-tensor map (atomically: write to a temp file, then
+/// rename, so concurrent readers never observe a partial checkpoint).
+pub fn save_tensors(path: &Path, tensors: &[(String, Tensor)]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let tmp = path.with_extension("tmp");
+    save_tensors_inner(&tmp, tensors)?;
+    std::fs::rename(&tmp, path)
+}
+
+fn save_tensors_inner(path: &Path, tensors: &[(String, Tensor)]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(tensors.len() as u64).to_le_bytes())?;
+    for (name, t) in tensors {
+        let nb = name.as_bytes();
+        w.write_all(&(nb.len() as u32).to_le_bytes())?;
+        w.write_all(nb)?;
+        let dims = t.shape().dims();
+        w.write_all(&(dims.len() as u32).to_le_bytes())?;
+        for &d in dims {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for &v in t.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Read a named-tensor map.
+pub fn load_tensors(path: &Path) -> io::Result<Vec<(String, Tensor)>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad checkpoint magic"));
+    }
+    let mut u64b = [0u8; 8];
+    r.read_exact(&mut u64b)?;
+    let count = u64::from_le_bytes(u64b) as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut u32b = [0u8; 4];
+        r.read_exact(&mut u32b)?;
+        let name_len = u32::from_le_bytes(u32b) as usize;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad tensor name"))?;
+        r.read_exact(&mut u32b)?;
+        let rank = u32::from_le_bytes(u32b) as usize;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            r.read_exact(&mut u64b)?;
+            dims.push(u64::from_le_bytes(u64b) as usize);
+        }
+        let shape = Shape::new(dims);
+        let mut data = vec![0.0f32; shape.numel()];
+        let mut f32b = [0u8; 4];
+        for v in &mut data {
+            r.read_exact(&mut f32b)?;
+            *v = f32::from_le_bytes(f32b);
+        }
+        out.push((name, Tensor::from_vec(data, shape)));
+    }
+    Ok(out)
+}
+
+/// Save every parameter of a layer-tree model, plus non-learnable buffers
+/// (batch-norm running statistics) under a `buf:` prefix.
+pub fn save_model(path: &Path, model: &mut dyn Layer) -> io::Result<()> {
+    let mut tensors = Vec::new();
+    model.visit_params(&mut |name, p| tensors.push((name.to_string(), p.value.clone())));
+    model.visit_buffers(&mut |name, b| {
+        tensors.push((format!("buf:{name}"), Tensor::from_vec(b.clone(), Shape::d1(b.len()))));
+    });
+    save_tensors(path, &tensors)
+}
+
+/// Load parameters into a freshly built model of the same architecture.
+///
+/// Names must match the checkpoint exactly (they do when the model was
+/// built by the same constructor).
+pub fn load_model(path: &Path, model: &mut dyn Layer) -> io::Result<()> {
+    let tensors = load_tensors(path)?;
+    let map: std::collections::HashMap<String, Tensor> = tensors.into_iter().collect();
+    let mut missing = Vec::new();
+    model.visit_params(&mut |name, p| match map.get(name) {
+        Some(t) if t.shape().same_as(p.value.shape()) => p.value = t.clone(),
+        Some(_) => missing.push(format!("{name} (shape mismatch)")),
+        None => missing.push(name.to_string()),
+    });
+    model.visit_buffers(&mut |name, b| match map.get(&format!("buf:{name}")) {
+        Some(t) if t.numel() == b.len() => b.copy_from_slice(t.data()),
+        Some(_) => missing.push(format!("buf:{name} (shape mismatch)")),
+        None => missing.push(format!("buf:{name}")),
+    });
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint missing parameters: {}", missing.join(", ")),
+        ))
+    }
+}
+
+/// Save an LSTM language model.
+pub fn save_lstm(path: &Path, lm: &mut LstmLm) -> io::Result<()> {
+    let mut tensors = Vec::new();
+    lm.visit_params(&mut |name, p| tensors.push((name.to_string(), p.value.clone())));
+    save_tensors(path, &tensors)
+}
+
+/// Load an LSTM language model.
+pub fn load_lstm(path: &Path, lm: &mut LstmLm) -> io::Result<()> {
+    let tensors = load_tensors(path)?;
+    let map: std::collections::HashMap<String, Tensor> = tensors.into_iter().collect();
+    let mut err = None;
+    lm.visit_params(&mut |name, p| {
+        match map.get(name) {
+            Some(t) if t.shape().same_as(p.value.shape()) => p.value = t.clone(),
+            _ => err = Some(name.to_string()),
+        }
+    });
+    match err {
+        None => Ok(()),
+        Some(name) => Err(io::Error::new(io::ErrorKind::InvalidData, format!("missing {name}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use crate::Sequential;
+    use tr_tensor::Rng;
+
+    #[test]
+    fn tensor_round_trip() {
+        let dir = std::env::temp_dir().join("tr_nn_io_test");
+        let path = dir.join("tensors.bin");
+        let tensors = vec![
+            ("a".to_string(), Tensor::from_vec(vec![1.0, -2.5, 3.25], Shape::d1(3))),
+            ("b.weight".to_string(), Tensor::from_vec(vec![0.5; 6], Shape::d2(2, 3))),
+        ];
+        save_tensors(&path, &tensors).unwrap();
+        let back = load_tensors(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].0, "a");
+        assert_eq!(back[0].1.data(), tensors[0].1.data());
+        assert_eq!(back[1].1.shape().dims(), &[2, 3]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn model_round_trip() {
+        let mut rng = Rng::seed_from_u64(1);
+        let dir = std::env::temp_dir().join("tr_nn_io_test");
+        let path = dir.join("model.bin");
+        let mut model = Sequential::new().push(Linear::new(4, 3, &mut rng));
+        save_model(&path, &mut model).unwrap();
+        // Fresh model with different init, then load.
+        let mut model2 = Sequential::new().push(Linear::new(4, 3, &mut rng));
+        load_model(&path, &mut model2).unwrap();
+        let mut w1 = None;
+        model.visit_params(&mut |name, p| {
+            if name.contains("weight") {
+                w1 = Some(p.value.clone());
+            }
+        });
+        let mut matched = false;
+        model2.visit_params(&mut |name, p| {
+            if name.contains("weight") {
+                assert_eq!(p.value.data(), w1.as_ref().unwrap().data());
+                matched = true;
+            }
+        });
+        assert!(matched);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_architecture_mismatch() {
+        let mut rng = Rng::seed_from_u64(2);
+        let dir = std::env::temp_dir().join("tr_nn_io_test");
+        let path = dir.join("mismatch.bin");
+        let mut small = Sequential::new().push(Linear::new(2, 2, &mut rng));
+        save_model(&path, &mut small).unwrap();
+        let mut big = Sequential::new().push(Linear::new(3, 3, &mut rng));
+        assert!(load_model(&path, &mut big).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,144 @@
+//! Activation and regularization layers.
+
+use crate::layer::{ForwardCtx, Layer};
+use crate::param::Param;
+use tr_tensor::Tensor;
+
+/// Rectified linear unit.
+///
+/// ReLU is what gives DNN activations their half-normal distribution
+/// (§III-A) — the reason data values have so few terms.
+#[derive(Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// A new ReLU.
+    pub fn new() -> Relu {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
+        if ctx.train {
+            self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+        }
+        x.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.take().expect("backward before forward");
+        let mut g = grad_out.clone();
+        for (gv, &m) in g.data_mut().iter_mut().zip(&mask) {
+            if !m {
+                *gv = 0.0;
+            }
+        }
+        g
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&str, &mut Param)) {}
+
+    fn name(&self) -> String {
+        "relu".to_string()
+    }
+}
+
+/// Inverted dropout: active only in training mode.
+pub struct Dropout {
+    p: f32,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Dropout with drop probability `p`.
+    ///
+    /// # Panics
+    /// If `p` is not in `[0, 1)`.
+    pub fn new(p: f32) -> Dropout {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        Dropout { p, mask: None }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
+        if !ctx.train || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let mask: Vec<f32> =
+            (0..x.numel()).map(|_| if ctx.rng.bernoulli(keep) { 1.0 / keep } else { 0.0 }).collect();
+        let mut y = x.clone();
+        for (v, &m) in y.data_mut().iter_mut().zip(&mask) {
+            *v *= m;
+        }
+        self.mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match self.mask.take() {
+            None => grad_out.clone(),
+            Some(mask) => {
+                let mut g = grad_out.clone();
+                for (gv, &m) in g.data_mut().iter_mut().zip(&mask) {
+                    *gv *= m;
+                }
+                g
+            }
+        }
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&str, &mut Param)) {}
+
+    fn name(&self) -> String {
+        format!("dropout{}", self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_tensor::{Rng, Shape};
+
+    #[test]
+    fn relu_clamps_and_gates_gradient() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 2.0, 0.0, -0.5], Shape::d1(4));
+        let mut ctx = ForwardCtx::train(&mut rng);
+        let y = relu.forward(&x, &mut ctx);
+        assert_eq!(y.data(), &[0.0, 2.0, 0.0, 0.0]);
+        let g = relu.backward(&Tensor::ones(Shape::d1(4)));
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn dropout_identity_in_eval() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut d = Dropout::new(0.5);
+        let x = Tensor::ones(Shape::d1(100));
+        let mut ctx = ForwardCtx::eval(&mut rng);
+        assert_eq!(d.forward(&x, &mut ctx), x);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation_in_train() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut d = Dropout::new(0.3);
+        let x = Tensor::ones(Shape::d1(20_000));
+        let mut ctx = ForwardCtx::train(&mut rng);
+        let y = d.forward(&x, &mut ctx);
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        // Backward routes gradient only through kept units, rescaled.
+        let g = d.backward(&Tensor::ones(Shape::d1(20_000)));
+        for (gv, yv) in g.data().iter().zip(y.data()) {
+            assert_eq!(gv, yv);
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! 2-D convolutions, lowered to matmul via im2col.
+
+use crate::fake_quant::FakeQuant;
+use crate::layer::{ForwardCtx, Layer, QuantSite};
+use crate::param::Param;
+use tr_core::TermMatrix;
+use tr_quant::{QTensor, QuantParams};
+use tr_tensor::{col2im, im2col, Conv2dGeometry, Rng, Shape, Tensor};
+
+/// Standard convolution: input `(N, C, H, W)` → output `(N, O, H', W')`.
+///
+/// The kernel is stored as an `(O, C·kh·kw)` matrix, so each output
+/// channel's weights form one dot-product row — the same layout
+/// [`TermMatrix::from_weights`] expects, which is how TR reaches into
+/// convolutions unchanged.
+pub struct Conv2d {
+    out_channels: usize,
+    geometry_proto: Conv2dGeometry,
+    weight: Param,
+    bias: Param,
+    /// Quantization state for this layer's weight site.
+    pub fq: FakeQuant,
+    cached_cols: Vec<Tensor>,
+    cached_geometry: Option<Conv2dGeometry>,
+}
+
+impl Conv2d {
+    /// A `k×k` convolution. `in_h`/`in_w` of the geometry are filled at
+    /// forward time from the actual input.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut Rng,
+    ) -> Conv2d {
+        let patch = in_channels * kernel * kernel;
+        let weight = Param::new(Tensor::kaiming(Shape::d2(out_channels, patch), patch, rng));
+        let bias = Param::new_no_decay(Tensor::zeros(Shape::d1(out_channels)));
+        Conv2d {
+            out_channels,
+            geometry_proto: Conv2dGeometry {
+                in_channels,
+                in_h: 0,
+                in_w: 0,
+                k_h: kernel,
+                k_w: kernel,
+                stride,
+                pad,
+            },
+            weight,
+            bias,
+            fq: FakeQuant::default(),
+            cached_cols: Vec::new(),
+            cached_geometry: None,
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// The `(O, C·kh·kw)` weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    fn geometry_for(&self, x: &Tensor) -> Conv2dGeometry {
+        assert_eq!(x.shape().rank(), 4, "conv2d expects NCHW input");
+        assert_eq!(x.shape().dim(1), self.geometry_proto.in_channels, "channel mismatch");
+        Conv2dGeometry { in_h: x.shape().dim(2), in_w: x.shape().dim(3), ..self.geometry_proto }
+    }
+
+    fn count_pairs(&mut self, cols: &Tensor, samples: u64) {
+        if !self.fq.count_pairs || self.fq.weight_terms.is_none() {
+            return;
+        }
+        let Some(act) = self.fq.act_params else { return };
+        let enc = self.fq.act_cap.map(|(e, _)| e).unwrap_or(tr_encoding::Encoding::Binary);
+        let codes: Vec<i32> = cols.data().iter().map(|&v| act.code(v)).collect();
+        let q = QTensor::from_codes(
+            codes,
+            QuantParams { scale: act.scale.max(f32::MIN_POSITIVE), bits: act.bits },
+            cols.shape().clone(),
+        );
+        // cols is (patch_len, n_patches): columns are the dot vectors.
+        let dm = TermMatrix::from_data_transposed(&q, enc);
+        self.fq.count_matmul(&dm, samples);
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
+        let g = self.geometry_for(x);
+        let (n, oh, ow) = (x.shape().dim(0), g.out_h(), g.out_w());
+        let xq = self.fq.transform_input(x);
+        let w = self.fq.effective_weight(&self.weight.value).clone();
+        let mut out = Tensor::zeros(Shape::d4(n, self.out_channels, oh, ow));
+        self.cached_cols.clear();
+        let per_in = g.in_channels * g.in_h * g.in_w;
+        let per_out = self.out_channels * oh * ow;
+        for i in 0..n {
+            let cols = im2col(&xq.data()[i * per_in..(i + 1) * per_in], &g);
+            // Count pairs on the first image only (one representative
+            // sample per batch keeps counting passes affordable), scaled
+            // by the batch size at the accounting level.
+            if i == 0 {
+                self.count_pairs(&cols, 1);
+            }
+            let y = w.matmul(&cols);
+            let dst = &mut out.data_mut()[i * per_out..(i + 1) * per_out];
+            dst.copy_from_slice(y.data());
+            for (c, chunk) in dst.chunks_mut(oh * ow).enumerate() {
+                let b = self.bias.value.data()[c];
+                for v in chunk {
+                    *v += b;
+                }
+            }
+            if ctx.train {
+                self.cached_cols.push(cols);
+            }
+        }
+        if ctx.train {
+            self.cached_geometry = Some(g);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.cached_geometry.take().expect("backward before forward");
+        let n = grad_out.shape().dim(0);
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let per_out = self.out_channels * oh * ow;
+        let per_in = g.in_channels * g.in_h * g.in_w;
+        let mut dx = Tensor::zeros(Shape::d4(n, g.in_channels, g.in_h, g.in_w));
+        let cols_cache = std::mem::take(&mut self.cached_cols);
+        assert_eq!(cols_cache.len(), n, "cache/batch mismatch");
+        for (i, cols) in cols_cache.iter().enumerate() {
+            let go = Tensor::from_vec(
+                grad_out.data()[i * per_out..(i + 1) * per_out].to_vec(),
+                Shape::d2(self.out_channels, oh * ow),
+            );
+            // dW += go @ cols^T
+            let dw = go.matmul_transb(cols);
+            self.weight.grad.axpy(1.0, &dw);
+            // db += row sums of go
+            for (c, bg) in self.bias.grad.data_mut().iter_mut().enumerate() {
+                *bg += go.row(c).iter().sum::<f32>();
+            }
+            // dcols = W^T @ go, then scatter back to the image.
+            let dcols = self.weight.value.matmul_transa(&go);
+            let img = col2im(&dcols, &g);
+            dx.data_mut()[i * per_in..(i + 1) * per_in].copy_from_slice(&img);
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
+        f("weight", &mut self.weight);
+        f("bias", &mut self.bias);
+    }
+
+    fn visit_quant_sites(&mut self, f: &mut dyn FnMut(QuantSite<'_>)) {
+        f(QuantSite { name: "conv".to_string(), weight: &mut self.weight, fq: &mut self.fq });
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "conv{}x{}k{}",
+            self.out_channels, self.geometry_proto.in_channels, self.geometry_proto.k_h
+        )
+    }
+}
+
+/// Depthwise convolution: each input channel is convolved with its own
+/// `k×k` filter (the MobileNet/EfficientNet building block).
+///
+/// Weights are `(C, k·k)`; channel `c`'s filter is row `c`.
+pub struct DepthwiseConv2d {
+    channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    weight: Param,
+    bias: Param,
+    /// Quantization state for this layer's weight site.
+    pub fq: FakeQuant,
+    cached_cols: Vec<Vec<Tensor>>,
+    cached_geometry: Option<Conv2dGeometry>,
+}
+
+impl DepthwiseConv2d {
+    /// A depthwise `k×k` convolution over `channels` channels.
+    pub fn new(channels: usize, kernel: usize, stride: usize, pad: usize, rng: &mut Rng) -> Self {
+        let patch = kernel * kernel;
+        let weight = Param::new(Tensor::kaiming(Shape::d2(channels, patch), patch, rng));
+        let bias = Param::new_no_decay(Tensor::zeros(Shape::d1(channels)));
+        DepthwiseConv2d {
+            channels,
+            kernel,
+            stride,
+            pad,
+            weight,
+            bias,
+            fq: FakeQuant::default(),
+            cached_cols: Vec::new(),
+            cached_geometry: None,
+        }
+    }
+
+    fn chan_geometry(&self, h: usize, w: usize) -> Conv2dGeometry {
+        Conv2dGeometry {
+            in_channels: 1,
+            in_h: h,
+            in_w: w,
+            k_h: self.kernel,
+            k_w: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+        }
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
+        assert_eq!(x.shape().rank(), 4, "depthwise conv expects NCHW input");
+        assert_eq!(x.shape().dim(1), self.channels, "channel mismatch");
+        let (n, h, w) = (x.shape().dim(0), x.shape().dim(2), x.shape().dim(3));
+        let g = self.chan_geometry(h, w);
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let xq = self.fq.transform_input(x);
+        let weight = self.fq.effective_weight(&self.weight.value).clone();
+        let mut out = Tensor::zeros(Shape::d4(n, self.channels, oh, ow));
+        self.cached_cols.clear();
+        let chan_in = h * w;
+        let chan_out = oh * ow;
+        for i in 0..n {
+            let mut per_image = Vec::new();
+            for c in 0..self.channels {
+                let off = (i * self.channels + c) * chan_in;
+                let cols = im2col(&xq.data()[off..off + chan_in], &g);
+                let wrow = Tensor::from_vec(weight.row(c).to_vec(), Shape::d2(1, g.patch_len()));
+                let y = wrow.matmul(&cols);
+                let dst_off = (i * self.channels + c) * chan_out;
+                let dst = &mut out.data_mut()[dst_off..dst_off + chan_out];
+                let b = self.bias.value.data()[c];
+                for (o, &v) in dst.iter_mut().zip(y.data()) {
+                    *o = v + b;
+                }
+                if ctx.train {
+                    per_image.push(cols);
+                }
+            }
+            if ctx.train {
+                self.cached_cols.push(per_image);
+            }
+        }
+        if ctx.train {
+            self.cached_geometry = Some(g);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.cached_geometry.take().expect("backward before forward");
+        let n = grad_out.shape().dim(0);
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let chan_out = oh * ow;
+        let chan_in = g.in_h * g.in_w;
+        let mut dx = Tensor::zeros(Shape::d4(n, self.channels, g.in_h, g.in_w));
+        let cache = std::mem::take(&mut self.cached_cols);
+        for (i, per_image) in cache.iter().enumerate() {
+            for (c, cols) in per_image.iter().enumerate() {
+                let off = (i * self.channels + c) * chan_out;
+                let go =
+                    Tensor::from_vec(grad_out.data()[off..off + chan_out].to_vec(), Shape::d2(1, chan_out));
+                let dw = go.matmul_transb(cols);
+                for (wg, &d) in self.weight.grad.row_mut(c).iter_mut().zip(dw.data()) {
+                    *wg += d;
+                }
+                self.bias.grad.data_mut()[c] += go.data().iter().sum::<f32>();
+                let wrow =
+                    Tensor::from_vec(self.weight.value.row(c).to_vec(), Shape::d2(1, g.patch_len()));
+                let dcols = wrow.matmul_transa(&go);
+                let img = col2im(&dcols, &g);
+                let dst = (i * self.channels + c) * chan_in;
+                dx.data_mut()[dst..dst + chan_in].copy_from_slice(&img);
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
+        f("weight", &mut self.weight);
+        f("bias", &mut self.bias);
+    }
+
+    fn visit_quant_sites(&mut self, f: &mut dyn FnMut(QuantSite<'_>)) {
+        f(QuantSite { name: "dwconv".to_string(), weight: &mut self.weight, fq: &mut self.fq });
+    }
+
+    fn name(&self) -> String {
+        format!("dwconv{}k{}", self.channels, self.kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_tensor::conv::conv2d_reference;
+
+    #[test]
+    fn conv_forward_matches_direct_convolution() {
+        let mut rng = Rng::seed_from_u64(20);
+        let mut conv = Conv2d::new(3, 4, 3, 1, 1, &mut rng);
+        conv.bias.value.fill(0.0);
+        let x = Tensor::randn(Shape::d4(2, 3, 6, 6), 1.0, &mut rng);
+        let mut ctx = ForwardCtx::eval(&mut rng);
+        let y = conv.forward(&x, &mut ctx);
+        let g = conv.geometry_for(&x);
+        for i in 0..2 {
+            let per_in = 3 * 36;
+            let direct =
+                conv2d_reference(&x.data()[i * per_in..(i + 1) * per_in], conv.weight.value.data(), 4, &g);
+            let per_out = 4 * 36;
+            for (a, b) in y.data()[i * per_out..(i + 1) * per_out].iter().zip(&direct) {
+                assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut rng = Rng::seed_from_u64(21);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(Shape::d4(1, 2, 4, 4), 1.0, &mut rng);
+        let mut ctx = ForwardCtx::train(&mut rng);
+        let y = conv.forward(&x, &mut ctx);
+        let gx = conv.backward(&Tensor::ones(y.shape().clone()));
+        let analytic_w = conv.weight.grad.clone();
+
+        let eps = 1e-2;
+        for i in (0..x.numel()).step_by(5) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut ctx = ForwardCtx::train(&mut rng);
+            let yp = conv.forward(&xp, &mut ctx).sum();
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let mut ctx = ForwardCtx::train(&mut rng);
+            let ym = conv.forward(&xm, &mut ctx).sum();
+            let fd = (yp - ym) / (2.0 * eps);
+            assert!((fd - gx.data()[i]).abs() < 2e-2, "dx {i}: {fd} vs {}", gx.data()[i]);
+        }
+        for i in (0..conv.weight.numel()).step_by(7) {
+            let orig = conv.weight.value.data()[i];
+            conv.weight.value.data_mut()[i] = orig + eps;
+            let mut ctx = ForwardCtx::train(&mut rng);
+            let yp = conv.forward(&x, &mut ctx).sum();
+            conv.weight.value.data_mut()[i] = orig - eps;
+            let mut ctx = ForwardCtx::train(&mut rng);
+            let ym = conv.forward(&x, &mut ctx).sum();
+            conv.weight.value.data_mut()[i] = orig;
+            let fd = (yp - ym) / (2.0 * eps);
+            assert!((fd - analytic_w.data()[i]).abs() < 2e-2, "dw {i}: {fd} vs {}", analytic_w.data()[i]);
+        }
+    }
+
+    #[test]
+    fn depthwise_keeps_channels_independent() {
+        let mut rng = Rng::seed_from_u64(22);
+        let mut dw = DepthwiseConv2d::new(2, 3, 1, 1, &mut rng);
+        dw.bias.value.fill(0.0);
+        // Zero the second channel's filter; its output must be zero even
+        // with nonzero input in both channels.
+        dw.weight.value.row_mut(1).fill(0.0);
+        let x = Tensor::randn(Shape::d4(1, 2, 5, 5), 1.0, &mut rng);
+        let mut ctx = ForwardCtx::eval(&mut rng);
+        let y = dw.forward(&x, &mut ctx);
+        let chan1 = &y.data()[25..50];
+        assert!(chan1.iter().all(|&v| v == 0.0));
+        let chan0 = &y.data()[..25];
+        assert!(chan0.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn depthwise_gradients_match_finite_differences() {
+        let mut rng = Rng::seed_from_u64(23);
+        let mut dw = DepthwiseConv2d::new(2, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(Shape::d4(1, 2, 4, 4), 1.0, &mut rng);
+        let mut ctx = ForwardCtx::train(&mut rng);
+        let y = dw.forward(&x, &mut ctx);
+        let gx = dw.backward(&Tensor::ones(y.shape().clone()));
+        let eps = 1e-2;
+        for i in (0..x.numel()).step_by(3) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut ctx = ForwardCtx::train(&mut rng);
+            let yp = dw.forward(&xp, &mut ctx).sum();
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let mut ctx = ForwardCtx::train(&mut rng);
+            let ym = dw.forward(&xm, &mut ctx).sum();
+            let fd = (yp - ym) / (2.0 * eps);
+            assert!((fd - gx.data()[i]).abs() < 2e-2, "dx {i}: {fd} vs {}", gx.data()[i]);
+        }
+    }
+
+    #[test]
+    fn strided_conv_halves_spatial_dims() {
+        let mut rng = Rng::seed_from_u64(24);
+        let mut conv = Conv2d::new(3, 8, 3, 2, 1, &mut rng);
+        let x = Tensor::randn(Shape::d4(1, 3, 8, 8), 1.0, &mut rng);
+        let mut ctx = ForwardCtx::eval(&mut rng);
+        let y = conv.forward(&x, &mut ctx);
+        assert_eq!(y.shape().dims(), &[1, 8, 4, 4]);
+    }
+}

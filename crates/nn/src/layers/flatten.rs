@@ -1,0 +1,59 @@
+//! Shape adapter between convolutional and fully connected stages.
+
+use crate::layer::{ForwardCtx, Layer};
+use crate::param::Param;
+use tr_tensor::{Shape, Tensor};
+
+/// Flatten `(N, ...)` to `(N, features)`.
+#[derive(Default)]
+pub struct Flatten {
+    cached_shape: Option<Shape>,
+}
+
+impl Flatten {
+    /// A new flatten layer.
+    pub fn new() -> Flatten {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
+        if ctx.train {
+            self.cached_shape = Some(x.shape().clone());
+        }
+        let n = x.shape().dim(0);
+        let features = x.numel() / n.max(1);
+        x.reshape(Shape::d2(n, features))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.cached_shape.take().expect("backward before forward");
+        grad_out.reshape(shape)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&str, &mut Param)) {}
+
+    fn name(&self) -> String {
+        "flatten".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_tensor::Rng;
+
+    #[test]
+    fn flatten_round_trips_shape() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut f = Flatten::new();
+        let x = Tensor::randn(Shape::d4(2, 3, 4, 5), 1.0, &mut rng);
+        let mut ctx = ForwardCtx::train(&mut rng);
+        let y = f.forward(&x, &mut ctx);
+        assert_eq!(y.shape().dims(), &[2, 60]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape().dims(), &[2, 3, 4, 5]);
+        assert_eq!(g.data(), x.data());
+    }
+}

@@ -1,0 +1,221 @@
+//! Fully connected layer.
+
+use crate::fake_quant::FakeQuant;
+use crate::layer::{ForwardCtx, Layer, QuantSite};
+use crate::param::Param;
+use tr_core::TermMatrix;
+use tr_quant::{QTensor, QuantParams};
+use tr_tensor::{Rng, Shape, Tensor};
+
+/// `y = x W^T + b` over a batch: `x (N, in) -> y (N, out)`.
+///
+/// The weight is stored `(out, in)` — each row is the weight vector of one
+/// output neuron, which is exactly the dot-product vector Term Revealing
+/// groups along.
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    weight: Param,
+    bias: Param,
+    /// Quantization state for this layer's single weight site.
+    pub fq: FakeQuant,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Kaiming-initialized layer.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut Rng) -> Linear {
+        let weight =
+            Param::new(Tensor::kaiming(Shape::d2(out_features, in_features), in_features, rng));
+        let bias = Param::new_no_decay(Tensor::zeros(Shape::d1(out_features)));
+        Linear {
+            in_features,
+            out_features,
+            weight,
+            bias,
+            fq: FakeQuant::default(),
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The `(out, in)` weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Count term pairs for an already-transformed input batch.
+    fn count_pairs(&mut self, x: &Tensor) {
+        if !self.fq.count_pairs || self.fq.weight_terms.is_none() {
+            return;
+        }
+        let Some(act) = self.fq.act_params else { return };
+        let enc = self.fq.act_cap.map(|(e, _)| e).unwrap_or(tr_encoding::Encoding::Binary);
+        // x rows are already dot-product vectors of length `in`.
+        let codes: Vec<i32> = x.data().iter().map(|&v| act.code(v)).collect();
+        let q = QTensor::from_codes(
+            codes,
+            QuantParams { scale: act.scale.max(f32::MIN_POSITIVE), bits: act.bits },
+            Shape::d2(x.shape().dim(0), self.in_features),
+        );
+        let dm = TermMatrix::from_weights(&q, enc);
+        let n = x.shape().dim(0) as u64;
+        self.fq.count_matmul(&dm, n);
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
+        assert_eq!(
+            x.shape().as_matrix().1,
+            self.in_features,
+            "linear expected {} input features",
+            self.in_features
+        );
+        let x2 = if x.shape().rank() == 2 {
+            x.clone()
+        } else {
+            let (rows, cols) = x.shape().as_matrix();
+            x.reshape(Shape::d2(rows, cols))
+        };
+        let xq = self.fq.transform_input(&x2);
+        self.count_pairs(&xq);
+        if ctx.train {
+            self.cached_input = Some(xq.clone());
+        }
+        let w = self.fq.effective_weight(&self.weight.value);
+        let mut y = xq.matmul_transb(w);
+        let b = self.bias.value.data();
+        for row in 0..y.shape().dim(0) {
+            for (o, &bv) in y.row_mut(row).iter_mut().zip(b) {
+                *o += bv;
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.take().expect("backward before forward");
+        // dW = grad_out^T @ x ; dx = grad_out @ W ; db = column sums.
+        let dw = grad_out.matmul_transa(&x);
+        self.weight.grad.axpy(1.0, &dw);
+        let n = grad_out.shape().dim(0);
+        for row in 0..n {
+            let g = grad_out.row(row);
+            for (bg, &gv) in self.bias.grad.data_mut().iter_mut().zip(g) {
+                *bg += gv;
+            }
+        }
+        grad_out.matmul(&self.weight.value)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
+        f("weight", &mut self.weight);
+        f("bias", &mut self.bias);
+    }
+
+    fn visit_quant_sites(&mut self, f: &mut dyn FnMut(QuantSite<'_>)) {
+        f(QuantSite { name: "linear".to_string(), weight: &mut self.weight, fq: &mut self.fq });
+    }
+
+    fn name(&self) -> String {
+        format!("linear{}x{}", self.out_features, self.in_features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference gradient check on a scalar loss `sum(y)`.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = Rng::seed_from_u64(7);
+        let mut layer = Linear::new(5, 3, &mut rng);
+        let x = Tensor::randn(Shape::d2(2, 5), 1.0, &mut rng);
+        let mut ctx = ForwardCtx::train(&mut rng);
+        let y = layer.forward(&x, &mut ctx);
+        let gx = layer.backward(&Tensor::ones(y.shape().clone()));
+
+        let eps = 1e-3;
+        // Input gradient check.
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut ctx = ForwardCtx::train(&mut rng);
+            let yp = layer.forward(&xp, &mut ctx).sum();
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let mut ctx = ForwardCtx::train(&mut rng);
+            let ym = layer.forward(&xm, &mut ctx).sum();
+            let fd = (yp - ym) / (2.0 * eps);
+            assert!((fd - gx.data()[i]).abs() < 1e-2, "input grad {i}: {fd} vs {}", gx.data()[i]);
+        }
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_differences() {
+        let mut rng = Rng::seed_from_u64(8);
+        let mut layer = Linear::new(4, 2, &mut rng);
+        let x = Tensor::randn(Shape::d2(3, 4), 1.0, &mut rng);
+        let mut ctx = ForwardCtx::train(&mut rng);
+        let y = layer.forward(&x, &mut ctx);
+        layer.backward(&Tensor::ones(y.shape().clone()));
+        let analytic = layer.weight.grad.clone();
+
+        let eps = 1e-3;
+        for i in 0..layer.weight.numel() {
+            let orig = layer.weight.value.data()[i];
+            layer.weight.value.data_mut()[i] = orig + eps;
+            let mut ctx = ForwardCtx::train(&mut rng);
+            let yp = layer.forward(&x, &mut ctx).sum();
+            layer.weight.value.data_mut()[i] = orig - eps;
+            let mut ctx = ForwardCtx::train(&mut rng);
+            let ym = layer.forward(&x, &mut ctx).sum();
+            layer.weight.value.data_mut()[i] = orig;
+            let fd = (yp - ym) / (2.0 * eps);
+            assert!(
+                (fd - analytic.data()[i]).abs() < 1e-2,
+                "weight grad {i}: {fd} vs {}",
+                analytic.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn bias_is_added_per_output() {
+        let mut rng = Rng::seed_from_u64(9);
+        let mut layer = Linear::new(2, 2, &mut rng);
+        layer.weight.value.fill(0.0);
+        layer.bias.value.data_mut().copy_from_slice(&[1.5, -0.5]);
+        let x = Tensor::zeros(Shape::d2(1, 2));
+        let mut ctx = ForwardCtx::eval(&mut rng);
+        let y = layer.forward(&x, &mut ctx);
+        assert_eq!(y.data(), &[1.5, -0.5]);
+    }
+
+    #[test]
+    fn quantized_forward_stays_close_to_float() {
+        let mut rng = Rng::seed_from_u64(10);
+        let mut layer = Linear::new(32, 8, &mut rng);
+        let x = Tensor::randn(Shape::d2(4, 32), 1.0, &mut rng);
+        let mut ctx = ForwardCtx::eval(&mut rng);
+        let y_float = layer.forward(&x, &mut ctx);
+        layer.fq.install_weights(
+            &layer.weight.value.clone(),
+            &crate::fake_quant::Precision::Qt { weight_bits: 8, act_bits: 8 },
+        );
+        let mut ctx = ForwardCtx::eval(&mut rng);
+        let y_q = layer.forward(&x, &mut ctx);
+        assert!(y_float.rel_l2(&y_q) < 0.02, "rel {}", y_float.rel_l2(&y_q));
+    }
+}

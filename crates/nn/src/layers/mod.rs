@@ -1,0 +1,17 @@
+//! Differentiable layers.
+
+pub mod act;
+pub mod conv;
+pub mod flatten;
+pub mod linear;
+pub mod norm;
+pub mod pool;
+pub mod residual;
+
+pub use act::{Dropout, Relu};
+pub use conv::{Conv2d, DepthwiseConv2d};
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use norm::BatchNorm2d;
+pub use pool::{GlobalAvgPool, MaxPool2d};
+pub use residual::Residual;

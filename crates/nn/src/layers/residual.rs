@@ -1,0 +1,181 @@
+//! Residual (skip) blocks.
+
+use crate::layer::{ForwardCtx, Layer, QuantSite};
+use crate::layers::act::Relu;
+use crate::param::Param;
+use crate::Sequential;
+use tr_tensor::Tensor;
+
+/// `y = ReLU(body(x) + shortcut(x))` — the ResNet/MBConv skeleton.
+///
+/// `shortcut` is `None` for the identity skip; otherwise it is a
+/// projection (e.g. a strided 1×1 conv) matching the body's output shape.
+/// The trailing ReLU can be disabled for linear-bottleneck blocks
+/// (MobileNet-v2 style).
+pub struct Residual {
+    body: Sequential,
+    shortcut: Option<Sequential>,
+    relu: Option<Relu>,
+}
+
+impl Residual {
+    /// Identity-skip residual block with trailing ReLU.
+    pub fn new(body: Sequential) -> Residual {
+        Residual { body, shortcut: None, relu: Some(Relu::new()) }
+    }
+
+    /// Residual block with a projection shortcut.
+    pub fn with_shortcut(body: Sequential, shortcut: Sequential) -> Residual {
+        Residual { body, shortcut: Some(shortcut), relu: Some(Relu::new()) }
+    }
+
+    /// Linear-bottleneck variant: no activation after the sum.
+    pub fn linear(body: Sequential) -> Residual {
+        Residual { body, shortcut: None, relu: None }
+    }
+}
+
+impl Layer for Residual {
+    fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
+        let main = self.body.forward(x, ctx);
+        let skip = match &mut self.shortcut {
+            Some(s) => s.forward(x, ctx),
+            None => x.clone(),
+        };
+        let sum = main.add(&skip);
+        match &mut self.relu {
+            Some(r) => r.forward(&sum, ctx),
+            None => sum,
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = match &mut self.relu {
+            Some(r) => r.backward(grad_out),
+            None => grad_out.clone(),
+        };
+        let g_body = self.body.backward(&g);
+        let g_skip = match &mut self.shortcut {
+            Some(s) => s.backward(&g),
+            None => g,
+        };
+        g_body.add(&g_skip)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
+        self.body.visit_params(&mut |name, p| f(&format!("body.{name}"), p));
+        if let Some(s) = &mut self.shortcut {
+            s.visit_params(&mut |name, p| f(&format!("shortcut.{name}"), p));
+        }
+    }
+
+    fn visit_quant_sites(&mut self, f: &mut dyn FnMut(QuantSite<'_>)) {
+        self.body.visit_quant_sites(&mut |site| {
+            f(QuantSite { name: format!("body.{}", site.name), weight: site.weight, fq: site.fq })
+        });
+        if let Some(s) = &mut self.shortcut {
+            s.visit_quant_sites(&mut |site| {
+                f(QuantSite {
+                    name: format!("shortcut.{}", site.name),
+                    weight: site.weight,
+                    fq: site.fq,
+                })
+            });
+        }
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&str, &mut Vec<f32>)) {
+        self.body.visit_buffers(&mut |name, b| f(&format!("body.{name}"), b));
+        if let Some(s) = &mut self.shortcut {
+            s.visit_buffers(&mut |name, b| f(&format!("shortcut.{name}"), b));
+        }
+    }
+
+    fn name(&self) -> String {
+        "residual".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::conv::Conv2d;
+    use crate::layers::norm::BatchNorm2d;
+    use tr_tensor::{Rng, Shape};
+
+    fn block(rng: &mut Rng) -> Residual {
+        Residual::new(
+            Sequential::new()
+                .push(Conv2d::new(4, 4, 3, 1, 1, rng))
+                .push(BatchNorm2d::new(4))
+                .push(Relu::new())
+                .push(Conv2d::new(4, 4, 3, 1, 1, rng))
+                .push(BatchNorm2d::new(4)),
+        )
+    }
+
+    #[test]
+    fn identity_skip_preserves_shape() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut res = block(&mut rng);
+        let x = Tensor::randn(Shape::d4(2, 4, 8, 8), 1.0, &mut rng);
+        let mut ctx = ForwardCtx::train(&mut rng);
+        let y = res.forward(&x, &mut ctx);
+        assert!(y.shape().same_as(x.shape()));
+        let g = res.backward(&Tensor::ones(y.shape().clone()));
+        assert!(g.shape().same_as(x.shape()));
+    }
+
+    #[test]
+    fn zero_body_passes_input_through() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut res = block(&mut rng);
+        res.visit_params(&mut |name, p| {
+            if name.contains("gamma") {
+                p.value.fill(0.0); // zero the BN scale -> body output 0
+            }
+        });
+        let x = Tensor::randn(Shape::d4(1, 4, 4, 4), 1.0, &mut rng).map(f32::abs);
+        let mut ctx = ForwardCtx::eval(&mut rng);
+        let y = res.forward(&x, &mut ctx);
+        assert!(y.rel_l2(&x) < 1e-5);
+    }
+
+    #[test]
+    fn quant_sites_include_body_and_shortcut() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut res = Residual::with_shortcut(
+            Sequential::new().push(Conv2d::new(4, 8, 3, 2, 1, &mut rng)),
+            Sequential::new().push(Conv2d::new(4, 8, 1, 2, 0, &mut rng)),
+        );
+        let mut names = Vec::new();
+        res.visit_quant_sites(&mut |s| names.push(s.name));
+        assert_eq!(names.len(), 2);
+        assert!(names.iter().any(|n| n.starts_with("body.")));
+        assert!(names.iter().any(|n| n.starts_with("shortcut.")));
+    }
+
+    #[test]
+    fn gradient_flows_through_both_paths() {
+        let mut rng = Rng::seed_from_u64(4);
+        let mut res = block(&mut rng);
+        let x = Tensor::randn(Shape::d4(1, 4, 4, 4), 1.0, &mut rng);
+        let mut ctx = ForwardCtx::train(&mut rng);
+        let y = res.forward(&x, &mut ctx);
+        let gx = res.backward(&Tensor::ones(y.shape().clone()));
+        // Finite-difference spot check.
+        let eps = 1e-2;
+        for i in [0usize, 17, 33] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut ctx = ForwardCtx::train(&mut rng);
+            let yp = res.forward(&xp, &mut ctx).sum();
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let mut ctx = ForwardCtx::train(&mut rng);
+            let ym = res.forward(&xm, &mut ctx).sum();
+            let fd = (yp - ym) / (2.0 * eps);
+            assert!((fd - gx.data()[i]).abs() < 0.1, "dx {i}: {fd} vs {}", gx.data()[i]);
+        }
+    }
+}

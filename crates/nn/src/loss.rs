@@ -1,0 +1,133 @@
+//! Loss functions.
+
+use tr_tensor::{Shape, Tensor};
+
+/// Numerically stable softmax over the last dimension of a `(N, C)` tensor.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let (n, c) = logits.shape().as_matrix();
+    let mut out = Tensor::zeros(Shape::d2(n, c));
+    for row in 0..n {
+        let src = logits.row(row);
+        let max = src.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        let dst = out.row_mut(row);
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = (s - max).exp();
+            sum += *d;
+        }
+        for d in dst.iter_mut() {
+            *d /= sum;
+        }
+    }
+    out
+}
+
+/// Mean cross-entropy of `(N, C)` logits against class labels, together
+/// with the gradient with respect to the logits (already divided by `N`).
+///
+/// # Panics
+/// If `labels.len() != N` or any label is out of range.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let (n, c) = logits.shape().as_matrix();
+    assert_eq!(labels.len(), n, "label count mismatch");
+    let probs = softmax(logits);
+    let mut grad = probs.clone();
+    let mut loss = 0.0f64;
+    for (row, &label) in labels.iter().enumerate() {
+        assert!(label < c, "label {label} out of range for {c} classes");
+        let p = probs.row(row)[label].max(1e-12);
+        loss -= (p as f64).ln();
+        grad.row_mut(row)[label] -= 1.0;
+    }
+    let scale = 1.0 / n as f32;
+    grad.scale_inplace(scale);
+    ((loss / n as f64) as f32, grad)
+}
+
+/// Classification accuracy of `(N, C)` logits against labels.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    let (n, _) = logits.shape().as_matrix();
+    assert_eq!(labels.len(), n);
+    if n == 0 {
+        return 0.0;
+    }
+    let correct = labels
+        .iter()
+        .enumerate()
+        .filter(|(row, &label)| logits.argmax_row(*row) == label)
+        .count();
+    correct as f64 / n as f64
+}
+
+/// Perplexity from a summed negative log-likelihood over `tokens` tokens
+/// (the LSTM language-model metric of Fig. 15 right).
+pub fn perplexity(total_nll: f64, tokens: usize) -> f64 {
+    if tokens == 0 {
+        return f64::INFINITY;
+    }
+    (total_nll / tokens as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], Shape::d2(2, 3));
+        let p = softmax(&logits);
+        for row in 0..2 {
+            let s: f32 = p.row(row).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        assert!(p.row(0)[2] > p.row(0)[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Tensor::from_vec(vec![1000.0, 1001.0], Shape::d2(1, 2));
+        let p = softmax(&a);
+        assert!(p.data().iter().all(|v| v.is_finite()));
+        let b = Tensor::from_vec(vec![0.0, 1.0], Shape::d2(1, 2));
+        let q = softmax(&b);
+        for (x, y) in p.data().iter().zip(q.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0], Shape::d2(2, 3));
+        let labels = [2usize, 0];
+        let (_, grad) = cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for i in 0..logits.numel() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let fp = cross_entropy(&lp, &labels).0;
+            let fm = cross_entropy(&lm, &labels).0;
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((fd - grad.data()[i]).abs() < 1e-3, "grad {i}: {fd} vs {}", grad.data()[i]);
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_has_low_loss() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0], Shape::d2(1, 3));
+        let (loss, _) = cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-6);
+        assert_eq!(accuracy(&logits, &[0]), 1.0);
+        assert_eq!(accuracy(&logits, &[1]), 0.0);
+    }
+
+    #[test]
+    fn perplexity_of_uniform_model() {
+        // NLL of ln(V) per token gives perplexity V.
+        let v = 50.0f64;
+        let nll = v.ln() * 100.0;
+        assert!((perplexity(nll, 100) - v).abs() < 1e-9);
+        assert!(perplexity(0.0, 0).is_infinite());
+    }
+}

@@ -1,0 +1,85 @@
+//! EfficientNet-style inverted-residual (MBConv) network.
+//!
+//! Each block expands channels with a 1×1 conv, filters depthwise, and
+//! projects back down through a linear bottleneck, with an identity skip
+//! when shapes allow — the EfficientNet-b0 motif at synthetic scale.
+
+use crate::layers::{
+    BatchNorm2d, Conv2d, DepthwiseConv2d, Flatten, GlobalAvgPool, Linear, Relu, Residual,
+};
+use crate::Sequential;
+use tr_tensor::Rng;
+
+/// An MBConv block: expand ×`t` → depthwise (stride s) → project.
+fn mbconv(cin: usize, cout: usize, t: usize, stride: usize, rng: &mut Rng) -> Sequential {
+    let mid = cin * t;
+    let body = Sequential::new()
+        .push(Conv2d::new(cin, mid, 1, 1, 0, rng))
+        .push(BatchNorm2d::new(mid))
+        .push(Relu::new())
+        .push(DepthwiseConv2d::new(mid, 3, stride, 1, rng))
+        .push(BatchNorm2d::new(mid))
+        .push(Relu::new())
+        .push(Conv2d::new(mid, cout, 1, 1, 0, rng))
+        .push(BatchNorm2d::new(cout));
+    if stride == 1 && cin == cout {
+        // Linear bottleneck with identity skip (no post-sum activation).
+        Sequential::new().push(Residual::linear(body))
+    } else {
+        body
+    }
+}
+
+/// Build the EfficientNet-style network for 3×32×32 inputs.
+pub fn build_effnet(classes: usize, rng: &mut Rng) -> Sequential {
+    let mut s = Sequential::new()
+        .push(Conv2d::new(3, 16, 3, 1, 1, rng))
+        .push(BatchNorm2d::new(16))
+        .push(Relu::new());
+    for layer in mbconv(16, 24, 3, 2, rng).into_layers() {
+        s.push_boxed(layer);
+    }
+    for layer in mbconv(24, 24, 3, 1, rng).into_layers() {
+        s.push_boxed(layer);
+    }
+    for layer in mbconv(24, 40, 3, 2, rng).into_layers() {
+        s.push_boxed(layer);
+    }
+    for layer in mbconv(40, 40, 3, 1, rng).into_layers() {
+        s.push_boxed(layer);
+    }
+    s.push(GlobalAvgPool::new()).push(Flatten::new()).push(Linear::new(40, classes, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{ForwardCtx, Layer};
+    use tr_tensor::{Shape, Tensor};
+
+    #[test]
+    fn output_shape() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut net = build_effnet(10, &mut rng);
+        let x = Tensor::randn(Shape::d4(1, 3, 32, 32), 1.0, &mut rng);
+        let mut ctx = ForwardCtx::eval(&mut rng);
+        assert_eq!(net.forward(&x, &mut ctx).shape().dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn identity_blocks_use_linear_residuals() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut net = build_effnet(10, &mut rng);
+        let mut residuals = 0;
+        // Residual blocks appear as "residual" layer names.
+        for layer in net.layers() {
+            if layer.name() == "residual" {
+                residuals += 1;
+            }
+        }
+        assert_eq!(residuals, 2);
+        let mut sites = 0;
+        net.visit_quant_sites(&mut |_| sites += 1);
+        assert!(sites > 10);
+    }
+}

@@ -1,0 +1,32 @@
+//! The MNIST-style MLP (784–512–10), after the paper's §VI-A1 recipe.
+
+use crate::layers::{Dropout, Linear, Relu};
+use crate::Sequential;
+use tr_tensor::Rng;
+
+/// A one-hidden-layer MLP for flattened 28×28 inputs.
+pub fn build_mlp(classes: usize, rng: &mut Rng) -> Sequential {
+    Sequential::new()
+        .push(Linear::new(784, 512, rng))
+        .push(Relu::new())
+        .push(Dropout::new(0.2))
+        .push(Linear::new(512, classes, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{ForwardCtx, Layer};
+    use tr_tensor::{Shape, Tensor};
+
+    #[test]
+    fn shapes_match_the_paper_recipe() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut mlp = build_mlp(10, &mut rng);
+        assert_eq!(mlp.param_count(), 784 * 512 + 512 + 512 * 10 + 10);
+        let x = Tensor::randn(Shape::d2(4, 784), 1.0, &mut rng);
+        let mut ctx = ForwardCtx::eval(&mut rng);
+        let y = mlp.forward(&x, &mut ctx);
+        assert_eq!(y.shape().dims(), &[4, 10]);
+    }
+}

@@ -1,0 +1,62 @@
+//! MobileNet-style depthwise-separable network.
+//!
+//! Depthwise + pointwise factorization makes this the most
+//! parameter-efficient CNN in the zoo; the paper correspondingly selects
+//! its most conservative TR budget for MobileNet-v2 (k = 18 at g = 8).
+
+use crate::layers::{BatchNorm2d, Conv2d, DepthwiseConv2d, Flatten, GlobalAvgPool, Linear, Relu};
+use crate::Sequential;
+use tr_tensor::Rng;
+
+/// One depthwise-separable unit: dw 3×3 (stride s) → pw 1×1, each with
+/// BN + ReLU.
+fn separable(seq: Sequential, cin: usize, cout: usize, stride: usize, rng: &mut Rng) -> Sequential {
+    seq.push(DepthwiseConv2d::new(cin, 3, stride, 1, rng))
+        .push(BatchNorm2d::new(cin))
+        .push(Relu::new())
+        .push(Conv2d::new(cin, cout, 1, 1, 0, rng))
+        .push(BatchNorm2d::new(cout))
+        .push(Relu::new())
+}
+
+/// Build the MobileNet-style network for 3×32×32 inputs.
+pub fn build_mobilenet(classes: usize, rng: &mut Rng) -> Sequential {
+    let mut s = Sequential::new()
+        .push(Conv2d::new(3, 16, 3, 1, 1, rng))
+        .push(BatchNorm2d::new(16))
+        .push(Relu::new());
+    s = separable(s, 16, 32, 2, rng); // 16x16
+    s = separable(s, 32, 32, 1, rng);
+    s = separable(s, 32, 64, 2, rng); // 8x8
+    s = separable(s, 64, 64, 1, rng);
+    s.push(GlobalAvgPool::new()).push(Flatten::new()).push(Linear::new(64, classes, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{ForwardCtx, Layer};
+    use tr_tensor::{Shape, Tensor};
+
+    #[test]
+    fn output_shape() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut net = build_mobilenet(10, &mut rng);
+        let x = Tensor::randn(Shape::d4(1, 3, 32, 32), 1.0, &mut rng);
+        let mut ctx = ForwardCtx::eval(&mut rng);
+        assert_eq!(net.forward(&x, &mut ctx).shape().dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn depthwise_sites_present() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut net = build_mobilenet(10, &mut rng);
+        let mut dw = 0;
+        net.visit_quant_sites(&mut |s| {
+            if s.name.contains("dwconv") {
+                dw += 1;
+            }
+        });
+        assert_eq!(dw, 4);
+    }
+}

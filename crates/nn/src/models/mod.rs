@@ -1,0 +1,111 @@
+//! The model zoo.
+//!
+//! One architecture per paper model, scaled to the synthetic datasets:
+//!
+//! | paper model        | zoo model               | motif preserved                  |
+//! |--------------------|-------------------------|----------------------------------|
+//! | MLP (MNIST)        | [`mlp::build_mlp`]      | single wide hidden layer         |
+//! | VGG-16             | [`vgg::build_vgg`]      | plain conv stacks, over-provisioned |
+//! | ResNet-18          | [`resnet::build_resnet`]| residual blocks, stage widening  |
+//! | MobileNet-v2       | [`mobilenet::build_mobilenet`] | depthwise-separable convs |
+//! | EfficientNet-b0    | [`effnet::build_effnet`]| inverted-residual MBConv blocks  |
+//! | LSTM (Wikitext-2)  | [`crate::lstm::LstmLm`] | gated recurrence + embedding     |
+
+pub mod effnet;
+pub mod mlp;
+pub mod mobilenet;
+pub mod resnet;
+pub mod vgg;
+
+use crate::Sequential;
+use tr_tensor::Rng;
+
+/// The CNN architectures of the Fig. 15 (center) sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CnnKind {
+    /// Plain conv stacks (VGG-16 stand-in; over-provisioned).
+    Vgg,
+    /// Residual network (ResNet-18 stand-in).
+    ResNet,
+    /// Depthwise-separable network (MobileNet-v2 stand-in).
+    MobileNet,
+    /// Inverted-residual MBConv network (EfficientNet-b0 stand-in).
+    EffNet,
+}
+
+impl CnnKind {
+    /// All four CNNs in the paper's plotting order.
+    pub const ALL: [CnnKind; 4] = [CnnKind::Vgg, CnnKind::ResNet, CnnKind::MobileNet, CnnKind::EffNet];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            CnnKind::Vgg => "vgg-16",
+            CnnKind::ResNet => "resnet-18",
+            CnnKind::MobileNet => "mobilenet-v2",
+            CnnKind::EffNet => "efficientnet-b0",
+        }
+    }
+
+    /// Build the architecture for 3×32×32 inputs and `classes` outputs.
+    pub fn build(self, classes: usize, rng: &mut Rng) -> Sequential {
+        match self {
+            CnnKind::Vgg => vgg::build_vgg(classes, rng),
+            CnnKind::ResNet => resnet::build_resnet(classes, rng),
+            CnnKind::MobileNet => mobilenet::build_mobilenet(classes, rng),
+            CnnKind::EffNet => effnet::build_effnet(classes, rng),
+        }
+    }
+}
+
+impl std::fmt::Display for CnnKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{ForwardCtx, Layer};
+    use tr_tensor::{Shape, Tensor};
+
+    #[test]
+    fn all_cnns_forward_and_backward() {
+        for kind in CnnKind::ALL {
+            let mut rng = Rng::seed_from_u64(42);
+            let mut model = kind.build(10, &mut rng);
+            let x = Tensor::randn(Shape::d4(2, 3, 32, 32), 1.0, &mut rng);
+            let mut ctx = ForwardCtx::train(&mut rng);
+            let y = model.forward(&x, &mut ctx);
+            assert_eq!(y.shape().dims(), &[2, 10], "{kind}");
+            let g = model.backward(&Tensor::ones(y.shape().clone()));
+            assert!(g.shape().same_as(x.shape()), "{kind}");
+        }
+    }
+
+    #[test]
+    fn vgg_is_the_most_overprovisioned() {
+        // The paper leans on VGG being over-provisioned (it tolerates the
+        // most aggressive budgets); preserve the parameter-count ordering.
+        let mut rng = Rng::seed_from_u64(1);
+        let mut counts = std::collections::HashMap::new();
+        for kind in CnnKind::ALL {
+            counts.insert(kind, kind.build(10, &mut rng).param_count());
+        }
+        assert!(counts[&CnnKind::Vgg] > counts[&CnnKind::ResNet]);
+        assert!(counts[&CnnKind::Vgg] > counts[&CnnKind::MobileNet]);
+        assert!(counts[&CnnKind::MobileNet] < counts[&CnnKind::ResNet]);
+    }
+
+    #[test]
+    fn every_cnn_has_quant_sites() {
+        let mut rng = Rng::seed_from_u64(2);
+        for kind in CnnKind::ALL {
+            let mut model = kind.build(10, &mut rng);
+            let mut n = 0;
+            model.visit_quant_sites(&mut |_| n += 1);
+            assert!(n >= 4, "{kind} exposes only {n} sites");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! ResNet-style residual network (the paper's primary analysis subject:
+//! Figs. 3, 5, 16, 17, 18 and Table IV all use ResNet-18).
+
+use crate::layers::{BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, Linear, Relu, Residual};
+use crate::Sequential;
+use tr_tensor::Rng;
+
+fn basic_block(channels: usize, rng: &mut Rng) -> Residual {
+    Residual::new(
+        Sequential::new()
+            .push(Conv2d::new(channels, channels, 3, 1, 1, rng))
+            .push(BatchNorm2d::new(channels))
+            .push(Relu::new())
+            .push(Conv2d::new(channels, channels, 3, 1, 1, rng))
+            .push(BatchNorm2d::new(channels)),
+    )
+}
+
+fn down_block(cin: usize, cout: usize, rng: &mut Rng) -> Residual {
+    Residual::with_shortcut(
+        Sequential::new()
+            .push(Conv2d::new(cin, cout, 3, 2, 1, rng))
+            .push(BatchNorm2d::new(cout))
+            .push(Relu::new())
+            .push(Conv2d::new(cout, cout, 3, 1, 1, rng))
+            .push(BatchNorm2d::new(cout)),
+        Sequential::new().push(Conv2d::new(cin, cout, 1, 2, 0, rng)).push(BatchNorm2d::new(cout)),
+    )
+}
+
+/// Build the ResNet-style network for 3×32×32 inputs.
+pub fn build_resnet(classes: usize, rng: &mut Rng) -> Sequential {
+    Sequential::new()
+        // Stem: 32x32x16.
+        .push(Conv2d::new(3, 16, 3, 1, 1, rng))
+        .push(BatchNorm2d::new(16))
+        .push(Relu::new())
+        // Stage 1.
+        .push(basic_block(16, rng))
+        // Stage 2: downsample to 16x16x32.
+        .push(down_block(16, 32, rng))
+        .push(basic_block(32, rng))
+        // Stage 3: downsample to 8x8x64.
+        .push(down_block(32, 64, rng))
+        .push(basic_block(64, rng))
+        .push(GlobalAvgPool::new())
+        .push(Flatten::new())
+        .push(Linear::new(64, classes, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{ForwardCtx, Layer};
+    use tr_tensor::{Shape, Tensor};
+
+    #[test]
+    fn output_shape_and_stages() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut net = build_resnet(10, &mut rng);
+        let x = Tensor::randn(Shape::d4(2, 3, 32, 32), 1.0, &mut rng);
+        let mut ctx = ForwardCtx::eval(&mut rng);
+        assert_eq!(net.forward(&x, &mut ctx).shape().dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn has_conv_sites_in_every_stage() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut net = build_resnet(10, &mut rng);
+        let mut sites = Vec::new();
+        net.visit_quant_sites(&mut |s| sites.push(s.name));
+        // Stem + 5 residual blocks x 2 convs + 2 shortcut convs + fc.
+        assert_eq!(sites.len(), 1 + 10 + 2 + 1);
+    }
+}

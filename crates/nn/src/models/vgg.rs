@@ -1,0 +1,53 @@
+//! VGG-style plain convolutional network.
+//!
+//! Deliberately over-provisioned for the synthetic task — the paper uses
+//! VGG-16's over-provisioning to show TR's most aggressive budgets
+//! (k = 8 at g = 8, a 14× term-pair reduction).
+
+use crate::layers::{BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d, Relu};
+use crate::Sequential;
+use tr_tensor::Rng;
+
+fn conv_bn_relu(seq: Sequential, cin: usize, cout: usize, rng: &mut Rng) -> Sequential {
+    seq.push(Conv2d::new(cin, cout, 3, 1, 1, rng))
+        .push(BatchNorm2d::new(cout))
+        .push(Relu::new())
+}
+
+/// Build the VGG-style stack for 3×32×32 inputs.
+pub fn build_vgg(classes: usize, rng: &mut Rng) -> Sequential {
+    let mut s = Sequential::new();
+    // Stage 1: 32x32.
+    s = conv_bn_relu(s, 3, 24, rng);
+    s = conv_bn_relu(s, 24, 24, rng);
+    s = s.push(MaxPool2d::new(2));
+    // Stage 2: 16x16.
+    s = conv_bn_relu(s, 24, 48, rng);
+    s = conv_bn_relu(s, 48, 48, rng);
+    s = s.push(MaxPool2d::new(2));
+    // Stage 3: 8x8.
+    s = conv_bn_relu(s, 48, 96, rng);
+    s = conv_bn_relu(s, 96, 96, rng);
+    s = s.push(MaxPool2d::new(2));
+    // Classifier over 96 x 4 x 4.
+    s.push(Flatten::new())
+        .push(Linear::new(96 * 4 * 4, 192, rng))
+        .push(Relu::new())
+        .push(Linear::new(192, classes, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{ForwardCtx, Layer};
+    use tr_tensor::{Shape, Tensor};
+
+    #[test]
+    fn output_shape() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut vgg = build_vgg(10, &mut rng);
+        let x = Tensor::randn(Shape::d4(1, 3, 32, 32), 1.0, &mut rng);
+        let mut ctx = ForwardCtx::eval(&mut rng);
+        assert_eq!(vgg.forward(&x, &mut ctx).shape().dims(), &[1, 10]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Learnable parameters.
+
+use tr_tensor::{Shape, Tensor};
+
+/// A learnable tensor with its gradient accumulator.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// Whether weight decay applies (biases and norm parameters opt out,
+    /// which also keeps their distributions out of TR's way).
+    pub decay: bool,
+}
+
+impl Param {
+    /// A parameter with zeroed gradient.
+    pub fn new(value: Tensor) -> Param {
+        let grad = Tensor::zeros(value.shape().clone());
+        Param { value, grad, decay: true }
+    }
+
+    /// A parameter excluded from weight decay.
+    pub fn new_no_decay(value: Tensor) -> Param {
+        let mut p = Param::new(value);
+        p.decay = false;
+        p
+    }
+
+    /// Zero the gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Shape of the parameter.
+    pub fn shape(&self) -> &Shape {
+        self.value.shape()
+    }
+
+    /// Element count.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grad_matches_value_shape() {
+        let p = Param::new(Tensor::zeros(Shape::d2(3, 4)));
+        assert!(p.grad.shape().same_as(p.value.shape()));
+        assert!(p.decay);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::ones(Shape::d1(4)));
+        p.grad.fill(2.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn no_decay_flag() {
+        let p = Param::new_no_decay(Tensor::zeros(Shape::d1(2)));
+        assert!(!p.decay);
+    }
+}

@@ -1,0 +1,180 @@
+//! Quantization-aware training (QAT) — the §II-A alternative TR avoids.
+//!
+//! The paper positions TR against low-precision approaches that "must be
+//! performed during training" (§II-A). This module implements that
+//! baseline: straight-through-estimator training where the forward pass
+//! runs through the fake-quantized weights while gradients update the
+//! underlying float weights. The extensions experiment then asks the
+//! paper's implicit question: how close does *run-time* TR on a plain
+//! model come to what 4-bit QAT needs a training run to achieve?
+//!
+//! The STE falls out of the engine's structure: compute layers forward
+//! through `fq.qweight` (a detached reconstruction) but backpropagate and
+//! update through `Param::value`, so re-installing the weight transform
+//! after each optimizer step *is* quantization-aware training.
+
+use crate::data::Dataset;
+use crate::exec::{apply_precision, calibrate_model};
+use crate::fake_quant::Precision;
+use crate::layer::{ForwardCtx, Layer};
+use crate::loss::cross_entropy;
+use crate::optim::Optimizer;
+use crate::train::{eval_classifier, EpochStats, TrainConfig};
+use tr_tensor::{Rng, Shape, Tensor};
+
+/// Fine-tune a (possibly pretrained) classifier with fake quantization in
+/// the loop. Calibrates activations on the first training batch, then
+/// refreshes the weight transform after every optimizer step.
+///
+/// Returns per-epoch stats; the model is left with the transform
+/// installed, so subsequent evaluations measure quantized accuracy.
+pub fn train_qat(
+    model: &mut dyn Layer,
+    dataset: &Dataset,
+    precision: &Precision,
+    opt: &mut dyn Optimizer,
+    cfg: &TrainConfig,
+    rng: &mut Rng,
+) -> Vec<EpochStats> {
+    let n = dataset.train.len();
+    assert!(n > 0, "empty training split");
+    let calib = dataset.train.x.slice_batch(0, 32.min(n));
+    calibrate_model(model, &calib, precision.act_bits(), rng);
+    apply_precision(model, precision);
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut history = Vec::with_capacity(cfg.epochs);
+    let per = dataset.train.x.numel() / n;
+    for epoch in 0..cfg.epochs {
+        if Some(epoch) == cfg.lr_drop_at {
+            let lr = opt.lr();
+            opt.set_lr(lr * 0.1);
+        }
+        rng.shuffle(&mut order);
+        let mut total_loss = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch) {
+            let mut xb = Vec::with_capacity(chunk.len() * per);
+            let mut yb = Vec::with_capacity(chunk.len());
+            for &i in chunk {
+                xb.extend_from_slice(&dataset.train.x.data()[i * per..(i + 1) * per]);
+                yb.push(dataset.train.y[i]);
+            }
+            let mut dims = dataset.train.x.shape().dims().to_vec();
+            dims[0] = chunk.len();
+            let xb = Tensor::from_vec(xb, Shape::new(dims));
+            let mut ctx = ForwardCtx::train(rng);
+            let logits = model.forward(&xb, &mut ctx);
+            let (loss, grad) = cross_entropy(&logits, &yb);
+            model.backward(&grad);
+            opt.step(model);
+            // The STE refresh: re-quantize the just-updated float weights.
+            apply_precision(model, precision);
+            total_loss += loss as f64;
+            batches += 1;
+        }
+        history.push(EpochStats {
+            train_loss: (total_loss / batches.max(1) as f64) as f32,
+            test_accuracy: eval_classifier(model, dataset, rng),
+        });
+        if cfg.verbose {
+            eprintln!(
+                "qat epoch {epoch}: loss {:.4}, quantized acc {:.2}%",
+                history.last().unwrap().train_loss,
+                100.0 * history.last().unwrap().test_accuracy
+            );
+        }
+    }
+    history
+}
+
+/// One-shot magnitude pruning (no retraining): zero the smallest-|w|
+/// fraction `sparsity` of every quantization site's weights. The §II-A
+/// value-level-sparsity baseline that TR's bit-level approach is
+/// contrasted with.
+pub fn magnitude_prune(model: &mut dyn Layer, sparsity: f32) {
+    assert!((0.0..1.0).contains(&sparsity), "sparsity must be in [0, 1)");
+    model.visit_quant_sites(&mut |site| {
+        let w = &mut site.weight.value;
+        let mut mags: Vec<f32> = w.data().iter().map(|v| v.abs()).collect();
+        mags.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let cut = (sparsity * mags.len() as f32) as usize;
+        if cut == 0 {
+            return;
+        }
+        let threshold = mags[cut - 1];
+        for v in w.data_mut() {
+            if v.abs() <= threshold {
+                *v = 0.0;
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::synth_digits;
+    use crate::exec::evaluate_accuracy;
+    use crate::models::mlp::build_mlp;
+    use crate::optim::Sgd;
+    use crate::train::train_classifier;
+
+    fn pretrained(rng: &mut Rng) -> (crate::Sequential, Dataset) {
+        let ds = synth_digits(600, 200, 77);
+        let mut model = build_mlp(10, rng);
+        let mut opt = Sgd::new(0.1, 0.9, 1e-4);
+        let cfg = TrainConfig { epochs: 3, batch: 32, lr_drop_at: Some(2), verbose: false };
+        train_classifier(&mut model, &ds, &mut opt, &cfg, rng);
+        (model, ds)
+    }
+
+    #[test]
+    fn qat_recovers_low_bit_accuracy() {
+        let mut rng = Rng::seed_from_u64(1);
+        let (mut model, ds) = pretrained(&mut rng);
+        // Post-training 3-bit QT accuracy.
+        let calib = ds.train.x.slice_batch(0, 32);
+        calibrate_model(&mut model, &calib, 8, &mut rng);
+        let p = Precision::Qt { weight_bits: 3, act_bits: 8 };
+        apply_precision(&mut model, &p);
+        let post_training = evaluate_accuracy(&mut model, &ds, &mut rng);
+        // One epoch of QAT at the same precision.
+        let mut opt = Sgd::new(0.02, 0.9, 1e-4);
+        let cfg = TrainConfig { epochs: 1, batch: 32, lr_drop_at: None, verbose: false };
+        let hist = train_qat(&mut model, &ds, &p, &mut opt, &cfg, &mut rng);
+        let qat_acc = hist.last().unwrap().test_accuracy;
+        assert!(
+            qat_acc >= post_training - 0.01,
+            "QAT {qat_acc} worse than post-training {post_training}"
+        );
+    }
+
+    #[test]
+    fn magnitude_prune_zeroes_the_right_fraction() {
+        let mut rng = Rng::seed_from_u64(2);
+        let (mut model, _) = pretrained(&mut rng);
+        magnitude_prune(&mut model, 0.5);
+        let mut zeros = 0usize;
+        let mut total = 0usize;
+        model.visit_quant_sites(&mut |site| {
+            zeros += site.weight.value.data().iter().filter(|&&v| v == 0.0).count();
+            total += site.weight.numel();
+        });
+        let frac = zeros as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.02, "pruned fraction {frac}");
+    }
+
+    #[test]
+    fn pruning_degrades_gracefully_then_sharply() {
+        let mut rng = Rng::seed_from_u64(3);
+        let (mut model, ds) = pretrained(&mut rng);
+        let base = evaluate_accuracy(&mut model, &ds, &mut rng);
+        magnitude_prune(&mut model, 0.5);
+        let at_half = evaluate_accuracy(&mut model, &ds, &mut rng);
+        assert!(base - at_half < 0.1, "50% pruning collapsed: {base} -> {at_half}");
+        magnitude_prune(&mut model, 0.97);
+        let at_97 = evaluate_accuracy(&mut model, &ds, &mut rng);
+        assert!(at_97 < at_half, "97% pruning should hurt: {at_half} -> {at_97}");
+    }
+}

@@ -1,0 +1,139 @@
+//! Calibration: choosing the fixed-point scale for a tensor.
+
+use tr_tensor::Tensor;
+
+/// Parameters of a symmetric uniform quantizer.
+///
+/// A float `x` maps to the integer code `round(x / scale)` clamped to
+/// `[-qmax, qmax]` with `qmax = 2^(bits-1) - 1`. Symmetric (zero-point-free)
+/// quantization is what the paper assumes: codes are sign-magnitude values
+/// whose magnitudes have at most `bits - 1` binary terms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Real value of one integer step.
+    pub scale: f32,
+    /// Total bit width, including the sign bit (4–8 in the paper).
+    pub bits: u8,
+}
+
+impl QuantParams {
+    /// Largest representable code magnitude (`2^(bits-1) - 1`).
+    pub fn qmax(&self) -> i32 {
+        (1 << (self.bits - 1)) - 1
+    }
+
+    /// Maximum number of magnitude terms under plain binary encoding
+    /// (`bits - 1`; 7 for the paper's 8-bit setting).
+    pub fn max_terms(&self) -> usize {
+        self.bits as usize - 1
+    }
+
+    /// Quantize one value to its integer code.
+    pub fn code(&self, x: f32) -> i32 {
+        if self.scale == 0.0 {
+            return 0;
+        }
+        let q = (x / self.scale).round() as i64;
+        q.clamp(-(self.qmax() as i64), self.qmax() as i64) as i32
+    }
+
+    /// Real value of an integer code.
+    pub fn real(&self, code: i32) -> f32 {
+        code as f32 * self.scale
+    }
+}
+
+/// Max-abs calibration: the scale that maps the largest-magnitude element
+/// to the largest code. This is the layerwise post-training procedure the
+/// paper applies before TR (§VI, citing Lee et al. 2018).
+///
+/// # Panics
+/// If `bits` is not in `2..=16`.
+pub fn calibrate_max_abs(t: &Tensor, bits: u8) -> QuantParams {
+    assert!((2..=16).contains(&bits), "unsupported bit width {bits}");
+    let qmax = ((1i32 << (bits - 1)) - 1) as f32;
+    let max_abs = t.max_abs();
+    let scale = if max_abs == 0.0 { 0.0 } else { max_abs / qmax };
+    QuantParams { scale, bits }
+}
+
+/// Percentile calibration: clip the top `(1 - pct)` fraction of magnitudes
+/// before computing the scale. Useful for activation tensors with heavy
+/// tails; `pct = 1.0` degenerates to max-abs.
+///
+/// # Panics
+/// If `pct` is not in `(0, 1]` or `bits` is out of range.
+pub fn calibrate_percentile(t: &Tensor, bits: u8, pct: f64) -> QuantParams {
+    assert!((2..=16).contains(&bits), "unsupported bit width {bits}");
+    assert!(pct > 0.0 && pct <= 1.0, "percentile must be in (0, 1]");
+    if t.numel() == 0 {
+        return QuantParams { scale: 0.0, bits };
+    }
+    let mut mags: Vec<f32> = t.data().iter().map(|x| x.abs()).collect();
+    mags.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let idx = ((pct * mags.len() as f64).ceil() as usize).clamp(1, mags.len()) - 1;
+    let clip = mags[idx];
+    let qmax = ((1i32 << (bits - 1)) - 1) as f32;
+    let scale = if clip == 0.0 { 0.0 } else { clip / qmax };
+    QuantParams { scale, bits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_tensor::Shape;
+
+    #[test]
+    fn qmax_per_bitwidth() {
+        assert_eq!(QuantParams { scale: 1.0, bits: 8 }.qmax(), 127);
+        assert_eq!(QuantParams { scale: 1.0, bits: 4 }.qmax(), 7);
+        assert_eq!(QuantParams { scale: 1.0, bits: 8 }.max_terms(), 7);
+    }
+
+    #[test]
+    fn max_abs_maps_extreme_to_qmax() {
+        let t = Tensor::from_vec(vec![0.1, -2.0, 1.0], Shape::d1(3));
+        let p = calibrate_max_abs(&t, 8);
+        assert_eq!(p.code(-2.0), -127);
+        assert_eq!(p.code(2.0), 127);
+        assert!((p.real(p.code(1.0)) - 1.0).abs() < 2.0 * p.scale);
+    }
+
+    #[test]
+    fn code_clamps_out_of_range() {
+        let p = QuantParams { scale: 0.01, bits: 8 };
+        assert_eq!(p.code(100.0), 127);
+        assert_eq!(p.code(-100.0), -127);
+    }
+
+    #[test]
+    fn zero_tensor_gets_zero_scale() {
+        let t = Tensor::zeros(Shape::d1(4));
+        let p = calibrate_max_abs(&t, 8);
+        assert_eq!(p.scale, 0.0);
+        assert_eq!(p.code(5.0), 0);
+    }
+
+    #[test]
+    fn percentile_clips_tail() {
+        let mut data = vec![0.1f32; 99];
+        data.push(100.0);
+        let t = Tensor::from_vec(data, Shape::d1(100));
+        let clipped = calibrate_percentile(&t, 8, 0.99);
+        let full = calibrate_max_abs(&t, 8);
+        assert!(clipped.scale < full.scale / 100.0);
+        // pct = 1.0 degenerates to max-abs.
+        let p1 = calibrate_percentile(&t, 8, 1.0);
+        assert_eq!(p1.scale, full.scale);
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        let t = Tensor::from_vec(vec![0.33, -0.77, 0.5, 0.01], Shape::d1(4));
+        let p = calibrate_max_abs(&t, 8);
+        for &x in t.data() {
+            let err = (p.real(p.code(x)) - x).abs();
+            assert!(err <= p.scale / 2.0 + 1e-6, "err {err} for {x}");
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Quantization error metrics (Fig. 18).
+//!
+//! Fig. 18 plots, per convolutional layer, the average error of the
+//! quantized-and-possibly-truncated weights relative to the original
+//! 32-bit floats. These helpers compute that metric for any processed
+//! `QTensor` against its float source.
+
+use crate::qtensor::QTensor;
+use tr_tensor::Tensor;
+
+/// Error of a quantized (and possibly term-truncated) tensor against the
+/// original float tensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantErrorReport {
+    /// Mean absolute error.
+    pub mae: f32,
+    /// Root mean squared error.
+    pub rmse: f32,
+    /// Relative L2 error `||q - x|| / ||x||` (the Fig. 18 y-axis).
+    pub rel_l2: f32,
+    /// Largest single-element absolute error.
+    pub max_abs: f32,
+}
+
+/// Compare `q` (dequantized) against the float original `x`.
+///
+/// # Panics
+/// If the shapes differ.
+pub fn dequant_error(q: &QTensor, x: &Tensor) -> QuantErrorReport {
+    let d = q.dequantize();
+    assert!(d.shape().same_as(x.shape()), "error report shape mismatch");
+    let n = x.numel().max(1) as f64;
+    let mut abs_sum = 0.0f64;
+    let mut sq_sum = 0.0f64;
+    let mut max_abs = 0.0f32;
+    for (&a, &b) in d.data().iter().zip(x.data()) {
+        let e = a - b;
+        abs_sum += e.abs() as f64;
+        sq_sum += (e as f64) * (e as f64);
+        max_abs = max_abs.max(e.abs());
+    }
+    QuantErrorReport {
+        mae: (abs_sum / n) as f32,
+        rmse: (sq_sum / n).sqrt() as f32,
+        rel_l2: d.rel_l2(x),
+        max_abs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::calibrate_max_abs;
+    use crate::qtensor::quantize;
+    use crate::truncate::truncate_terms;
+    use tr_encoding::Encoding;
+    use tr_tensor::{Rng, Shape};
+
+    #[test]
+    fn error_shrinks_with_more_bits() {
+        let mut rng = Rng::seed_from_u64(21);
+        let x = Tensor::randn(Shape::d2(64, 64), 0.3, &mut rng);
+        let mut prev = f32::INFINITY;
+        for bits in [4u8, 5, 6, 7, 8] {
+            let q = quantize(&x, calibrate_max_abs(&x, bits));
+            let r = dequant_error(&q, &x);
+            assert!(r.rel_l2 < prev, "not shrinking at {bits} bits");
+            assert!(r.rmse <= r.max_abs + 1e-9);
+            prev = r.rel_l2;
+        }
+    }
+
+    #[test]
+    fn truncation_adds_error_on_top_of_qt() {
+        // The Fig. 18 ordering: TR-like truncation error sits between
+        // 8-bit QT and aggressive low-bit QT.
+        let mut rng = Rng::seed_from_u64(22);
+        let x = Tensor::randn(Shape::d2(64, 64), 0.3, &mut rng);
+        let q8 = quantize(&x, calibrate_max_abs(&x, 8));
+        let base = dequant_error(&q8, &x).rel_l2;
+        let trunc = truncate_terms(Encoding::Hese, &q8, 3);
+        let with_trunc = dequant_error(&trunc, &x).rel_l2;
+        assert!(with_trunc >= base);
+        let q5 = quantize(&x, calibrate_max_abs(&x, 5));
+        let aggressive = dequant_error(&q5, &x).rel_l2;
+        assert!(with_trunc < aggressive, "{with_trunc} vs {aggressive}");
+    }
+
+    #[test]
+    fn perfect_quantization_has_zero_error() {
+        let x = Tensor::from_vec(vec![1.0, -2.0, 3.0], Shape::d1(3));
+        let q = quantize(&x, crate::calibrate::QuantParams { scale: 1.0, bits: 8 });
+        let r = dequant_error(&q, &x);
+        assert_eq!(r.mae, 0.0);
+        assert_eq!(r.rel_l2, 0.0);
+        assert_eq!(r.max_abs, 0.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! im2col / col2im convolution lowering.
+//!
+//! Term Revealing operates on dot products, so the engine lowers every
+//! convolution to a matrix multiply: the input is unrolled into a patch
+//! matrix (`im2col`) and the kernel becomes a `(out_channels, C*kh*kw)`
+//! weight matrix. The same lowering is reused by the quantized and
+//! TR executors, which is what lets one TR kernel serve both `Linear` and
+//! `Conv2d` layers.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Static geometry of a 2-D convolution (single image; batching is done by
+/// the caller over the leading dimension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub k_h: usize,
+    /// Kernel width.
+    pub k_w: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl Conv2dGeometry {
+    /// Output height after the convolution.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad - self.k_h) / self.stride + 1
+    }
+
+    /// Output width after the convolution.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad - self.k_w) / self.stride + 1
+    }
+
+    /// Rows of the patch matrix: one per kernel element per channel.
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.k_h * self.k_w
+    }
+
+    /// Columns of the patch matrix: one per output spatial position.
+    pub fn n_patches(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Validate that the geometry is realizable.
+    pub fn check(&self) {
+        assert!(self.stride > 0, "stride must be positive");
+        assert!(
+            self.in_h + 2 * self.pad >= self.k_h && self.in_w + 2 * self.pad >= self.k_w,
+            "kernel {}x{} larger than padded input {}x{}",
+            self.k_h,
+            self.k_w,
+            self.in_h + 2 * self.pad,
+            self.in_w + 2 * self.pad
+        );
+    }
+}
+
+/// Unroll one CHW image into a `(patch_len, n_patches)` matrix.
+///
+/// Column `p` holds the receptive field of output position `p` flattened
+/// channel-major, so `weights (O, patch_len) @ cols (patch_len, n_patches)`
+/// produces the `(O, out_h*out_w)` output feature map.
+pub fn im2col(input: &[f32], g: &Conv2dGeometry) -> Tensor {
+    g.check();
+    assert_eq!(input.len(), g.in_channels * g.in_h * g.in_w, "input length mismatch");
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let rows = g.patch_len();
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    let mut row = 0usize;
+    for c in 0..g.in_channels {
+        let chan = &input[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
+        for kh in 0..g.k_h {
+            for kw in 0..g.k_w {
+                let orow = &mut out[row * cols..(row + 1) * cols];
+                let mut p = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kw) as isize - g.pad as isize;
+                        orow[p] = if iy >= 0 && (iy as usize) < g.in_h && ix >= 0 && (ix as usize) < g.in_w {
+                            chan[iy as usize * g.in_w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        p += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Tensor::from_vec(out, Shape::d2(rows, cols))
+}
+
+/// Scatter a `(patch_len, n_patches)` gradient matrix back onto a CHW
+/// image, accumulating overlapping contributions (the adjoint of
+/// [`im2col`]).
+pub fn col2im(cols_mat: &Tensor, g: &Conv2dGeometry) -> Vec<f32> {
+    g.check();
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let cols = oh * ow;
+    assert_eq!(cols_mat.shape().dims(), &[g.patch_len(), cols], "col matrix shape mismatch");
+    let mut image = vec![0.0f32; g.in_channels * g.in_h * g.in_w];
+    let data = cols_mat.data();
+    let mut row = 0usize;
+    for c in 0..g.in_channels {
+        let chan = &mut image[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
+        for kh in 0..g.k_h {
+            for kw in 0..g.k_w {
+                let crow = &data[row * cols..(row + 1) * cols];
+                let mut p = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kw) as isize - g.pad as isize;
+                        if iy >= 0 && (iy as usize) < g.in_h && ix >= 0 && (ix as usize) < g.in_w {
+                            chan[iy as usize * g.in_w + ix as usize] += crow[p];
+                        }
+                        p += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    image
+}
+
+/// Direct (no lowering) convolution used by tests as the ground truth for
+/// the im2col path. One CHW image, `weights (O, C, kh, kw)` flattened.
+pub fn conv2d_reference(
+    input: &[f32],
+    weights: &[f32],
+    out_channels: usize,
+    g: &Conv2dGeometry,
+) -> Vec<f32> {
+    g.check();
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let mut out = vec![0.0f32; out_channels * oh * ow];
+    for o in 0..out_channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f64;
+                for c in 0..g.in_channels {
+                    for kh in 0..g.k_h {
+                        for kw in 0..g.k_w {
+                            let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+                            let ix = (ox * g.stride + kw) as isize - g.pad as isize;
+                            if iy >= 0 && (iy as usize) < g.in_h && ix >= 0 && (ix as usize) < g.in_w {
+                                let iv = input[c * g.in_h * g.in_w + iy as usize * g.in_w + ix as usize];
+                                let wv = weights
+                                    [((o * g.in_channels + c) * g.k_h + kh) * g.k_w + kw];
+                                acc += (iv * wv) as f64;
+                            }
+                        }
+                    }
+                }
+                out[o * oh * ow + oy * ow + ox] = acc as f32;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn geom(c: usize, h: usize, w: usize, k: usize, s: usize, p: usize) -> Conv2dGeometry {
+        Conv2dGeometry { in_channels: c, in_h: h, in_w: w, k_h: k, k_w: k, stride: s, pad: p }
+    }
+
+    #[test]
+    fn output_dims() {
+        let g = geom(3, 32, 32, 3, 1, 1);
+        assert_eq!((g.out_h(), g.out_w()), (32, 32));
+        let g = geom(3, 32, 32, 3, 2, 1);
+        assert_eq!((g.out_h(), g.out_w()), (16, 16));
+    }
+
+    #[test]
+    fn im2col_matmul_matches_direct_conv() {
+        let mut rng = Rng::seed_from_u64(10);
+        for &(c, h, w, k, s, p, o) in
+            &[(1, 5, 5, 3, 1, 0, 2), (3, 8, 8, 3, 1, 1, 4), (2, 7, 9, 3, 2, 1, 3), (4, 6, 6, 1, 1, 0, 5)]
+        {
+            let g = geom(c, h, w, k, s, p);
+            let input = Tensor::randn(Shape::d3(c, h, w), 1.0, &mut rng);
+            let weights = Tensor::randn(Shape::d2(o, g.patch_len()), 1.0, &mut rng);
+            let cols = im2col(input.data(), &g);
+            let lowered = weights.matmul(&cols);
+            let direct = conv2d_reference(input.data(), weights.data(), o, &g);
+            for (a, b) in lowered.data().iter().zip(&direct) {
+                assert!((a - b).abs() < 1e-3, "{a} vs {b} at ({c},{h},{w},{k},{s},{p},{o})");
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> characterizes the adjoint pair,
+        // which is exactly what the conv backward pass relies on.
+        let mut rng = Rng::seed_from_u64(11);
+        let g = geom(2, 6, 6, 3, 1, 1);
+        let x = Tensor::randn(Shape::d3(2, 6, 6), 1.0, &mut rng);
+        let y = Tensor::randn(Shape::d2(g.patch_len(), g.n_patches()), 1.0, &mut rng);
+        let lhs: f64 = im2col(x.data(), &g)
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(&a, &b)| (a * b) as f64)
+            .sum();
+        let back = col2im(&y, &g);
+        let rhs: f64 = x.data().iter().zip(&back).map(|(&a, &b)| (a * b) as f64).sum();
+        assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn padding_produces_zero_border_patches() {
+        let g = geom(1, 2, 2, 3, 1, 1);
+        let input = vec![1.0, 2.0, 3.0, 4.0];
+        let cols = im2col(&input, &g);
+        // First column is the patch centered at (0,0); its top-left kernel
+        // position falls entirely in padding.
+        assert_eq!(cols.at(&[0, 0]), 0.0);
+        // Center of that patch is input(0,0) = 1.0 at kernel row 1, col 1.
+        assert_eq!(cols.at(&[4, 0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than padded input")]
+    fn rejects_impossible_geometry() {
+        geom(1, 2, 2, 5, 1, 0).check();
+    }
+}

@@ -1,0 +1,173 @@
+//! Seeded random number generation and the distributions used for weight
+//! initialization and synthetic data generation.
+//!
+//! The reproduction must be deterministic end-to-end (training a model,
+//! quantizing it, and sweeping TR budgets all happen in one process), so
+//! every stochastic component takes an explicit [`Rng`] seeded by the
+//! caller. Normal deviates use Box–Muller so we do not need an extra
+//! distribution crate.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+
+/// A seedable random source with the handful of distributions the
+/// workspace needs.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    inner: StdRng,
+    /// Cached second Box–Muller deviate.
+    spare_normal: Option<f32>,
+}
+
+impl Rng {
+    /// Create a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Rng { inner: StdRng::seed_from_u64(seed), spare_normal: None }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        self.inner.gen::<f32>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// If `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        self.inner.gen_range(0..n)
+    }
+
+    /// A standard normal deviate (Box–Muller, with the spare cached).
+    pub fn normal(&mut self) -> f32 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Avoid ln(0).
+        let u1 = loop {
+            let u = self.uniform();
+            if u > f32::EPSILON {
+                break u;
+            }
+        };
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// A normal deviate with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal()
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn bernoulli(&mut self, p: f32) -> bool {
+        self.uniform() < p
+    }
+
+    /// Sample an index from an (unnormalized) non-negative weight vector.
+    ///
+    /// # Panics
+    /// If `weights` is empty or sums to zero.
+    pub fn categorical(&mut self, weights: &[f32]) -> usize {
+        assert!(!weights.is_empty(), "empty categorical distribution");
+        let total: f32 = weights.iter().sum();
+        assert!(total > 0.0, "categorical weights sum to zero");
+        let mut target = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            target -= w;
+            if target <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffle of a slice of indices.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Split off an independent generator (for per-worker streams).
+    pub fn fork(&mut self) -> Rng {
+        let seed = self.inner.gen::<u64>();
+        Rng::seed_from_u64(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = Rng::seed_from_u64(7);
+        let n = 50_000;
+        let xs: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[rng.categorical(&[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        let p2 = counts[2] as f32 / 30_000.0;
+        assert!((p2 - 0.7).abs() < 0.03, "p2 {p2}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from_u64(9);
+        let mut xs: Vec<usize> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_streams_diverge() {
+        let mut root = Rng::seed_from_u64(1);
+        let mut a = root.fork();
+        let mut b = root.fork();
+        let xa: Vec<u32> = (0..8).map(|_| (a.uniform() * 1e6) as u32).collect();
+        let xb: Vec<u32> = (0..8).map(|_| (b.uniform() * 1e6) as u32).collect();
+        assert_ne!(xa, xb);
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = Rng::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| rng.bernoulli(0.25)).count();
+        let rate = hits as f32 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+}

@@ -1,0 +1,188 @@
+//! Shape and stride bookkeeping for dense row-major tensors.
+
+/// The dimensions of a dense, row-major tensor.
+///
+/// Up to four dimensions are used by this workspace (NCHW activations), but
+/// the type supports arbitrary rank.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// A new shape from explicit dimensions.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape { dims: dims.into() }
+    }
+
+    /// A scalar shape (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// A rank-1 shape.
+    pub fn d1(n: usize) -> Self {
+        Shape { dims: vec![n] }
+    }
+
+    /// A rank-2 shape (rows, cols).
+    pub fn d2(rows: usize, cols: usize) -> Self {
+        Shape { dims: vec![rows, cols] }
+    }
+
+    /// A rank-3 shape.
+    pub fn d3(a: usize, b: usize, c: usize) -> Self {
+        Shape { dims: vec![a, b, c] }
+    }
+
+    /// A rank-4 shape (batch, channels, height, width).
+    pub fn d4(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape { dims: vec![n, c, h, w] }
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The raw dimension slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Size of dimension `i`.
+    ///
+    /// # Panics
+    /// If `i >= rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides (elements, not bytes).
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Flatten a multi-dimensional index into a linear offset.
+    ///
+    /// # Panics
+    /// If the index rank does not match or any coordinate is out of range.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.dims.len(),
+            "index rank {} != shape rank {}",
+            index.len(),
+            self.dims.len()
+        );
+        let mut off = 0usize;
+        let strides = self.strides();
+        for (i, (&ix, &d)) in index.iter().zip(self.dims.iter()).enumerate() {
+            assert!(ix < d, "index {ix} out of range for dim {i} of size {d}");
+            off += ix * strides[i];
+        }
+        off
+    }
+
+    /// Interpret this shape as a matrix: `(rows, cols)` with all leading
+    /// dimensions folded into `rows`.
+    ///
+    /// # Panics
+    /// If the shape has rank 0.
+    pub fn as_matrix(&self) -> (usize, usize) {
+        assert!(self.rank() >= 1, "cannot view scalar as matrix");
+        let cols = *self.dims.last().unwrap();
+        let rows = self.numel() / cols.max(1);
+        (rows, cols)
+    }
+
+    /// Whether the two shapes have identical dimensions.
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self.dims == other.dims
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::d4(2, 3, 4, 5);
+        assert_eq!(s.rank(), 4);
+        assert_eq!(s.numel(), 120);
+        assert_eq!(s.dims(), &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::d3(2, 3, 4);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn offset_walks_row_major() {
+        let s = Shape::d2(3, 4);
+        assert_eq!(s.offset(&[0, 0]), 0);
+        assert_eq!(s.offset(&[1, 0]), 4);
+        assert_eq!(s.offset(&[2, 3]), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn offset_checks_bounds() {
+        Shape::d2(2, 2).offset(&[2, 0]);
+    }
+
+    #[test]
+    fn matrix_view_folds_leading_dims() {
+        assert_eq!(Shape::d4(2, 3, 4, 5).as_matrix(), (24, 5));
+        assert_eq!(Shape::d1(7).as_matrix(), (1, 7));
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Shape::d2(2, 3).to_string(), "[2, 3]");
+    }
+}

@@ -1,0 +1,284 @@
+//! Histograms and summary statistics.
+//!
+//! The paper's Figures 3, 5, 8 and 18 are all distribution plots (value
+//! histograms, term-count histograms, CDFs, per-layer error bars). This
+//! module provides the shared binning/CDF machinery the experiment harness
+//! uses to regenerate them.
+
+/// A fixed-width histogram over `f32` samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f32,
+    hi: f32,
+    counts: Vec<u64>,
+    /// Samples below `lo` or above `hi`.
+    outliers: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// A histogram with `bins` equal-width buckets spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    /// If `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f32, hi: f32, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "invalid histogram range [{lo}, {hi})");
+        Histogram { lo, hi, counts: vec![0; bins], outliers: 0, total: 0 }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f32) {
+        self.total += 1;
+        if !x.is_finite() || x < self.lo || x >= self.hi {
+            self.outliers += 1;
+            return;
+        }
+        let w = (self.hi - self.lo) / self.counts.len() as f32;
+        let mut bin = ((x - self.lo) / w) as usize;
+        if bin >= self.counts.len() {
+            bin = self.counts.len() - 1;
+        }
+        self.counts[bin] += 1;
+    }
+
+    /// Record many samples.
+    pub fn record_all(&mut self, xs: &[f32]) {
+        for &x in xs {
+            self.record(x);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples outside the range.
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    /// Total samples recorded (including outliers).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f32 {
+        let w = (self.hi - self.lo) / self.counts.len() as f32;
+        self.lo + (i as f32 + 0.5) * w
+    }
+
+    /// Per-bin fraction of all recorded samples.
+    pub fn fractions(&self) -> Vec<f64> {
+        let t = self.total.max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / t).collect()
+    }
+
+    /// A compact one-line ASCII rendering (for the repro harness output).
+    pub fn sparkline(&self) -> String {
+        const GLYPHS: &[char] = &[' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        self.counts
+            .iter()
+            .map(|&c| GLYPHS[(c as usize * (GLYPHS.len() - 1) + max as usize / 2) / max as usize])
+            .collect()
+    }
+}
+
+/// An integer-valued histogram (e.g. "number of terms per value",
+/// "term pairs per group").
+#[derive(Debug, Clone, Default)]
+pub struct CountHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl CountHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        CountHistogram::default()
+    }
+
+    /// Record one integer sample.
+    pub fn record(&mut self, x: usize) {
+        if x >= self.counts.len() {
+            self.counts.resize(x + 1, 0);
+        }
+        self.counts[x] += 1;
+        self.total += 1;
+    }
+
+    /// Record `n` occurrences of value `x` at once.
+    pub fn record_many(&mut self, x: usize, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if x >= self.counts.len() {
+            self.counts.resize(x + 1, 0);
+        }
+        self.counts[x] += n;
+        self.total += n;
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &CountHistogram) {
+        for (v, &c) in other.counts().iter().enumerate() {
+            self.record_many(v, c);
+        }
+    }
+
+    /// Count for value `x`.
+    pub fn count(&self, x: usize) -> u64 {
+        self.counts.get(x).copied().unwrap_or(0)
+    }
+
+    /// The per-value counts (index = value).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let s: u128 = self.counts.iter().enumerate().map(|(v, &c)| v as u128 * c as u128).sum();
+        s as f64 / self.total as f64
+    }
+
+    /// Fraction of samples `<= x` (the empirical CDF).
+    pub fn cdf(&self, x: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let s: u64 = self.counts.iter().take(x + 1).sum();
+        s as f64 / self.total as f64
+    }
+
+    /// Smallest value whose CDF is at least `q` (empirical quantile).
+    pub fn quantile(&self, q: f64) -> usize {
+        let target = (q * self.total as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (v, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return v;
+            }
+        }
+        self.counts.len().saturating_sub(1)
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> usize {
+        self.counts.iter().rposition(|&c| c > 0).unwrap_or(0)
+    }
+}
+
+/// Mean / std / min / max of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f32,
+    /// Maximum.
+    pub max: f32,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarize a slice (empty slices give a zero summary).
+    pub fn of(xs: &[f32]) -> Summary {
+        if xs.is_empty() {
+            return Summary { mean: 0.0, std: 0.0, min: 0.0, max: 0.0, n: 0 };
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().map(|&x| x as f64).sum::<f64>() / n;
+        let var = xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        let min = xs.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        Summary { mean, std: var.sqrt(), min, max, n: xs.len() }
+    }
+}
+
+/// Evaluate the empirical CDF of `hist` at each integer `0..=max`, as
+/// `(value, cumulative_fraction)` points — the series plotted in Fig. 8(c).
+pub fn cdf_points(hist: &CountHistogram) -> Vec<(usize, f64)> {
+    (0..=hist.max()).map(|v| (v, hist.cdf(v))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_and_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record_all(&[0.5, 1.5, 1.6, 9.9, -1.0, 10.0, f32::NAN]);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.outliers(), 3);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn histogram_fractions_sum_below_one_with_outliers() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record_all(&[0.1, 0.6, 2.0]);
+        let s: f64 = h.fractions().iter().sum();
+        assert!((s - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn count_histogram_cdf_quantile() {
+        let mut h = CountHistogram::new();
+        for v in [1usize, 1, 2, 3, 3, 3, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.count(3), 3);
+        assert!((h.cdf(3) - 6.0 / 7.0).abs() < 1e-12);
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(0.99), 7);
+        assert_eq!(h.max(), 7);
+        assert!((h.mean() - 20.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_moments() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std - 1.118).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cdf_points_cover_range() {
+        let mut h = CountHistogram::new();
+        h.record(0);
+        h.record(2);
+        let pts = cdf_points(&h);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], (0, 0.5));
+        assert_eq!(pts[2], (2, 1.0));
+    }
+
+    #[test]
+    fn sparkline_has_one_glyph_per_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 5);
+        h.record_all(&[0.1, 0.1, 0.5]);
+        assert_eq!(h.sparkline().chars().count(), 5);
+    }
+}

@@ -1,0 +1,395 @@
+//! The dense `f32` tensor type and its element-wise kernels.
+
+use crate::rng::Rng;
+use crate::shape::Shape;
+
+/// A dense, row-major `f32` tensor.
+///
+/// This is the workhorse value type of the workspace: model weights,
+/// activations, and gradients are all `Tensor`s. Storage is a flat
+/// `Vec<f32>`; views are not implemented (each op produces a fresh tensor
+/// or mutates in place) which keeps the engine simple and the memory
+/// behaviour predictable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Build a tensor from existing data.
+    ///
+    /// # Panics
+    /// If `data.len() != shape.numel()`.
+    pub fn from_vec(data: Vec<f32>, shape: Shape) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "data length {} does not match shape {} ({} elements)",
+            data.len(),
+            shape,
+            shape.numel()
+        );
+        Tensor { data, shape }
+    }
+
+    /// An all-zeros tensor.
+    pub fn zeros(shape: Shape) -> Self {
+        Tensor { data: vec![0.0; shape.numel()], shape }
+    }
+
+    /// An all-ones tensor.
+    pub fn ones(shape: Shape) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// A constant-filled tensor.
+    pub fn full(shape: Shape, value: f32) -> Self {
+        Tensor { data: vec![value; shape.numel()], shape }
+    }
+
+    /// The `n`×`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(Shape::d2(n, n));
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// I.i.d. standard normal entries scaled by `std`.
+    pub fn randn(shape: Shape, std: f32, rng: &mut Rng) -> Self {
+        let data = (0..shape.numel()).map(|_| rng.normal() * std).collect();
+        Tensor { data, shape }
+    }
+
+    /// I.i.d. uniform entries in `[lo, hi)`.
+    pub fn rand_uniform(shape: Shape, lo: f32, hi: f32, rng: &mut Rng) -> Self {
+        let data = (0..shape.numel()).map(|_| rng.uniform_range(lo, hi)).collect();
+        Tensor { data, shape }
+    }
+
+    /// Kaiming/He normal initialization for a weight of the given fan-in.
+    pub fn kaiming(shape: Shape, fan_in: usize, rng: &mut Rng) -> Self {
+        let std = (2.0 / fan_in.max(1) as f32).sqrt();
+        Tensor::randn(shape, std, rng)
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Immutable view of the flat storage.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat storage.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor, returning its storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Set the element at a multi-dimensional index.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Reinterpret the storage under a new shape with the same element count.
+    ///
+    /// # Panics
+    /// If the element counts differ.
+    pub fn reshape(&self, shape: Shape) -> Tensor {
+        assert_eq!(
+            self.numel(),
+            shape.numel(),
+            "reshape {} -> {} changes element count",
+            self.shape,
+            shape
+        );
+        Tensor { data: self.data.clone(), shape }
+    }
+
+    /// Reshape in place (no copy).
+    pub fn reshape_inplace(&mut self, shape: Shape) {
+        assert_eq!(self.numel(), shape.numel());
+        self.shape = shape;
+    }
+
+    /// Apply `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
+    }
+
+    /// Apply `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combine two same-shaped tensors element-wise.
+    ///
+    /// # Panics
+    /// If the shapes differ.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert!(
+            self.shape.same_as(&other.shape),
+            "zip_map shape mismatch {} vs {}",
+            self.shape,
+            other.shape
+        );
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        Tensor { data, shape: self.shape.clone() }
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// `self += alpha * other`, in place (the BLAS `axpy`).
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert!(self.shape.same_as(&other.shape), "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiply every element by a scalar, producing a new tensor.
+    pub fn scale(&self, alpha: f32) -> Tensor {
+        self.map(|x| x * alpha)
+    }
+
+    /// Multiply every element by a scalar in place.
+    pub fn scale_inplace(&mut self, alpha: f32) {
+        self.map_inplace(|x| x * alpha);
+    }
+
+    /// Fill with a constant.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
+    /// Sum of all elements (f64 accumulator for stability).
+    pub fn sum(&self) -> f32 {
+        self.data.iter().map(|&x| x as f64).sum::<f64>() as f32
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum absolute value (0 for an empty tensor).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Index of the maximum element of a rank-1 tensor or a row.
+    pub fn argmax_row(&self, row: usize) -> usize {
+        let (_rows, cols) = self.shape.as_matrix();
+        let slice = &self.data[row * cols..(row + 1) * cols];
+        slice
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Borrow row `r` of the matrix view.
+    pub fn row(&self, r: usize) -> &[f32] {
+        let (rows, cols) = self.shape.as_matrix();
+        assert!(r < rows, "row {r} out of range ({rows} rows)");
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Mutably borrow row `r` of the matrix view.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        let (rows, cols) = self.shape.as_matrix();
+        assert!(r < rows, "row {r} out of range ({rows} rows)");
+        &mut self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Transpose of the matrix view.
+    pub fn transpose2d(&self) -> Tensor {
+        let (rows, cols) = self.shape.as_matrix();
+        let mut out = vec![0.0f32; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                out[c * rows + r] = self.data[r * cols + c];
+            }
+        }
+        Tensor::from_vec(out, Shape::d2(cols, rows))
+    }
+
+    /// Copy a contiguous batch slice `[start, end)` along the leading
+    /// dimension into a new tensor.
+    pub fn slice_batch(&self, start: usize, end: usize) -> Tensor {
+        assert!(self.shape.rank() >= 1);
+        let n = self.shape.dim(0);
+        assert!(start <= end && end <= n, "batch slice {start}..{end} out of range {n}");
+        let per = self.numel() / n.max(1);
+        let mut dims = self.shape.dims().to_vec();
+        dims[0] = end - start;
+        Tensor::from_vec(self.data[start * per..end * per].to_vec(), Shape::new(dims))
+    }
+
+    /// Mean squared error against another tensor of the same shape.
+    pub fn mse(&self, other: &Tensor) -> f32 {
+        assert!(self.shape.same_as(&other.shape), "mse shape mismatch");
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let s: f64 = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| {
+                let d = (a - b) as f64;
+                d * d
+            })
+            .sum();
+        (s / self.data.len() as f64) as f32
+    }
+
+    /// Relative L2 error `||self - other|| / ||other||`.
+    pub fn rel_l2(&self, other: &Tensor) -> f32 {
+        assert!(self.shape.same_as(&other.shape), "rel_l2 shape mismatch");
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for (&a, &b) in self.data.iter().zip(&other.data) {
+            let d = (a - b) as f64;
+            num += d * d;
+            den += (b as f64) * (b as f64);
+        }
+        if den == 0.0 {
+            if num == 0.0 {
+                0.0
+            } else {
+                f32::INFINITY
+            }
+        } else {
+            (num / den).sqrt() as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], Shape::d2(2, 3));
+        assert_eq!(t.at(&[0, 0]), 1.0);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+        assert_eq!(t.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let i = Tensor::eye(3);
+        assert_eq!(i.at(&[0, 0]), 1.0);
+        assert_eq!(i.at(&[1, 2]), 0.0);
+        assert_eq!(i.sum(), 3.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], Shape::d1(2));
+        let b = Tensor::from_vec(vec![3.0, 5.0], Shape::d1(2));
+        assert_eq!(a.add(&b).data(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).data(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[3.0, 10.0]);
+        let mut c = a.clone();
+        c.axpy(2.0, &b);
+        assert_eq!(c.data(), &[7.0, 12.0]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let mut rng = Rng::seed_from_u64(5);
+        let t = Tensor::randn(Shape::d2(4, 7), 1.0, &mut rng);
+        let back = t.transpose2d().transpose2d();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn argmax_row_picks_largest() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.2, 0.8, 0.05, 0.1], Shape::d2(2, 3));
+        assert_eq!(t.argmax_row(0), 1);
+        assert_eq!(t.argmax_row(1), 0);
+    }
+
+    #[test]
+    fn slice_batch_extracts_rows() {
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), Shape::d3(3, 2, 2));
+        let s = t.slice_batch(1, 3);
+        assert_eq!(s.shape().dims(), &[2, 2, 2]);
+        assert_eq!(s.data()[0], 4.0);
+    }
+
+    #[test]
+    fn mse_and_rel_l2() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], Shape::d1(2));
+        let b = Tensor::from_vec(vec![1.0, 4.0], Shape::d1(2));
+        assert_eq!(a.mse(&b), 2.0);
+        assert!(a.rel_l2(&a) == 0.0);
+        assert!(a.rel_l2(&b) > 0.0);
+    }
+
+    #[test]
+    fn kaiming_scale_tracks_fan_in() {
+        let mut rng = Rng::seed_from_u64(13);
+        let t = Tensor::kaiming(Shape::d2(64, 256), 256, &mut rng);
+        let var = t.data().iter().map(|&x| (x * x) as f64).sum::<f64>() / t.numel() as f64;
+        let expected = 2.0 / 256.0;
+        assert!((var - expected).abs() / expected < 0.2, "var {var}, expected {expected}");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_checks_len() {
+        Tensor::from_vec(vec![1.0; 3], Shape::d2(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn zip_map_checks_shape() {
+        let a = Tensor::zeros(Shape::d1(2));
+        let b = Tensor::zeros(Shape::d1(3));
+        let _ = a.add(&b);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests of the tensor substrate's algebraic invariants.
+
+use proptest::prelude::*;
+use tr_tensor::matmul::matmul_reference;
+use tr_tensor::{col2im, im2col, Conv2dGeometry, Rng, Shape, Tensor};
+
+fn tensor_strategy(max_side: usize) -> impl Strategy<Value = (usize, usize, u64)> {
+    (1..=max_side, 1..=max_side, any::<u64>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_matches_reference((m, k, seed) in tensor_strategy(12), n in 1usize..=12) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = Tensor::randn(Shape::d2(m, k), 1.0, &mut rng);
+        let b = Tensor::randn(Shape::d2(k, n), 1.0, &mut rng);
+        let got = a.matmul(&b);
+        let expect = matmul_reference(a.data(), b.data(), m, k, n);
+        for (g, e) in got.data().iter().zip(&expect) {
+            prop_assert!((g - e).abs() < 1e-3 * (1.0 + e.abs()), "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition((m, k, seed) in tensor_strategy(8)) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = Tensor::randn(Shape::d2(m, k), 1.0, &mut rng);
+        let b = Tensor::randn(Shape::d2(k, 4), 1.0, &mut rng);
+        let c = Tensor::randn(Shape::d2(k, 4), 1.0, &mut rng);
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(lhs.rel_l2(&rhs) < 1e-4, "rel {}", lhs.rel_l2(&rhs));
+    }
+
+    #[test]
+    fn transpose_is_involutive((m, k, seed) in tensor_strategy(16)) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = Tensor::randn(Shape::d2(m, k), 1.0, &mut rng);
+        prop_assert_eq!(a.transpose2d().transpose2d(), a);
+    }
+
+    #[test]
+    fn transb_equals_plain_on_transposed((m, k, seed) in tensor_strategy(10)) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = Tensor::randn(Shape::d2(m, k), 1.0, &mut rng);
+        let b = Tensor::randn(Shape::d2(k, 5), 1.0, &mut rng);
+        let plain = a.matmul(&b);
+        let via_t = a.matmul_transb(&b.transpose2d());
+        prop_assert!(plain.rel_l2(&via_t) < 1e-4);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        c in 1usize..=3,
+        hw in 3usize..=8,
+        k in 1usize..=3,
+        pad in 0usize..=1,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(hw + 2 * pad >= k);
+        let g = Conv2dGeometry { in_channels: c, in_h: hw, in_w: hw, k_h: k, k_w: k, stride: 1, pad };
+        let mut rng = Rng::seed_from_u64(seed);
+        let x = Tensor::randn(Shape::d3(c, hw, hw), 1.0, &mut rng);
+        let y = Tensor::randn(Shape::d2(g.patch_len(), g.n_patches()), 1.0, &mut rng);
+        let lhs: f64 = im2col(x.data(), &g)
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(&a, &b)| (a * b) as f64)
+            .sum();
+        let back = col2im(&y, &g);
+        let rhs: f64 = x.data().iter().zip(&back).map(|(&a, &b)| (a * b) as f64).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn reshape_preserves_data(m in 1usize..=8, k in 1usize..=8, seed in any::<u64>()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = Tensor::randn(Shape::d2(m, k), 1.0, &mut rng);
+        let r = a.reshape(Shape::d1(m * k));
+        prop_assert_eq!(r.data(), a.data());
+        prop_assert_eq!(r.numel(), a.numel());
+    }
+
+    #[test]
+    fn rel_l2_is_zero_iff_equal(m in 1usize..=6, seed in any::<u64>()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = Tensor::randn(Shape::d2(m, 3), 1.0, &mut rng);
+        prop_assert_eq!(a.rel_l2(&a), 0.0);
+        let mut b = a.clone();
+        b.data_mut()[0] += 1.0;
+        prop_assert!(a.rel_l2(&b) > 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! CNN inference under QT and TR — the Fig. 15 (center) workflow on one
+//! model.
+//!
+//! Trains (or loads from the zoo cache) the ResNet-style CNN on the
+//! synthetic image task, then compares float, 8-bit QT, 4-bit QT, and TR
+//! inference: accuracy and term-pair multiplications per sample.
+//!
+//! ```text
+//! cargo run --release -p tr-bench --example cnn_inference
+//! ```
+
+use tr_bench::Zoo;
+use tr_core::TrConfig;
+use tr_nn::exec::{calibrate_model, evaluate_accuracy, evaluate_precision};
+use tr_nn::models::CnnKind;
+use tr_nn::Precision;
+use tr_tensor::Rng;
+
+fn main() {
+    let mut rng = Rng::seed_from_u64(7);
+    let zoo = Zoo::new();
+    eprintln!("loading/training the ResNet-style CNN (cached under target/tr-zoo)...");
+    let (mut model, ds) = zoo.cnn(CnnKind::ResNet);
+
+    let float_acc = evaluate_accuracy(&mut model, &ds, &mut rng);
+    println!("float32 accuracy          : {:.2}%", 100.0 * float_acc);
+
+    let calib = ds.train.x.slice_batch(0, 32);
+    calibrate_model(&mut model, &calib, 8, &mut rng);
+
+    for precision in [
+        Precision::Qt { weight_bits: 8, act_bits: 8 },
+        Precision::Qt { weight_bits: 4, act_bits: 8 },
+        Precision::Tr(TrConfig::new(8, 16).with_data_terms(3)),
+    ] {
+        let (acc, counts) = evaluate_precision(&mut model, &ds, &precision, 8, &mut rng);
+        println!(
+            "{:<26}: {:.2}%  ({:>12.0} bound pairs/sample, {:>12.0} actual)",
+            precision.label(),
+            100.0 * acc,
+            counts.bound_per_sample(),
+            counts.actual_per_sample()
+        );
+    }
+    println!(
+        "\nThe TR row should match qt-w8a8 accuracy at a several-fold lower \
+         pair bound — the paper's Fig. 15 result."
+    );
+}

@@ -1,0 +1,58 @@
+//! Driving the FPGA system model: run ResNet-18 (ImageNet geometry) under
+//! QT, switch the control registers to TR at run time, and run it again —
+//! the §V-G reconfiguration story plus the Fig. 19 comparison.
+//!
+//! ```text
+//! cargo run --release -p tr-bench --example hw_sim
+//! ```
+
+use tr_core::TrConfig;
+use tr_hw::netlists::resnet18;
+use tr_hw::resources::VC707;
+use tr_hw::{ControlRegisters, TrSystem};
+
+fn main() {
+    let sys = TrSystem::default();
+    let shapes = resnet18();
+    let macs: u64 = shapes.iter().map(|s| s.macs()).sum();
+    println!("network: ResNet-18 geometry, {:.2} GMACs/sample", macs as f64 / 1e9);
+    println!(
+        "array  : {}x{} tMACs at {} MHz\n",
+        sys.array.rows, sys.array.cols, sys.clock_mhz
+    );
+
+    // Conventional quantization first.
+    let qt = ControlRegisters::for_qt(8);
+    let r_qt = sys.simulate_network(&shapes, &qt, None);
+    println!("[QT  w8a8     ] latency {:>8.2} ms, energy {:>10.3e} FA-eq", r_qt.latency_ms, r_qt.energy_fa);
+
+    // Flip the Table-I registers to TR.
+    let cfg = TrConfig::new(8, 12).with_data_terms(3);
+    let tr = ControlRegisters::for_tr(&cfg);
+    let switch = qt.switch_cycles(&tr);
+    println!(
+        "[switch QT->TR] {} register writes = {} cycles = {:.1} ns (paper: < 100 ns)",
+        switch,
+        switch,
+        switch as f64 / (sys.clock_mhz * 1e6) * 1e9
+    );
+
+    let r_tr = sys.simulate_network(&shapes, &tr, None);
+    println!("[TR g8 k12 s3 ] latency {:>8.2} ms, energy {:>10.3e} FA-eq", r_tr.latency_ms, r_tr.energy_fa);
+    println!(
+        "\nTR over QT: {:.1}x latency, {:.1}x energy efficiency (paper Fig. 19: 7.8x / 4.3x avg)",
+        r_qt.latency_ms / r_tr.latency_ms,
+        r_qt.energy_fa / r_tr.energy_fa
+    );
+
+    let used = sys.resource_usage(8, 606);
+    let (lut, ff, dsp, bram) = used.utilization(&VC707);
+    println!(
+        "\nVC707 utilization: LUT {:.0}%, FF {:.0}%, DSP {:.0}%, BRAM {:.0}% \
+         (paper Table IV: 65/51/27/59%)",
+        lut * 100.0,
+        ff * 100.0,
+        dsp * 100.0,
+        bram * 100.0
+    );
+}

@@ -1,0 +1,111 @@
+//! Property-based tests on the encoding substrate: value preservation,
+//! HESE minimality, Booth bounds, and truncation monotonicity over wide
+//! random input ranges.
+
+use proptest::prelude::*;
+use tr_encoding::booth::{booth_radix2, booth_term_bound};
+use tr_encoding::hese::{hese, hese_streams, hese_term_bound, minimize_sdr};
+use tr_encoding::naf::{minimal_weight, naf};
+use tr_encoding::{binary_terms, booth_radix4, Encoding, Sdr};
+
+proptest! {
+    #[test]
+    fn every_encoding_reconstructs_any_24bit_value(mag in 0u32..(1 << 24)) {
+        prop_assert_eq!(binary_terms(mag).value(), mag as i64);
+        prop_assert_eq!(booth_radix4(mag).value(), mag as i64);
+        prop_assert_eq!(booth_radix2(mag).value(), mag as i64);
+        prop_assert_eq!(naf(mag).value(), mag as i64);
+        prop_assert_eq!(hese(mag).value(), mag as i64);
+    }
+
+    #[test]
+    fn hese_weight_is_minimal(mag in 0u32..(1 << 24)) {
+        // The paper's §IV claim at scale: one-pass HESE achieves the
+        // theoretical minimum number of terms (the NAF weight).
+        prop_assert_eq!(hese(mag).weight(), minimal_weight(mag));
+    }
+
+    #[test]
+    fn hese_never_worse_than_binary_or_booth(mag in 0u32..(1 << 24)) {
+        let h = hese(mag).weight();
+        prop_assert!(h <= mag.count_ones() as usize);
+        prop_assert!(h <= booth_radix4(mag).weight());
+        prop_assert!(h <= booth_radix2(mag).weight());
+    }
+
+    #[test]
+    fn booth_and_hese_respect_published_bounds(mag in 1u32..(1 << 16)) {
+        let n = 32 - mag.leading_zeros() as usize;
+        prop_assert!(booth_radix4(mag).weight() <= booth_term_bound(n));
+        prop_assert!(hese(mag).weight() <= hese_term_bound(n));
+    }
+
+    #[test]
+    fn naf_is_nonadjacent(mag in 0u32..(1 << 24)) {
+        prop_assert!(naf(mag).is_nonadjacent());
+    }
+
+    #[test]
+    fn signed_values_mirror(v in -(1i32 << 20)..(1i32 << 20)) {
+        for enc in Encoding::ALL {
+            let pos = enc.terms_of(v);
+            let neg = enc.terms_of(-v);
+            prop_assert_eq!(pos.value(), -neg.value());
+            prop_assert_eq!(pos.len(), neg.len());
+        }
+    }
+
+    #[test]
+    fn truncation_is_monotone_in_budget(v in -127i32..=127) {
+        // Keeping more terms never increases the error magnitude.
+        for enc in Encoding::ALL {
+            let full = enc.terms_of(v);
+            let mut prev_err = i64::MAX;
+            for k in 0..=full.len() {
+                let err = (v as i64 - full.truncate_top(k).value()).abs();
+                prop_assert!(err <= prev_err, "{enc} v={v} k={k}");
+                prev_err = err;
+            }
+            prop_assert_eq!(full.truncate_top(full.len()).value(), v as i64);
+        }
+    }
+
+    #[test]
+    fn hese_streams_decode_to_value(mag in 0u32..256) {
+        let (magnitude, sign) = hese_streams(mag, 8);
+        let decoded: i64 = magnitude
+            .iter()
+            .zip(&sign)
+            .enumerate()
+            .map(|(i, (&m, &s))| if !m { 0 } else if s { -(1i64 << i) } else { 1i64 << i })
+            .sum();
+        prop_assert_eq!(decoded, mag as i64);
+    }
+
+    #[test]
+    fn minimize_sdr_preserves_value_and_reaches_minimum(
+        digits in proptest::collection::vec(-1i8..=1, 0..20)
+    ) {
+        let sdr = Sdr::from_digits(digits);
+        let v = sdr.value();
+        let min = minimize_sdr(&sdr);
+        prop_assert_eq!(min.value(), v);
+        prop_assert_eq!(min.weight(), minimal_weight(v.unsigned_abs() as u32));
+        prop_assert!(min.weight() <= sdr.weight());
+    }
+}
+
+#[test]
+fn term_count_cdf_is_exhaustive_over_8bit() {
+    // Deterministic companion to the proptests: the Fig. 8 invariant over
+    // the entire 8-bit signed range.
+    let values: Vec<i32> = (-127..=127).collect();
+    let hese_cdf = tr_encoding::term_count_histogram(Encoding::Hese, &values);
+    let bin_cdf = tr_encoding::term_count_histogram(Encoding::Binary, &values);
+    assert_eq!(hese_cdf.total(), 255);
+    for k in 0..8 {
+        assert!(hese_cdf.cdf(k) >= bin_cdf.cdf(k) - 1e-12);
+    }
+    // Every 8-bit value fits in 4 HESE terms.
+    assert!((hese_cdf.cdf(4) - 1.0).abs() < 1e-12);
+}

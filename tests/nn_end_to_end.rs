@@ -1,0 +1,110 @@
+//! End-to-end DNN integration: train → calibrate → quantize → TR, across
+//! the crate boundary (tr-nn driving tr-quant/tr-core), using the shared
+//! quick-budget test zoo.
+
+use tr_bench::zoo::test_zoo;
+use tr_core::TrConfig;
+use tr_nn::exec::{
+    apply_precision, calibrate_model, evaluate_accuracy, evaluate_precision,
+    evaluate_precision_lstm,
+};
+use tr_nn::Precision;
+use tr_tensor::Rng;
+
+#[test]
+fn mlp_survives_the_full_tr_pipeline() {
+    let zoo = test_zoo();
+    let (mut model, ds) = zoo.mlp();
+    let mut rng = Rng::seed_from_u64(1);
+    let float_acc = evaluate_accuracy(&mut model, &ds, &mut rng);
+    assert!(float_acc > 0.75, "quick MLP underfit: {float_acc}");
+
+    let calib = ds.train.x.slice_batch(0, 32);
+    calibrate_model(&mut model, &calib, 8, &mut rng);
+
+    apply_precision(&mut model, &Precision::Qt { weight_bits: 8, act_bits: 8 });
+    let q8 = evaluate_accuracy(&mut model, &ds, &mut rng);
+    assert!(float_acc - q8 < 0.02, "8-bit QT dropped too much: {float_acc} -> {q8}");
+
+    let cfg = TrConfig::new(8, 12).with_data_terms(3);
+    apply_precision(&mut model, &Precision::Tr(cfg));
+    let tr = evaluate_accuracy(&mut model, &ds, &mut rng);
+    assert!(q8 - tr < 0.03, "TR dropped too much: {q8} -> {tr}");
+}
+
+#[test]
+fn tr_pair_budget_beats_qt_on_the_mlp() {
+    let zoo = test_zoo();
+    let (mut model, ds) = zoo.mlp();
+    let mut rng = Rng::seed_from_u64(2);
+    let calib = ds.train.x.slice_batch(0, 32);
+    calibrate_model(&mut model, &calib, 8, &mut rng);
+
+    let (_, qt) = evaluate_precision(
+        &mut model,
+        &ds,
+        &Precision::Qt { weight_bits: 8, act_bits: 8 },
+        8,
+        &mut rng,
+    );
+    let cfg = TrConfig::new(8, 12).with_data_terms(3);
+    let (_, tr) = evaluate_precision(&mut model, &ds, &Precision::Tr(cfg), 8, &mut rng);
+    // Paper headline: 3-10x fewer term pairs. Bound ratio:
+    // 49 MACs-worth vs k*s/g = 4.5 per value -> ~10.9x.
+    let reduction = qt.bound_per_sample() / tr.bound_per_sample();
+    assert!(reduction > 3.0, "reduction only {reduction:.2}x");
+    // Actual pairs also shrink, and never exceed the bound.
+    assert!(tr.actual <= tr.bound);
+    assert!(tr.actual_per_sample() < qt.actual_per_sample());
+}
+
+#[test]
+fn lstm_quantizes_with_bounded_perplexity_loss() {
+    let zoo = test_zoo();
+    let (mut lm, corpus) = zoo.lstm();
+    let mut rng = Rng::seed_from_u64(3);
+    tr_nn::exec::calibrate_lstm(&mut lm, &corpus.valid[..256.min(corpus.valid.len())], 8, &mut rng);
+
+    let (ppl_q8, _) = evaluate_precision_lstm(
+        &mut lm,
+        &corpus.valid,
+        &Precision::Qt { weight_bits: 8, act_bits: 8 },
+        64,
+        &mut rng,
+    );
+    let cfg = TrConfig::new(8, 20).with_data_terms(3);
+    let (ppl_tr, counts) =
+        evaluate_precision_lstm(&mut lm, &corpus.valid, &Precision::Tr(cfg), 64, &mut rng);
+    assert!(
+        ppl_tr < ppl_q8 * 1.15,
+        "TR perplexity blew up: {ppl_q8:.2} -> {ppl_tr:.2}"
+    );
+    assert!(counts.actual > 0);
+}
+
+#[test]
+fn per_value_truncation_is_weaker_than_tr_at_equal_alpha() {
+    // The Fig. 17 relationship as an integration test: grouping strictly
+    // helps at a tight per-value budget.
+    let zoo = test_zoo();
+    let (mut model, ds) = zoo.mlp();
+    let mut rng = Rng::seed_from_u64(4);
+    let calib = ds.train.x.slice_batch(0, 32);
+    calibrate_model(&mut model, &calib, 8, &mut rng);
+
+    apply_precision(
+        &mut model,
+        &Precision::PerValue {
+            encoding: tr_encoding::Encoding::Hese,
+            weight_terms: 1,
+            data_terms: None,
+        },
+    );
+    let per_value = evaluate_accuracy(&mut model, &ds, &mut rng);
+    apply_precision(&mut model, &Precision::Tr(TrConfig::new(8, 8)));
+    let grouped = evaluate_accuracy(&mut model, &ds, &mut rng);
+    assert!(
+        grouped >= per_value - 0.02,
+        "grouping did not help: per-value {per_value}, TR {grouped}"
+    );
+}
