@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod bounds;
 pub mod common;
 pub mod extensions;
+pub mod faults;
 pub mod fig15;
 pub mod fig16;
 pub mod fig17;
@@ -22,9 +23,9 @@ use crate::report::Table;
 use crate::zoo::Zoo;
 
 /// Every experiment id in paper order.
-pub const ALL: [&str; 16] = [
+pub const ALL: [&str; 17] = [
     "fig3", "fig5", "fig7", "fig8", "fig15", "fig16", "fig17", "fig18", "fig19", "table1",
-    "table2", "table3", "table4", "ablation", "bounds", "extensions",
+    "table2", "table3", "table4", "ablation", "bounds", "extensions", "faults",
 ];
 
 /// Run one experiment by id.
@@ -49,6 +50,7 @@ pub fn run(id: &str, zoo: &Zoo) -> Vec<Table> {
         "ablation" => ablation::run(zoo),
         "bounds" => bounds::run(zoo),
         "extensions" => extensions::run(zoo),
+        "faults" => faults::run(zoo),
         other => panic!("unknown experiment id: {other} (known: {ALL:?})"),
     }
 }

@@ -1,5 +1,6 @@
 //! Term Revealing configuration.
 
+use crate::error::TrError;
 use tr_encoding::Encoding;
 
 /// The knobs of a Term Revealing deployment (§III-C, §III-E and Table I).
@@ -71,13 +72,27 @@ impl TrConfig {
     /// Validate invariants; call before handing the config to kernels.
     ///
     /// # Panics
-    /// If `g == 0` or `k == 0`.
+    /// If `g == 0` or `k == 0`. Use [`TrConfig::validate`] to get a
+    /// `Result` instead.
     pub fn check(&self) {
-        assert!(self.group_size > 0, "group size must be positive");
-        assert!(self.group_budget > 0, "group budget must be positive");
-        if let Some(s) = self.data_terms {
-            assert!(s > 0, "data term cap must be positive");
+        if let Err(e) = self.validate() {
+            panic!("{e}");
         }
+    }
+
+    /// Fallible [`TrConfig::check`]: reports the first violated invariant
+    /// instead of panicking.
+    pub fn validate(&self) -> Result<(), TrError> {
+        if self.group_size == 0 {
+            return Err(TrError::InvalidConfig("group size must be positive".into()));
+        }
+        if self.group_budget == 0 {
+            return Err(TrError::InvalidConfig("group budget must be positive".into()));
+        }
+        if self.data_terms == Some(0) {
+            return Err(TrError::InvalidConfig("data term cap must be positive".into()));
+        }
+        Ok(())
     }
 }
 
@@ -117,5 +132,14 @@ mod tests {
     #[should_panic(expected = "group size")]
     fn check_rejects_zero_group() {
         TrConfig::new(0, 4).check();
+    }
+
+    #[test]
+    fn validate_reports_each_invariant() {
+        assert!(TrConfig::new(8, 16).validate().is_ok());
+        assert!(TrConfig::new(0, 4).validate().is_err());
+        assert!(TrConfig::new(8, 0).validate().is_err());
+        let err = TrConfig::new(8, 16).with_data_terms(0).validate().unwrap_err();
+        assert!(err.to_string().contains("data term cap"));
     }
 }

@@ -1,0 +1,79 @@
+//! The shared error type of the workspace's fallible entry points.
+//!
+//! Public constructors and kernels across `tr-core`, `tr-quant` (via
+//! [`QuantError`] conversion), `tr-hw`, and `tr-nn` report invalid input
+//! through [`TrError`] instead of panicking, so a server embedding the
+//! pipeline can reject one bad request without dying. Internal
+//! invariants — conditions unreachable through the checked public
+//! surface — remain debug assertions.
+
+use tr_quant::QuantError;
+
+/// Everything that can go wrong when configuring or running the TR
+/// pipeline on caller-supplied input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrError {
+    /// A [`TrConfig`](crate::TrConfig) field is zero or inconsistent.
+    InvalidConfig(String),
+    /// Operand shapes do not agree (reduction dims, group coverage, …).
+    ShapeMismatch(String),
+    /// An input value is outside the representable range of the stage.
+    OutOfRange(String),
+    /// Quantization-stage failure, converted from [`QuantError`].
+    Quant(QuantError),
+    /// Hardware geometry or control-register inconsistency (`tr-hw`).
+    InvalidGeometry(String),
+    /// Fault-injection configuration error (`tr-hw`).
+    InvalidFaultConfig(String),
+    /// Training-loop failure (`tr-nn`), e.g. unrecoverable divergence.
+    Training(String),
+}
+
+impl std::fmt::Display for TrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrError::InvalidConfig(m) => write!(f, "invalid TR config: {m}"),
+            TrError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+            TrError::OutOfRange(m) => write!(f, "out of range: {m}"),
+            TrError::Quant(e) => write!(f, "quantization error: {e}"),
+            TrError::InvalidGeometry(m) => write!(f, "invalid geometry: {m}"),
+            TrError::InvalidFaultConfig(m) => write!(f, "invalid fault config: {m}"),
+            TrError::Training(m) => write!(f, "training error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrError::Quant(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QuantError> for TrError {
+    fn from(e: QuantError) -> Self {
+        TrError::Quant(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = TrError::InvalidConfig("group size must be positive (got 0)".into());
+        assert!(e.to_string().contains("group size"));
+        let q: TrError = QuantError::UnsupportedBitWidth(99).into();
+        assert!(q.to_string().contains("bit width"));
+    }
+
+    #[test]
+    fn quant_error_keeps_source() {
+        use std::error::Error;
+        let q: TrError = QuantError::UnsupportedBitWidth(1).into();
+        assert!(q.source().is_some());
+    }
+}

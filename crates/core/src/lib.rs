@@ -42,6 +42,7 @@
 //! ```
 
 pub mod config;
+pub mod error;
 pub mod error_bound;
 pub mod matmul;
 pub mod reveal;
@@ -49,8 +50,12 @@ pub mod termmatrix;
 pub mod termpairs;
 
 pub use config::TrConfig;
+pub use error::TrError;
 pub use error_bound::{dot_product_error_bound, value_sigma, waterline_sigma_bound};
-pub use matmul::{term_dot, term_matmul, term_matmul_i64};
-pub use reveal::{reveal_group, reveal_group_with_tiebreak, RevealOutcome, TieBreak};
+pub use matmul::{term_dot, term_matmul, term_matmul_i64, try_term_matmul, try_term_matmul_i64};
+pub use reveal::{
+    reveal_group, reveal_group_with_tiebreak, try_reveal_group, try_reveal_group_with_tiebreak,
+    try_reveal_row, RevealOutcome, TieBreak,
+};
 pub use termmatrix::TermMatrix;
 pub use termpairs::{group_pair_histogram, straggler_factor, term_pairs_total, GroupPairStats};

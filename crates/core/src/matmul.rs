@@ -6,6 +6,7 @@
 //! matmul over the *reconstructed* (post-TR) codes, which is the property
 //! the hardware simulator and the paper-claims tests verify.
 
+use crate::error::TrError;
 use crate::termmatrix::TermMatrix;
 use rayon::prelude::*;
 use tr_encoding::TermExpr;
@@ -30,8 +31,27 @@ pub fn term_dot(w: &[TermExpr], x: &[TermExpr]) -> i64 {
 
 /// `W (M,K) @ X (K,N)` over term matrices, producing exact `i64`
 /// accumulators in row-major `(M, N)` order. Parallel over output rows.
+///
+/// # Panics
+/// If the reduction dimensions differ. Use [`try_term_matmul_i64`] to
+/// get a `Result` instead.
 pub fn term_matmul_i64(w: &TermMatrix, x: &TermMatrix) -> Vec<i64> {
-    assert_eq!(w.len(), x.len(), "reduction dims differ: {} vs {}", w.len(), x.len());
+    match try_term_matmul_i64(w, x) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`term_matmul_i64`]: rejects disagreeing reduction dimensions
+/// instead of panicking.
+pub fn try_term_matmul_i64(w: &TermMatrix, x: &TermMatrix) -> Result<Vec<i64>, TrError> {
+    if w.len() != x.len() {
+        return Err(TrError::ShapeMismatch(format!(
+            "reduction dims differ: {} vs {}",
+            w.len(),
+            x.len()
+        )));
+    }
     let (m, n) = (w.rows(), x.rows());
     let mut out = vec![0i64; m * n];
     out.par_chunks_mut(n).enumerate().for_each(|(i, orow)| {
@@ -40,13 +60,18 @@ pub fn term_matmul_i64(w: &TermMatrix, x: &TermMatrix) -> Vec<i64> {
             *o = term_dot(wrow, x.row(j));
         }
     });
-    out
+    Ok(out)
 }
 
 /// Like [`term_matmul_i64`] but scales the integer accumulators back to
 /// real values with the product of the two quantizer scales.
 pub fn term_matmul(w: &TermMatrix, x: &TermMatrix, scale: f32) -> Vec<f32> {
     term_matmul_i64(w, x).into_iter().map(|v| v as f32 * scale).collect()
+}
+
+/// Fallible [`term_matmul`].
+pub fn try_term_matmul(w: &TermMatrix, x: &TermMatrix, scale: f32) -> Result<Vec<f32>, TrError> {
+    Ok(try_term_matmul_i64(w, x)?.into_iter().map(|v| v as f32 * scale).collect())
 }
 
 #[cfg(test)]

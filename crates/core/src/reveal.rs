@@ -8,6 +8,7 @@
 //! untouched — which, given the normal-like distributions of trained DNNs,
 //! is the overwhelmingly common case.
 
+use crate::error::TrError;
 use tr_encoding::{Term, TermExpr};
 
 /// What the receding-water pass did to one group.
@@ -36,18 +37,29 @@ impl RevealOutcome {
 ///
 /// # Panics
 /// If `budget == 0` (a zero budget would zero the group; configure that
-/// explicitly upstream if ever needed).
+/// explicitly upstream if ever needed). Use [`try_reveal_group`] to get
+/// a `Result` instead.
 pub fn reveal_group(group: &[TermExpr], budget: usize) -> RevealOutcome {
-    assert!(budget > 0, "group budget must be positive");
+    match try_reveal_group(group, budget) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`reveal_group`]: rejects a zero budget instead of panicking.
+pub fn try_reveal_group(group: &[TermExpr], budget: usize) -> Result<RevealOutcome, TrError> {
+    if budget == 0 {
+        return Err(TrError::InvalidConfig("group budget must be positive".into()));
+    }
     let total: usize = group.iter().map(TermExpr::len).sum();
     if total <= budget {
         // Fast path: nothing to prune (the common case the paper relies on).
-        return RevealOutcome {
+        return Ok(RevealOutcome {
             revealed: group.to_vec(),
             kept_terms: total,
             pruned_terms: 0,
             waterline_exp: None,
-        };
+        });
     }
 
     let max_exp = group.iter().filter_map(TermExpr::max_exp).max().unwrap_or(0);
@@ -67,12 +79,12 @@ pub fn reveal_group(group: &[TermExpr], budget: usize) -> RevealOutcome {
             }
         }
     }
-    RevealOutcome {
+    Ok(RevealOutcome {
         revealed: kept.into_iter().map(TermExpr::from_terms).collect(),
         kept_terms: kept_count,
         pruned_terms: total - kept_count,
         waterline_exp: waterline,
-    }
+    })
 }
 
 /// How the last waterline row is split when the budget runs out mid-row.
@@ -93,18 +105,33 @@ pub fn reveal_group_with_tiebreak(
     budget: usize,
     tiebreak: TieBreak,
 ) -> RevealOutcome {
-    if tiebreak == TieBreak::RowMajor {
-        return reveal_group(group, budget);
+    match try_reveal_group_with_tiebreak(group, budget, tiebreak) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
     }
-    assert!(budget > 0, "group budget must be positive");
+}
+
+/// Fallible [`reveal_group_with_tiebreak`]: rejects a zero budget instead
+/// of panicking.
+pub fn try_reveal_group_with_tiebreak(
+    group: &[TermExpr],
+    budget: usize,
+    tiebreak: TieBreak,
+) -> Result<RevealOutcome, TrError> {
+    if tiebreak == TieBreak::RowMajor {
+        return try_reveal_group(group, budget);
+    }
+    if budget == 0 {
+        return Err(TrError::InvalidConfig("group budget must be positive".into()));
+    }
     let total: usize = group.iter().map(TermExpr::len).sum();
     if total <= budget {
-        return RevealOutcome {
+        return Ok(RevealOutcome {
             revealed: group.to_vec(),
             kept_terms: total,
             pruned_terms: 0,
             waterline_exp: None,
-        };
+        });
     }
     let max_exp = group.iter().filter_map(TermExpr::max_exp).max().unwrap_or(0);
     let mut kept: Vec<Vec<Term>> = vec![Vec::new(); group.len()];
@@ -126,25 +153,43 @@ pub fn reveal_group_with_tiebreak(
             }
         }
     }
-    RevealOutcome {
+    Ok(RevealOutcome {
         revealed: kept.into_iter().map(TermExpr::from_terms).collect(),
         kept_terms: kept_count,
         pruned_terms: total - kept_count,
         waterline_exp: waterline,
-    }
+    })
 }
 
 /// Apply receding water to every `group_size`-chunk of a row of term
 /// expressions (the last chunk may be shorter). Returns the revealed
 /// expressions in place of the originals.
+///
+/// # Panics
+/// If `group_size == 0` or `budget == 0`; use [`try_reveal_row`] to get
+/// a `Result` instead.
 pub fn reveal_row(row: &mut [TermExpr], group_size: usize, budget: usize) {
-    assert!(group_size > 0, "group size must be positive");
+    if let Err(e) = try_reveal_row(row, group_size, budget) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible [`reveal_row`]: rejects a zero group size or budget instead
+/// of panicking. On error the row is left untouched.
+pub fn try_reveal_row(row: &mut [TermExpr], group_size: usize, budget: usize) -> Result<(), TrError> {
+    if group_size == 0 {
+        return Err(TrError::InvalidConfig("group size must be positive".into()));
+    }
+    if budget == 0 {
+        return Err(TrError::InvalidConfig("group budget must be positive".into()));
+    }
     for chunk in row.chunks_mut(group_size) {
-        let outcome = reveal_group(chunk, budget);
+        let outcome = try_reveal_group(chunk, budget)?;
         for (slot, revealed) in chunk.iter_mut().zip(outcome.revealed) {
             *slot = revealed;
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]

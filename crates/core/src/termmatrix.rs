@@ -88,13 +88,26 @@ impl TermMatrix {
 
     /// Apply Term Revealing: receding water over every `g`-sized group of
     /// every row, with budget `k`. Consumes and returns the matrix.
-    pub fn reveal(mut self, cfg: &TrConfig) -> TermMatrix {
-        cfg.check();
+    ///
+    /// # Panics
+    /// If `cfg` is invalid. Use [`TermMatrix::try_reveal`] to get a
+    /// `Result` instead.
+    pub fn reveal(self, cfg: &TrConfig) -> TermMatrix {
+        match self.try_reveal(cfg) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`TermMatrix::reveal`]: rejects an invalid config instead
+    /// of panicking.
+    pub fn try_reveal(mut self, cfg: &TrConfig) -> Result<TermMatrix, crate::error::TrError> {
+        cfg.validate()?;
         for r in 0..self.rows {
             let row = &mut self.exprs[r * self.len..(r + 1) * self.len];
             reveal_row(row, cfg.group_size, cfg.group_budget);
         }
-        self
+        Ok(self)
     }
 
     /// Cap every element to its top `s` terms (the per-value data-side

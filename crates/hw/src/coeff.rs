@@ -13,6 +13,17 @@ pub const COEFF_LEN: usize = 15;
 /// Signed width of each coefficient in bits.
 pub const COEFF_BITS: u32 = 12;
 
+/// Outcome of a guarded accumulate ([`CoefficientVector::add_term_saturating`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaturatingAdd {
+    /// The term landed exactly, as `add_term` would have applied it.
+    Exact,
+    /// The coefficient was pinned at its 12-bit rail.
+    Saturated,
+    /// The exponent addressed past the vector and the term was dropped.
+    DroppedExponent,
+}
+
 /// The per-cell accumulator state.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoefficientVector {
@@ -52,6 +63,48 @@ impl CoefficientVector {
             -limit <= *c && *c < limit,
             "coefficient at 2^{exp} overflowed its {COEFF_BITS}-bit budget"
         );
+    }
+
+    /// Fault-tolerant accumulate: instead of panicking, an illegal
+    /// exponent address drops the term and an overflowing coefficient
+    /// saturates at its 12-bit rail. Both outcomes are *detectable* — a
+    /// fault-free schedule never triggers them, so under fault injection
+    /// they double as corruption detectors.
+    pub fn add_term_saturating(&mut self, exp: u8, negative: bool) -> SaturatingAdd {
+        if (exp as usize) >= COEFF_LEN {
+            return SaturatingAdd::DroppedExponent;
+        }
+        let limit = 1i32 << (COEFF_BITS - 1);
+        let c = &mut self.coeffs[exp as usize];
+        let next = *c + if negative { -1 } else { 1 };
+        if next < -limit || next >= limit {
+            *c = next.clamp(-limit, limit - 1);
+            SaturatingAdd::Saturated
+        } else {
+            *c = next;
+            SaturatingAdd::Exact
+        }
+    }
+
+    /// Unmitigated accumulate: models what the raw hardware does on
+    /// out-of-contract input — the exponent address decoder aliases
+    /// (wraps mod 16, dropping entries past the vector) and the
+    /// coefficient wraps in 12-bit two's complement. Silent by design;
+    /// used as the no-mitigation arm of fault campaigns.
+    pub fn add_term_wrapping(&mut self, exp: u8, negative: bool) {
+        let idx = (exp as usize) % 16;
+        if idx >= COEFF_LEN {
+            return;
+        }
+        let limit = 1i32 << (COEFF_BITS - 1);
+        let c = &mut self.coeffs[idx];
+        let mut next = *c + if negative { -1 } else { 1 };
+        if next >= limit {
+            next -= 2 * limit;
+        } else if next < -limit {
+            next += 2 * limit;
+        }
+        *c = next;
     }
 
     /// Merge another coefficient vector (the `sec_acc` neighbour-passing
@@ -137,5 +190,44 @@ mod tests {
     #[should_panic(expected = "exceeds coefficient vector")]
     fn exponent_range_enforced() {
         CoefficientVector::new().add_term(15, false);
+    }
+
+    #[test]
+    fn saturating_add_matches_exact_in_band() {
+        let mut a = CoefficientVector::new();
+        let mut b = CoefficientVector::new();
+        for i in 0..100u8 {
+            let exp = i % 15;
+            let neg = i % 3 == 0;
+            a.add_term(exp, neg);
+            assert_eq!(b.add_term_saturating(exp, neg), SaturatingAdd::Exact);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn saturating_add_pins_at_rail_and_drops_bad_exponents() {
+        let mut cv = CoefficientVector::new();
+        for _ in 0..2047 {
+            assert_eq!(cv.add_term_saturating(0, false), SaturatingAdd::Exact);
+        }
+        // The 2048th increment would leave the 12-bit band: pin there.
+        assert_eq!(cv.add_term_saturating(0, false), SaturatingAdd::Saturated);
+        assert_eq!(cv.coeffs()[0], 2047);
+        assert_eq!(cv.add_term_saturating(15, true), SaturatingAdd::DroppedExponent);
+        assert_eq!(cv.reduce(), 2047);
+    }
+
+    #[test]
+    fn wrapping_add_wraps_in_twos_complement() {
+        let mut cv = CoefficientVector::new();
+        for _ in 0..2048 {
+            cv.add_term_wrapping(0, false);
+        }
+        // 2048 increments wrap to the negative rail.
+        assert_eq!(cv.coeffs()[0], -2048);
+        // Exponent 15 aliases off the end of the vector and vanishes.
+        cv.add_term_wrapping(15, false);
+        assert_eq!(cv.reduce(), -2048);
     }
 }

@@ -23,7 +23,10 @@
 //! * [`systolic`] — the 128×64 array and its tiled layer schedule;
 //! * [`system`] — end-to-end latency/energy for whole networks, in QT or
 //!   TR mode ([`system::TrSystem`]);
-//! * [`fpga_baselines`] — the published Table-IV comparison rows.
+//! * [`fpga_baselines`] — the published Table-IV comparison rows;
+//! * [`fault`] — deterministic fault injection (bit flips, stuck cells,
+//!   DRAM errors, dropped terms) with saturation / range-guard / voting
+//!   mitigation and detected-vs-silent corruption reporting.
 //!
 //! The model's claims are *relative* (tMAC vs pMAC, TR vs QT); absolute
 //! frequencies are taken from the paper's 170 MHz build where needed.
@@ -32,6 +35,7 @@ pub mod coeff;
 pub mod comparator;
 pub mod converter;
 pub mod energy;
+pub mod fault;
 pub mod fpga_baselines;
 pub mod hese_unit;
 pub mod memory;
@@ -43,15 +47,18 @@ pub mod system;
 pub mod systolic;
 pub mod tmac;
 
-pub use coeff::CoefficientVector;
+pub use coeff::{CoefficientVector, SaturatingAdd};
 pub use comparator::TermComparator;
 pub use converter::{BinaryStreamConverter, ReluUnit};
 pub use energy::{EnergyModel, WorkReport};
+pub use fault::{
+    FaultConfig, FaultCounts, FaultInjector, FaultReport, Mitigation, Operand, StuckAt,
+};
 pub use hese_unit::HeseEncoderUnit;
 pub use memory::MemorySubsystem;
 pub use pmac::Pmac;
 pub use registers::{ControlRegisters, HwMode};
 pub use resources::{ResourceModel, Resources};
-pub use system::{LayerShape, NetworkReport, TrSystem};
+pub use system::{FaultyExecution, LayerShape, NetworkReport, TrSystem};
 pub use systolic::{SystolicArray, TileSchedule};
 pub use tmac::Tmac;

@@ -1,6 +1,6 @@
 //! Control registers (Table I) and QT↔TR reconfiguration.
 
-use tr_core::TrConfig;
+use tr_core::{TrConfig, TrError};
 
 /// The operating mode selected by the registers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,7 +39,19 @@ impl ControlRegisters {
     /// QT configuration at `bits`-wide uniform quantization (Table I left
     /// column): encoder and comparator clock-gated off, group size 1,
     /// budget = bitwidth.
+    ///
+    /// # Panics
+    /// If `bits` is outside the register widths. Use
+    /// [`ControlRegisters::try_for_qt`] for a `Result`.
     pub fn for_qt(bits: u8) -> ControlRegisters {
+        match Self::try_for_qt(bits) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`ControlRegisters::for_qt`].
+    pub fn try_for_qt(bits: u8) -> Result<ControlRegisters, TrError> {
         let r = ControlRegisters {
             hese_encoder_on: false,
             comparator_on: false,
@@ -48,22 +60,53 @@ impl ControlRegisters {
             group_size: 1,
             group_budget: bits,
         };
-        r.validate();
-        r
+        r.try_validate()?;
+        Ok(r)
     }
 
     /// TR configuration (Table I right column) from a [`TrConfig`].
+    ///
+    /// # Panics
+    /// If the config exceeds a register width. Use
+    /// [`ControlRegisters::try_for_tr`] for a `Result`.
     pub fn for_tr(cfg: &TrConfig) -> ControlRegisters {
+        match Self::try_for_tr(cfg) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`ControlRegisters::for_tr`].
+    pub fn try_for_tr(cfg: &TrConfig) -> Result<ControlRegisters, TrError> {
+        // Reject before the u8 casts below can wrap.
+        if cfg.group_size > 8 {
+            return Err(TrError::InvalidGeometry(format!(
+                "GROUP_SIZE is 3 bits (1-8), got {}",
+                cfg.group_size
+            )));
+        }
+        if cfg.group_budget > 24 {
+            return Err(TrError::InvalidGeometry(format!(
+                "GROUP_BUDGET is 5 bits, max 8x3 = 24, got {}",
+                cfg.group_budget
+            )));
+        }
+        let data_terms = cfg.data_terms.unwrap_or(3);
+        if data_terms > 15 {
+            return Err(TrError::InvalidGeometry(format!(
+                "DATA_TERMS is 4 bits, got {data_terms}"
+            )));
+        }
         let r = ControlRegisters {
             hese_encoder_on: true,
             comparator_on: true,
             quant_bitwidth: 8,
-            data_terms: cfg.data_terms.unwrap_or(3) as u8,
+            data_terms: data_terms as u8,
             group_size: cfg.group_size as u8,
             group_budget: cfg.group_budget as u8,
         };
-        r.validate();
-        r
+        r.try_validate()?;
+        Ok(r)
     }
 
     /// Which mode the registers select.
@@ -79,14 +122,47 @@ impl ControlRegisters {
     ///
     /// # Panics
     /// If any field exceeds its hardware width or the documented range.
+    /// Use [`ControlRegisters::try_validate`] for a `Result`.
     pub fn validate(&self) {
-        assert!((2..=15).contains(&self.quant_bitwidth), "QUANT_BITWIDTH is 4 bits");
-        assert!(self.data_terms <= 15, "DATA_TERMS is 4 bits");
-        assert!((1..=8).contains(&self.group_size), "GROUP_SIZE is 3 bits (1-8)");
-        assert!(self.group_budget <= 24, "GROUP_BUDGET is 5 bits, max 8x3 = 24");
-        if self.mode() == HwMode::Qt {
-            assert_eq!(self.group_size, 1, "QT uses group size 1");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
         }
+    }
+
+    /// Fallible [`ControlRegisters::validate`]: reports the first field
+    /// that exceeds its hardware width instead of panicking.
+    pub fn try_validate(&self) -> Result<(), TrError> {
+        if !(2..=15).contains(&self.quant_bitwidth) {
+            return Err(TrError::InvalidGeometry(format!(
+                "QUANT_BITWIDTH is 4 bits (2-15), got {}",
+                self.quant_bitwidth
+            )));
+        }
+        if self.data_terms > 15 {
+            return Err(TrError::InvalidGeometry(format!(
+                "DATA_TERMS is 4 bits, got {}",
+                self.data_terms
+            )));
+        }
+        if !(1..=8).contains(&self.group_size) {
+            return Err(TrError::InvalidGeometry(format!(
+                "GROUP_SIZE is 3 bits (1-8), got {}",
+                self.group_size
+            )));
+        }
+        if self.group_budget > 24 {
+            return Err(TrError::InvalidGeometry(format!(
+                "GROUP_BUDGET is 5 bits, max 8x3 = 24, got {}",
+                self.group_budget
+            )));
+        }
+        if self.mode() == HwMode::Qt && self.group_size != 1 {
+            return Err(TrError::InvalidGeometry(format!(
+                "QT uses group size 1, got {}",
+                self.group_size
+            )));
+        }
+        Ok(())
     }
 
     /// Cycles to switch from `self` to `next`: one per changed register.
@@ -170,5 +246,23 @@ mod tests {
     #[should_panic(expected = "GROUP_SIZE")]
     fn group_width_enforced() {
         ControlRegisters::for_tr(&TrConfig::new(9, 8));
+    }
+
+    #[test]
+    fn try_constructors_report_instead_of_panicking() {
+        assert!(ControlRegisters::try_for_qt(8).is_ok());
+        let err = ControlRegisters::try_for_qt(1).unwrap_err();
+        assert!(err.to_string().contains("QUANT_BITWIDTH"), "{err}");
+        let err = ControlRegisters::try_for_tr(&TrConfig::new(8, 25)).unwrap_err();
+        assert!(err.to_string().contains("GROUP_BUDGET"), "{err}");
+        let err = ControlRegisters::try_for_tr(&TrConfig::new(9, 8)).unwrap_err();
+        assert!(err.to_string().contains("GROUP_SIZE"), "{err}");
+        // Huge configs must error, not wrap through the u8 cast.
+        let err = ControlRegisters::try_for_tr(&TrConfig::new(300, 8)).unwrap_err();
+        assert!(err.to_string().contains("GROUP_SIZE"), "{err}");
+        let mut bad = ControlRegisters::for_qt(8);
+        bad.group_size = 2;
+        let err = bad.try_validate().unwrap_err();
+        assert!(err.to_string().contains("QT uses group size 1"), "{err}");
     }
 }

@@ -2,10 +2,13 @@
 //! with network-level latency and energy reporting.
 
 use crate::energy::{EnergyModel, WorkReport};
+use crate::fault::{FaultConfig, FaultInjector, FaultReport};
 use crate::memory::MemorySubsystem;
 use crate::registers::ControlRegisters;
 use crate::resources::{ResourceModel, Resources};
 use crate::systolic::SystolicArray;
+use tr_core::TrError;
+use tr_encoding::TermExpr;
 
 /// One matmul-shaped layer of a network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +35,17 @@ impl LayerShape {
     /// Multiply-accumulates per sample.
     pub fn macs(&self) -> u64 {
         (self.m * self.k * self.n) as u64
+    }
+
+    /// Reject degenerate shapes: a zero dimension collapses the matmul.
+    pub fn validate(&self) -> Result<(), TrError> {
+        if self.m == 0 || self.k == 0 || self.n == 0 {
+            return Err(TrError::InvalidGeometry(format!(
+                "layer dims must be positive (got m={}, k={}, n={})",
+                self.m, self.k, self.n
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -110,12 +124,27 @@ impl TrSystem {
         regs: &ControlRegisters,
         actual_pairs: Option<u64>,
     ) -> LayerReport {
-        let sched = self.array.schedule(shape.m, shape.k, shape.n, regs, &self.memory);
+        match self.try_simulate_layer(shape, regs, actual_pairs) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`TrSystem::simulate_layer`]: rejects degenerate layer
+    /// shapes and invalid registers instead of panicking.
+    pub fn try_simulate_layer(
+        &self,
+        shape: LayerShape,
+        regs: &ControlRegisters,
+        actual_pairs: Option<u64>,
+    ) -> Result<LayerReport, TrError> {
+        shape.validate()?;
+        let sched = self.array.try_schedule(shape.m, shape.k, shape.n, regs, &self.memory)?;
         let bound_pairs = shape.macs().div_ceil(regs.group_size.max(1) as u64)
             * SystolicArray::beat_cycles(regs);
         let pairs = actual_pairs.unwrap_or(bound_pairs).min(bound_pairs);
         let work = self.array.work(&sched, pairs, regs, &self.energy);
-        LayerReport { shape, cycles: sched.total_cycles(), work }
+        Ok(LayerReport { shape, cycles: sched.total_cycles(), work })
     }
 
     /// Simulate a whole network per inference sample.
@@ -146,6 +175,33 @@ impl TrSystem {
     pub fn resource_usage(&self, g: u64, buffer_bram: u64) -> Resources {
         self.resources.tr_system(self.array.rows as u64, self.array.cols as u64, g, buffer_bram)
     }
+
+    /// Run the functional array under a fault campaign and collect the
+    /// outputs together with the injector's [`FaultReport`]. See
+    /// [`SystolicArray::execute_with_faults`] for semantics; this is the
+    /// system-level entry the `faults` bench experiment drives.
+    pub fn execute_with_faults(
+        &self,
+        weights: &[Vec<TermExpr>],
+        data: &[Vec<TermExpr>],
+        g: usize,
+        cfg: &FaultConfig,
+    ) -> Result<FaultyExecution, TrError> {
+        let mut inj = FaultInjector::new(*cfg)?;
+        let (outputs, cycles) = self.array.execute_with_faults(weights, data, g, &mut inj)?;
+        Ok(FaultyExecution { outputs, cycles, report: inj.report() })
+    }
+}
+
+/// Outcome of a fault-injected functional run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultyExecution {
+    /// Row-major `(M, N)` accumulators after mitigation.
+    pub outputs: Vec<i64>,
+    /// Synchronized cycle count.
+    pub cycles: u64,
+    /// What was injected and what the guards caught.
+    pub report: FaultReport,
 }
 
 /// The layer shapes of the zoo's ResNet-style CNN on 3×32×32 inputs (used

@@ -14,9 +14,11 @@
 //! produces the cycle/energy accounting for full-size layers.
 
 use crate::energy::{EnergyModel, WorkReport};
+use crate::fault::{FaultInjector, Operand};
 use crate::memory::MemorySubsystem;
 use crate::registers::{ControlRegisters, HwMode};
 use crate::tmac::Tmac;
+use tr_core::TrError;
 use tr_encoding::TermExpr;
 
 /// Array geometry.
@@ -60,6 +62,17 @@ impl SystolicArray {
         SystolicArray { rows: 128, cols: 64 }
     }
 
+    /// Reject degenerate geometry (a zero-dimension array has no cells).
+    pub fn try_validate(&self) -> Result<(), TrError> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err(TrError::InvalidGeometry(format!(
+                "systolic array needs positive dims (got {}x{})",
+                self.rows, self.cols
+            )));
+        }
+        Ok(())
+    }
+
     /// Synchronized cycles per beat for a register configuration: the
     /// per-group term-pair bound.
     ///
@@ -91,9 +104,31 @@ impl SystolicArray {
         regs: &ControlRegisters,
         mem: &MemorySubsystem,
     ) -> TileSchedule {
-        regs.validate();
+        match self.try_schedule(m, k, n, regs, mem) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`SystolicArray::schedule`]: rejects invalid registers,
+    /// degenerate array geometry, and zero layer dimensions.
+    pub fn try_schedule(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        regs: &ControlRegisters,
+        mem: &MemorySubsystem,
+    ) -> Result<TileSchedule, TrError> {
+        regs.try_validate()?;
+        self.try_validate()?;
+        if m == 0 || k == 0 || n == 0 {
+            return Err(TrError::InvalidGeometry(format!(
+                "layer dims must be positive (got m={m}, k={k}, n={n})"
+            )));
+        }
         let g = regs.group_size.max(1) as usize;
-        self.schedule_custom(m, k, n, g, Self::beat_cycles(regs), mem)
+        Ok(self.schedule_custom(m, k, n, g, Self::beat_cycles(regs), mem))
     }
 
     /// Schedule with an explicit grouping and beat length — used for
@@ -230,6 +265,115 @@ impl SystolicArray {
         }
         (out, synchronized_cycles)
     }
+
+    /// Functional execution under a fault campaign: like
+    /// [`SystolicArray::execute`], but operand terms are corrupted by the
+    /// injector's deterministic fault streams, tMAC cells may be stuck at
+    /// zero/one, coefficient accumulation routes through the mitigated
+    /// datapath, group partial sums pass the range guard, and (when
+    /// configured) redundant replicas vote on each group value.
+    ///
+    /// At `rate == 0` the outputs and cycle count are bit-identical to
+    /// the fault-free [`SystolicArray::execute`]. Injection depends only
+    /// on `(seed, rate, coordinates)` — never on traversal order — so a
+    /// campaign is exactly reproducible.
+    pub fn execute_with_faults(
+        &self,
+        weights: &[Vec<TermExpr>],
+        data: &[Vec<TermExpr>],
+        g: usize,
+        inj: &mut FaultInjector,
+    ) -> Result<(Vec<i64>, u64), TrError> {
+        self.try_validate()?;
+        let m = weights.len();
+        let n = data.len();
+        if m == 0 || n == 0 {
+            return Err(TrError::ShapeMismatch("empty operands".into()));
+        }
+        if g == 0 {
+            return Err(TrError::InvalidConfig("group size must be positive".into()));
+        }
+        let k = weights[0].len();
+        if weights.iter().any(|r| r.len() != k) || data.iter().any(|c| c.len() != k) {
+            return Err(TrError::ShapeMismatch(format!(
+                "operand rows must all have the reduction length {k}"
+            )));
+        }
+
+        // Buffer-level corruption: one deterministic decision per stored
+        // operand element, shared by every cell that reads it.
+        let corrupt_matrix = |mat: &[Vec<TermExpr>], op: Operand, inj: &mut FaultInjector| {
+            mat.iter()
+                .enumerate()
+                .map(|(r, row)| {
+                    row.iter()
+                        .enumerate()
+                        .map(|(e, expr)| inj.corrupt_expr(expr, op, r as u64, e as u64))
+                        .collect::<Vec<TermExpr>>()
+                })
+                .collect::<Vec<Vec<TermExpr>>>()
+        };
+        let wf = corrupt_matrix(weights, Operand::Weight, inj);
+        let xf = corrupt_matrix(data, Operand::Data, inj);
+
+        // Stuck-cell map over the physical grid × voting replicas,
+        // tallied once per stuck slot.
+        let replicas = inj.config().mitigation.voting_replicas;
+        let mut stuck = vec![None; self.rows * self.cols * replicas];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                for rep in 0..replicas {
+                    let s = inj.stuck_cell(r as u64, c as u64, rep as u64);
+                    if s.is_some() {
+                        inj.note_stuck_cell();
+                    }
+                    stuck[(r * self.cols + c) * replicas + rep] = s;
+                }
+            }
+        }
+
+        let mut out = vec![0i64; m * n];
+        let mut synchronized_cycles = 0u64;
+        for col_block in (0..n).step_by(self.cols.max(1)) {
+            let col_end = (col_block + self.cols).min(n);
+            for row_block in (0..m).step_by(self.rows.max(1)) {
+                let row_end = (row_block + self.rows).min(m);
+                for group_start in (0..k).step_by(g) {
+                    let group_end = (group_start + g).min(k);
+                    let g_eff = group_end - group_start;
+                    let mut beat_max = 0u64;
+                    for i in row_block..row_end {
+                        for j in col_block..col_end {
+                            // Physical cell this logical (i, j) lands on.
+                            let (pr, pc) = (i - row_block, j - col_block);
+                            let mut cell = Tmac::new();
+                            let report = cell.process_group_mitigated(
+                                &wf[i][group_start..group_end],
+                                &xf[j][group_start..group_end],
+                                inj,
+                            );
+                            let clean = cell.value();
+                            // Redundant replicas share the operand stream;
+                            // only their stuck-at state differs.
+                            let mut votes: Vec<i64> = (0..replicas)
+                                .map(|rep| {
+                                    match stuck[(pr * self.cols + pc) * replicas + rep] {
+                                        Some(s) => s.value(),
+                                        None => clean,
+                                    }
+                                })
+                                .collect();
+                            let voted = inj.vote(&mut votes);
+                            out[i * n + j] += inj.guard_group_value(voted, g_eff);
+                            beat_max = beat_max.max(report.cycles);
+                        }
+                    }
+                    synchronized_cycles += beat_max;
+                }
+            }
+        }
+        Ok((out, synchronized_cycles))
+    }
 }
 
 #[cfg(test)]
@@ -280,6 +424,99 @@ mod tests {
         // Beat bound: groups per dot x beats... every beat <= k*s.
         let beats = (64usize / 8) as u64 * 2 /* row blocks */;
         assert!(tr_cycles <= beats * (12 * 3) as u64);
+    }
+
+    #[test]
+    fn faulty_execution_at_rate_zero_is_bit_identical() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let mut rng = Rng::seed_from_u64(3);
+        let w = Tensor::randn(Shape::d2(6, 32), 0.3, &mut rng);
+        let x = Tensor::randn(Shape::d2(32, 5), 0.3, &mut rng);
+        let qw = quantize(&w, calibrate_max_abs(&w, 8));
+        let qx = quantize(&x, calibrate_max_abs(&x, 8));
+        let wm = TermMatrix::from_weights(&qw, Encoding::Hese);
+        let xm = TermMatrix::from_data_transposed(&qx, Encoding::Hese);
+        let array = SystolicArray { rows: 4, cols: 4 };
+        let (clean, clean_cycles) = array.execute(&term_rows(&wm), &term_rows(&xm), 8);
+        let mut inj = FaultInjector::new(FaultConfig::none(99)).unwrap();
+        let (faulty, faulty_cycles) =
+            array.execute_with_faults(&term_rows(&wm), &term_rows(&xm), 8, &mut inj).unwrap();
+        assert_eq!(clean, faulty);
+        assert_eq!(clean_cycles, faulty_cycles);
+        assert_eq!(inj.report(), crate::fault::FaultReport::default());
+    }
+
+    #[test]
+    fn faulty_execution_is_deterministic_per_seed() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let mut rng = Rng::seed_from_u64(4);
+        let w = Tensor::randn(Shape::d2(5, 24), 0.3, &mut rng);
+        let x = Tensor::randn(Shape::d2(24, 4), 0.3, &mut rng);
+        let qw = quantize(&w, calibrate_max_abs(&w, 8));
+        let qx = quantize(&x, calibrate_max_abs(&x, 8));
+        let wm = term_rows(&TermMatrix::from_weights(&qw, Encoding::Hese));
+        let xm = term_rows(&TermMatrix::from_data_transposed(&qx, Encoding::Hese));
+        let array = SystolicArray { rows: 4, cols: 4 };
+        let cfg = FaultConfig::new(1234, 0.05).unwrap();
+        let mut a = FaultInjector::new(cfg).unwrap();
+        let mut b = FaultInjector::new(cfg).unwrap();
+        let (out_a, cyc_a) = array.execute_with_faults(&wm, &xm, 8, &mut a).unwrap();
+        let (out_b, cyc_b) = array.execute_with_faults(&wm, &xm, 8, &mut b).unwrap();
+        assert_eq!(out_a, out_b);
+        assert_eq!(cyc_a, cyc_b);
+        assert_eq!(a.report(), b.report());
+        assert!(a.report().injected.total() > 0, "5% over ~250 sites should strike");
+        // A different seed yields a different campaign.
+        let mut c = FaultInjector::new(FaultConfig::new(5678, 0.05).unwrap()).unwrap();
+        let (out_c, _) = array.execute_with_faults(&wm, &xm, 8, &mut c).unwrap();
+        assert_ne!(out_a, out_c);
+    }
+
+    #[test]
+    fn voting_outvotes_stuck_cells() {
+        use crate::fault::{FaultConfig, FaultInjector, Mitigation};
+        let mut rng = Rng::seed_from_u64(5);
+        let w = Tensor::randn(Shape::d2(6, 16), 0.3, &mut rng);
+        let x = Tensor::randn(Shape::d2(16, 6), 0.3, &mut rng);
+        let qw = quantize(&w, calibrate_max_abs(&w, 8));
+        let qx = quantize(&x, calibrate_max_abs(&x, 8));
+        let wm = term_rows(&TermMatrix::from_weights(&qw, Encoding::Hese));
+        let xm = term_rows(&TermMatrix::from_data_transposed(&qx, Encoding::Hese));
+        let array = SystolicArray { rows: 3, cols: 3 };
+        let (clean, _) = array.execute(&wm, &xm, 8);
+        // Stuck cells only, aggressive rate; single cells corrupt outputs.
+        let mut solo_cfg = FaultConfig::new(7, 0.4).unwrap();
+        solo_cfg.term_faults = false;
+        solo_cfg.dram_faults = false;
+        solo_cfg.stream_faults = false;
+        let mut solo = FaultInjector::new(solo_cfg).unwrap();
+        let (out_solo, _) = array.execute_with_faults(&wm, &xm, 8, &mut solo).unwrap();
+        assert_ne!(out_solo, clean, "stuck cells at 40% must corrupt something");
+        // Triple redundancy: a stuck replica loses the vote almost always
+        // (two replicas stuck the same way at the same cell is rare).
+        let vote_cfg = solo_cfg.with_mitigation(Mitigation::with_voting(3));
+        let mut voted = FaultInjector::new(vote_cfg).unwrap();
+        let (out_vote, _) = array.execute_with_faults(&wm, &xm, 8, &mut voted).unwrap();
+        let errs = |out: &[i64]| out.iter().zip(&clean).filter(|(a, b)| a != b).count();
+        assert!(
+            errs(&out_vote) < errs(&out_solo),
+            "voting should repair outputs: {} vs {}",
+            errs(&out_vote),
+            errs(&out_solo)
+        );
+        assert!(voted.report().corrected > 0);
+    }
+
+    #[test]
+    fn try_schedule_rejects_degenerate_geometry() {
+        let array = SystolicArray::paper_build();
+        let mem = MemorySubsystem::default();
+        let regs = ControlRegisters::for_qt(8);
+        assert!(array.try_schedule(0, 64, 4, &regs, &mem).is_err());
+        assert!(array.try_schedule(64, 0, 4, &regs, &mem).is_err());
+        let broken = SystolicArray { rows: 0, cols: 64 };
+        let err = broken.try_schedule(64, 64, 4, &regs, &mem).unwrap_err();
+        assert!(err.to_string().contains("positive dims"), "{err}");
     }
 
     #[test]

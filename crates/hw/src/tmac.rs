@@ -8,6 +8,7 @@
 //! takes `p` cycles, bounded by `k × s` under TR.
 
 use crate::coeff::CoefficientVector;
+use crate::fault::{accumulate_mitigated, FaultInjector};
 use tr_encoding::TermExpr;
 
 /// One group's processing outcome.
@@ -76,6 +77,36 @@ impl Tmac {
         TmacGroupReport { cycles, exponent_adds: cycles }
     }
 
+    /// Process one group through the fault-tolerant datapath: with the
+    /// injector's saturate mitigation on, coefficient accumulation
+    /// saturates at its rails and drops illegal exponent addresses
+    /// (tallied as detected corruptions); with it off, the raw wrapping
+    /// hardware behaviour applies silently. On fault-free operands this
+    /// is bit-identical to [`Tmac::process_group`].
+    ///
+    /// # Panics
+    /// If the slices differ in length.
+    pub fn process_group_mitigated(
+        &mut self,
+        weights: &[TermExpr],
+        data: &[TermExpr],
+        inj: &mut FaultInjector,
+    ) -> TmacGroupReport {
+        assert_eq!(weights.len(), data.len(), "group operands must align");
+        let mut cycles = 0u64;
+        for (w, x) in weights.iter().zip(data) {
+            for wt in w.iter() {
+                for xt in x.iter() {
+                    let product = wt.mul(*xt);
+                    accumulate_mitigated(&mut self.acc, product.exp, product.neg, inj);
+                    cycles += 1;
+                }
+            }
+        }
+        self.total_cycles += cycles;
+        TmacGroupReport { cycles, exponent_adds: cycles }
+    }
+
     /// Current dot-product value (what the binary stream converter will
     /// serialize).
     pub fn value(&self) -> i64 {
@@ -116,8 +147,11 @@ mod tests {
     fn matches_term_dot_for_random_groups() {
         let mut rng = Rng::seed_from_u64(1);
         for _ in 0..50 {
-            let w: Vec<i32> = (0..8).map(|_| (rng.normal() * 40.0) as i32).collect();
-            let x: Vec<i32> = (0..8).map(|_| (rng.normal().abs() * 40.0) as i32).collect();
+            // Codes stay in the 8-bit range the datapath is sized for.
+            let w: Vec<i32> =
+                (0..8).map(|_| (rng.normal() * 40.0).clamp(-127.0, 127.0) as i32).collect();
+            let x: Vec<i32> =
+                (0..8).map(|_| (rng.normal().abs() * 40.0).min(127.0) as i32).collect();
             let we = exprs(&w, Encoding::Hese);
             let xe = exprs(&x, Encoding::Hese);
             let mut tmac = Tmac::new();
@@ -132,8 +166,11 @@ mod tests {
         let cfg = TrConfig::new(8, 12);
         let s = 3usize;
         for _ in 0..50 {
-            let w: Vec<i32> = (0..8).map(|_| (rng.normal() * 50.0) as i32).collect();
-            let x: Vec<i32> = (0..8).map(|_| (rng.normal().abs() * 50.0) as i32).collect();
+            // Codes stay in the 8-bit range the datapath is sized for.
+            let w: Vec<i32> =
+                (0..8).map(|_| (rng.normal() * 50.0).clamp(-127.0, 127.0) as i32).collect();
+            let x: Vec<i32> =
+                (0..8).map(|_| (rng.normal().abs() * 50.0).min(127.0) as i32).collect();
             let we: Vec<TermExpr> = exprs(&w, Encoding::Hese);
             let revealed = reveal_group(&we, cfg.group_budget).revealed;
             let xe: Vec<TermExpr> = x
@@ -158,6 +195,28 @@ mod tests {
         assert!(tmac.total_cycles() > 0);
         tmac.reset();
         assert_eq!(tmac.value(), 0);
+    }
+
+    #[test]
+    fn mitigated_path_matches_exact_on_clean_operands() {
+        use crate::fault::FaultConfig;
+        let mut rng = Rng::seed_from_u64(9);
+        for _ in 0..20 {
+            let w: Vec<i32> =
+                (0..8).map(|_| (rng.normal() * 40.0).clamp(-127.0, 127.0) as i32).collect();
+            let x: Vec<i32> =
+                (0..8).map(|_| (rng.normal().abs() * 40.0).min(127.0) as i32).collect();
+            let we = exprs(&w, Encoding::Hese);
+            let xe = exprs(&x, Encoding::Hese);
+            let mut exact = Tmac::new();
+            let r1 = exact.process_group(&we, &xe);
+            let mut inj = FaultInjector::new(FaultConfig::none(0)).unwrap();
+            let mut mitigated = Tmac::new();
+            let r2 = mitigated.process_group_mitigated(&we, &xe, &mut inj);
+            assert_eq!(r1, r2);
+            assert_eq!(exact.accumulator(), mitigated.accumulator());
+            assert_eq!(inj.report().detected, 0);
+        }
     }
 
     #[test]

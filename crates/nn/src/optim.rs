@@ -7,6 +7,26 @@
 use crate::layer::Layer;
 use crate::param::Param;
 
+/// True when every parameter gradient of `model` is finite. A NaN/Inf
+/// gradient poisons the parameters through any optimizer update, so
+/// training loops check this before stepping (see
+/// [`crate::train::train_classifier`]).
+pub fn grads_are_finite(model: &mut dyn Layer) -> bool {
+    let mut finite = true;
+    model.visit_params(&mut |_, p| {
+        if finite && !p.grad.data().iter().all(|g| g.is_finite()) {
+            finite = false;
+        }
+    });
+    finite
+}
+
+/// Drop all accumulated gradients without updating (used to discard a
+/// poisoned batch).
+pub fn zero_grads(model: &mut dyn Layer) {
+    model.visit_params(&mut |_, p| p.zero_grad());
+}
+
 /// Optimizer interface: visit parameters after backward and update them.
 pub trait Optimizer {
     /// Apply one update step to every parameter of `model` and zero grads.

@@ -18,8 +18,8 @@ use crate::exec::{apply_precision, calibrate_model};
 use crate::fake_quant::Precision;
 use crate::layer::{ForwardCtx, Layer};
 use crate::loss::cross_entropy;
-use crate::optim::Optimizer;
-use crate::train::{eval_classifier, EpochStats, TrainConfig};
+use crate::optim::{grads_are_finite, zero_grads, Optimizer};
+use crate::train::{eval_classifier, EpochStats, TrainConfig, MAX_LR_HALVINGS};
 use tr_tensor::{Rng, Shape, Tensor};
 
 /// Fine-tune a (possibly pretrained) classifier with fake quantization in
@@ -45,6 +45,7 @@ pub fn train_qat(
     let mut order: Vec<usize> = (0..n).collect();
     let mut history = Vec::with_capacity(cfg.epochs);
     let per = dataset.train.x.numel() / n;
+    let mut total_halvings = 0usize;
     for epoch in 0..cfg.epochs {
         if Some(epoch) == cfg.lr_drop_at {
             let lr = opt.lr();
@@ -53,6 +54,8 @@ pub fn train_qat(
         rng.shuffle(&mut order);
         let mut total_loss = 0.0f64;
         let mut batches = 0usize;
+        let mut skipped = 0usize;
+        let mut halvings = 0usize;
         for chunk in order.chunks(cfg.batch) {
             let mut xb = Vec::with_capacity(chunk.len() * per);
             let mut yb = Vec::with_capacity(chunk.len());
@@ -67,6 +70,18 @@ pub fn train_qat(
             let logits = model.forward(&xb, &mut ctx);
             let (loss, grad) = cross_entropy(&logits, &yb);
             model.backward(&grad);
+            // Same non-finite guard as train_classifier: discard a
+            // poisoned batch before it reaches the parameters.
+            if !loss.is_finite() || !grads_are_finite(model) {
+                zero_grads(model);
+                skipped += 1;
+                if total_halvings < MAX_LR_HALVINGS {
+                    opt.set_lr(opt.lr() * 0.5);
+                    total_halvings += 1;
+                    halvings += 1;
+                }
+                continue;
+            }
             opt.step(model);
             // The STE refresh: re-quantize the just-updated float weights.
             apply_precision(model, precision);
@@ -76,6 +91,8 @@ pub fn train_qat(
         history.push(EpochStats {
             train_loss: (total_loss / batches.max(1) as f64) as f32,
             test_accuracy: eval_classifier(model, dataset, rng),
+            skipped_batches: skipped,
+            lr_halvings: halvings,
         });
         if cfg.verbose {
             eprintln!(

@@ -4,16 +4,28 @@ use crate::data::Dataset;
 use crate::layer::{ForwardCtx, Layer};
 use crate::loss::{accuracy, cross_entropy, perplexity};
 use crate::lstm::LstmLm;
-use crate::optim::Optimizer;
+use crate::optim::{grads_are_finite, zero_grads, Optimizer};
 use tr_tensor::Rng;
+
+/// Cap on learning-rate halvings triggered by non-finite batches across a
+/// training run; past it, poisoned batches are still skipped but the rate
+/// stops shrinking (a run that needs more halvings is diverging for some
+/// other reason).
+pub const MAX_LR_HALVINGS: usize = 8;
 
 /// Per-epoch training metrics.
 #[derive(Debug, Clone, Copy)]
 pub struct EpochStats {
-    /// Mean training loss over the epoch.
+    /// Mean training loss over the epoch (over non-skipped batches).
     pub train_loss: f32,
     /// Held-out accuracy after the epoch.
     pub test_accuracy: f64,
+    /// Batches discarded this epoch because the loss or a gradient went
+    /// non-finite.
+    pub skipped_batches: usize,
+    /// Learning-rate halvings triggered this epoch by skipped batches
+    /// (bounded across the run by [`MAX_LR_HALVINGS`]).
+    pub lr_halvings: usize,
 }
 
 /// Hyperparameters for classifier training.
@@ -47,6 +59,7 @@ pub fn train_classifier(
     let n = dataset.train.len();
     let mut order: Vec<usize> = (0..n).collect();
     let mut history = Vec::with_capacity(cfg.epochs);
+    let mut total_halvings = 0usize;
     for epoch in 0..cfg.epochs {
         if Some(epoch) == cfg.lr_drop_at {
             let lr = opt.lr();
@@ -55,6 +68,8 @@ pub fn train_classifier(
         rng.shuffle(&mut order);
         let mut total_loss = 0.0f64;
         let mut batches = 0usize;
+        let mut skipped = 0usize;
+        let mut halvings = 0usize;
         for chunk in order.chunks(cfg.batch) {
             // Gather the shuffled minibatch.
             let per = dataset.train.x.numel() / n;
@@ -71,6 +86,19 @@ pub fn train_classifier(
             let logits = model.forward(&xb, &mut ctx);
             let (loss, grad) = cross_entropy(&logits, &yb);
             model.backward(&grad);
+            // A non-finite loss or gradient would poison the parameters
+            // through the update: discard the batch and back the learning
+            // rate off (bounded across the run).
+            if !loss.is_finite() || !grads_are_finite(model) {
+                zero_grads(model);
+                skipped += 1;
+                if total_halvings < MAX_LR_HALVINGS {
+                    opt.set_lr(opt.lr() * 0.5);
+                    total_halvings += 1;
+                    halvings += 1;
+                }
+                continue;
+            }
             opt.step(model);
             total_loss += loss as f64;
             batches += 1;
@@ -79,12 +107,15 @@ pub fn train_classifier(
         let stats = EpochStats {
             train_loss: (total_loss / batches.max(1) as f64) as f32,
             test_accuracy,
+            skipped_batches: skipped,
+            lr_halvings: halvings,
         };
         if cfg.verbose {
             eprintln!(
-                "epoch {epoch}: loss {:.4}, test acc {:.2}%",
+                "epoch {epoch}: loss {:.4}, test acc {:.2}%{}",
                 stats.train_loss,
-                100.0 * stats.test_accuracy
+                100.0 * stats.test_accuracy,
+                if skipped > 0 { format!(", skipped {skipped} non-finite batches") } else { String::new() }
             );
         }
         history.push(stats);
@@ -141,12 +172,30 @@ pub fn train_lstm(
             lr *= 0.25;
         }
         let mut pos = 0;
+        let mut halvings = 0usize;
         while pos + bptt < train.len() {
             let inputs = &train[pos..pos + bptt];
             let targets = &train[pos + 1..pos + bptt + 1];
             let logits = lm.forward(inputs, true, rng);
-            let (_, grad) = cross_entropy(&logits, targets);
+            let (loss, grad) = cross_entropy(&logits, targets);
             lm.backward(&grad);
+            // Same non-finite guard as the classifier loop: skip the
+            // poisoned window and back the rate off (bounded).
+            let mut finite = loss.is_finite();
+            lm.visit_params(&mut |_, p| {
+                if finite && !p.grad.data().iter().all(|g| g.is_finite()) {
+                    finite = false;
+                }
+            });
+            if !finite {
+                lm.visit_params(&mut |_, p| p.zero_grad());
+                if halvings < MAX_LR_HALVINGS {
+                    lr *= 0.5;
+                    halvings += 1;
+                }
+                pos += bptt;
+                continue;
+            }
             t += 1;
             let (bc1, bc2) = (1.0 - b1.powi(t), 1.0 - b2.powi(t));
             let mut idx = 0;
@@ -216,6 +265,75 @@ mod tests {
         assert!(final_acc > 0.9, "final accuracy {final_acc}");
         // Loss decreased over training.
         assert!(history.last().unwrap().train_loss < history[0].train_loss);
+    }
+
+    /// A linear-only classifier on a two-cluster problem, with the first
+    /// `poisoned` training inputs set to NaN. (The MLP's ReLU would
+    /// launder NaN activations to zero, so a ReLU-free model is the
+    /// direct way to exercise the non-finite guard end to end.)
+    fn poisoned_dataset(n: usize, poisoned: usize, seed: u64) -> crate::data::Dataset {
+        use crate::data::{Dataset, Split};
+        use tr_tensor::{Shape, Tensor};
+        let mut rng = Rng::seed_from_u64(seed);
+        let make = |count: usize, rng: &mut Rng| {
+            let mut x = Vec::with_capacity(count * 4);
+            let mut y = Vec::with_capacity(count);
+            for i in 0..count {
+                let c = i % 2;
+                let center = if c == 0 { -1.0 } else { 1.0 };
+                for _ in 0..4 {
+                    x.push(center + 0.1 * rng.normal());
+                }
+                y.push(c);
+            }
+            Split { x: Tensor::from_vec(x, Shape::d2(count, 4)), y }
+        };
+        let mut train = make(n, &mut rng);
+        for v in &mut train.x.data_mut()[..poisoned * 4] {
+            *v = f32::NAN;
+        }
+        Dataset { train, test: make(64, &mut rng), classes: 2 }
+    }
+
+    #[test]
+    fn poisoned_batches_are_skipped_and_lr_backs_off() {
+        let mut rng = Rng::seed_from_u64(3);
+        let ds = poisoned_dataset(128, 3, 21);
+        let mut model =
+            crate::layer::Sequential::new().push(crate::layers::linear::Linear::new(4, 2, &mut rng));
+        let mut opt = Sgd::new(0.1, 0.9, 1e-4);
+        let lr0 = opt.lr();
+        let cfg = TrainConfig { epochs: 1, batch: 16, lr_drop_at: None, verbose: false };
+        let history = train_classifier(&mut model, &ds, &mut opt, &cfg, &mut rng);
+        let stats = history.last().unwrap();
+        assert!(stats.skipped_batches > 0, "NaN batches must be detected");
+        assert!(stats.lr_halvings > 0 && opt.lr() < lr0, "rate must back off");
+        // The model parameters stayed finite and training still worked.
+        let mut finite = true;
+        model.visit_params(&mut |_, p| {
+            finite &= p.value.data().iter().all(|w| w.is_finite());
+        });
+        assert!(finite, "parameters poisoned despite the guard");
+        assert!(stats.train_loss.is_finite());
+        assert!(stats.test_accuracy > 0.8, "training collapsed: {}", stats.test_accuracy);
+    }
+
+    #[test]
+    fn lr_backoff_is_bounded() {
+        let mut rng = Rng::seed_from_u64(4);
+        // Every training sample poisoned: every batch skips; halvings must
+        // stop at the cap instead of driving the rate to zero.
+        let ds = poisoned_dataset(128, 128, 22);
+        let mut model =
+            crate::layer::Sequential::new().push(crate::layers::linear::Linear::new(4, 2, &mut rng));
+        let mut opt = Sgd::new(0.1, 0.9, 1e-4);
+        let cfg = TrainConfig { epochs: 3, batch: 16, lr_drop_at: None, verbose: false };
+        let history = train_classifier(&mut model, &ds, &mut opt, &cfg, &mut rng);
+        let total: usize = history.iter().map(|s| s.lr_halvings).sum();
+        let skipped: usize = history.iter().map(|s| s.skipped_batches).sum();
+        assert_eq!(skipped, 3 * 128usize.div_ceil(16));
+        assert_eq!(total, MAX_LR_HALVINGS);
+        assert!(opt.lr() >= 0.1 * 0.5f32.powi(MAX_LR_HALVINGS as i32) * 0.99);
     }
 
     #[test]

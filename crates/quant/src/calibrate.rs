@@ -1,5 +1,6 @@
 //! Calibration: choosing the fixed-point scale for a tensor.
 
+use crate::errors::QuantError;
 use tr_tensor::Tensor;
 
 /// Parameters of a symmetric uniform quantizer.
@@ -48,13 +49,25 @@ impl QuantParams {
 /// paper applies before TR (§VI, citing Lee et al. 2018).
 ///
 /// # Panics
-/// If `bits` is not in `2..=16`.
+/// If `bits` is not in `2..=16`. Use [`try_calibrate_max_abs`] to get a
+/// `Result` instead.
 pub fn calibrate_max_abs(t: &Tensor, bits: u8) -> QuantParams {
-    assert!((2..=16).contains(&bits), "unsupported bit width {bits}");
+    match try_calibrate_max_abs(t, bits) {
+        Ok(p) => p,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`calibrate_max_abs`]: rejects an unsupported bit width
+/// instead of panicking.
+pub fn try_calibrate_max_abs(t: &Tensor, bits: u8) -> Result<QuantParams, QuantError> {
+    if !(2..=16).contains(&bits) {
+        return Err(QuantError::UnsupportedBitWidth(bits));
+    }
     let qmax = ((1i32 << (bits - 1)) - 1) as f32;
     let max_abs = t.max_abs();
     let scale = if max_abs == 0.0 { 0.0 } else { max_abs / qmax };
-    QuantParams { scale, bits }
+    Ok(QuantParams { scale, bits })
 }
 
 /// Percentile calibration: clip the top `(1 - pct)` fraction of magnitudes
@@ -62,12 +75,26 @@ pub fn calibrate_max_abs(t: &Tensor, bits: u8) -> QuantParams {
 /// tails; `pct = 1.0` degenerates to max-abs.
 ///
 /// # Panics
-/// If `pct` is not in `(0, 1]` or `bits` is out of range.
+/// If `pct` is not in `(0, 1]` or `bits` is out of range. Use
+/// [`try_calibrate_percentile`] to get a `Result` instead.
 pub fn calibrate_percentile(t: &Tensor, bits: u8, pct: f64) -> QuantParams {
-    assert!((2..=16).contains(&bits), "unsupported bit width {bits}");
-    assert!(pct > 0.0 && pct <= 1.0, "percentile must be in (0, 1]");
+    match try_calibrate_percentile(t, bits, pct) {
+        Ok(p) => p,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`calibrate_percentile`]: rejects an unsupported bit width
+/// or out-of-range percentile instead of panicking.
+pub fn try_calibrate_percentile(t: &Tensor, bits: u8, pct: f64) -> Result<QuantParams, QuantError> {
+    if !(2..=16).contains(&bits) {
+        return Err(QuantError::UnsupportedBitWidth(bits));
+    }
+    if !(pct > 0.0 && pct <= 1.0) {
+        return Err(QuantError::InvalidPercentile((pct * 1e6) as i64));
+    }
     if t.numel() == 0 {
-        return QuantParams { scale: 0.0, bits };
+        return Ok(QuantParams { scale: 0.0, bits });
     }
     let mut mags: Vec<f32> = t.data().iter().map(|x| x.abs()).collect();
     mags.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -75,7 +102,7 @@ pub fn calibrate_percentile(t: &Tensor, bits: u8, pct: f64) -> QuantParams {
     let clip = mags[idx];
     let qmax = ((1i32 << (bits - 1)) - 1) as f32;
     let scale = if clip == 0.0 { 0.0 } else { clip / qmax };
-    QuantParams { scale, bits }
+    Ok(QuantParams { scale, bits })
 }
 
 #[cfg(test)]

@@ -1,0 +1,65 @@
+//! Invalid-input errors for the quantization stage.
+//!
+//! Not to be confused with the [`crate::error`] module, which measures
+//! *numeric* quantization error (Fig. 18); this one reports rejected
+//! caller input. `tr-core` wraps [`QuantError`] into its workspace-wide
+//! `TrError` (the crate dependency points that way, so the conversion
+//! lives there).
+
+/// A quantization entry point rejected its input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantError {
+    /// Bit width outside the supported `2..=16` range.
+    UnsupportedBitWidth(u8),
+    /// Percentile outside `(0, 1]` (scaled by 1e6 for `Eq`).
+    InvalidPercentile(i64),
+    /// Raw code vector length disagrees with the target shape.
+    CodeCountMismatch { codes: usize, expected: usize },
+    /// A raw code's magnitude does not fit the configured bit width.
+    CodeOutOfRange { code: i32, bits: u8 },
+    /// Matmul operand shapes do not agree.
+    DimMismatch { left: usize, right: usize },
+}
+
+impl std::fmt::Display for QuantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantError::UnsupportedBitWidth(bits) => {
+                write!(f, "unsupported bit width {bits} (expected 2..=16)")
+            }
+            QuantError::InvalidPercentile(ppm) => {
+                write!(f, "percentile must be in (0, 1] (got {})", *ppm as f64 / 1e6)
+            }
+            QuantError::CodeCountMismatch { codes, expected } => {
+                write!(f, "code count does not match shape ({codes} codes, shape holds {expected})")
+            }
+            QuantError::CodeOutOfRange { code, bits } => {
+                write!(f, "code magnitude exceeds {bits}-bit range (got {code})")
+            }
+            QuantError::DimMismatch { left, right } => {
+                write!(f, "qmatmul inner dims {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_match_legacy_panic_substrings() {
+        // The panicking wrappers reuse these Display strings, and older
+        // tests match on the quoted fragments.
+        assert!(QuantError::UnsupportedBitWidth(17).to_string().contains("unsupported bit width"));
+        assert!(QuantError::CodeCountMismatch { codes: 1, expected: 2 }
+            .to_string()
+            .contains("code count does not match shape"));
+        assert!(QuantError::CodeOutOfRange { code: 128, bits: 8 }
+            .to_string()
+            .contains("exceeds 8-bit range"));
+        assert!(QuantError::InvalidPercentile(0).to_string().contains("percentile"));
+    }
+}

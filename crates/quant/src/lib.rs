@@ -27,12 +27,17 @@
 
 pub mod calibrate;
 pub mod error;
+pub mod errors;
 pub mod per_channel;
 pub mod qtensor;
 pub mod truncate;
 
-pub use calibrate::{calibrate_max_abs, calibrate_percentile, QuantParams};
+pub use calibrate::{
+    calibrate_max_abs, calibrate_percentile, try_calibrate_max_abs, try_calibrate_percentile,
+    QuantParams,
+};
 pub use error::{dequant_error, QuantErrorReport};
+pub use errors::QuantError;
 pub use per_channel::PerChannelQTensor;
 pub use qtensor::{quantize, QTensor};
 pub use truncate::{truncate_terms, truncate_values};

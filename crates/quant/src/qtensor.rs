@@ -1,6 +1,7 @@
 //! Quantized tensors.
 
 use crate::calibrate::QuantParams;
+use crate::errors::QuantError;
 use tr_tensor::{Shape, Tensor};
 
 /// A tensor of integer codes with its quantizer parameters.
@@ -22,15 +23,32 @@ impl QTensor {
     ///
     /// # Panics
     /// If the element count mismatches or any code exceeds the bit width.
+    /// Use [`QTensor::try_from_codes`] to get a `Result` instead.
     pub fn from_codes(values: Vec<i32>, params: QuantParams, shape: Shape) -> QTensor {
-        assert_eq!(values.len(), shape.numel(), "code count does not match shape");
+        match QTensor::try_from_codes(values, params, shape) {
+            Ok(q) => q,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`QTensor::from_codes`]: rejects a count/shape mismatch
+    /// or an out-of-range code instead of panicking.
+    pub fn try_from_codes(
+        values: Vec<i32>,
+        params: QuantParams,
+        shape: Shape,
+    ) -> Result<QTensor, QuantError> {
+        if values.len() != shape.numel() {
+            return Err(QuantError::CodeCountMismatch {
+                codes: values.len(),
+                expected: shape.numel(),
+            });
+        }
         let qmax = params.qmax();
-        assert!(
-            values.iter().all(|&v| v.abs() <= qmax),
-            "code magnitude exceeds {}-bit range",
-            params.bits
-        );
-        QTensor { values, params, shape }
+        if let Some(&bad) = values.iter().find(|v| v.abs() > qmax) {
+            return Err(QuantError::CodeOutOfRange { code: bad, bits: params.bits });
+        }
+        Ok(QTensor { values, params, shape })
     }
 
     /// The integer codes.
@@ -81,9 +99,20 @@ impl QTensor {
     /// kernel and the hardware simulator must reproduce when no terms are
     /// pruned.
     pub fn matmul_i64(&self, other: &QTensor) -> Vec<i64> {
+        match self.try_matmul_i64(other) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`QTensor::matmul_i64`]: rejects disagreeing reduction
+    /// dimensions instead of panicking.
+    pub fn try_matmul_i64(&self, other: &QTensor) -> Result<Vec<i64>, QuantError> {
         let (m, k) = self.as_matrix();
         let (k2, n) = other.as_matrix();
-        assert_eq!(k, k2, "qmatmul inner dims {k} vs {k2}");
+        if k != k2 {
+            return Err(QuantError::DimMismatch { left: k, right: k2 });
+        }
         let mut out = vec![0i64; m * n];
         for i in 0..m {
             let arow = &self.values[i * k..(i + 1) * k];
@@ -97,7 +126,7 @@ impl QTensor {
                 }
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -154,6 +183,25 @@ mod tests {
     #[should_panic(expected = "exceeds 8-bit range")]
     fn from_codes_validates_range() {
         QTensor::from_codes(vec![128], QuantParams { scale: 1.0, bits: 8 }, Shape::d1(1));
+    }
+
+    #[test]
+    fn try_from_codes_reports_errors() {
+        use crate::errors::QuantError;
+        let p = QuantParams { scale: 1.0, bits: 8 };
+        let bad_range = QTensor::try_from_codes(vec![128], p, Shape::d1(1));
+        assert_eq!(bad_range.unwrap_err(), QuantError::CodeOutOfRange { code: 128, bits: 8 });
+        let bad_count = QTensor::try_from_codes(vec![1, 2], p, Shape::d1(3));
+        assert_eq!(bad_count.unwrap_err(), QuantError::CodeCountMismatch { codes: 2, expected: 3 });
+        assert!(QTensor::try_from_codes(vec![1, 2, 3], p, Shape::d1(3)).is_ok());
+    }
+
+    #[test]
+    fn try_matmul_rejects_dim_mismatch() {
+        let p = QuantParams { scale: 1.0, bits: 8 };
+        let a = QTensor::from_codes(vec![1, 2], p, Shape::d2(1, 2));
+        let b = QTensor::from_codes(vec![1, 2, 3], p, Shape::d2(3, 1));
+        assert!(a.try_matmul_i64(&b).is_err());
     }
 
     #[test]

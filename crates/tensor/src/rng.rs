@@ -4,17 +4,26 @@
 //! The reproduction must be deterministic end-to-end (training a model,
 //! quantizing it, and sweeping TR budgets all happen in one process), so
 //! every stochastic component takes an explicit [`Rng`] seeded by the
-//! caller. Normal deviates use Box–Muller so we do not need an extra
+//! caller. The generator is a self-contained xoshiro256++ seeded through
+//! SplitMix64 — no external crates, identical streams on every platform.
+//! Normal deviates use Box–Muller so we do not need an extra
 //! distribution crate.
 
-use rand::rngs::StdRng;
-use rand::{Rng as _, SeedableRng};
+/// Expand a 64-bit seed into well-mixed state words (SplitMix64).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A seedable random source with the handful of distributions the
 /// workspace needs.
 #[derive(Debug, Clone)]
 pub struct Rng {
-    inner: StdRng,
+    /// xoshiro256++ state.
+    s: [u64; 4],
     /// Cached second Box–Muller deviate.
     spare_normal: Option<f32>,
 }
@@ -22,12 +31,34 @@ pub struct Rng {
 impl Rng {
     /// Create a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        Rng { inner: StdRng::seed_from_u64(seed), spare_normal: None }
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s, spare_normal: None }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform in `[0, 1)`.
     pub fn uniform(&mut self) -> f32 {
-        self.inner.gen::<f32>()
+        // 24 random mantissa bits → every value exactly representable.
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
     }
 
     /// Uniform in `[lo, hi)`.
@@ -41,7 +72,18 @@ impl Rng {
     /// If `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..n)
+        // Multiply-shift rejection (Lemire) for an unbiased draw.
+        let n = n as u64;
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = {
+                let wide = (x as u128) * (n as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= n || lo >= n.wrapping_neg() % n {
+                return hi as usize;
+            }
+        }
     }
 
     /// A standard normal deviate (Box–Muller, with the spare cached).
@@ -101,7 +143,7 @@ impl Rng {
 
     /// Split off an independent generator (for per-worker streams).
     pub fn fork(&mut self) -> Rng {
-        let seed = self.inner.gen::<u64>();
+        let seed = self.next_u64();
         Rng::seed_from_u64(seed)
     }
 }
@@ -116,6 +158,28 @@ mod tests {
         let mut b = Rng::seed_from_u64(42);
         for _ in 0..100 {
             assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u), "u {u}");
+        }
+    }
+
+    #[test]
+    fn below_covers_range_without_bias() {
+        let mut rng = Rng::seed_from_u64(17);
+        let mut counts = [0usize; 7];
+        for _ in 0..70_000 {
+            counts[rng.below(7)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let p = c as f32 / 70_000.0;
+            assert!((p - 1.0 / 7.0).abs() < 0.01, "bucket {i} p {p}");
         }
     }
 

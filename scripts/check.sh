@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# The full local gate: release build, the whole test suite, and clippy
+# with warnings denied. CI mirrors this; run it before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace -- -D warnings

@@ -1,0 +1,211 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build container has no network access to the crates.io registry,
+//! so the workspace path-patches `rayon` to this shim (see the root
+//! `Cargo.toml`). It implements exactly the data-parallel surface the
+//! workspace uses — `par_chunks_mut(..).enumerate().for_each(..)` and
+//! `(a..b).into_par_iter().map(..).sum()/collect()` — with real
+//! parallelism on `std::thread::scope`. Work is split into contiguous
+//! blocks, one per worker, which matches the access pattern of the
+//! matmul row loops this backs.
+
+use std::marker::PhantomData;
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::thread;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+fn workers_for(items: usize) -> usize {
+    let hw = thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    hw.min(16).min(items.max(1))
+}
+
+fn for_each_parallel<T: Send, F: Fn(T) + Sync>(items: Vec<T>, f: &F) {
+    let n = items.len();
+    let workers = workers_for(n);
+    if workers <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    let mut blocks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let block: Vec<T> = it.by_ref().take(chunk).collect();
+        if block.is_empty() {
+            break;
+        }
+        blocks.push(block);
+    }
+    // `scope` re-raises any worker panic when it exits.
+    thread::scope(|s| {
+        for block in blocks {
+            s.spawn(move || {
+                for item in block {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+fn map_parallel<R: Send, F: Fn(usize) -> R + Sync>(range: Range<usize>, f: &F) -> Vec<R> {
+    let n = range.len();
+    let workers = workers_for(n);
+    if workers <= 1 {
+        return range.map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let start = range.start;
+    let blocks: Vec<Range<usize>> = (0..workers)
+        .map(|w| (start + w * chunk)..(start + ((w + 1) * chunk).min(n)))
+        .filter(|r| r.start < r.end)
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    thread::scope(|s| {
+        let handles: Vec<_> = blocks
+            .into_iter()
+            .map(|r| s.spawn(move || r.map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
+}
+
+/// Entry point mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// A parallel iterator over an index range.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    pub fn map<R, F: Fn(usize) -> R>(self, f: F) -> ParMap<F, R> {
+        ParMap { range: self.range, f, _out: PhantomData }
+    }
+
+    pub fn for_each<F: Fn(usize) + Sync>(self, f: F) {
+        for_each_parallel(self.range.collect(), &f);
+    }
+}
+
+/// The result of [`ParRange::map`]; terminal ops run the closure in
+/// parallel blocks and reassemble results in index order.
+pub struct ParMap<F, R> {
+    range: Range<usize>,
+    f: F,
+    _out: PhantomData<R>,
+}
+
+impl<R: Send, F: Fn(usize) -> R + Sync> ParMap<F, R> {
+    fn run(self) -> Vec<R> {
+        map_parallel(self.range, &self.f)
+    }
+
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+}
+
+/// Entry point mirroring `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunksMut { slice: self, size }
+    }
+}
+
+/// Parallel mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate(self)
+    }
+
+    pub fn for_each<F: Fn(&'a mut [T]) + Sync>(self, f: F) {
+        let ParChunksMut { slice, size } = self;
+        for_each_parallel(slice.chunks_mut(size).collect(), &f);
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct ParChunksMutEnumerate<'a, T>(ParChunksMut<'a, T>);
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    pub fn for_each<F: Fn((usize, &'a mut [T])) + Sync>(self, f: F) {
+        let ParChunksMut { slice, size } = self.0;
+        for_each_parallel(slice.chunks_mut(size).enumerate().collect(), &f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_mut_covers_every_chunk_once() {
+        let mut xs = vec![0u32; 103];
+        xs.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i as u32 + 1;
+            }
+        });
+        for (j, &v) in xs.iter().enumerate() {
+            assert_eq!(v, (j / 10) as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let got: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        let want: Vec<usize> = (0..1000).map(|i| i * 2).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn map_sum_matches_serial() {
+        let got: u64 = (0..257).into_par_iter().map(|i| i as u64).sum();
+        assert_eq!(got, 256 * 257 / 2);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let mut xs: Vec<u8> = Vec::new();
+        xs.par_chunks_mut(4).enumerate().for_each(|_| panic!("no chunks expected"));
+        let got: Vec<u8> = (0..0).into_par_iter().map(|_| 0u8).collect();
+        assert!(got.is_empty());
+    }
+}
