@@ -1,0 +1,515 @@
+//! The static model of the TR datapath (§V, Figs. 9–14), one transfer
+//! function per pipeline stage.
+//!
+//! [`analyze`] walks a [`ControlRegisters`] configuration through the
+//! stages of the hardware pipeline in dataflow order and derives, for
+//! each stage, the interval of values its register/wire can carry plus
+//! the minimal width that holds it:
+//!
+//! 1. **Quantized codes** — the symmetric `±(2^(b−1) − 1)` band the
+//!    quantizer clamps to (`b` = `QUANT_BITWIDTH`), stored as 8-bit DRAM
+//!    words.
+//! 2. **Encoder output** — term count and exponent range per value. With
+//!    `HESE_ENCODER_ON` the encoder emits a minimal-weight *non-adjacent*
+//!    signed-digit form over the `b−1` magnitude bits (max exponent
+//!    `b−1`, at most `⌈b/2⌉` terms); gated off, values stay in binary
+//!    (max exponent `b−2`, at most `b−1` terms).
+//! 3. **Group selection** — with `COMPARATOR_ON`, the A&C tree keeps at
+//!    most `min(GROUP_BUDGET, g·T_w)` weight terms per group; its counter
+//!    counts up to `GROUP_BUDGET`. Data values keep at most
+//!    `min(DATA_TERMS, T_x)` terms. Because selection keeps a *subset* of
+//!    a value's terms, a selected value ranges over the signed subset-sum
+//!    envelope of its encoding, not just the original code band.
+//! 4. **tMAC exponent adder** — term-pair products address coefficient
+//!    `exp_w + exp_x`; the address space must cover every reachable sum.
+//! 5. **Coefficient accumulator** — each kept weight term contributes at
+//!    most one `±1` per exponent per paired data value (a value's terms
+//!    have distinct exponents), so one group adds at most `K_w` hits to
+//!    any single coefficient; a coefficient vector accumulates at most
+//!    [`Envelope::merge_groups`] groups before the converter drains it.
+//! 6. **Binary stream converter** — carries the reduced coefficient
+//!    vector value; bounded both by per-coefficient counts (count·2^e
+//!    summed) and by the accumulated group partial sums, and the proof
+//!    takes the tighter of the two (both are sound).
+//! 7. **Output accumulator** — the downstream sum over a full dot product
+//!    of [`Envelope::max_dot_len`] values.
+
+use crate::range::ValueRange;
+use tr_core::TrError;
+use tr_encoding::hese::hese_term_bound;
+use tr_hw::coeff::{COEFF_BITS, COEFF_LEN};
+use tr_hw::converter::STREAM_BITS;
+use tr_hw::fault::EXP_FIELD_BITS;
+use tr_hw::registers::ControlRegisters;
+use tr_hw::SystolicArray;
+
+/// A verified stage of the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Quantized weight/data codes in DRAM and the on-chip buffers.
+    DramCode,
+    /// Term exponents out of the encoder (and through the term-fault
+    /// model's exponent field).
+    EncoderExponent,
+    /// The A&C tree's kept-term counter.
+    GroupSelectCounter,
+    /// The tMAC exponent adder / coefficient address space.
+    ExponentAdder,
+    /// One signed coefficient register of the accumulator vector.
+    CoefficientCounter,
+    /// The reduced value the binary stream converter serializes.
+    ConverterStream,
+    /// The post-converter accumulator summing a whole dot product.
+    OutputAccumulator,
+}
+
+impl Stage {
+    /// Every stage, in dataflow order.
+    pub const ALL: [Stage; 7] = [
+        Stage::DramCode,
+        Stage::EncoderExponent,
+        Stage::GroupSelectCounter,
+        Stage::ExponentAdder,
+        Stage::CoefficientCounter,
+        Stage::ConverterStream,
+        Stage::OutputAccumulator,
+    ];
+
+    /// Short stable name (report rows, test messages).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::DramCode => "dram_code",
+            Stage::EncoderExponent => "encoder_exponent",
+            Stage::GroupSelectCounter => "group_select_counter",
+            Stage::ExponentAdder => "exponent_adder",
+            Stage::CoefficientCounter => "coefficient_counter",
+            Stage::ConverterStream => "converter_stream",
+            Stage::OutputAccumulator => "output_accumulator",
+        }
+    }
+
+    /// What the width of this stage counts.
+    pub fn unit(&self) -> &'static str {
+        match self {
+            Stage::ExponentAdder => "entries",
+            _ => "bits",
+        }
+    }
+}
+
+/// The widths the software hardware model actually implements, i.e. what
+/// the proof must show sufficient. [`ImplementedWidths::from_hw`] reads
+/// them from the `tr-hw` constants; the negative tests narrow them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImplementedWidths {
+    /// DRAM weight/data word width (codes are stored as `i8`).
+    pub dram_code_bits: u32,
+    /// Term exponent field width (the fault model flips these bits).
+    pub exp_field_bits: u32,
+    /// The A&C kept-term counter width (`GROUP_BUDGET` is a 5-bit field).
+    pub group_counter_bits: u32,
+    /// Coefficient vector length = exponent address space.
+    pub coeff_entries: u64,
+    /// Signed width of one coefficient register.
+    pub coeff_bits: u32,
+    /// Binary stream converter output width.
+    pub stream_bits: u32,
+    /// The downstream accumulator width (`i64` in the simulator).
+    pub accumulator_bits: u32,
+}
+
+impl ImplementedWidths {
+    /// The widths of the shipping `tr-hw` model.
+    pub fn from_hw() -> ImplementedWidths {
+        ImplementedWidths {
+            dram_code_bits: 8,
+            exp_field_bits: EXP_FIELD_BITS,
+            group_counter_bits: 5,
+            coeff_entries: COEFF_LEN as u64,
+            coeff_bits: COEFF_BITS,
+            stream_bits: u32::try_from(STREAM_BITS).expect("stream width is a small constant"),
+            accumulator_bits: 64,
+        }
+    }
+
+    /// The implemented width of one stage.
+    pub fn of(&self, stage: Stage) -> u64 {
+        match stage {
+            Stage::DramCode => self.dram_code_bits as u64,
+            Stage::EncoderExponent => self.exp_field_bits as u64,
+            Stage::GroupSelectCounter => self.group_counter_bits as u64,
+            Stage::ExponentAdder => self.coeff_entries,
+            Stage::CoefficientCounter => self.coeff_bits as u64,
+            Stage::ConverterStream => self.stream_bits as u64,
+            Stage::OutputAccumulator => self.accumulator_bits as u64,
+        }
+    }
+}
+
+impl Default for ImplementedWidths {
+    fn default() -> Self {
+        ImplementedWidths::from_hw()
+    }
+}
+
+/// The architectural envelope the proof quantifies over — how much work
+/// a coefficient vector / output accumulator is ever asked to absorb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Envelope {
+    /// Groups a coefficient vector accumulates before the converter
+    /// drains it. The paper's array merges partial vectors across one
+    /// row pass — `cols` groups (§V-B sizes 12-bit coefficients for
+    /// 4096-length dot products at `g = 8`, i.e. 64 columns × 8 values).
+    pub merge_groups: u64,
+    /// Longest dot product (reduction length) the system schedules.
+    pub max_dot_len: u64,
+}
+
+impl Default for Envelope {
+    fn default() -> Self {
+        let array = SystolicArray::paper_build();
+        Envelope { merge_groups: array.cols as u64, max_dot_len: 4096 }
+    }
+}
+
+/// One stage's derived bound next to the implemented width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageBound {
+    /// The pipeline stage.
+    pub stage: Stage,
+    /// The value interval the stage's register/wire must hold.
+    pub range: ValueRange,
+    /// Minimal safe width (bits, or address entries for the adder).
+    pub required: u64,
+    /// What the hardware model implements.
+    pub implemented: u64,
+}
+
+impl StageBound {
+    /// Whether the implemented width covers the requirement.
+    pub fn ok(&self) -> bool {
+        self.required <= self.implemented
+    }
+}
+
+impl std::fmt::Display for StageBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: range {} needs {} {} (implemented: {})",
+            self.stage.name(),
+            self.range,
+            self.required,
+            self.stage.unit(),
+            self.implemented
+        )
+    }
+}
+
+/// The per-config proof: every stage bound for one register file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatapathProof {
+    /// The configuration analyzed.
+    pub regs: ControlRegisters,
+    /// Stage bounds in dataflow order.
+    pub bounds: Vec<StageBound>,
+}
+
+impl DatapathProof {
+    /// The stages whose implemented width is insufficient.
+    pub fn violations(&self) -> Vec<&StageBound> {
+        self.bounds.iter().filter(|b| !b.ok()).collect()
+    }
+
+    /// Whether every stage is provably overflow-free.
+    pub fn ok(&self) -> bool {
+        self.bounds.iter().all(StageBound::ok)
+    }
+
+    /// The bound of one stage.
+    ///
+    /// # Panics
+    /// Never for stages in [`Stage::ALL`]; [`analyze`] emits all of them.
+    pub fn bound(&self, stage: Stage) -> &StageBound {
+        self.bounds
+            .iter()
+            .find(|b| b.stage == stage)
+            .expect("analyze emits every Stage::ALL entry")
+    }
+
+    /// Loud failure: `Err` naming every insufficient stage.
+    pub fn verify(&self) -> Result<(), TrError> {
+        let bad = self.violations();
+        if bad.is_empty() {
+            return Ok(());
+        }
+        let list: Vec<String> = bad.iter().map(|b| b.to_string()).collect();
+        Err(TrError::OutOfRange(format!(
+            "datapath widths insufficient for {:?}: {}",
+            self.regs,
+            list.join("; ")
+        )))
+    }
+}
+
+/// Per-encoding static facts about one operand stream.
+#[derive(Debug, Clone, Copy)]
+struct OperandModel {
+    /// Largest exponent a term can carry.
+    max_exp: u32,
+    /// Most terms one value can expand into.
+    max_terms: u64,
+    /// Signed envelope of a value after keeping any subset of its terms.
+    value: ValueRange,
+}
+
+/// Width of an unsigned field holding `0 ..= hi` (`hi >= 0`); at least 1.
+fn unsigned_field_bits(hi: i64) -> u64 {
+    u64::from(64 - hi.unsigned_abs().leading_zeros().min(63)).max(1)
+}
+
+/// Sum of a maximal non-adjacent exponent chain `2^e + 2^(e-2) + …` —
+/// the largest magnitude any subset of a minimal-weight (NAF-property)
+/// signed-digit expansion can reach.
+fn non_adjacent_sum(max_exp: u32) -> i64 {
+    let mut sum = 0i64;
+    let mut e = max_exp as i64;
+    while e >= 0 {
+        sum += 1i64 << e;
+        e -= 2;
+    }
+    sum
+}
+
+/// Encoder model for a `bits`-wide code stream.
+fn operand_model(bits: u32, hese: bool) -> OperandModel {
+    let mag_bits = bits - 1; // one bit of the code is the sign
+    if hese {
+        // HESE over an n-bit magnitude: a run reaching the MSB closes one
+        // position past it, so exponents reach n; minimal weight obeys
+        // the NAF bound; subset values stay within the non-adjacent
+        // chain envelope (the encoder output has the NAF property).
+        let max_exp = mag_bits; // == bits - 1
+        OperandModel {
+            max_exp,
+            max_terms: hese_term_bound(mag_bits as usize) as u64,
+            value: ValueRange::symmetric(non_adjacent_sum(max_exp)),
+        }
+    } else {
+        // Binary: one same-signed term per set magnitude bit. Subsets of
+        // same-signed terms never exceed the code band.
+        let max_exp = mag_bits.saturating_sub(1);
+        let mag = (1i64 << mag_bits) - 1;
+        OperandModel { max_exp, max_terms: mag_bits.max(1) as u64, value: ValueRange::symmetric(mag) }
+    }
+}
+
+/// Run the abstract interpretation for one register configuration.
+///
+/// Rejects invalid registers (via [`ControlRegisters::try_validate`]) and
+/// analysis-domain overflow; an *insufficient implemented width* is not
+/// an error here — it is recorded in the proof so sweeps can report every
+/// violation (use [`DatapathProof::verify`] for the loud check).
+pub fn analyze(
+    regs: &ControlRegisters,
+    env: &Envelope,
+    widths: &ImplementedWidths,
+) -> Result<DatapathProof, TrError> {
+    regs.try_validate()?;
+    if env.merge_groups == 0 || env.max_dot_len == 0 {
+        return Err(TrError::InvalidConfig(
+            "analysis envelope needs positive merge_groups and max_dot_len".into(),
+        ));
+    }
+    let b = regs.quant_bitwidth as u32;
+    let g = regs.group_size as u64;
+    let k = regs.group_budget as u64;
+    let s = regs.data_terms as u64;
+
+    // Stage 1: quantized codes. The quantizer clamps to the symmetric
+    // band ±(2^(b-1) − 1); DRAM stores them as 8-bit words.
+    let code = ValueRange::symmetric((1i64 << (b - 1)) - 1);
+    let dram = StageBound {
+        stage: Stage::DramCode,
+        range: code,
+        required: code.signed_width() as u64,
+        implemented: widths.of(Stage::DramCode),
+    };
+
+    // Stage 2: encoder output. Weights and data share the code band and
+    // the encoder setting; `DATA_TERMS` additionally caps data terms.
+    let w = operand_model(b, regs.hese_encoder_on);
+    let x = operand_model(b, regs.hese_encoder_on);
+    let exp_range = ValueRange::new(0, w.max_exp.max(x.max_exp) as i64)?;
+    let encoder = StageBound {
+        stage: Stage::EncoderExponent,
+        range: exp_range,
+        // Unsigned exponent field: width for values 0 ..= max_exp.
+        required: unsigned_field_bits(exp_range.hi()),
+        implemented: widths.of(Stage::EncoderExponent),
+    };
+
+    // Stage 3: group selection. Kept weight terms per group; the A&C
+    // counter counts up to the budget then prunes.
+    let group_weight_terms = if regs.comparator_on { k.min(g * w.max_terms) } else { g * w.max_terms };
+    let data_terms_per_value = s.min(x.max_terms).max(1);
+    let counter_range = ValueRange::new(0, group_weight_terms.min(k) as i64)?;
+    let counter = StageBound {
+        stage: Stage::GroupSelectCounter,
+        range: counter_range,
+        required: unsigned_field_bits(counter_range.hi()),
+        implemented: widths.of(Stage::GroupSelectCounter),
+    };
+
+    // Stage 4: the exponent adder output addresses the coefficient
+    // vector; every reachable sum must have an entry.
+    let product_exp = ValueRange::new(0, (w.max_exp + x.max_exp) as i64)?;
+    let adder = StageBound {
+        stage: Stage::ExponentAdder,
+        range: product_exp,
+        required: product_exp.hi().unsigned_abs() + 1,
+        implemented: widths.of(Stage::ExponentAdder),
+    };
+
+    // Stage 5: one coefficient register. A value's terms carry distinct
+    // exponents, so a kept weight term strikes a given coefficient at
+    // most once per paired data value → one group adds at most
+    // `group_weight_terms` hits to a single coefficient; the vector
+    // absorbs `merge_groups` groups before draining.
+    let hits_per_group = group_weight_terms;
+    let coeff_range = ValueRange::symmetric(1).accumulate(hits_per_group)?.accumulate(env.merge_groups)?;
+    let coeff = StageBound {
+        stage: Stage::CoefficientCounter,
+        range: coeff_range,
+        required: coeff_range.signed_width() as u64,
+        implemented: widths.of(Stage::CoefficientCounter),
+    };
+
+    // Stage 6: the reduced coefficient-vector value. Two independent
+    // sound bounds; the proof takes the tighter.
+    //   (a) per-coefficient counts: |v| ≤ Σ_e hits·2^e over the address
+    //       space;
+    //   (b) value flow: |v| ≤ merge_groups · g · |w·x| for one term-pair
+    //       product envelope.
+    let by_counts = coeff_range.mul(&ValueRange::new(0, (1i64 << (product_exp.hi() + 1)) - 1)?)?;
+    let pair_value = w.value.mul(&x.value)?;
+    let by_values = pair_value.accumulate(g)?.accumulate(env.merge_groups)?;
+    let stream_range = by_counts.tightest(&by_values)?;
+    let stream = StageBound {
+        stage: Stage::ConverterStream,
+        range: stream_range,
+        required: stream_range.signed_width() as u64,
+        implemented: widths.of(Stage::ConverterStream),
+    };
+
+    // Stage 7: the output accumulator sums a whole dot product: one
+    // term-pair value envelope per reduction element.
+    let out_range = pair_value.accumulate(env.max_dot_len)?;
+    let out = StageBound {
+        stage: Stage::OutputAccumulator,
+        range: out_range,
+        required: out_range.signed_width() as u64,
+        implemented: widths.of(Stage::OutputAccumulator),
+    };
+
+    // `data_terms_per_value` participates in cycle bounds (beat = k·s),
+    // not in any width; keep the derivation honest by asserting it is
+    // positive (a zero cap would stall the schedule, which
+    // ControlRegisters::try_validate now rejects).
+    debug_assert!(data_terms_per_value >= 1);
+
+    Ok(DatapathProof {
+        regs: *regs,
+        bounds: vec![dram, encoder, counter, adder, coeff, stream, out],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_core::TrConfig;
+
+    fn tr_regs(g: usize, k: usize, s: usize) -> ControlRegisters {
+        ControlRegisters::for_tr(&TrConfig::new(g, k).with_data_terms(s))
+    }
+
+    #[test]
+    fn paper_flagship_config_is_overflow_free() {
+        let proof =
+            analyze(&tr_regs(8, 16, 3), &Envelope::default(), &ImplementedWidths::from_hw())
+                .unwrap();
+        assert!(proof.ok(), "violations: {:?}", proof.violations());
+        assert!(proof.verify().is_ok());
+        // §V-B: 8-bit HESE operands address exponents 0..=14 — exactly
+        // the 15-entry coefficient vector.
+        assert_eq!(proof.bound(Stage::ExponentAdder).required, 15);
+        // And the 12-bit coefficient register is the minimal safe width
+        // at the worst-case budget below.
+        assert!(proof.bound(Stage::CoefficientCounter).required <= 12);
+    }
+
+    #[test]
+    fn worst_case_budget_needs_exactly_the_implemented_coefficient_width() {
+        // g = 8, k = 24 (the largest legal budget): 64 merged groups x 24
+        // hits = ±1536 — 12 bits is minimal (11 would hold only ±1024).
+        let proof =
+            analyze(&tr_regs(8, 24, 3), &Envelope::default(), &ImplementedWidths::from_hw())
+                .unwrap();
+        let coeff = proof.bound(Stage::CoefficientCounter);
+        assert_eq!(coeff.required, 12);
+        assert_eq!(coeff.range.max_abs(), 1536);
+        assert!(proof.ok());
+    }
+
+    #[test]
+    fn qt_mode_uses_binary_bounds() {
+        let regs = ControlRegisters::for_qt(8);
+        let proof = analyze(&regs, &Envelope::default(), &ImplementedWidths::from_hw()).unwrap();
+        // Binary terms on 7 magnitude bits: exponents 0..=6, products
+        // address 13 entries.
+        assert_eq!(proof.bound(Stage::ExponentAdder).required, 13);
+        assert!(proof.ok());
+    }
+
+    #[test]
+    fn narrowed_widths_are_rejected() {
+        let mut narrow = ImplementedWidths::from_hw();
+        narrow.coeff_bits = 10; // ±512 cannot hold ±1536
+        let proof = analyze(&tr_regs(8, 24, 3), &Envelope::default(), &narrow).unwrap();
+        assert!(!proof.ok());
+        let err = proof.verify().unwrap_err();
+        assert!(err.to_string().contains("coefficient_counter"), "{err}");
+    }
+
+    #[test]
+    fn shrunken_address_space_is_rejected() {
+        let mut narrow = ImplementedWidths::from_hw();
+        narrow.coeff_entries = 13; // HESE products reach exponent 14
+        let proof = analyze(&tr_regs(8, 16, 3), &Envelope::default(), &narrow).unwrap();
+        let bad = proof.violations();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].stage, Stage::ExponentAdder);
+    }
+
+    #[test]
+    fn invalid_registers_are_an_error() {
+        let mut regs = ControlRegisters::for_qt(8);
+        regs.group_budget = 30;
+        assert!(analyze(&regs, &Envelope::default(), &ImplementedWidths::from_hw()).is_err());
+    }
+
+    #[test]
+    fn degenerate_envelope_is_an_error() {
+        let env = Envelope { merge_groups: 0, max_dot_len: 4096 };
+        let regs = ControlRegisters::for_qt(8);
+        assert!(analyze(&regs, &env, &ImplementedWidths::from_hw()).is_err());
+    }
+
+    #[test]
+    fn non_adjacent_sum_matches_hand_values() {
+        // 2^7 + 2^5 + 2^3 + 2^1 = 170 — the subset envelope of 8-bit HESE.
+        assert_eq!(non_adjacent_sum(7), 170);
+        assert_eq!(non_adjacent_sum(0), 1);
+        assert_eq!(non_adjacent_sum(2), 5);
+    }
+}

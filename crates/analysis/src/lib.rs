@@ -1,0 +1,29 @@
+//! # tr-analysis — static bit-width/range verification of the TR datapath
+//!
+//! The hardware model in `tr-hw` implements fixed widths: 8-bit DRAM
+//! codes, a 4-bit term-exponent field, a 5-bit group-budget counter, a
+//! 15-entry coefficient vector of 12-bit signed registers, and a 28-bit
+//! binary stream converter. This crate *proves* those widths sufficient
+//! instead of hoping the simulator never wraps:
+//!
+//! - [`range::ValueRange`] — the interval abstract domain with sound
+//!   transfer functions and minimal signed-width accounting;
+//! - [`datapath::analyze`] — the per-stage static model of the pipeline
+//!   (encoder → group select → tMAC → coefficient accumulator →
+//!   converter → output accumulator), parameterized by
+//!   [`ControlRegisters`](tr_hw::registers::ControlRegisters);
+//! - [`sweep::sweep`] — the exhaustive walk over every valid Table-I
+//!   configuration, aggregated into a [`sweep::ProofReport`].
+//!
+//! Run `repro verify-widths` (the `tr-bench` CLI) to print the proof
+//! report; `scripts/check.sh` runs it as a gate. Property tests under
+//! `tests/` cross-check the static bounds against values observed in the
+//! cycle-level simulator.
+
+pub mod datapath;
+pub mod range;
+pub mod sweep;
+
+pub use datapath::{analyze, DatapathProof, Envelope, ImplementedWidths, Stage, StageBound};
+pub use range::ValueRange;
+pub use sweep::{enumerate_valid_configs, sweep, ProofReport, StageSummary};

@@ -1,0 +1,232 @@
+//! The interval/bit-width abstract domain.
+//!
+//! A [`ValueRange`] is a closed interval `[lo, hi]` of `i64` values — the
+//! abstraction of "every value this wire/register can carry". Transfer
+//! functions mirror the datapath operations (negation, addition,
+//! multiplication, repeated accumulation) and are *sound*: the concrete
+//! result of an operation on values inside the input intervals always
+//! lies inside the output interval. All arithmetic runs in `i128`
+//! internally; an interval endpoint that leaves the `i64` domain is an
+//! analysis error ([`TrError::OutOfRange`]), never a silent wrap.
+//!
+//! [`ValueRange::signed_width`] converts an interval into the minimal
+//! two's-complement register width that holds it — the quantity the
+//! per-stage proofs compare against the implemented hardware widths.
+
+use tr_core::TrError;
+
+/// A closed interval of signed values, `lo <= hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValueRange {
+    lo: i64,
+    hi: i64,
+}
+
+/// Clamp-free narrowing of an `i128` endpoint back into the `i64` domain.
+fn narrow(v: i128, what: &str) -> Result<i64, TrError> {
+    i64::try_from(v).map_err(|_| {
+        TrError::OutOfRange(format!("analysis domain overflow: {what} endpoint {v} exceeds i64"))
+    })
+}
+
+impl ValueRange {
+    /// The interval `[lo, hi]`.
+    pub fn new(lo: i64, hi: i64) -> Result<ValueRange, TrError> {
+        if lo > hi {
+            return Err(TrError::OutOfRange(format!("empty interval [{lo}, {hi}]")));
+        }
+        Ok(ValueRange { lo, hi })
+    }
+
+    /// The single value `v`.
+    pub fn exact(v: i64) -> ValueRange {
+        ValueRange { lo: v, hi: v }
+    }
+
+    /// The symmetric interval `[-mag, mag]`.
+    pub fn symmetric(mag: i64) -> ValueRange {
+        ValueRange { lo: -mag.abs(), hi: mag.abs() }
+    }
+
+    /// The zero interval.
+    pub fn zero() -> ValueRange {
+        ValueRange::exact(0)
+    }
+
+    /// Lower endpoint.
+    pub fn lo(&self) -> i64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    pub fn hi(&self) -> i64 {
+        self.hi
+    }
+
+    /// Largest absolute value in the interval.
+    pub fn max_abs(&self) -> u64 {
+        self.lo.unsigned_abs().max(self.hi.unsigned_abs())
+    }
+
+    /// Whether a concrete value lies inside the interval.
+    pub fn contains(&self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Whether `other` lies entirely inside `self`.
+    pub fn encloses(&self, other: &ValueRange) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Interval negation: `[-hi, -lo]`.
+    pub fn neg(&self) -> Result<ValueRange, TrError> {
+        ValueRange::new(narrow(-(self.hi as i128), "neg")?, narrow(-(self.lo as i128), "neg")?)
+    }
+
+    /// Interval addition.
+    pub fn add(&self, other: &ValueRange) -> Result<ValueRange, TrError> {
+        ValueRange::new(
+            narrow(self.lo as i128 + other.lo as i128, "add")?,
+            narrow(self.hi as i128 + other.hi as i128, "add")?,
+        )
+    }
+
+    /// Interval multiplication (four-corner rule).
+    pub fn mul(&self, other: &ValueRange) -> Result<ValueRange, TrError> {
+        let corners = [
+            self.lo as i128 * other.lo as i128,
+            self.lo as i128 * other.hi as i128,
+            self.hi as i128 * other.lo as i128,
+            self.hi as i128 * other.hi as i128,
+        ];
+        let lo = corners.iter().min().copied().unwrap_or(0);
+        let hi = corners.iter().max().copied().unwrap_or(0);
+        ValueRange::new(narrow(lo, "mul")?, narrow(hi, "mul")?)
+    }
+
+    /// Accumulating `n` values from this interval: `[n·lo, n·hi]`.
+    /// `n == 0` yields the zero interval (an empty sum).
+    pub fn accumulate(&self, n: u64) -> Result<ValueRange, TrError> {
+        ValueRange::new(
+            narrow(self.lo as i128 * n as i128, "accumulate")?,
+            narrow(self.hi as i128 * n as i128, "accumulate")?,
+        )
+    }
+
+    /// Smallest interval containing both (the join of the domain).
+    pub fn union(&self, other: &ValueRange) -> ValueRange {
+        ValueRange { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Intersection of two *sound* bounds on the same wire: when two
+    /// independent derivations both over-approximate a value set, the
+    /// elementwise-tighter interval is still sound.
+    pub fn tightest(&self, other: &ValueRange) -> Result<ValueRange, TrError> {
+        ValueRange::new(self.lo.max(other.lo), self.hi.min(other.hi))
+    }
+
+    /// Minimal two's-complement width (in bits, including the sign bit)
+    /// whose representable band `[-2^(w-1), 2^(w-1) - 1]` contains the
+    /// interval. The zero interval needs 1 bit.
+    pub fn signed_width(&self) -> u32 {
+        let bits_for = |v: i64| -> u32 {
+            if v >= 0 {
+                // Need hi <= 2^(w-1) - 1.
+                let mag = u128::from(v.unsigned_abs());
+                let mut w = 1;
+                while mag > (1u128 << (w - 1)) - 1 {
+                    w += 1;
+                }
+                w
+            } else {
+                // Need lo >= -2^(w-1).
+                let mag = v.unsigned_abs() as u128;
+                let mut w = 1;
+                while mag > (1u128 << (w - 1)) {
+                    w += 1;
+                }
+                w
+            }
+        };
+        bits_for(self.lo).max(bits_for(self.hi))
+    }
+}
+
+impl std::fmt::Display for ValueRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let r = ValueRange::new(-3, 7).unwrap();
+        assert_eq!((r.lo(), r.hi()), (-3, 7));
+        assert!(r.contains(0) && r.contains(-3) && r.contains(7));
+        assert!(!r.contains(8));
+        assert_eq!(r.max_abs(), 7);
+        assert!(ValueRange::new(1, 0).is_err());
+        assert_eq!(ValueRange::symmetric(-5), ValueRange::new(-5, 5).unwrap());
+    }
+
+    #[test]
+    fn arithmetic_is_sound_on_samples() {
+        let a = ValueRange::new(-2, 3).unwrap();
+        let b = ValueRange::new(-4, 5).unwrap();
+        let sum = a.add(&b).unwrap();
+        let prod = a.mul(&b).unwrap();
+        for x in -2i64..=3 {
+            for y in -4i64..=5 {
+                assert!(sum.contains(x + y), "{x}+{y} outside {sum}");
+                assert!(prod.contains(x * y), "{x}*{y} outside {prod}");
+            }
+        }
+        assert_eq!(a.neg().unwrap(), ValueRange::new(-3, 2).unwrap());
+    }
+
+    #[test]
+    fn accumulate_scales_endpoints() {
+        let a = ValueRange::new(-2, 3).unwrap();
+        assert_eq!(a.accumulate(4).unwrap(), ValueRange::new(-8, 12).unwrap());
+        assert_eq!(a.accumulate(0).unwrap(), ValueRange::zero());
+    }
+
+    #[test]
+    fn union_and_tightest() {
+        let a = ValueRange::new(-2, 3).unwrap();
+        let b = ValueRange::new(0, 9).unwrap();
+        assert_eq!(a.union(&b), ValueRange::new(-2, 9).unwrap());
+        assert_eq!(a.tightest(&b).unwrap(), ValueRange::new(0, 3).unwrap());
+        assert!(a.encloses(&ValueRange::new(-1, 2).unwrap()));
+        assert!(!a.encloses(&b));
+    }
+
+    #[test]
+    fn signed_width_matches_twos_complement_bands() {
+        assert_eq!(ValueRange::zero().signed_width(), 1);
+        assert_eq!(ValueRange::new(-1, 0).unwrap().signed_width(), 1);
+        assert_eq!(ValueRange::new(0, 1).unwrap().signed_width(), 2);
+        assert_eq!(ValueRange::new(-2, 1).unwrap().signed_width(), 2);
+        assert_eq!(ValueRange::symmetric(127).signed_width(), 8);
+        assert_eq!(ValueRange::symmetric(128).signed_width(), 9);
+        assert_eq!(ValueRange::new(-128, 127).unwrap().signed_width(), 8);
+        // The coefficient accumulator band of §V-B.
+        assert_eq!(ValueRange::new(-2048, 2047).unwrap().signed_width(), 12);
+        assert_eq!(ValueRange::symmetric(2047).signed_width(), 12);
+        assert_eq!(ValueRange::symmetric(2048).signed_width(), 13);
+    }
+
+    #[test]
+    fn domain_overflow_is_an_error_not_a_wrap() {
+        let big = ValueRange::exact(i64::MAX);
+        assert!(big.add(&ValueRange::exact(1)).is_err());
+        assert!(big.mul(&big).is_err());
+        assert!(big.accumulate(2).is_err());
+        let err = big.accumulate(2).unwrap_err();
+        assert!(err.to_string().contains("analysis domain overflow"), "{err}");
+    }
+}

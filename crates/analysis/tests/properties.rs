@@ -1,0 +1,173 @@
+//! Cross-checks of the static width proof against the cycle-level
+//! simulator: for random valid configurations and random inputs, every
+//! value observed in the hardware model's registers must lie inside the
+//! interval the abstract interpretation predicts for that stage.
+
+// Test-only arithmetic on generator-bounded values; the clippy.toml test
+// exemption covers unwraps but not the cast lints, so allow them here.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+
+use proptest::prelude::*;
+use tr_analysis::{analyze, Envelope, ImplementedWidths, Stage};
+use tr_core::reveal_group;
+use tr_encoding::{Encoding, TermExpr};
+use tr_hw::registers::ControlRegisters;
+use tr_hw::Tmac;
+use tr_quant::truncate::truncate_value;
+
+/// Encode, reveal (budget `k`), and cap one aligned group of weight and
+/// data codes the way the TR datapath does.
+fn tr_operands(w: &[i32], x: &[i32], k: usize, s: usize) -> (Vec<TermExpr>, Vec<TermExpr>) {
+    let we: Vec<TermExpr> = w.iter().map(|&v| Encoding::Hese.terms_of(v)).collect();
+    let revealed = reveal_group(&we, k).revealed;
+    let xe: Vec<TermExpr> = x
+        .iter()
+        .map(|&v| Encoding::Hese.terms_of(truncate_value(Encoding::Hese, v, s)))
+        .collect();
+    (revealed, xe)
+}
+
+/// Assert one group's observable values sit inside the proof's stage
+/// intervals; returns the term-pair count for the caller's bookkeeping.
+fn check_group(
+    proof: &tr_analysis::DatapathProof,
+    tmac: &Tmac,
+    weights: &[TermExpr],
+    data: &[TermExpr],
+) -> Result<(), TestCaseError> {
+    let exp_bound = proof.bound(Stage::EncoderExponent);
+    let counter_bound = proof.bound(Stage::GroupSelectCounter);
+    let adder_bound = proof.bound(Stage::ExponentAdder);
+    let coeff_bound = proof.bound(Stage::CoefficientCounter);
+    let stream_bound = proof.bound(Stage::ConverterStream);
+
+    let kept: usize = weights.iter().map(TermExpr::len).sum();
+    prop_assert!(
+        counter_bound.range.contains(kept as i64),
+        "kept terms {kept} outside {}",
+        counter_bound.range
+    );
+    for expr in weights.iter().chain(data) {
+        for t in expr.iter() {
+            prop_assert!(
+                exp_bound.range.contains(t.exp as i64),
+                "term exponent {} outside {}",
+                t.exp,
+                exp_bound.range
+            );
+        }
+    }
+    for (w, x) in weights.iter().zip(data) {
+        for wt in w.iter() {
+            for xt in x.iter() {
+                let product_exp = (wt.exp + xt.exp) as i64;
+                prop_assert!(
+                    product_exp < adder_bound.required as i64,
+                    "product exponent {product_exp} outside the {}-entry address space",
+                    adder_bound.required
+                );
+            }
+        }
+    }
+    for (e, &c) in tmac.accumulator().coeffs().iter().enumerate() {
+        prop_assert!(
+            coeff_bound.range.contains(c as i64),
+            "coefficient[{e}] = {c} outside {}",
+            coeff_bound.range
+        );
+    }
+    let v = tmac.value();
+    prop_assert!(
+        stream_bound.range.contains(v),
+        "reduced value {v} outside {}",
+        stream_bound.range
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// TR mode at the paper's 8-bit operating point: random group
+    /// geometry, budget, data cap, and codes. The tMAC accumulates
+    /// `merge_groups` groups into one coefficient vector exactly as the
+    /// array's `sec_acc` merge path does, and every observed register
+    /// value must respect the predicted interval.
+    #[test]
+    fn tr_pipeline_values_lie_in_predicted_ranges(
+        g in 1usize..=8,
+        k in 1u8..=24,
+        s in 1usize..=6,
+        n_groups in 1usize..=6,
+        raw in proptest::collection::vec((-127i32..=127, 0i32..=127), 48),
+    ) {
+        let regs = ControlRegisters {
+            hese_encoder_on: true,
+            comparator_on: true,
+            quant_bitwidth: 8,
+            data_terms: s as u8,
+            group_size: g as u8,
+            group_budget: k,
+        };
+        let env = Envelope {
+            merge_groups: n_groups as u64,
+            max_dot_len: (g * n_groups) as u64,
+        };
+        let proof = analyze(&regs, &env, &ImplementedWidths::from_hw()).unwrap();
+        prop_assert!(proof.ok(), "violations: {:?}", proof.violations());
+
+        let mut tmac = Tmac::new();
+        let mut dot = 0i64;
+        for group in 0..n_groups {
+            let (w, x): (Vec<i32>, Vec<i32>) =
+                raw[group * g..(group + 1) * g].iter().copied().unzip();
+            let (we, xe) = tr_operands(&w, &x, k as usize, s);
+            tmac.process_group(&we, &xe);
+            check_group(&proof, &tmac, &we, &xe)?;
+        }
+        dot += tmac.value();
+        let out_bound = proof.bound(Stage::OutputAccumulator);
+        prop_assert!(out_bound.range.contains(dot), "dot {dot} outside {}", out_bound.range);
+    }
+
+    /// QT mode across every supported bitwidth: binary encoding, no
+    /// comparator, group size 1.
+    #[test]
+    fn qt_pipeline_values_lie_in_predicted_ranges(
+        bits in 2u8..=8,
+        n_values in 1usize..=8,
+        raw in proptest::collection::vec((-127i32..=127, 0i32..=127), 8),
+    ) {
+        let regs = ControlRegisters::for_qt(bits);
+        let band = (1i32 << (bits - 1)) - 1;
+        let env = Envelope { merge_groups: n_values as u64, max_dot_len: n_values as u64 };
+        let proof = analyze(&regs, &env, &ImplementedWidths::from_hw()).unwrap();
+        prop_assert!(proof.ok(), "violations: {:?}", proof.violations());
+
+        let mut tmac = Tmac::new();
+        for &(w, x) in raw.iter().take(n_values) {
+            let we = vec![Encoding::Binary.terms_of(w.clamp(-band, band))];
+            let xe = vec![Encoding::Binary.terms_of(x.min(band))];
+            tmac.process_group(&we, &xe);
+            check_group(&proof, &tmac, &we, &xe)?;
+        }
+        let out_bound = proof.bound(Stage::OutputAccumulator);
+        prop_assert!(out_bound.range.contains(tmac.value()));
+    }
+
+    /// The encoder stage model is sound on its own: HESE expansions of
+    /// in-band codes never exceed the predicted term count or exponent.
+    #[test]
+    fn hese_encoder_respects_static_model(v in -127i32..=127) {
+        let regs = ControlRegisters::for_tr(&tr_core::TrConfig::new(8, 16).with_data_terms(3));
+        let proof =
+            analyze(&regs, &Envelope::default(), &ImplementedWidths::from_hw()).unwrap();
+        let expr = Encoding::Hese.terms_of(v);
+        // 8-bit codes: at most ceil((7 + 2) / 2) = 4 terms, exponents <= 7.
+        prop_assert!(expr.len() <= 4, "{v} expands to {} terms", expr.len());
+        let exp_bound = proof.bound(Stage::EncoderExponent);
+        for t in expr.iter() {
+            prop_assert!(exp_bound.range.contains(t.exp as i64));
+        }
+    }
+}

@@ -361,7 +361,7 @@ mod tests {
         calibrate_model(&mut mlp, &calib, 8, &mut rng);
         let cfg = tr_config(8, 12, 3);
         let fcfg = FaultConfig::new(123, 0.01).unwrap();
-        let mut grab = |model: &mut tr_nn::Sequential| -> (Vec<Vec<f32>>, FaultReport) {
+        let grab = |model: &mut tr_nn::Sequential| -> (Vec<Vec<f32>>, FaultReport) {
             apply_precision(model, &Precision::Tr(cfg));
             let report = corrupt_installed_weights(model, &fcfg);
             let mut weights = Vec::new();

@@ -18,14 +18,15 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod widths;
 
 use crate::report::Table;
 use crate::zoo::Zoo;
 
 /// Every experiment id in paper order.
-pub const ALL: [&str; 17] = [
+pub const ALL: [&str; 18] = [
     "fig3", "fig5", "fig7", "fig8", "fig15", "fig16", "fig17", "fig18", "fig19", "table1",
-    "table2", "table3", "table4", "ablation", "bounds", "extensions", "faults",
+    "table2", "table3", "table4", "ablation", "bounds", "extensions", "faults", "verify-widths",
 ];
 
 /// Run one experiment by id.
@@ -51,6 +52,7 @@ pub fn run(id: &str, zoo: &Zoo) -> Vec<Table> {
         "bounds" => bounds::run(zoo),
         "extensions" => extensions::run(zoo),
         "faults" => faults::run(zoo),
+        "verify-widths" => widths::run(),
         other => panic!("unknown experiment id: {other} (known: {ALL:?})"),
     }
 }

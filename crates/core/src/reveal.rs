@@ -144,7 +144,11 @@ pub fn try_reveal_group_with_tiebreak(
             .collect();
         row.sort_by_key(|&i| kept[i].len());
         for i in row {
-            let t = *group[i].iter().find(|t| t.exp == e).unwrap();
+            let t = group[i]
+                .iter()
+                .find(|t| t.exp == e)
+                .copied()
+                .expect("row indices are pre-filtered to hold a term at exponent e");
             kept[i].push(t);
             kept_count += 1;
             if kept_count == budget {

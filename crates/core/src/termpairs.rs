@@ -60,7 +60,9 @@ pub fn group_pair_histogram(w: &TermMatrix, x: &TermMatrix, g: usize) -> GroupPa
             for n in 0..x.rows() {
                 let xrow = x.row(n);
                 for (wg, xg) in wrow.chunks(g).zip(xrow.chunks(g)) {
-                    hist.record(pairs_for_vectors(wg, xg) as usize);
+                    let pairs = usize::try_from(pairs_for_vectors(wg, xg))
+                        .expect("pair count of one group fits usize");
+                    hist.record(pairs);
                 }
             }
             hist

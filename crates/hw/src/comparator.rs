@@ -84,9 +84,16 @@ impl TermComparator {
         2 * self.group_size - 1
     }
 
-    /// Depth of the A&C tree (levels of accumulation).
+    /// Depth of the A&C tree (levels of accumulation):
+    /// `ceil(log2(g)) + 1`, so 1 for a single leaf and 4 for `g = 8`.
     pub fn tree_depth(&self) -> usize {
-        (self.group_size as f64).log2().ceil() as usize + 1
+        let mut depth = 1;
+        let mut span = 1;
+        while span < self.group_size {
+            span *= 2;
+            depth += 1;
+        }
+        depth
     }
 }
 
@@ -98,7 +105,10 @@ pub fn streams_to_terms(magnitude: &[bool], sign: &[bool]) -> TermExpr {
         .zip(sign)
         .enumerate()
         .filter(|(_, (&m, _))| m)
-        .map(|(i, (_, &s))| Term { exp: i as u8, neg: s })
+        .map(|(i, (_, &s))| Term {
+            exp: u8::try_from(i).expect("stream position fits the u8 exponent field"),
+            neg: s,
+        })
         .collect()
 }
 

@@ -35,6 +35,9 @@ impl BinaryStreamConverter {
             -limit <= v && v < limit,
             "value {v} exceeds the {STREAM_BITS}-bit stream envelope"
         );
+        // The sign-loss cast is the modeled hardware behavior: the wire
+        // carries the raw two's-complement bit pattern of the value.
+        #[allow(clippy::cast_sign_loss)]
         let u = (v as u64) & ((1u64 << STREAM_BITS) - 1);
         (0..STREAM_BITS).map(|i| (u >> i) & 1 == 1).collect()
     }
@@ -88,7 +91,7 @@ impl ReluUnit {
     pub fn push_bit(&mut self, bit: bool) -> Option<Vec<bool>> {
         self.buffer.push(bit);
         if self.buffer.len() == STREAM_BITS {
-            let negative = *self.buffer.last().unwrap();
+            let negative = self.buffer[STREAM_BITS - 1];
             let out = if negative { vec![false; STREAM_BITS] } else { std::mem::take(&mut self.buffer) };
             self.buffer.clear();
             Some(out)

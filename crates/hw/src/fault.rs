@@ -401,6 +401,10 @@ impl FaultInjector {
                 continue;
             }
             let bit = self.pick(stream::DRAM_BIT_CHOICE, addr, 0, 0, 8);
+            // The truncating/sign-loss casts are the modeled storage
+            // format: DRAM holds the low 8 bits of the code, and the
+            // flip strikes that raw byte.
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             let byte = (*c as i8 as u8) ^ (1u8 << bit);
             let mut v = byte as i8 as i32;
             self.report.injected.dram_bit_flips += 1;

@@ -101,9 +101,9 @@ impl ControlRegisters {
             hese_encoder_on: true,
             comparator_on: true,
             quant_bitwidth: 8,
-            data_terms: data_terms as u8,
-            group_size: cfg.group_size as u8,
-            group_budget: cfg.group_budget as u8,
+            data_terms: u8::try_from(data_terms).expect("checked <= 15 above"),
+            group_size: u8::try_from(cfg.group_size).expect("checked <= 8 above"),
+            group_budget: u8::try_from(cfg.group_budget).expect("checked <= 24 above"),
         };
         r.try_validate()?;
         Ok(r)
@@ -132,15 +132,18 @@ impl ControlRegisters {
     /// Fallible [`ControlRegisters::validate`]: reports the first field
     /// that exceeds its hardware width instead of panicking.
     pub fn try_validate(&self) -> Result<(), TrError> {
-        if !(2..=15).contains(&self.quant_bitwidth) {
+        // The 4-bit field could encode up to 15, but the datapath caps
+        // the usable width at 8: HESE product exponents reach 2(b-1),
+        // and the 15-entry coefficient vector only addresses 0..=14.
+        if !(2..=8).contains(&self.quant_bitwidth) {
             return Err(TrError::InvalidGeometry(format!(
-                "QUANT_BITWIDTH is 4 bits (2-15), got {}",
+                "QUANT_BITWIDTH supports 2-8 (15-entry coefficient vector), got {}",
                 self.quant_bitwidth
             )));
         }
-        if self.data_terms > 15 {
+        if !(1..=15).contains(&self.data_terms) {
             return Err(TrError::InvalidGeometry(format!(
-                "DATA_TERMS is 4 bits, got {}",
+                "DATA_TERMS is 4 bits (1-15; 0 would stall the beat), got {}",
                 self.data_terms
             )));
         }
@@ -150,9 +153,9 @@ impl ControlRegisters {
                 self.group_size
             )));
         }
-        if self.group_budget > 24 {
+        if !(1..=24).contains(&self.group_budget) {
             return Err(TrError::InvalidGeometry(format!(
-                "GROUP_BUDGET is 5 bits, max 8x3 = 24, got {}",
+                "GROUP_BUDGET is 5 bits, 1 to 8x3 = 24 (0 reveals nothing), got {}",
                 self.group_budget
             )));
         }

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# The full local gate: release build, the whole test suite, and clippy
-# with warnings denied. CI mirrors this; run it before pushing.
+# The full local gate: release build, the whole test suite, clippy with
+# warnings denied (plus the workspace-denied cast/unwrap lints in the
+# datapath crates), and the static bit-width proof of the hardware
+# datapath. CI mirrors this; run it before pushing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace -- -D warnings
+cargo run -q --release -p tr-bench --bin repro -- verify-widths

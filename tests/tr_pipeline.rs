@@ -103,3 +103,70 @@ fn reveal_group_never_increases_term_count_per_value() {
         );
     }
 }
+
+#[test]
+fn systolic_outputs_lie_within_statically_proven_ranges() {
+    // End-to-end cross-check of the tr-analysis width proof against the
+    // cycle-level simulator: every output of a full systolic run stays
+    // inside the interval predicted for the output accumulator, and the
+    // per-group partial values fit the converter-stream bound.
+    use tr_analysis::{analyze, Envelope, ImplementedWidths, Stage};
+    use tr_hw::{ControlRegisters, SystolicArray, Tmac};
+
+    let reduction = 64usize;
+    let qw = random_quantized(6, reduction, 11);
+    let qx = random_quantized(reduction, 4, 12);
+    for (g, k, s) in [(8usize, 16usize, 3usize), (4, 6, 2), (8, 24, 6), (2, 3, 1)] {
+        let cfg = TrConfig::new(g, k).with_data_terms(s);
+        let regs = ControlRegisters::for_tr(&cfg);
+        let env = Envelope {
+            merge_groups: (reduction / g) as u64,
+            max_dot_len: reduction as u64,
+        };
+        let proof = analyze(&regs, &env, &ImplementedWidths::from_hw()).unwrap();
+        assert!(proof.ok(), "g={g} k={k}: {:?}", proof.violations());
+
+        let wm = TermMatrix::from_weights(&qw, Encoding::Hese).reveal(&cfg);
+        let xm = TermMatrix::from_data_transposed(&qx, Encoding::Hese).cap_terms(s);
+        let w_rows: Vec<Vec<TermExpr>> = (0..wm.rows()).map(|r| wm.row(r).to_vec()).collect();
+        let x_rows: Vec<Vec<TermExpr>>  = (0..xm.rows()).map(|r| xm.row(r).to_vec()).collect();
+
+        let array = SystolicArray { rows: 2, cols: 2 };
+        let (out, _cycles) = array.execute(&w_rows, &x_rows, g);
+        let out_bound = proof.bound(Stage::OutputAccumulator);
+        for &v in &out {
+            assert!(
+                out_bound.range.contains(v),
+                "g={g} k={k}: output {v} outside {}",
+                out_bound.range
+            );
+        }
+
+        // Per-dot coefficient-vector check: accumulate every group of one
+        // row/column pair in a single tMAC (the merge span of the proof)
+        // and compare against the coefficient/stream bounds.
+        let coeff_bound = proof.bound(Stage::CoefficientCounter);
+        let stream_bound = proof.bound(Stage::ConverterStream);
+        for wr in &w_rows {
+            for xr in &x_rows {
+                let mut tmac = Tmac::new();
+                for (wg, xg) in wr.chunks(g).zip(xr.chunks(g)) {
+                    tmac.process_group(wg, xg);
+                }
+                for &c in tmac.accumulator().coeffs() {
+                    assert!(
+                        coeff_bound.range.contains(c as i64),
+                        "g={g} k={k}: coefficient {c} outside {}",
+                        coeff_bound.range
+                    );
+                }
+                assert!(
+                    stream_bound.range.contains(tmac.value()),
+                    "g={g} k={k}: reduced value {} outside {}",
+                    tmac.value(),
+                    stream_bound.range
+                );
+            }
+        }
+    }
+}
