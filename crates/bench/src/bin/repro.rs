@@ -6,6 +6,7 @@
 //! repro fig15 table3        # run selected experiments
 //! repro --list              # list experiment ids
 //! repro --out FILE all      # also append markdown to FILE
+//! repro --quick serve       # reduced budgets (same as TR_ZOO_QUICK=1)
 //! ```
 //!
 //! Models are trained once and cached under `target/tr-zoo/`; set
@@ -18,7 +19,7 @@ use tr_bench::Zoo;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: repro [--out FILE] (all | --list | <experiment-id>...)");
+        eprintln!("usage: repro [--out FILE] [--quick] (all | --list | <experiment-id>...)");
         eprintln!("experiments: {}", experiments::ALL.join(", "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
@@ -29,10 +30,13 @@ fn main() {
         return;
     }
     let mut out_file = None;
+    let mut quick = false;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
-        if arg == "--out" {
+        if arg == "--quick" {
+            quick = true;
+        } else if arg == "--out" {
             let path = it.next().unwrap_or_else(|| {
                 eprintln!("--out requires a file path");
                 std::process::exit(2);
@@ -51,7 +55,10 @@ fn main() {
         }
     }
 
-    let zoo = Zoo::new();
+    let mut zoo = Zoo::new();
+    if quick {
+        zoo.quick = true;
+    }
     let mut markdown = String::new();
     for id in &ids {
         eprintln!("== running {id} ==");

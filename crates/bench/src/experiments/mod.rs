@@ -14,6 +14,7 @@ pub mod fig3;
 pub mod fig5;
 pub mod fig7;
 pub mod fig8;
+pub mod serve;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -24,9 +25,10 @@ use crate::report::Table;
 use crate::zoo::Zoo;
 
 /// Every experiment id in paper order.
-pub const ALL: [&str; 18] = [
+pub const ALL: [&str; 19] = [
     "fig3", "fig5", "fig7", "fig8", "fig15", "fig16", "fig17", "fig18", "fig19", "table1",
-    "table2", "table3", "table4", "ablation", "bounds", "extensions", "faults", "verify-widths",
+    "table2", "table3", "table4", "ablation", "bounds", "extensions", "faults", "serve",
+    "verify-widths",
 ];
 
 /// Run one experiment by id.
@@ -52,6 +54,7 @@ pub fn run(id: &str, zoo: &Zoo) -> Vec<Table> {
         "bounds" => bounds::run(zoo),
         "extensions" => extensions::run(zoo),
         "faults" => faults::run(zoo),
+        "serve" => serve::run(zoo),
         "verify-widths" => widths::run(),
         other => panic!("unknown experiment id: {other} (known: {ALL:?})"),
     }

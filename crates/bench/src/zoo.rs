@@ -7,8 +7,9 @@
 //! `TR_ZOO_QUICK=1` to use reduced training budgets (for smoke tests).
 
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 use tr_nn::data::{markov_corpus, synth_digits, synth_images, Dataset, MarkovCorpus};
-use tr_nn::io::{load_lstm, load_model, save_lstm, save_model};
+use tr_nn::io::{is_checkpoint_temp, load_lstm, load_model, save_lstm, save_model};
 
 use tr_nn::lstm::LstmLm;
 use tr_nn::models::{mlp::build_mlp, CnnKind};
@@ -33,7 +34,44 @@ pub struct Zoo {
 
 /// Serializes train-or-load sections so parallel tests sharing one cache
 /// directory train each model exactly once.
+///
+/// Caveat: this is an **in-process** lock. Two separate processes pointed
+/// at the same zoo directory may both train the same model concurrently.
+/// That wastes compute but is *safe*: `save_tensors` writes via a
+/// uniquely-named temp file plus an atomic rename, so the writers never
+/// interleave bytes — the last rename wins with a complete checkpoint and
+/// readers never observe a partial file.
 static TRAIN_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// How old an orphaned checkpoint temp file must be before the sweep
+/// deletes it — generous enough that no live writer (training runs take
+/// minutes) ever loses its temp file mid-write.
+const STALE_TEMP_AGE: Duration = Duration::from_secs(3600);
+
+/// Delete checkpoint temp files older than `older_than` from `dir` —
+/// debris from writers that were killed between `create` and `rename`.
+/// Returns how many were removed. Missing directory is a no-op.
+pub fn sweep_stale_temps(dir: &Path, older_than: Duration) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !is_checkpoint_temp(&name) {
+            continue;
+        }
+        let stale = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.elapsed().ok())
+            .is_some_and(|age| age >= older_than);
+        if stale && std::fs::remove_file(entry.path()).is_ok() {
+            eprintln!("[zoo] swept stale checkpoint temp {name}");
+            removed += 1;
+        }
+    }
+    removed
+}
 
 /// The shared quick-budget zoo used by this workspace's tests: one fixed
 /// directory, so the first test to need a model trains it and the rest
@@ -57,17 +95,41 @@ impl Zoo {
             .map(PathBuf::from)
             .unwrap_or_else(|_| PathBuf::from("target/tr-zoo"));
         let quick = std::env::var("TR_ZOO_QUICK").map(|v| v != "0").unwrap_or(false);
-        Zoo { dir, quick, seed: 0x7E57 }
+        let zoo = Zoo { dir, quick, seed: 0x7E57 };
+        sweep_stale_temps(&zoo.dir, STALE_TEMP_AGE);
+        zoo
     }
 
     /// Zoo rooted at an explicit directory.
     pub fn at(dir: impl Into<PathBuf>) -> Zoo {
-        Zoo { dir: dir.into(), quick: false, seed: 0x7E57 }
+        let zoo = Zoo { dir: dir.into(), quick: false, seed: 0x7E57 };
+        sweep_stale_temps(&zoo.dir, STALE_TEMP_AGE);
+        zoo
+    }
+
+    /// Treat a failed checkpoint load as a cache miss: a corrupt file
+    /// (CRC mismatch, truncation, bad header) is deleted so the caller
+    /// retrains and rewrites it, instead of erroring on every run.
+    fn invalidate_corrupt(path: &Path, err: &std::io::Error) {
+        if path.exists() {
+            eprintln!(
+                "[zoo] corrupt checkpoint {}: {err}; deleting and retraining",
+                path.display()
+            );
+            std::fs::remove_file(path).ok();
+        }
     }
 
     fn path(&self, name: &str) -> PathBuf {
         let suffix = if self.quick { "-quick" } else { "" };
         self.dir.join(format!("{name}{suffix}.bin"))
+    }
+
+    /// Where the named model's checkpoint lives (for callers that reload
+    /// weights directly, e.g. serving-engine factories that must rebuild
+    /// after a worker restart without regenerating datasets).
+    pub fn checkpoint_path(&self, name: &str) -> PathBuf {
+        self.path(name)
     }
 
     /// The digit dataset (MNIST substitute).
@@ -104,7 +166,8 @@ impl Zoo {
         let mut model = build_mlp(ds.classes, &mut rng);
         let path = self.path("mlp");
         let _guard = TRAIN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-        if load_model(&path, &mut model).is_err() {
+        let miss = load_model(&path, &mut model).inspect_err(|e| Self::invalidate_corrupt(&path, e));
+        if miss.is_err() {
             let mut opt = Sgd::new(0.1, 0.9, 1e-4);
             let epochs = if self.quick { 2 } else { 5 };
             let cfg = TrainConfig { epochs, batch: 32, lr_drop_at: Some(epochs - 1), verbose: false };
@@ -125,7 +188,8 @@ impl Zoo {
         let mut model = kind.build(ds.classes, &mut rng);
         let path = self.path(kind.name());
         let _guard = TRAIN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-        if load_model(&path, &mut model).is_err() {
+        let miss = load_model(&path, &mut model).inspect_err(|e| Self::invalidate_corrupt(&path, e));
+        if miss.is_err() {
             let mut opt = Sgd::new(0.05, 0.9, 5e-4);
             let epochs = if self.quick { 1 } else { 4 };
             let cfg = TrainConfig { epochs, batch: 32, lr_drop_at: Some(epochs.saturating_sub(1)), verbose: false };
@@ -149,7 +213,8 @@ impl Zoo {
         let mut lm = LstmLm::new(corpus.vocab, LSTM_HIDDEN, 0.1, &mut rng);
         let path = self.path("lstm");
         let _guard = TRAIN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-        if load_lstm(&path, &mut lm).is_err() {
+        let miss = load_lstm(&path, &mut lm).inspect_err(|e| Self::invalidate_corrupt(&path, e));
+        if miss.is_err() {
             let epochs = if self.quick { 2 } else { 4 };
             let ppl =
                 train_lstm(&mut lm, &corpus.train, &corpus.valid, epochs, 24, 0.01, &mut rng);
@@ -195,5 +260,45 @@ mod tests {
         assert!(second < first, "cache not faster: {second:?} vs {first:?}");
         assert!(zoo.path("mlp").exists());
         zoo.clear();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_a_cache_miss_not_an_error() {
+        let dir = std::env::temp_dir().join("tr-zoo-test-corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut zoo = Zoo::at(&dir);
+        zoo.quick = true;
+        let (_m, _ds) = zoo.mlp();
+        let path = zoo.path("mlp");
+        // Smash the cached checkpoint: flip bytes in the middle.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        bytes[mid + 1] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        // The zoo must recover by retraining, not panic or error out.
+        let (_m2, _ds2) = zoo.mlp();
+        // And the rewritten checkpoint must load cleanly again.
+        let (_m3, _ds3) = zoo.mlp();
+        assert!(path.exists());
+        zoo.clear();
+    }
+
+    #[test]
+    fn stale_temps_are_swept_live_ones_kept() {
+        let dir = std::env::temp_dir().join("tr-zoo-test-sweep");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(".mlp.bin.999.0.tmp"), b"debris").unwrap();
+        std::fs::write(dir.join("mlp.bin"), b"not a temp").unwrap();
+        // Age 0 sweeps everything temp-shaped; the real file stays.
+        assert_eq!(sweep_stale_temps(&dir, Duration::ZERO), 1);
+        assert!(!dir.join(".mlp.bin.999.0.tmp").exists());
+        assert!(dir.join("mlp.bin").exists());
+        // A *young* temp (just written) survives the default-age sweep.
+        std::fs::write(dir.join(".cnn.bin.999.1.tmp"), b"in flight").unwrap();
+        assert_eq!(sweep_stale_temps(&dir, STALE_TEMP_AGE), 0);
+        assert!(dir.join(".cnn.bin.999.1.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

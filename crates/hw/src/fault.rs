@@ -519,6 +519,87 @@ pub fn accumulate_mitigated(
     }
 }
 
+/// Health tripwire over a stream of [`FaultReport`]s.
+///
+/// Consumers that run periodic datapath canaries (e.g. the serving layer
+/// in `tr-serve`) feed each campaign's report in; once the *silent*
+/// corruption accumulated over the sliding window crosses the threshold
+/// the monitor latches tripped, signalling that the TR datapath can no
+/// longer be trusted and execution should fall back to the plain QT path
+/// until an operator (or a clean re-check) resets it.
+#[derive(Debug, Clone)]
+pub struct FaultMonitor {
+    /// Reports per sliding window.
+    window: usize,
+    /// Silent corruptions within one window that latch the trip.
+    silent_threshold: u64,
+    /// Silent counts of the most recent reports (newest last).
+    recent: std::collections::VecDeque<u64>,
+    /// Latched trip state.
+    tripped: bool,
+    /// Total reports observed.
+    seen: u64,
+}
+
+impl FaultMonitor {
+    /// A monitor that trips when the last `window` reports accumulate
+    /// more than `silent_threshold` silent corruptions.
+    ///
+    /// # Panics
+    /// If `window` is zero (a windowless monitor can never trip).
+    #[must_use]
+    pub fn new(window: usize, silent_threshold: u64) -> FaultMonitor {
+        assert!(window > 0, "FaultMonitor window must be non-zero");
+        FaultMonitor {
+            window,
+            silent_threshold,
+            recent: std::collections::VecDeque::with_capacity(window),
+            tripped: false,
+            seen: 0,
+        }
+    }
+
+    /// Feed one campaign report. Returns the (possibly newly latched)
+    /// trip state.
+    pub fn record(&mut self, report: &FaultReport) -> bool {
+        self.seen += 1;
+        if self.recent.len() == self.window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(report.silent());
+        let windowed: u64 = self.recent.iter().sum();
+        if windowed > self.silent_threshold {
+            self.tripped = true;
+        }
+        self.tripped
+    }
+
+    /// Whether the monitor has latched.
+    #[must_use]
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Silent corruptions currently inside the window.
+    #[must_use]
+    pub fn windowed_silent(&self) -> u64 {
+        self.recent.iter().sum()
+    }
+
+    /// Total reports observed since construction or the last reset.
+    #[must_use]
+    pub fn reports_seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Clear the latch and the window (after repair / re-verification).
+    pub fn reset(&mut self) {
+        self.recent.clear();
+        self.tripped = false;
+        self.seen = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -629,6 +710,36 @@ mod tests {
         assert!(FaultConfig::new(0, f64::NAN).is_err());
         let bad_vote = FaultConfig::new(0, 0.1).unwrap().with_mitigation(Mitigation::with_voting(2));
         assert!(FaultInjector::new(bad_vote).is_err());
+    }
+
+    #[test]
+    fn monitor_trips_on_windowed_silent_corruption_and_resets() {
+        let mut m = FaultMonitor::new(3, 5);
+        let silent = |n: u64| FaultReport {
+            injected: FaultCounts { exp_flips: n, ..FaultCounts::default() },
+            detected: 0,
+            corrected: 0,
+        };
+        assert!(!m.record(&silent(2)));
+        assert!(!m.record(&silent(3))); // window sum 5, not > threshold
+        assert!(m.record(&silent(1))); // 6 > 5: latched
+        assert!(m.tripped());
+        // Latch holds even as clean reports push the window down.
+        assert!(m.record(&FaultReport::default()));
+        assert!(m.record(&FaultReport::default()));
+        assert!(m.record(&FaultReport::default()));
+        assert_eq!(m.windowed_silent(), 0);
+        assert!(m.tripped());
+        m.reset();
+        assert!(!m.tripped());
+        assert_eq!(m.reports_seen(), 0);
+        // Detected corruption does not trip the monitor; silent does.
+        let caught = FaultReport {
+            injected: FaultCounts { exp_flips: 100, ..FaultCounts::default() },
+            detected: 100,
+            corrected: 0,
+        };
+        assert!(!m.record(&caught));
     }
 
     #[test]

@@ -52,7 +52,8 @@ pub use comparator::TermComparator;
 pub use converter::{BinaryStreamConverter, ReluUnit};
 pub use energy::{EnergyModel, WorkReport};
 pub use fault::{
-    FaultConfig, FaultCounts, FaultInjector, FaultReport, Mitigation, Operand, StuckAt,
+    FaultConfig, FaultCounts, FaultInjector, FaultMonitor, FaultReport, Mitigation, Operand,
+    StuckAt,
 };
 pub use hese_unit::HeseEncoderUnit;
 pub use memory::MemorySubsystem;

@@ -92,6 +92,23 @@ pub fn evaluate_accuracy(model: &mut dyn Layer, dataset: &Dataset, rng: &mut Rng
     eval_accuracy_on(model, &dataset.test.x, &dataset.test.y, 64, rng)
 }
 
+/// Forward one batch in inference mode under the currently installed
+/// precision and return the raw logits. This is the entry point serving
+/// layers build on (`tr-serve`): no training state, no pair counting —
+/// just the quantized/term-revealed forward pass.
+pub fn forward_logits(model: &mut dyn Layer, x: &Tensor, rng: &mut Rng) -> Tensor {
+    let mut ctx = ForwardCtx::eval(rng);
+    model.forward(x, &mut ctx)
+}
+
+/// Classify one batch: argmax over [`forward_logits`], one predicted
+/// class per row of `x`.
+pub fn classify_batch(model: &mut dyn Layer, x: &Tensor, rng: &mut Rng) -> Vec<usize> {
+    let logits = forward_logits(model, x, rng);
+    let rows = logits.shape().dims().first().copied().unwrap_or(0);
+    (0..rows).map(|r| logits.argmax_row(r)).collect()
+}
+
 /// One-call sweep step: calibrate (if needed), apply a precision, and
 /// report `(accuracy, pair_counts)` measured over `count_samples` test
 /// inputs.
@@ -279,6 +296,23 @@ mod tests {
             mixed + 1e-9 >= uniform_tight.min(uniform_loose) - 0.02,
             "mixed {mixed} below both uniform settings ({uniform_tight}, {uniform_loose})"
         );
+    }
+
+    #[test]
+    fn classify_batch_matches_accuracy_eval() {
+        let mut rng = Rng::seed_from_u64(6);
+        let (mut model, ds) = trained_mlp(&mut rng);
+        let calib = ds.train.x.slice_batch(0, 64);
+        calibrate_model(&mut model, &calib, 8, &mut rng);
+        apply_precision(&mut model, &Precision::Tr(TrConfig::new(8, 12).with_data_terms(3)));
+        let n = 64.min(ds.test.len());
+        let x = ds.test.x.slice_batch(0, n);
+        let preds = classify_batch(&mut model, &x, &mut rng);
+        assert_eq!(preds.len(), n);
+        let correct = preds.iter().zip(&ds.test.y[..n]).filter(|(p, y)| p == y).count();
+        let acc_here = correct as f64 / n as f64;
+        let acc_full = eval_accuracy_on(&mut model, &x, &ds.test.y[..n], 64, &mut rng);
+        assert!((acc_here - acc_full).abs() < 1e-9, "{acc_here} vs {acc_full}");
     }
 
     #[test]

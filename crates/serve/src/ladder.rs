@@ -1,0 +1,443 @@
+//! The graceful-degradation ladder.
+//!
+//! The paper's Table 1 makes group size `g` and group budget `k`
+//! *run-time* knobs: switching a layer between QT and TR, or between TR
+//! budgets, is a handful of control-register writes completing inside
+//! 100 ns. The ladder exploits exactly that property for load shedding:
+//! under sustained queue pressure the service steps the budget `k` (and
+//! with it `α = k/g`) down — cheaper, slightly less accurate inference —
+//! and steps it back up when pressure subsides. Independently, when the
+//! datapath fault monitor trips, the ladder latches onto its designated
+//! fallback rung (plain QT, bypassing the TR hardware path) until the
+//! latch is cleared.
+//!
+//! The controller is pure, deterministic state-machine logic — all
+//! policy (watermarks, patience, cooldown) lives here and is unit-tested
+//! without threads or clocks.
+
+use tr_core::{TrConfig, TrError};
+use tr_nn::Precision;
+
+/// One rung: a precision setting plus its relative hardware cost.
+#[derive(Debug, Clone)]
+pub struct Rung {
+    /// Short label for tables (`tr-g8k24s3`, `qt-w8a8`, ...).
+    pub label: String,
+    /// The precision installed at this rung.
+    pub precision: Precision,
+    /// Per-value term-pair bound — the §III-B cost proxy the simulated
+    /// accelerator's service time scales with.
+    pub pair_bound: f64,
+}
+
+impl Rung {
+    /// Build a rung from a precision, deriving label and cost bound.
+    #[must_use]
+    pub fn from_precision(precision: Precision) -> Rung {
+        Rung { label: precision.label(), pair_bound: per_value_pair_bound(&precision), precision }
+    }
+}
+
+/// Per-value term-pair processing bound of a precision (the hardware
+/// must provision for this many pair multiplications per weight value):
+/// `k·s/g` under TR, `(weight terms)·(data terms)` otherwise.
+#[must_use]
+pub fn per_value_pair_bound(p: &Precision) -> f64 {
+    match p {
+        // Float runs on no term hardware at all; model it like the
+        // full-width QT baseline.
+        Precision::Float => 49.0,
+        Precision::Qt { weight_bits, act_bits } => {
+            f64::from(weight_bits.saturating_sub(1)) * f64::from(act_bits.saturating_sub(1))
+        }
+        Precision::PerValue { weight_terms, data_terms, .. } => {
+            (*weight_terms as f64) * (data_terms.unwrap_or(7) as f64)
+        }
+        Precision::Tr(cfg) => {
+            let s = cfg.data_terms.unwrap_or(7);
+            cfg.pair_bound(s) as f64 / cfg.group_size as f64
+        }
+    }
+}
+
+/// Why the ladder moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepReason {
+    /// Sustained pressure above the high watermark: stepped down
+    /// (cheaper).
+    Pressure,
+    /// Sustained pressure below the low watermark: stepped up
+    /// (higher quality).
+    Relief,
+    /// The fault monitor tripped: latched onto the fallback rung.
+    FaultLatch,
+    /// The fault latch was cleared: returned to the top rung.
+    FaultClear,
+}
+
+/// One recorded rung change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Pressure-observation sequence number at which the step happened.
+    pub seq: u64,
+    /// Rung index before.
+    pub from: usize,
+    /// Rung index after.
+    pub to: usize,
+    /// What drove the step.
+    pub reason: StepReason,
+}
+
+/// Ladder policy: the rungs plus the stepping rules.
+#[derive(Debug, Clone)]
+pub struct LadderConfig {
+    /// Rungs ordered best-quality-first. Pressure stepping moves within
+    /// `0..=last_pressure_rung()`; the fallback rung (if any) is reached
+    /// only through the fault latch.
+    pub rungs: Vec<Rung>,
+    /// Index of the fault-fallback rung (plain QT), excluded from
+    /// pressure stepping. Must be the last rung when present.
+    pub fallback: Option<usize>,
+    /// Queue-pressure fraction (depth/capacity) above which a step down
+    /// is considered.
+    pub high_water: f64,
+    /// Pressure fraction below which a step up is considered.
+    pub low_water: f64,
+    /// Consecutive observations beyond a watermark required to step.
+    pub patience: u32,
+    /// Observations to hold after any step before stepping again
+    /// (hysteresis, so the ladder cannot thrash).
+    pub cooldown: u32,
+}
+
+impl LadderConfig {
+    /// The paper-flavoured default ladder on `g = 8`: step the group
+    /// budget `k` 24 → 16 → 12 → 8 (α from 3.0 down to 1.0), with plain
+    /// 8-bit QT as the fault fallback.
+    #[must_use]
+    pub fn default_tr_ladder() -> LadderConfig {
+        let tr = |k: usize, s: usize| {
+            Rung::from_precision(Precision::Tr(TrConfig::new(8, k).with_data_terms(s)))
+        };
+        let rungs = vec![
+            tr(24, 3),
+            tr(16, 3),
+            tr(12, 3),
+            tr(8, 2),
+            Rung::from_precision(Precision::Qt { weight_bits: 8, act_bits: 8 }),
+        ];
+        LadderConfig {
+            fallback: Some(rungs.len() - 1),
+            rungs,
+            high_water: 0.75,
+            low_water: 0.25,
+            patience: 3,
+            cooldown: 4,
+        }
+    }
+
+    /// Highest rung index reachable through pressure stepping.
+    #[must_use]
+    pub fn last_pressure_rung(&self) -> usize {
+        match self.fallback {
+            Some(f) if f == self.rungs.len() - 1 => f.saturating_sub(1),
+            _ => self.rungs.len().saturating_sub(1),
+        }
+    }
+
+    /// Validate the configuration (rung count, watermark ordering,
+    /// fallback position, every TR rung's `TrConfig`).
+    ///
+    /// # Errors
+    /// [`TrError::InvalidConfig`] describing the first violation.
+    pub fn validate(&self) -> Result<(), TrError> {
+        let invalid = |msg: String| Err(TrError::InvalidConfig(msg));
+        if self.rungs.is_empty() {
+            return invalid("ladder needs at least one rung".to_string());
+        }
+        if let Some(f) = self.fallback {
+            if f != self.rungs.len() - 1 {
+                return invalid(format!(
+                    "fallback rung must be last ({} of {})",
+                    f,
+                    self.rungs.len()
+                ));
+            }
+        }
+        if !(self.low_water >= 0.0 && self.low_water < self.high_water && self.high_water <= 1.0) {
+            return invalid(format!(
+                "watermarks must satisfy 0 <= low < high <= 1 (got {} / {})",
+                self.low_water, self.high_water
+            ));
+        }
+        if self.patience == 0 {
+            return invalid("patience must be at least 1".to_string());
+        }
+        for rung in &self.rungs {
+            if let Precision::Tr(cfg) = &rung.precision {
+                cfg.validate()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The runtime controller: consumes pressure observations, emits rung
+/// decisions, records every transition.
+#[derive(Debug)]
+pub struct Ladder {
+    cfg: LadderConfig,
+    current: usize,
+    deepest: usize,
+    high_streak: u32,
+    low_streak: u32,
+    cooldown_left: u32,
+    fault_latched: bool,
+    seq: u64,
+    transitions: Vec<Transition>,
+}
+
+impl Ladder {
+    /// A controller starting at rung 0 (full quality).
+    ///
+    /// # Errors
+    /// Propagates [`LadderConfig::validate`] failures.
+    pub fn new(cfg: LadderConfig) -> Result<Ladder, TrError> {
+        cfg.validate()?;
+        Ok(Ladder {
+            cfg,
+            current: 0,
+            deepest: 0,
+            high_streak: 0,
+            low_streak: 0,
+            cooldown_left: 0,
+            fault_latched: false,
+            seq: 0,
+            transitions: Vec::new(),
+        })
+    }
+
+    /// The active rung index.
+    #[must_use]
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// The active rung.
+    #[must_use]
+    pub fn current_rung(&self) -> &Rung {
+        &self.cfg.rungs[self.current]
+    }
+
+    /// Rung by index.
+    #[must_use]
+    pub fn rung(&self, idx: usize) -> &Rung {
+        &self.cfg.rungs[idx]
+    }
+
+    /// The policy in effect.
+    #[must_use]
+    pub fn config(&self) -> &LadderConfig {
+        &self.cfg
+    }
+
+    /// Deepest (cheapest) rung ever engaged.
+    #[must_use]
+    pub fn deepest(&self) -> usize {
+        self.deepest
+    }
+
+    /// Whether the fault latch is set.
+    #[must_use]
+    pub fn fault_latched(&self) -> bool {
+        self.fault_latched
+    }
+
+    /// Every rung change so far, in order.
+    #[must_use]
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Relative service-cost factor of `rung` (1.0 at rung 0).
+    #[must_use]
+    pub fn cost_factor(&self, rung: usize) -> f64 {
+        let base = self.cfg.rungs[0].pair_bound.max(f64::MIN_POSITIVE);
+        self.cfg.rungs[rung].pair_bound / base
+    }
+
+    fn step(&mut self, to: usize, reason: StepReason) {
+        if to == self.current {
+            return;
+        }
+        self.transitions.push(Transition { seq: self.seq, from: self.current, to, reason });
+        self.current = to;
+        self.deepest = self.deepest.max(to);
+        self.cooldown_left = self.cfg.cooldown;
+        self.high_streak = 0;
+        self.low_streak = 0;
+    }
+
+    /// Feed one queue-pressure observation (`depth / capacity`, taken at
+    /// batch formation) and return the rung the batch should run at.
+    pub fn observe(&mut self, pressure: f64) -> usize {
+        self.seq += 1;
+        if self.fault_latched {
+            return self.current;
+        }
+        if pressure >= self.cfg.high_water {
+            self.high_streak += 1;
+            self.low_streak = 0;
+        } else if pressure <= self.cfg.low_water {
+            self.low_streak += 1;
+            self.high_streak = 0;
+        } else {
+            self.high_streak = 0;
+            self.low_streak = 0;
+        }
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            return self.current;
+        }
+        if self.high_streak >= self.cfg.patience && self.current < self.cfg.last_pressure_rung() {
+            let to = self.current + 1;
+            self.step(to, StepReason::Pressure);
+        } else if self.low_streak >= self.cfg.patience && self.current > 0 {
+            let to = self.current - 1;
+            self.step(to, StepReason::Relief);
+        }
+        self.current
+    }
+
+    /// Latch onto the fault-fallback rung (no-op without one, or when
+    /// already latched).
+    pub fn latch_fault(&mut self) {
+        if self.fault_latched {
+            return;
+        }
+        if let Some(f) = self.cfg.fallback {
+            self.step(f, StepReason::FaultLatch);
+            self.fault_latched = true;
+        }
+    }
+
+    /// Clear the fault latch and return to the top rung.
+    pub fn clear_fault(&mut self) {
+        if self.fault_latched {
+            self.fault_latched = false;
+            self.step(0, StepReason::FaultClear);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> Ladder {
+        Ladder::new(LadderConfig::default_tr_ladder()).unwrap()
+    }
+
+    #[test]
+    fn default_ladder_validates_and_costs_decrease() {
+        let l = ladder();
+        let costs: Vec<f64> =
+            (0..=l.config().last_pressure_rung()).map(|r| l.cost_factor(r)).collect();
+        assert_eq!(costs[0], 1.0);
+        for pair in costs.windows(2) {
+            assert!(pair[1] < pair[0], "pressure rungs must get cheaper: {costs:?}");
+        }
+        // Fallback QT is *slower* than TR — that's the honest trade: a
+        // faulty TR datapath costs throughput.
+        let fb = l.config().fallback.unwrap();
+        assert!(l.cost_factor(fb) > 1.0);
+    }
+
+    #[test]
+    fn sustained_pressure_steps_down_with_patience_and_cooldown() {
+        let mut l = ladder();
+        // Two high observations: patience (3) not met.
+        assert_eq!(l.observe(0.9), 0);
+        assert_eq!(l.observe(0.9), 0);
+        // Third: step down.
+        assert_eq!(l.observe(0.9), 1);
+        // Cooldown (4) holds even under continued pressure.
+        for _ in 0..4 {
+            assert_eq!(l.observe(1.0), 1);
+        }
+        // Streak kept accumulating during cooldown; next observation steps.
+        assert_eq!(l.observe(1.0), 2);
+        assert_eq!(l.deepest(), 2);
+    }
+
+    #[test]
+    fn pressure_stepping_never_reaches_the_fallback_rung() {
+        let mut l = ladder();
+        for _ in 0..200 {
+            l.observe(1.0);
+        }
+        assert_eq!(l.current(), l.config().last_pressure_rung());
+        assert!(!l.fault_latched());
+    }
+
+    #[test]
+    fn relief_steps_back_up() {
+        let mut l = ladder();
+        for _ in 0..20 {
+            l.observe(1.0);
+        }
+        let engaged = l.current();
+        assert!(engaged > 0);
+        for _ in 0..200 {
+            l.observe(0.0);
+        }
+        assert_eq!(l.current(), 0, "ladder must recover under low pressure");
+        let last = l.transitions().last().unwrap();
+        assert_eq!(last.reason, StepReason::Relief);
+    }
+
+    #[test]
+    fn midband_pressure_resets_streaks() {
+        let mut l = ladder();
+        l.observe(0.9);
+        l.observe(0.9);
+        l.observe(0.5); // between watermarks: streak broken
+        assert_eq!(l.observe(0.9), 0);
+        assert_eq!(l.observe(0.9), 0);
+        assert_eq!(l.observe(0.9), 1);
+    }
+
+    #[test]
+    fn fault_latch_pins_the_fallback_until_cleared() {
+        let mut l = ladder();
+        l.latch_fault();
+        let fb = l.config().fallback.unwrap();
+        assert_eq!(l.current(), fb);
+        assert!(l.fault_latched());
+        // Pressure observations cannot move a latched ladder.
+        for _ in 0..50 {
+            assert_eq!(l.observe(0.0), fb);
+        }
+        l.clear_fault();
+        assert_eq!(l.current(), 0);
+        let reasons: Vec<StepReason> = l.transitions().iter().map(|t| t.reason).collect();
+        assert_eq!(reasons, vec![StepReason::FaultLatch, StepReason::FaultClear]);
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_ladders() {
+        let mut bad = LadderConfig::default_tr_ladder();
+        bad.high_water = 0.2;
+        bad.low_water = 0.5;
+        assert!(bad.validate().is_err());
+        let mut bad = LadderConfig::default_tr_ladder();
+        bad.fallback = Some(0);
+        assert!(bad.validate().is_err());
+        let mut bad = LadderConfig::default_tr_ladder();
+        bad.rungs.clear();
+        assert!(bad.validate().is_err());
+        let mut bad = LadderConfig::default_tr_ladder();
+        bad.patience = 0;
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! Service counters and latency accounting.
+//!
+//! Counters are lock-free atomics updated on the hot path; completed
+//! latencies are appended under a mutex (one push per completion — cheap
+//! at the request rates the simulated accelerator sustains). A
+//! [`MetricsSnapshot`] is a consistent copy for reporting; phase-based
+//! load generators diff two snapshots to get per-phase counts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Shared live counters (interior mutability, updated by all threads).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests assigned an id by `submit` (admitted or not).
+    pub submitted: AtomicU64,
+    /// Requests classified in time.
+    pub completed: AtomicU64,
+    /// Requests refused admission (queue full / shutdown).
+    pub rejected: AtomicU64,
+    /// Requests expired before execution.
+    pub expired_queue: AtomicU64,
+    /// Requests whose result arrived past the deadline and was discarded.
+    pub expired_late: AtomicU64,
+    /// Requests quarantined after panicking a worker solo.
+    pub quarantined: AtomicU64,
+    /// Completed requests served below rung 0 (degraded quality).
+    pub degraded: AtomicU64,
+    /// Batches executed.
+    pub batches: AtomicU64,
+    /// Batch executions that panicked.
+    pub worker_panics: AtomicU64,
+    /// Worker threads respawned by the supervisor.
+    pub worker_restarts: AtomicU64,
+    /// Precision reconfigurations performed by workers (the Table 1
+    /// register switches).
+    pub reconfigurations: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+}
+
+impl Metrics {
+    /// Record one completed-request latency.
+    pub fn push_latency(&self, latency: Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        lock(&self.latencies_us).push(us);
+    }
+
+    /// Take a consistent copy for reporting.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut latencies_us = lock(&self.latencies_us).clone();
+        latencies_us.sort_unstable();
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::SeqCst),
+            completed: self.completed.load(Ordering::SeqCst),
+            rejected: self.rejected.load(Ordering::SeqCst),
+            expired_queue: self.expired_queue.load(Ordering::SeqCst),
+            expired_late: self.expired_late.load(Ordering::SeqCst),
+            quarantined: self.quarantined.load(Ordering::SeqCst),
+            degraded: self.degraded.load(Ordering::SeqCst),
+            batches: self.batches.load(Ordering::SeqCst),
+            worker_panics: self.worker_panics.load(Ordering::SeqCst),
+            worker_restarts: self.worker_restarts.load(Ordering::SeqCst),
+            reconfigurations: self.reconfigurations.load(Ordering::SeqCst),
+            latencies_us,
+        }
+    }
+}
+
+/// A consistent point-in-time copy of the counters, with completed
+/// latencies sorted for percentile queries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// See [`Metrics::submitted`].
+    pub submitted: u64,
+    /// See [`Metrics::completed`].
+    pub completed: u64,
+    /// See [`Metrics::rejected`].
+    pub rejected: u64,
+    /// See [`Metrics::expired_queue`].
+    pub expired_queue: u64,
+    /// See [`Metrics::expired_late`].
+    pub expired_late: u64,
+    /// See [`Metrics::quarantined`].
+    pub quarantined: u64,
+    /// See [`Metrics::degraded`].
+    pub degraded: u64,
+    /// See [`Metrics::batches`].
+    pub batches: u64,
+    /// See [`Metrics::worker_panics`].
+    pub worker_panics: u64,
+    /// See [`Metrics::worker_restarts`].
+    pub worker_restarts: u64,
+    /// See [`Metrics::reconfigurations`].
+    pub reconfigurations: u64,
+    /// Completed latencies in microseconds, ascending.
+    pub latencies_us: Vec<u64>,
+}
+
+impl MetricsSnapshot {
+    /// Total expired (queue + late).
+    #[must_use]
+    pub fn expired(&self) -> u64 {
+        self.expired_queue + self.expired_late
+    }
+
+    /// Sum of all terminal outcomes.
+    #[must_use]
+    pub fn terminal_total(&self) -> u64 {
+        self.completed + self.rejected + self.expired() + self.quarantined
+    }
+
+    /// Latency percentile over completed requests, `per_mille` in
+    /// 0..=1000 (500 = p50, 990 = p99, 999 = p99.9). Nearest-rank on the
+    /// sorted samples; `None` when nothing completed.
+    #[must_use]
+    pub fn latency_percentile(&self, per_mille: u64) -> Option<Duration> {
+        let n = self.latencies_us.len();
+        if n == 0 {
+            return None;
+        }
+        let pm = usize::try_from(per_mille.min(1000)).unwrap_or(1000);
+        let idx = (pm * (n - 1) + 500) / 1000;
+        Some(Duration::from_micros(self.latencies_us[idx.min(n - 1)]))
+    }
+
+    /// Counter-wise difference vs an earlier snapshot (latencies keep
+    /// only the samples recorded since `earlier`).
+    #[must_use]
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted - earlier.submitted,
+            completed: self.completed - earlier.completed,
+            rejected: self.rejected - earlier.rejected,
+            expired_queue: self.expired_queue - earlier.expired_queue,
+            expired_late: self.expired_late - earlier.expired_late,
+            quarantined: self.quarantined - earlier.quarantined,
+            degraded: self.degraded - earlier.degraded,
+            batches: self.batches - earlier.batches,
+            worker_panics: self.worker_panics - earlier.worker_panics,
+            worker_restarts: self.worker_restarts - earlier.worker_restarts,
+            reconfigurations: self.reconfigurations - earlier.reconfigurations,
+            // Both vectors are sorted copies of the same growing log, so
+            // the new samples are the multiset difference; recover them
+            // by walking both sorted lists.
+            latencies_us: multiset_difference(&self.latencies_us, &earlier.latencies_us),
+        }
+    }
+}
+
+/// Sorted-multiset difference `a \ b` (both ascending).
+fn multiset_difference(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len().saturating_sub(b.len()));
+    let mut j = 0;
+    for &v in a {
+        if j < b.len() && b[j] == v {
+            j += 1;
+        } else {
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let snap = MetricsSnapshot {
+            completed: 10,
+            latencies_us: (1..=10).map(|v| v * 100).collect(),
+            ..MetricsSnapshot::default()
+        };
+        assert_eq!(snap.latency_percentile(0), Some(Duration::from_micros(100)));
+        // Index round(0.5 × 9) = 5 → the 6th sample.
+        assert_eq!(snap.latency_percentile(500), Some(Duration::from_micros(600)));
+        assert_eq!(snap.latency_percentile(1000), Some(Duration::from_micros(1000)));
+        assert_eq!(snap.latency_percentile(990), Some(Duration::from_micros(1000)));
+        let empty = MetricsSnapshot::default();
+        assert_eq!(empty.latency_percentile(500), None);
+    }
+
+    #[test]
+    fn snapshot_diff_subtracts_counters_and_latencies() {
+        let m = Metrics::default();
+        m.submitted.fetch_add(3, Ordering::SeqCst);
+        m.completed.fetch_add(2, Ordering::SeqCst);
+        m.push_latency(Duration::from_micros(50));
+        m.push_latency(Duration::from_micros(150));
+        let a = m.snapshot();
+        m.submitted.fetch_add(2, Ordering::SeqCst);
+        m.completed.fetch_add(1, Ordering::SeqCst);
+        m.push_latency(Duration::from_micros(100));
+        let b = m.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.submitted, 2);
+        assert_eq!(d.completed, 1);
+        assert_eq!(d.latencies_us, vec![100]);
+    }
+
+    #[test]
+    fn terminal_total_sums_outcomes() {
+        let snap = MetricsSnapshot {
+            completed: 5,
+            rejected: 2,
+            expired_queue: 1,
+            expired_late: 1,
+            quarantined: 1,
+            ..MetricsSnapshot::default()
+        };
+        assert_eq!(snap.terminal_total(), 10);
+        assert_eq!(snap.expired(), 2);
+    }
+}

@@ -1,0 +1,274 @@
+//! The bounded request queue with explicit backpressure and
+//! deadline-aware batch formation.
+//!
+//! Admission is all-or-nothing at a fixed capacity — the queue never
+//! grows without bound; a full queue rejects with a reason instead of
+//! absorbing load it cannot serve. Batch formation pulls FIFO but skips
+//! (and reports) requests whose deadline can no longer be met given the
+//! configured service-time estimate, so dead work is shed before it
+//! wastes compute.
+
+use crate::request::Request;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Recover a mutex even if a panicking thread poisoned it — the service
+/// is designed to survive worker panics, so lock poisoning must never
+/// cascade.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// What one batch-formation pull produced.
+#[derive(Debug, Default)]
+pub struct Pull {
+    /// The batch to execute (possibly empty on shutdown wake-up).
+    pub batch: Vec<Request>,
+    /// Requests dropped at formation because their deadline slack was
+    /// already spent — the caller must record their terminal outcome.
+    pub expired: Vec<Request>,
+    /// Queue depth *after* the pull (the ladder's pressure signal).
+    pub depth: usize,
+}
+
+/// A fixed-capacity MPMC request queue.
+#[derive(Debug)]
+pub struct BoundedQueue {
+    inner: Mutex<VecDeque<Request>>,
+    capacity: usize,
+    cv: Condvar,
+}
+
+impl BoundedQueue {
+    /// A queue holding at most `capacity` requests.
+    ///
+    /// # Panics
+    /// If `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> BoundedQueue {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        BoundedQueue { inner: Mutex::new(VecDeque::with_capacity(capacity)), capacity, cv: Condvar::new() }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        lock(&self.inner).len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        lock(&self.inner).is_empty()
+    }
+
+    /// Try to admit a request. On a full queue the request is handed
+    /// back — the caller records the rejection; nothing is dropped
+    /// silently.
+    ///
+    /// # Errors
+    /// Returns the request itself when the queue is at capacity.
+    pub fn try_push(&self, req: Request) -> Result<usize, Request> {
+        let mut g = lock(&self.inner);
+        if g.len() >= self.capacity {
+            return Err(req);
+        }
+        g.push_back(req);
+        let depth = g.len();
+        drop(g);
+        self.cv.notify_one();
+        Ok(depth)
+    }
+
+    /// Wake every waiter (used at shutdown so idle workers re-check the
+    /// shutdown flag).
+    pub fn notify_all(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Remove and return everything still queued (shutdown sweep).
+    pub fn drain_all(&self) -> Vec<Request> {
+        lock(&self.inner).drain(..).collect()
+    }
+
+    /// Deadline-aware batch formation.
+    ///
+    /// Blocks until at least one viable request arrives (or `shutdown`
+    /// is observed), then keeps collecting until either `max_batch`
+    /// requests are gathered or the batch-close time is reached. The
+    /// close time is the earlier of `linger` from the first pull and the
+    /// moment the first request's remaining deadline slack equals
+    /// `service_estimate` — waiting any longer would spend slack the
+    /// execution itself needs. Requests whose deadline cannot be met
+    /// (deadline ≤ now + `service_estimate`) are expired instead of
+    /// batched.
+    pub fn pop_batch(
+        &self,
+        max_batch: usize,
+        linger: Duration,
+        service_estimate: Duration,
+        shutdown: &AtomicBool,
+    ) -> Pull {
+        let mut expired = Vec::new();
+        let mut g = lock(&self.inner);
+        // Phase 1: block for the first viable request.
+        let first = loop {
+            let now = Instant::now();
+            let mut found = None;
+            while let Some(front) = g.front() {
+                if front.deadline <= now + service_estimate {
+                    if let Some(r) = g.pop_front() {
+                        expired.push(r);
+                    }
+                } else {
+                    found = g.pop_front();
+                    break;
+                }
+            }
+            if let Some(r) = found {
+                break r;
+            }
+            // Hand back expiries immediately — holding them while
+            // waiting for viable work would delay their terminal
+            // outcome until the next request happened to arrive.
+            if !expired.is_empty() || shutdown.load(Ordering::SeqCst) {
+                let depth = g.len();
+                return Pull { batch: Vec::new(), expired, depth };
+            }
+            let (ng, _timeout) = self
+                .cv
+                .wait_timeout(g, Duration::from_millis(5))
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            g = ng;
+        };
+        // Phase 2: fill the batch until close time or max_batch.
+        let close = (Instant::now() + linger).min(first.deadline - service_estimate);
+        let mut batch = vec![first];
+        while batch.len() < max_batch {
+            let now = Instant::now();
+            match g.pop_front() {
+                Some(r) => {
+                    if r.deadline <= now + service_estimate {
+                        expired.push(r);
+                    } else {
+                        batch.push(r);
+                    }
+                }
+                None => {
+                    if now >= close || shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let (ng, _timeout) = self
+                        .cv
+                        .wait_timeout(g, close.duration_since(now))
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    g = ng;
+                    if g.is_empty() && Instant::now() >= close {
+                        break;
+                    }
+                }
+            }
+        }
+        let depth = g.len();
+        drop(g);
+        Pull { batch, expired, depth }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    fn req(id: u64, deadline_in: Duration) -> Request {
+        let now = Instant::now();
+        Request { id, input: vec![0.0], submitted: now, deadline: now + deadline_in }
+    }
+
+    #[test]
+    fn rejects_when_full_and_reports_depth() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(req(1, Duration::from_secs(1))).unwrap(), 1);
+        assert_eq!(q.try_push(req(2, Duration::from_secs(1))).unwrap(), 2);
+        let back = q.try_push(req(3, Duration::from_secs(1))).unwrap_err();
+        assert_eq!(back.id, 3);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_batch_collects_up_to_max() {
+        let q = BoundedQueue::new(8);
+        for id in 0..5 {
+            q.try_push(req(id, Duration::from_secs(5))).unwrap();
+        }
+        let shutdown = AtomicBool::new(false);
+        let pull = q.pop_batch(3, Duration::from_millis(1), Duration::ZERO, &shutdown);
+        assert_eq!(pull.batch.len(), 3);
+        assert_eq!(pull.batch[0].id, 0); // FIFO
+        assert_eq!(pull.depth, 2);
+        assert!(pull.expired.is_empty());
+    }
+
+    #[test]
+    fn hopeless_requests_are_expired_not_batched() {
+        let q = BoundedQueue::new(8);
+        // Already past deadline.
+        q.try_push(req(1, Duration::ZERO)).unwrap();
+        // Viable.
+        q.try_push(req(2, Duration::from_secs(5))).unwrap();
+        // Deadline inside the service estimate: also hopeless.
+        q.try_push(req(3, Duration::from_millis(1))).unwrap();
+        let shutdown = AtomicBool::new(false);
+        let pull = q.pop_batch(4, Duration::from_millis(1), Duration::from_millis(100), &shutdown);
+        assert_eq!(pull.batch.len(), 1);
+        assert_eq!(pull.batch[0].id, 2);
+        let expired: Vec<u64> = pull.expired.iter().map(|r| r.id).collect();
+        assert_eq!(expired, vec![1, 3]);
+    }
+
+    #[test]
+    fn all_hopeless_queue_returns_expiries_without_blocking() {
+        let q = BoundedQueue::new(8);
+        q.try_push(req(1, Duration::ZERO)).unwrap();
+        q.try_push(req(2, Duration::from_millis(1))).unwrap();
+        let shutdown = AtomicBool::new(false);
+        let t0 = Instant::now();
+        let pull = q.pop_batch(4, Duration::from_millis(1), Duration::from_millis(100), &shutdown);
+        // Must not sit waiting for viable work while holding the
+        // expired requests hostage.
+        assert!(t0.elapsed() < Duration::from_millis(500));
+        assert!(pull.batch.is_empty());
+        assert_eq!(pull.expired.len(), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn shutdown_unblocks_empty_pop() {
+        let q = BoundedQueue::new(2);
+        let shutdown = AtomicBool::new(true);
+        let pull = q.pop_batch(4, Duration::from_millis(1), Duration::ZERO, &shutdown);
+        assert!(pull.batch.is_empty());
+        assert!(pull.expired.is_empty());
+    }
+
+    #[test]
+    fn linger_window_closes_the_batch() {
+        let q = BoundedQueue::new(8);
+        q.try_push(req(1, Duration::from_secs(5))).unwrap();
+        let shutdown = AtomicBool::new(false);
+        let t0 = Instant::now();
+        let pull = q.pop_batch(4, Duration::from_millis(20), Duration::ZERO, &shutdown);
+        assert_eq!(pull.batch.len(), 1);
+        // Must have waited for the linger window, but not forever.
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+        assert!(t0.elapsed() < Duration::from_secs(2));
+    }
+}

@@ -1,0 +1,679 @@
+//! The batched inference service.
+//!
+//! Architecture (all std threads — no async runtime):
+//!
+//! ```text
+//!  clients ──submit──▶ BoundedQueue ──pop_batch──▶ worker 0..N (own engine)
+//!                        │  reject when full         │ catch_unwind(infer)
+//!                        ▼                           ▼
+//!                    Completion log ◀─── outcomes ───┘
+//!                        ▲
+//!            supervisor ─┘ (respawns panicked workers)
+//! ```
+//!
+//! Invariants:
+//!
+//! * every submitted request reaches exactly one terminal [`Outcome`]
+//!   (checked by [`ServiceReport::verify_conservation`]);
+//! * the queue never exceeds its capacity — overload turns into explicit
+//!   `Rejected` outcomes, not memory growth;
+//! * a panicking request is quarantined and the worker restarted; other
+//!   requests in the same batch are re-run individually and complete
+//!   normally;
+//! * completed-request latency is bounded by the request deadline (late
+//!   results are downgraded to `Expired(AfterExecution)` and discarded).
+
+use crate::engine::{Engine, EngineFactory};
+use crate::ladder::{Ladder, LadderConfig, Transition};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::queue::BoundedQueue;
+use crate::request::{Completion, ExpiredAt, Outcome, RejectReason, Request, RequestId};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+use tr_hw::{FaultMonitor, FaultReport};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bounded queue capacity; fuller submissions are rejected.
+    pub queue_capacity: usize,
+    /// Largest batch handed to an engine.
+    pub max_batch: usize,
+    /// Longest a worker waits to fill a batch past the first request.
+    pub batch_linger: Duration,
+    /// Per-batch execution estimate used for expiry decisions at batch
+    /// formation (a request with less deadline slack than this cannot
+    /// finish in time and is expired without compute).
+    pub service_estimate: Duration,
+    /// Worker thread count.
+    pub workers: usize,
+    /// The degradation ladder policy.
+    pub ladder: LadderConfig,
+    /// Fault-monitor sliding window (reports).
+    pub monitor_window: usize,
+    /// Silent corruptions within the window that trip the QT fallback.
+    pub monitor_silent_threshold: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            queue_capacity: 64,
+            max_batch: 8,
+            batch_linger: Duration::from_millis(2),
+            service_estimate: Duration::from_millis(10),
+            workers: 2,
+            ladder: LadderConfig::default_tr_ladder(),
+            monitor_window: 8,
+            monitor_silent_threshold: 0,
+        }
+    }
+}
+
+/// Everything workers, supervisor, and clients share.
+struct Shared {
+    cfg: ServiceConfig,
+    queue: BoundedQueue,
+    ladder: Mutex<Ladder>,
+    metrics: Metrics,
+    completions: Mutex<Vec<Completion>>,
+    monitor: Mutex<FaultMonitor>,
+    shutdown: AtomicBool,
+    next_id: AtomicU64,
+    factory: EngineFactory,
+}
+
+impl Shared {
+    /// Record the terminal outcome of a request — the single funnel every
+    /// path goes through, so the conservation law has one enforcement
+    /// point.
+    fn finish(&self, id: RequestId, outcome: Outcome) {
+        match outcome {
+            Outcome::Completed { latency, rung, .. } => {
+                self.metrics.completed.fetch_add(1, Ordering::SeqCst);
+                if rung > 0 {
+                    self.metrics.degraded.fetch_add(1, Ordering::SeqCst);
+                }
+                self.metrics.push_latency(latency);
+            }
+            Outcome::Rejected(_) => {
+                self.metrics.rejected.fetch_add(1, Ordering::SeqCst);
+            }
+            Outcome::Expired(ExpiredAt::Queue) => {
+                self.metrics.expired_queue.fetch_add(1, Ordering::SeqCst);
+            }
+            Outcome::Expired(ExpiredAt::AfterExecution) => {
+                self.metrics.expired_late.fetch_add(1, Ordering::SeqCst);
+            }
+            Outcome::Quarantined => {
+                self.metrics.quarantined.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        lock(&self.completions).push(Completion { id, outcome });
+    }
+}
+
+/// How a worker's main loop ended.
+enum WorkerExit {
+    /// Shutdown drain finished.
+    Clean,
+    /// A batch panicked; the worker resolved the batch (quarantine hunt)
+    /// and asks to be replaced.
+    Panicked,
+}
+
+enum WorkerEvent {
+    Exited { worker_id: usize, panicked: bool },
+}
+
+/// The running service. Dropping without [`Service::shutdown`] aborts
+/// workers ungracefully; always shut down for a conservation-checked
+/// report.
+pub struct Service {
+    shared: Arc<Shared>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Final report produced by [`Service::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Final counter snapshot.
+    pub snapshot: MetricsSnapshot,
+    /// Every terminal outcome, in completion order.
+    pub completions: Vec<Completion>,
+    /// Every ladder transition, in order.
+    pub transitions: Vec<Transition>,
+    /// Deepest pressure rung engaged during the run.
+    pub deepest_rung: usize,
+    /// Rung active at shutdown.
+    pub final_rung: usize,
+}
+
+impl ServiceReport {
+    /// Check the conservation law: every submitted request has exactly
+    /// one terminal outcome, ids are unique, and the per-outcome
+    /// counters agree with the completion log.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated invariant.
+    pub fn verify_conservation(&self) -> Result<(), String> {
+        let s = &self.snapshot;
+        let outcomes = u64::try_from(self.completions.len()).unwrap_or(u64::MAX);
+        if s.submitted != outcomes {
+            return Err(format!(
+                "lost/duplicated requests: {} submitted vs {} terminal outcomes",
+                s.submitted,
+                self.completions.len()
+            ));
+        }
+        let mut ids: Vec<RequestId> = self.completions.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.len() != self.completions.len() {
+            return Err(format!(
+                "double-completed requests: {} unique ids over {} outcomes",
+                ids.len(),
+                self.completions.len()
+            ));
+        }
+        if s.terminal_total() != s.submitted {
+            return Err(format!(
+                "counter mismatch: terminal total {} vs submitted {}",
+                s.terminal_total(),
+                s.submitted
+            ));
+        }
+        if u64::try_from(s.latencies_us.len()).unwrap_or(u64::MAX) != s.completed {
+            return Err(format!(
+                "latency log mismatch: {} samples vs {} completed",
+                s.latencies_us.len(),
+                s.completed
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Service {
+    /// Start the service: spawn `cfg.workers` workers plus the
+    /// supervisor.
+    ///
+    /// # Errors
+    /// [`tr_core::TrError`] when the ladder configuration is invalid.
+    pub fn start(cfg: ServiceConfig, factory: EngineFactory) -> Result<Service, tr_core::TrError> {
+        let ladder = Ladder::new(cfg.ladder.clone())?;
+        if cfg.workers == 0 || cfg.max_batch == 0 {
+            return Err(tr_core::TrError::InvalidConfig(
+                "service needs at least one worker and a non-zero batch size".to_string(),
+            ));
+        }
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            ladder: Mutex::new(ladder),
+            metrics: Metrics::default(),
+            completions: Mutex::new(Vec::new()),
+            monitor: Mutex::new(FaultMonitor::new(
+                cfg.monitor_window.max(1),
+                cfg.monitor_silent_threshold,
+            )),
+            shutdown: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+            factory,
+            cfg,
+        });
+        let (tx, rx) = mpsc::channel::<WorkerEvent>();
+        for worker_id in 0..shared.cfg.workers {
+            spawn_worker(Arc::clone(&shared), worker_id, tx.clone());
+        }
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tr-serve-supervisor".to_string())
+                .spawn(move || supervisor_loop(&shared, &rx, &tx))
+                .expect("spawn supervisor thread")
+        };
+        Ok(Service { shared, supervisor: Some(supervisor) })
+    }
+
+    /// Submit a request with a relative deadline. Every call consumes an
+    /// id and is accounted for — a rejection is a terminal outcome, not
+    /// a silent drop.
+    ///
+    /// # Errors
+    /// [`RejectReason`] when the request was not admitted.
+    pub fn submit(&self, input: Vec<f32>, deadline_in: Duration) -> Result<RequestId, RejectReason> {
+        let id = self.shared.next_id.fetch_add(1, Ordering::SeqCst);
+        self.shared.metrics.submitted.fetch_add(1, Ordering::SeqCst);
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            let reason = RejectReason::ShuttingDown;
+            self.shared.finish(id, Outcome::Rejected(reason));
+            return Err(reason);
+        }
+        let now = Instant::now();
+        let req = Request { id, input, submitted: now, deadline: now + deadline_in };
+        match self.shared.queue.try_push(req) {
+            Ok(_depth) => Ok(id),
+            Err(_back) => {
+                let reason = RejectReason::QueueFull { capacity: self.shared.cfg.queue_capacity };
+                self.shared.finish(id, Outcome::Rejected(reason));
+                Err(reason)
+            }
+        }
+    }
+
+    /// Feed a datapath-canary fault report into the monitor; when the
+    /// windowed silent-corruption count trips the threshold, the ladder
+    /// latches onto the QT fallback rung. Returns the trip state.
+    pub fn record_fault_report(&self, report: &FaultReport) -> bool {
+        let tripped = lock(&self.shared.monitor).record(report);
+        if tripped {
+            lock(&self.shared.ladder).latch_fault();
+        }
+        tripped
+    }
+
+    /// Clear the fault latch (after repair / re-verification) and reset
+    /// the monitor window.
+    pub fn clear_fault_latch(&self) {
+        lock(&self.shared.monitor).reset();
+        lock(&self.shared.ladder).clear_fault();
+    }
+
+    /// The ladder rung new batches will run at.
+    #[must_use]
+    pub fn current_rung(&self) -> usize {
+        lock(&self.shared.ladder).current()
+    }
+
+    /// Whether the fault latch is engaged.
+    #[must_use]
+    pub fn fault_latched(&self) -> bool {
+        lock(&self.shared.ladder).fault_latched()
+    }
+
+    /// Current queue depth.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Live counter snapshot (phase reporting while the service runs).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Stop admissions, drain the queue, join all threads, and return
+    /// the final report.
+    #[must_use]
+    pub fn shutdown(mut self) -> ServiceReport {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.notify_all();
+        if let Some(handle) = self.supervisor.take() {
+            if handle.join().is_err() {
+                // The supervisor itself must never panic; if it somehow
+                // did, fall through to the safety sweep below.
+            }
+        }
+        // Safety net: if every worker died while requests remained (e.g.
+        // panics during the drain are not respawned), account for the
+        // leftovers so conservation still holds.
+        for r in self.shared.queue.drain_all() {
+            self.shared.finish(r.id, Outcome::Rejected(RejectReason::ShuttingDown));
+        }
+        let ladder = lock(&self.shared.ladder);
+        ServiceReport {
+            snapshot: self.shared.metrics.snapshot(),
+            completions: lock(&self.shared.completions).clone(),
+            transitions: ladder.transitions().to_vec(),
+            deepest_rung: ladder.deepest(),
+            final_rung: ladder.current(),
+        }
+    }
+}
+
+fn spawn_worker(shared: Arc<Shared>, worker_id: usize, events: mpsc::Sender<WorkerEvent>) {
+    let spawned = std::thread::Builder::new()
+        .name(format!("tr-serve-worker-{worker_id}"))
+        .spawn(move || {
+            let exit = catch_unwind(AssertUnwindSafe(|| worker_loop(&shared, worker_id)));
+            let panicked = !matches!(exit, Ok(WorkerExit::Clean));
+            let _ = events.send(WorkerEvent::Exited { worker_id, panicked });
+        });
+    spawned.expect("spawn worker thread");
+}
+
+fn supervisor_loop(
+    shared: &Arc<Shared>,
+    rx: &mpsc::Receiver<WorkerEvent>,
+    tx: &mpsc::Sender<WorkerEvent>,
+) {
+    let mut alive = shared.cfg.workers;
+    while alive > 0 {
+        match rx.recv() {
+            Ok(WorkerEvent::Exited { worker_id, panicked }) => {
+                // Respawn panicked workers; during shutdown, only while
+                // requests remain to drain (a tail panic must not strand
+                // queued requests with no worker to resolve them).
+                if panicked
+                    && (!shared.shutdown.load(Ordering::SeqCst) || !shared.queue.is_empty())
+                {
+                    shared.metrics.worker_restarts.fetch_add(1, Ordering::SeqCst);
+                    spawn_worker(Arc::clone(shared), worker_id, tx.clone());
+                } else {
+                    alive -= 1;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Install `rung`'s precision on `engine` if it differs from what the
+/// engine currently runs — the software analogue of the Table 1 register
+/// write.
+fn sync_precision(
+    shared: &Shared,
+    engine: &mut Box<dyn Engine>,
+    engine_rung: &mut Option<usize>,
+    rung: usize,
+) {
+    if *engine_rung == Some(rung) {
+        return;
+    }
+    let (precision, cost) = {
+        let ladder = lock(&shared.ladder);
+        (ladder.rung(rung).precision, ladder.cost_factor(rung))
+    };
+    engine.set_precision(&precision, cost);
+    *engine_rung = Some(rung);
+    shared.metrics.reconfigurations.fetch_add(1, Ordering::SeqCst);
+}
+
+fn worker_loop(shared: &Arc<Shared>, _worker_id: usize) -> WorkerExit {
+    let mut engine: Box<dyn Engine> = (shared.factory)();
+    let mut engine_rung: Option<usize> = None;
+    // Pre-sync to the current rung before accepting work: installing a
+    // precision can be expensive in the functional simulator (it
+    // re-encodes every weight), and paying it lazily on the first batch
+    // would stall live requests right after a (re)start.
+    let rung = lock(&shared.ladder).current();
+    sync_precision(shared, &mut engine, &mut engine_rung, rung);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) && shared.queue.is_empty() {
+            return WorkerExit::Clean;
+        }
+        let pull = shared.queue.pop_batch(
+            shared.cfg.max_batch,
+            shared.cfg.batch_linger,
+            shared.cfg.service_estimate,
+            &shared.shutdown,
+        );
+        for r in pull.expired {
+            shared.finish(r.id, Outcome::Expired(ExpiredAt::Queue));
+        }
+        if pull.batch.is_empty() {
+            continue;
+        }
+        shared.metrics.batches.fetch_add(1, Ordering::SeqCst);
+        #[allow(clippy::cast_precision_loss)]
+        let pressure = pull.depth as f64 / shared.cfg.queue_capacity.max(1) as f64;
+        let rung = lock(&shared.ladder).observe(pressure);
+        sync_precision(shared, &mut engine, &mut engine_rung, rung);
+        let inputs: Vec<&[f32]> = pull.batch.iter().map(|r| r.input.as_slice()).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| engine.infer(&inputs)));
+        match result {
+            Ok(preds) if preds.len() == pull.batch.len() => {
+                let now = Instant::now();
+                for (r, class) in pull.batch.iter().zip(preds) {
+                    if now > r.deadline {
+                        shared.finish(r.id, Outcome::Expired(ExpiredAt::AfterExecution));
+                    } else {
+                        shared.finish(
+                            r.id,
+                            Outcome::Completed {
+                                class,
+                                latency: now.duration_since(r.submitted),
+                                rung,
+                            },
+                        );
+                    }
+                }
+            }
+            // A wrong-length prediction vector is an engine contract
+            // violation — treat it exactly like a panic.
+            Ok(_) | Err(_) => {
+                shared.metrics.worker_panics.fetch_add(1, Ordering::SeqCst);
+                quarantine_hunt(shared, pull.batch, rung);
+                return WorkerExit::Panicked;
+            }
+        }
+    }
+}
+
+/// A batch panicked: resolve every request in it individually on fresh
+/// engine replicas, quarantining the ones that panic solo. Runs on the
+/// dying worker thread, before the supervisor replaces it.
+fn quarantine_hunt(shared: &Arc<Shared>, batch: Vec<Request>, rung: usize) {
+    let mut engine: Box<dyn Engine> = (shared.factory)();
+    let mut engine_rung: Option<usize> = None;
+    sync_precision(shared, &mut engine, &mut engine_rung, rung);
+    for r in batch {
+        if Instant::now() > r.deadline {
+            shared.finish(r.id, Outcome::Expired(ExpiredAt::AfterExecution));
+            continue;
+        }
+        let solo = catch_unwind(AssertUnwindSafe(|| engine.infer(&[r.input.as_slice()])));
+        match solo {
+            Ok(preds) if preds.len() == 1 => {
+                let now = Instant::now();
+                if now > r.deadline {
+                    shared.finish(r.id, Outcome::Expired(ExpiredAt::AfterExecution));
+                } else {
+                    shared.finish(
+                        r.id,
+                        Outcome::Completed {
+                            class: preds[0],
+                            latency: now.duration_since(r.submitted),
+                            rung,
+                        },
+                    );
+                }
+            }
+            Ok(_) | Err(_) => {
+                shared.finish(r.id, Outcome::Quarantined);
+                // The engine may be corrupted by the unwind: rebuild
+                // before touching the next request.
+                engine = (shared.factory)();
+                engine_rung = None;
+                sync_precision(shared, &mut engine, &mut engine_rung, rung);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use tr_nn::Precision;
+
+    /// Deterministic test engine: classifies by the second feature,
+    /// panics when the first feature is NaN (the poison marker), sleeps
+    /// `work` per sample scaled by the rung cost factor.
+    struct TestEngine {
+        work: Duration,
+        cost: f64,
+    }
+
+    impl Engine for TestEngine {
+        fn set_precision(&mut self, _p: &Precision, cost_factor: f64) {
+            self.cost = cost_factor;
+        }
+        fn infer(&mut self, inputs: &[&[f32]]) -> Vec<usize> {
+            let mut out = Vec::with_capacity(inputs.len());
+            for row in inputs {
+                assert!(!row[0].is_nan(), "poison input");
+                out.push(row.get(1).map_or(0, |v| usize::from(*v >= 0.0)));
+            }
+            if !self.work.is_zero() {
+                std::thread::sleep(
+                    self.work
+                        .mul_f64(self.cost.max(0.0))
+                        .checked_mul(u32::try_from(inputs.len()).unwrap_or(1))
+                        .unwrap_or(self.work),
+                );
+            }
+            out
+        }
+    }
+
+    fn test_factory(work: Duration) -> EngineFactory {
+        Arc::new(move || Box::new(TestEngine { work, cost: 1.0 }))
+    }
+
+    fn small_cfg() -> ServiceConfig {
+        ServiceConfig {
+            queue_capacity: 16,
+            max_batch: 4,
+            batch_linger: Duration::from_millis(1),
+            service_estimate: Duration::from_millis(1),
+            workers: 2,
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn completes_requests_and_conserves_outcomes() {
+        let svc = Service::start(small_cfg(), test_factory(Duration::ZERO)).unwrap();
+        let mut ok = 0;
+        for i in 0..50 {
+            if svc.submit(vec![0.0, i as f32], Duration::from_secs(5)).is_ok() {
+                ok += 1;
+            }
+        }
+        assert!(ok > 0);
+        let report = svc.shutdown();
+        report.verify_conservation().unwrap();
+        assert_eq!(report.snapshot.submitted, 50);
+        assert!(report.snapshot.completed > 0);
+        assert_eq!(report.snapshot.quarantined, 0);
+    }
+
+    #[test]
+    fn queue_full_rejects_with_reason() {
+        // One slow worker, tiny queue: the 9th submission must bounce.
+        let cfg = ServiceConfig {
+            queue_capacity: 4,
+            workers: 1,
+            ..small_cfg()
+        };
+        let svc = Service::start(cfg, test_factory(Duration::from_millis(50))).unwrap();
+        let mut rejected = 0;
+        for i in 0..32 {
+            match svc.submit(vec![0.0, i as f32], Duration::from_secs(5)) {
+                Ok(_) => {}
+                Err(RejectReason::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 4);
+                    rejected += 1;
+                }
+                Err(other) => panic!("unexpected reject: {other}"),
+            }
+        }
+        assert!(rejected > 0, "tiny queue under burst must reject");
+        let report = svc.shutdown();
+        report.verify_conservation().unwrap();
+        assert_eq!(report.snapshot.rejected, rejected);
+    }
+
+    #[test]
+    fn poison_requests_are_quarantined_not_fatal() {
+        let svc = Service::start(small_cfg(), test_factory(Duration::ZERO)).unwrap();
+        let mut poison_ids = Vec::new();
+        for i in 0..40 {
+            let input =
+                if i % 10 == 3 { vec![f32::NAN, i as f32] } else { vec![0.0, i as f32] };
+            match svc.submit(input, Duration::from_secs(5)) {
+                Ok(id) if i % 10 == 3 => poison_ids.push(id),
+                _ => {}
+            }
+        }
+        // Let the service work through everything, then submit a clean
+        // tail to prove it still serves after the panics.
+        std::thread::sleep(Duration::from_millis(100));
+        let tail = svc.submit(vec![0.0, 1.0], Duration::from_secs(5)).unwrap();
+        let report = svc.shutdown();
+        report.verify_conservation().unwrap();
+        // Every poison request that was admitted ended quarantined (they
+        // had lavish deadlines and an empty queue).
+        for id in &poison_ids {
+            let c = report.completions.iter().find(|c| c.id == *id).unwrap();
+            assert_eq!(c.outcome, Outcome::Quarantined, "poison id {id}");
+        }
+        assert_eq!(report.snapshot.quarantined, u64::try_from(poison_ids.len()).unwrap());
+        assert!(report.snapshot.worker_panics > 0);
+        // The clean tail request completed.
+        let tail_outcome = report.completions.iter().find(|c| c.id == tail).unwrap();
+        assert!(matches!(tail_outcome.outcome, Outcome::Completed { .. }));
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_rejected() {
+        let svc = Service::start(small_cfg(), test_factory(Duration::ZERO)).unwrap();
+        svc.shared.shutdown.store(true, Ordering::SeqCst);
+        let err = svc.submit(vec![0.0, 0.0], Duration::from_secs(1)).unwrap_err();
+        assert_eq!(err, RejectReason::ShuttingDown);
+        let report = svc.shutdown();
+        report.verify_conservation().unwrap();
+        assert_eq!(report.snapshot.rejected, 1);
+    }
+
+    #[test]
+    fn fault_report_trips_qt_fallback_and_clears() {
+        let cfg = ServiceConfig { monitor_silent_threshold: 5, ..small_cfg() };
+        let fallback = cfg.ladder.fallback.unwrap();
+        let svc = Service::start(cfg, test_factory(Duration::ZERO)).unwrap();
+        let clean = FaultReport::default();
+        assert!(!svc.record_fault_report(&clean));
+        assert_eq!(svc.current_rung(), 0);
+        let dirty = FaultReport {
+            injected: tr_hw::FaultCounts { exp_flips: 10, ..Default::default() },
+            detected: 0,
+            corrected: 0,
+        };
+        assert!(svc.record_fault_report(&dirty));
+        assert!(svc.fault_latched());
+        assert_eq!(svc.current_rung(), fallback);
+        svc.clear_fault_latch();
+        assert!(!svc.fault_latched());
+        assert_eq!(svc.current_rung(), 0);
+        let report = svc.shutdown();
+        report.verify_conservation().unwrap();
+    }
+
+    #[test]
+    fn tight_deadlines_expire_instead_of_completing_late() {
+        let cfg = ServiceConfig { workers: 1, ..small_cfg() };
+        let svc = Service::start(cfg, test_factory(Duration::from_millis(30))).unwrap();
+        for i in 0..12 {
+            let _ = svc.submit(vec![0.0, i as f32], Duration::from_millis(40));
+        }
+        let report = svc.shutdown();
+        report.verify_conservation().unwrap();
+        assert!(
+            report.snapshot.expired() > 0,
+            "a 30ms/batch worker cannot serve 12 requests in 40ms: {:?}",
+            report.snapshot
+        );
+        // The deadline bound on completed latency.
+        for &us in &report.snapshot.latencies_us {
+            assert!(us <= 40_000, "completed latency {us}us exceeds the 40ms deadline");
+        }
+    }
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # The full local gate: release build, the whole test suite, clippy with
 # warnings denied (plus the workspace-denied cast/unwrap lints in the
-# datapath crates), and the static bit-width proof of the hardware
-# datapath. CI mirrors this; run it before pushing.
+# datapath and serving crates), the static bit-width proof of the
+# hardware datapath, and the serving resilience smoke. CI mirrors this;
+# run it before pushing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,3 +11,9 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace -- -D warnings
 cargo run -q --release -p tr-bench --bin repro -- verify-widths
+# Serving resilience: the multi-threaded panic/deadline soak in release
+# mode (the dev-profile run is part of `cargo test` above), then the
+# quick serve experiment end to end — ladder shedding, fault latch,
+# poison quarantine, exact request conservation (DESIGN.md SS9).
+cargo test -q --release -p tr-serve --test soak
+cargo run -q --release -p tr-bench --bin repro -- --quick serve
