@@ -1,0 +1,394 @@
+//! bench — the machine-readable performance baseline (`BENCH_PR4.json`).
+//!
+//! Not a paper figure: this experiment turns the `tr-obs` instrumentation
+//! threaded through core/nn/hw/serve into one schema-stable JSON artifact
+//! so successive PRs can diff wall time, per-layer breakdowns, terms/MAC,
+//! and serve tail latencies against a recorded baseline.
+//!
+//! Sections (all under the shared `tr-obs` recorder):
+//!
+//! * **core** — the term-pair matmul kernel timed under QT-8 and TR
+//!   operands, with the reveal-scan counters (groups pruned, terms
+//!   kept/dropped) and term pairs per MAC;
+//! * **nn** — zoo-model accuracy and forward timing per precision, with
+//!   the per-layer span breakdown `Sequential::try_forward` records;
+//! * **hw** — cycle schedules of paper-sized layers under QT vs TR
+//!   registers, plus the functional array's per-tile cycle histogram;
+//! * **serve** — a short deterministic burst against the batched service,
+//!   reporting p50/p99 completed latency from the shared histogram.
+//!
+//! The artifact goes to `BENCH_PR4.json` (override with `TR_BENCH_OUT`).
+
+use crate::experiments::serve::{mlp_factory, wait_settled};
+use crate::report::Table;
+use crate::zoo::Zoo;
+use std::time::{Duration, Instant};
+use tr_core::{term_matmul_i64, term_pairs_total, TermMatrix, TrConfig};
+use tr_encoding::Encoding;
+use tr_hw::{ControlRegisters, MemorySubsystem, SystolicArray};
+use tr_nn::exec::{calibrate_model, evaluate_precision, forward_logits};
+use tr_nn::fake_quant::Precision;
+use tr_obs::{recorder, set_enabled, JsonValue, Snapshot};
+use tr_serve::{Service, ServiceConfig};
+use tr_tensor::Rng;
+
+/// Schema tag of the emitted artifact; bump only on breaking layout
+/// changes.
+pub const SCHEMA: &str = "tr-bench/v1";
+
+/// Deterministic seed for every data synthesis in this experiment.
+const SEED: u64 = 0xBE9C;
+
+fn ms(elapsed: Duration) -> JsonValue {
+    JsonValue::Num(elapsed.as_secs_f64() * 1e3)
+}
+
+fn uint(v: u64) -> JsonValue {
+    JsonValue::UInt(v)
+}
+
+fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Reveal/matmul counters of the snapshot as a JSON block.
+fn core_counters(snap: &Snapshot) -> JsonValue {
+    obj(vec![
+        ("reveal_groups", uint(snap.counter("core.reveal.groups"))),
+        ("reveal_groups_pruned", uint(snap.counter("core.reveal.groups_pruned"))),
+        ("reveal_terms_kept", uint(snap.counter("core.reveal.terms_kept"))),
+        ("reveal_terms_pruned", uint(snap.counter("core.reveal.terms_pruned"))),
+        ("matmul_calls", uint(snap.counter("core.matmul.calls"))),
+        ("matmul_cells", uint(snap.counter("core.matmul.cells"))),
+    ])
+}
+
+/// The core kernel under one operand preparation.
+fn core_config(
+    name: &str,
+    w: &TermMatrix,
+    x: &TermMatrix,
+    macs: u64,
+    table: &mut Table,
+) -> (String, JsonValue) {
+    recorder().reset();
+    let pairs = term_pairs_total(w, x);
+    let t0 = Instant::now();
+    let out = term_matmul_i64(w, x);
+    let wall = t0.elapsed();
+    let snap = recorder().snapshot();
+    let terms_per_mac = pairs as f64 / macs.max(1) as f64;
+    table.row(vec![
+        format!("core/{name}"),
+        format!("{:.2}ms", wall.as_secs_f64() * 1e3),
+        format!("{terms_per_mac:.2} pairs/MAC"),
+        format!("{} outputs", out.len()),
+    ]);
+    (
+        name.to_string(),
+        obj(vec![
+            ("wall_ms", ms(wall)),
+            ("term_pairs", uint(pairs)),
+            ("macs", uint(macs)),
+            ("terms_per_mac", JsonValue::Num(terms_per_mac)),
+            ("counters", core_counters(&snap)),
+        ]),
+    )
+}
+
+fn core_section(zoo: &Zoo, table: &mut Table) -> JsonValue {
+    let (m, k, n) = if zoo.quick { (16, 64, 8) } else { (64, 256, 32) };
+    let mut rng = Rng::seed_from_u64(SEED);
+    let wt = tr_tensor::Tensor::randn(tr_tensor::Shape::d2(m, k), 0.25, &mut rng);
+    let xt = tr_tensor::Tensor::randn(tr_tensor::Shape::d2(k, n), 0.25, &mut rng);
+    let qw = tr_quant::quantize(&wt, tr_quant::calibrate_max_abs(&wt, 8));
+    let qx = tr_quant::quantize(&xt, tr_quant::calibrate_max_abs(&xt, 8));
+    let macs = (m * k * n) as u64;
+
+    let mut fields = Vec::new();
+    {
+        let w = TermMatrix::from_weights(&qw, Encoding::Binary);
+        let x = TermMatrix::from_data_transposed(&qx, Encoding::Binary);
+        fields.push(core_config("qt8", &w, &x, macs, table));
+    }
+    {
+        let cfg = TrConfig::new(8, 12).with_data_terms(3);
+        recorder().reset();
+        let w = TermMatrix::from_weights(&qw, Encoding::Hese).reveal(&cfg);
+        let reveal_snap = recorder().snapshot();
+        let x = TermMatrix::from_data_transposed(&qx, Encoding::Hese).cap_terms(3);
+        let (key, mut val) = core_config("tr_g8_k12_s3", &w, &x, macs, table);
+        // The reveal pass itself runs once (offline for weights), so its
+        // counters are reported separately from the matmul-time block.
+        if let JsonValue::Object(fields) = &mut val {
+            fields.push(("reveal_pass".to_string(), core_counters(&reveal_snap)));
+        }
+        fields.push((key, val));
+    }
+    JsonValue::object(fields.into_iter().collect())
+}
+
+/// One nn model under one precision: accuracy, pair counts, timed
+/// forward, per-layer span breakdown.
+fn nn_config(
+    model: &mut tr_nn::Sequential,
+    ds: &tr_nn::data::Dataset,
+    name: &str,
+    precision: &Precision,
+    rng: &mut Rng,
+    table: &mut Table,
+) -> (String, JsonValue) {
+    let (acc, counts) = evaluate_precision(model, ds, precision, 8, rng);
+    recorder().reset();
+    let batch = ds.test.x.slice_batch(0, 32.min(ds.test.len()));
+    let t0 = Instant::now();
+    let _ = forward_logits(model, &batch, rng);
+    let wall = t0.elapsed();
+    let snap = recorder().snapshot();
+    let layers = JsonValue::Array(
+        snap.spans
+            .iter()
+            .filter(|s| s.name.starts_with("nn.layer."))
+            .map(|s| {
+                obj(vec![
+                    ("name", JsonValue::str(&s.name)),
+                    ("count", uint(s.count)),
+                    ("total_ns", uint(s.total_ns)),
+                    ("self_ns", uint(s.self_ns)),
+                ])
+            })
+            .collect(),
+    );
+    let terms_per_mac = counts.actual as f64 / counts.macs.max(1) as f64;
+    table.row(vec![
+        format!("nn/{name}"),
+        format!("{:.2}ms", wall.as_secs_f64() * 1e3),
+        format!("{terms_per_mac:.2} pairs/MAC"),
+        format!("{:.1}% accuracy", acc * 100.0),
+    ]);
+    (
+        name.to_string(),
+        obj(vec![
+            ("accuracy", JsonValue::Num(acc)),
+            ("forward_wall_ms", ms(wall)),
+            ("term_pairs", uint(counts.actual)),
+            ("pair_bound", uint(counts.bound)),
+            ("macs", uint(counts.macs)),
+            ("terms_per_mac", JsonValue::Num(terms_per_mac)),
+            ("forward_ns", uint(snap.span("nn.forward").map_or(0, |s| s.total_ns))),
+            ("layers", layers),
+        ]),
+    )
+}
+
+fn nn_section(zoo: &Zoo, table: &mut Table) -> JsonValue {
+    let (mut model, ds) = zoo.mlp();
+    let mut rng = Rng::seed_from_u64(SEED ^ 0x22);
+    let calib = ds.train.x.slice_batch(0, 32.min(ds.train.len()));
+    calibrate_model(&mut model, &calib, 8, &mut rng);
+    let tr = TrConfig::new(8, 12).with_data_terms(3);
+    let configs = [
+        ("mlp_qt8", Precision::Qt { weight_bits: 8, act_bits: 8 }),
+        ("mlp_tr_g8_k12_s3", Precision::Tr(tr)),
+    ];
+    let fields = configs
+        .iter()
+        .map(|(name, p)| nn_config(&mut model, &ds, name, p, &mut rng, table))
+        .collect();
+    JsonValue::object(fields)
+}
+
+fn schedule_json(sched: &tr_hw::TileSchedule) -> JsonValue {
+    obj(vec![
+        ("compute_cycles", uint(sched.compute_cycles)),
+        ("stall_cycles", uint(sched.stall_cycles)),
+        ("total_cycles", uint(sched.total_cycles())),
+        ("dram_bytes", uint(sched.dram_bytes)),
+    ])
+}
+
+fn hw_section(zoo: &Zoo, table: &mut Table) -> JsonValue {
+    let array = SystolicArray::paper_build();
+    let mem = MemorySubsystem::default();
+    let tr_cfg = TrConfig::new(8, 12).with_data_terms(3);
+    let qt = ControlRegisters::for_qt(8);
+    let tr = ControlRegisters::for_tr(&tr_cfg);
+    let shapes: &[(usize, usize, usize)] =
+        if zoo.quick { &[(256, 1152, 196)] } else { &[(256, 1152, 196), (512, 4096, 196)] };
+    let mut layers = Vec::new();
+    for &(m, k, n) in shapes {
+        let qs = array.try_schedule(m, k, n, &qt, &mem).expect("valid QT schedule");
+        let ts = array.try_schedule(m, k, n, &tr, &mem).expect("valid TR schedule");
+        let speedup = qs.total_cycles() as f64 / ts.total_cycles().max(1) as f64;
+        table.row(vec![
+            format!("hw/{m}x{k}x{n}"),
+            format!("QT {} cycles", qs.total_cycles()),
+            format!("TR {} cycles", ts.total_cycles()),
+            format!("{speedup:.2}x"),
+        ]);
+        layers.push((
+            format!("{m}x{k}x{n}"),
+            obj(vec![
+                ("qt", schedule_json(&qs)),
+                ("tr", schedule_json(&ts)),
+                ("speedup", JsonValue::Num(speedup)),
+            ]),
+        ));
+    }
+
+    // Functional execution of a small array to populate the per-tile
+    // cycle histogram.
+    recorder().reset();
+    let mut rng = Rng::seed_from_u64(SEED ^ 0x33);
+    let wt = tr_tensor::Tensor::randn(tr_tensor::Shape::d2(8, 64), 0.25, &mut rng);
+    let xt = tr_tensor::Tensor::randn(tr_tensor::Shape::d2(64, 8), 0.25, &mut rng);
+    let qw = tr_quant::quantize(&wt, tr_quant::calibrate_max_abs(&wt, 8));
+    let qx = tr_quant::quantize(&xt, tr_quant::calibrate_max_abs(&xt, 8));
+    let w = TermMatrix::from_weights(&qw, Encoding::Hese).reveal(&tr_cfg);
+    let x = TermMatrix::from_data_transposed(&qx, Encoding::Hese).cap_terms(3);
+    let rows = |m: &TermMatrix| -> Vec<Vec<tr_encoding::TermExpr>> {
+        (0..m.rows()).map(|r| m.row(r).to_vec()).collect()
+    };
+    let small = SystolicArray { rows: 4, cols: 4 };
+    let (_, cycles) = small.execute(&rows(&w), &rows(&x), 8);
+    let snap = recorder().snapshot();
+    let tiles = snap.histogram("hw.systolic.tile_cycles");
+    let functional = obj(vec![
+        ("synchronized_cycles", uint(cycles)),
+        ("beats", uint(snap.counter("hw.systolic.beats"))),
+        ("tile_cycles_count", uint(tiles.map_or(0, tr_obs::HistSnapshot::count))),
+        ("tile_cycles_max", tiles.and_then(tr_obs::HistSnapshot::max).map_or(JsonValue::Null, uint)),
+        (
+            "tile_cycles_p50",
+            tiles.and_then(|h| h.quantile(500)).map_or(JsonValue::Null, uint),
+        ),
+    ]);
+
+    let mut fields: Vec<(String, JsonValue)> = layers;
+    fields.push(("functional".to_string(), functional));
+    JsonValue::object(fields)
+}
+
+fn serve_section(zoo: &Zoo, table: &mut Table) -> JsonValue {
+    let ds = zoo.digits();
+    let cfg = ServiceConfig {
+        queue_capacity: 128,
+        max_batch: 4,
+        batch_linger: Duration::from_millis(2),
+        service_estimate: Duration::from_millis(8),
+        workers: 1,
+        ladder: tr_serve::LadderConfig::default_tr_ladder(),
+        monitor_window: 8,
+        monitor_silent_threshold: 0,
+    };
+    let n = if zoo.quick { 24 } else { 60 };
+    let svc = Service::start(cfg, mlp_factory(zoo, Duration::from_micros(100)))
+        .expect("valid service config");
+    let t0 = Instant::now();
+    for i in 0..n {
+        let _ = svc.submit(ds.test.x.row(i % ds.test.len()).to_vec(), Duration::from_secs(10));
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    wait_settled(&svc, Duration::from_secs(30));
+    let wall = t0.elapsed();
+    let report = svc.shutdown();
+    report.verify_conservation().expect("bench burst conserves every request");
+    let s = &report.snapshot;
+    let p = |pm: u64| {
+        s.latency_percentile(pm)
+            .map_or(JsonValue::Null, |d| JsonValue::Num(d.as_secs_f64() * 1e3))
+    };
+    table.row(vec![
+        "serve/burst".to_string(),
+        format!("{:.2}ms", wall.as_secs_f64() * 1e3),
+        format!(
+            "p50 {} / p99 {}",
+            s.latency_percentile(500).map_or_else(|| "-".into(), |d| format!("{d:.1?}")),
+            s.latency_percentile(990).map_or_else(|| "-".into(), |d| format!("{d:.1?}")),
+        ),
+        format!("{} completed", s.completed),
+    ]);
+    obj(vec![
+        ("wall_ms", ms(wall)),
+        ("submitted", uint(s.submitted)),
+        ("completed", uint(s.completed)),
+        ("batches", uint(s.batches)),
+        ("p50_ms", p(500)),
+        ("p99_ms", p(990)),
+    ])
+}
+
+/// Run the experiment and write the JSON artifact.
+pub fn run(zoo: &Zoo) -> Vec<Table> {
+    // Warm the checkpoint cache before anything is timed.
+    let _ = zoo.mlp();
+    set_enabled(true);
+    recorder().reset();
+
+    let mut table = Table::new(
+        "bench",
+        "BENCH baseline: wall time, terms/MAC, cycle schedules, serve tail latency",
+        &["section", "wall", "work", "outcome"],
+    );
+    let core = core_section(zoo, &mut table);
+    let nn = nn_section(zoo, &mut table);
+    let hw = hw_section(zoo, &mut table);
+    let serve = serve_section(zoo, &mut table);
+    set_enabled(false);
+
+    let json = JsonValue::object(vec![
+        ("schema".to_string(), JsonValue::str(SCHEMA)),
+        ("pr".to_string(), JsonValue::UInt(4)),
+        ("quick".to_string(), JsonValue::Bool(zoo.quick)),
+        ("core".to_string(), core),
+        ("nn".to_string(), nn),
+        ("hw".to_string(), hw),
+        ("serve".to_string(), serve),
+    ]);
+    let path = std::env::var("TR_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
+    match std::fs::write(&path, json.to_pretty_string() + "\n") {
+        Ok(()) => table.note(format!("artifact written to {path}")),
+        Err(e) => table.note(format!("could not write {path}: {e}")),
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::test_zoo;
+
+    #[test]
+    fn bench_emits_schema_stable_json() {
+        let _gate = crate::experiments::common::timing_gate();
+        let zoo = test_zoo();
+        let dir = zoo.dir().join("bench-out");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_TEST.json");
+        // The env var is process-global; restore it so parallel tests in
+        // this binary see a clean environment.
+        std::env::set_var("TR_BENCH_OUT", &path);
+        let tables = run(&zoo);
+        std::env::remove_var("TR_BENCH_OUT");
+        assert_eq!(tables.len(), 1);
+        let text = std::fs::read_to_string(&path).expect("artifact written");
+        for key in [
+            "\"schema\": \"tr-bench/v1\"",
+            "\"pr\": 4",
+            "\"core\"",
+            "\"qt8\"",
+            "\"tr_g8_k12_s3\"",
+            "\"terms_per_mac\"",
+            "\"nn\"",
+            "\"mlp_qt8\"",
+            "\"mlp_tr_g8_k12_s3\"",
+            "\"layers\"",
+            "\"hw\"",
+            "\"functional\"",
+            "\"serve\"",
+            "\"p99_ms\"",
+        ] {
+            assert!(text.contains(key), "artifact missing {key}:\n{text}");
+        }
+    }
+}

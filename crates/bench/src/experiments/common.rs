@@ -5,6 +5,20 @@ use tr_nn::Sequential;
 use tr_quant::{calibrate_max_abs, quantize, QTensor};
 use tr_tensor::{Conv2dGeometry, Rng, Shape, Tensor};
 
+/// Serializes wall-clock-sensitive experiment tests (the serve ramp's
+/// p99 deadline gate, the bench burst) so they do not contend for CPU
+/// when the test harness runs them in parallel threads.
+#[cfg(test)]
+pub(crate) static TIMING_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Lock [`TIMING_GATE`], surviving a poisoned lock from an earlier
+/// panicked holder — these tests assert on their own state, not the
+/// gate's.
+#[cfg(test)]
+pub(crate) fn timing_gate() -> std::sync::MutexGuard<'static, ()> {
+    TIMING_GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Clone every quantization-site weight `(name, (out, in) tensor)`.
 pub fn site_weights(model: &mut dyn Layer) -> Vec<(String, Tensor)> {
     let mut out = Vec::new();

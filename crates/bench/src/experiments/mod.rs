@@ -1,6 +1,7 @@
 //! One module per table/figure of the paper's evaluation.
 
 pub mod ablation;
+pub mod bench;
 pub mod bounds;
 pub mod common;
 pub mod extensions;
@@ -25,10 +26,10 @@ use crate::report::Table;
 use crate::zoo::Zoo;
 
 /// Every experiment id in paper order.
-pub const ALL: [&str; 19] = [
+pub const ALL: [&str; 20] = [
     "fig3", "fig5", "fig7", "fig8", "fig15", "fig16", "fig17", "fig18", "fig19", "table1",
     "table2", "table3", "table4", "ablation", "bounds", "extensions", "faults", "serve",
-    "verify-widths",
+    "verify-widths", "bench",
 ];
 
 /// Run one experiment by id.
@@ -56,6 +57,7 @@ pub fn run(id: &str, zoo: &Zoo) -> Vec<Table> {
         "faults" => faults::run(zoo),
         "serve" => serve::run(zoo),
         "verify-widths" => widths::run(),
+        "bench" => bench::run(zoo),
         other => panic!("unknown experiment id: {other} (known: {ALL:?})"),
     }
 }

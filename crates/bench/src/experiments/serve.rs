@@ -66,7 +66,7 @@ fn service_config() -> ServiceConfig {
 /// checkpoint and recalibrates from a captured calibration batch —
 /// cheap enough to pay on every worker restart, and exactly what a
 /// production respawn would do (load weights, never retrain).
-fn mlp_factory(zoo: &Zoo, pace: Duration) -> EngineFactory {
+pub(crate) fn mlp_factory(zoo: &Zoo, pace: Duration) -> EngineFactory {
     // Train-or-load once so the checkpoint definitely exists, and
     // capture everything a rebuild needs.
     let (_model, ds) = zoo.mlp();
@@ -130,7 +130,7 @@ struct Phase {
 /// Block until every submitted request has a terminal outcome (bounded
 /// wait) — the engine factories load checkpoints lazily, so this also
 /// serves as the post-start warmup barrier.
-fn wait_settled(svc: &Service, timeout: Duration) {
+pub(crate) fn wait_settled(svc: &Service, timeout: Duration) {
     let t0 = std::time::Instant::now();
     loop {
         let s = svc.metrics_snapshot();
@@ -343,7 +343,19 @@ fn ramp_table(zoo: &Zoo) -> (Table, ServiceReport) {
     assert_eq!(rows[4].rung_after, 0, "clearing the latch must restore rung 0");
     assert!(rows[3].latched, "the canary must latch the fault fallback");
     if let Some(p99) = report.snapshot.latency_percentile(990) {
-        assert!(p99 <= DEADLINE, "completed p99 {p99:?} exceeds the deadline {DEADLINE:?}");
+        // The service expires any result past its deadline, so completed
+        // ramp latencies are ≤ DEADLINE by construction; only the 10 s
+        // warm-up request can exceed it. The histogram reports quantiles
+        // as log2-bucket upper bounds clamped by the exact max (which
+        // that warm-up sample can dominate), so the gate allows one
+        // bucket of resolution: the p99 estimate must not escape the
+        // bucket containing the deadline.
+        let deadline_us = u64::try_from(DEADLINE.as_micros()).unwrap_or(u64::MAX);
+        let cap = Duration::from_micros(tr_obs::bucket_upper_bound(tr_obs::bucket_of(deadline_us)));
+        assert!(
+            p99 <= cap,
+            "completed p99 {p99:?} exceeds the deadline {DEADLINE:?} beyond histogram resolution (cap {cap:?})"
+        );
     }
     (t, report)
 }
@@ -453,6 +465,7 @@ mod tests {
 
     #[test]
     fn serve_experiment_smoke() {
+        let _gate = crate::experiments::common::timing_gate();
         let zoo = test_zoo();
         let tables = run(&zoo);
         assert_eq!(tables.len(), 3);

@@ -58,6 +58,12 @@ impl From<QuantError> for TrError {
     }
 }
 
+impl From<tr_tensor::ConvGeometryError> for TrError {
+    fn from(e: tr_tensor::ConvGeometryError) -> Self {
+        TrError::InvalidGeometry(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,6 +74,21 @@ mod tests {
         assert!(e.to_string().contains("group size"));
         let q: TrError = QuantError::UnsupportedBitWidth(99).into();
         assert!(q.to_string().contains("bit width"));
+    }
+
+    #[test]
+    fn conv_geometry_error_converts_to_invalid_geometry() {
+        let g = tr_tensor::Conv2dGeometry {
+            in_channels: 1,
+            in_h: 2,
+            in_w: 2,
+            k_h: 5,
+            k_w: 5,
+            stride: 1,
+            pad: 0,
+        };
+        let e: TrError = g.try_check().unwrap_err().into();
+        assert!(matches!(&e, TrError::InvalidGeometry(m) if m.contains("larger than padded")), "{e}");
     }
 
     #[test]

@@ -10,6 +10,14 @@ use crate::error::TrError;
 use crate::termmatrix::TermMatrix;
 use rayon::prelude::*;
 use tr_encoding::TermExpr;
+use tr_obs::{as_u64, Counter};
+
+/// Term-pair matmul invocations.
+static MATMUL_CALLS: Counter = Counter::new("core.matmul.calls");
+/// Output rows computed across invocations.
+static MATMUL_ROWS: Counter = Counter::new("core.matmul.rows");
+/// Output cells (dot products) computed across invocations.
+static MATMUL_CELLS: Counter = Counter::new("core.matmul.cells");
 
 /// Dot product of two equal-length term vectors via term pairs.
 ///
@@ -53,6 +61,10 @@ pub fn try_term_matmul_i64(w: &TermMatrix, x: &TermMatrix) -> Result<Vec<i64>, T
         )));
     }
     let (m, n) = (w.rows(), x.rows());
+    let _span = tr_obs::span("core.term_matmul");
+    MATMUL_CALLS.inc();
+    MATMUL_ROWS.add(as_u64(m));
+    MATMUL_CELLS.add(as_u64(m).saturating_mul(as_u64(n)));
     let mut out = vec![0i64; m * n];
     out.par_chunks_mut(n).enumerate().for_each(|(i, orow)| {
         let wrow = w.row(i);

@@ -10,6 +10,25 @@
 
 use crate::error::TrError;
 use tr_encoding::{Term, TermExpr};
+use tr_obs::{as_u64, Counter};
+
+/// Groups examined by the receding-water pass.
+static REVEAL_GROUPS: Counter = Counter::new("core.reveal.groups");
+/// Groups whose total exceeded the budget (the pruning slow path).
+static REVEAL_GROUPS_PRUNED: Counter = Counter::new("core.reveal.groups_pruned");
+/// Terms surviving the waterline, summed over groups.
+static REVEAL_TERMS_KEPT: Counter = Counter::new("core.reveal.terms_kept");
+/// Terms dropped below the waterline, summed over groups.
+static REVEAL_TERMS_PRUNED: Counter = Counter::new("core.reveal.terms_pruned");
+
+fn observe_outcome(out: &RevealOutcome) {
+    REVEAL_GROUPS.inc();
+    if out.pruned_terms > 0 {
+        REVEAL_GROUPS_PRUNED.inc();
+    }
+    REVEAL_TERMS_KEPT.add(as_u64(out.kept_terms));
+    REVEAL_TERMS_PRUNED.add(as_u64(out.pruned_terms));
+}
 
 /// What the receding-water pass did to one group.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,12 +73,14 @@ pub fn try_reveal_group(group: &[TermExpr], budget: usize) -> Result<RevealOutco
     let total: usize = group.iter().map(TermExpr::len).sum();
     if total <= budget {
         // Fast path: nothing to prune (the common case the paper relies on).
-        return Ok(RevealOutcome {
+        let out = RevealOutcome {
             revealed: group.to_vec(),
             kept_terms: total,
             pruned_terms: 0,
             waterline_exp: None,
-        });
+        };
+        observe_outcome(&out);
+        return Ok(out);
     }
 
     let max_exp = group.iter().filter_map(TermExpr::max_exp).max().unwrap_or(0);
@@ -79,12 +100,14 @@ pub fn try_reveal_group(group: &[TermExpr], budget: usize) -> Result<RevealOutco
             }
         }
     }
-    Ok(RevealOutcome {
+    let out = RevealOutcome {
         revealed: kept.into_iter().map(TermExpr::from_terms).collect(),
         kept_terms: kept_count,
         pruned_terms: total - kept_count,
         waterline_exp: waterline,
-    })
+    };
+    observe_outcome(&out);
+    Ok(out)
 }
 
 /// How the last waterline row is split when the budget runs out mid-row.
@@ -126,12 +149,14 @@ pub fn try_reveal_group_with_tiebreak(
     }
     let total: usize = group.iter().map(TermExpr::len).sum();
     if total <= budget {
-        return Ok(RevealOutcome {
+        let out = RevealOutcome {
             revealed: group.to_vec(),
             kept_terms: total,
             pruned_terms: 0,
             waterline_exp: None,
-        });
+        };
+        observe_outcome(&out);
+        return Ok(out);
     }
     let max_exp = group.iter().filter_map(TermExpr::max_exp).max().unwrap_or(0);
     let mut kept: Vec<Vec<Term>> = vec![Vec::new(); group.len()];
@@ -142,7 +167,13 @@ pub fn try_reveal_group_with_tiebreak(
         let mut row: Vec<usize> = (0..group.len())
             .filter(|&i| group[i].iter().any(|t| t.exp == e))
             .collect();
-        row.sort_by_key(|&i| kept[i].len());
+        // Poorest-first, with the value index as an explicit secondary
+        // key: `sort_by_key` alone is *unstable*, so equal kept-counts
+        // would otherwise land in an order the standard library is free
+        // to change between versions — and the revealed group (hence the
+        // computed values downstream) must be a deterministic function of
+        // the input, not of a sort implementation detail.
+        row.sort_by_key(|&i| (kept[i].len(), i));
         for i in row {
             let t = group[i]
                 .iter()
@@ -157,12 +188,14 @@ pub fn try_reveal_group_with_tiebreak(
             }
         }
     }
-    Ok(RevealOutcome {
+    let out = RevealOutcome {
         revealed: kept.into_iter().map(TermExpr::from_terms).collect(),
         kept_terms: kept_count,
         pruned_terms: total - kept_count,
         waterline_exp: waterline,
-    })
+    };
+    observe_outcome(&out);
+    Ok(out)
 }
 
 /// Apply receding water to every `group_size`-chunk of a row of term
@@ -342,6 +375,52 @@ mod tests {
         assert_eq!(sp.revealed[0].value(), 0b1100000);
         assert_eq!(sp.revealed[1].value(), 0b0010001);
         assert_eq!(rm.kept_terms, sp.kept_terms);
+    }
+
+    #[test]
+    fn spread_tiebreak_is_deterministic_under_permutation() {
+        // Regression: the Spread waterline ordered candidates with an
+        // *unstable* sort keyed only on kept-count, so values tied on
+        // kept-count could be taken in an arbitrary order. The secondary
+        // index key pins ties to value-index order. Check the invariant
+        // two ways: (1) repeated runs are bit-identical; (2) permuting
+        // the group and un-permuting the result yields the outcome of a
+        // per-value deterministic rule, i.e. each value's revealed terms
+        // depend only on the multiset of competitors — not true in
+        // general, so instead check that every tied row filled in index
+        // order: among values with equal kept-count at the waterline, the
+        // lower index keeps its waterline term.
+        let values = [0b1100001i32, 0b0010001, 0b0000011, 0b1000001];
+        let group = exprs(&values, Encoding::Binary);
+        for budget in 1..12 {
+            let base = reveal_group_with_tiebreak(&group, budget, TieBreak::Spread);
+            for _ in 0..5 {
+                let again = reveal_group_with_tiebreak(&group, budget, TieBreak::Spread);
+                assert_eq!(base, again, "budget {budget} not reproducible");
+            }
+        }
+        // Tied waterline rows resolve to the lower value index: both
+        // values hold exactly {2^2, 2^0}; with budget 3 the 2^2 row takes
+        // both, and the single remaining slot at the 2^0 waterline must
+        // go to value 0 (equal kept-counts, index breaks the tie).
+        let tied = exprs(&[5, 5], Encoding::Binary);
+        let out = reveal_group_with_tiebreak(&tied, 3, TieBreak::Spread);
+        assert_eq!(out.revealed[0].value(), 5);
+        assert_eq!(out.revealed[1].value(), 4);
+        // Permutation coherence: reversing a group of pairwise-distinct
+        // values and reversing the revealed outputs matches reversing
+        // first — the scan must not depend on hidden positional state
+        // beyond the documented index tiebreak. All kept-counts stay
+        // distinct here so only determinism (not the tie rule) matters.
+        let distinct = exprs(&[0b1111111, 0b0000111, 0b0000001], Encoding::Binary);
+        let reversed: Vec<TermExpr> = distinct.iter().rev().cloned().collect();
+        for budget in 1..=11 {
+            let fwd = reveal_group_with_tiebreak(&distinct, budget, TieBreak::Spread);
+            let rev = reveal_group_with_tiebreak(&reversed, budget, TieBreak::Spread);
+            let rev_back: Vec<i64> = rev.revealed.iter().rev().map(TermExpr::value).collect();
+            let fwd_vals: Vec<i64> = fwd.revealed.iter().map(TermExpr::value).collect();
+            assert_eq!(fwd_vals, rev_back, "budget {budget} permutation-incoherent");
+        }
     }
 
     #[test]

@@ -10,7 +10,11 @@
 use crate::termmatrix::TermMatrix;
 use rayon::prelude::*;
 use tr_encoding::TermExpr;
+use tr_obs::Counter;
 use tr_tensor::stats::CountHistogram;
+
+/// Term pairs tallied by the counting passes (the Fig. 15 x-axis).
+static PAIRS_COUNTED: Counter = Counter::new("core.termpairs.counted");
 
 /// Term pairs needed for the dot product of two equal-length term vectors.
 pub fn pairs_for_vectors(w: &[TermExpr], x: &[TermExpr]) -> u64 {
@@ -23,13 +27,16 @@ pub fn pairs_for_vectors(w: &[TermExpr], x: &[TermExpr]) -> u64 {
 /// transposed columns of length K).
 pub fn term_pairs_total(w: &TermMatrix, x: &TermMatrix) -> u64 {
     assert_eq!(w.len(), x.len(), "reduction dims differ: {} vs {}", w.len(), x.len());
-    (0..w.rows())
+    let _span = tr_obs::span("core.term_pairs_total");
+    let total = (0..w.rows())
         .into_par_iter()
         .map(|m| {
             let wrow = w.row(m);
             (0..x.rows()).map(|n| pairs_for_vectors(wrow, x.row(n))).sum::<u64>()
         })
-        .sum()
+        .sum();
+    PAIRS_COUNTED.add(total);
+    total
 }
 
 /// Distribution statistics of per-group term-pair counts (Fig. 5) and the

@@ -85,6 +85,16 @@ pub fn hese_width(mag: u32, width: usize) -> Sdr {
             }
         }
     }
+    // Unreachable-failure proof: at the final step `i == width` both
+    // `cur = bit(width)` and `next = bit(width + 1)` are `false` (the
+    // closure returns `false` for any index >= width). If the FSM is
+    // still `InRun` entering that step, the `!cur && !next` arm fires,
+    // emits the owed `+1`, and transitions to `NotInRun`; if it is
+    // already `NotInRun`, no arm changes the mode. Either way the loop
+    // exits in `NotInRun`, so this assertion cannot fail for any
+    // `(mag, width)` accepted by the `width <= 31` guard above. The
+    // `closure_is_total_for_all_widths_up_to_8` test exercises it
+    // exhaustively for every hardware-relevant width.
     debug_assert_eq!(mode, Mode::NotInRun, "run must close within width+1 digits");
     Sdr::from_digits(digits).trimmed()
 }
@@ -183,8 +193,16 @@ pub fn minimize_sdr_rewrite(sdr: &Sdr) -> Sdr {
                         *digit = 0;
                     }
                     d[i] = -a;
-                    // d[j+1] is 0 here (a longer run would have extended j),
-                    // so this cannot overflow the digit range.
+                    // Unreachable-failure proof: rule 1 ran to fixpoint
+                    // immediately before this scan and rule 2 rewrites at
+                    // most once per outer iteration, so no adjacent
+                    // `(a, -a)` pair exists here. `j` is maximal, so
+                    // `d[j + 1] != a`; a fixpoint of rule 1 rules out
+                    // `d[j + 1] == -a` (it would collapse with `d[j] == a`).
+                    // The only remaining digit value is 0, so the write
+                    // below never clobbers a live term. Exercised over
+                    // every length-8 digit vector by
+                    // `rewrite_minimizer_exhaustive_all_length_8_sdrs`.
                     debug_assert_eq!(d[j + 1], 0);
                     d[j + 1] = a;
                     changed = true;
@@ -329,6 +347,55 @@ mod tests {
         let min = minimize_sdr_rewrite(&sdr);
         assert_eq!(min.value(), -1);
         assert_eq!(min.weight(), 1);
+    }
+
+    #[test]
+    fn closure_is_total_for_all_widths_up_to_8() {
+        // Exhaustively exercises the run-closure invariant documented at
+        // the end of `hese_width`: for every width the hardware uses and
+        // every magnitude (including garbage above the mask), the FSM
+        // leaves the loop with its run closed — the debug assertion fires
+        // otherwise — and the digits reconstruct the masked value at the
+        // NAF weight.
+        for width in 0..=8usize {
+            let mask = (1u32 << width) - 1;
+            // Sweep two garbage patterns above the mask to prove the
+            // masking, not just the in-range values.
+            for high in [0u32, !mask] {
+                for low in 0..=mask {
+                    let mag = low | high;
+                    let s = hese_width(mag, width);
+                    assert_eq!(s.value(), i64::from(low), "width {width} mag {mag:#x}");
+                    assert_eq!(s.weight(), minimal_weight(low), "width {width} mag {mag:#x}");
+                    assert!(s.len() <= width + 1, "width {width} mag {mag:#x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rewrite_minimizer_exhaustive_all_length_8_sdrs() {
+        // Exhaustively exercises the `d[j + 1] == 0` invariant documented
+        // inside `minimize_sdr_rewrite`: every one of the 3^8 = 6561
+        // signed-digit vectors of length 8 (trailing zeros cover all
+        // shorter lengths too) minimizes without tripping the debug
+        // assertion, preserves its value, and lands on the NAF weight.
+        for code in 0u32..3u32.pow(8) {
+            let mut rest = code;
+            let digits: Vec<i8> = (0..8)
+                .map(|_| {
+                    let d = (rest % 3) as i8 - 1;
+                    rest /= 3;
+                    d
+                })
+                .collect();
+            let sdr = Sdr::from_digits(digits);
+            let v = sdr.value();
+            let min = minimize_sdr_rewrite(&sdr);
+            assert_eq!(min.value(), v, "value changed for {sdr:?}");
+            let expected = crate::naf::minimal_weight(v.unsigned_abs() as u32);
+            assert_eq!(min.weight(), expected, "not minimal for {sdr:?} (value {v})");
+        }
     }
 
     #[test]

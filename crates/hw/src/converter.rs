@@ -6,6 +6,14 @@
 //! replaces them with zeros.
 
 use crate::coeff::CoefficientVector;
+use tr_obs::Counter;
+
+/// Bit-serial streams emitted by the converter.
+static STREAMS: Counter = Counter::new("hw.converter.streams");
+/// Nonzero bits across emitted streams (the wire activity proxy).
+static STREAM_BITS_SET: Counter = Counter::new("hw.converter.bits_set");
+/// Streams zeroed by the bit-serial ReLU (negative results).
+static RELU_ZEROED: Counter = Counter::new("hw.converter.relu_zeroed");
 
 /// Width of the output stream in bits: enough for the reduced coefficient
 /// vector of a 4096-length dot product (15 exponents × 12-bit counts →
@@ -39,6 +47,8 @@ impl BinaryStreamConverter {
         // carries the raw two's-complement bit pattern of the value.
         #[allow(clippy::cast_sign_loss)]
         let u = (v as u64) & ((1u64 << STREAM_BITS) - 1);
+        STREAMS.inc();
+        STREAM_BITS_SET.add(u64::from(u.count_ones()));
         (0..STREAM_BITS).map(|i| (u >> i) & 1 == 1).collect()
     }
 
@@ -92,6 +102,9 @@ impl ReluUnit {
         self.buffer.push(bit);
         if self.buffer.len() == STREAM_BITS {
             let negative = self.buffer[STREAM_BITS - 1];
+            if negative {
+                RELU_ZEROED.inc();
+            }
             let out = if negative { vec![false; STREAM_BITS] } else { std::mem::take(&mut self.buffer) };
             self.buffer.clear();
             Some(out)

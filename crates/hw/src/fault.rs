@@ -562,14 +562,20 @@ impl FaultMonitor {
     /// Feed one campaign report. Returns the (possibly newly latched)
     /// trip state.
     pub fn record(&mut self, report: &FaultReport) -> bool {
+        static MONITOR_REPORTS: tr_obs::Counter = tr_obs::Counter::new("hw.fault.reports");
+        static MONITOR_SILENT: tr_obs::Counter = tr_obs::Counter::new("hw.fault.silent");
+        static MONITOR_TRIPS: tr_obs::Counter = tr_obs::Counter::new("hw.fault.trips");
+        MONITOR_REPORTS.inc();
+        MONITOR_SILENT.add(report.silent());
         self.seen += 1;
         if self.recent.len() == self.window {
             self.recent.pop_front();
         }
         self.recent.push_back(report.silent());
         let windowed: u64 = self.recent.iter().sum();
-        if windowed > self.silent_threshold {
+        if windowed > self.silent_threshold && !self.tripped {
             self.tripped = true;
+            MONITOR_TRIPS.inc();
         }
         self.tripped
     }

@@ -20,6 +20,18 @@ use crate::registers::{ControlRegisters, HwMode};
 use crate::tmac::Tmac;
 use tr_core::TrError;
 use tr_encoding::TermExpr;
+use tr_obs::{Counter, Histogram};
+
+/// Layer schedules produced (accounting passes, not functional runs).
+static SCHED_CALLS: Counter = Counter::new("hw.schedule.calls");
+/// DRAM stall cycles accumulated across schedules.
+static SCHED_STALLS: Counter = Counter::new("hw.schedule.stall_cycles");
+/// DRAM bytes accumulated across schedules.
+static SCHED_DRAM: Counter = Counter::new("hw.schedule.dram_bytes");
+/// Synchronized cycles per output tile of the functional model.
+static TILE_CYCLES: Histogram = Histogram::new("hw.systolic.tile_cycles");
+/// Beats processed by the functional model.
+static EXEC_BEATS: Counter = Counter::new("hw.systolic.beats");
 
 /// Array geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,7 +168,7 @@ impl SystolicArray {
         // regardless of the tiling.
         let total_bytes = (m * k) as u64;
         let traffic = mem.tile_fetch(total_bytes.div_ceil(tiles.max(1)), compute_per_tile);
-        TileSchedule {
+        let sched = TileSchedule {
             m_tiles,
             k_tiles,
             beat_cycles,
@@ -164,7 +176,11 @@ impl SystolicArray {
             compute_cycles: tiles * compute_per_tile,
             stall_cycles: tiles * traffic.stall_cycles,
             dram_bytes: total_bytes,
-        }
+        };
+        SCHED_CALLS.inc();
+        SCHED_STALLS.add(sched.stall_cycles);
+        SCHED_DRAM.add(sched.dram_bytes);
+        sched
     }
 
     /// Work accounting for a schedule, given the layer's measured
@@ -229,6 +245,7 @@ impl SystolicArray {
         data: &[Vec<TermExpr>],
         g: usize,
     ) -> (Vec<i64>, u64) {
+        let _span = tr_obs::span("hw.systolic.execute");
         let m = weights.len();
         let n = data.len();
         assert!(m > 0 && n > 0, "empty operands");
@@ -244,6 +261,8 @@ impl SystolicArray {
             let col_end = (col_block + self.cols).min(n);
             for row_block in (0..m).step_by(self.rows.max(1)) {
                 let row_end = (row_block + self.rows).min(m);
+                let mut tile_cycles = 0u64;
+                let mut tile_beats = 0u64;
                 // One beat per (group, data column) wavefront.
                 for group_start in (0..k).step_by(g) {
                     let group_end = (group_start + g).min(k);
@@ -259,8 +278,12 @@ impl SystolicArray {
                             beat_max = beat_max.max(report.cycles);
                         }
                     }
-                    synchronized_cycles += beat_max;
+                    tile_cycles += beat_max;
+                    tile_beats += 1;
                 }
+                synchronized_cycles += tile_cycles;
+                TILE_CYCLES.record(tile_cycles);
+                EXEC_BEATS.add(tile_beats);
             }
         }
         (out, synchronized_cycles)

@@ -15,6 +15,7 @@ use crate::fake_quant::{PairCounts, Precision};
 use crate::layer::{ForwardCtx, Layer};
 use crate::lstm::LstmLm;
 use crate::train::eval_accuracy_on;
+use tr_core::TrError;
 use tr_tensor::{Rng, Tensor};
 
 /// Put every site into calibration mode, run the batch, then freeze the
@@ -97,16 +98,43 @@ pub fn evaluate_accuracy(model: &mut dyn Layer, dataset: &Dataset, rng: &mut Rng
 /// layers build on (`tr-serve`): no training state, no pair counting —
 /// just the quantized/term-revealed forward pass.
 pub fn forward_logits(model: &mut dyn Layer, x: &Tensor, rng: &mut Rng) -> Tensor {
+    match try_forward_logits(model, x, rng) {
+        Ok(logits) => logits,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`forward_logits`]: a malformed batch (wrong rank, channel
+/// count, or spatial dims the geometry rejects) comes back as a
+/// [`TrError`] instead of a panic.
+pub fn try_forward_logits(
+    model: &mut dyn Layer,
+    x: &Tensor,
+    rng: &mut Rng,
+) -> Result<Tensor, TrError> {
+    let _span = tr_obs::span("nn.forward");
     let mut ctx = ForwardCtx::eval(rng);
-    model.forward(x, &mut ctx)
+    model.try_forward(x, &mut ctx)
 }
 
 /// Classify one batch: argmax over [`forward_logits`], one predicted
 /// class per row of `x`.
 pub fn classify_batch(model: &mut dyn Layer, x: &Tensor, rng: &mut Rng) -> Vec<usize> {
-    let logits = forward_logits(model, x, rng);
+    match try_classify_batch(model, x, rng) {
+        Ok(preds) => preds,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`classify_batch`].
+pub fn try_classify_batch(
+    model: &mut dyn Layer,
+    x: &Tensor,
+    rng: &mut Rng,
+) -> Result<Vec<usize>, TrError> {
+    let logits = try_forward_logits(model, x, rng)?;
     let rows = logits.shape().dims().first().copied().unwrap_or(0);
-    (0..rows).map(|r| logits.argmax_row(r)).collect()
+    Ok((0..rows).map(|r| logits.argmax_row(r)).collect())
 }
 
 /// One-call sweep step: calibrate (if needed), apply a precision, and

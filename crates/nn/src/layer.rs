@@ -2,6 +2,7 @@
 
 use crate::fake_quant::FakeQuant;
 use crate::param::Param;
+use tr_core::TrError;
 use tr_tensor::{Rng, Tensor};
 
 /// Per-forward context: training mode and the RNG used by stochastic
@@ -47,6 +48,15 @@ pub struct QuantSite<'a> {
 pub trait Layer {
     /// Compute the layer output for a batch.
     fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor;
+
+    /// Fallible [`Layer::forward`]: layers whose geometry depends on the
+    /// input (convolutions) override this to reject malformed batches with
+    /// a [`TrError`] instead of panicking, so a serving process can refuse
+    /// one request without dying. The default wraps `forward`, which is
+    /// correct for shape-preserving layers that cannot fail.
+    fn try_forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Result<Tensor, TrError> {
+        Ok(self.forward(x, ctx))
+    }
 
     /// Back-propagate: accumulate parameter grads, return input grad.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
@@ -131,11 +141,19 @@ impl Sequential {
 
 impl Layer for Sequential {
     fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
+        match self.try_forward(x, ctx) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    fn try_forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Result<Tensor, TrError> {
         let mut cur = x.clone();
         for layer in &mut self.layers {
-            cur = layer.forward(&cur, ctx);
+            let _span = tr_obs::span_lazy(|| format!("nn.layer.{}", layer.name()));
+            cur = layer.try_forward(&cur, ctx)?;
         }
-        cur
+        Ok(cur)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

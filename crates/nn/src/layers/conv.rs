@@ -3,7 +3,7 @@
 use crate::fake_quant::FakeQuant;
 use crate::layer::{ForwardCtx, Layer, QuantSite};
 use crate::param::Param;
-use tr_core::TermMatrix;
+use tr_core::{TermMatrix, TrError};
 use tr_quant::{QTensor, QuantParams};
 use tr_tensor::{col2im, im2col, Conv2dGeometry, Rng, Shape, Tensor};
 
@@ -67,10 +67,26 @@ impl Conv2d {
         &self.weight
     }
 
-    fn geometry_for(&self, x: &Tensor) -> Conv2dGeometry {
-        assert_eq!(x.shape().rank(), 4, "conv2d expects NCHW input");
-        assert_eq!(x.shape().dim(1), self.geometry_proto.in_channels, "channel mismatch");
-        Conv2dGeometry { in_h: x.shape().dim(2), in_w: x.shape().dim(3), ..self.geometry_proto }
+    /// Resolve the forward geometry for a concrete input, rejecting rank,
+    /// channel, and kernel-fit violations as [`TrError`]s.
+    fn try_geometry_for(&self, x: &Tensor) -> Result<Conv2dGeometry, TrError> {
+        if x.shape().rank() != 4 {
+            return Err(TrError::ShapeMismatch(format!(
+                "conv2d expects NCHW input, got rank {}",
+                x.shape().rank()
+            )));
+        }
+        if x.shape().dim(1) != self.geometry_proto.in_channels {
+            return Err(TrError::ShapeMismatch(format!(
+                "conv2d expects {} input channels, got {}",
+                self.geometry_proto.in_channels,
+                x.shape().dim(1)
+            )));
+        }
+        let g =
+            Conv2dGeometry { in_h: x.shape().dim(2), in_w: x.shape().dim(3), ..self.geometry_proto };
+        g.try_check()?;
+        Ok(g)
     }
 
     fn count_pairs(&mut self, cols: &Tensor, samples: u64) {
@@ -93,7 +109,14 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
-        let g = self.geometry_for(x);
+        match self.try_forward(x, ctx) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    fn try_forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Result<Tensor, TrError> {
+        let g = self.try_geometry_for(x)?;
         let (n, oh, ow) = (x.shape().dim(0), g.out_h(), g.out_w());
         let xq = self.fq.transform_input(x);
         let w = self.fq.effective_weight(&self.weight.value).clone();
@@ -125,7 +148,7 @@ impl Layer for Conv2d {
         if ctx.train {
             self.cached_geometry = Some(g);
         }
-        out
+        Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -225,10 +248,29 @@ impl DepthwiseConv2d {
 
 impl Layer for DepthwiseConv2d {
     fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
-        assert_eq!(x.shape().rank(), 4, "depthwise conv expects NCHW input");
-        assert_eq!(x.shape().dim(1), self.channels, "channel mismatch");
+        match self.try_forward(x, ctx) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    fn try_forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Result<Tensor, TrError> {
+        if x.shape().rank() != 4 {
+            return Err(TrError::ShapeMismatch(format!(
+                "depthwise conv expects NCHW input, got rank {}",
+                x.shape().rank()
+            )));
+        }
+        if x.shape().dim(1) != self.channels {
+            return Err(TrError::ShapeMismatch(format!(
+                "depthwise conv expects {} channels, got {}",
+                self.channels,
+                x.shape().dim(1)
+            )));
+        }
         let (n, h, w) = (x.shape().dim(0), x.shape().dim(2), x.shape().dim(3));
         let g = self.chan_geometry(h, w);
+        g.try_check()?;
         let (oh, ow) = (g.out_h(), g.out_w());
         let xq = self.fq.transform_input(x);
         let weight = self.fq.effective_weight(&self.weight.value).clone();
@@ -260,7 +302,7 @@ impl Layer for DepthwiseConv2d {
         if ctx.train {
             self.cached_geometry = Some(g);
         }
-        out
+        Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -319,7 +361,7 @@ mod tests {
         let x = Tensor::randn(Shape::d4(2, 3, 6, 6), 1.0, &mut rng);
         let mut ctx = ForwardCtx::eval(&mut rng);
         let y = conv.forward(&x, &mut ctx);
-        let g = conv.geometry_for(&x);
+        let g = conv.try_geometry_for(&x).unwrap();
         for i in 0..2 {
             let per_in = 3 * 36;
             let direct =
@@ -406,6 +448,40 @@ mod tests {
             let fd = (yp - ym) / (2.0 * eps);
             assert!((fd - gx.data()[i]).abs() < 2e-2, "dx {i}: {fd} vs {}", gx.data()[i]);
         }
+    }
+
+    #[test]
+    fn try_forward_rejects_bad_batches_without_panicking() {
+        let mut rng = Rng::seed_from_u64(25);
+        let mut conv = Conv2d::new(3, 4, 3, 1, 0, &mut rng);
+        let mut ctx_rng = Rng::seed_from_u64(26);
+
+        // Wrong channel count.
+        let bad_channels = Tensor::zeros(Shape::d4(1, 2, 6, 6));
+        let mut ctx = ForwardCtx::eval(&mut ctx_rng);
+        let err = conv.try_forward(&bad_channels, &mut ctx).unwrap_err();
+        assert!(matches!(&err, tr_core::TrError::ShapeMismatch(m) if m.contains("channels")), "{err}");
+
+        // Kernel larger than the (unpadded) input.
+        let too_small = Tensor::zeros(Shape::d4(1, 3, 2, 2));
+        let mut ctx = ForwardCtx::eval(&mut ctx_rng);
+        let err = conv.try_forward(&too_small, &mut ctx).unwrap_err();
+        assert!(
+            matches!(&err, tr_core::TrError::InvalidGeometry(m) if m.contains("larger than padded")),
+            "{err}"
+        );
+
+        // The layer still works on a good batch afterwards.
+        let good = Tensor::zeros(Shape::d4(1, 3, 6, 6));
+        let mut ctx = ForwardCtx::eval(&mut ctx_rng);
+        assert!(conv.try_forward(&good, &mut ctx).is_ok());
+
+        // Depthwise path reports the same way.
+        let mut dw = DepthwiseConv2d::new(2, 5, 1, 0, &mut rng);
+        let tiny = Tensor::zeros(Shape::d4(1, 2, 3, 3));
+        let mut ctx = ForwardCtx::eval(&mut ctx_rng);
+        let err = dw.try_forward(&tiny, &mut ctx).unwrap_err();
+        assert!(matches!(err, tr_core::TrError::InvalidGeometry(_)), "{err}");
     }
 
     #[test]

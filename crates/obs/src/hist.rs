@@ -1,0 +1,412 @@
+//! Lock-free log2-bucketed histograms.
+//!
+//! Bucket `0` holds the value `0`; bucket `b > 0` holds values in
+//! `[2^(b-1), 2^b - 1]`, so 65 buckets cover all of `u64` and a record is
+//! a `leading_zeros` plus four relaxed atomic RMWs. Exact `min`/`max`
+//! ride along (via `fetch_min`/`fetch_max`) so extreme-value assertions
+//! — "no completed latency above the deadline" — stay exact even though
+//! interior quantiles are bucket-resolution (a factor-of-two upper
+//! bound).
+//!
+//! Snapshots are plain arrays: mergeable (`merge`) for fan-in from
+//! per-thread histograms, and subtractable (`since`) for phase diffing —
+//! bucket counts only grow, so the per-bucket difference of two snapshots
+//! of the same histogram is exactly the samples recorded in between.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Once;
+
+/// Bucket count: value 0 plus one bucket per `u64` bit.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index of a value.
+#[must_use]
+pub fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Smallest value a bucket can hold.
+#[must_use]
+pub fn bucket_lower_bound(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+/// Largest value a bucket can hold.
+#[must_use]
+pub fn bucket_upper_bound(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// A concurrent log2 histogram. `record` is always-on (no recorder gate):
+/// gating belongs to the *call site* (see [`Histogram`] for the gated
+/// named wrapper), because some consumers — `tr-serve`'s latency log —
+/// are service features that must record regardless of the recorder.
+#[derive(Debug)]
+pub struct Log2Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    /// `u64::MAX` when empty.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Log2Histogram {
+        Log2Histogram::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram (usable in `static`/`const` position).
+    #[must_use]
+    pub const fn new() -> Log2Histogram {
+        Log2Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded (sum over buckets).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// A point-in-time copy.
+    #[must_use]
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistSnapshot {
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero every bucket and statistic.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An immutable copy of a [`Log2Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    buckets: [u64; BUCKETS],
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> HistSnapshot {
+        HistSnapshot { buckets: [0; BUCKETS], sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl HistSnapshot {
+    /// Total samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample, `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        if n == 0 {
+            None
+        } else {
+            #[allow(clippy::cast_precision_loss)] // statistics, not arithmetic
+            Some(self.sum as f64 / n as f64)
+        }
+    }
+
+    /// Smallest recorded sample (exact), `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest recorded sample (exact), `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Per-bucket counts.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Nearest-rank quantile at bucket resolution: the upper bound of the
+    /// bucket holding the ranked sample, clamped to the exact `[min, max]`
+    /// envelope (so `quantile(1000)` returns the exact maximum). `None`
+    /// when empty. `per_mille` is clamped to `0..=1000`.
+    #[must_use]
+    pub fn quantile(&self, per_mille: u64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let pm = per_mille.min(1000);
+        // Nearest-rank index over the (virtually sorted) n samples.
+        let idx = (pm * (n - 1) + 500) / 1000;
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > idx {
+                return Some(bucket_upper_bound(b).min(self.max).max(self.min));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Bucket-wise sum with another snapshot (fan-in across shards).
+    #[must_use]
+    pub fn merge(&self, other: &HistSnapshot) -> HistSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (dst, (a, b)) in buckets.iter_mut().zip(self.buckets.iter().zip(&other.buckets)) {
+            *dst = a.saturating_add(*b);
+        }
+        HistSnapshot {
+            buckets,
+            sum: self.sum.saturating_add(other.sum),
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Samples recorded between `earlier` and `self`, assuming both are
+    /// snapshots of the same growing histogram (bucket counts only grow,
+    /// so the bucket-wise difference is exact). The `min`/`max` of a
+    /// difference cannot be recovered from bucket counts; the result
+    /// keeps `self`'s whole-log envelope, which is a sound outer bound
+    /// for the interval's extremes.
+    #[must_use]
+    pub fn since(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (dst, (a, b)) in buckets.iter_mut().zip(self.buckets.iter().zip(&earlier.buckets)) {
+            *dst = a.saturating_sub(*b);
+        }
+        HistSnapshot {
+            buckets,
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+/// A named [`Log2Histogram`] that registers itself with the global
+/// recorder on first record and is gated on [`crate::enabled`] — the
+/// static-instrumentation sibling of [`crate::Counter`].
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    inner: Log2Histogram,
+    registered: Once,
+}
+
+impl Histogram {
+    /// A new named histogram (usable in `static` position).
+    #[must_use]
+    pub const fn new(name: &'static str) -> Histogram {
+        Histogram { name, inner: Log2Histogram::new(), registered: Once::new() }
+    }
+
+    /// The histogram's registry name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Record a sample when the recorder is enabled; no-op otherwise.
+    pub fn record(&'static self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.registered.call_once(|| crate::recorder().register_histogram(self));
+        self.inner.record(v);
+    }
+
+    /// A point-in-time copy.
+    #[must_use]
+    pub fn snapshot(&self) -> HistSnapshot {
+        self.inner.snapshot()
+    }
+
+    pub(crate) fn reset(&self) {
+        self.inner.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for b in 0..BUCKETS {
+            assert_eq!(bucket_of(bucket_lower_bound(b)), b);
+            assert_eq!(bucket_of(bucket_upper_bound(b)), b);
+        }
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let h = Log2Histogram::new();
+        for v in [0u64, 1, 5, 100, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 6);
+        assert_eq!(s.sum(), 1206);
+        assert_eq!(s.min(), Some(0));
+        assert_eq!(s.max(), Some(1000));
+        assert_eq!(s.buckets()[0], 1); // the zero
+        assert_eq!(s.buckets()[bucket_of(100)], 2);
+        let empty = HistSnapshot::default();
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.quantile(500), None);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds_clamped_to_envelope() {
+        let h = Log2Histogram::new();
+        for v in (1..=10).map(|v| v * 100) {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // p0: rank 0 lands in bucket(100) = [64, 127]; upper bound 127
+        // stays within [100, 1000].
+        assert_eq!(s.quantile(0), Some(127));
+        // p100 is the exact max.
+        assert_eq!(s.quantile(1000), Some(1000));
+        // p50: rank 5 (6th sample = 600) lands in bucket [512, 1023],
+        // clamped to max 1000.
+        assert_eq!(s.quantile(500), Some(1000));
+        // Every quantile respects the envelope.
+        for pm in (0..=1000).step_by(50) {
+            let q = s.quantile(pm).unwrap_or(0);
+            assert!((100..=1000).contains(&q), "p{pm} = {q}");
+        }
+    }
+
+    #[test]
+    fn merge_sums_and_widens() {
+        let a = Log2Histogram::new();
+        a.record(3);
+        a.record(8);
+        let b = Log2Histogram::new();
+        b.record(1000);
+        let m = a.snapshot().merge(&b.snapshot());
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.sum(), 1011);
+        assert_eq!(m.min(), Some(3));
+        assert_eq!(m.max(), Some(1000));
+    }
+
+    #[test]
+    fn since_recovers_the_interval() {
+        let h = Log2Histogram::new();
+        h.record(50);
+        h.record(150);
+        let early = h.snapshot();
+        h.record(100);
+        h.record(100);
+        let late = h.snapshot();
+        let d = late.since(&early);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.sum(), 200);
+        assert_eq!(d.buckets()[bucket_of(100)], 2);
+        // Envelope is the whole-log outer bound.
+        assert_eq!(d.min(), Some(50));
+        assert_eq!(d.max(), Some(150));
+    }
+
+    #[test]
+    fn reset_empties() {
+        let h = Log2Histogram::new();
+        h.record(9);
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), None);
+        h.record(2);
+        assert_eq!(h.snapshot().min(), Some(2));
+    }
+
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        let h = std::sync::Arc::new(Log2Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("histogram writer thread");
+        }
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.snapshot().min(), Some(0));
+        assert_eq!(h.snapshot().max(), Some(3999));
+    }
+}

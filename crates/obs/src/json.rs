@@ -1,0 +1,216 @@
+//! A minimal JSON value + serializer (no dependencies).
+//!
+//! Just enough for machine-readable BENCH reports: objects keep insertion
+//! order (schema stability is about key *presence*, but a diffable file
+//! is nicer when keys don't shuffle), floats serialize with enough
+//! precision to round-trip, and non-finite floats become `null` (JSON has
+//! no NaN).
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A float (`NaN`/`±inf` serialize as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An object from `(key, value)` pairs.
+    #[must_use]
+    pub fn object(fields: Vec<(String, JsonValue)>) -> JsonValue {
+        JsonValue::Object(fields)
+    }
+
+    /// Convenience: a string value.
+    #[must_use]
+    pub fn str(s: &str) -> JsonValue {
+        JsonValue::Str(s.to_string())
+    }
+
+    /// Serialize without whitespace.
+    #[must_use]
+    #[allow(clippy::inherent_to_string)] // Display would invite format!-nesting misuse
+    pub fn to_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Serialize with two-space indentation (the artifact format — humans
+    /// read BENCH files in CI logs).
+    #[must_use]
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(v) => out.push_str(&v.to_string()),
+            JsonValue::UInt(v) => out.push_str(&v.to_string()),
+            JsonValue::Num(v) => write_f64(*v, out),
+            JsonValue::Str(s) => write_escaped(s, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            JsonValue::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            JsonValue::Object(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // `{}` on f64 is shortest-round-trip in Rust, but bare integers
+        // ("3") are still valid JSON numbers, so no decoration needed.
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_nested_structures() {
+        let v = JsonValue::object(vec![
+            ("name".into(), JsonValue::str("bench")),
+            ("ok".into(), JsonValue::Bool(true)),
+            ("count".into(), JsonValue::UInt(3)),
+            ("delta".into(), JsonValue::Int(-2)),
+            ("ratio".into(), JsonValue::Num(0.5)),
+            ("items".into(), JsonValue::Array(vec![JsonValue::Null, JsonValue::UInt(1)])),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            r#"{"name":"bench","ok":true,"count":3,"delta":-2,"ratio":0.5,"items":[null,1]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = JsonValue::str("a\"b\\c\nd\u{1}");
+        assert_eq!(v.to_string(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(JsonValue::Num(f64::NAN).to_string(), "null");
+        assert_eq!(JsonValue::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_valid() {
+        let v = JsonValue::object(vec![(
+            "a".into(),
+            JsonValue::Array(vec![JsonValue::UInt(1), JsonValue::UInt(2)]),
+        )]);
+        let pretty = v.to_pretty_string();
+        assert!(pretty.contains("\"a\": [\n"));
+        // Whitespace-insensitive equivalence with the compact form.
+        let collapsed: String = pretty.chars().filter(|c| !c.is_whitespace()).collect();
+        assert_eq!(collapsed, v.to_string());
+    }
+
+    #[test]
+    fn empty_containers_stay_compact_in_pretty_mode() {
+        let v = JsonValue::object(vec![
+            ("a".into(), JsonValue::Array(Vec::new())),
+            ("o".into(), JsonValue::Object(Vec::new())),
+        ]);
+        assert!(v.to_pretty_string().contains("\"a\": []"));
+        assert!(v.to_pretty_string().contains("\"o\": {}"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Observability primitives for the TR workspace.
+//!
+//! Three instruments, one registry:
+//!
+//! * [`Counter`] — a named relaxed `AtomicU64`, `const`-constructible so
+//!   instrumented crates declare them as `static`s next to the hot loop;
+//! * [`Log2Histogram`] — a fixed 65-bucket power-of-two histogram that is
+//!   lock-free to record, mergeable, and *subtractable* (phase diffing);
+//!   [`Histogram`] is its named, registered, recorder-gated wrapper;
+//! * [`span`] / [`span_lazy`] — RAII timers over a thread-local span
+//!   stack that attribute wall time to named scopes with self-time
+//!   (child spans subtracted).
+//!
+//! Everything funnels into the global [`recorder`]. The design constraint
+//! is the *disabled* path: when the recorder is off (the default), every
+//! instrument is one relaxed atomic load and a predictable branch, so
+//! instrumentation can live permanently inside `tr_core`'s reveal scan
+//! and the tMAC inner loops without a measurable tax. Observation must
+//! never change a computed value — the instruments carry no side channel
+//! back into the arithmetic, a property `tests/obs_transparency.rs`
+//! locks in across reveal/matmul/systolic.
+
+mod hist;
+mod json;
+mod recorder;
+mod span;
+
+pub use hist::{bucket_lower_bound, bucket_of, bucket_upper_bound, HistSnapshot, Histogram, Log2Histogram, BUCKETS};
+pub use json::JsonValue;
+pub use recorder::{enabled, recorder, set_enabled, CounterSnapshot, Recorder, Snapshot, SpanSnapshot};
+pub use span::{span, span_lazy, Span};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Once;
+
+/// A named monotonic counter.
+///
+/// Declare as a `static` and bump with [`Counter::add`] / [`Counter::inc`];
+/// the first recorded increment lazily registers the counter with the
+/// global [`recorder`], so snapshots only list counters that were actually
+/// touched. When the recorder is disabled, `add` is a relaxed load plus a
+/// branch — nothing is written.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: Once,
+}
+
+impl Counter {
+    /// A new counter (usable in `static` position).
+    #[must_use]
+    pub const fn new(name: &'static str) -> Counter {
+        Counter { name, value: AtomicU64::new(0), registered: Once::new() }
+    }
+
+    /// The counter's registry name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Add `n` when the recorder is enabled; no-op (one relaxed load)
+    /// otherwise.
+    pub fn add(&'static self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.registered.call_once(|| recorder().register_counter(self));
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one (gated like [`Counter::add`]).
+    pub fn inc(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Saturating conversion helpers used throughout the instrumented crates:
+/// counts are observability data, so saturation (never a panic, never a
+/// wrap) is the right failure mode.
+#[must_use]
+pub fn as_u64(v: usize) -> u64 {
+    u64::try_from(v).unwrap_or(u64::MAX)
+}
+
+/// Saturating `u128 -> u64` (e.g. `Duration::as_nanos`).
+#[must_use]
+pub fn as_u64_from_u128(v: u128) -> u64 {
+    u64::try_from(v).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The recorder-enabled flag is process-global; tests that flip it
+    // serialize on this lock so `cargo test` parallelism cannot interleave
+    // enabled/disabled phases.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn counter_is_inert_when_disabled() {
+        let _g = guard();
+        static C: Counter = Counter::new("test.inert");
+        set_enabled(false);
+        C.add(41);
+        assert_eq!(C.get(), 0);
+        set_enabled(true);
+        C.add(41);
+        C.inc();
+        assert_eq!(C.get(), 42);
+        set_enabled(false);
+        C.add(100);
+        assert_eq!(C.get(), 42);
+    }
+
+    #[test]
+    fn touched_counters_appear_in_snapshots() {
+        let _g = guard();
+        static C: Counter = Counter::new("test.snapshot_counter");
+        set_enabled(true);
+        C.add(7);
+        let snap = recorder().snapshot();
+        let found = snap.counters.iter().find(|c| c.name == "test.snapshot_counter");
+        assert!(found.is_some_and(|c| c.value >= 7), "{snap:?}");
+        set_enabled(false);
+    }
+
+    #[test]
+    fn reset_zeroes_registered_counters() {
+        let _g = guard();
+        static C: Counter = Counter::new("test.reset_counter");
+        set_enabled(true);
+        C.add(5);
+        recorder().reset();
+        assert_eq!(C.get(), 0);
+        C.add(3);
+        assert_eq!(C.get(), 3);
+        set_enabled(false);
+    }
+}

@@ -1,0 +1,146 @@
+//! RAII span timers over a thread-local span stack.
+//!
+//! A [`Span`] measures the wall time between construction and drop and
+//! charges it to a named scope in the global recorder. Spans nest: each
+//! live span keeps a child-time accumulator on a thread-local stack, and
+//! on drop a span reports both its *total* time and its *self* time
+//! (total minus the time spent inside child spans), so a per-layer
+//! breakdown sums to the enclosing forward span without double counting.
+//!
+//! When the recorder is disabled at construction, the span is fully
+//! inert — no clock read, no stack push — and [`span_lazy`] defers even
+//! the name construction, so dynamic names (`format!("nn.layer.{name}")`)
+//! cost nothing on the disabled path.
+
+use crate::recorder::recorder;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// Child-time accumulators (nanoseconds) of the live spans on this
+    /// thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+enum SpanName {
+    Static(&'static str),
+    Owned(String),
+}
+
+impl SpanName {
+    fn as_str(&self) -> &str {
+        match self {
+            SpanName::Static(s) => s,
+            SpanName::Owned(s) => s,
+        }
+    }
+}
+
+/// A live span; drop ends it. Hold with `let _span = ...;` (a bare `_`
+/// would drop immediately).
+pub struct Span {
+    /// `None` when the recorder was disabled at construction (inert).
+    armed: Option<(SpanName, Instant)>,
+}
+
+/// Open a span with a static name. Inert when the recorder is disabled.
+#[must_use]
+pub fn span(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span { armed: None };
+    }
+    SPAN_STACK.with(|s| s.borrow_mut().push(0));
+    Span { armed: Some((SpanName::Static(name), Instant::now())) }
+}
+
+/// Open a span whose name is built on demand — the closure runs only
+/// when the recorder is enabled, so dynamic names are free when disabled.
+#[must_use]
+pub fn span_lazy(name: impl FnOnce() -> String) -> Span {
+    if !crate::enabled() {
+        return Span { armed: None };
+    }
+    SPAN_STACK.with(|s| s.borrow_mut().push(0));
+    Span { armed: Some((SpanName::Owned(name()), Instant::now())) }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((name, start)) = self.armed.take() else { return };
+        let total_ns = crate::as_u64_from_u128(start.elapsed().as_nanos());
+        let child_ns = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let child = stack.pop().unwrap_or(0);
+            // Charge this span's total to the parent's child accumulator.
+            if let Some(parent) = stack.last_mut() {
+                *parent = parent.saturating_add(total_ns);
+            }
+            child
+        });
+        let self_ns = total_ns.saturating_sub(child_ns);
+        recorder().record_span(name.as_str(), total_ns, self_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::set_enabled;
+
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_spans_touch_nothing() {
+        let _g = guard();
+        set_enabled(false);
+        {
+            let _s = span("test.span.disabled");
+            let _inner = span_lazy(|| unreachable!("lazy name built while disabled"));
+        }
+        let snap = recorder().snapshot();
+        assert!(snap.spans.iter().all(|s| s.name != "test.span.disabled"));
+    }
+
+    #[test]
+    fn nested_spans_split_self_time() {
+        let _g = guard();
+        set_enabled(true);
+        recorder().reset();
+        {
+            let _outer = span("test.span.outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span_lazy(|| "test.span.inner".to_string());
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        set_enabled(false);
+        let snap = recorder().snapshot();
+        let find = |n: &str| snap.spans.iter().find(|s| s.name == n).cloned();
+        let outer = find("test.span.outer").expect("outer recorded");
+        let inner = find("test.span.inner").expect("inner recorded");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        assert!(outer.total_ns >= inner.total_ns, "{outer:?} vs {inner:?}");
+        // Outer self time excludes the inner span.
+        assert!(outer.self_ns <= outer.total_ns - inner.total_ns + 1_000_000);
+        assert_eq!(inner.self_ns, inner.total_ns);
+    }
+
+    #[test]
+    fn span_counts_accumulate_per_name() {
+        let _g = guard();
+        set_enabled(true);
+        recorder().reset();
+        for _ in 0..3 {
+            let _s = span("test.span.repeat");
+        }
+        set_enabled(false);
+        let snap = recorder().snapshot();
+        let s = snap.spans.iter().find(|s| s.name == "test.span.repeat").expect("recorded");
+        assert_eq!(s.count, 3);
+    }
+}

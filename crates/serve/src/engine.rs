@@ -9,7 +9,7 @@
 use crate::ladder::per_value_pair_bound;
 use std::sync::Arc;
 use std::time::Duration;
-use tr_nn::exec::classify_batch;
+use tr_nn::exec::try_classify_batch;
 use tr_nn::layer::Layer;
 use tr_nn::{Precision, Sequential};
 use tr_tensor::{Rng, Shape, Tensor};
@@ -101,7 +101,13 @@ impl Engine for NnEngine {
             data.extend_from_slice(row);
         }
         let x = Tensor::from_vec(data, Shape::d2(n, self.input_dim));
-        let preds = classify_batch(&mut self.model, &x, &mut self.rng);
+        // The forward reports malformed batches as TrError; a batch that
+        // passed the input guards above yet fails here is poison, and the
+        // panic routes it into the worker's quarantine machinery.
+        let preds = match try_classify_batch(&mut self.model, &x, &mut self.rng) {
+            Ok(preds) => preds,
+            Err(e) => panic!("poison batch: {e}"),
+        };
         if !self.pace_per_sample.is_zero() {
             let per_sample = self.pace_per_sample.mul_f64(self.cost_factor.max(0.0));
             std::thread::sleep(per_sample * u32::try_from(n).unwrap_or(u32::MAX));

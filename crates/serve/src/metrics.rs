@@ -1,18 +1,24 @@
 //! Service counters and latency accounting.
 //!
 //! Counters are lock-free atomics updated on the hot path; completed
-//! latencies are appended under a mutex (one push per completion — cheap
-//! at the request rates the simulated accelerator sustains). A
-//! [`MetricsSnapshot`] is a consistent copy for reporting; phase-based
-//! load generators diff two snapshots to get per-phase counts.
+//! latencies go into a lock-free [`tr_obs::Log2Histogram`] (one bucket
+//! increment per completion) instead of the earlier mutex-guarded sorted
+//! vector, so the completion path never takes a lock and snapshots are
+//! O(buckets) instead of O(completions). A [`MetricsSnapshot`] is a
+//! consistent copy for reporting; phase-based load generators diff two
+//! snapshots with [`MetricsSnapshot::since`] to get per-phase counts.
+//!
+//! When the global `tr-obs` recorder is enabled, completions are mirrored
+//! into the shared `serve.latency_us` histogram so `repro bench` reads the
+//! service tail latencies from the same registry as the core/nn/hw
+//! instrumentation.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
+use tr_obs::{HistSnapshot, Histogram, Log2Histogram};
 
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
+/// Completed-request latencies mirrored into the global recorder.
+static SHARED_LATENCY: Histogram = Histogram::new("serve.latency_us");
 
 /// Shared live counters (interior mutability, updated by all threads).
 #[derive(Debug, Default)]
@@ -40,20 +46,19 @@ pub struct Metrics {
     /// Precision reconfigurations performed by workers (the Table 1
     /// register switches).
     pub reconfigurations: AtomicU64,
-    latencies_us: Mutex<Vec<u64>>,
+    latencies_us: Log2Histogram,
 }
 
 impl Metrics {
     /// Record one completed-request latency.
     pub fn push_latency(&self, latency: Duration) {
         let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
-        lock(&self.latencies_us).push(us);
+        self.latencies_us.record(us);
+        SHARED_LATENCY.record(us);
     }
 
     /// Take a consistent copy for reporting.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let mut latencies_us = lock(&self.latencies_us).clone();
-        latencies_us.sort_unstable();
         MetricsSnapshot {
             submitted: self.submitted.load(Ordering::SeqCst),
             completed: self.completed.load(Ordering::SeqCst),
@@ -66,13 +71,13 @@ impl Metrics {
             worker_panics: self.worker_panics.load(Ordering::SeqCst),
             worker_restarts: self.worker_restarts.load(Ordering::SeqCst),
             reconfigurations: self.reconfigurations.load(Ordering::SeqCst),
-            latencies_us,
+            latencies_us: self.latencies_us.snapshot(),
         }
     }
 }
 
 /// A consistent point-in-time copy of the counters, with completed
-/// latencies sorted for percentile queries.
+/// latencies as a log2-bucketed histogram for percentile queries.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// See [`Metrics::submitted`].
@@ -97,8 +102,9 @@ pub struct MetricsSnapshot {
     pub worker_restarts: u64,
     /// See [`Metrics::reconfigurations`].
     pub reconfigurations: u64,
-    /// Completed latencies in microseconds, ascending.
-    pub latencies_us: Vec<u64>,
+    /// Completed latencies in microseconds, log2-bucketed. Exact count,
+    /// sum, min, and max; percentiles to bucket resolution.
+    pub latencies_us: HistSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -115,21 +121,17 @@ impl MetricsSnapshot {
     }
 
     /// Latency percentile over completed requests, `per_mille` in
-    /// 0..=1000 (500 = p50, 990 = p99, 999 = p99.9). Nearest-rank on the
-    /// sorted samples; `None` when nothing completed.
+    /// 0..=1000 (500 = p50, 990 = p99, 999 = p99.9). Nearest-rank over
+    /// the histogram buckets (resolved to the bucket's upper bound,
+    /// clamped by the exact observed min/max); `None` when nothing
+    /// completed.
     #[must_use]
     pub fn latency_percentile(&self, per_mille: u64) -> Option<Duration> {
-        let n = self.latencies_us.len();
-        if n == 0 {
-            return None;
-        }
-        let pm = usize::try_from(per_mille.min(1000)).unwrap_or(1000);
-        let idx = (pm * (n - 1) + 500) / 1000;
-        Some(Duration::from_micros(self.latencies_us[idx.min(n - 1)]))
+        self.latencies_us.quantile(per_mille).map(Duration::from_micros)
     }
 
     /// Counter-wise difference vs an earlier snapshot (latencies keep
-    /// only the samples recorded since `earlier`).
+    /// only the samples recorded since `earlier`, at bucket resolution).
     #[must_use]
     pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -144,26 +146,9 @@ impl MetricsSnapshot {
             worker_panics: self.worker_panics - earlier.worker_panics,
             worker_restarts: self.worker_restarts - earlier.worker_restarts,
             reconfigurations: self.reconfigurations - earlier.reconfigurations,
-            // Both vectors are sorted copies of the same growing log, so
-            // the new samples are the multiset difference; recover them
-            // by walking both sorted lists.
-            latencies_us: multiset_difference(&self.latencies_us, &earlier.latencies_us),
+            latencies_us: self.latencies_us.since(&earlier.latencies_us),
         }
     }
-}
-
-/// Sorted-multiset difference `a \ b` (both ascending).
-fn multiset_difference(a: &[u64], b: &[u64]) -> Vec<u64> {
-    let mut out = Vec::with_capacity(a.len().saturating_sub(b.len()));
-    let mut j = 0;
-    for &v in a {
-        if j < b.len() && b[j] == v {
-            j += 1;
-        } else {
-            out.push(v);
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -172,14 +157,18 @@ mod tests {
 
     #[test]
     fn percentiles_nearest_rank() {
-        let snap = MetricsSnapshot {
-            completed: 10,
-            latencies_us: (1..=10).map(|v| v * 100).collect(),
-            ..MetricsSnapshot::default()
-        };
-        assert_eq!(snap.latency_percentile(0), Some(Duration::from_micros(100)));
-        // Index round(0.5 × 9) = 5 → the 6th sample.
-        assert_eq!(snap.latency_percentile(500), Some(Duration::from_micros(600)));
+        let m = Metrics::default();
+        m.completed.fetch_add(10, Ordering::SeqCst);
+        for v in (1..=10u64).map(|v| v * 100) {
+            m.push_latency(Duration::from_micros(v));
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.latencies_us.count(), 10);
+        // p0 lands in the first occupied bucket: 100 lives in [64, 127].
+        assert_eq!(snap.latency_percentile(0), Some(Duration::from_micros(127)));
+        // Rank round(0.5 × 9) = 5 → the 6th sample (600), whose bucket
+        // [512, 1023] is clamped by the exact max (1000).
+        assert_eq!(snap.latency_percentile(500), Some(Duration::from_micros(1000)));
         assert_eq!(snap.latency_percentile(1000), Some(Duration::from_micros(1000)));
         assert_eq!(snap.latency_percentile(990), Some(Duration::from_micros(1000)));
         let empty = MetricsSnapshot::default();
@@ -201,7 +190,23 @@ mod tests {
         let d = b.since(&a);
         assert_eq!(d.submitted, 2);
         assert_eq!(d.completed, 1);
-        assert_eq!(d.latencies_us, vec![100]);
+        assert_eq!(d.latencies_us.count(), 1);
+        // The one new sample (100µs) sits in the [64, 127] bucket.
+        let p = d.latency_percentile(500).unwrap().as_micros();
+        assert!((64..=127).contains(&p), "diffed sample resolved to {p}µs");
+    }
+
+    #[test]
+    fn latency_histogram_keeps_exact_envelope() {
+        let m = Metrics::default();
+        for us in [90u64, 700, 33_000] {
+            m.push_latency(Duration::from_micros(us));
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.latencies_us.count(), 3);
+        assert_eq!(snap.latencies_us.sum(), 90 + 700 + 33_000);
+        assert_eq!(snap.latencies_us.min(), Some(90));
+        assert_eq!(snap.latencies_us.max(), Some(33_000));
     }
 
     #[test]

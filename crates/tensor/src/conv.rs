@@ -52,18 +52,57 @@ impl Conv2dGeometry {
     }
 
     /// Validate that the geometry is realizable.
+    ///
+    /// # Errors
+    /// [`ConvGeometryError`] when the stride is zero or the kernel is
+    /// larger than the padded input. `tr-core` converts this into its
+    /// shared `TrError`, which is how the nn executors and the serve
+    /// engine reject a bad geometry without panicking.
+    pub fn try_check(&self) -> Result<(), ConvGeometryError> {
+        if self.stride == 0 {
+            return Err(ConvGeometryError("stride must be positive".to_string()));
+        }
+        if self.in_h + 2 * self.pad < self.k_h || self.in_w + 2 * self.pad < self.k_w {
+            return Err(ConvGeometryError(format!(
+                "kernel {}x{} larger than padded input {}x{}",
+                self.k_h,
+                self.k_w,
+                self.in_h + 2 * self.pad,
+                self.in_w + 2 * self.pad
+            )));
+        }
+        Ok(())
+    }
+
+    /// Panicking wrapper over [`Conv2dGeometry::try_check`], kept for
+    /// tests and internal callers that validated upstream.
+    ///
+    /// # Panics
+    /// With the [`ConvGeometryError`] message when the geometry is
+    /// invalid.
     pub fn check(&self) {
-        assert!(self.stride > 0, "stride must be positive");
-        assert!(
-            self.in_h + 2 * self.pad >= self.k_h && self.in_w + 2 * self.pad >= self.k_w,
-            "kernel {}x{} larger than padded input {}x{}",
-            self.k_h,
-            self.k_w,
-            self.in_h + 2 * self.pad,
-            self.in_w + 2 * self.pad
-        );
+        if let Err(e) = self.try_check() {
+            panic!("{e}");
+        }
     }
 }
+
+/// An unrealizable [`Conv2dGeometry`] (zero stride, or a kernel larger
+/// than the padded input).
+///
+/// `tr-tensor` sits below `tr-core` in the dependency graph, so it
+/// cannot name the workspace's shared `TrError`; `tr-core` provides the
+/// `From<ConvGeometryError> for TrError` conversion instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvGeometryError(pub String);
+
+impl std::fmt::Display for ConvGeometryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid conv geometry: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConvGeometryError {}
 
 /// Unroll one CHW image into a `(patch_len, n_patches)` matrix.
 ///
@@ -243,5 +282,16 @@ mod tests {
     #[should_panic(expected = "larger than padded input")]
     fn rejects_impossible_geometry() {
         geom(1, 2, 2, 5, 1, 0).check();
+    }
+
+    #[test]
+    fn try_check_reports_instead_of_panicking() {
+        let big_kernel = geom(1, 2, 2, 5, 1, 0).try_check().unwrap_err();
+        assert!(big_kernel.to_string().contains("larger than padded input"), "{big_kernel}");
+        let zero_stride = geom(1, 4, 4, 3, 0, 1).try_check().unwrap_err();
+        assert!(zero_stride.to_string().contains("stride"), "{zero_stride}");
+        assert_eq!(geom(3, 32, 32, 3, 1, 1).try_check(), Ok(()));
+        // Padding can rescue an otherwise-too-small input.
+        assert_eq!(geom(1, 2, 2, 5, 1, 2).try_check(), Ok(()));
     }
 }

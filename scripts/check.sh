@@ -17,3 +17,8 @@ cargo run -q --release -p tr-bench --bin repro -- verify-widths
 # poison quarantine, exact request conservation (DESIGN.md SS9).
 cargo test -q --release -p tr-serve --test soak
 cargo run -q --release -p tr-bench --bin repro -- --quick serve
+# Observability baseline: the bench experiment must produce its
+# schema-stable JSON artifact (DESIGN.md SS10). CI archives the file.
+TR_BENCH_OUT=BENCH_PR4.json \
+  cargo run -q --release -p tr-bench --bin repro -- --quick bench
+test -s BENCH_PR4.json
