@@ -1,4 +1,4 @@
-//! bench — the machine-readable performance baseline (`BENCH_PR4.json`).
+//! bench — the machine-readable performance baseline (`BENCH_PR5.json`).
 //!
 //! Not a paper figure: this experiment turns the `tr-obs` instrumentation
 //! threaded through core/nn/hw/serve into one schema-stable JSON artifact
@@ -8,29 +8,39 @@
 //! Sections (all under the shared `tr-obs` recorder):
 //!
 //! * **core** — the term-pair matmul kernel timed under QT-8 and TR
-//!   operands, with the reveal-scan counters (groups pruned, terms
-//!   kept/dropped) and term pairs per MAC;
+//!   operands through both the legacy nested [`TermMatrix`] path and the
+//!   packed flat kernel, with per-row speedup ratios. The recorder is
+//!   reset *before* operand preparation, so each row's `counters` block
+//!   now reports the reveal scan that built it (the PR4 artifact recorded
+//!   zeros there and needed a separate `reveal_pass` block);
 //! * **nn** — zoo-model accuracy and forward timing per precision, with
-//!   the per-layer span breakdown `Sequential::try_forward` records;
+//!   the per-layer span breakdown `Sequential::try_forward` records, plus
+//!   a conv-forward row comparing the PR4-era per-image-allocation loop
+//!   against the arena eval path;
 //! * **hw** — cycle schedules of paper-sized layers under QT vs TR
 //!   registers, plus the functional array's per-tile cycle histogram;
 //! * **serve** — a short deterministic burst against the batched service,
-//!   reporting p50/p99 completed latency from the shared histogram.
+//!   reporting p50/p99 completed latency from the shared histogram;
+//! * **baseline** — the committed `BENCH_PR4.json` read back (path
+//!   override: `TR_BENCH_BASELINE`), with packed-vs-PR4 wall-clock ratios
+//!   and a one-line regression verdict.
 //!
-//! The artifact goes to `BENCH_PR4.json` (override with `TR_BENCH_OUT`).
+//! The artifact goes to `BENCH_PR5.json` (override with `TR_BENCH_OUT`).
 
 use crate::experiments::serve::{mlp_factory, wait_settled};
 use crate::report::Table;
 use crate::zoo::Zoo;
 use std::time::{Duration, Instant};
-use tr_core::{term_matmul_i64, term_pairs_total, TermMatrix, TrConfig};
+use tr_core::{packed_term_matmul_i64, term_matmul_i64, term_pairs_total, TermMatrix, TrConfig};
 use tr_encoding::Encoding;
 use tr_hw::{ControlRegisters, MemorySubsystem, SystolicArray};
 use tr_nn::exec::{calibrate_model, evaluate_precision, forward_logits};
 use tr_nn::fake_quant::Precision;
+use tr_nn::layer::{ForwardCtx, Layer};
+use tr_nn::layers::{Conv2d, DepthwiseConv2d};
 use tr_obs::{recorder, set_enabled, JsonValue, Snapshot};
 use tr_serve::{Service, ServiceConfig};
-use tr_tensor::Rng;
+use tr_tensor::{im2col, Conv2dGeometry, Rng, Shape, Tensor};
 
 /// Schema tag of the emitted artifact; bump only on breaking layout
 /// changes.
@@ -63,31 +73,59 @@ fn core_counters(snap: &Snapshot) -> JsonValue {
     ])
 }
 
-/// The core kernel under one operand preparation.
+/// Best-of-`reps` wall time of `f` after one untimed warmup call, with
+/// the last result. Best-of keeps the tiny quick-mode kernels out of
+/// scheduler noise without inventing statistics.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    let mut out = f();
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = f();
+        best = best.min(t0.elapsed());
+    }
+    (out, best)
+}
+
+/// The core kernel under one operand preparation, timed through both the
+/// legacy nested path and the packed kernel (bit-identical by assertion).
+///
+/// The recorder reset happens before `prep` runs so the reveal/cap pass
+/// that builds the operands lands in this row's `counters` block — that
+/// pass runs once (offline for weights), which is exactly why it must be
+/// counted here and not in the per-matmul numbers.
 fn core_config(
     name: &str,
-    w: &TermMatrix,
-    x: &TermMatrix,
     macs: u64,
     table: &mut Table,
+    prep: impl FnOnce() -> (TermMatrix, TermMatrix),
 ) -> (String, JsonValue) {
     recorder().reset();
-    let pairs = term_pairs_total(w, x);
-    let t0 = Instant::now();
-    let out = term_matmul_i64(w, x);
-    let wall = t0.elapsed();
+    let (w, x) = prep();
+    let pairs = term_pairs_total(&w, &x);
+    let (out, wall) = best_of(3, || term_matmul_i64(&w, &x));
+    // Packing happens outside the timed region: weights are packed once
+    // at install time, and the data plane's encode cost is benched
+    // separately (criterion `packed` bench in tr-core).
+    let pw = w.to_packed();
+    let px = x.to_packed();
+    let (packed_out, packed_wall) = best_of(3, || packed_term_matmul_i64(&pw, &px));
+    assert_eq!(packed_out, out, "packed kernel must be bit-identical to the legacy path");
     let snap = recorder().snapshot();
     let terms_per_mac = pairs as f64 / macs.max(1) as f64;
+    let speedup = wall.as_secs_f64() / packed_wall.as_secs_f64().max(f64::MIN_POSITIVE);
     table.row(vec![
         format!("core/{name}"),
-        format!("{:.2}ms", wall.as_secs_f64() * 1e3),
+        format!("{:.2}ms legacy / {:.2}ms packed", wall.as_secs_f64() * 1e3, packed_wall.as_secs_f64() * 1e3),
         format!("{terms_per_mac:.2} pairs/MAC"),
-        format!("{} outputs", out.len()),
+        format!("packed {speedup:.2}x"),
     ]);
     (
         name.to_string(),
         obj(vec![
             ("wall_ms", ms(wall)),
+            ("packed_wall_ms", ms(packed_wall)),
+            ("packed_speedup", JsonValue::Num(speedup)),
             ("term_pairs", uint(pairs)),
             ("macs", uint(macs)),
             ("terms_per_mac", JsonValue::Num(terms_per_mac)),
@@ -99,32 +137,26 @@ fn core_config(
 fn core_section(zoo: &Zoo, table: &mut Table) -> JsonValue {
     let (m, k, n) = if zoo.quick { (16, 64, 8) } else { (64, 256, 32) };
     let mut rng = Rng::seed_from_u64(SEED);
-    let wt = tr_tensor::Tensor::randn(tr_tensor::Shape::d2(m, k), 0.25, &mut rng);
-    let xt = tr_tensor::Tensor::randn(tr_tensor::Shape::d2(k, n), 0.25, &mut rng);
+    let wt = Tensor::randn(Shape::d2(m, k), 0.25, &mut rng);
+    let xt = Tensor::randn(Shape::d2(k, n), 0.25, &mut rng);
     let qw = tr_quant::quantize(&wt, tr_quant::calibrate_max_abs(&wt, 8));
     let qx = tr_quant::quantize(&xt, tr_quant::calibrate_max_abs(&xt, 8));
     let macs = (m * k * n) as u64;
 
     let mut fields = Vec::new();
-    {
-        let w = TermMatrix::from_weights(&qw, Encoding::Binary);
-        let x = TermMatrix::from_data_transposed(&qx, Encoding::Binary);
-        fields.push(core_config("qt8", &w, &x, macs, table));
-    }
-    {
-        let cfg = TrConfig::new(8, 12).with_data_terms(3);
-        recorder().reset();
-        let w = TermMatrix::from_weights(&qw, Encoding::Hese).reveal(&cfg);
-        let reveal_snap = recorder().snapshot();
-        let x = TermMatrix::from_data_transposed(&qx, Encoding::Hese).cap_terms(3);
-        let (key, mut val) = core_config("tr_g8_k12_s3", &w, &x, macs, table);
-        // The reveal pass itself runs once (offline for weights), so its
-        // counters are reported separately from the matmul-time block.
-        if let JsonValue::Object(fields) = &mut val {
-            fields.push(("reveal_pass".to_string(), core_counters(&reveal_snap)));
-        }
-        fields.push((key, val));
-    }
+    fields.push(core_config("qt8", macs, table, || {
+        (
+            TermMatrix::from_weights(&qw, Encoding::Binary),
+            TermMatrix::from_data_transposed(&qx, Encoding::Binary),
+        )
+    }));
+    let cfg = TrConfig::new(8, 12).with_data_terms(3);
+    fields.push(core_config("tr_g8_k12_s3", macs, table, || {
+        (
+            TermMatrix::from_weights(&qw, Encoding::Hese).reveal(&cfg),
+            TermMatrix::from_data_transposed(&qx, Encoding::Hese).cap_terms(3),
+        )
+    }));
     JsonValue::object(fields.into_iter().collect())
 }
 
@@ -181,6 +213,158 @@ fn nn_config(
     )
 }
 
+/// Clone a layer's parameter tensor by name (the bench replays the
+/// legacy forward outside the layer, so it needs the actual weights).
+fn param_clone(layer: &mut dyn Layer, name: &str) -> Tensor {
+    let mut found = None;
+    layer.visit_params(&mut |n, p| {
+        if n == name {
+            found = Some(p.value.clone());
+        }
+    });
+    found.expect("layer exposes the parameter")
+}
+
+/// The PR4-era `Conv2d` eval loop: one freshly allocated patch matrix
+/// and one matmul temporary per image, copied into the output.
+fn legacy_conv2d_forward(w: &Tensor, bias: &Tensor, x: &Tensor, g: &Conv2dGeometry) -> Tensor {
+    let (n, o) = (x.shape().dim(0), w.shape().dim(0));
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let per_in = g.in_channels * g.in_h * g.in_w;
+    let per_out = o * oh * ow;
+    let mut out = Tensor::zeros(Shape::d4(n, o, oh, ow));
+    for i in 0..n {
+        let cols = im2col(&x.data()[i * per_in..(i + 1) * per_in], g);
+        let y = w.matmul(&cols);
+        let dst = &mut out.data_mut()[i * per_out..(i + 1) * per_out];
+        dst.copy_from_slice(y.data());
+        for (c, chunk) in dst.chunks_mut(oh * ow).enumerate() {
+            let b = bias.data()[c];
+            for v in chunk {
+                *v += b;
+            }
+        }
+    }
+    out
+}
+
+/// The PR4-era depthwise eval loop: a patch matrix, a weight-row tensor,
+/// and a matmul temporary allocated per (image, channel) pair.
+fn legacy_dwconv_forward(w: &Tensor, bias: &Tensor, x: &Tensor, g: &Conv2dGeometry) -> Tensor {
+    let (n, c_all) = (x.shape().dim(0), x.shape().dim(1));
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let chan_in = g.in_h * g.in_w;
+    let chan_out = oh * ow;
+    let mut out = Tensor::zeros(Shape::d4(n, c_all, oh, ow));
+    for i in 0..n {
+        for c in 0..c_all {
+            let off = (i * c_all + c) * chan_in;
+            let cols = im2col(&x.data()[off..off + chan_in], g);
+            let wrow = Tensor::from_vec(w.row(c).to_vec(), Shape::d2(1, g.patch_len()));
+            let y = wrow.matmul(&cols);
+            let dst_off = (i * c_all + c) * chan_out;
+            let dst = &mut out.data_mut()[dst_off..dst_off + chan_out];
+            let b = bias.data()[c];
+            for (o, &v) in dst.iter_mut().zip(y.data()) {
+                *o = v + b;
+            }
+        }
+    }
+    out
+}
+
+/// Time one sub-kernel both ways, assert bit-identical outputs, and emit
+/// a `{legacy_wall_ms, arena_wall_ms, speedup}` block.
+fn conv_pair(
+    reps: usize,
+    mut legacy: impl FnMut() -> Tensor,
+    mut arena: impl FnMut() -> Tensor,
+) -> (Duration, Duration, JsonValue) {
+    let (l_out, l_wall) = best_of(reps, &mut legacy);
+    let (a_out, a_wall) = best_of(reps, &mut arena);
+    assert_eq!(l_out.data(), a_out.data(), "arena conv path must be bit-identical");
+    let speedup = l_wall.as_secs_f64() / a_wall.as_secs_f64().max(f64::MIN_POSITIVE);
+    let block = obj(vec![
+        ("legacy_wall_ms", ms(l_wall)),
+        ("arena_wall_ms", ms(a_wall)),
+        ("speedup", JsonValue::Num(speedup)),
+    ]);
+    (l_wall, a_wall, block)
+}
+
+/// The conv arena row: a depthwise-separable block (3×3 conv + two 3×3
+/// depthwise layers, the MobileNet/EfficientNet shape the paper's CNNs
+/// lean on) forwarded through the PR4-era per-image-allocation loop and
+/// through the `ScratchArena` eval path. `BENCH_PR4.json` has no conv
+/// row, so the legacy loop is replayed in-run for a same-machine
+/// comparison.
+fn conv_forward_row(zoo: &Zoo, table: &mut Table) -> (String, JsonValue) {
+    let mut rng = Rng::seed_from_u64(SEED ^ 0x44);
+    let (c_in, c_mid, hw) = (4, 16, 8);
+    let n = if zoo.quick { 4 } else { 8 };
+    let reps = if zoo.quick { 8 } else { 20 };
+    let mut conv = Conv2d::new(c_in, c_mid, 3, 1, 1, &mut rng);
+    let mut dw1 = DepthwiseConv2d::new(c_mid, 3, 1, 1, &mut rng);
+    let mut dw2 = DepthwiseConv2d::new(c_mid, 3, 1, 1, &mut rng);
+    let x = Tensor::randn(Shape::d4(n, c_in, hw, hw), 0.5, &mut rng);
+
+    let conv_w = param_clone(&mut conv, "weight");
+    let conv_b = param_clone(&mut conv, "bias");
+    let dw1_w = param_clone(&mut dw1, "weight");
+    let dw1_b = param_clone(&mut dw1, "bias");
+    let dw2_w = param_clone(&mut dw2, "weight");
+    let dw2_b = param_clone(&mut dw2, "bias");
+    let conv_g = Conv2dGeometry {
+        in_channels: c_in,
+        in_h: hw,
+        in_w: hw,
+        k_h: 3,
+        k_w: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let dw_g = Conv2dGeometry { in_channels: 1, ..conv_g };
+
+    let mut fwd_rng = Rng::seed_from_u64(SEED ^ 0x55);
+    let mut ctx = ForwardCtx::eval(&mut fwd_rng);
+    let y_mid = conv.forward(&x, &mut ctx);
+    let (conv_l, conv_a, conv_block) = conv_pair(
+        reps,
+        || legacy_conv2d_forward(&conv_w, &conv_b, &x, &conv_g),
+        || conv.forward(&x, &mut ctx),
+    );
+    let (dw_l, dw_a, dw_block) = conv_pair(
+        reps,
+        || {
+            let t = legacy_dwconv_forward(&dw1_w, &dw1_b, &y_mid, &dw_g);
+            legacy_dwconv_forward(&dw2_w, &dw2_b, &t, &dw_g)
+        },
+        || {
+            let t = dw1.forward(&y_mid, &mut ctx);
+            dw2.forward(&t, &mut ctx)
+        },
+    );
+    let (legacy, arena) = (conv_l + dw_l, conv_a + dw_a);
+    let speedup = legacy.as_secs_f64() / arena.as_secs_f64().max(f64::MIN_POSITIVE);
+    table.row(vec![
+        "nn/conv_forward".to_string(),
+        format!("{:.2}ms legacy / {:.2}ms arena", legacy.as_secs_f64() * 1e3, arena.as_secs_f64() * 1e3),
+        format!("batch {n}, {hw}x{hw}"),
+        format!("arena {speedup:.2}x"),
+    ]);
+    (
+        "conv_forward".to_string(),
+        obj(vec![
+            ("legacy_wall_ms", ms(legacy)),
+            ("arena_wall_ms", ms(arena)),
+            ("speedup", JsonValue::Num(speedup)),
+            ("conv2d", conv_block),
+            ("dwconv", dw_block),
+            ("batch", uint(n as u64)),
+        ]),
+    )
+}
+
 fn nn_section(zoo: &Zoo, table: &mut Table) -> JsonValue {
     let (mut model, ds) = zoo.mlp();
     let mut rng = Rng::seed_from_u64(SEED ^ 0x22);
@@ -191,10 +375,11 @@ fn nn_section(zoo: &Zoo, table: &mut Table) -> JsonValue {
         ("mlp_qt8", Precision::Qt { weight_bits: 8, act_bits: 8 }),
         ("mlp_tr_g8_k12_s3", Precision::Tr(tr)),
     ];
-    let fields = configs
+    let mut fields: Vec<(String, JsonValue)> = configs
         .iter()
         .map(|(name, p)| nn_config(&mut model, &ds, name, p, &mut rng, table))
         .collect();
+    fields.push(conv_forward_row(zoo, table));
     JsonValue::object(fields)
 }
 
@@ -318,6 +503,98 @@ fn serve_section(zoo: &Zoo, table: &mut Table) -> JsonValue {
     ])
 }
 
+/// Locate the committed PR4 baseline: `TR_BENCH_BASELINE` wins, then the
+/// repo-root file from either the root or a crate working directory.
+fn baseline_path() -> String {
+    if let Ok(p) = std::env::var("TR_BENCH_BASELINE") {
+        return p;
+    }
+    for candidate in ["BENCH_PR4.json", "../../BENCH_PR4.json"] {
+        if std::path::Path::new(candidate).is_file() {
+            return candidate.to_string();
+        }
+    }
+    "BENCH_PR4.json".to_string()
+}
+
+/// A `{pr4_wall_ms, packed_wall_ms, speedup_vs_pr4}` block for one core
+/// row, comparing this run's packed kernel against the baseline's legacy
+/// wall clock. Returns the ratio alongside for the verdict line.
+fn baseline_core_row(row: &str, core: &JsonValue, pr4: &JsonValue) -> (JsonValue, Option<f64>) {
+    let pr4_wall = pr4.get("core").and_then(|c| c.get(row)).and_then(|r| r.get("wall_ms"));
+    let packed_wall = core.get(row).and_then(|r| r.get("packed_wall_ms"));
+    let ratio = match (pr4_wall.and_then(JsonValue::as_f64), packed_wall.and_then(JsonValue::as_f64)) {
+        (Some(old), Some(new)) => Some(old / new.max(f64::MIN_POSITIVE)),
+        _ => None,
+    };
+    let block = obj(vec![
+        ("pr4_wall_ms", pr4_wall.cloned().unwrap_or(JsonValue::Null)),
+        ("packed_wall_ms", packed_wall.cloned().unwrap_or(JsonValue::Null)),
+        ("speedup_vs_pr4", ratio.map_or(JsonValue::Null, JsonValue::Num)),
+    ]);
+    (block, ratio)
+}
+
+/// Read `BENCH_PR4.json` back and emit the regression block plus a
+/// one-line verdict. A missing or shape-mismatched baseline degrades to
+/// `found: false` rather than failing the run (fresh checkouts, CI
+/// machines without the artifact).
+fn baseline_section(zoo: &Zoo, core: &JsonValue, nn: &JsonValue, table: &mut Table) -> JsonValue {
+    let path = baseline_path();
+    let conv_speedup = nn
+        .get("conv_forward")
+        .and_then(|c| c.get("speedup"))
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0);
+    let parsed = std::fs::read_to_string(&path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| JsonValue::parse(&text));
+    let pr4 = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            let verdict = format!(
+                "SKIPPED — no PR4 baseline ({e}); in-run: conv arena {conv_speedup:.2}x"
+            );
+            table.note(format!("verdict: {verdict}"));
+            return obj(vec![
+                ("path", JsonValue::str(&path)),
+                ("found", JsonValue::Bool(false)),
+                ("verdict", JsonValue::str(&verdict)),
+            ]);
+        }
+    };
+    // Wall clocks only compare within the same problem size; a quick run
+    // against a full baseline (or vice versa) is reported but flagged.
+    let comparable = pr4.get("quick").map(|q| q == &JsonValue::Bool(zoo.quick)).unwrap_or(false);
+    let (qt8_block, qt8) = baseline_core_row("qt8", core, &pr4);
+    let (tr_block, tr) = baseline_core_row("tr_g8_k12_s3", core, &pr4);
+    let worst = match (qt8, tr) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        _ => None,
+    };
+    let status = match worst {
+        _ if !comparable => "INCOMPARABLE (quick-mode mismatch vs baseline)".to_string(),
+        Some(w) if w >= 2.0 && conv_speedup >= 1.3 => "PASS".to_string(),
+        Some(w) if w >= 1.0 => format!("WARN (targets: core 2.0x, conv 1.3x; worst core {w:.2}x)"),
+        Some(w) => format!("REGRESSION (core packed {w:.2}x vs PR4 legacy)"),
+        None => "SKIPPED (baseline rows missing)".to_string(),
+    };
+    let verdict = format!(
+        "{status} — packed core qt8 {}x / tr {}x vs PR4, conv arena {conv_speedup:.2}x in-run",
+        qt8.map_or_else(|| "?".to_string(), |v| format!("{v:.2}")),
+        tr.map_or_else(|| "?".to_string(), |v| format!("{v:.2}")),
+    );
+    table.note(format!("verdict: {verdict}"));
+    obj(vec![
+        ("path", JsonValue::str(&path)),
+        ("found", JsonValue::Bool(true)),
+        ("comparable", JsonValue::Bool(comparable)),
+        ("core", obj(vec![("qt8", qt8_block), ("tr_g8_k12_s3", tr_block)])),
+        ("conv_forward_speedup", JsonValue::Num(conv_speedup)),
+        ("verdict", JsonValue::str(&verdict)),
+    ])
+}
+
 /// Run the experiment and write the JSON artifact.
 pub fn run(zoo: &Zoo) -> Vec<Table> {
     // Warm the checkpoint cache before anything is timed.
@@ -335,17 +612,19 @@ pub fn run(zoo: &Zoo) -> Vec<Table> {
     let hw = hw_section(zoo, &mut table);
     let serve = serve_section(zoo, &mut table);
     set_enabled(false);
+    let baseline = baseline_section(zoo, &core, &nn, &mut table);
 
     let json = JsonValue::object(vec![
         ("schema".to_string(), JsonValue::str(SCHEMA)),
-        ("pr".to_string(), JsonValue::UInt(4)),
+        ("pr".to_string(), JsonValue::UInt(5)),
         ("quick".to_string(), JsonValue::Bool(zoo.quick)),
         ("core".to_string(), core),
         ("nn".to_string(), nn),
         ("hw".to_string(), hw),
         ("serve".to_string(), serve),
+        ("baseline".to_string(), baseline),
     ]);
-    let path = std::env::var("TR_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
+    let path = std::env::var("TR_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR5.json".to_string());
     match std::fs::write(&path, json.to_pretty_string() + "\n") {
         Ok(()) => table.note(format!("artifact written to {path}")),
         Err(e) => table.note(format!("could not write {path}: {e}")),
@@ -374,21 +653,44 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("artifact written");
         for key in [
             "\"schema\": \"tr-bench/v1\"",
-            "\"pr\": 4",
+            "\"pr\": 5",
             "\"core\"",
             "\"qt8\"",
             "\"tr_g8_k12_s3\"",
+            "\"packed_wall_ms\"",
+            "\"packed_speedup\"",
             "\"terms_per_mac\"",
             "\"nn\"",
             "\"mlp_qt8\"",
             "\"mlp_tr_g8_k12_s3\"",
+            "\"conv_forward\"",
+            "\"arena_wall_ms\"",
             "\"layers\"",
             "\"hw\"",
             "\"functional\"",
             "\"serve\"",
             "\"p99_ms\"",
+            "\"baseline\"",
+            "\"verdict\"",
         ] {
             assert!(text.contains(key), "artifact missing {key}:\n{text}");
         }
+
+        // The PR4 artifact reported zeroed reveal counters in the TR row
+        // (the recorder was reset after the reveal pass ran); the counter
+        // window now covers operand preparation, so the TR row must show
+        // the scan and the QT row must legitimately show none.
+        let json = JsonValue::parse(&text).expect("artifact parses");
+        let reveal = |row: &str, key: &str| {
+            json.get("core")
+                .and_then(|c| c.get(row))
+                .and_then(|r| r.get("counters"))
+                .and_then(|c| c.get(key))
+                .and_then(JsonValue::as_u64)
+                .expect("counter present")
+        };
+        assert!(reveal("tr_g8_k12_s3", "reveal_groups") > 0, "TR reveal counters are dead");
+        assert!(reveal("tr_g8_k12_s3", "reveal_terms_kept") > 0, "TR reveal counters are dead");
+        assert_eq!(reveal("qt8", "reveal_groups"), 0, "QT row must not reveal");
     }
 }

@@ -62,8 +62,9 @@ pub fn corrupt_installed_weights(
         let row_base = idx << 24;
         let mut codes: Vec<i32> = Vec::with_capacity(tm.len());
         for r in 0..tm.rows() {
-            for (e, expr) in tm.row(r).iter().enumerate() {
-                let faulted = inj.corrupt_expr(expr, Operand::Weight, row_base + r as u64, e as u64);
+            for e in 0..tm.len() {
+                let expr = TermExpr::from_terms(tm.element_terms(r, e).collect());
+                let faulted = inj.corrupt_expr(&expr, Operand::Weight, row_base + r as u64, e as u64);
                 let mut code = faulted.value();
                 // Weight-buffer range guard: HESE terms of an 8-bit code
                 // use exponents 0..=7, so any clean subset sum (post
@@ -80,7 +81,8 @@ pub fn corrupt_installed_weights(
         inj.corrupt_dram_codes(&mut codes, idx << 32);
         let scale = params.scale;
         let data: Vec<f32> = codes.iter().map(|&c| c as f32 * scale).collect();
-        site.fq.qweight = Some(Tensor::from_vec(data, site.weight.value.shape().clone()));
+        site.fq.qweight =
+            Some(std::sync::Arc::new(Tensor::from_vec(data, site.weight.value.shape().clone())));
     });
     inj.report()
 }
@@ -115,7 +117,7 @@ pub fn sweep_model(
         let label = format!("g{g}/k{k}/s{s}");
         apply_precision(model, &Precision::Tr(cfg));
         let clean_acc = evaluate_accuracy(model, ds, rng);
-        let mut clean_weights: Vec<Tensor> = Vec::new();
+        let mut clean_weights: Vec<std::sync::Arc<Tensor>> = Vec::new();
         model.visit_quant_sites(&mut |site| {
             clean_weights.push(site.fq.qweight.clone().expect("TR installs qweight"));
         });

@@ -4,7 +4,10 @@ use crate::error::TrError;
 use tr_encoding::Encoding;
 
 /// The knobs of a Term Revealing deployment (§III-C, §III-E and Table I).
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// `Eq`/`Hash` hold because every field is an integer or an enum; the
+/// serve layer keys its per-rung encoded-weight cache on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TrConfig {
     /// Group size `g`: number of consecutive reduction-dimension values
     /// sharing one term budget (2–8 in the FPGA; up to 32 in Fig. 16).

@@ -7,6 +7,7 @@
 //! the hardware simulator and the paper-claims tests verify.
 
 use crate::error::TrError;
+use crate::packed::{off_usize, PackedTermMatrix};
 use crate::termmatrix::TermMatrix;
 use rayon::prelude::*;
 use tr_encoding::TermExpr;
@@ -73,6 +74,136 @@ pub fn try_term_matmul_i64(w: &TermMatrix, x: &TermMatrix) -> Result<Vec<i64>, T
         }
     });
     Ok(out)
+}
+
+/// Output-row tile of the blocked packed kernel: enough rows to amortize
+/// the per-task overhead of the thread pool without starving it.
+const ROW_TILE: usize = 4;
+/// Below this many MACs the matmul runs serially: the rayon shim spawns
+/// scoped threads per call (tens of microseconds), which would dominate
+/// the small matmuls the serve and bench quick paths issue.
+const PAR_MIN_MACS: u64 = 1 << 16;
+
+/// Term-pair dot product of elements `c0..c1` of packed rows `wr` / `xr`.
+///
+/// Walks the flat exponent/sign planes directly: a term pair contributes
+/// `±2^(e_w + e_x)` exactly as [`term_dot`] does, so the accumulated `i64`
+/// is bit-identical (integer addition is exactly associative).
+#[inline]
+fn packed_dot_range(
+    w: &PackedTermMatrix,
+    wr: usize,
+    x: &PackedTermMatrix,
+    xr: usize,
+    c0: usize,
+    c1: usize,
+) -> i64 {
+    let wo = &w.offsets()[wr * w.len()..];
+    let xo = &x.offsets()[xr * x.len()..];
+    let wexps = w.exps();
+    let xexps = x.exps();
+    let mut acc = 0i64;
+    let mut ws = off_usize(wo[c0]);
+    let mut xs = off_usize(xo[c0]);
+    for c in c0..c1 {
+        let we = off_usize(wo[c + 1]);
+        let xe = off_usize(xo[c + 1]);
+        for (dw, &wexp) in wexps[ws..we].iter().enumerate() {
+            // ±2^exp of the weight term; shifting it by the data exponent
+            // and conditionally negating reproduces `Term::mul().value()`.
+            let wv = if w.sign(ws + dw) { -1i64 } else { 1i64 } << wexp;
+            for (dx, &xexp) in xexps[xs..xe].iter().enumerate() {
+                let p = wv << xexp;
+                acc += if x.sign(xs + dx) { -p } else { p };
+            }
+        }
+        ws = we;
+        xs = xe;
+    }
+    acc
+}
+
+/// Dot product of packed row `wr` of `w` with packed row `xr` of `x` —
+/// the packed counterpart of [`term_dot`], used by the tMAC simulator.
+pub fn term_dot_packed(w: &PackedTermMatrix, wr: usize, x: &PackedTermMatrix, xr: usize) -> i64 {
+    debug_assert_eq!(w.len(), x.len());
+    packed_dot_range(w, wr, x, xr, 0, w.len())
+}
+
+/// `W (M,K) @ X (K,N)` over packed term matrices — the flat-plane twin of
+/// [`term_matmul_i64`]: bit-identical output, same observability (span
+/// `core.term_matmul`, `core.matmul.*` counters), no per-term pointer
+/// chasing.
+///
+/// The speed comes from distributivity: an element's term-pair sum
+/// `Σ_w Σ_x ±2^(e_w+e_x)` factors exactly into
+/// `(Σ_w ±2^(e_w)) · (Σ_x ±2^(e_x))` — the product of the codes the kept
+/// terms reconstruct. So the kernel makes one flat pass over each
+/// operand's exponent/sign planes to rebuild the signed codes (a shift
+/// and add per term), then runs a dense `i64` matmul over the contiguous
+/// code rows. Integer arithmetic is exact, so the result is bit-identical
+/// to enumerating every pair the way [`term_dot`] does — the enumeration
+/// cost `O(t_w · t_x)` per element drops to one multiply.
+///
+/// # Panics
+/// If the reduction dimensions differ. Use [`try_packed_term_matmul_i64`]
+/// to get a `Result` instead.
+pub fn packed_term_matmul_i64(w: &PackedTermMatrix, x: &PackedTermMatrix) -> Vec<i64> {
+    match try_packed_term_matmul_i64(w, x) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`packed_term_matmul_i64`].
+pub fn try_packed_term_matmul_i64(
+    w: &PackedTermMatrix,
+    x: &PackedTermMatrix,
+) -> Result<Vec<i64>, TrError> {
+    if w.len() != x.len() {
+        return Err(TrError::ShapeMismatch(format!(
+            "reduction dims differ: {} vs {}",
+            w.len(),
+            x.len()
+        )));
+    }
+    let (m, n, k) = (w.rows(), x.rows(), w.len());
+    let _span = tr_obs::span("core.term_matmul");
+    MATMUL_CALLS.inc();
+    MATMUL_ROWS.add(as_u64(m));
+    MATMUL_CELLS.add(as_u64(m).saturating_mul(as_u64(n)));
+    let mut out = vec![0i64; m * n];
+    if m * n == 0 || k == 0 {
+        return Ok(out);
+    }
+    // One flat pass per operand: ±2^exp shift-accumulated into the code
+    // plane each dense row below reads contiguously.
+    let wcodes = w.reconstruct_codes();
+    let xcodes = x.reconstruct_codes();
+    let macs = as_u64(m).saturating_mul(as_u64(n)).saturating_mul(as_u64(k));
+    if macs <= PAR_MIN_MACS {
+        for (i, orow) in out.chunks_mut(n).enumerate() {
+            code_row(&wcodes, &xcodes, i, orow, k);
+        }
+    } else {
+        out.par_chunks_mut(ROW_TILE * n).enumerate().for_each(|(t, block)| {
+            for (r, orow) in block.chunks_mut(n).enumerate() {
+                code_row(&wcodes, &xcodes, t * ROW_TILE + r, orow, k);
+            }
+        });
+    }
+    Ok(out)
+}
+
+/// One output row of the dense code-plane matmul: both operands are
+/// walked as contiguous `k`-length rows, so the inner loop vectorizes.
+#[inline]
+fn code_row(wcodes: &[i64], xcodes: &[i64], i: usize, orow: &mut [i64], k: usize) {
+    let wrow = &wcodes[i * k..(i + 1) * k];
+    for (j, o) in orow.iter_mut().enumerate() {
+        let xrow = &xcodes[j * k..(j + 1) * k];
+        *o = wrow.iter().zip(xrow).map(|(&a, &b)| a * b).sum();
+    }
 }
 
 /// Like [`term_matmul_i64`] but scales the integer accumulators back to
@@ -181,5 +312,61 @@ mod tests {
         let x = TermMatrix::from_vector(&[5], Encoding::Binary);
         let out = term_matmul(&w, &x, 0.5);
         assert_eq!(out, vec![7.5]);
+    }
+
+    #[test]
+    fn packed_dot_matches_legacy_dot() {
+        let qw = quantized(1, 48, 20);
+        let qx = quantized(48, 1, 21);
+        for enc in Encoding::ALL {
+            let w = TermMatrix::from_weights(&qw, enc);
+            let x = TermMatrix::from_data_transposed(&qx, enc);
+            let (pw, px) = (w.to_packed(), x.to_packed());
+            assert_eq!(
+                term_dot_packed(&pw, 0, &px, 0),
+                term_dot(w.row(0), x.row(0)),
+                "{enc}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_matmul_matches_legacy_serial_path() {
+        // 6 * 5 * 32 MACs is far under PAR_MIN_MACS.
+        let qw = quantized(6, 32, 22);
+        let qx = quantized(32, 5, 23);
+        for enc in Encoding::ALL {
+            let w = TermMatrix::from_weights(&qw, enc);
+            let x = TermMatrix::from_data_transposed(&qx, enc);
+            let got = packed_term_matmul_i64(&w.to_packed(), &x.to_packed());
+            assert_eq!(got, term_matmul_i64(&w, &x), "{enc}");
+        }
+    }
+
+    #[test]
+    fn packed_matmul_matches_legacy_parallel_path() {
+        // 24 * 24 * 300 MACs crosses PAR_MIN_MACS and exercises partial
+        // row tiles plus more than one K_TILE.
+        let qw = quantized(24, 300, 24);
+        let qx = quantized(300, 24, 25);
+        let cfg = TrConfig::new(8, 12);
+        let w = TermMatrix::from_weights(&qw, Encoding::Hese).reveal(&cfg);
+        let x = TermMatrix::from_data_transposed(&qx, Encoding::Hese).cap_terms(3);
+        let got = packed_term_matmul_i64(&w.to_packed(), &x.to_packed());
+        assert_eq!(got, term_matmul_i64(&w, &x));
+    }
+
+    #[test]
+    fn packed_matmul_rejects_mismatched_reduction_dims() {
+        let w = TermMatrix::from_vector(&[1, 2], Encoding::Binary).to_packed();
+        let x = TermMatrix::from_vector(&[1, 2, 3], Encoding::Binary).to_packed();
+        assert!(try_packed_term_matmul_i64(&w, &x).is_err());
+    }
+
+    #[test]
+    fn packed_matmul_handles_degenerate_shapes() {
+        let empty = TermMatrix::from_vector(&[], Encoding::Binary).to_packed();
+        let out = packed_term_matmul_i64(&empty, &empty);
+        assert_eq!(out, vec![0i64]); // 1x0 @ 0x1 -> one empty dot
     }
 }

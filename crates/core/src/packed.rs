@@ -1,0 +1,506 @@
+//! Packed term-plane operand matrices.
+//!
+//! [`PackedTermMatrix`] is the CSR-style structure-of-arrays twin of
+//! [`TermMatrix`]: instead of one heap-allocated `TermExpr` per element,
+//! all terms of the matrix live in three flat planes —
+//!
+//! * `offsets` — one `u32` per element (plus a trailing sentinel) giving
+//!   each element's term range, exactly a CSR row-pointer array;
+//! * `exps`    — the term exponents, one `u8` per term;
+//! * `signs`   — a bitset, one bit per term (set = negative).
+//!
+//! This is the software analogue of the exponent/sign register arrays of
+//! the tMAC (§V-B): the hardware never chases a pointer per term, and with
+//! this layout neither do the kernels. The `u8` exponent plane is sound
+//! because the tr-analysis datapath proof bounds every exponent a valid
+//! Table-I configuration can produce at 14 (two 7-bit operand exponents
+//! added), far inside `u8`.
+//!
+//! Within an element, terms are stored in descending exponent order (the
+//! `TermExpr` invariant), so per-element truncation is "keep the first
+//! `s`" and the receding-water scan can drop a suffix without reordering.
+
+use crate::config::TrConfig;
+use crate::error::TrError;
+use crate::reveal::observe_group;
+use crate::termmatrix::TermMatrix;
+use tr_encoding::{Encoding, Term, TermExpr};
+use tr_quant::QTensor;
+
+/// Widen a CSR offset to an index. Lossless on every supported target
+/// (`usize` is at least 32 bits on all tiers this crate builds for).
+#[allow(clippy::cast_possible_truncation)]
+#[inline]
+pub(crate) fn off_usize(v: u32) -> usize {
+    v as usize
+}
+
+/// A term-decomposed matrix stored as flat offset/exponent/sign planes.
+///
+/// Semantically identical to [`TermMatrix`] — `rows` dot-product vectors
+/// of `len` elements each — but contiguous in memory, so the hot kernels
+/// (`packed_term_matmul_i64`, the histogram reveal) stream it without
+/// per-element indirection or allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedTermMatrix {
+    rows: usize,
+    len: usize,
+    encoding: Encoding,
+    /// `rows * len + 1` entries; element `(r, c)`'s terms occupy
+    /// `exps[offsets[r*len+c] .. offsets[r*len+c+1]]`.
+    offsets: Vec<u32>,
+    exps: Vec<u8>,
+    /// One bit per term, LSB-first within each word; set = negative.
+    signs: Vec<u64>,
+}
+
+impl PackedTermMatrix {
+    fn with_capacity(rows: usize, len: usize, encoding: Encoding, term_hint: usize) -> Self {
+        let mut offsets = Vec::with_capacity(rows * len + 1);
+        offsets.push(0);
+        PackedTermMatrix {
+            rows,
+            len,
+            encoding,
+            offsets,
+            exps: Vec::with_capacity(term_hint),
+            signs: Vec::with_capacity(term_hint / 64 + 1),
+        }
+    }
+
+    #[inline]
+    fn push_term(&mut self, exp: u8, neg: bool) {
+        let i = self.exps.len();
+        if i % 64 == 0 {
+            self.signs.push(0);
+        }
+        if neg {
+            self.signs[i / 64] |= 1u64 << (i % 64);
+        }
+        self.exps.push(exp);
+    }
+
+    #[inline]
+    fn close_element(&mut self) {
+        let end = u32::try_from(self.exps.len()).expect("term count fits u32");
+        self.offsets.push(end);
+    }
+
+    fn push_expr(&mut self, e: &TermExpr) {
+        for t in e.iter() {
+            self.push_term(t.exp, t.neg);
+        }
+        self.close_element();
+    }
+
+    /// Decompose a weight matrix `(M, K)` in one pass: row `m` is the
+    /// weight vector of output `m`, grouped along `K`.
+    pub fn from_weights(q: &QTensor, encoding: Encoding) -> PackedTermMatrix {
+        let (rows, len) = q.as_matrix();
+        let mut out = Self::with_capacity(rows, len, encoding, rows * len * 2);
+        for &v in q.values() {
+            out.push_expr(&encoding.terms_of(v));
+        }
+        out
+    }
+
+    /// Decompose a data matrix `(K, N)` *transposed*: row `n` of the
+    /// result is data column `n`, aligning with weight rows in dot
+    /// products (same layout as [`TermMatrix::from_data_transposed`]).
+    pub fn from_data_transposed(q: &QTensor, encoding: Encoding) -> PackedTermMatrix {
+        let (k, n) = q.as_matrix();
+        let vals = q.values();
+        let mut out = Self::with_capacity(n, k, encoding, k * n * 2);
+        for col in 0..n {
+            for row in 0..k {
+                out.push_expr(&encoding.terms_of(vals[row * n + col]));
+            }
+        }
+        out
+    }
+
+    /// Decompose a flat vector as a single row.
+    pub fn from_vector(values: &[i32], encoding: Encoding) -> PackedTermMatrix {
+        let mut out = Self::with_capacity(1, values.len(), encoding, values.len() * 2);
+        for &v in values {
+            out.push_expr(&encoding.terms_of(v));
+        }
+        out
+    }
+
+    /// Number of dot-product vectors.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Length of each vector (the reduction dimension).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the matrix holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.rows * self.len == 0
+    }
+
+    /// The encoding the elements were decomposed with.
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
+
+    /// The CSR offset plane (`rows * len + 1` entries).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The flat exponent plane.
+    pub fn exps(&self) -> &[u8] {
+        &self.exps
+    }
+
+    /// Sign of term `i` in the flat planes (true = negative).
+    #[inline]
+    pub fn sign(&self, i: usize) -> bool {
+        (self.signs[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Term `i` of the flat planes.
+    #[inline]
+    pub fn term(&self, i: usize) -> Term {
+        if self.sign(i) {
+            Term::neg(self.exps[i])
+        } else {
+            Term::pos(self.exps[i])
+        }
+    }
+
+    /// The `[start, end)` term range of element `(r, c)`.
+    #[inline]
+    pub fn element_bounds(&self, r: usize, c: usize) -> (usize, usize) {
+        let i = r * self.len + c;
+        (off_usize(self.offsets[i]), off_usize(self.offsets[i + 1]))
+    }
+
+    /// Terms of element `(r, c)`, largest exponent first.
+    pub fn element_terms(&self, r: usize, c: usize) -> impl Iterator<Item = Term> + '_ {
+        let (t0, t1) = self.element_bounds(r, c);
+        (t0..t1).map(move |i| self.term(i))
+    }
+
+    /// Term count of element `(r, c)`.
+    #[inline]
+    pub fn element_len(&self, r: usize, c: usize) -> usize {
+        let (t0, t1) = self.element_bounds(r, c);
+        t1 - t0
+    }
+
+    /// Total terms across the matrix.
+    pub fn total_terms(&self) -> usize {
+        self.exps.len()
+    }
+
+    /// Mean terms per element.
+    pub fn mean_terms(&self) -> f64 {
+        let elems = self.rows * self.len;
+        if elems == 0 {
+            0.0
+        } else {
+            self.total_terms() as f64 / elems as f64
+        }
+    }
+
+    /// Largest per-element term count.
+    pub fn max_value_terms(&self) -> usize {
+        self.offsets.windows(2).map(|w| off_usize(w[1]) - off_usize(w[0])).max().unwrap_or(0)
+    }
+
+    /// Largest per-group term count under grouping `g`. Groups chunk each
+    /// row independently, as in [`TermMatrix::max_group_terms_for`].
+    pub fn max_group_terms_for(&self, g: usize) -> usize {
+        assert!(g > 0);
+        let mut max = 0;
+        for r in 0..self.rows {
+            let mut c = 0;
+            while c < self.len {
+                let c1 = (c + g).min(self.len);
+                let (t0, _) = self.element_bounds(r, c);
+                let (_, t1) = self.element_bounds(r, c1 - 1);
+                max = max.max(t1 - t0);
+                c = c1;
+            }
+        }
+        max
+    }
+
+    /// Reconstruct the integer code of element `(r, c)`.
+    pub fn value(&self, r: usize, c: usize) -> i64 {
+        self.element_terms(r, c).map(|t| t.value()).sum()
+    }
+
+    /// Reconstruct the integer codes the kept terms represent (row-major).
+    pub fn reconstruct_codes(&self) -> Vec<i64> {
+        let mut out = Vec::with_capacity(self.rows * self.len);
+        for r in 0..self.rows {
+            for c in 0..self.len {
+                out.push(self.value(r, c));
+            }
+        }
+        out
+    }
+
+    /// Apply Term Revealing: receding water over every `g`-sized group of
+    /// every row with budget `k`, scanning a fixed exponent histogram
+    /// instead of materializing per-group `Vec<Vec<Term>>`. Bit-identical
+    /// to [`TermMatrix::reveal`] with the `RowMajor` tiebreak, and feeds
+    /// the same `core.reveal.*` counters. Consumes and returns the matrix.
+    ///
+    /// # Panics
+    /// If `cfg` is invalid. Use [`PackedTermMatrix::try_reveal`] to get a
+    /// `Result` instead.
+    pub fn reveal(self, cfg: &TrConfig) -> PackedTermMatrix {
+        match self.try_reveal(cfg) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`PackedTermMatrix::reveal`].
+    pub fn try_reveal(self, cfg: &TrConfig) -> Result<PackedTermMatrix, TrError> {
+        cfg.validate()?;
+        let (g, budget) = (cfg.group_size, cfg.group_budget);
+        let mut out =
+            Self::with_capacity(self.rows, self.len, self.encoding, self.exps.len());
+        // Exponent histogram for the pruning slow path. `u8` exponents
+        // bound the index; the array lives outside the group loop and is
+        // cleared incrementally (only the buckets a group touched), so the
+        // slow path costs O(terms in group + exponent span), allocation
+        // free.
+        let mut counts = [0u32; 256];
+        for r in 0..self.rows {
+            let mut c0 = 0;
+            while c0 < self.len {
+                let c1 = (c0 + g).min(self.len);
+                let (t0, _) = self.element_bounds(r, c0);
+                let (_, t1) = self.element_bounds(r, c1 - 1);
+                let total = t1 - t0;
+                if total <= budget {
+                    // Fast path: the group fits its budget (the common
+                    // case §III-C relies on) — copy the elements through.
+                    for c in c0..c1 {
+                        let (e0, e1) = self.element_bounds(r, c);
+                        for i in e0..e1 {
+                            out.push_term(self.exps[i], self.sign(i));
+                        }
+                        out.close_element();
+                    }
+                    observe_group(total, 0);
+                    c0 = c1;
+                    continue;
+                }
+                // Slow path: find the waterline from the exponent counts.
+                // Each value holds at most one term per exponent, so
+                // "first (budget - cum) terms at the waterline in scan
+                // order" is exactly "the waterline terms of the first
+                // values in index order" — the legacy RowMajor scan.
+                let mut max_exp = 0u8;
+                for &e in &self.exps[t0..t1] {
+                    counts[usize::from(e)] += 1;
+                    max_exp = max_exp.max(e);
+                }
+                let mut cum = 0u32;
+                let mut wl = 0u8;
+                let mut take_at_wl = 0u32;
+                for e in (0..=max_exp).rev() {
+                    let n = counts[usize::from(e)];
+                    let b = u32::try_from(budget).unwrap_or(u32::MAX);
+                    if cum + n >= b {
+                        wl = e;
+                        take_at_wl = b - cum;
+                        break;
+                    }
+                    cum += n;
+                }
+                let mut taken = 0u32;
+                for c in c0..c1 {
+                    let (e0, e1) = self.element_bounds(r, c);
+                    for i in e0..e1 {
+                        let e = self.exps[i];
+                        if e > wl {
+                            out.push_term(e, self.sign(i));
+                        } else if e == wl && taken < take_at_wl {
+                            out.push_term(e, self.sign(i));
+                            taken += 1;
+                        }
+                    }
+                    out.close_element();
+                }
+                for &e in &self.exps[t0..t1] {
+                    counts[usize::from(e)] = 0;
+                }
+                observe_group(budget, total - budget);
+                c0 = c1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Cap every element to its top `s` terms (terms are stored largest
+    /// exponent first, so this keeps a prefix). Consumes and returns the
+    /// matrix. Bit-identical to [`TermMatrix::cap_terms`].
+    pub fn cap_terms(self, s: usize) -> PackedTermMatrix {
+        let mut out = Self::with_capacity(self.rows, self.len, self.encoding, self.exps.len());
+        for r in 0..self.rows {
+            for c in 0..self.len {
+                let (t0, t1) = self.element_bounds(r, c);
+                for i in t0..(t0 + s.min(t1 - t0)) {
+                    out.push_term(self.exps[i], self.sign(i));
+                }
+                out.close_element();
+            }
+        }
+        out
+    }
+
+    /// Expand back to the Vec-of-Vec representation (tests, compat).
+    pub fn to_term_matrix(&self) -> TermMatrix {
+        TermMatrix::from(self)
+    }
+}
+
+impl From<&TermMatrix> for PackedTermMatrix {
+    fn from(m: &TermMatrix) -> PackedTermMatrix {
+        let mut out =
+            Self::with_capacity(m.rows(), m.len(), m.encoding(), m.total_terms());
+        for e in m.exprs() {
+            out.push_expr(e);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_quant::QuantParams;
+    use tr_tensor::{Rng, Shape, Tensor};
+
+    fn qt(values: Vec<i32>, rows: usize, cols: usize) -> QTensor {
+        QTensor::from_codes(values, QuantParams { scale: 1.0, bits: 8 }, Shape::d2(rows, cols))
+    }
+
+    fn random_qt(rows: usize, cols: usize, seed: u64) -> QTensor {
+        let mut rng = Rng::seed_from_u64(seed);
+        let t = Tensor::randn(Shape::d2(rows, cols), 0.25, &mut rng);
+        tr_quant::quantize(&t, tr_quant::calibrate_max_abs(&t, 8))
+    }
+
+    #[test]
+    fn round_trips_through_term_matrix() {
+        let q = random_qt(5, 17, 1);
+        for enc in Encoding::ALL {
+            let legacy = TermMatrix::from_weights(&q, enc);
+            let packed = PackedTermMatrix::from(&legacy);
+            assert_eq!(packed.rows(), legacy.rows());
+            assert_eq!(packed.len(), legacy.len());
+            assert_eq!(packed.total_terms(), legacy.total_terms());
+            assert_eq!(packed.to_term_matrix(), legacy, "{enc} round trip");
+        }
+    }
+
+    #[test]
+    fn from_weights_matches_legacy_constructor() {
+        let q = random_qt(4, 9, 2);
+        for enc in Encoding::ALL {
+            let legacy = PackedTermMatrix::from(&TermMatrix::from_weights(&q, enc));
+            let direct = PackedTermMatrix::from_weights(&q, enc);
+            assert_eq!(direct, legacy, "{enc}");
+        }
+    }
+
+    #[test]
+    fn from_data_transposed_matches_legacy_constructor() {
+        let q = random_qt(9, 4, 3);
+        for enc in Encoding::ALL {
+            let legacy = PackedTermMatrix::from(&TermMatrix::from_data_transposed(&q, enc));
+            let direct = PackedTermMatrix::from_data_transposed(&q, enc);
+            assert_eq!(direct, legacy, "{enc}");
+        }
+    }
+
+    #[test]
+    fn reveal_matches_legacy_bit_for_bit() {
+        let q = random_qt(6, 64, 4);
+        for enc in Encoding::ALL {
+            for cfg in [
+                TrConfig::new(8, 12),
+                TrConfig::new(8, 4),
+                TrConfig::new(2, 3),
+                TrConfig::new(5, 7),
+                TrConfig::new(64, 24),
+            ] {
+                let legacy = TermMatrix::from_weights(&q, enc).reveal(&cfg);
+                let packed = PackedTermMatrix::from_weights(&q, enc).reveal(&cfg);
+                assert_eq!(
+                    packed.to_term_matrix(),
+                    legacy,
+                    "{enc} g={} k={}",
+                    cfg.group_size,
+                    cfg.group_budget
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cap_terms_matches_legacy() {
+        let q = random_qt(3, 11, 6);
+        for s in 1..4 {
+            let legacy = TermMatrix::from_weights(&q, Encoding::Hese).cap_terms(s);
+            let packed = PackedTermMatrix::from_weights(&q, Encoding::Hese).cap_terms(s);
+            assert_eq!(packed.to_term_matrix(), legacy, "s={s}");
+        }
+    }
+
+    #[test]
+    fn signs_and_codes_survive_packing() {
+        let q = qt(vec![87, -87, 31, -1, 0, 127], 2, 3);
+        let packed = PackedTermMatrix::from_weights(&q, Encoding::Hese);
+        assert_eq!(packed.reconstruct_codes(), vec![87, -87, 31, -1, 0, 127]);
+        assert_eq!(packed.value(0, 1), -87);
+        // More than 64 terms exercises the second bitset word.
+        let many = qt(vec![-127; 32], 1, 32);
+        let p = PackedTermMatrix::from_weights(&many, Encoding::Binary);
+        assert!(p.total_terms() > 64);
+        assert!((0..p.total_terms()).all(|i| p.sign(i)));
+        assert_eq!(p.reconstruct_codes(), vec![-127; 32]);
+    }
+
+    #[test]
+    fn group_stats_match_legacy() {
+        let q = random_qt(4, 30, 7);
+        let legacy = TermMatrix::from_weights(&q, Encoding::Binary);
+        let packed = PackedTermMatrix::from_weights(&q, Encoding::Binary);
+        assert_eq!(packed.mean_terms(), legacy.mean_terms());
+        assert_eq!(packed.max_value_terms(), legacy.max_value_terms());
+        for g in [1, 3, 8, 30, 64] {
+            assert_eq!(packed.max_group_terms_for(g), legacy.max_group_terms_for(g), "g={g}");
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_well_formed() {
+        let p = PackedTermMatrix::from_vector(&[], Encoding::Binary);
+        assert!(p.is_empty());
+        assert_eq!(p.total_terms(), 0);
+        assert_eq!(p.mean_terms(), 0.0);
+        assert_eq!(p.max_value_terms(), 0);
+        assert!(p.reconstruct_codes().is_empty());
+    }
+
+    #[test]
+    fn try_reveal_rejects_invalid_config() {
+        let p = PackedTermMatrix::from_vector(&[1, 2, 3], Encoding::Binary);
+        assert!(p.clone().try_reveal(&TrConfig::new(0, 4)).is_err());
+        assert!(p.try_reveal(&TrConfig::new(4, 0)).is_err());
+    }
+}

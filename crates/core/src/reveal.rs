@@ -22,12 +22,19 @@ static REVEAL_TERMS_KEPT: Counter = Counter::new("core.reveal.terms_kept");
 static REVEAL_TERMS_PRUNED: Counter = Counter::new("core.reveal.terms_pruned");
 
 fn observe_outcome(out: &RevealOutcome) {
+    observe_group(out.kept_terms, out.pruned_terms);
+}
+
+/// Record one group's reveal outcome on the shared counters. The packed
+/// reveal (`crate::packed`) goes through the same funnel so both paths are
+/// indistinguishable to the observability layer.
+pub(crate) fn observe_group(kept: usize, pruned: usize) {
     REVEAL_GROUPS.inc();
-    if out.pruned_terms > 0 {
+    if pruned > 0 {
         REVEAL_GROUPS_PRUNED.inc();
     }
-    REVEAL_TERMS_KEPT.add(as_u64(out.kept_terms));
-    REVEAL_TERMS_PRUNED.add(as_u64(out.pruned_terms));
+    REVEAL_TERMS_KEPT.add(as_u64(kept));
+    REVEAL_TERMS_PRUNED.add(as_u64(pruned));
 }
 
 /// What the receding-water pass did to one group.

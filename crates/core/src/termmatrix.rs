@@ -155,6 +155,23 @@ impl TermMatrix {
     pub fn reconstruct_codes(&self) -> Vec<i64> {
         self.exprs.iter().map(TermExpr::value).collect()
     }
+
+    /// Pack into the flat-plane representation the hot kernels consume.
+    pub fn to_packed(&self) -> crate::packed::PackedTermMatrix {
+        crate::packed::PackedTermMatrix::from(self)
+    }
+}
+
+impl From<&crate::packed::PackedTermMatrix> for TermMatrix {
+    fn from(p: &crate::packed::PackedTermMatrix) -> TermMatrix {
+        let mut exprs = Vec::with_capacity(p.rows() * p.len());
+        for r in 0..p.rows() {
+            for c in 0..p.len() {
+                exprs.push(TermExpr::from_terms(p.element_terms(r, c).collect()));
+            }
+        }
+        TermMatrix { exprs, rows: p.rows(), len: p.len(), encoding: p.encoding() }
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //! Fig. 15, and Fig. 5 histograms the per-group counts that motivate the
 //! tight TR bound.
 
+use crate::packed::{off_usize, PackedTermMatrix};
 use crate::termmatrix::TermMatrix;
 use rayon::prelude::*;
 use tr_encoding::TermExpr;
@@ -35,6 +36,36 @@ pub fn term_pairs_total(w: &TermMatrix, x: &TermMatrix) -> u64 {
             (0..x.rows()).map(|n| pairs_for_vectors(wrow, x.row(n))).sum::<u64>()
         })
         .sum();
+    PAIRS_COUNTED.add(total);
+    total
+}
+
+/// Per-element term counts of one packed operand, summed over rows:
+/// `out[c] = Σ_r terms(m[r, c])`.
+fn column_term_sums(m: &PackedTermMatrix) -> Vec<u64> {
+    let mut sums = vec![0u64; m.len()];
+    let offsets = m.offsets();
+    for r in 0..m.rows() {
+        let base = r * m.len();
+        for (c, s) in sums.iter_mut().enumerate() {
+            let t = off_usize(offsets[base + c + 1]) - off_usize(offsets[base + c]);
+            *s += tr_obs::as_u64(t);
+        }
+    }
+    sums
+}
+
+/// [`term_pairs_total`] over packed operands. The double sum over (row,
+/// column) pairs is separable — `Σ_{m,n,c} t_w[m,c]·t_x[n,c] =
+/// Σ_c (Σ_m t_w[m,c])·(Σ_n t_x[n,c])` — so this runs in `O((M+N)·K)`
+/// instead of `O(M·N·K)`, producing the identical count and feeding the
+/// same counter and span.
+pub fn term_pairs_total_packed(w: &PackedTermMatrix, x: &PackedTermMatrix) -> u64 {
+    assert_eq!(w.len(), x.len(), "reduction dims differ: {} vs {}", w.len(), x.len());
+    let _span = tr_obs::span("core.term_pairs_total");
+    let wsums = column_term_sums(w);
+    let xsums = column_term_sums(x);
+    let total: u64 = wsums.iter().zip(&xsums).map(|(&a, &b)| a * b).sum();
     PAIRS_COUNTED.add(total);
     total
 }
@@ -171,6 +202,27 @@ mod tests {
         assert_eq!(stats.histogram.total(), 2 * 3 * 4);
         assert!(stats.p99 <= stats.max);
         assert!(straggler_factor(&stats) >= 1.0);
+    }
+
+    #[test]
+    fn packed_total_matches_legacy_total() {
+        let qw = quantized(7, 40, 8);
+        let qx = quantized(40, 5, 9);
+        for enc in Encoding::ALL {
+            let w = TermMatrix::from_weights(&qw, enc);
+            let x = TermMatrix::from_data_transposed(&qx, enc);
+            let legacy = term_pairs_total(&w, &x);
+            let packed = term_pairs_total_packed(&w.to_packed(), &x.to_packed());
+            assert_eq!(packed, legacy, "{enc}");
+        }
+        // And after TR transforms on both sides.
+        let cfg = TrConfig::new(8, 12);
+        let w = TermMatrix::from_weights(&qw, Encoding::Hese).reveal(&cfg);
+        let x = TermMatrix::from_data_transposed(&qx, Encoding::Hese).cap_terms(3);
+        assert_eq!(
+            term_pairs_total_packed(&w.to_packed(), &x.to_packed()),
+            term_pairs_total(&w, &x)
+        );
     }
 
     #[test]

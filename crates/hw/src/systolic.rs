@@ -18,7 +18,7 @@ use crate::fault::{FaultInjector, Operand};
 use crate::memory::MemorySubsystem;
 use crate::registers::{ControlRegisters, HwMode};
 use crate::tmac::Tmac;
-use tr_core::TrError;
+use tr_core::{PackedTermMatrix, TrError};
 use tr_encoding::TermExpr;
 use tr_obs::{Counter, Histogram};
 
@@ -289,6 +289,57 @@ impl SystolicArray {
         (out, synchronized_cycles)
     }
 
+    /// Functional execution over packed operands — the flat-plane twin of
+    /// [`SystolicArray::execute`]: the same tile/beat walk, the same span
+    /// and instruments, bit-identical outputs and cycle counts, but cells
+    /// stream the packed exponent/sign planes instead of chasing
+    /// `TermExpr` pointers.
+    ///
+    /// # Panics
+    /// If either operand is empty or the reduction dimensions differ.
+    pub fn execute_packed(
+        &self,
+        weights: &PackedTermMatrix,
+        data: &PackedTermMatrix,
+        g: usize,
+    ) -> (Vec<i64>, u64) {
+        let _span = tr_obs::span("hw.systolic.execute");
+        let m = weights.rows();
+        let n = data.rows();
+        assert!(m > 0 && n > 0, "empty operands");
+        let k = weights.len();
+        assert_eq!(k, data.len(), "reduction dims differ");
+        let mut out = vec![0i64; m * n];
+        let mut synchronized_cycles = 0u64;
+        for col_block in (0..n).step_by(self.cols.max(1)) {
+            let col_end = (col_block + self.cols).min(n);
+            for row_block in (0..m).step_by(self.rows.max(1)) {
+                let row_end = (row_block + self.rows).min(m);
+                let mut tile_cycles = 0u64;
+                let mut tile_beats = 0u64;
+                for group_start in (0..k).step_by(g) {
+                    let group_end = (group_start + g).min(k);
+                    let mut beat_max = 0u64;
+                    for i in row_block..row_end {
+                        for j in col_block..col_end {
+                            let mut cell = Tmac::new();
+                            let report = cell
+                                .process_group_packed(weights, i, data, j, group_start, group_end);
+                            out[i * n + j] += cell.value();
+                            beat_max = beat_max.max(report.cycles);
+                        }
+                    }
+                    tile_cycles += beat_max;
+                    tile_beats += 1;
+                }
+                synchronized_cycles += tile_cycles;
+                TILE_CYCLES.record(tile_cycles);
+                EXEC_BEATS.add(tile_beats);
+            }
+        }
+        (out, synchronized_cycles)
+    }
+
     /// Functional execution under a fault campaign: like
     /// [`SystolicArray::execute`], but operand terms are corrupted by the
     /// injector's deterministic fault streams, tMAC cells may be stuck at
@@ -425,6 +476,23 @@ mod tests {
         let (got, cycles) = array.execute(&term_rows(&wm), &term_rows(&xm), 8);
         assert_eq!(got, expect);
         assert!(cycles > 0);
+    }
+
+    #[test]
+    fn packed_execution_is_bit_identical_to_legacy() {
+        let mut rng = Rng::seed_from_u64(8);
+        let w = Tensor::randn(Shape::d2(7, 40), 0.3, &mut rng);
+        let x = Tensor::randn(Shape::d2(40, 5), 0.3, &mut rng);
+        let qw = quantize(&w, calibrate_max_abs(&w, 8));
+        let qx = quantize(&x, calibrate_max_abs(&x, 8));
+        let cfg = TrConfig::new(8, 12).with_data_terms(3);
+        let wm = TermMatrix::from_weights(&qw, Encoding::Hese).reveal(&cfg);
+        let xm = TermMatrix::from_data_transposed(&qx, Encoding::Hese).cap_terms(3);
+        let array = SystolicArray { rows: 4, cols: 4 };
+        let (legacy, legacy_cycles) = array.execute(&term_rows(&wm), &term_rows(&xm), 8);
+        let (packed, packed_cycles) = array.execute_packed(&wm.to_packed(), &xm.to_packed(), 8);
+        assert_eq!(packed, legacy);
+        assert_eq!(packed_cycles, legacy_cycles);
     }
 
     #[test]

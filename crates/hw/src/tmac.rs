@@ -9,6 +9,7 @@
 
 use crate::coeff::CoefficientVector;
 use crate::fault::{accumulate_mitigated, FaultInjector};
+use tr_core::PackedTermMatrix;
 use tr_encoding::TermExpr;
 
 /// One group's processing outcome.
@@ -68,6 +69,36 @@ impl Tmac {
             for wt in w.iter() {
                 for xt in x.iter() {
                     let product = wt.mul(*xt);
+                    self.acc.add_term(product.exp, product.neg);
+                    cycles += 1;
+                }
+            }
+        }
+        self.total_cycles += cycles;
+        TmacGroupReport { cycles, exponent_adds: cycles }
+    }
+
+    /// Process the group spanning elements `c0..c1` of packed row `wr`
+    /// against the aligned range of packed row `xr` — the flat-plane
+    /// counterpart of [`Tmac::process_group`]: identical accumulator
+    /// updates in identical order, without materializing `TermExpr`s.
+    ///
+    /// # Panics
+    /// If the element range is out of bounds for either operand.
+    pub fn process_group_packed(
+        &mut self,
+        weights: &PackedTermMatrix,
+        wr: usize,
+        data: &PackedTermMatrix,
+        xr: usize,
+        c0: usize,
+        c1: usize,
+    ) -> TmacGroupReport {
+        let mut cycles = 0u64;
+        for c in c0..c1 {
+            for wt in weights.element_terms(wr, c) {
+                for xt in data.element_terms(xr, c) {
+                    let product = wt.mul(xt);
                     self.acc.add_term(product.exp, product.neg);
                     cycles += 1;
                 }
@@ -180,6 +211,29 @@ mod tests {
             let mut tmac = Tmac::new();
             let report = tmac.process_group(&revealed, &xe);
             assert!(report.cycles <= (cfg.group_budget * s) as u64, "cycles {}", report.cycles);
+        }
+    }
+
+    #[test]
+    fn packed_group_matches_legacy_group() {
+        use tr_core::TermMatrix;
+        let mut rng = Rng::seed_from_u64(11);
+        for _ in 0..20 {
+            let w: Vec<i32> =
+                (0..8).map(|_| (rng.normal() * 40.0).clamp(-127.0, 127.0) as i32).collect();
+            let x: Vec<i32> =
+                (0..8).map(|_| (rng.normal().abs() * 40.0).min(127.0) as i32).collect();
+            let we = exprs(&w, Encoding::Hese);
+            let xe = exprs(&x, Encoding::Hese);
+            let mut legacy = Tmac::new();
+            let r1 = legacy.process_group(&we, &xe);
+            let pw = TermMatrix::from_vector(&w, Encoding::Hese).to_packed();
+            let px = TermMatrix::from_vector(&x, Encoding::Hese).to_packed();
+            let mut packed = Tmac::new();
+            let r2 = packed.process_group_packed(&pw, 0, &px, 0, 0, 8);
+            assert_eq!(r1, r2);
+            assert_eq!(legacy.accumulator(), packed.accumulator());
+            assert_eq!(legacy.value(), packed.value());
         }
     }
 

@@ -11,7 +11,7 @@
 //!    term-pair-multiplication counts of Figs. 15–17.
 
 use crate::data::Dataset;
-use crate::fake_quant::{PairCounts, Precision};
+use crate::fake_quant::{prepare_weights, PairCounts, Precision, PreparedWeights};
 use crate::layer::{ForwardCtx, Layer};
 use crate::lstm::LstmLm;
 use crate::train::eval_accuracy_on;
@@ -43,6 +43,46 @@ pub fn apply_precision(model: &mut dyn Layer, precision: &Precision) {
             site.fq.act_params = None;
         }
     });
+}
+
+/// Build the per-site weight transforms for `precision` without touching
+/// the model: one [`PreparedWeights`] per quantization site, in visit
+/// order. This is the expensive half of [`apply_precision`]; pair it
+/// with [`apply_precision_prepared`] to actually flip the model.
+pub fn prepare_model_precision(
+    model: &mut dyn Layer,
+    precision: &Precision,
+) -> Vec<PreparedWeights> {
+    let mut prepared = Vec::new();
+    model.visit_quant_sites(&mut |site| {
+        prepared.push(prepare_weights(&site.weight.value, precision));
+    });
+    prepared
+}
+
+/// [`apply_precision`] from already-built transforms: installs
+/// `prepared[i]` at quantization site `i` (visit order) along with the
+/// activation cap. Each site's install is a few `Arc` clones, so a
+/// cached precision switch costs microseconds instead of a re-encode —
+/// the software mirror of the paper's <100 ns control-register write.
+///
+/// # Panics
+/// If `prepared` does not hold exactly one entry per site.
+pub fn apply_precision_prepared(
+    model: &mut dyn Layer,
+    precision: &Precision,
+    prepared: &[PreparedWeights],
+) {
+    let mut i = 0usize;
+    model.visit_quant_sites(&mut |site| {
+        site.fq.install_prepared(&prepared[i]);
+        i += 1;
+        site.fq.install_act_cap(precision);
+        if matches!(precision, Precision::Float) {
+            site.fq.act_params = None;
+        }
+    });
+    assert_eq!(i, prepared.len(), "prepared transforms do not match the model's site count");
 }
 
 /// Install a possibly different precision at every site (§V-G's dynamic

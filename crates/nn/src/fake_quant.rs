@@ -13,13 +13,17 @@
 //! so fake quantization yields the same accuracy as bit-true execution
 //! while keeping inference fast enough for parameter sweeps.
 
-use tr_core::{term_pairs_total, TermMatrix, TrConfig};
+use std::sync::Arc;
+use tr_core::{term_pairs_total_packed, PackedTermMatrix, TrConfig};
 use tr_encoding::Encoding;
 use tr_quant::{calibrate_max_abs, quantize, truncate_terms, QuantParams};
 use tr_tensor::Tensor;
 
 /// The precision modes of the evaluation (Figs. 15–17, Table III).
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// `Eq + Hash` (no float payloads) lets `tr-serve` key its per-rung
+/// encoded-weight cache directly on the precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Precision {
     /// Full float (the pretrained baseline).
     Float,
@@ -129,11 +133,12 @@ pub struct FakeQuant {
     /// Per-value activation term cap `(encoding, s)`.
     pub act_cap: Option<(Encoding, usize)>,
     /// Replacement weight tensor (dequantized reconstruction), if any.
-    pub qweight: Option<Tensor>,
+    /// Shared so precision caches can swap it in without copying.
+    pub qweight: Option<Arc<Tensor>>,
     /// The weight quantizer used to build `qweight`.
     pub weight_params: Option<QuantParams>,
-    /// Weight term matrix (post-TR) cached for pair counting.
-    pub weight_terms: Option<TermMatrix>,
+    /// Packed weight term planes (post-TR) cached for pair counting.
+    pub weight_terms: Option<Arc<PackedTermMatrix>>,
     /// Per-value weight term bound (for the QT bound accounting).
     pub weight_term_bound: usize,
     /// Per-value data term bound.
@@ -194,56 +199,34 @@ impl FakeQuant {
 
     /// The weight tensor inference should use.
     pub fn effective_weight<'a>(&'a self, w: &'a Tensor) -> &'a Tensor {
-        self.qweight.as_ref().unwrap_or(w)
+        self.qweight.as_deref().unwrap_or(w)
+    }
+
+    /// True when [`FakeQuant::transform_input`] would return `x`
+    /// unchanged *and* observe nothing — lets hot eval paths borrow the
+    /// input instead of cloning a tensor per forward.
+    #[must_use]
+    pub fn input_passthrough(&self) -> bool {
+        !self.calibrating && self.act_params.is_none()
     }
 
     /// Install the weight-side transform for `precision` on weight `w`
-    /// (an `(out, in)` matrix). Also caches the term matrix for pair
-    /// counting.
+    /// (an `(out, in)` matrix). Also caches the term planes for pair
+    /// counting. Equivalent to `install_prepared(&prepare_weights(..))`.
     pub fn install_weights(&mut self, w: &Tensor, precision: &Precision) {
-        match precision {
-            Precision::Float => {
-                self.qweight = None;
-                self.weight_params = None;
-                self.weight_terms = None;
-                self.tr_config = None;
-            }
-            Precision::Qt { weight_bits, act_bits } => {
-                let params = calibrate_max_abs(w, *weight_bits);
-                let q = quantize(w, params);
-                self.qweight = Some(q.dequantize());
-                self.weight_params = Some(params);
-                self.weight_terms = Some(TermMatrix::from_weights(&q, Encoding::Binary));
-                self.weight_term_bound = params.max_terms();
-                self.data_term_bound = *act_bits as usize - 1;
-                self.tr_config = None;
-            }
-            Precision::PerValue { encoding, weight_terms, data_terms } => {
-                let params = calibrate_max_abs(w, 8);
-                let q = quantize(w, params);
-                let truncated = truncate_terms(*encoding, &q, *weight_terms);
-                self.qweight = Some(truncated.dequantize());
-                self.weight_params = Some(params);
-                self.weight_terms = Some(TermMatrix::from_weights(&truncated, *encoding));
-                self.weight_term_bound = *weight_terms;
-                self.data_term_bound = data_terms.unwrap_or(7);
-                self.tr_config = None;
-            }
-            Precision::Tr(cfg) => {
-                cfg.check();
-                let params = calibrate_max_abs(w, 8);
-                let q = quantize(w, params);
-                let tm = TermMatrix::from_weights(&q, cfg.weight_encoding).reveal(cfg);
-                let codes = tm.reconstruct_codes();
-                let data: Vec<f32> = codes.iter().map(|&c| c as f32 * params.scale).collect();
-                self.qweight = Some(Tensor::from_vec(data, w.shape().clone()));
-                self.weight_params = Some(params);
-                self.weight_terms = Some(tm);
-                self.weight_term_bound = cfg.group_budget; // per-group, see bound math
-                self.data_term_bound = cfg.data_terms.unwrap_or(7);
-                self.tr_config = Some(*cfg);
-            }
-        }
+        self.install_prepared(&prepare_weights(w, precision));
+    }
+
+    /// Swap in an already-built weight transform. This is a handful of
+    /// `Arc` clones and field copies — the cheap half that precision
+    /// ladders call per step, against one [`prepare_weights`] per rung.
+    pub fn install_prepared(&mut self, p: &PreparedWeights) {
+        self.qweight = p.qweight.clone();
+        self.weight_params = p.weight_params;
+        self.weight_terms = p.weight_terms.clone();
+        self.weight_term_bound = p.weight_term_bound;
+        self.data_term_bound = p.data_term_bound;
+        self.tr_config = p.tr_config;
     }
 
     /// Install the activation-side cap implied by `precision` (the
@@ -257,15 +240,15 @@ impl FakeQuant {
     }
 
     /// Count term pairs for a dot-product batch: `data` is the quantized
-    /// data operand as a term matrix aligned with the cached weight terms,
-    /// `samples` the number of inference samples it covers.
-    pub fn count_matmul(&mut self, data: &TermMatrix, samples: u64) {
+    /// data operand as packed term planes aligned with the cached weight
+    /// terms, `samples` the number of inference samples it covers.
+    pub fn count_matmul(&mut self, data: &PackedTermMatrix, samples: u64) {
         if !self.count_pairs {
             return;
         }
         let Some(wt) = &self.weight_terms else { return };
         let macs = (wt.rows() * wt.len() * data.rows()) as u64;
-        let actual = term_pairs_total(wt, data);
+        let actual = term_pairs_total_packed(wt, data);
         let bound = match self.tr_config {
             Some(cfg) => {
                 // k·s per group, groups per dot product = ceil(K / g).
@@ -276,6 +259,80 @@ impl FakeQuant {
             None => macs * (self.weight_term_bound * self.data_term_bound) as u64,
         };
         self.pairs.merge(&PairCounts { actual, bound, macs, samples });
+    }
+}
+
+/// The weight-side transform for one `(weight, precision)` pair, built
+/// once and installable many times.
+///
+/// Building one is the expensive step — quantize, encode into term
+/// planes, run the receding-water reveal. Installing is a couple of
+/// `Arc` clones, which is what lets `tr-serve` cache one of these per
+/// precision rung and flip a model's operating point at run time without
+/// re-encoding anything.
+#[derive(Debug, Clone, Default)]
+pub struct PreparedWeights {
+    /// Dequantized reconstruction inference should use (`None` = float).
+    pub qweight: Option<Arc<Tensor>>,
+    /// The weight quantizer behind `qweight`.
+    pub weight_params: Option<QuantParams>,
+    /// Packed weight term planes (post-TR) for pair counting.
+    pub weight_terms: Option<Arc<PackedTermMatrix>>,
+    /// Per-value weight term bound (for the QT bound accounting).
+    pub weight_term_bound: usize,
+    /// Per-value data term bound.
+    pub data_term_bound: usize,
+    /// TR config in effect, if the precision is TR.
+    pub tr_config: Option<TrConfig>,
+}
+
+/// Build the weight-side transform for `precision` on weight `w` (an
+/// `(out, in)` matrix). Pure: same inputs, same transform — which is the
+/// property the serve-layer rung cache relies on.
+pub fn prepare_weights(w: &Tensor, precision: &Precision) -> PreparedWeights {
+    match precision {
+        Precision::Float => PreparedWeights::default(),
+        Precision::Qt { weight_bits, act_bits } => {
+            let params = calibrate_max_abs(w, *weight_bits);
+            let q = quantize(w, params);
+            PreparedWeights {
+                qweight: Some(Arc::new(q.dequantize())),
+                weight_params: Some(params),
+                weight_terms: Some(Arc::new(PackedTermMatrix::from_weights(&q, Encoding::Binary))),
+                weight_term_bound: params.max_terms(),
+                data_term_bound: *act_bits as usize - 1,
+                tr_config: None,
+            }
+        }
+        Precision::PerValue { encoding, weight_terms, data_terms } => {
+            let params = calibrate_max_abs(w, 8);
+            let q = quantize(w, params);
+            let truncated = truncate_terms(*encoding, &q, *weight_terms);
+            PreparedWeights {
+                qweight: Some(Arc::new(truncated.dequantize())),
+                weight_params: Some(params),
+                weight_terms: Some(Arc::new(PackedTermMatrix::from_weights(&truncated, *encoding))),
+                weight_term_bound: *weight_terms,
+                data_term_bound: data_terms.unwrap_or(7),
+                tr_config: None,
+            }
+        }
+        Precision::Tr(cfg) => {
+            cfg.check();
+            let params = calibrate_max_abs(w, 8);
+            let q = quantize(w, params);
+            let tm = PackedTermMatrix::from_weights(&q, cfg.weight_encoding).reveal(cfg);
+            let codes = tm.reconstruct_codes();
+            let data: Vec<f32> = codes.iter().map(|&c| c as f32 * params.scale).collect();
+            PreparedWeights {
+                qweight: Some(Arc::new(Tensor::from_vec(data, w.shape().clone()))),
+                weight_params: Some(params),
+                weight_terms: Some(Arc::new(tm)),
+                weight_term_bound: cfg.group_budget, // per-group, see bound math
+                data_term_bound: cfg.data_terms.unwrap_or(7),
+                tr_config: Some(*cfg),
+            }
+        }
     }
 }
 
@@ -357,7 +414,7 @@ mod tests {
         let mut fq = FakeQuant::default();
         fq.install_weights(&w, &Precision::Tr(cfg));
         fq.count_pairs = true;
-        let data = TermMatrix::from_vector(&[3; 32], Encoding::Hese);
+        let data = PackedTermMatrix::from_vector(&[3; 32], Encoding::Hese);
         fq.count_matmul(&data, 1);
         assert!(fq.pairs.actual > 0);
         assert!(fq.pairs.bound >= fq.pairs.actual);
@@ -365,6 +422,33 @@ mod tests {
         let before = fq.pairs;
         fq.count_matmul(&data, 1);
         assert_eq!(fq.pairs.actual, 2 * before.actual);
+    }
+
+    #[test]
+    fn prepared_weights_install_like_the_direct_path() {
+        let w = weight(6);
+        for precision in [
+            Precision::Float,
+            Precision::Qt { weight_bits: 6, act_bits: 8 },
+            Precision::PerValue { encoding: Encoding::Hese, weight_terms: 2, data_terms: Some(3) },
+            Precision::Tr(TrConfig::new(8, 12).with_data_terms(3)),
+        ] {
+            let mut direct = FakeQuant::default();
+            direct.install_weights(&w, &precision);
+            let prepared = prepare_weights(&w, &precision);
+            let mut cached = FakeQuant::default();
+            cached.install_prepared(&prepared);
+            assert_eq!(direct.qweight, cached.qweight, "{}", precision.label());
+            assert_eq!(direct.weight_terms, cached.weight_terms, "{}", precision.label());
+            assert_eq!(direct.weight_params, cached.weight_params);
+            assert_eq!(direct.weight_term_bound, cached.weight_term_bound);
+            assert_eq!(direct.data_term_bound, cached.data_term_bound);
+            assert_eq!(direct.tr_config, cached.tr_config);
+            // Installing shares, not copies: the same allocation backs both.
+            if let (Some(a), Some(b)) = (&prepared.qweight, &cached.qweight) {
+                assert!(Arc::ptr_eq(a, b));
+            }
+        }
     }
 
     #[test]

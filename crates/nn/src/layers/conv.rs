@@ -3,16 +3,18 @@
 use crate::fake_quant::FakeQuant;
 use crate::layer::{ForwardCtx, Layer, QuantSite};
 use crate::param::Param;
-use tr_core::{TermMatrix, TrError};
+use crate::scratch::ScratchArena;
+use tr_core::{PackedTermMatrix, TrError};
 use tr_quant::{QTensor, QuantParams};
-use tr_tensor::{col2im, im2col, Conv2dGeometry, Rng, Shape, Tensor};
+use tr_tensor::matmul::matmul_into;
+use tr_tensor::{col2im, im2col, im2col_into, Conv2dGeometry, Rng, Shape, Tensor};
 
 /// Standard convolution: input `(N, C, H, W)` → output `(N, O, H', W')`.
 ///
 /// The kernel is stored as an `(O, C·kh·kw)` matrix, so each output
 /// channel's weights form one dot-product row — the same layout
-/// [`TermMatrix::from_weights`] expects, which is how TR reaches into
-/// convolutions unchanged.
+/// [`PackedTermMatrix::from_weights`] expects, which is how TR reaches
+/// into convolutions unchanged.
 pub struct Conv2d {
     out_channels: usize,
     geometry_proto: Conv2dGeometry,
@@ -22,6 +24,7 @@ pub struct Conv2d {
     pub fq: FakeQuant,
     cached_cols: Vec<Tensor>,
     cached_geometry: Option<Conv2dGeometry>,
+    scratch: ScratchArena,
 }
 
 impl Conv2d {
@@ -54,6 +57,7 @@ impl Conv2d {
             fq: FakeQuant::default(),
             cached_cols: Vec::new(),
             cached_geometry: None,
+            scratch: ScratchArena::new(),
         }
     }
 
@@ -89,20 +93,20 @@ impl Conv2d {
         Ok(g)
     }
 
-    fn count_pairs(&mut self, cols: &Tensor, samples: u64) {
+    fn count_pairs(&mut self, cols: &[f32], patch_len: usize, n_patches: usize, samples: u64) {
         if !self.fq.count_pairs || self.fq.weight_terms.is_none() {
             return;
         }
         let Some(act) = self.fq.act_params else { return };
         let enc = self.fq.act_cap.map(|(e, _)| e).unwrap_or(tr_encoding::Encoding::Binary);
-        let codes: Vec<i32> = cols.data().iter().map(|&v| act.code(v)).collect();
+        let codes: Vec<i32> = cols.iter().map(|&v| act.code(v)).collect();
         let q = QTensor::from_codes(
             codes,
             QuantParams { scale: act.scale.max(f32::MIN_POSITIVE), bits: act.bits },
-            cols.shape().clone(),
+            Shape::d2(patch_len, n_patches),
         );
         // cols is (patch_len, n_patches): columns are the dot vectors.
-        let dm = TermMatrix::from_data_transposed(&q, enc);
+        let dm = PackedTermMatrix::from_data_transposed(&q, enc);
         self.fq.count_matmul(&dm, samples);
     }
 }
@@ -118,35 +122,65 @@ impl Layer for Conv2d {
     fn try_forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Result<Tensor, TrError> {
         let g = self.try_geometry_for(x)?;
         let (n, oh, ow) = (x.shape().dim(0), g.out_h(), g.out_w());
-        let xq = self.fq.transform_input(x);
+        // Borrow the input when no activation transform applies — the
+        // common eval case, where a per-forward clone would be the last
+        // remaining batch-sized allocation.
+        let xq_owned;
+        let xq: &Tensor = if self.fq.input_passthrough() {
+            x
+        } else {
+            xq_owned = self.fq.transform_input(x);
+            &xq_owned
+        };
         let w = self.fq.effective_weight(&self.weight.value).clone();
         let mut out = Tensor::zeros(Shape::d4(n, self.out_channels, oh, ow));
         self.cached_cols.clear();
         let per_in = g.in_channels * g.in_h * g.in_w;
         let per_out = self.out_channels * oh * ow;
-        for i in 0..n {
-            let cols = im2col(&xq.data()[i * per_in..(i + 1) * per_in], &g);
-            // Count pairs on the first image only (one representative
-            // sample per batch keeps counting passes affordable), scaled
-            // by the batch size at the accounting level.
-            if i == 0 {
-                self.count_pairs(&cols, 1);
-            }
-            let y = w.matmul(&cols);
-            let dst = &mut out.data_mut()[i * per_out..(i + 1) * per_out];
-            dst.copy_from_slice(y.data());
-            for (c, chunk) in dst.chunks_mut(oh * ow).enumerate() {
-                let b = self.bias.value.data()[c];
-                for v in chunk {
-                    *v += b;
+        let (patch, np) = (g.patch_len(), g.n_patches());
+        if ctx.train {
+            // Training must keep an owned patch matrix per image for the
+            // backward pass, so this path allocates as before.
+            for i in 0..n {
+                let cols = im2col(&xq.data()[i * per_in..(i + 1) * per_in], &g);
+                // Count pairs on the first image only (one representative
+                // sample per batch keeps counting passes affordable),
+                // scaled by the batch size at the accounting level.
+                if i == 0 {
+                    self.count_pairs(cols.data(), patch, np, 1);
                 }
-            }
-            if ctx.train {
+                let y = w.matmul(&cols);
+                let dst = &mut out.data_mut()[i * per_out..(i + 1) * per_out];
+                dst.copy_from_slice(y.data());
+                for (c, chunk) in dst.chunks_mut(oh * ow).enumerate() {
+                    let b = self.bias.value.data()[c];
+                    for v in chunk {
+                        *v += b;
+                    }
+                }
                 self.cached_cols.push(cols);
             }
-        }
-        if ctx.train {
             self.cached_geometry = Some(g);
+        } else {
+            // Eval reuses one arena-owned patch buffer across the batch
+            // and multiplies straight into the output tensor (zeroed
+            // above), so the loop performs no per-image allocation.
+            let mut cols = self.scratch.take_cols();
+            for i in 0..n {
+                im2col_into(&xq.data()[i * per_in..(i + 1) * per_in], &g, &mut cols);
+                if i == 0 {
+                    self.count_pairs(&cols, patch, np, 1);
+                }
+                let dst = &mut out.data_mut()[i * per_out..(i + 1) * per_out];
+                matmul_into(w.data(), &cols, dst, self.out_channels, patch, np);
+                for (c, chunk) in dst.chunks_mut(oh * ow).enumerate() {
+                    let b = self.bias.value.data()[c];
+                    for v in chunk {
+                        *v += b;
+                    }
+                }
+            }
+            self.scratch.put_cols(cols);
         }
         Ok(out)
     }
@@ -194,6 +228,66 @@ impl Layer for Conv2d {
             "conv{}x{}k{}",
             self.out_channels, self.geometry_proto.in_channels, self.geometry_proto.k_h
         )
+    }
+}
+
+/// Output positions `lo..hi` for which `o*stride + k` lands inside the
+/// padded-coordinate band `[pad, limit + pad)` — i.e. the tap reads a
+/// real pixel rather than padding. All-`usize` arithmetic keeps the
+/// denied sign-cast lints satisfied.
+fn tap_span(extent: usize, limit: usize, stride: usize, k: usize, pad: usize) -> (usize, usize) {
+    if k >= limit + pad {
+        return (0, 0);
+    }
+    let lo = if k >= pad {
+        0
+    } else {
+        (pad - k).div_ceil(stride)
+    };
+    let hi = ((limit + pad - 1 - k) / stride + 1).min(extent);
+    (lo, hi.max(lo))
+}
+
+/// Single-channel convolution applied directly to the input,
+/// bit-identical to `im2col_into` + `matmul_into` over the same
+/// geometry: each output element accumulates its taps in ascending
+/// `kk` order, and zero-valued taps are skipped exactly as
+/// `matmul_into` skips zero A-elements. Padding taps are elided
+/// entirely — that is safe bitwise because the accumulator starts at
+/// `+0.0` and IEEE-754 addition can never produce `-0.0` from a
+/// `+0.0` starting point, so adding the column path's `wv * ±0.0`
+/// never changes a bit. The surviving per-tap loop is a branch-free
+/// contiguous sweep the compiler can vectorize, which is the entire
+/// point of skipping the patch matrix.
+fn dwconv_direct(w: &[f32], src: &[f32], dst: &mut [f32], g: &Conv2dGeometry) {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    for (kk, &wv) in w.iter().enumerate() {
+        if wv == 0.0 {
+            continue;
+        }
+        let (ky, kx) = (kk / g.k_w, kk % g.k_w);
+        let (oy_lo, oy_hi) = tap_span(oh, g.in_h, g.stride, ky, g.pad);
+        let (ox_lo, ox_hi) = tap_span(ow, g.in_w, g.stride, kx, g.pad);
+        if ox_lo >= ox_hi {
+            continue;
+        }
+        let ix0 = ox_lo * g.stride + kx - g.pad;
+        for oy in oy_lo..oy_hi {
+            let iy = oy * g.stride + ky - g.pad;
+            let srow = &src[iy * g.in_w..(iy + 1) * g.in_w];
+            let drow = &mut dst[oy * ow + ox_lo..oy * ow + ox_hi];
+            if g.stride == 1 {
+                for (d, &s) in drow.iter_mut().zip(&srow[ix0..ix0 + (ox_hi - ox_lo)]) {
+                    *d += wv * s;
+                }
+            } else {
+                let mut ix = ix0;
+                for d in drow.iter_mut() {
+                    *d += wv * srow[ix];
+                    ix += g.stride;
+                }
+            }
+        }
     }
 }
 
@@ -272,35 +366,61 @@ impl Layer for DepthwiseConv2d {
         let g = self.chan_geometry(h, w);
         g.try_check()?;
         let (oh, ow) = (g.out_h(), g.out_w());
-        let xq = self.fq.transform_input(x);
-        let weight = self.fq.effective_weight(&self.weight.value).clone();
+        // Same borrow-don't-clone input handling as `Conv2d`.
+        let xq_owned;
+        let xq: &Tensor = if self.fq.input_passthrough() {
+            x
+        } else {
+            xq_owned = self.fq.transform_input(x);
+            &xq_owned
+        };
         let mut out = Tensor::zeros(Shape::d4(n, self.channels, oh, ow));
         self.cached_cols.clear();
         let chan_in = h * w;
         let chan_out = oh * ow;
-        for i in 0..n {
-            let mut per_image = Vec::new();
-            for c in 0..self.channels {
-                let off = (i * self.channels + c) * chan_in;
-                let cols = im2col(&xq.data()[off..off + chan_in], &g);
-                let wrow = Tensor::from_vec(weight.row(c).to_vec(), Shape::d2(1, g.patch_len()));
-                let y = wrow.matmul(&cols);
-                let dst_off = (i * self.channels + c) * chan_out;
-                let dst = &mut out.data_mut()[dst_off..dst_off + chan_out];
-                let b = self.bias.value.data()[c];
-                for (o, &v) in dst.iter_mut().zip(y.data()) {
-                    *o = v + b;
-                }
-                if ctx.train {
+        let patch = g.patch_len();
+        if ctx.train {
+            let weight = self.fq.effective_weight(&self.weight.value).clone();
+            // Training caches an owned patch matrix per (image, channel)
+            // for the backward pass, so this path allocates as before.
+            for i in 0..n {
+                let mut per_image = Vec::new();
+                for c in 0..self.channels {
+                    let off = (i * self.channels + c) * chan_in;
+                    let cols = im2col(&xq.data()[off..off + chan_in], &g);
+                    let wrow = Tensor::from_vec(weight.row(c).to_vec(), Shape::d2(1, patch));
+                    let y = wrow.matmul(&cols);
+                    let dst_off = (i * self.channels + c) * chan_out;
+                    let dst = &mut out.data_mut()[dst_off..dst_off + chan_out];
+                    let b = self.bias.value.data()[c];
+                    for (o, &v) in dst.iter_mut().zip(y.data()) {
+                        *o = v + b;
+                    }
                     per_image.push(cols);
                 }
-            }
-            if ctx.train {
                 self.cached_cols.push(per_image);
             }
-        }
-        if ctx.train {
             self.cached_geometry = Some(g);
+        } else {
+            // Eval needs no patch matrix at all: with one output row per
+            // channel the im2col buffer would be written once and read
+            // once, so the filter is applied directly to the (virtually
+            // zero-padded) input — no per-channel allocation, no
+            // weight-row copy, no weight-tensor clone, no patch traffic.
+            let weight = self.fq.effective_weight(&self.weight.value);
+            for i in 0..n {
+                for c in 0..self.channels {
+                    let off = (i * self.channels + c) * chan_in;
+                    let src = &xq.data()[off..off + chan_in];
+                    let dst_off = (i * self.channels + c) * chan_out;
+                    let dst = &mut out.data_mut()[dst_off..dst_off + chan_out];
+                    dwconv_direct(weight.row(c), src, dst, &g);
+                    let b = self.bias.value.data()[c];
+                    for v in dst.iter_mut() {
+                        *v += b;
+                    }
+                }
+            }
         }
         Ok(out)
     }
@@ -448,6 +568,27 @@ mod tests {
             let fd = (yp - ym) / (2.0 * eps);
             assert!((fd - gx.data()[i]).abs() < 2e-2, "dx {i}: {fd} vs {}", gx.data()[i]);
         }
+    }
+
+    #[test]
+    fn arena_eval_path_matches_allocating_train_path_bitwise() {
+        let mut rng = Rng::seed_from_u64(27);
+        let mut conv = Conv2d::new(3, 4, 3, 1, 1, &mut rng);
+        let mut dw = DepthwiseConv2d::new(3, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(Shape::d4(2, 3, 6, 6), 1.0, &mut rng);
+        let mut ctx = ForwardCtx::train(&mut rng);
+        let y_train = conv.forward(&x, &mut ctx);
+        let yd_train = dw.forward(&x, &mut ctx);
+        // Two eval passes: the second reuses the dirty arena buffers.
+        for pass in 0..2 {
+            let mut ctx = ForwardCtx::eval(&mut rng);
+            let y_eval = conv.forward(&x, &mut ctx);
+            let yd_eval = dw.forward(&x, &mut ctx);
+            assert_eq!(y_eval.data(), y_train.data(), "conv pass {pass}");
+            assert_eq!(yd_eval.data(), yd_train.data(), "dwconv pass {pass}");
+        }
+        // The patch buffer stuck around for the next batch.
+        assert!(conv.scratch.cols_capacity() > 0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::fake_quant::FakeQuant;
 use crate::layer::{ForwardCtx, Layer, QuantSite};
 use crate::param::Param;
-use tr_core::TermMatrix;
+use tr_core::PackedTermMatrix;
 use tr_quant::{QTensor, QuantParams};
 use tr_tensor::{Rng, Shape, Tensor};
 
@@ -67,7 +67,7 @@ impl Linear {
             QuantParams { scale: act.scale.max(f32::MIN_POSITIVE), bits: act.bits },
             Shape::d2(x.shape().dim(0), self.in_features),
         );
-        let dm = TermMatrix::from_weights(&q, enc);
+        let dm = PackedTermMatrix::from_weights(&q, enc);
         let n = x.shape().dim(0) as u64;
         self.fq.count_matmul(&dm, n);
     }

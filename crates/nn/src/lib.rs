@@ -40,9 +40,11 @@ pub mod models;
 pub mod optim;
 pub mod param;
 pub mod qat;
+pub mod scratch;
 pub mod train;
 
 pub use exec::{apply_precision, calibrate_model, evaluate_accuracy, reset_pair_counting};
-pub use fake_quant::{FakeQuant, PairCounts, Precision};
+pub use fake_quant::{prepare_weights, FakeQuant, PairCounts, Precision, PreparedWeights};
+pub use scratch::ScratchArena;
 pub use layer::{ForwardCtx, Layer, QuantSite, Sequential};
 pub use param::Param;

@@ -12,7 +12,7 @@
 use crate::fake_quant::FakeQuant;
 use crate::layer::QuantSite;
 use crate::param::Param;
-use tr_core::TermMatrix;
+use tr_core::PackedTermMatrix;
 use tr_quant::{QTensor, QuantParams};
 use tr_tensor::{Rng, Shape, Tensor};
 
@@ -299,7 +299,7 @@ fn count_site(fq: &mut FakeQuant, xq: &Tensor) {
         QuantParams { scale: act.scale.max(f32::MIN_POSITIVE), bits: act.bits },
         Shape::d2(1, xq.numel()),
     );
-    let dm = TermMatrix::from_weights(&q, enc);
+    let dm = PackedTermMatrix::from_weights(&q, enc);
     // One timestep is a fraction of a sample; the caller normalizes by
     // token count, so record samples = 0 here and patch counts upstream.
     fq.count_matmul(&dm, 0);

@@ -7,12 +7,20 @@
 //! model level.
 
 use crate::ladder::per_value_pair_bound;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
-use tr_nn::exec::try_classify_batch;
+use tr_nn::exec::{apply_precision_prepared, prepare_model_precision, try_classify_batch};
 use tr_nn::layer::Layer;
-use tr_nn::{Precision, Sequential};
+use tr_nn::{Precision, PreparedWeights, Sequential};
+use tr_obs::Counter;
 use tr_tensor::{Rng, Shape, Tensor};
+
+/// Ladder rung switches served from the per-precision encoded-weight
+/// cache (an `Arc` swap per site, no re-encoding).
+static RUNG_CACHE_HITS: Counter = Counter::new("serve.rung_cache.hits");
+/// Rung switches that had to build the encoding (first visit per rung).
+static RUNG_CACHE_MISSES: Counter = Counter::new("serve.rung_cache.misses");
 
 /// A classification engine serving one worker.
 ///
@@ -55,6 +63,12 @@ pub struct NnEngine {
     /// This models a request that crashes the worker and doubles as the
     /// deterministic poison-injection hook used by the soak tests.
     pub panic_on_non_finite: bool,
+    /// Per-rung encoded-weight cache: one entry per precision visited,
+    /// holding the per-site prepared transforms. Weights are fixed for
+    /// the engine's lifetime, so entries never invalidate.
+    rung_cache: HashMap<Precision, Vec<PreparedWeights>>,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl NnEngine {
@@ -68,13 +82,35 @@ impl NnEngine {
             pace_per_sample,
             cost_factor: 1.0,
             panic_on_non_finite: true,
+            rung_cache: HashMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
         }
+    }
+
+    /// `(hits, misses)` of the rung cache since construction. A ladder
+    /// that revisits precisions should show `misses == distinct rungs`
+    /// and everything else as hits.
+    #[must_use]
+    pub fn rung_cache_stats(&self) -> (u64, u64) {
+        (self.cache_hits, self.cache_misses)
     }
 }
 
 impl Engine for NnEngine {
     fn set_precision(&mut self, precision: &Precision, cost_factor: f64) {
-        tr_nn::exec::apply_precision(&mut self.model, precision);
+        if let Some(prepared) = self.rung_cache.get(precision) {
+            // Cache hit: swap the per-site Arcs; nothing is re-encoded.
+            apply_precision_prepared(&mut self.model, precision, prepared);
+            self.cache_hits += 1;
+            RUNG_CACHE_HITS.inc();
+        } else {
+            let prepared = prepare_model_precision(&mut self.model, precision);
+            apply_precision_prepared(&mut self.model, precision, &prepared);
+            self.rung_cache.insert(*precision, prepared);
+            self.cache_misses += 1;
+            RUNG_CACHE_MISSES.inc();
+        }
         self.cost_factor = cost_factor;
     }
 
@@ -199,6 +235,36 @@ mod tests {
         assert_eq!(tr_pred.len(), float_pred.len());
         e.set_precision(&Precision::Float, 1.0);
         assert_eq!(e.infer(&[&ok]), float_pred);
+    }
+
+    #[test]
+    fn rung_cache_hits_on_revisited_precisions() {
+        let mut cached = tiny_engine();
+        let mut fresh = tiny_engine();
+        let x = [0.3f32, -0.2, 0.9, 0.1];
+        let rungs = [
+            Precision::Tr(TrConfig::new(2, 3).with_data_terms(2)),
+            Precision::Qt { weight_bits: 8, act_bits: 8 },
+            Precision::Tr(TrConfig::new(2, 2).with_data_terms(2)),
+        ];
+        // First pass populates the cache (all misses), second pass rides it.
+        let mut first = Vec::new();
+        for p in &rungs {
+            cached.set_precision(p, 1.0);
+            first.push(cached.infer(&[&x]));
+        }
+        assert_eq!(cached.rung_cache_stats(), (0, rungs.len() as u64));
+        for (p, expect) in rungs.iter().zip(&first) {
+            cached.set_precision(p, 1.0);
+            assert_eq!(&cached.infer(&[&x]), expect, "{}", p.label());
+        }
+        assert_eq!(cached.rung_cache_stats(), (rungs.len() as u64, rungs.len() as u64));
+        // Cached switches predict exactly like an engine that has never
+        // seen the rung before.
+        for (p, expect) in rungs.iter().zip(&first) {
+            fresh.set_precision(p, 1.0);
+            assert_eq!(&fresh.infer(&[&x]), expect, "{}", p.label());
+        }
     }
 
     #[test]

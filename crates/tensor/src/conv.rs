@@ -110,12 +110,22 @@ impl std::error::Error for ConvGeometryError {}
 /// channel-major, so `weights (O, patch_len) @ cols (patch_len, n_patches)`
 /// produces the `(O, out_h*out_w)` output feature map.
 pub fn im2col(input: &[f32], g: &Conv2dGeometry) -> Tensor {
+    let mut out = Vec::new();
+    im2col_into(input, g, &mut out);
+    Tensor::from_vec(out, Shape::d2(g.patch_len(), g.n_patches()))
+}
+
+/// [`im2col`] into a caller-owned buffer, resized to `patch_len ×
+/// n_patches`. Every slot (including padding zeros) is written, so a dirty
+/// buffer reused across the images of a batch needs no clearing — this is
+/// what lets the conv layers unroll a whole batch with one allocation.
+pub fn im2col_into(input: &[f32], g: &Conv2dGeometry, out: &mut Vec<f32>) {
     g.check();
     assert_eq!(input.len(), g.in_channels * g.in_h * g.in_w, "input length mismatch");
     let (oh, ow) = (g.out_h(), g.out_w());
     let rows = g.patch_len();
     let cols = oh * ow;
-    let mut out = vec![0.0f32; rows * cols];
+    out.resize(rows * cols, 0.0);
     let mut row = 0usize;
     for c in 0..g.in_channels {
         let chan = &input[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
@@ -139,7 +149,6 @@ pub fn im2col(input: &[f32], g: &Conv2dGeometry) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(out, Shape::d2(rows, cols))
 }
 
 /// Scatter a `(patch_len, n_patches)` gradient matrix back onto a CHW
@@ -264,6 +273,22 @@ mod tests {
         let back = col2im(&y, &g);
         let rhs: f64 = x.data().iter().zip(&back).map(|(&a, &b)| (a * b) as f64).sum();
         assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn im2col_into_overwrites_a_dirty_reused_buffer() {
+        let mut rng = Rng::seed_from_u64(12);
+        let g1 = geom(2, 6, 6, 3, 1, 1);
+        let g2 = geom(1, 5, 5, 3, 2, 0);
+        let x1 = Tensor::randn(Shape::d3(2, 6, 6), 1.0, &mut rng);
+        let x2 = Tensor::randn(Shape::d3(1, 5, 5), 1.0, &mut rng);
+        // Poison a shared buffer, then run two different geometries
+        // through it; each result must match the allocating path exactly.
+        let mut buf = vec![f32::NAN; 7];
+        im2col_into(x1.data(), &g1, &mut buf);
+        assert_eq!(buf, im2col(x1.data(), &g1).data());
+        im2col_into(x2.data(), &g2, &mut buf);
+        assert_eq!(buf, im2col(x2.data(), &g2).data());
     }
 
     #[test]

@@ -18,7 +18,8 @@ cargo run -q --release -p tr-bench --bin repro -- verify-widths
 cargo test -q --release -p tr-serve --test soak
 cargo run -q --release -p tr-bench --bin repro -- --quick serve
 # Observability baseline: the bench experiment must produce its
-# schema-stable JSON artifact (DESIGN.md SS10). CI archives the file.
-TR_BENCH_OUT=BENCH_PR4.json \
-  cargo run -q --release -p tr-bench --bin repro -- --quick bench
-test -s BENCH_PR4.json
+# schema-stable JSON artifact (DESIGN.md SS10), now including the
+# packed-vs-legacy speedups and the regression verdict against the
+# committed BENCH_PR4.json baseline (DESIGN.md SS11). CI archives it.
+cargo run -q --release -p tr-bench --bin repro -- --quick bench
+test -s BENCH_PR5.json

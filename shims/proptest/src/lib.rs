@@ -72,6 +72,30 @@ impl Default for ProptestConfig {
 pub trait Strategy {
     type Value;
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Derive a strategy by post-processing sampled values, mirroring
+    /// upstream proptest's combinator of the same name (minus
+    /// shrinking, which the shim does not do).
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -263,7 +287,7 @@ pub mod prelude {
     pub use crate::collection;
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Arbitrary,
-        Just, ProptestConfig, Strategy, TestCaseError,
+        Just, Map, ProptestConfig, Strategy, TestCaseError,
     };
 }
 
@@ -384,6 +408,12 @@ mod tests {
             for (mag, _neg) in v {
                 prop_assert!(mag < 15);
             }
+        }
+
+        #[test]
+        fn prop_map_transforms_samples(even in (0u32..100).prop_map(|x| x * 2)) {
+            prop_assert!(even % 2 == 0);
+            prop_assert!(even < 200);
         }
     }
 

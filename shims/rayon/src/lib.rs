@@ -15,7 +15,7 @@ use std::ops::Range;
 use std::thread;
 
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
 fn workers_for(items: usize) -> usize {
@@ -132,6 +132,73 @@ impl<R: Send, F: Fn(usize) -> R + Sync> ParMap<F, R> {
     }
 }
 
+/// Entry point mirroring `rayon::slice::ParallelSlice` /
+/// `rayon::iter::IntoParallelRefIterator`: shared-slice iteration for the
+/// blocked kernels that read per-row descriptors without mutating them.
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParSliceIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParSliceIter<'_, T> {
+        ParSliceIter { slice: self }
+    }
+}
+
+/// A parallel iterator over `&[T]`.
+pub struct ParSliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParSliceIter<'a, T> {
+    pub fn map<R, F: Fn(&'a T) -> R>(self, f: F) -> ParSliceMap<'a, T, F, R> {
+        ParSliceMap { slice: self.slice, f, _out: PhantomData }
+    }
+
+    pub fn for_each<F: Fn(&'a T) + Sync>(self, f: F) {
+        for_each_parallel(self.slice.iter().collect(), &|item| f(item));
+    }
+
+    pub fn enumerate(self) -> ParSliceIterEnumerate<'a, T> {
+        ParSliceIterEnumerate { slice: self.slice }
+    }
+}
+
+/// Enumerated variant of [`ParSliceIter`].
+pub struct ParSliceIterEnumerate<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParSliceIterEnumerate<'a, T> {
+    pub fn for_each<F: Fn((usize, &'a T)) + Sync>(self, f: F) {
+        for_each_parallel(self.slice.iter().enumerate().collect(), &f);
+    }
+}
+
+/// The result of [`ParSliceIter::map`]; terminal ops run the closure in
+/// parallel blocks and reassemble results in slice order.
+pub struct ParSliceMap<'a, T, F, R> {
+    slice: &'a [T],
+    f: F,
+    _out: PhantomData<R>,
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParSliceMap<'a, T, F, R> {
+    fn run(self) -> Vec<R> {
+        let slice = self.slice;
+        let f = &self.f;
+        map_parallel(0..slice.len(), &|i| f(&slice[i]))
+    }
+
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+}
+
 /// Entry point mirroring `rayon::slice::ParallelSliceMut`.
 pub trait ParallelSliceMut<T: Send> {
     fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
@@ -199,6 +266,25 @@ mod tests {
     fn map_sum_matches_serial() {
         let got: u64 = (0..257).into_par_iter().map(|i| i as u64).sum();
         assert_eq!(got, 256 * 257 / 2);
+    }
+
+    #[test]
+    fn par_iter_matches_serial_iteration() {
+        let xs: Vec<u64> = (0..533).collect();
+        let sum: u64 = xs.par_iter().map(|&v| v * 3).sum();
+        assert_eq!(sum, xs.iter().map(|&v| v * 3).sum::<u64>());
+        let doubled: Vec<u64> = xs.par_iter().map(|&v| v * 2).collect();
+        let want: Vec<u64> = xs.iter().map(|&v| v * 2).collect();
+        assert_eq!(doubled, want);
+        let seen = std::sync::Mutex::new(vec![false; xs.len()]);
+        xs.par_iter().enumerate().for_each(|(i, &v)| {
+            assert_eq!(v, i as u64);
+            seen.lock().unwrap()[i] = true;
+        });
+        assert!(seen.into_inner().unwrap().iter().all(|&b| b));
+        let empty: Vec<u8> = Vec::new();
+        let got: Vec<u8> = empty.par_iter().map(|&v| v).collect();
+        assert!(got.is_empty());
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Property-based equivalence of the packed term planes against the
+//! legacy `Vec<Vec<TermExpr>>` representation (DESIGN.md §11). The
+//! packed kernels are only allowed into the datapath because they are
+//! bit-identical: every test here compares exact integer or f32 bit
+//! patterns, never tolerances.
+
+use proptest::prelude::*;
+use tr_core::matmul::{term_dot, term_dot_packed, term_matmul_i64};
+use tr_core::{packed_term_matmul_i64, PackedTermMatrix, TermMatrix, TrConfig};
+use tr_encoding::Encoding;
+use tr_nn::exec::{
+    apply_precision, apply_precision_prepared, calibrate_model, forward_logits,
+    prepare_model_precision,
+};
+use tr_nn::layers::Linear;
+use tr_nn::{Precision, Sequential};
+use tr_quant::{calibrate_max_abs, quantize, QTensor};
+use tr_tensor::{Rng, Shape, Tensor};
+
+fn quantized(rows: usize, cols: usize, seed: u64) -> QTensor {
+    let mut rng = Rng::seed_from_u64(seed);
+    let t = Tensor::randn(Shape::d2(rows, cols), 0.25, &mut rng);
+    quantize(&t, calibrate_max_abs(&t, 8))
+}
+
+fn encoding() -> impl Strategy<Value = Encoding> {
+    (0..Encoding::ALL.len()).prop_map(|i| Encoding::ALL[i])
+}
+
+fn tr_config() -> impl Strategy<Value = TrConfig> {
+    (1usize..12, 1usize..8, 1usize..6)
+        .prop_map(|(g, k, s)| TrConfig::new(g, k).with_data_terms(s))
+}
+
+/// Structural equality of the flat planes: offsets, exponents, and the
+/// sign bitset. Stronger than value equality — it pins term order too,
+/// which is what makes the downstream kernels trivially bit-identical.
+fn assert_same_planes(a: &PackedTermMatrix, b: &PackedTermMatrix) {
+    assert_eq!(a.rows(), b.rows());
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.offsets(), b.offsets());
+    assert_eq!(a.exps(), b.exps());
+    for i in 0..a.total_terms() {
+        assert_eq!(a.sign(i), b.sign(i), "sign bit {i}");
+    }
+}
+
+/// The packed planes must reproduce the legacy matrix term-for-term:
+/// same exponent, same sign, same within-element order.
+fn assert_matches_legacy(p: &PackedTermMatrix, m: &TermMatrix) {
+    assert_eq!(p.rows(), m.rows());
+    assert_eq!(p.len(), m.len());
+    for r in 0..m.rows() {
+        for (c, expr) in m.row(r).iter().enumerate() {
+            let got: Vec<_> = p.element_terms(r, c).collect();
+            assert_eq!(got.as_slice(), expr.terms(), "element ({r}, {c})");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn packed_round_trips_through_term_matrix(
+        vals in proptest::collection::vec(-512i32..=512, 0..64),
+        enc in encoding(),
+    ) {
+        let legacy = TermMatrix::from_vector(&vals, enc);
+        let packed = legacy.to_packed();
+        assert_matches_legacy(&packed, &legacy);
+        let back = packed.to_term_matrix();
+        assert_matches_legacy(&packed, &back);
+        prop_assert_eq!(legacy.reconstruct_codes(), packed.reconstruct_codes());
+    }
+
+    #[test]
+    fn one_pass_build_matches_convert_then_pack(
+        (m, k, seed) in (1usize..5, 1usize..24, any::<u64>()),
+        enc in encoding(),
+    ) {
+        let q = quantized(m, k, seed);
+        let direct = PackedTermMatrix::from_weights(&q, enc);
+        let via_legacy = TermMatrix::from_weights(&q, enc).to_packed();
+        assert_same_planes(&direct, &via_legacy);
+        let dt = PackedTermMatrix::from_data_transposed(&q, enc);
+        let dt_legacy = TermMatrix::from_data_transposed(&q, enc).to_packed();
+        assert_same_planes(&dt, &dt_legacy);
+    }
+
+    #[test]
+    fn packed_reveal_and_cap_match_legacy_bitwise(
+        (m, k, seed) in (1usize..5, 1usize..24, any::<u64>()),
+        enc in encoding(),
+        cfg in tr_config(),
+        cap in 1usize..6,
+    ) {
+        // Reveal parity includes the deterministic waterline tiebreak:
+        // structural plane equality fails if the packed path ever keeps
+        // a different term than the legacy path.
+        let q = quantized(m, k, seed);
+        let revealed = PackedTermMatrix::from_weights(&q, enc).reveal(&cfg);
+        let legacy = TermMatrix::from_weights(&q, enc).reveal(&cfg);
+        assert_matches_legacy(&revealed, &legacy);
+        let capped = PackedTermMatrix::from_weights(&q, enc).cap_terms(cap);
+        let legacy_cap = TermMatrix::from_weights(&q, enc).cap_terms(cap);
+        assert_matches_legacy(&capped, &legacy_cap);
+    }
+
+    #[test]
+    fn packed_matmul_and_dot_match_legacy(
+        (m, k, n, seed) in (1usize..5, 1usize..24, 1usize..5, any::<u64>()),
+        enc in encoding(),
+        cfg in tr_config(),
+        cap in 1usize..6,
+    ) {
+        let qw = quantized(m, k, seed);
+        let qx = quantized(k, n, seed.wrapping_add(1));
+        let w = TermMatrix::from_weights(&qw, enc).reveal(&cfg);
+        let x = TermMatrix::from_data_transposed(&qx, enc).cap_terms(cap);
+        let (pw, px) = (w.to_packed(), x.to_packed());
+        prop_assert_eq!(packed_term_matmul_i64(&pw, &px), term_matmul_i64(&w, &x));
+        for r in 0..m {
+            for c in 0..n {
+                prop_assert_eq!(
+                    term_dot_packed(&pw, r, &px, c),
+                    term_dot(w.row(r), x.row(c))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_precision_swap_matches_fresh_encode_bitwise(
+        seed in any::<u64>(),
+        g in 1usize..8,
+        k in 1usize..6,
+        s in 1usize..4,
+        bits in 4u8..=8,
+    ) {
+        // The serve-layer rung cache installs PreparedWeights built once
+        // per precision; logits must match a model that re-encodes on
+        // every switch, bit for bit.
+        let build = || {
+            let mut rng = Rng::seed_from_u64(seed);
+            let mut model = Sequential::new()
+                .push(Linear::new(6, 5, &mut rng))
+                .push(Linear::new(5, 3, &mut rng));
+            let calib = Tensor::randn(Shape::d2(8, 6), 1.0, &mut rng);
+            calibrate_model(&mut model, &calib, 8, &mut rng);
+            model
+        };
+        let mut fresh = build();
+        let mut cached = build();
+        let x = Tensor::randn(Shape::d2(3, 6), 1.0, &mut Rng::seed_from_u64(seed ^ 0xabcd));
+        let rungs = [
+            Precision::Tr(TrConfig::new(g, k).with_data_terms(s)),
+            Precision::Qt { weight_bits: bits, act_bits: 8 },
+            Precision::Float,
+            Precision::Tr(TrConfig::new(g, k).with_data_terms(s)),
+        ];
+        for p in &rungs {
+            apply_precision(&mut fresh, p);
+            let prepared = prepare_model_precision(&mut cached, p);
+            apply_precision_prepared(&mut cached, p, &prepared);
+            let want = forward_logits(&mut fresh, &x, &mut Rng::seed_from_u64(7));
+            let got = forward_logits(&mut cached, &x, &mut Rng::seed_from_u64(7));
+            prop_assert_eq!(want.data(), got.data(), "{}", p.label());
+        }
+    }
+}
