@@ -1,4 +1,4 @@
-//! bench — the machine-readable performance baseline (`BENCH_PR5.json`).
+//! bench — the machine-readable performance baseline (`BENCH_PR6.json`).
 //!
 //! Not a paper figure: this experiment turns the `tr-obs` instrumentation
 //! threaded through core/nn/hw/serve into one schema-stable JSON artifact
@@ -9,10 +9,9 @@
 //!
 //! * **core** — the term-pair matmul kernel timed under QT-8 and TR
 //!   operands through both the legacy nested [`TermMatrix`] path and the
-//!   packed flat kernel, with per-row speedup ratios. The recorder is
-//!   reset *before* operand preparation, so each row's `counters` block
-//!   now reports the reveal scan that built it (the PR4 artifact recorded
-//!   zeros there and needed a separate `reveal_pass` block);
+//!   packed flat kernel, with per-row speedup ratios and the cost of a
+//!   full checksum verification of the packed operands (the integrity
+//!   pass the chaos-hardened cache pays on every rung revisit);
 //! * **nn** — zoo-model accuracy and forward timing per precision, with
 //!   the per-layer span breakdown `Sequential::try_forward` records, plus
 //!   a conv-forward row comparing the PR4-era per-image-allocation loop
@@ -21,11 +20,13 @@
 //!   registers, plus the functional array's per-tile cycle histogram;
 //! * **serve** — a short deterministic burst against the batched service,
 //!   reporting p50/p99 completed latency from the shared histogram;
-//! * **baseline** — the committed `BENCH_PR4.json` read back (path
-//!   override: `TR_BENCH_BASELINE`), with packed-vs-PR4 wall-clock ratios
-//!   and a one-line regression verdict.
+//! * **integrity_overhead** — the chaos-overhead gate: checksum
+//!   verification must cost < 2% of the packed matmul it protects;
+//! * **baseline** — the committed `BENCH_PR5.json` read back (path
+//!   override: `TR_BENCH_BASELINE`), with packed-kernel wall-clock
+//!   ratios and a one-line regression verdict.
 //!
-//! The artifact goes to `BENCH_PR5.json` (override with `TR_BENCH_OUT`).
+//! The artifact goes to `BENCH_PR6.json` (override with `TR_BENCH_OUT`).
 
 use crate::experiments::serve::{mlp_factory, wait_settled};
 use crate::report::Table;
@@ -111,6 +112,14 @@ fn core_config(
     let px = x.to_packed();
     let (packed_out, packed_wall) = best_of(3, || packed_term_matmul_i64(&pw, &px));
     assert_eq!(packed_out, out, "packed kernel must be bit-identical to the legacy path");
+    // The chaos-overhead probe: a full checksum verification of both
+    // packed operands — exactly what the integrity-checked rung cache
+    // pays before trusting a cached encoding.
+    let (verified, verify_wall) =
+        best_of(3, || pw.verify_integrity().is_ok() && px.verify_integrity().is_ok());
+    assert!(verified, "freshly packed operands must pass verification");
+    let verify_overhead_pct =
+        verify_wall.as_secs_f64() / packed_wall.as_secs_f64().max(f64::MIN_POSITIVE) * 100.0;
     let snap = recorder().snapshot();
     let terms_per_mac = pairs as f64 / macs.max(1) as f64;
     let speedup = wall.as_secs_f64() / packed_wall.as_secs_f64().max(f64::MIN_POSITIVE);
@@ -118,7 +127,7 @@ fn core_config(
         format!("core/{name}"),
         format!("{:.2}ms legacy / {:.2}ms packed", wall.as_secs_f64() * 1e3, packed_wall.as_secs_f64() * 1e3),
         format!("{terms_per_mac:.2} pairs/MAC"),
-        format!("packed {speedup:.2}x"),
+        format!("packed {speedup:.2}x, verify {verify_overhead_pct:.2}%"),
     ]);
     (
         name.to_string(),
@@ -126,6 +135,8 @@ fn core_config(
             ("wall_ms", ms(wall)),
             ("packed_wall_ms", ms(packed_wall)),
             ("packed_speedup", JsonValue::Num(speedup)),
+            ("verify_wall_ms", ms(verify_wall)),
+            ("verify_overhead_pct", JsonValue::Num(verify_overhead_pct)),
             ("term_pairs", uint(pairs)),
             ("macs", uint(macs)),
             ("terms_per_mac", JsonValue::Num(terms_per_mac)),
@@ -465,6 +476,7 @@ fn serve_section(zoo: &Zoo, table: &mut Table) -> JsonValue {
         ladder: tr_serve::LadderConfig::default_tr_ladder(),
         monitor_window: 8,
         monitor_silent_threshold: 0,
+        ..ServiceConfig::default()
     };
     let n = if zoo.quick { 24 } else { 60 };
     let svc = Service::start(cfg, mlp_factory(zoo, Duration::from_micros(100)))
@@ -500,61 +512,127 @@ fn serve_section(zoo: &Zoo, table: &mut Table) -> JsonValue {
         ("batches", uint(s.batches)),
         ("p50_ms", p(500)),
         ("p99_ms", p(990)),
+        ("retries", uint(s.retries)),
+        ("cache_repairs", uint(s.cache_repairs)),
+        ("watchdog_recycles", uint(s.watchdog_recycles)),
     ])
 }
 
-/// Locate the committed PR4 baseline: `TR_BENCH_BASELINE` wins, then the
+/// The chaos-overhead gate: checksum verification of the packed operands
+/// must cost < 2% of the packed matmul it protects.
+///
+/// Measured at one fixed paper-sized layer (a VGG conv-shaped 256x1152
+/// weight plane against a 196-column im2col data plane) in quick and
+/// full mode alike: the verify/matmul ratio scales as ~terms*(1/m+1/n),
+/// so smoke-sized operands would overstate the cost by orders of
+/// magnitude and say nothing about what the serve cache actually pays.
+/// The core rows still report their own (shape-dependent, informational)
+/// `verify_overhead_pct`; only this section gates.
+fn integrity_overhead_section(table: &mut Table) -> (JsonValue, bool) {
+    const GATE_PCT: f64 = 2.0;
+    let (m, k, n) = (256usize, 1152usize, 196usize);
+    let mut rng = Rng::seed_from_u64(SEED ^ 0x1A7E);
+    let wt = Tensor::randn(Shape::d2(m, k), 0.25, &mut rng);
+    let xt = Tensor::randn(Shape::d2(k, n), 0.25, &mut rng);
+    let qw = tr_quant::quantize(&wt, tr_quant::calibrate_max_abs(&wt, 8));
+    let qx = tr_quant::quantize(&xt, tr_quant::calibrate_max_abs(&xt, 8));
+    let measure = |w: TermMatrix, x: TermMatrix| {
+        let pw = w.to_packed();
+        let px = x.to_packed();
+        let (_, packed_wall) = best_of(3, || packed_term_matmul_i64(&pw, &px));
+        let (ok, verify_wall) =
+            best_of(3, || pw.verify_integrity().is_ok() && px.verify_integrity().is_ok());
+        assert!(ok, "freshly packed operands must pass verification");
+        let pct = verify_wall.as_secs_f64() / packed_wall.as_secs_f64().max(f64::MIN_POSITIVE)
+            * 100.0;
+        (pct, packed_wall, verify_wall)
+    };
+    let (qt8, qt8_matmul, qt8_verify) = measure(
+        TermMatrix::from_weights(&qw, Encoding::Binary),
+        TermMatrix::from_data_transposed(&qx, Encoding::Binary),
+    );
+    let cfg = TrConfig::new(8, 12).with_data_terms(3);
+    let (tr, tr_matmul, tr_verify) = measure(
+        TermMatrix::from_weights(&qw, Encoding::Hese).reveal(&cfg),
+        TermMatrix::from_data_transposed(&qx, Encoding::Hese).cap_terms(3),
+    );
+    let worst = qt8.max(tr);
+    let pass = worst < GATE_PCT;
+    table.row(vec![
+        format!("integrity/verify @{m}x{k}x{n}"),
+        format!("qt8 {qt8:.3}% / tr {tr:.3}%"),
+        "checksum verify vs packed matmul".to_string(),
+        format!("{} (< {GATE_PCT}% gate)", if pass { "PASS" } else { "WARN" }),
+    ]);
+    let json = obj(vec![
+        ("shape", JsonValue::str(&format!("{m}x{k}x{n}"))),
+        ("qt8_pct", JsonValue::Num(qt8)),
+        ("qt8_matmul_ms", ms(qt8_matmul)),
+        ("qt8_verify_ms", ms(qt8_verify)),
+        ("tr_pct", JsonValue::Num(tr)),
+        ("tr_matmul_ms", ms(tr_matmul)),
+        ("tr_verify_ms", ms(tr_verify)),
+        ("worst_pct", JsonValue::Num(worst)),
+        ("gate_pct", JsonValue::Num(GATE_PCT)),
+        ("pass", JsonValue::Bool(pass)),
+    ]);
+    (json, pass)
+}
+
+/// Locate the committed PR5 baseline: `TR_BENCH_BASELINE` wins, then the
 /// repo-root file from either the root or a crate working directory.
 fn baseline_path() -> String {
     if let Ok(p) = std::env::var("TR_BENCH_BASELINE") {
         return p;
     }
-    for candidate in ["BENCH_PR4.json", "../../BENCH_PR4.json"] {
+    for candidate in ["BENCH_PR5.json", "../../BENCH_PR5.json"] {
         if std::path::Path::new(candidate).is_file() {
             return candidate.to_string();
         }
     }
-    "BENCH_PR4.json".to_string()
+    "BENCH_PR5.json".to_string()
 }
 
-/// A `{pr4_wall_ms, packed_wall_ms, speedup_vs_pr4}` block for one core
-/// row, comparing this run's packed kernel against the baseline's legacy
-/// wall clock. Returns the ratio alongside for the verdict line.
-fn baseline_core_row(row: &str, core: &JsonValue, pr4: &JsonValue) -> (JsonValue, Option<f64>) {
-    let pr4_wall = pr4.get("core").and_then(|c| c.get(row)).and_then(|r| r.get("wall_ms"));
+/// A `{pr5_packed_wall_ms, packed_wall_ms, ratio_vs_pr5}` block for one
+/// core row: this run's packed kernel against the baseline's packed
+/// kernel (same code path, so the ratio is a pure same-machine drift
+/// check — ≥ 1.0 means this run is at least as fast). Returns the ratio
+/// alongside for the verdict line.
+fn baseline_core_row(row: &str, core: &JsonValue, pr5: &JsonValue) -> (JsonValue, Option<f64>) {
+    let pr5_wall = pr5.get("core").and_then(|c| c.get(row)).and_then(|r| r.get("packed_wall_ms"));
     let packed_wall = core.get(row).and_then(|r| r.get("packed_wall_ms"));
-    let ratio = match (pr4_wall.and_then(JsonValue::as_f64), packed_wall.and_then(JsonValue::as_f64)) {
+    let ratio = match (pr5_wall.and_then(JsonValue::as_f64), packed_wall.and_then(JsonValue::as_f64)) {
         (Some(old), Some(new)) => Some(old / new.max(f64::MIN_POSITIVE)),
         _ => None,
     };
     let block = obj(vec![
-        ("pr4_wall_ms", pr4_wall.cloned().unwrap_or(JsonValue::Null)),
+        ("pr5_packed_wall_ms", pr5_wall.cloned().unwrap_or(JsonValue::Null)),
         ("packed_wall_ms", packed_wall.cloned().unwrap_or(JsonValue::Null)),
-        ("speedup_vs_pr4", ratio.map_or(JsonValue::Null, JsonValue::Num)),
+        ("ratio_vs_pr5", ratio.map_or(JsonValue::Null, JsonValue::Num)),
     ]);
     (block, ratio)
 }
 
-/// Read `BENCH_PR4.json` back and emit the regression block plus a
+/// Read `BENCH_PR5.json` back and emit the regression block plus a
 /// one-line verdict. A missing or shape-mismatched baseline degrades to
 /// `found: false` rather than failing the run (fresh checkouts, CI
 /// machines without the artifact).
-fn baseline_section(zoo: &Zoo, core: &JsonValue, nn: &JsonValue, table: &mut Table) -> JsonValue {
+fn baseline_section(
+    zoo: &Zoo,
+    core: &JsonValue,
+    integrity_pass: bool,
+    table: &mut Table,
+) -> JsonValue {
     let path = baseline_path();
-    let conv_speedup = nn
-        .get("conv_forward")
-        .and_then(|c| c.get("speedup"))
-        .and_then(JsonValue::as_f64)
-        .unwrap_or(0.0);
+    let integrity_note = if integrity_pass { "verify <2%" } else { "verify over 2% budget" };
     let parsed = std::fs::read_to_string(&path)
         .map_err(|e| e.to_string())
         .and_then(|text| JsonValue::parse(&text));
-    let pr4 = match parsed {
+    let pr5 = match parsed {
         Ok(v) => v,
         Err(e) => {
-            let verdict = format!(
-                "SKIPPED — no PR4 baseline ({e}); in-run: conv arena {conv_speedup:.2}x"
-            );
+            let verdict =
+                format!("SKIPPED — no PR5 baseline ({e}); in-run: {integrity_note}");
             table.note(format!("verdict: {verdict}"));
             return obj(vec![
                 ("path", JsonValue::str(&path)),
@@ -565,22 +643,26 @@ fn baseline_section(zoo: &Zoo, core: &JsonValue, nn: &JsonValue, table: &mut Tab
     };
     // Wall clocks only compare within the same problem size; a quick run
     // against a full baseline (or vice versa) is reported but flagged.
-    let comparable = pr4.get("quick").map(|q| q == &JsonValue::Bool(zoo.quick)).unwrap_or(false);
-    let (qt8_block, qt8) = baseline_core_row("qt8", core, &pr4);
-    let (tr_block, tr) = baseline_core_row("tr_g8_k12_s3", core, &pr4);
+    let comparable = pr5.get("quick").map(|q| q == &JsonValue::Bool(zoo.quick)).unwrap_or(false);
+    let (qt8_block, qt8) = baseline_core_row("qt8", core, &pr5);
+    let (tr_block, tr) = baseline_core_row("tr_g8_k12_s3", core, &pr5);
     let worst = match (qt8, tr) {
         (Some(a), Some(b)) => Some(a.min(b)),
         _ => None,
     };
+    // Same kernel on both sides, so the bands are drift tolerances, not
+    // speedup targets: a shared CI box can easily wobble ±25%.
     let status = match worst {
         _ if !comparable => "INCOMPARABLE (quick-mode mismatch vs baseline)".to_string(),
-        Some(w) if w >= 2.0 && conv_speedup >= 1.3 => "PASS".to_string(),
-        Some(w) if w >= 1.0 => format!("WARN (targets: core 2.0x, conv 1.3x; worst core {w:.2}x)"),
-        Some(w) => format!("REGRESSION (core packed {w:.2}x vs PR4 legacy)"),
+        Some(w) if w >= 0.75 && integrity_pass => "PASS".to_string(),
+        Some(w) if w >= 0.5 => {
+            format!("WARN (drift band 0.75x, {integrity_note}; worst core {w:.2}x)")
+        }
+        Some(w) => format!("REGRESSION (core packed {w:.2}x vs PR5 packed)"),
         None => "SKIPPED (baseline rows missing)".to_string(),
     };
     let verdict = format!(
-        "{status} — packed core qt8 {}x / tr {}x vs PR4, conv arena {conv_speedup:.2}x in-run",
+        "{status} — packed core qt8 {}x / tr {}x vs PR5, {integrity_note}",
         qt8.map_or_else(|| "?".to_string(), |v| format!("{v:.2}")),
         tr.map_or_else(|| "?".to_string(), |v| format!("{v:.2}")),
     );
@@ -590,7 +672,7 @@ fn baseline_section(zoo: &Zoo, core: &JsonValue, nn: &JsonValue, table: &mut Tab
         ("found", JsonValue::Bool(true)),
         ("comparable", JsonValue::Bool(comparable)),
         ("core", obj(vec![("qt8", qt8_block), ("tr_g8_k12_s3", tr_block)])),
-        ("conv_forward_speedup", JsonValue::Num(conv_speedup)),
+        ("integrity_pass", JsonValue::Bool(integrity_pass)),
         ("verdict", JsonValue::str(&verdict)),
     ])
 }
@@ -612,19 +694,21 @@ pub fn run(zoo: &Zoo) -> Vec<Table> {
     let hw = hw_section(zoo, &mut table);
     let serve = serve_section(zoo, &mut table);
     set_enabled(false);
-    let baseline = baseline_section(zoo, &core, &nn, &mut table);
+    let (integrity, integrity_pass) = integrity_overhead_section(&mut table);
+    let baseline = baseline_section(zoo, &core, integrity_pass, &mut table);
 
     let json = JsonValue::object(vec![
         ("schema".to_string(), JsonValue::str(SCHEMA)),
-        ("pr".to_string(), JsonValue::UInt(5)),
+        ("pr".to_string(), JsonValue::UInt(6)),
         ("quick".to_string(), JsonValue::Bool(zoo.quick)),
         ("core".to_string(), core),
         ("nn".to_string(), nn),
         ("hw".to_string(), hw),
         ("serve".to_string(), serve),
+        ("integrity_overhead".to_string(), integrity),
         ("baseline".to_string(), baseline),
     ]);
-    let path = std::env::var("TR_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR5.json".to_string());
+    let path = std::env::var("TR_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
     match std::fs::write(&path, json.to_pretty_string() + "\n") {
         Ok(()) => table.note(format!("artifact written to {path}")),
         Err(e) => table.note(format!("could not write {path}: {e}")),
@@ -653,7 +737,11 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("artifact written");
         for key in [
             "\"schema\": \"tr-bench/v1\"",
-            "\"pr\": 5",
+            "\"pr\": 6",
+            "\"integrity_overhead\"",
+            "\"verify_overhead_pct\"",
+            "\"verify_wall_ms\"",
+            "\"cache_repairs\"",
             "\"core\"",
             "\"qt8\"",
             "\"tr_g8_k12_s3\"",

@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod bench;
 pub mod bounds;
+pub mod chaos;
 pub mod common;
 pub mod extensions;
 pub mod faults;
@@ -26,10 +27,10 @@ use crate::report::Table;
 use crate::zoo::Zoo;
 
 /// Every experiment id in paper order.
-pub const ALL: [&str; 20] = [
+pub const ALL: [&str; 21] = [
     "fig3", "fig5", "fig7", "fig8", "fig15", "fig16", "fig17", "fig18", "fig19", "table1",
     "table2", "table3", "table4", "ablation", "bounds", "extensions", "faults", "serve",
-    "verify-widths", "bench",
+    "chaos", "verify-widths", "bench",
 ];
 
 /// Run one experiment by id.
@@ -56,6 +57,7 @@ pub fn run(id: &str, zoo: &Zoo) -> Vec<Table> {
         "extensions" => extensions::run(zoo),
         "faults" => faults::run(zoo),
         "serve" => serve::run(zoo),
+        "chaos" => chaos::run(zoo),
         "verify-widths" => widths::run(),
         "bench" => bench::run(zoo),
         other => panic!("unknown experiment id: {other} (known: {ALL:?})"),

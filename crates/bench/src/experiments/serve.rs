@@ -29,8 +29,7 @@ use tr_core::TrConfig;
 use tr_hw::{FaultConfig, Mitigation};
 use tr_nn::exec::{apply_precision, calibrate_model, evaluate_accuracy};
 use tr_serve::{
-    nn_engine_factory, EngineFactory, LadderConfig, Outcome, RequestId, Service, ServiceConfig,
-    ServiceReport,
+    EngineFactory, LadderConfig, Outcome, RequestId, Service, ServiceConfig, ServiceReport,
 };
 use tr_tensor::Rng;
 
@@ -59,14 +58,20 @@ fn service_config() -> ServiceConfig {
         ladder: ladder(),
         monitor_window: 8,
         monitor_silent_threshold: 0,
+        ..ServiceConfig::default()
     }
 }
 
-/// Engine factory backed by the zoo MLP: each engine reloads the cached
-/// checkpoint and recalibrates from a captured calibration batch —
-/// cheap enough to pay on every worker restart, and exactly what a
-/// production respawn would do (load weights, never retrain).
-pub(crate) fn mlp_factory(zoo: &Zoo, pace: Duration) -> EngineFactory {
+/// Builder for a fully-assembled [`tr_serve::NnEngine`] backed by the
+/// zoo MLP: each call reloads the cached checkpoint and recalibrates
+/// from a captured calibration batch — cheap enough to pay on every
+/// worker restart, and exactly what a production respawn would do (load
+/// weights, never retrain). Returns the concrete engine type so chaos
+/// wrappers can reach its cache-tamper hooks.
+pub(crate) fn mlp_engine_builder(
+    zoo: &Zoo,
+    pace: Duration,
+) -> impl Fn() -> tr_serve::NnEngine + Send + Sync + 'static {
     // Train-or-load once so the checkpoint definitely exists, and
     // capture everything a rebuild needs.
     let (_model, ds) = zoo.mlp();
@@ -74,18 +79,20 @@ pub(crate) fn mlp_factory(zoo: &Zoo, pace: Duration) -> EngineFactory {
     let input_dim = ds.test.x.shape().dims()[1];
     let calib = ds.train.x.slice_batch(0, 32.min(ds.train.len()));
     let ckpt = zoo.checkpoint_path("mlp");
-    nn_engine_factory(
-        move || {
-            let mut rng = Rng::seed_from_u64(SEED ^ 0xCA11);
-            let mut model = tr_nn::models::mlp::build_mlp(classes, &mut rng);
-            tr_nn::io::load_model(&ckpt, &mut model).expect("zoo checkpoint vanished mid-run");
-            calibrate_model(&mut model, &calib, 8, &mut rng);
-            model
-        },
-        input_dim,
-        pace,
-        SEED ^ 0xE47,
-    )
+    move || {
+        let mut rng = Rng::seed_from_u64(SEED ^ 0xCA11);
+        let mut model = tr_nn::models::mlp::build_mlp(classes, &mut rng);
+        tr_nn::io::load_model(&ckpt, &mut model).expect("zoo checkpoint vanished mid-run");
+        calibrate_model(&mut model, &calib, 8, &mut rng);
+        tr_serve::NnEngine::new(model, input_dim, pace, SEED ^ 0xE47)
+    }
+}
+
+/// Engine factory over [`mlp_engine_builder`] (type-erased for the
+/// service).
+pub(crate) fn mlp_factory(zoo: &Zoo, pace: Duration) -> EngineFactory {
+    let build = mlp_engine_builder(zoo, pace);
+    std::sync::Arc::new(move || Box::new(build()))
 }
 
 /// Offline accuracy of each ladder rung (plus the QT fallback): what
@@ -161,7 +168,7 @@ fn warm_up(svc: &Service, test_x: &tr_tensor::Tensor, workers: u64) {
 /// Run `f` with panic messages suppressed: the soak *injects* panics by
 /// design, and the default hook would spray backtraces over the report.
 /// Assertions still fail normally — only the printing is quieted.
-fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+pub(crate) fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
     let old = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
     let out = f();

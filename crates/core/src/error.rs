@@ -27,6 +27,10 @@ pub enum TrError {
     InvalidFaultConfig(String),
     /// Training-loop failure (`tr-nn`), e.g. unrecoverable divergence.
     Training(String),
+    /// A content checksum no longer matches its data — a plane or cache
+    /// entry was corrupted after it was sealed. Detection is the half
+    /// that must never fail; the holder decides whether to re-encode.
+    Integrity(String),
 }
 
 impl std::fmt::Display for TrError {
@@ -39,6 +43,7 @@ impl std::fmt::Display for TrError {
             TrError::InvalidGeometry(m) => write!(f, "invalid geometry: {m}"),
             TrError::InvalidFaultConfig(m) => write!(f, "invalid fault config: {m}"),
             TrError::Training(m) => write!(f, "training error: {m}"),
+            TrError::Integrity(m) => write!(f, "integrity violation: {m}"),
         }
     }
 }

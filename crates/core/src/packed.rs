@@ -25,7 +25,60 @@ use crate::error::TrError;
 use crate::reveal::observe_group;
 use crate::termmatrix::TermMatrix;
 use tr_encoding::{Encoding, Term, TermExpr};
+use tr_obs::Counter;
 use tr_quant::QTensor;
+
+/// Integrity verifications performed over packed planes.
+static INTEGRITY_CHECKS: Counter = Counter::new("core.integrity.checks");
+/// Verifications that caught a checksum mismatch (corrupted planes).
+static INTEGRITY_VIOLATIONS: Counter = Counter::new("core.integrity.violations");
+
+/// FNV-1a 64-bit over a byte slice, continuing from `h`.
+#[inline]
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// One FNV-1a step over a whole 64-bit word. Folding a word per multiply
+/// (instead of a byte) keeps the avalanche-through-multiply structure
+/// while cutting the hash to ~1/8 of the byte-at-a-time cost — what
+/// makes `verify_integrity` cheap enough to run on every cache hit.
+#[inline]
+fn fnv1a_word(h: u64, w: u64) -> u64 {
+    (h ^ w).wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+/// FNV-1a over a byte slice taken eight bytes at a time, with the slice
+/// length folded first so a short tail can never alias a longer plane.
+#[inline]
+fn fnv1a_bytes_wordwise(mut h: u64, bytes: &[u8]) -> u64 {
+    h = fnv1a_word(h, bytes.len() as u64);
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h = fnv1a_word(h, u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+    }
+    let mut tail = 0u64;
+    for (i, &b) in chunks.remainder().iter().enumerate() {
+        tail |= u64::from(b) << (8 * i);
+    }
+    fnv1a_word(h, tail)
+}
+
+/// The FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// SplitMix64 finalizer (same idiom as the `tr-hw` fault-site hashes) —
+/// drives the deterministic [`PackedTermMatrix::tamper`] hook.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Widen a CSR offset to an index. Lossless on every supported target
 /// (`usize` is at least 32 bits on all tiers this crate builds for).
@@ -52,6 +105,10 @@ pub struct PackedTermMatrix {
     exps: Vec<u8>,
     /// One bit per term, LSB-first within each word; set = negative.
     signs: Vec<u64>,
+    /// FNV-1a over shape + planes, sealed at construction. A stale value
+    /// means the planes changed after sealing — the silent-corruption
+    /// signal [`PackedTermMatrix::verify_integrity`] detects.
+    checksum: u64,
 }
 
 impl PackedTermMatrix {
@@ -65,7 +122,97 @@ impl PackedTermMatrix {
             offsets,
             exps: Vec::with_capacity(term_hint),
             signs: Vec::with_capacity(term_hint / 64 + 1),
+            checksum: 0,
         }
+    }
+
+    /// Freeze the content checksum. Every public constructor ends here,
+    /// so a sealed matrix always satisfies `verify_integrity` until its
+    /// planes are corrupted.
+    fn seal(mut self) -> Self {
+        self.checksum = self.content_checksum();
+        self
+    }
+
+    /// Recompute the FNV-1a checksum over shape, encoding, and all three
+    /// planes. Pure function of content: equal matrices hash equal. Runs
+    /// word-at-a-time (one multiply per 8 plane bytes) so the chaos-mode
+    /// verify-on-every-hit stays well under the 2% matmul budget.
+    #[must_use]
+    pub fn content_checksum(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        h = fnv1a_word(h, self.rows as u64);
+        h = fnv1a_word(h, self.len as u64);
+        h = fnv1a(h, self.encoding.name().as_bytes());
+        let mut pairs = self.offsets.chunks_exact(2);
+        for p in &mut pairs {
+            h = fnv1a_word(h, u64::from(p[0]) | (u64::from(p[1]) << 32));
+        }
+        for &o in pairs.remainder() {
+            h = fnv1a_word(h, u64::from(o));
+        }
+        h = fnv1a_bytes_wordwise(h, &self.exps);
+        for &w in &self.signs {
+            h = fnv1a_word(h, w);
+        }
+        h
+    }
+
+    /// The checksum sealed at construction.
+    #[must_use]
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Cheap integrity check: recompute the content checksum and compare
+    /// against the sealed value. O(total plane bytes) — far below one
+    /// matmul over the same planes, so callers can afford it on every
+    /// cache hit.
+    ///
+    /// # Errors
+    /// [`TrError::Integrity`] when the planes no longer match the seal.
+    pub fn verify_integrity(&self) -> Result<(), TrError> {
+        INTEGRITY_CHECKS.inc();
+        let actual = self.content_checksum();
+        if actual == self.checksum {
+            Ok(())
+        } else {
+            INTEGRITY_VIOLATIONS.inc();
+            Err(TrError::Integrity(format!(
+                "packed planes checksum {actual:#018x} != sealed {:#018x} \
+                 ({} rows x {} elems, {} terms)",
+                self.checksum,
+                self.rows,
+                self.len,
+                self.exps.len()
+            )))
+        }
+    }
+
+    /// Deterministic corruption hook for fault campaigns: flip one bit of
+    /// the exponent plane or one sign bit, chosen by `salt` through the
+    /// same SplitMix64 idiom as the `tr-hw` fault sites. The seal is left
+    /// stale on purpose — that *is* the injected silent corruption.
+    ///
+    /// Only value-level planes are touched (never `offsets`), so a
+    /// tampered matrix stays structurally well-formed: kernels that skip
+    /// verification produce wrong numbers, not out-of-bounds panics —
+    /// exactly the silent-corruption failure mode worth injecting.
+    ///
+    /// Returns `false` (no-op) when the matrix holds no terms.
+    pub fn tamper(&mut self, salt: u64) -> bool {
+        if self.exps.is_empty() {
+            return false;
+        }
+        let h = mix(salt ^ self.checksum);
+        let i = usize::try_from(mix(h) % self.exps.len() as u64).unwrap_or(0);
+        if h & 1 == 0 {
+            // Flip a low exponent bit: stays within the legal u8 span.
+            self.exps[i] ^= 1u8 << (mix(h ^ 1) % 3);
+        } else {
+            self.signs[i / 64] ^= 1u64 << (i % 64);
+        }
+        true
     }
 
     #[inline]
@@ -101,7 +248,7 @@ impl PackedTermMatrix {
         for &v in q.values() {
             out.push_expr(&encoding.terms_of(v));
         }
-        out
+        out.seal()
     }
 
     /// Decompose a data matrix `(K, N)` *transposed*: row `n` of the
@@ -116,7 +263,7 @@ impl PackedTermMatrix {
                 out.push_expr(&encoding.terms_of(vals[row * n + col]));
             }
         }
-        out
+        out.seal()
     }
 
     /// Decompose a flat vector as a single row.
@@ -125,7 +272,7 @@ impl PackedTermMatrix {
         for &v in values {
             out.push_expr(&encoding.terms_of(v));
         }
-        out
+        out.seal()
     }
 
     /// Number of dot-product vectors.
@@ -341,7 +488,7 @@ impl PackedTermMatrix {
                 c0 = c1;
             }
         }
-        Ok(out)
+        Ok(out.seal())
     }
 
     /// Cap every element to its top `s` terms (terms are stored largest
@@ -358,7 +505,7 @@ impl PackedTermMatrix {
                 out.close_element();
             }
         }
-        out
+        out.seal()
     }
 
     /// Expand back to the Vec-of-Vec representation (tests, compat).
@@ -374,7 +521,7 @@ impl From<&TermMatrix> for PackedTermMatrix {
         for e in m.exprs() {
             out.push_expr(e);
         }
-        out
+        out.seal()
     }
 }
 
@@ -495,6 +642,50 @@ mod tests {
         assert_eq!(p.mean_terms(), 0.0);
         assert_eq!(p.max_value_terms(), 0);
         assert!(p.reconstruct_codes().is_empty());
+    }
+
+    #[test]
+    fn checksum_is_content_derived_and_constructor_independent() {
+        let q = random_qt(4, 9, 11);
+        let direct = PackedTermMatrix::from_weights(&q, Encoding::Hese);
+        let via_legacy = PackedTermMatrix::from(&TermMatrix::from_weights(&q, Encoding::Hese));
+        assert_eq!(direct.checksum(), via_legacy.checksum());
+        assert_ne!(direct.checksum(), 0);
+        direct.verify_integrity().unwrap();
+        // Reveal / cap reseal over the new planes.
+        let revealed = direct.clone().reveal(&TrConfig::new(8, 4));
+        revealed.verify_integrity().unwrap();
+        let capped = direct.cap_terms(2);
+        capped.verify_integrity().unwrap();
+        assert_ne!(revealed.checksum(), capped.checksum());
+    }
+
+    #[test]
+    fn tamper_is_detected_and_deterministic() {
+        let q = random_qt(3, 13, 12);
+        let pristine = PackedTermMatrix::from_weights(&q, Encoding::Hese);
+        for salt in 0..32u64 {
+            let mut a = pristine.clone();
+            let mut b = pristine.clone();
+            assert!(a.tamper(salt));
+            assert!(b.tamper(salt));
+            // Same salt, same flip: the campaign is replayable.
+            assert_eq!(a, b, "salt {salt}");
+            let err = a.verify_integrity().unwrap_err();
+            assert!(matches!(err, TrError::Integrity(_)), "salt {salt}: {err}");
+            // Structure stays sound: reconstruction must not panic.
+            let _ = a.reconstruct_codes();
+        }
+        // Different salts eventually pick different sites.
+        let mut x = pristine.clone();
+        let mut y = pristine.clone();
+        x.tamper(1);
+        y.tamper(2);
+        assert_ne!(x, y);
+        // Empty matrices have nothing to corrupt.
+        let mut empty = PackedTermMatrix::from_vector(&[], Encoding::Binary);
+        assert!(!empty.tamper(7));
+        empty.verify_integrity().unwrap();
     }
 
     #[test]

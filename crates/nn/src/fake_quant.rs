@@ -284,13 +284,129 @@ pub struct PreparedWeights {
     pub data_term_bound: usize,
     /// TR config in effect, if the precision is TR.
     pub tr_config: Option<TrConfig>,
+    /// Content checksum sealed by [`prepare_weights`]. Because the
+    /// transform is pure and bit-exact, a stale checksum always means
+    /// post-build corruption, never legitimate drift — which is what
+    /// makes detect-and-re-encode a sound repair.
+    pub checksum: u64,
+}
+
+/// SplitMix64 finalizer for the deterministic tamper hook.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl PreparedWeights {
+    /// Recompute the content checksum: FNV-1a over the reconstruction
+    /// tensor bits, the quantizer, the packed-plane seal, the bounds,
+    /// and the TR config. Pure function of content. The dominant plane
+    /// (the reconstruction tensor) is folded two f32s per multiply so
+    /// the on-every-hit verify stays far below one batch of matmul.
+    #[must_use]
+    pub fn content_checksum(&self) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        let mut eat_word = |w: u64| {
+            h = (h ^ w).wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        if let Some(w) = &self.qweight {
+            for d in w.shape().dims() {
+                eat_word(*d as u64);
+            }
+            let mut pairs = w.data().chunks_exact(2);
+            for p in &mut pairs {
+                eat_word(u64::from(p[0].to_bits()) | (u64::from(p[1].to_bits()) << 32));
+            }
+            for v in pairs.remainder() {
+                eat_word(u64::from(v.to_bits()));
+            }
+        }
+        if let Some(p) = &self.weight_params {
+            eat_word(u64::from(p.scale.to_bits()));
+            eat_word(u64::from(p.bits));
+        }
+        if let Some(t) = &self.weight_terms {
+            eat_word(t.checksum());
+        }
+        eat_word(self.weight_term_bound as u64);
+        eat_word(self.data_term_bound as u64);
+        if let Some(cfg) = &self.tr_config {
+            eat_word(cfg.group_size as u64);
+            eat_word(cfg.group_budget as u64);
+            eat_word(cfg.data_terms.map_or(u64::MAX, |s| s as u64));
+            for name in [cfg.weight_encoding.name(), cfg.data_encoding.name()] {
+                for &b in name.as_bytes() {
+                    eat_word(u64::from(b));
+                }
+            }
+        }
+        h
+    }
+
+    /// Freeze the checksum over the current content.
+    #[must_use]
+    pub fn seal(mut self) -> PreparedWeights {
+        self.checksum = self.content_checksum();
+        self
+    }
+
+    /// Verify the entry against its seal, including the packed planes'
+    /// own seal. Cheap relative to one batch through the weights.
+    ///
+    /// # Errors
+    /// [`TrError`](tr_core::TrError) `Integrity` naming the corrupted
+    /// part.
+    pub fn verify_integrity(&self) -> Result<(), tr_core::TrError> {
+        if let Some(t) = &self.weight_terms {
+            t.verify_integrity()?;
+        }
+        let actual = self.content_checksum();
+        if actual == self.checksum {
+            Ok(())
+        } else {
+            Err(tr_core::TrError::Integrity(format!(
+                "prepared weights checksum {actual:#018x} != sealed {:#018x}",
+                self.checksum
+            )))
+        }
+    }
+
+    /// Deterministic corruption hook: flip one mantissa bit of the
+    /// reconstruction tensor or one bit inside the packed term planes,
+    /// chosen by `salt`. Leaves the seal stale — the injected fault is
+    /// silent until [`PreparedWeights::verify_integrity`] runs. Returns
+    /// `false` when there is nothing to corrupt (float entries).
+    pub fn tamper(&mut self, salt: u64) -> bool {
+        let h = mix(salt ^ self.checksum);
+        // Prefer the reconstruction tensor — it is what inference reads,
+        // so corrupting it is the accuracy-affecting fault.
+        if h & 3 != 3 {
+            if let Some(w) = &mut self.qweight {
+                let w = Arc::make_mut(w);
+                let n = w.numel();
+                if n > 0 {
+                    let i = usize::try_from(mix(h ^ 5) % n as u64).unwrap_or(0);
+                    let bit = u32::try_from(mix(h ^ 9) % 20).unwrap_or(0);
+                    let data = w.data_mut();
+                    data[i] = f32::from_bits(data[i].to_bits() ^ (1u32 << bit));
+                    return true;
+                }
+            }
+        }
+        if let Some(t) = &mut self.weight_terms {
+            return Arc::make_mut(t).tamper(h);
+        }
+        false
+    }
 }
 
 /// Build the weight-side transform for `precision` on weight `w` (an
 /// `(out, in)` matrix). Pure: same inputs, same transform — which is the
 /// property the serve-layer rung cache relies on.
 pub fn prepare_weights(w: &Tensor, precision: &Precision) -> PreparedWeights {
-    match precision {
+    let prepared = match precision {
         Precision::Float => PreparedWeights::default(),
         Precision::Qt { weight_bits, act_bits } => {
             let params = calibrate_max_abs(w, *weight_bits);
@@ -302,6 +418,7 @@ pub fn prepare_weights(w: &Tensor, precision: &Precision) -> PreparedWeights {
                 weight_term_bound: params.max_terms(),
                 data_term_bound: *act_bits as usize - 1,
                 tr_config: None,
+                checksum: 0,
             }
         }
         Precision::PerValue { encoding, weight_terms, data_terms } => {
@@ -315,6 +432,7 @@ pub fn prepare_weights(w: &Tensor, precision: &Precision) -> PreparedWeights {
                 weight_term_bound: *weight_terms,
                 data_term_bound: data_terms.unwrap_or(7),
                 tr_config: None,
+                checksum: 0,
             }
         }
         Precision::Tr(cfg) => {
@@ -331,9 +449,11 @@ pub fn prepare_weights(w: &Tensor, precision: &Precision) -> PreparedWeights {
                 weight_term_bound: cfg.group_budget, // per-group, see bound math
                 data_term_bound: cfg.data_terms.unwrap_or(7),
                 tr_config: Some(*cfg),
+                checksum: 0,
             }
         }
-    }
+    };
+    prepared.seal()
 }
 
 #[cfg(test)]
@@ -449,6 +569,55 @@ mod tests {
                 assert!(Arc::ptr_eq(a, b));
             }
         }
+    }
+
+    #[test]
+    fn prepared_weights_seal_and_verify() {
+        let w = weight(7);
+        for precision in [
+            Precision::Float,
+            Precision::Qt { weight_bits: 8, act_bits: 8 },
+            Precision::PerValue { encoding: Encoding::Hese, weight_terms: 2, data_terms: Some(3) },
+            Precision::Tr(TrConfig::new(8, 12).with_data_terms(3)),
+        ] {
+            let p = prepare_weights(&w, &precision);
+            p.verify_integrity().unwrap_or_else(|e| panic!("{}: {e}", precision.label()));
+            // The seal is a pure function of content: rebuild, same seal.
+            assert_eq!(p.checksum, prepare_weights(&w, &precision).checksum);
+        }
+    }
+
+    #[test]
+    fn tampered_prepared_weights_are_detected() {
+        let w = weight(8);
+        let pristine = prepare_weights(&w, &Precision::Tr(TrConfig::new(8, 12).with_data_terms(3)));
+        for salt in 0..16u64 {
+            let mut p = pristine.clone();
+            assert!(p.tamper(salt), "salt {salt}");
+            assert!(p.verify_integrity().is_err(), "salt {salt} went undetected");
+            // Same salt twice: identical corruption (campaign replay).
+            let mut q = pristine.clone();
+            q.tamper(salt);
+            assert_eq!(p.content_checksum(), q.content_checksum(), "salt {salt}");
+        }
+        // Float entries carry no planes or reconstruction: nothing to hit.
+        let mut float = prepare_weights(&w, &Precision::Float);
+        assert!(!float.tamper(3));
+        float.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn tamper_reaches_the_reconstruction_inference_reads() {
+        // At least one salt must corrupt qweight itself (the tensor the
+        // forward actually multiplies by), not just the counting planes.
+        let w = weight(9);
+        let pristine = prepare_weights(&w, &Precision::Qt { weight_bits: 8, act_bits: 8 });
+        let hit = (0..8u64).any(|salt| {
+            let mut p = pristine.clone();
+            p.tamper(salt);
+            p.qweight != pristine.qweight
+        });
+        assert!(hit, "no salt corrupted the reconstruction tensor");
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Bounded retry with exponential backoff and deterministic jitter.
+//!
+//! Transient engine errors (see [`crate::engine::EngineError`]) are
+//! retried a bounded number of times with exponentially growing delays.
+//! The jitter that de-synchronizes retry storms is *seed-driven*: the
+//! same `(seed, attempt, site)` triple always yields the same delay, via
+//! the same stateless SplitMix64 site-hash idiom `tr-hw` uses for fault
+//! injection — so a chaos campaign under a fixed seed replays the exact
+//! same retry schedule every run.
+
+use std::time::Duration;
+
+/// SplitMix64 finalizer — the mixing core of every site hash.
+pub(crate) fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stateless site hash: the same `(seed, stream, coordinates)` always
+/// produces the same draw, regardless of evaluation order.
+pub(crate) fn site_hash(seed: u64, stream: u64, a: u64, b: u64) -> u64 {
+    mix(seed ^ mix(stream ^ mix(a ^ mix(b))))
+}
+
+/// Map a hash to a uniform draw in `[0, 1)`.
+pub(crate) fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Hash stream for retry jitter (kept distinct from chaos decisions).
+const STREAM_JITTER: u64 = 0x0E7B;
+
+/// Retry policy for transient engine failures.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per batch, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Delay scale of the first retry.
+    pub base: Duration,
+    /// Ceiling on any single delay (before jitter halving).
+    pub cap: Duration,
+    /// Seed of the deterministic jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_micros(500),
+            cap: Duration::from_millis(10),
+            jitter_seed: 0x7E7B_0FF1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (1-based: attempt 1 is
+    /// the first retry) at call site `site` — "equal jitter": half the
+    /// exponential delay fixed, half drawn uniformly from the seeded
+    /// site hash, so delays stay within `[exp/2, exp)` of the classic
+    /// schedule while distinct sites decorrelate.
+    #[must_use]
+    pub fn delay(&self, attempt: u32, site: u64) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt.saturating_sub(1)).unwrap_or(u32::MAX))
+            .min(self.cap);
+        let half = exp / 2;
+        let draw = unit(site_hash(self.jitter_seed, STREAM_JITTER, u64::from(attempt), site));
+        half + exp.mul_f64(draw / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_exponentially_up_to_the_cap() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(8),
+            jitter_seed: 1,
+        };
+        // Jitter keeps every delay within [exp/2, exp).
+        for (attempt, exp_ms) in [(1u32, 1u64), (2, 2), (3, 4), (4, 8), (5, 8), (9, 8)] {
+            let d = p.delay(attempt, 42);
+            let exp = Duration::from_millis(exp_ms);
+            assert!(d >= exp / 2 && d < exp, "attempt {attempt}: {d:?} vs exp {exp:?}");
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_site_and_decorrelated_across_sites() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.delay(2, 7), p.delay(2, 7), "same site must replay identically");
+        let distinct: std::collections::HashSet<Duration> =
+            (0..16u64).map(|site| p.delay(2, site)).collect();
+        assert!(distinct.len() > 8, "sites must decorrelate: {distinct:?}");
+        // A different seed shifts the whole schedule.
+        let other = RetryPolicy { jitter_seed: 99, ..RetryPolicy::default() };
+        assert_ne!(p.delay(2, 7), other.delay(2, 7));
+    }
+
+    #[test]
+    fn unit_draws_are_in_range() {
+        for i in 0..1000u64 {
+            let u = unit(mix(i));
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Chaos injection: a fault-wrapping engine for self-healing campaigns.
+//!
+//! [`ChaosEngine`] wraps the production [`NnEngine`] and injects the
+//! software faults the service claims to survive — worker panics,
+//! stalls, transient errors, and silent cache corruption — at
+//! seed-driven rates. Decisions use the same stateless site-hash idiom
+//! as `tr-hw` fault injection: the same `(seed, stream, site)` always
+//! faults the same way, so a campaign replays exactly under a fixed
+//! seed, and honest code paths pay nothing when a rate is zero.
+//!
+//! Injections are counted in `tr-obs` (`chaos.injected.*`) so campaigns
+//! can assert *detection == injection* — the zero-silent-corruption
+//! acceptance gate.
+
+use crate::backoff::{site_hash, unit};
+use crate::engine::{Engine, EngineError, EngineFactory, NnEngine};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tr_nn::Precision;
+use tr_obs::Counter;
+
+static INJECTED_PANICS: Counter = Counter::new("chaos.injected.panics");
+static INJECTED_STALLS: Counter = Counter::new("chaos.injected.stalls");
+static INJECTED_TRANSIENTS: Counter = Counter::new("chaos.injected.transients");
+static INJECTED_CORRUPTIONS: Counter = Counter::new("chaos.injected.corruptions");
+
+/// Hash streams, one per fault family (decorrelates the draws).
+const STREAM_CALL: u64 = 0xCA11;
+const STREAM_CORRUPT: u64 = 0xC0BB;
+
+/// Fault rates and shapes for one chaos campaign. All rates are
+/// per-opportunity probabilities in `[0, 1]`; the per-call rates
+/// (`panic`, `stall`, `transient`) partition a single draw, so their sum
+/// must stay ≤ 1.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed of every fault decision (and of the tamper bit choice).
+    pub seed: u64,
+    /// Probability an inference call panics (poison-style crash).
+    pub panic_rate: f64,
+    /// Probability an inference call stalls for [`ChaosConfig::stall`]
+    /// of real time before proceeding (what the watchdog must catch).
+    pub stall_rate: f64,
+    /// Probability an inference call fails with a retryable
+    /// [`EngineError::Transient`].
+    pub transient_rate: f64,
+    /// Probability a rung switch silently flips a bit in the cached
+    /// encoded weights of an already-visited rung.
+    pub corrupt_rate: f64,
+    /// Real-time length of an injected stall.
+    pub stall: Duration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            seed: 0xC405,
+            panic_rate: 0.0,
+            stall_rate: 0.0,
+            transient_rate: 0.0,
+            corrupt_rate: 0.0,
+            stall: Duration::from_millis(50),
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Totals of the `chaos.injected.*` counters as
+    /// `(panics, stalls, transients, corruptions)` — campaign
+    /// bookkeeping for the detection == injection gate.
+    #[must_use]
+    pub fn injected_totals() -> (u64, u64, u64, u64) {
+        let s = tr_obs::recorder().snapshot();
+        (
+            s.counter("chaos.injected.panics"),
+            s.counter("chaos.injected.stalls"),
+            s.counter("chaos.injected.transients"),
+            s.counter("chaos.injected.corruptions"),
+        )
+    }
+}
+
+/// An [`NnEngine`] with scheduled misbehaviour. Wraps the concrete type
+/// (not `dyn Engine`) so cache corruption can reach
+/// [`NnEngine::tamper_cached`] directly.
+pub struct ChaosEngine {
+    inner: NnEngine,
+    cfg: ChaosConfig,
+    /// This replica's id within the factory — decorrelates fault
+    /// schedules across workers while keeping each schedule replayable.
+    instance: u64,
+    calls: u64,
+    switches: u64,
+    injected_corruptions: u64,
+}
+
+impl ChaosEngine {
+    #[must_use]
+    pub fn new(inner: NnEngine, cfg: ChaosConfig, instance: u64) -> ChaosEngine {
+        ChaosEngine { inner, cfg, instance, calls: 0, switches: 0, injected_corruptions: 0 }
+    }
+
+    /// Read access to the wrapped engine (campaign assertions).
+    #[must_use]
+    pub fn inner(&self) -> &NnEngine {
+        &self.inner
+    }
+
+    /// Corruptions this instance actually landed (a roll that hits an
+    /// uncached rung injects nothing and is not counted).
+    #[must_use]
+    pub fn injected_corruptions(&self) -> u64 {
+        self.injected_corruptions
+    }
+}
+
+impl Engine for ChaosEngine {
+    fn set_precision(&mut self, precision: &Precision, cost_factor: f64) {
+        self.switches += 1;
+        let h = site_hash(self.cfg.seed, STREAM_CORRUPT, self.instance, self.switches);
+        if unit(h) < self.cfg.corrupt_rate && self.inner.tamper_cached(precision, h) {
+            // The corruption is silent; the delegated switch below must
+            // detect it via the checksums and repair before serving.
+            self.injected_corruptions += 1;
+            INJECTED_CORRUPTIONS.inc();
+        }
+        self.inner.set_precision(precision, cost_factor);
+    }
+
+    fn infer(&mut self, inputs: &[&[f32]]) -> Vec<usize> {
+        match self.try_infer(inputs) {
+            Ok(preds) => preds,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    fn try_infer(&mut self, inputs: &[&[f32]]) -> Result<Vec<usize>, EngineError> {
+        self.calls += 1;
+        let r = unit(site_hash(self.cfg.seed, STREAM_CALL, self.instance, self.calls));
+        if r < self.cfg.panic_rate {
+            INJECTED_PANICS.inc();
+            panic!("chaos: injected worker panic (call {})", self.calls);
+        }
+        if r < self.cfg.panic_rate + self.cfg.stall_rate {
+            INJECTED_STALLS.inc();
+            // A real stall: the thread genuinely stops making progress,
+            // which is exactly what the heartbeat watchdog must see.
+            std::thread::sleep(self.cfg.stall);
+        } else if r < self.cfg.panic_rate + self.cfg.stall_rate + self.cfg.transient_rate {
+            INJECTED_TRANSIENTS.inc();
+            return Err(EngineError::Transient(format!(
+                "chaos: injected transient (call {})",
+                self.calls
+            )));
+        }
+        self.inner.try_infer(inputs)
+    }
+
+    fn integrity_stats(&self) -> (u64, u64) {
+        self.inner.integrity_stats()
+    }
+}
+
+/// An [`EngineFactory`] producing chaos-wrapped replicas of the engines
+/// `build` creates. Instances are numbered in creation order, so each
+/// worker slot gets its own replayable fault schedule.
+pub fn chaos_nn_factory(
+    build: impl Fn() -> NnEngine + Send + Sync + 'static,
+    cfg: ChaosConfig,
+) -> EngineFactory {
+    let next = AtomicU64::new(0);
+    Arc::new(move || {
+        let instance = next.fetch_add(1, Ordering::SeqCst);
+        Box::new(ChaosEngine::new(build(), cfg.clone(), instance))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use tr_core::TrConfig;
+    use tr_nn::layers::Linear;
+    use tr_nn::Sequential;
+    use tr_tensor::Rng;
+
+    fn tiny() -> NnEngine {
+        let mut rng = Rng::seed_from_u64(3);
+        let model = Sequential::new().push(Linear::new(4, 3, &mut rng));
+        NnEngine::new(model, 4, Duration::ZERO, 11)
+    }
+
+    #[test]
+    fn zero_rates_are_transparent() {
+        let mut chaotic = ChaosEngine::new(tiny(), ChaosConfig::default(), 0);
+        let mut clean = tiny();
+        let x = [0.2f32, -0.4, 0.8, 0.1];
+        let tr = Precision::Tr(TrConfig::new(2, 3).with_data_terms(2));
+        chaotic.set_precision(&tr, 1.0);
+        clean.set_precision(&tr, 1.0);
+        assert_eq!(chaotic.try_infer(&[&x]).unwrap(), clean.infer(&[&x]));
+        assert_eq!(chaotic.injected_corruptions(), 0);
+        assert_eq!(chaotic.integrity_stats(), (0, 0));
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_per_seed_and_instance() {
+        let cfg = ChaosConfig { transient_rate: 0.3, ..ChaosConfig::default() };
+        let x = [0.2f32, -0.4, 0.8, 0.1];
+        let run = |instance: u64| -> Vec<bool> {
+            let mut e = ChaosEngine::new(tiny(), cfg.clone(), instance);
+            (0..64).map(|_| e.try_infer(&[&x]).is_err()).collect()
+        };
+        let a = run(0);
+        assert_eq!(a, run(0), "same instance must replay identically");
+        assert_ne!(a, run(1), "instances must decorrelate");
+        assert!(a.iter().any(|&f| f) && !a.iter().all(|&f| f), "rate 0.3 mixes outcomes");
+    }
+
+    #[test]
+    fn corruption_is_injected_and_always_repaired() {
+        let cfg = ChaosConfig { corrupt_rate: 1.0, ..ChaosConfig::default() };
+        let mut e = ChaosEngine::new(tiny(), cfg, 0);
+        let tr = Precision::Tr(TrConfig::new(2, 3).with_data_terms(2));
+        // First switch: rung uncached, the roll lands on nothing.
+        e.set_precision(&tr, 1.0);
+        assert_eq!(e.injected_corruptions(), 0);
+        // Every revisit tampers the cached entry and the delegated
+        // switch repairs it: detection == injection, nothing silent.
+        for round in 1..=5u64 {
+            e.set_precision(&tr, 1.0);
+            assert_eq!(e.injected_corruptions(), round);
+            let (violations, repairs) = e.integrity_stats();
+            assert_eq!((violations, repairs), (round, round));
+        }
+    }
+
+    #[test]
+    fn injected_panics_are_catchable() {
+        let cfg = ChaosConfig { panic_rate: 1.0, ..ChaosConfig::default() };
+        let mut e = ChaosEngine::new(tiny(), cfg, 0);
+        let x = [0.0f32; 4];
+        let r = catch_unwind(AssertUnwindSafe(|| e.infer(&[&x])));
+        assert!(r.is_err(), "panic_rate 1.0 must panic");
+    }
+
+    #[test]
+    fn factory_numbers_instances() {
+        let cfg = ChaosConfig { transient_rate: 0.5, ..ChaosConfig::default() };
+        let factory = chaos_nn_factory(tiny, cfg);
+        let x = [0.2f32, -0.4, 0.8, 0.1];
+        let probe = |mut e: Box<dyn Engine>| -> Vec<bool> {
+            (0..64).map(|_| e.try_infer(&[&x]).is_err()).collect()
+        };
+        let a = probe(factory());
+        let b = probe(factory());
+        assert_ne!(a, b, "factory replicas must get distinct schedules");
+    }
+}

@@ -1,0 +1,139 @@
+//! Injectable monotonic time.
+//!
+//! Every deadline, backoff, breaker-cooldown, and heartbeat decision in
+//! the service routes through a [`Clock`] instead of calling
+//! `Instant::now()` directly, so tests (and the chaos campaigns) can run
+//! the same timing logic against a [`MockClock`] that only moves when
+//! told to — deterministic on an arbitrarily slow CI machine. The
+//! production [`MonotonicClock`] is a zero-cost passthrough.
+//!
+//! Scope: the clock governs *decisions about time* (is this deadline
+//! dead? how long is this backoff? has this worker stalled?). Condvar
+//! waits still block in real time — a frozen mock clock never deadlocks
+//! a worker, it just freezes the deadline math.
+
+use std::fmt::Debug;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic time source plus the sleep that honours it.
+pub trait Clock: Send + Sync + Debug {
+    /// The current instant on this clock.
+    fn now(&self) -> Instant;
+
+    /// Pause the calling thread for `d` *on this clock* — the real clock
+    /// actually sleeps; a mock clock advances itself instead, so backoff
+    /// delays cost no wall time under test.
+    fn sleep(&self, d: Duration);
+}
+
+/// A shared clock handle, cloned into every thread of the service.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// The production clock: `Instant::now()` and `thread::sleep`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MonotonicClock;
+
+impl Clock for MonotonicClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+
+    fn sleep(&self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// The default shared clock.
+#[must_use]
+pub fn monotonic() -> SharedClock {
+    Arc::new(MonotonicClock)
+}
+
+/// A manually advanced clock: `now()` is a fixed base instant plus an
+/// atomic offset. `sleep` advances the offset instead of blocking, so
+/// timing-dependent logic runs at full speed yet sees exactly the
+/// durations the test scripted.
+#[derive(Debug)]
+pub struct MockClock {
+    base: Instant,
+    offset_us: AtomicU64,
+}
+
+impl Default for MockClock {
+    fn default() -> Self {
+        MockClock::new()
+    }
+}
+
+impl MockClock {
+    /// A clock frozen at its creation instant.
+    #[must_use]
+    pub fn new() -> MockClock {
+        MockClock { base: Instant::now(), offset_us: AtomicU64::new(0) }
+    }
+
+    /// Move the clock forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        self.offset_us.fetch_add(us, Ordering::SeqCst);
+    }
+
+    /// Microseconds advanced since creation.
+    #[must_use]
+    pub fn elapsed_us(&self) -> u64 {
+        self.offset_us.load(Ordering::SeqCst)
+    }
+}
+
+impl Clock for MockClock {
+    fn now(&self) -> Instant {
+        self.base + Duration::from_micros(self.offset_us.load(Ordering::SeqCst))
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_tracks_real_time() {
+        let c = MonotonicClock;
+        let a = c.now();
+        c.sleep(Duration::from_millis(2));
+        assert!(c.now().duration_since(a) >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn mock_clock_only_moves_when_advanced() {
+        let c = MockClock::new();
+        let a = c.now();
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(c.now(), a, "real time must not leak into the mock");
+        c.advance(Duration::from_secs(3));
+        assert_eq!(c.now().duration_since(a), Duration::from_secs(3));
+        // sleep() advances instead of blocking.
+        let t0 = Instant::now();
+        c.sleep(Duration::from_secs(60));
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        assert_eq!(c.elapsed_us(), 63_000_000);
+    }
+
+    #[test]
+    fn mock_clock_is_shareable_across_threads() {
+        let c: SharedClock = Arc::new(MockClock::new());
+        let c2 = Arc::clone(&c);
+        let before = c.now();
+        std::thread::spawn(move || c2.sleep(Duration::from_millis(500)))
+            .join()
+            .expect("advance thread");
+        assert_eq!(c.now().duration_since(before), Duration::from_millis(500));
+    }
+}

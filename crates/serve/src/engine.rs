@@ -21,6 +21,33 @@ use tr_tensor::{Rng, Shape, Tensor};
 static RUNG_CACHE_HITS: Counter = Counter::new("serve.rung_cache.hits");
 /// Rung switches that had to build the encoding (first visit per rung).
 static RUNG_CACHE_MISSES: Counter = Counter::new("serve.rung_cache.misses");
+/// Cached rung entries whose content checksum no longer matched — silent
+/// corruption caught before the weights could serve a batch.
+static CACHE_INTEGRITY_VIOLATIONS: Counter = Counter::new("serve.cache.integrity_violations");
+/// Corrupt cache entries discarded and rebuilt from the model weights.
+/// `prepare_weights` is a pure function of (weights, precision), so the
+/// rebuilt entry is bit-identical to the original — repair is lossless.
+static CACHE_REPAIRS: Counter = Counter::new("serve.cache.repairs");
+
+/// How an engine call failed without panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A failure worth retrying (momentary resource pressure, an
+    /// injected chaos transient). The worker retries with backoff.
+    Transient(String),
+    /// A failure retries cannot fix. The worker treats it like a panic:
+    /// quarantine hunt, breaker bookkeeping, engine rebuild.
+    Fatal(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Transient(m) => write!(f, "transient engine error: {m}"),
+            EngineError::Fatal(m) => write!(f, "fatal engine error: {m}"),
+        }
+    }
+}
 
 /// A classification engine serving one worker.
 ///
@@ -36,6 +63,22 @@ pub trait Engine {
 
     /// Classify a batch of feature vectors, one predicted class per row.
     fn infer(&mut self, inputs: &[&[f32]]) -> Vec<usize>;
+
+    /// Fallible classification: the retry-aware entry point the workers
+    /// call. The default delegates to [`Engine::infer`] (which may still
+    /// panic on poison); engines that can fail recoverably — or chaos
+    /// wrappers injecting such failures — override this to surface
+    /// [`EngineError::Transient`] instead of unwinding.
+    fn try_infer(&mut self, inputs: &[&[f32]]) -> Result<Vec<usize>, EngineError> {
+        Ok(self.infer(inputs))
+    }
+
+    /// `(violations, repairs)` of this engine's weight-cache integrity
+    /// machinery since construction. Engines without a cache report
+    /// zeros.
+    fn integrity_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// Builds a fresh engine — called once per worker at startup and again
@@ -69,6 +112,17 @@ pub struct NnEngine {
     rung_cache: HashMap<Precision, Vec<PreparedWeights>>,
     cache_hits: u64,
     cache_misses: u64,
+    integrity_violations: u64,
+    integrity_repairs: u64,
+}
+
+/// What `set_precision` found in the rung cache.
+enum CacheState {
+    Miss,
+    Hit,
+    /// At least one site's checksum failed — the whole entry is
+    /// discarded and re-encoded from the (authoritative) model weights.
+    Corrupt,
 }
 
 impl NnEngine {
@@ -85,6 +139,8 @@ impl NnEngine {
             rung_cache: HashMap::new(),
             cache_hits: 0,
             cache_misses: 0,
+            integrity_violations: 0,
+            integrity_repairs: 0,
         }
     }
 
@@ -95,21 +151,63 @@ impl NnEngine {
     pub fn rung_cache_stats(&self) -> (u64, u64) {
         (self.cache_hits, self.cache_misses)
     }
+
+    /// Flip one bit inside the cached entry for `precision` (chaos
+    /// hook). The corruption is silent — nothing is recomputed — so the
+    /// next `set_precision` hit on that rung must *detect* it via the
+    /// content checksums and repair by re-encoding. Returns `false` when
+    /// the rung is not cached or holds nothing tamperable.
+    pub fn tamper_cached(&mut self, precision: &Precision, salt: u64) -> bool {
+        let Some(entry) = self.rung_cache.get_mut(precision) else {
+            return false;
+        };
+        if entry.is_empty() {
+            return false;
+        }
+        let site = usize::try_from(salt % entry.len() as u64).unwrap_or(0);
+        entry[site].tamper(salt)
+    }
 }
 
 impl Engine for NnEngine {
     fn set_precision(&mut self, precision: &Precision, cost_factor: f64) {
-        if let Some(prepared) = self.rung_cache.get(precision) {
-            // Cache hit: swap the per-site Arcs; nothing is re-encoded.
-            apply_precision_prepared(&mut self.model, precision, prepared);
-            self.cache_hits += 1;
-            RUNG_CACHE_HITS.inc();
-        } else {
-            let prepared = prepare_model_precision(&mut self.model, precision);
-            apply_precision_prepared(&mut self.model, precision, &prepared);
-            self.rung_cache.insert(*precision, prepared);
-            self.cache_misses += 1;
-            RUNG_CACHE_MISSES.inc();
+        let state = match self.rung_cache.get(precision) {
+            None => CacheState::Miss,
+            Some(entry) => {
+                if entry.iter().all(|p| p.verify_integrity().is_ok()) {
+                    CacheState::Hit
+                } else {
+                    CacheState::Corrupt
+                }
+            }
+        };
+        match state {
+            CacheState::Hit => {
+                // Cache hit: swap the per-site Arcs; nothing is re-encoded.
+                let prepared = &self.rung_cache[precision];
+                apply_precision_prepared(&mut self.model, precision, prepared);
+                self.cache_hits += 1;
+                RUNG_CACHE_HITS.inc();
+            }
+            CacheState::Miss | CacheState::Corrupt => {
+                if matches!(state, CacheState::Corrupt) {
+                    // Detect-and-re-encode: the model weights are the
+                    // authority, so dropping the entry loses nothing.
+                    self.rung_cache.remove(precision);
+                    self.integrity_violations += 1;
+                    CACHE_INTEGRITY_VIOLATIONS.inc();
+                }
+                let prepared = prepare_model_precision(&mut self.model, precision);
+                apply_precision_prepared(&mut self.model, precision, &prepared);
+                self.rung_cache.insert(*precision, prepared);
+                if matches!(state, CacheState::Corrupt) {
+                    self.integrity_repairs += 1;
+                    CACHE_REPAIRS.inc();
+                } else {
+                    self.cache_misses += 1;
+                    RUNG_CACHE_MISSES.inc();
+                }
+            }
         }
         self.cost_factor = cost_factor;
     }
@@ -149,6 +247,10 @@ impl Engine for NnEngine {
             std::thread::sleep(per_sample * u32::try_from(n).unwrap_or(u32::MAX));
         }
         preds
+    }
+
+    fn integrity_stats(&self) -> (u64, u64) {
+        (self.integrity_violations, self.integrity_repairs)
     }
 }
 
@@ -275,6 +377,70 @@ mod tests {
         assert!(cost_factor_vs(&tr8, &tr24) < 1.0);
         assert!(cost_factor_vs(&qt8, &tr24) > 1.0);
         assert_eq!(cost_factor_vs(&tr24, &tr24), 1.0);
+    }
+
+    #[test]
+    fn tampered_cache_entry_is_detected_and_repaired() {
+        let mut e = tiny_engine();
+        let x = [0.3f32, -0.2, 0.9, 0.1];
+        let tr = Precision::Tr(TrConfig::new(2, 3).with_data_terms(2));
+        e.set_precision(&tr, 1.0);
+        let clean = e.infer(&[&x]);
+        assert_eq!(e.integrity_stats(), (0, 0));
+        assert!(e.tamper_cached(&tr, 0xBAD), "cached rung must be tamperable");
+        // Next switch to the rung detects the corruption and re-encodes
+        // from the model weights — not a hit, not a plain miss.
+        let (hits, misses) = e.rung_cache_stats();
+        e.set_precision(&tr, 1.0);
+        assert_eq!(e.integrity_stats(), (1, 1));
+        assert_eq!(e.rung_cache_stats(), (hits, misses), "repair is neither hit nor miss");
+        assert_eq!(e.infer(&[&x]), clean, "repair restores bit-identical service");
+        // The repaired entry serves as a normal hit afterwards.
+        e.set_precision(&tr, 1.0);
+        assert_eq!(e.rung_cache_stats(), (hits + 1, misses));
+    }
+
+    #[test]
+    fn repaired_rung_matches_a_fresh_engine_exactly() {
+        // Re-entry into a corrupted rung must be indistinguishable from
+        // a first visit: same predictions as an engine that never saw
+        // the corruption.
+        let mut hurt = tiny_engine();
+        let mut fresh = tiny_engine();
+        let x = [0.7f32, 0.4, -0.6, 0.2];
+        let rungs = [
+            Precision::Tr(TrConfig::new(2, 3).with_data_terms(2)),
+            Precision::Qt { weight_bits: 8, act_bits: 8 },
+        ];
+        for p in &rungs {
+            hurt.set_precision(p, 1.0);
+            hurt.infer(&[&x]);
+        }
+        for (i, p) in rungs.iter().enumerate() {
+            assert!(hurt.tamper_cached(p, 0x5EED + i as u64));
+        }
+        for p in &rungs {
+            hurt.set_precision(p, 1.0);
+            let repaired = hurt.infer(&[&x]);
+            fresh.set_precision(p, 1.0);
+            assert_eq!(repaired, fresh.infer(&[&x]), "{}", p.label());
+        }
+        assert_eq!(hurt.integrity_stats(), (2, 2));
+    }
+
+    #[test]
+    fn tamper_cached_reports_untouchable_rungs() {
+        let mut e = tiny_engine();
+        let tr = Precision::Tr(TrConfig::new(2, 3).with_data_terms(2));
+        assert!(!e.tamper_cached(&tr, 1), "uncached rung cannot be tampered");
+    }
+
+    #[test]
+    fn try_infer_default_delegates_to_infer() {
+        let mut e = tiny_engine();
+        let x = [0.1f32, 0.2, 0.3, 0.4];
+        let via_try = e.try_infer(&[&x]).expect("healthy batch");
+        assert_eq!(via_try, e.infer(&[&x]));
     }
 
     #[test]

@@ -425,6 +425,54 @@ mod tests {
     }
 
     #[test]
+    fn exact_watermark_boundaries_count_toward_streaks() {
+        // The watermarks are inclusive: pressure == high_water is high,
+        // pressure == low_water is low. A batch formed at exactly 75%
+        // queue depth must count toward stepping down — off-by-one here
+        // would stall the ladder right at the threshold.
+        let mut l = ladder();
+        let hw = l.config().high_water;
+        let lw = l.config().low_water;
+        assert_eq!(l.observe(hw), 0);
+        assert_eq!(l.observe(hw), 0);
+        assert_eq!(l.observe(hw), 1, "pressure == high_water must step down");
+        // Burn the cooldown at mid-band, then relief at exactly low_water.
+        for _ in 0..4 {
+            l.observe(0.5);
+        }
+        assert_eq!(l.observe(lw), 1);
+        assert_eq!(l.observe(lw), 1);
+        assert_eq!(l.observe(lw), 0, "pressure == low_water must step up");
+        // Just inside the mid-band moves nothing.
+        let mut m = ladder();
+        for _ in 0..10 {
+            assert_eq!(m.observe(hw - 1e-9), 0);
+        }
+    }
+
+    #[test]
+    fn latch_clear_steps_home_immediately_even_mid_cooldown() {
+        // Walk down one rung so the cooldown counter is live, then latch
+        // and clear: the clear must restore rung 0 *now* — operator
+        // relief is not subject to the anti-thrash cooldown.
+        let mut l = ladder();
+        for _ in 0..3 {
+            l.observe(1.0);
+        }
+        assert_eq!(l.current(), 1);
+        l.latch_fault();
+        assert_eq!(l.current(), l.config().fallback.unwrap());
+        l.clear_fault();
+        assert_eq!(l.current(), 0, "clear_fault must not wait out the cooldown");
+        // And the ladder is immediately responsive again: a fresh
+        // sustained-pressure episode steps down with normal patience.
+        for _ in 0..20 {
+            l.observe(1.0);
+        }
+        assert!(l.current() > 0, "ladder must keep degrading after a latch/clear cycle");
+    }
+
+    #[test]
     fn config_validation_rejects_bad_ladders() {
         let mut bad = LadderConfig::default_tr_ladder();
         bad.high_water = 0.2;

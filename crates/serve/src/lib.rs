@@ -29,14 +29,26 @@
 //!
 //! Everything is plain `std::thread` — no async runtime.
 
+pub mod backoff;
+pub mod breaker;
+pub mod chaos;
+pub mod clock;
 pub mod engine;
+pub mod events;
 pub mod ladder;
 pub mod metrics;
 pub mod queue;
 pub mod request;
 pub mod service;
 
-pub use engine::{cost_factor_vs, model_input_dim, nn_engine_factory, Engine, EngineFactory, NnEngine};
+pub use backoff::RetryPolicy;
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use chaos::{chaos_nn_factory, ChaosConfig, ChaosEngine};
+pub use clock::{monotonic, Clock, MockClock, MonotonicClock, SharedClock};
+pub use engine::{
+    cost_factor_vs, model_input_dim, nn_engine_factory, Engine, EngineError, EngineFactory, NnEngine,
+};
+pub use events::{EventKind, EventLog, ServeEvent};
 pub use ladder::{per_value_pair_bound, Ladder, LadderConfig, Rung, StepReason, Transition};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use queue::{BoundedQueue, Pull};

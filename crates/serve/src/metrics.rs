@@ -46,6 +46,16 @@ pub struct Metrics {
     /// Precision reconfigurations performed by workers (the Table 1
     /// register switches).
     pub reconfigurations: AtomicU64,
+    /// Batch attempts retried after a transient engine error.
+    pub retries: AtomicU64,
+    /// Batches whose retry budget ran out (treated as a worker failure).
+    pub retry_exhausted: AtomicU64,
+    /// Circuit-breaker trips (Closed/HalfOpen → Open).
+    pub breaker_opens: AtomicU64,
+    /// Stalled worker slots recycled by the watchdog.
+    pub watchdog_recycles: AtomicU64,
+    /// Corrupt cached rungs detected and re-encoded by workers.
+    pub cache_repairs: AtomicU64,
     latencies_us: Log2Histogram,
 }
 
@@ -71,6 +81,11 @@ impl Metrics {
             worker_panics: self.worker_panics.load(Ordering::SeqCst),
             worker_restarts: self.worker_restarts.load(Ordering::SeqCst),
             reconfigurations: self.reconfigurations.load(Ordering::SeqCst),
+            retries: self.retries.load(Ordering::SeqCst),
+            retry_exhausted: self.retry_exhausted.load(Ordering::SeqCst),
+            breaker_opens: self.breaker_opens.load(Ordering::SeqCst),
+            watchdog_recycles: self.watchdog_recycles.load(Ordering::SeqCst),
+            cache_repairs: self.cache_repairs.load(Ordering::SeqCst),
             latencies_us: self.latencies_us.snapshot(),
         }
     }
@@ -102,6 +117,16 @@ pub struct MetricsSnapshot {
     pub worker_restarts: u64,
     /// See [`Metrics::reconfigurations`].
     pub reconfigurations: u64,
+    /// See [`Metrics::retries`].
+    pub retries: u64,
+    /// See [`Metrics::retry_exhausted`].
+    pub retry_exhausted: u64,
+    /// See [`Metrics::breaker_opens`].
+    pub breaker_opens: u64,
+    /// See [`Metrics::watchdog_recycles`].
+    pub watchdog_recycles: u64,
+    /// See [`Metrics::cache_repairs`].
+    pub cache_repairs: u64,
     /// Completed latencies in microseconds, log2-bucketed. Exact count,
     /// sum, min, and max; percentiles to bucket resolution.
     pub latencies_us: HistSnapshot,
@@ -146,6 +171,11 @@ impl MetricsSnapshot {
             worker_panics: self.worker_panics - earlier.worker_panics,
             worker_restarts: self.worker_restarts - earlier.worker_restarts,
             reconfigurations: self.reconfigurations - earlier.reconfigurations,
+            retries: self.retries - earlier.retries,
+            retry_exhausted: self.retry_exhausted - earlier.retry_exhausted,
+            breaker_opens: self.breaker_opens - earlier.breaker_opens,
+            watchdog_recycles: self.watchdog_recycles - earlier.watchdog_recycles,
+            cache_repairs: self.cache_repairs - earlier.cache_repairs,
             latencies_us: self.latencies_us.since(&earlier.latencies_us),
         }
     }

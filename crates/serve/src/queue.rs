@@ -8,11 +8,12 @@
 //! configured service-time estimate, so dead work is shed before it
 //! wastes compute.
 
+use crate::clock::{monotonic, SharedClock};
 use crate::request::Request;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Recover a mutex even if a panicking thread poisoned it — the service
 /// is designed to survive worker panics, so lock poisoning must never
@@ -39,6 +40,7 @@ pub struct BoundedQueue {
     inner: Mutex<VecDeque<Request>>,
     capacity: usize,
     cv: Condvar,
+    clock: SharedClock,
 }
 
 impl BoundedQueue {
@@ -48,8 +50,23 @@ impl BoundedQueue {
     /// If `capacity` is zero.
     #[must_use]
     pub fn new(capacity: usize) -> BoundedQueue {
+        BoundedQueue::with_clock(capacity, monotonic())
+    }
+
+    /// A queue whose deadline decisions read `clock` instead of the
+    /// system clock (condvar waits still block in real time).
+    ///
+    /// # Panics
+    /// If `capacity` is zero.
+    #[must_use]
+    pub fn with_clock(capacity: usize, clock: SharedClock) -> BoundedQueue {
         assert!(capacity > 0, "queue capacity must be non-zero");
-        BoundedQueue { inner: Mutex::new(VecDeque::with_capacity(capacity)), capacity, cv: Condvar::new() }
+        BoundedQueue {
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            cv: Condvar::new(),
+            clock,
+        }
     }
 
     /// The configured capacity.
@@ -110,18 +127,25 @@ impl BoundedQueue {
     /// execution itself needs. Requests whose deadline cannot be met
     /// (deadline ≤ now + `service_estimate`) are expired instead of
     /// batched.
+    ///
+    /// `max_idle` bounds how long an *empty* pull blocks: once that much
+    /// clock time passes with no viable work, an empty [`Pull`] is
+    /// returned so the caller can run its idle housekeeping (heartbeat
+    /// the watchdog, re-check shutdown) and call again.
     pub fn pop_batch(
         &self,
         max_batch: usize,
         linger: Duration,
         service_estimate: Duration,
+        max_idle: Duration,
         shutdown: &AtomicBool,
     ) -> Pull {
         let mut expired = Vec::new();
         let mut g = lock(&self.inner);
         // Phase 1: block for the first viable request.
+        let idle_from = self.clock.now();
         let first = loop {
-            let now = Instant::now();
+            let now = self.clock.now();
             let mut found = None;
             while let Some(front) = g.front() {
                 if front.deadline <= now + service_estimate {
@@ -139,7 +163,10 @@ impl BoundedQueue {
             // Hand back expiries immediately — holding them while
             // waiting for viable work would delay their terminal
             // outcome until the next request happened to arrive.
-            if !expired.is_empty() || shutdown.load(Ordering::SeqCst) {
+            if !expired.is_empty()
+                || shutdown.load(Ordering::SeqCst)
+                || now.duration_since(idle_from) >= max_idle
+            {
                 let depth = g.len();
                 return Pull { batch: Vec::new(), expired, depth };
             }
@@ -150,10 +177,10 @@ impl BoundedQueue {
             g = ng;
         };
         // Phase 2: fill the batch until close time or max_batch.
-        let close = (Instant::now() + linger).min(first.deadline - service_estimate);
+        let close = (self.clock.now() + linger).min(first.deadline - service_estimate);
         let mut batch = vec![first];
         while batch.len() < max_batch {
-            let now = Instant::now();
+            let now = self.clock.now();
             match g.pop_front() {
                 Some(r) => {
                     if r.deadline <= now + service_estimate {
@@ -166,12 +193,15 @@ impl BoundedQueue {
                     if now >= close || shutdown.load(Ordering::SeqCst) {
                         break;
                     }
-                    let (ng, _timeout) = self
+                    let (ng, timeout) = self
                         .cv
                         .wait_timeout(g, close.duration_since(now))
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
                     g = ng;
-                    if g.is_empty() && Instant::now() >= close {
+                    // A frozen test clock never reaches `close`; the
+                    // real-time condvar timeout terminates the linger
+                    // regardless.
+                    if g.is_empty() && (timeout.timed_out() || self.clock.now() >= close) {
                         break;
                     }
                 }
@@ -187,6 +217,9 @@ impl BoundedQueue {
 mod tests {
     use super::*;
     use std::time::{Duration, Instant};
+
+    /// Effectively-infinite idle bound for tests that predate it.
+    const IDLE: Duration = Duration::from_secs(60);
 
     fn req(id: u64, deadline_in: Duration) -> Request {
         let now = Instant::now();
@@ -210,7 +243,7 @@ mod tests {
             q.try_push(req(id, Duration::from_secs(5))).unwrap();
         }
         let shutdown = AtomicBool::new(false);
-        let pull = q.pop_batch(3, Duration::from_millis(1), Duration::ZERO, &shutdown);
+        let pull = q.pop_batch(3, Duration::from_millis(1), Duration::ZERO, IDLE, &shutdown);
         assert_eq!(pull.batch.len(), 3);
         assert_eq!(pull.batch[0].id, 0); // FIFO
         assert_eq!(pull.depth, 2);
@@ -227,7 +260,7 @@ mod tests {
         // Deadline inside the service estimate: also hopeless.
         q.try_push(req(3, Duration::from_millis(1))).unwrap();
         let shutdown = AtomicBool::new(false);
-        let pull = q.pop_batch(4, Duration::from_millis(1), Duration::from_millis(100), &shutdown);
+        let pull = q.pop_batch(4, Duration::from_millis(1), Duration::from_millis(100), IDLE, &shutdown);
         assert_eq!(pull.batch.len(), 1);
         assert_eq!(pull.batch[0].id, 2);
         let expired: Vec<u64> = pull.expired.iter().map(|r| r.id).collect();
@@ -241,7 +274,7 @@ mod tests {
         q.try_push(req(2, Duration::from_millis(1))).unwrap();
         let shutdown = AtomicBool::new(false);
         let t0 = Instant::now();
-        let pull = q.pop_batch(4, Duration::from_millis(1), Duration::from_millis(100), &shutdown);
+        let pull = q.pop_batch(4, Duration::from_millis(1), Duration::from_millis(100), IDLE, &shutdown);
         // Must not sit waiting for viable work while holding the
         // expired requests hostage.
         assert!(t0.elapsed() < Duration::from_millis(500));
@@ -254,7 +287,7 @@ mod tests {
     fn shutdown_unblocks_empty_pop() {
         let q = BoundedQueue::new(2);
         let shutdown = AtomicBool::new(true);
-        let pull = q.pop_batch(4, Duration::from_millis(1), Duration::ZERO, &shutdown);
+        let pull = q.pop_batch(4, Duration::from_millis(1), Duration::ZERO, IDLE, &shutdown);
         assert!(pull.batch.is_empty());
         assert!(pull.expired.is_empty());
     }
@@ -265,10 +298,49 @@ mod tests {
         q.try_push(req(1, Duration::from_secs(5))).unwrap();
         let shutdown = AtomicBool::new(false);
         let t0 = Instant::now();
-        let pull = q.pop_batch(4, Duration::from_millis(20), Duration::ZERO, &shutdown);
+        let pull = q.pop_batch(4, Duration::from_millis(20), Duration::ZERO, IDLE, &shutdown);
         assert_eq!(pull.batch.len(), 1);
         // Must have waited for the linger window, but not forever.
         assert!(t0.elapsed() >= Duration::from_millis(15));
         assert!(t0.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn idle_pop_gives_up_after_max_idle() {
+        let q = BoundedQueue::new(2);
+        let shutdown = AtomicBool::new(false);
+        let t0 = Instant::now();
+        let pull =
+            q.pop_batch(4, Duration::from_millis(1), Duration::ZERO, Duration::from_millis(30), &shutdown);
+        assert!(pull.batch.is_empty() && pull.expired.is_empty());
+        let waited = t0.elapsed();
+        assert!(waited >= Duration::from_millis(25), "gave up too early: {waited:?}");
+        assert!(waited < Duration::from_secs(2), "never gave up: {waited:?}");
+    }
+
+    #[test]
+    fn mock_clock_drives_deadline_expiry_without_real_waiting() {
+        use crate::clock::{Clock, MockClock};
+        use std::sync::Arc;
+        let clock = Arc::new(MockClock::new());
+        let q = BoundedQueue::with_clock(4, Arc::clone(&clock) as SharedClock);
+        let now = clock.now();
+        q.try_push(Request {
+            id: 1,
+            input: vec![0.0],
+            submitted: now,
+            deadline: now + Duration::from_millis(50),
+        })
+        .unwrap();
+        // On the mock clock the deadline is an hour of *virtual* slack
+        // away from hopeless; advancing past it expires the request with
+        // no real sleeping.
+        clock.advance(Duration::from_secs(3600));
+        let shutdown = AtomicBool::new(false);
+        let t0 = Instant::now();
+        let pull = q.pop_batch(4, Duration::from_millis(1), Duration::ZERO, IDLE, &shutdown);
+        assert!(pull.batch.is_empty());
+        assert_eq!(pull.expired.len(), 1);
+        assert!(t0.elapsed() < Duration::from_millis(500), "expiry must not wait in real time");
     }
 }

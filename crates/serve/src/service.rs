@@ -23,7 +23,11 @@
 //! * completed-request latency is bounded by the request deadline (late
 //!   results are downgraded to `Expired(AfterExecution)` and discarded).
 
-use crate::engine::{Engine, EngineFactory};
+use crate::backoff::RetryPolicy;
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use crate::clock::{monotonic, SharedClock};
+use crate::engine::{Engine, EngineError, EngineFactory};
+use crate::events::{EventKind, EventLog, ServeEvent};
 use crate::ladder::{Ladder, LadderConfig, Transition};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::queue::BoundedQueue;
@@ -59,6 +63,23 @@ pub struct ServiceConfig {
     pub monitor_window: usize,
     /// Silent corruptions within the window that trip the QT fallback.
     pub monitor_silent_threshold: u64,
+    /// Time source for every deadline/backoff/heartbeat decision.
+    /// Swap in a [`MockClock`](crate::clock::MockClock) for
+    /// deterministic timing tests.
+    pub clock: SharedClock,
+    /// Per-worker circuit-breaker policy.
+    pub breaker: BreakerConfig,
+    /// Retry policy for transient engine errors.
+    pub retry: RetryPolicy,
+    /// How often the supervisor scans worker heartbeats.
+    pub watchdog_interval: Duration,
+    /// Heartbeat age past which a worker counts as stalled and its slot
+    /// is recycled. Must comfortably exceed the longest honest batch
+    /// (engine build + precision install + paced inference).
+    pub watchdog_stall: Duration,
+    /// How long an idle worker blocks on the empty queue before waking
+    /// to heartbeat (bounds watchdog false positives on idle services).
+    pub worker_idle_poll: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -72,6 +93,12 @@ impl Default for ServiceConfig {
             ladder: LadderConfig::default_tr_ladder(),
             monitor_window: 8,
             monitor_silent_threshold: 0,
+            clock: monotonic(),
+            breaker: BreakerConfig::default(),
+            retry: RetryPolicy::default(),
+            watchdog_interval: Duration::from_millis(25),
+            watchdog_stall: Duration::from_secs(2),
+            worker_idle_poll: Duration::from_millis(50),
         }
     }
 }
@@ -87,9 +114,32 @@ struct Shared {
     shutdown: AtomicBool,
     next_id: AtomicU64,
     factory: EngineFactory,
+    /// Ordered recovery-action log (chaos tests assert on sequences).
+    events: EventLog,
+    /// One breaker per worker *slot* — it outlives respawns, so
+    /// consecutive failures across replacement workers still trip it.
+    breakers: Vec<Mutex<CircuitBreaker>>,
+    /// Per-slot heartbeat, µs on the service clock since `epoch`.
+    heartbeats: Vec<AtomicU64>,
+    /// Per-slot generation. A worker whose spawn generation no longer
+    /// matches its slot has been superseded by the watchdog and must
+    /// exit instead of serving.
+    generations: Vec<AtomicU64>,
+    /// Zero point of the heartbeat timestamps.
+    epoch: Instant,
 }
 
 impl Shared {
+    /// Microseconds since `epoch` on the service clock.
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.cfg.clock.now().duration_since(self.epoch).as_micros())
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Stamp `worker_id`'s heartbeat.
+    fn beat(&self, worker_id: usize) {
+        self.heartbeats[worker_id].store(self.now_us(), Ordering::SeqCst);
+    }
     /// Record the terminal outcome of a request — the single funnel every
     /// path goes through, so the conservation law has one enforcement
     /// point.
@@ -129,7 +179,7 @@ enum WorkerExit {
 }
 
 enum WorkerEvent {
-    Exited { worker_id: usize, panicked: bool },
+    Exited { worker_id: usize, gen: u64, panicked: bool },
 }
 
 /// The running service. Dropping without [`Service::shutdown`] aborts
@@ -153,6 +203,8 @@ pub struct ServiceReport {
     pub deepest_rung: usize,
     /// Rung active at shutdown.
     pub final_rung: usize,
+    /// Ordered recovery events (latch, breaker, watchdog, repair).
+    pub events: Vec<ServeEvent>,
 }
 
 impl ServiceReport {
@@ -213,8 +265,9 @@ impl Service {
                 "service needs at least one worker and a non-zero batch size".to_string(),
             ));
         }
+        let epoch = cfg.clock.now();
         let shared = Arc::new(Shared {
-            queue: BoundedQueue::new(cfg.queue_capacity),
+            queue: BoundedQueue::with_clock(cfg.queue_capacity, Arc::clone(&cfg.clock)),
             ladder: Mutex::new(ladder),
             metrics: Metrics::default(),
             completions: Mutex::new(Vec::new()),
@@ -225,11 +278,19 @@ impl Service {
             shutdown: AtomicBool::new(false),
             next_id: AtomicU64::new(0),
             factory,
+            events: EventLog::new(),
+            breakers: (0..cfg.workers)
+                .map(|_| Mutex::new(CircuitBreaker::new(cfg.breaker.clone())))
+                .collect(),
+            heartbeats: (0..cfg.workers).map(|_| AtomicU64::new(0)).collect(),
+            generations: (0..cfg.workers).map(|_| AtomicU64::new(0)).collect(),
+            epoch,
             cfg,
         });
         let (tx, rx) = mpsc::channel::<WorkerEvent>();
         for worker_id in 0..shared.cfg.workers {
-            spawn_worker(Arc::clone(&shared), worker_id, tx.clone());
+            shared.beat(worker_id);
+            spawn_worker(Arc::clone(&shared), worker_id, 0, tx.clone());
         }
         let supervisor = {
             let shared = Arc::clone(&shared);
@@ -255,7 +316,7 @@ impl Service {
             self.shared.finish(id, Outcome::Rejected(reason));
             return Err(reason);
         }
-        let now = Instant::now();
+        let now = self.shared.cfg.clock.now();
         let req = Request { id, input, submitted: now, deadline: now + deadline_in };
         match self.shared.queue.try_push(req) {
             Ok(_depth) => Ok(id),
@@ -273,7 +334,15 @@ impl Service {
     pub fn record_fault_report(&self, report: &FaultReport) -> bool {
         let tripped = lock(&self.shared.monitor).record(report);
         if tripped {
-            lock(&self.shared.ladder).latch_fault();
+            let was_latched = {
+                let mut ladder = lock(&self.shared.ladder);
+                let was = ladder.fault_latched();
+                ladder.latch_fault();
+                was
+            };
+            if !was_latched {
+                self.shared.events.record(EventKind::FaultLatchEngaged);
+            }
         }
         tripped
     }
@@ -282,7 +351,21 @@ impl Service {
     /// the monitor window.
     pub fn clear_fault_latch(&self) {
         lock(&self.shared.monitor).reset();
-        lock(&self.shared.ladder).clear_fault();
+        let was_latched = {
+            let mut ladder = lock(&self.shared.ladder);
+            let was = ladder.fault_latched();
+            ladder.clear_fault();
+            was
+        };
+        if was_latched {
+            self.shared.events.record(EventKind::FaultLatchCleared);
+        }
+    }
+
+    /// Ordered copy of the recovery-event log so far.
+    #[must_use]
+    pub fn events(&self) -> Vec<ServeEvent> {
+        self.shared.events.snapshot()
     }
 
     /// The ladder rung new batches will run at.
@@ -334,17 +417,18 @@ impl Service {
             transitions: ladder.transitions().to_vec(),
             deepest_rung: ladder.deepest(),
             final_rung: ladder.current(),
+            events: self.shared.events.snapshot(),
         }
     }
 }
 
-fn spawn_worker(shared: Arc<Shared>, worker_id: usize, events: mpsc::Sender<WorkerEvent>) {
+fn spawn_worker(shared: Arc<Shared>, worker_id: usize, gen: u64, events: mpsc::Sender<WorkerEvent>) {
     let spawned = std::thread::Builder::new()
         .name(format!("tr-serve-worker-{worker_id}"))
         .spawn(move || {
-            let exit = catch_unwind(AssertUnwindSafe(|| worker_loop(&shared, worker_id)));
+            let exit = catch_unwind(AssertUnwindSafe(|| worker_loop(&shared, worker_id, gen)));
             let panicked = !matches!(exit, Ok(WorkerExit::Clean));
-            let _ = events.send(WorkerEvent::Exited { worker_id, panicked });
+            let _ = events.send(WorkerEvent::Exited { worker_id, gen, panicked });
         });
     spawned.expect("spawn worker thread");
 }
@@ -356,21 +440,56 @@ fn supervisor_loop(
 ) {
     let mut alive = shared.cfg.workers;
     while alive > 0 {
-        match rx.recv() {
-            Ok(WorkerEvent::Exited { worker_id, panicked }) => {
-                // Respawn panicked workers; during shutdown, only while
-                // requests remain to drain (a tail panic must not strand
-                // queued requests with no worker to resolve them).
-                if panicked
+        match rx.recv_timeout(shared.cfg.watchdog_interval) {
+            Ok(WorkerEvent::Exited { worker_id, gen, panicked }) => {
+                if gen != shared.generations[worker_id].load(Ordering::SeqCst) {
+                    // A superseded zombie finally exited; its replacement
+                    // was already spawned (and counted) by the watchdog.
+                    alive -= 1;
+                } else if panicked
                     && (!shared.shutdown.load(Ordering::SeqCst) || !shared.queue.is_empty())
                 {
+                    // Respawn panicked workers; during shutdown, only
+                    // while requests remain to drain (a tail panic must
+                    // not strand queued requests with no worker to
+                    // resolve them).
                     shared.metrics.worker_restarts.fetch_add(1, Ordering::SeqCst);
-                    spawn_worker(Arc::clone(shared), worker_id, tx.clone());
+                    shared.beat(worker_id);
+                    spawn_worker(Arc::clone(shared), worker_id, gen, tx.clone());
                 } else {
                     alive -= 1;
                 }
             }
-            Err(_) => break,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Watchdog tick: recycle slots whose heartbeat is stale.
+                // Skipped during shutdown — a clean drain must not race
+                // replacement spawns.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    continue;
+                }
+                let now_us = shared.now_us();
+                let stall_us =
+                    u64::try_from(shared.cfg.watchdog_stall.as_micros()).unwrap_or(u64::MAX);
+                for worker_id in 0..shared.cfg.workers {
+                    let beat = shared.heartbeats[worker_id].load(Ordering::SeqCst);
+                    if now_us.saturating_sub(beat) <= stall_us {
+                        continue;
+                    }
+                    // Supersede the stalled worker: bump its slot
+                    // generation so the zombie exits when (if) it wakes,
+                    // and spawn a replacement now. The stalled thread is
+                    // never force-killed — it holds no queue requests
+                    // hostage beyond its current batch, which it will
+                    // still resolve before noticing the generation bump.
+                    let next_gen = shared.generations[worker_id].fetch_add(1, Ordering::SeqCst) + 1;
+                    shared.beat(worker_id);
+                    shared.metrics.watchdog_recycles.fetch_add(1, Ordering::SeqCst);
+                    shared.events.record(EventKind::WatchdogRecycled { worker: worker_id });
+                    alive += 1;
+                    spawn_worker(Arc::clone(shared), worker_id, next_gen, tx.clone());
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
         }
     }
 }
@@ -396,29 +515,80 @@ fn sync_precision(
     shared.metrics.reconfigurations.fetch_add(1, Ordering::SeqCst);
 }
 
-fn worker_loop(shared: &Arc<Shared>, _worker_id: usize) -> WorkerExit {
+/// Fold the engine's integrity-repair count into metrics and the event
+/// log (the engine repairs silently inside `set_precision`; the worker
+/// surfaces it).
+fn harvest_repairs(shared: &Shared, engine: &dyn Engine, last_repairs: &mut u64, worker_id: usize) {
+    let (_violations, repairs) = engine.integrity_stats();
+    if repairs > *last_repairs {
+        shared.metrics.cache_repairs.fetch_add(repairs - *last_repairs, Ordering::SeqCst);
+        for _ in *last_repairs..repairs {
+            shared.events.record(EventKind::CacheRepaired { worker: worker_id });
+        }
+        *last_repairs = repairs;
+    }
+}
+
+/// How one batch execution (including retries) resolved.
+enum BatchAttempt {
+    Done(Vec<usize>),
+    /// Panic, fatal error, contract violation, or exhausted retries —
+    /// the batch goes to the quarantine hunt and the worker is replaced.
+    Failed,
+}
+
+fn worker_loop(shared: &Arc<Shared>, worker_id: usize, gen: u64) -> WorkerExit {
+    let clock = &shared.cfg.clock;
     let mut engine: Box<dyn Engine> = (shared.factory)();
     let mut engine_rung: Option<usize> = None;
+    let mut last_repairs = 0u64;
     // Pre-sync to the current rung before accepting work: installing a
     // precision can be expensive in the functional simulator (it
     // re-encodes every weight), and paying it lazily on the first batch
     // would stall live requests right after a (re)start.
     let rung = lock(&shared.ladder).current();
     sync_precision(shared, &mut engine, &mut engine_rung, rung);
+    shared.beat(worker_id);
     loop {
+        if shared.generations[worker_id].load(Ordering::SeqCst) != gen {
+            // Superseded by the watchdog while stalled: a replacement
+            // owns this slot now; exit without touching the queue.
+            return WorkerExit::Clean;
+        }
         if shared.shutdown.load(Ordering::SeqCst) && shared.queue.is_empty() {
             return WorkerExit::Clean;
+        }
+        shared.beat(worker_id);
+        // Breaker gate *before* pulling work: an open breaker must not
+        // claim requests it is not going to run.
+        let admitted = {
+            let mut breaker = lock(&shared.breakers[worker_id]);
+            let (admit, transition) = breaker.admit(clock.now());
+            if transition == Some(BreakerState::HalfOpen) {
+                shared.events.record(EventKind::BreakerHalfOpen { worker: worker_id });
+            }
+            admit
+        };
+        if !admitted {
+            clock.sleep(shared.cfg.breaker.cooldown.min(Duration::from_millis(5)));
+            continue;
         }
         let pull = shared.queue.pop_batch(
             shared.cfg.max_batch,
             shared.cfg.batch_linger,
             shared.cfg.service_estimate,
+            shared.cfg.worker_idle_poll,
             &shared.shutdown,
         );
+        // The pop itself can legitimately take linger + idle-poll time;
+        // don't let that window count toward a stall verdict.
+        shared.beat(worker_id);
         for r in pull.expired {
             shared.finish(r.id, Outcome::Expired(ExpiredAt::Queue));
         }
         if pull.batch.is_empty() {
+            // Nothing ran: hand back any half-open probe we claimed.
+            lock(&shared.breakers[worker_id]).release_probe();
             continue;
         }
         shared.metrics.batches.fetch_add(1, Ordering::SeqCst);
@@ -426,11 +596,49 @@ fn worker_loop(shared: &Arc<Shared>, _worker_id: usize) -> WorkerExit {
         let pressure = pull.depth as f64 / shared.cfg.queue_capacity.max(1) as f64;
         let rung = lock(&shared.ladder).observe(pressure);
         sync_precision(shared, &mut engine, &mut engine_rung, rung);
+        harvest_repairs(shared, engine.as_ref(), &mut last_repairs, worker_id);
+        // A rung switch may have just re-encoded every weight; that was
+        // honest work, not a stall.
+        shared.beat(worker_id);
         let inputs: Vec<&[f32]> = pull.batch.iter().map(|r| r.input.as_slice()).collect();
-        let result = catch_unwind(AssertUnwindSafe(|| engine.infer(&inputs)));
-        match result {
-            Ok(preds) if preds.len() == pull.batch.len() => {
-                let now = Instant::now();
+        // Bounded retry on transient errors; anything else fails the
+        // batch terminally.
+        let mut attempt = 0u32;
+        let resolved = loop {
+            attempt += 1;
+            shared.beat(worker_id);
+            let result = catch_unwind(AssertUnwindSafe(|| engine.try_infer(&inputs)));
+            match result {
+                Ok(Ok(preds)) if preds.len() == pull.batch.len() => {
+                    break BatchAttempt::Done(preds);
+                }
+                Ok(Err(EngineError::Transient(_))) if attempt < shared.cfg.retry.max_attempts => {
+                    shared.metrics.retries.fetch_add(1, Ordering::SeqCst);
+                    clock.sleep(shared.cfg.retry.delay(attempt, worker_id as u64));
+                }
+                Ok(Err(EngineError::Transient(_))) => {
+                    shared.metrics.retry_exhausted.fetch_add(1, Ordering::SeqCst);
+                    shared.events.record(EventKind::RetryExhausted { worker: worker_id });
+                    break BatchAttempt::Failed;
+                }
+                // A wrong-length prediction vector is an engine contract
+                // violation — treat it exactly like a panic or a fatal
+                // error.
+                Ok(Ok(_)) | Ok(Err(EngineError::Fatal(_))) | Err(_) => {
+                    shared.metrics.worker_panics.fetch_add(1, Ordering::SeqCst);
+                    break BatchAttempt::Failed;
+                }
+            }
+        };
+        match resolved {
+            BatchAttempt::Done(preds) => {
+                {
+                    let mut breaker = lock(&shared.breakers[worker_id]);
+                    if breaker.record_success() == Some(BreakerState::Closed) {
+                        shared.events.record(EventKind::BreakerClosed { worker: worker_id });
+                    }
+                }
+                let now = clock.now();
                 for (r, class) in pull.batch.iter().zip(preds) {
                     if now > r.deadline {
                         shared.finish(r.id, Outcome::Expired(ExpiredAt::AfterExecution));
@@ -446,10 +654,14 @@ fn worker_loop(shared: &Arc<Shared>, _worker_id: usize) -> WorkerExit {
                     }
                 }
             }
-            // A wrong-length prediction vector is an engine contract
-            // violation — treat it exactly like a panic.
-            Ok(_) | Err(_) => {
-                shared.metrics.worker_panics.fetch_add(1, Ordering::SeqCst);
+            BatchAttempt::Failed => {
+                {
+                    let mut breaker = lock(&shared.breakers[worker_id]);
+                    if breaker.record_failure(clock.now()) == Some(BreakerState::Open) {
+                        shared.metrics.breaker_opens.fetch_add(1, Ordering::SeqCst);
+                        shared.events.record(EventKind::BreakerOpened { worker: worker_id });
+                    }
+                }
                 quarantine_hunt(shared, pull.batch, rung);
                 return WorkerExit::Panicked;
             }
@@ -461,18 +673,19 @@ fn worker_loop(shared: &Arc<Shared>, _worker_id: usize) -> WorkerExit {
 /// engine replicas, quarantining the ones that panic solo. Runs on the
 /// dying worker thread, before the supervisor replaces it.
 fn quarantine_hunt(shared: &Arc<Shared>, batch: Vec<Request>, rung: usize) {
+    let clock = &shared.cfg.clock;
     let mut engine: Box<dyn Engine> = (shared.factory)();
     let mut engine_rung: Option<usize> = None;
     sync_precision(shared, &mut engine, &mut engine_rung, rung);
     for r in batch {
-        if Instant::now() > r.deadline {
+        if clock.now() > r.deadline {
             shared.finish(r.id, Outcome::Expired(ExpiredAt::AfterExecution));
             continue;
         }
         let solo = catch_unwind(AssertUnwindSafe(|| engine.infer(&[r.input.as_slice()])));
         match solo {
             Ok(preds) if preds.len() == 1 => {
-                let now = Instant::now();
+                let now = clock.now();
                 if now > r.deadline {
                     shared.finish(r.id, Outcome::Expired(ExpiredAt::AfterExecution));
                 } else {

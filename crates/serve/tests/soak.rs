@@ -37,6 +37,7 @@ fn soak_cfg() -> ServiceConfig {
         ladder: LadderConfig::default_tr_ladder(),
         monitor_window: 8,
         monitor_silent_threshold: 0,
+        ..ServiceConfig::default()
     }
 }
 

@@ -17,9 +17,14 @@ cargo run -q --release -p tr-bench --bin repro -- verify-widths
 # poison quarantine, exact request conservation (DESIGN.md SS9).
 cargo test -q --release -p tr-serve --test soak
 cargo run -q --release -p tr-bench --bin repro -- --quick serve
+# Chaos smoke: the end-to-end fault campaign — injected cache
+# corruption detected and repaired via content checksums, retries,
+# breakers, watchdog recycling, conservation in every scenario, and a
+# bit-identical replay under fixed seeds (DESIGN.md SS12).
+cargo run -q --release -p tr-bench --bin repro -- --quick chaos
 # Observability baseline: the bench experiment must produce its
 # schema-stable JSON artifact (DESIGN.md SS10), now including the
-# packed-vs-legacy speedups and the regression verdict against the
-# committed BENCH_PR4.json baseline (DESIGN.md SS11). CI archives it.
+# checksum-verify overhead gate and the regression verdict against the
+# committed BENCH_PR5.json baseline (DESIGN.md SS11). CI archives it.
 cargo run -q --release -p tr-bench --bin repro -- --quick bench
-test -s BENCH_PR5.json
+test -s BENCH_PR6.json
