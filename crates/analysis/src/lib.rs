@@ -13,17 +13,33 @@
 //!   converter → output accumulator), parameterized by
 //!   [`ControlRegisters`](tr_hw::registers::ControlRegisters);
 //! - [`sweep::sweep`] — the exhaustive walk over every valid Table-I
-//!   configuration, aggregated into a [`sweep::ProofReport`].
+//!   configuration, aggregated into a [`sweep::ProofReport`];
+//! - [`model::analyze_model`] — the *whole-model* lift: abstract
+//!   interpretation over every quantization site of an MLP / CNN / LSTM,
+//!   proving the `i64` kernel accumulators overflow-free per rung and
+//!   deriving each layer's minimal sound width, with
+//!   [`model::prune_unsound`] as the static DSE pre-filter;
+//! - [`certificate::ProofCertificate`] — the sealed artifact of a
+//!   model-level proof, collected into a [`certificate::CertificateTable`]
+//!   that `tr-serve` enforces at ladder construction.
 //!
-//! Run `repro verify-widths` (the `tr-bench` CLI) to print the proof
-//! report; `scripts/check.sh` runs it as a gate. Property tests under
-//! `tests/` cross-check the static bounds against values observed in the
-//! cycle-level simulator.
+//! Run `repro verify-widths` / `repro prove` (the `tr-bench` CLI) to
+//! print the proof reports; `scripts/check.sh` runs both as gates.
+//! Property tests under `tests/` cross-check the static bounds against
+//! values observed in the cycle-level simulator and in instrumented
+//! integer forward passes.
 
+pub mod certificate;
 pub mod datapath;
+pub mod model;
 pub mod range;
 pub mod sweep;
 
+pub use certificate::{CertificateTable, LayerCert, ProofCertificate};
 pub use datapath::{analyze, DatapathProof, Envelope, ImplementedWidths, Stage, StageBound};
+pub use model::{
+    analyze_model, analyze_model_width, operand_envelope, prune_unsound, LayerProof, LayerSpec,
+    ModelProof, ModelSpec, OperandEnvelope, PrunedPoint, Soundness, SweepPoint,
+};
 pub use range::ValueRange;
 pub use sweep::{enumerate_valid_configs, sweep, ProofReport, StageSummary};

@@ -1,0 +1,198 @@
+//! Soundness fuzz for the whole-model range prover: run the *concrete*
+//! integer pipeline — quantize → encode/reveal/cap → `packed_term_matmul_i64`
+//! → bias — on random shapes, configs, and values, and require every
+//! observed accumulator to lie inside the interval
+//! [`analyze_model`](tr_analysis::analyze_model) predicted for that
+//! layer. The negative direction is checked too: narrowing any proven
+//! width by a single bit must report a violation.
+
+// Test-only arithmetic on generator-bounded values; the clippy.toml test
+// exemption covers unwraps but not the cast lints, so allow them here.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
+use proptest::prelude::*;
+use tr_analysis::{analyze_model, LayerSpec, ModelSpec};
+use tr_core::{packed_term_matmul_i64, PackedTermMatrix, TrConfig};
+use tr_nn::lstm::LstmLm;
+use tr_nn::models::mlp::build_mlp;
+use tr_nn::models::mobilenet::build_mobilenet;
+use tr_nn::Precision;
+use tr_quant::{calibrate_max_abs, quantize, QTensor};
+use tr_tensor::{Rng, Shape, Tensor};
+
+/// Max-abs quantization of a value slice into a `(rows, cols)` matrix.
+fn quantized(vals: &[f32], rows: usize, cols: usize, bits: u8) -> QTensor {
+    let t = Tensor::from_vec(vals[..rows * cols].to_vec(), Shape::d2(rows, cols));
+    quantize(&t, calibrate_max_abs(&t, bits))
+}
+
+/// A single-site spec matching the fuzzed dot-product shape.
+fn spec_for(rows: usize, reduction: usize) -> ModelSpec {
+    ModelSpec::new(
+        "fuzz",
+        vec![LayerSpec { name: "dot".into(), rows: rows as u64, reduction: reduction as u64 }],
+    )
+    .expect("single-site spec is valid")
+}
+
+const MAX_ROWS: usize = 4;
+const MAX_COLS: usize = 6;
+const MAX_RED: usize = 48;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// TR rungs: receding-water reveal on the weights, per-value HESE cap
+    /// on the data. Every concrete accumulator (plus one in-band bias
+    /// addend, as in the conv/linear kernels) sits inside `acc_range`.
+    #[test]
+    fn tr_forward_values_lie_inside_the_proved_intervals(
+        rows in 1..=MAX_ROWS,
+        cols in 1..=MAX_COLS,
+        reduction in 1..=MAX_RED,
+        g_idx in 0usize..4,
+        k in 1usize..=24,
+        s in 1usize..=4,
+        wvals in proptest::collection::vec(-1.0f32..1.0, MAX_ROWS * MAX_RED),
+        xvals in proptest::collection::vec(-1.0f32..1.0, MAX_RED * MAX_COLS),
+        bias in -127i64..=127,
+    ) {
+        let g = [2usize, 4, 8, 16][g_idx];
+        let cfg = TrConfig::new(g, k).with_data_terms(s);
+        let proof = analyze_model(&spec_for(rows, reduction), &Precision::Tr(cfg))
+            .expect("valid config analyzes");
+        let layer = &proof.layers[0];
+
+        let qw = quantized(&wvals, rows, reduction, 8);
+        let qx = quantized(&xvals, reduction, cols, 8);
+        let wm = PackedTermMatrix::from_weights(&qw, cfg.weight_encoding).reveal(&cfg);
+        let xm = PackedTermMatrix::from_data_transposed(&qx, cfg.data_encoding).cap_terms(s);
+
+        for &c in &wm.reconstruct_codes() {
+            prop_assert!(
+                layer.weight_range.contains(c),
+                "revealed weight {c} outside {}", layer.weight_range
+            );
+        }
+        for &c in &xm.reconstruct_codes() {
+            prop_assert!(
+                layer.data_range.contains(c),
+                "capped data {c} outside {}", layer.data_range
+            );
+        }
+        for &acc in &packed_term_matmul_i64(&wm, &xm) {
+            prop_assert!(
+                layer.acc_range.contains(acc + bias),
+                "accumulator {acc} + bias {bias} outside {} (g={g} k={k} s={s} red={reduction})",
+                layer.acc_range
+            );
+            prop_assert!(
+                layer.witness_abs <= layer.acc_range.hi(),
+                "witness exceeds envelope"
+            );
+        }
+    }
+
+    /// QT rungs: plain binary codes at the rung's widths, no reveal, no
+    /// cap — the envelope is the code band itself.
+    #[test]
+    fn qt_forward_values_lie_inside_the_proved_intervals(
+        rows in 1..=MAX_ROWS,
+        cols in 1..=MAX_COLS,
+        reduction in 1..=MAX_RED,
+        weight_bits in 3u8..=8,
+        act_bits in 3u8..=8,
+        wvals in proptest::collection::vec(-1.0f32..1.0, MAX_ROWS * MAX_RED),
+        xvals in proptest::collection::vec(-1.0f32..1.0, MAX_RED * MAX_COLS),
+        bias in -127i64..=127,
+    ) {
+        let precision = Precision::Qt { weight_bits, act_bits };
+        let proof = analyze_model(&spec_for(rows, reduction), &precision)
+            .expect("qt rung analyzes");
+        let layer = &proof.layers[0];
+
+        let qw = quantized(&wvals, rows, reduction, weight_bits);
+        let qx = quantized(&xvals, reduction, cols, act_bits);
+        let wm = PackedTermMatrix::from_weights(&qw, tr_encoding::Encoding::Binary);
+        let xm = PackedTermMatrix::from_data_transposed(&qx, tr_encoding::Encoding::Binary);
+
+        for &acc in &packed_term_matmul_i64(&wm, &xm) {
+            prop_assert!(
+                layer.acc_range.contains(acc + bias),
+                "accumulator {acc} + bias {bias} outside {} (w{weight_bits} a{act_bits})",
+                layer.acc_range
+            );
+        }
+    }
+}
+
+/// The default serve-ladder rungs, spelled out the way
+/// `LadderConfig::default_tr_ladder` builds them (tr-analysis cannot
+/// depend on tr-serve — the dependency runs the other way).
+fn default_rungs() -> Vec<Precision> {
+    vec![
+        Precision::Tr(TrConfig::new(8, 24).with_data_terms(3)),
+        Precision::Tr(TrConfig::new(8, 16).with_data_terms(3)),
+        Precision::Tr(TrConfig::new(8, 12).with_data_terms(3)),
+        Precision::Tr(TrConfig::new(8, 8).with_data_terms(2)),
+        Precision::Qt { weight_bits: 8, act_bits: 8 },
+    ]
+}
+
+/// The three zoo architectures, spec'd from fresh fixed-seed builds.
+fn zoo_specs() -> Vec<ModelSpec> {
+    let mut rng = Rng::seed_from_u64(7);
+    let mut mlp = build_mlp(10, &mut rng);
+    let mut cnn = build_mobilenet(10, &mut rng);
+    let mut lstm = LstmLm::new(40, 64, 0.0, &mut rng);
+    vec![
+        ModelSpec::from_layer("mlp", &mut mlp).expect("mlp spec"),
+        ModelSpec::from_layer("mobilenet-v2", &mut cnn).expect("cnn spec"),
+        ModelSpec::from_lstm("lstm-lm", &mut lstm).expect("lstm spec"),
+    ]
+}
+
+/// Negative direction: for every zoo model at every default rung, the
+/// proof verifies at its own required width, and narrowing that width by
+/// one bit reports a violation naming a layer.
+#[test]
+fn narrowing_any_zoo_proof_by_one_bit_is_a_violation() {
+    for spec in zoo_specs() {
+        for rung in default_rungs() {
+            let proof = analyze_model(&spec, &rung).expect("default rung analyzes");
+            let required = proof.required_bits();
+            proof.verify_width(required).expect("proof holds at its own width");
+            let err = proof
+                .verify_width(required - 1)
+                .expect_err("one bit narrower must violate some layer");
+            let msg = err.to_string();
+            assert!(
+                msg.contains(&spec.name) && msg.contains("insufficient"),
+                "violation report should name the model and the width: {msg}"
+            );
+        }
+    }
+}
+
+/// Deterministic end-to-end check on a real layer shape: the MLP's first
+/// linear site (512×784) under the tightest default TR rung, concrete
+/// random weights, every output inside the proved interval.
+#[test]
+fn mlp_first_layer_concrete_pass_respects_the_proof() {
+    let cfg = TrConfig::new(8, 8).with_data_terms(2);
+    let spec = &zoo_specs()[0];
+    let proof = analyze_model(spec, &Precision::Tr(cfg)).expect("mlp analyzes");
+    let layer = &proof.layers[0];
+    assert_eq!(layer.reduction, 784, "first MLP site is the 784-wide input layer");
+
+    let mut rng = Rng::seed_from_u64(41);
+    let w = Tensor::randn(Shape::d2(512, 784), 0.5, &mut rng);
+    let x = Tensor::randn(Shape::d2(784, 3), 0.5, &mut rng);
+    let qw = quantize(&w, calibrate_max_abs(&w, 8));
+    let qx = quantize(&x, calibrate_max_abs(&x, 8));
+    let wm = PackedTermMatrix::from_weights(&qw, cfg.weight_encoding).reveal(&cfg);
+    let xm = PackedTermMatrix::from_data_transposed(&qx, cfg.data_encoding).cap_terms(2);
+    for &acc in &packed_term_matmul_i64(&wm, &xm) {
+        assert!(layer.acc_range.contains(acc), "accumulator {acc} outside {}", layer.acc_range);
+    }
+}

@@ -9,6 +9,7 @@ use tr_tensor::Rng;
 
 fn value_population(n: usize) -> Vec<i32> {
     let mut rng = Rng::seed_from_u64(8);
+    #[allow(clippy::cast_possible_truncation)] // clamped into the i8 band
     (0..n).map(|_| (rng.normal() * 30.0).clamp(-127.0, 127.0) as i32).collect()
 }
 

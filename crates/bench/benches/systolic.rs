@@ -9,6 +9,7 @@ use tr_encoding::{Encoding, TermExpr};
 use tr_hw::{ControlRegisters, HeseEncoderUnit, Pmac, SystolicArray, TermComparator, Tmac, TrSystem};
 use tr_tensor::Rng;
 
+#[allow(clippy::cast_possible_truncation)] // synthetic codes stay in the i8 band
 fn group_operands(g: usize, seed: u64) -> (Vec<TermExpr>, Vec<TermExpr>, Vec<i32>, Vec<i32>) {
     let mut rng = Rng::seed_from_u64(seed);
     let w: Vec<i32> = (0..g).map(|_| (rng.normal() * 40.0) as i32).collect();
@@ -39,6 +40,7 @@ fn bench_macs(c: &mut Criterion) {
 }
 
 fn bench_comparator_front_end(c: &mut Criterion) {
+    #[allow(clippy::cast_sign_loss)] // i*37%128 is non-negative
     let values: Vec<u32> = (0..8).map(|i| (i * 37 % 128) as u32).collect();
     let streams: Vec<_> = values.iter().map(|&v| HeseEncoderUnit::encode(8, v)).collect();
     let comparator = TermComparator::new(8, 12);
@@ -71,6 +73,7 @@ fn bench_sync_vs_straggler(c: &mut Criterion) {
             .map(|_| {
                 (0..64)
                     .map(|_| {
+                        #[allow(clippy::cast_possible_truncation)] // ±~200 fits i32
                         let v = (rng2.normal() * 40.0) as i32;
                         Encoding::Hese.terms_of(v)
                     })
@@ -81,6 +84,7 @@ fn bench_sync_vs_straggler(c: &mut Criterion) {
             .map(|_| {
                 (0..64)
                     .map(|_| {
+                        #[allow(clippy::cast_possible_truncation)] // clamped to 127
                         let v = (rng2.normal().abs() * 40.0).min(127.0) as i32;
                         let e = Encoding::Hese.terms_of(v);
                         if cap {

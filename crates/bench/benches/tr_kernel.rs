@@ -19,7 +19,7 @@ fn bench_reveal(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig16/reveal_64x512");
     group.throughput(Throughput::Elements(qw.numel() as u64));
     for g in [2usize, 8, 32] {
-        let cfg = TrConfig::new(g, (g as f64 * 1.5) as usize);
+        let cfg = TrConfig::new(g, g + g / 2); // α = 1.5
         group.bench_with_input(BenchmarkId::from_parameter(format!("g{g}")), &cfg, |b, cfg| {
             b.iter(|| {
                 TermMatrix::from_weights(black_box(&qw), Encoding::Hese).reveal(cfg)

@@ -133,6 +133,7 @@ fn tiebreak_ablation() -> Table {
     let (mut se_rm, mut se_sp) = (0.0f64, 0.0f64);
     let trials = 2000;
     for _ in 0..trials {
+        #[allow(clippy::cast_possible_truncation)] // clamped into the i8 band
         let vals: Vec<i32> = (0..8).map(|_| (rng.normal() * 35.0).clamp(-127.0, 127.0) as i32).collect();
         let exprs: Vec<TermExpr> = vals.iter().map(|&v| Encoding::Hese.terms_of(v)).collect();
         for (policy, acc) in [(TieBreak::RowMajor, &mut se_rm), (TieBreak::Spread, &mut se_sp)] {

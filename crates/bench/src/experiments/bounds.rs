@@ -40,6 +40,7 @@ fn sigma_validation(zoo: &Zoo) -> Table {
                     continue; // fully pruned values are covered group-wise
                 }
                 let sigma = value_sigma(orig.value(), kept.value()).abs();
+                #[allow(clippy::cast_possible_truncation)] // σ ∈ [0, ~1]
                 sigmas.push(sigma as f32);
                 // §III-F's universal ceiling: per-value relative error of
                 // a kept value stays below 1/2.

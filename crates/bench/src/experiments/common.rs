@@ -87,3 +87,15 @@ pub fn stage1_weight(model: &mut dyn Layer) -> Tensor {
     assert!(sites.len() > 1);
     sites[1].1.clone()
 }
+
+/// Round a non-negative f64 statistic (a term-pair count, a percentage
+/// of a count) to `u64` for display. Saturates instead of truncating so
+/// the deny-level cast lints stay meaningful everywhere else.
+#[must_use]
+pub fn to_count(x: f64) -> u64 {
+    debug_assert!(x >= 0.0, "counts are non-negative, got {x}");
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        x.max(0.0).round() as u64
+    }
+}

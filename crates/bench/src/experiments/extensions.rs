@@ -9,6 +9,7 @@
 //!    accuracy against the *actual* term pairs that zero weights already
 //!    save, compared with TR's bit-level pruning at the same model.
 
+use super::common::to_count;
 use crate::report::{count, pct, Table};
 use crate::zoo::Zoo;
 use tr_core::TrConfig;
@@ -36,7 +37,7 @@ fn qat_vs_tr(zoo: &Zoo) -> Table {
         "4-bit QT (post-training)".into(),
         "no".into(),
         pct(acc),
-        count(counts.bound_per_sample() as u64),
+        count(to_count(counts.bound_per_sample())),
     ]);
     let tr = Precision::Tr(TrConfig::new(8, 8).with_data_terms(3));
     let (acc, counts) = evaluate_precision(&mut model, &ds, &tr, 8, &mut rng);
@@ -44,7 +45,7 @@ fn qat_vs_tr(zoo: &Zoo) -> Table {
         "TR g8 k8 s3 (post-training)".into(),
         "no".into(),
         pct(acc),
-        count(counts.bound_per_sample() as u64),
+        count(to_count(counts.bound_per_sample())),
     ]);
     // QAT at 4 bits: one fine-tuning epoch on the training split.
     let mut opt = Sgd::new(0.02, 0.9, 1e-4);
@@ -56,7 +57,7 @@ fn qat_vs_tr(zoo: &Zoo) -> Table {
         "4-bit QAT (1 epoch STE)".into(),
         "yes".into(),
         pct(acc),
-        count(counts.bound_per_sample() as u64),
+        count(to_count(counts.bound_per_sample())),
     ]);
     t.note(
         "the paper's §II-A positioning: TR reaches low-budget operating points on a plain \
@@ -86,7 +87,7 @@ fn pruning_vs_tr(zoo: &Zoo) -> Table {
         t.row(vec![
             format!("prune {:.0}% + 8-bit QT", 100.0 * sparsity),
             pct(acc),
-            count(counts.actual_per_sample() as u64),
+            count(to_count(counts.actual_per_sample())),
         ]);
     }
     let (mut model, ds) = zoo.mlp();
@@ -97,7 +98,7 @@ fn pruning_vs_tr(zoo: &Zoo) -> Table {
     t.row(vec![
         "TR g8 k12 s3 (dense)".into(),
         pct(acc),
-        count(counts.actual_per_sample() as u64),
+        count(to_count(counts.actual_per_sample())),
     ]);
     t.note(
         "zero values already cost nothing in term arithmetic, so pruning's savings and TR's \

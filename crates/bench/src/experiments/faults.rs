@@ -75,6 +75,7 @@ pub fn corrupt_installed_weights(
                     code = code.clamp(-255, 255);
                     inj.note_detected(1);
                 }
+                #[allow(clippy::cast_possible_truncation)] // clamped to ±255 above
                 codes.push(code as i32);
             }
         }

@@ -6,6 +6,7 @@
 //! at matched accuracy/perplexity. QT's cost per value pair is
 //! `(w_bits−1) × 7`; TR's is the group bound `k × s / g` per value pair.
 
+use super::common::to_count;
 use crate::report::{count, f, pct, ratio, Table};
 use crate::zoo::Zoo;
 use tr_core::TrConfig;
@@ -91,8 +92,8 @@ fn panel(title: &str, points: &[Point], metric_name: &str, higher_better: bool, 
         let metric = if higher_better { pct(p.metric) } else { f(p.metric, 2) };
         t.row(vec![
             p.label.clone(),
-            count(p.pairs_bound as u64),
-            count(p.pairs_actual as u64),
+            count(to_count(p.pairs_bound)),
+            count(to_count(p.pairs_actual)),
             metric,
         ]);
     }

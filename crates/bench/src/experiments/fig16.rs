@@ -43,6 +43,8 @@ pub fn run(zoo: &Zoo) -> Vec<Table> {
                 row.push("-".to_string());
                 continue;
             }
+            // kf was verified integral just above and alphas are small.
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             let cfg = TrConfig::new(g, (kf.round() as usize).max(1));
             apply_precision(&mut model, &Precision::Tr(cfg));
             let acc = evaluate_accuracy(&mut model, &ds, &mut rng);

@@ -30,7 +30,10 @@ pub fn run(zoo: &Zoo) -> Vec<Table> {
         &["alpha", "QT (binary, g=1)", "HESE (g=1)", "QT + TR (g=8)", "HESE + TR (g=8)"],
     );
     for &alpha in &ALPHAS {
+        // The alpha grid is small positive constants.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let k1 = alpha.round().max(1.0) as usize;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let k8 = ((alpha * 8.0).round() as usize).max(1);
         let settings = [
             Precision::PerValue { encoding: Encoding::Binary, weight_terms: k1, data_terms: None },

@@ -75,7 +75,7 @@ pub fn run() -> Vec<Table> {
     }
     walk.note(format!(
         "waterline settles at 2^{}; 81 quantizes to 80 exactly as in the paper's figure",
-        out.waterline_exp.unwrap()
+        out.waterline_exp.map_or_else(|| "-".into(), |e| e.to_string())
     ));
     vec![t, walk]
 }

@@ -20,6 +20,7 @@ pub fn run(zoo: &Zoo) -> Vec<Table> {
     let data_codes = quantize8(&acts).values().to_vec();
     let uniform_codes: Vec<i32> = {
         let mut rng = Rng::seed_from_u64(88);
+        #[allow(clippy::cast_possible_truncation)] // below(128) < 128
         (0..data_codes.len()).map(|_| rng.below(128) as i32).collect()
     };
 

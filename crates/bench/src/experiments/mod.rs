@@ -16,6 +16,7 @@ pub mod fig3;
 pub mod fig5;
 pub mod fig7;
 pub mod fig8;
+pub mod prove;
 pub mod serve;
 pub mod table1;
 pub mod table2;
@@ -27,10 +28,10 @@ use crate::report::Table;
 use crate::zoo::Zoo;
 
 /// Every experiment id in paper order.
-pub const ALL: [&str; 21] = [
+pub const ALL: [&str; 22] = [
     "fig3", "fig5", "fig7", "fig8", "fig15", "fig16", "fig17", "fig18", "fig19", "table1",
     "table2", "table3", "table4", "ablation", "bounds", "extensions", "faults", "serve",
-    "chaos", "verify-widths", "bench",
+    "chaos", "verify-widths", "prove", "bench",
 ];
 
 /// Run one experiment by id.
@@ -59,6 +60,7 @@ pub fn run(id: &str, zoo: &Zoo) -> Vec<Table> {
         "serve" => serve::run(zoo),
         "chaos" => chaos::run(zoo),
         "verify-widths" => widths::run(),
+        "prove" => prove::run(zoo),
         "bench" => bench::run(zoo),
         other => panic!("unknown experiment id: {other} (known: {ALL:?})"),
     }

@@ -31,6 +31,12 @@ pub enum TrError {
     /// entry was corrupted after it was sealed. Detection is the half
     /// that must never fail; the holder decides whether to re-encode.
     Integrity(String),
+    /// A ladder rung has no valid soundness certificate for the model it
+    /// would serve — either the certificate table has no entry for the
+    /// (model fingerprint, rung) pair or the entry failed its seal check.
+    /// Unlike [`Integrity`](TrError::Integrity) this is not repairable by
+    /// re-encoding: the rung must be re-proven before it may serve.
+    Uncertified(String),
 }
 
 impl std::fmt::Display for TrError {
@@ -44,6 +50,7 @@ impl std::fmt::Display for TrError {
             TrError::InvalidFaultConfig(m) => write!(f, "invalid fault config: {m}"),
             TrError::Training(m) => write!(f, "training error: {m}"),
             TrError::Integrity(m) => write!(f, "integrity violation: {m}"),
+            TrError::Uncertified(m) => write!(f, "uncertified rung: {m}"),
         }
     }
 }
@@ -94,6 +101,13 @@ mod tests {
         };
         let e: TrError = g.try_check().unwrap_err().into();
         assert!(matches!(&e, TrError::InvalidGeometry(m) if m.contains("larger than padded")), "{e}");
+    }
+
+    #[test]
+    fn uncertified_display_names_the_rung() {
+        let e = TrError::Uncertified("no certificate for rung tr-g8k8s2".into());
+        assert!(e.to_string().starts_with("uncertified rung:"), "{e}");
+        assert!(e.to_string().contains("tr-g8k8s2"));
     }
 
     #[test]

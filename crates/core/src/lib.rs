@@ -47,6 +47,7 @@ pub mod error_bound;
 pub mod matmul;
 pub mod packed;
 pub mod reveal;
+pub mod seal;
 pub mod termmatrix;
 pub mod termpairs;
 
@@ -55,13 +56,14 @@ pub use error::TrError;
 pub use error_bound::{dot_product_error_bound, value_sigma, waterline_sigma_bound};
 pub use matmul::{
     packed_term_matmul_i64, term_dot, term_dot_packed, term_matmul, term_matmul_i64,
-    try_packed_term_matmul_i64, try_term_matmul, try_term_matmul_i64,
+    try_packed_term_matmul_i64, try_term_matmul, try_term_matmul_i64, ACCUMULATOR_BITS,
 };
 pub use packed::PackedTermMatrix;
 pub use reveal::{
     reveal_group, reveal_group_with_tiebreak, try_reveal_group, try_reveal_group_with_tiebreak,
     try_reveal_row, RevealOutcome, TieBreak,
 };
+pub use seal::{fnv1a_bytes, fnv1a_bytes_wordwise, fnv1a_word, FNV_OFFSET};
 pub use termmatrix::TermMatrix;
 pub use termpairs::{
     group_pair_histogram, straggler_factor, term_pairs_total, term_pairs_total_packed,

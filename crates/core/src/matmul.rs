@@ -13,6 +13,12 @@ use rayon::prelude::*;
 use tr_encoding::TermExpr;
 use tr_obs::{as_u64, Counter};
 
+/// Signed width of the accumulator every integer kernel in this module
+/// carries (`i64`). The tr-analysis whole-model prover certifies each
+/// (model, rung) pair against this constant; narrowing it is how the
+/// negative tests manufacture overflow reports.
+pub const ACCUMULATOR_BITS: u32 = 64;
+
 /// Term-pair matmul invocations.
 static MATMUL_CALLS: Counter = Counter::new("core.matmul.calls");
 /// Output rows computed across invocations.

@@ -23,6 +23,7 @@
 use crate::config::TrConfig;
 use crate::error::TrError;
 use crate::reveal::observe_group;
+use crate::seal::{fnv1a_bytes, fnv1a_bytes_wordwise, fnv1a_word, mix, FNV_OFFSET};
 use crate::termmatrix::TermMatrix;
 use tr_encoding::{Encoding, Term, TermExpr};
 use tr_obs::Counter;
@@ -32,53 +33,6 @@ use tr_quant::QTensor;
 static INTEGRITY_CHECKS: Counter = Counter::new("core.integrity.checks");
 /// Verifications that caught a checksum mismatch (corrupted planes).
 static INTEGRITY_VIOLATIONS: Counter = Counter::new("core.integrity.violations");
-
-/// FNV-1a 64-bit over a byte slice, continuing from `h`.
-#[inline]
-fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
-
-/// One FNV-1a step over a whole 64-bit word. Folding a word per multiply
-/// (instead of a byte) keeps the avalanche-through-multiply structure
-/// while cutting the hash to ~1/8 of the byte-at-a-time cost — what
-/// makes `verify_integrity` cheap enough to run on every cache hit.
-#[inline]
-fn fnv1a_word(h: u64, w: u64) -> u64 {
-    (h ^ w).wrapping_mul(0x0000_0100_0000_01B3)
-}
-
-/// FNV-1a over a byte slice taken eight bytes at a time, with the slice
-/// length folded first so a short tail can never alias a longer plane.
-#[inline]
-fn fnv1a_bytes_wordwise(mut h: u64, bytes: &[u8]) -> u64 {
-    h = fnv1a_word(h, bytes.len() as u64);
-    let mut chunks = bytes.chunks_exact(8);
-    for c in &mut chunks {
-        h = fnv1a_word(h, u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
-    }
-    let mut tail = 0u64;
-    for (i, &b) in chunks.remainder().iter().enumerate() {
-        tail |= u64::from(b) << (8 * i);
-    }
-    fnv1a_word(h, tail)
-}
-
-/// The FNV-1a offset basis.
-const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
-
-/// SplitMix64 finalizer (same idiom as the `tr-hw` fault-site hashes) —
-/// drives the deterministic [`PackedTermMatrix::tamper`] hook.
-fn mix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
 
 /// Widen a CSR offset to an index. Lossless on every supported target
 /// (`usize` is at least 32 bits on all tiers this crate builds for).
@@ -143,7 +97,7 @@ impl PackedTermMatrix {
         let mut h = FNV_OFFSET;
         h = fnv1a_word(h, self.rows as u64);
         h = fnv1a_word(h, self.len as u64);
-        h = fnv1a(h, self.encoding.name().as_bytes());
+        h = fnv1a_bytes(h, self.encoding.name().as_bytes());
         let mut pairs = self.offsets.chunks_exact(2);
         for p in &mut pairs {
             h = fnv1a_word(h, u64::from(p[0]) | (u64::from(p[1]) << 32));

@@ -90,6 +90,7 @@ pub fn sum_carry_free(terms: &[Sdr]) -> Sdr {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // test values are small by construction
 mod tests {
     use super::*;
     use crate::hese::hese;

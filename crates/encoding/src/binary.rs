@@ -11,6 +11,7 @@ pub fn binary_terms(mag: u32) -> TermExpr {
     let mut m = mag;
     while m != 0 {
         let exp = 31 - m.leading_zeros();
+        #[allow(clippy::cast_possible_truncation)] // exp ≤ 31 fits u8
         terms.push(Term::pos(exp as u8));
         m &= !(1 << exp);
     }

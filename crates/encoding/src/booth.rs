@@ -20,10 +20,9 @@ pub fn booth_radix4(mag: u32) -> Sdr {
     let n_digits = width / 2 + 1;
     let mut digits = vec![0i8; 2 * n_digits + 2];
     let bit = |i: isize| -> i64 {
-        if i < 0 || i as usize >= 32 {
-            0
-        } else {
-            ((mag >> i) & 1) as i64
+        match usize::try_from(i) {
+            Ok(i) if i < 32 => i64::from((mag >> i) & 1),
+            _ => 0,
         }
     };
     for i in 0..n_digits {
@@ -61,10 +60,9 @@ pub fn booth_radix2(mag: u32) -> Sdr {
     }
     let width = 32 - mag.leading_zeros() as usize;
     let bit = |i: isize| -> i8 {
-        if i < 0 || i as usize >= 32 {
-            0
-        } else {
-            ((mag >> i) & 1) as i8
+        match usize::try_from(i) {
+            Ok(i) if i < 32 && (mag >> i) & 1 == 1 => 1,
+            _ => 0,
         }
     };
     let digits: Vec<i8> = (0..=width as isize).map(|i| bit(i - 1) - bit(i)).collect();

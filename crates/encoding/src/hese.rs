@@ -128,6 +128,8 @@ pub fn hese_streams(mag: u32, width: usize) -> (Vec<bool>, Vec<bool>) {
 /// parts, which yields the same minimal weight.
 pub fn minimize_sdr(sdr: &Sdr) -> Sdr {
     let v = sdr.value();
+    // SDRs in this crate encode 8–32-bit magnitudes, so the value fits.
+    #[allow(clippy::cast_possible_truncation)]
     let mag = v.unsigned_abs() as u32;
     let encoded = hese(mag);
     if v < 0 {
@@ -221,6 +223,7 @@ pub fn minimize_sdr_rewrite(sdr: &Sdr) -> Sdr {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // test values are small by construction
 mod tests {
     use super::*;
     use crate::naf::minimal_weight;

@@ -21,7 +21,7 @@ pub fn naf(mag: u32) -> Sdr {
             // Choose d in {-1, +1} so that (x - d) is divisible by 4,
             // which forces the next digit to 0 (non-adjacency).
             let d = 2 - (x & 3);
-            digits.push(d as i8);
+            digits.push(if d < 0 { -1 } else { 1 });
             x -= d;
         } else {
             digits.push(0);

@@ -65,7 +65,10 @@ impl Sdr {
             .iter()
             .enumerate()
             .filter(|(_, &d)| d != 0)
-            .map(|(i, &d)| Term { exp: i as u8, neg: d < 0 })
+            .map(|(i, &d)| {
+                #[allow(clippy::cast_possible_truncation)] // ≤ 34 digits for u32 values
+                Term { exp: i as u8, neg: d < 0 }
+            })
             .collect()
     }
 

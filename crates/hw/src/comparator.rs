@@ -156,6 +156,7 @@ mod tests {
         for _ in 0..200 {
             let g = 1 + rng.below(8);
             let k = 1 + rng.below(12);
+            #[allow(clippy::cast_possible_truncation)] // below(256) < 256
             let values: Vec<u32> = (0..g).map(|_| rng.below(256) as u32).collect();
             let inputs = encode_group(&values);
             let comparator = TermComparator::new(g, k);

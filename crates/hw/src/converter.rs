@@ -137,6 +137,7 @@ mod tests {
         let mut cv = CoefficientVector::new();
         let mut mag = value.unsigned_abs();
         let neg = value < 0;
+        #[allow(clippy::cast_possible_truncation)] // COEFF_LEN is 15
         let mut exp = (COEFF_LEN - 1) as u8;
         while mag > 0 {
             let unit = 1u64 << exp;
@@ -166,6 +167,7 @@ mod tests {
         let conv = BinaryStreamConverter::new();
         let mut rng = Rng::seed_from_u64(1);
         for _ in 0..100 {
+            #[allow(clippy::cast_possible_truncation)] // ±~1e5 fits i64
             let v = (rng.normal() * 20000.0) as i64;
             let stream = conv.convert(&cv_of(v));
             assert_eq!(BinaryStreamConverter::decode(&stream), v);

@@ -655,8 +655,10 @@ mod tests {
     fn distinct_seeds_give_distinct_campaigns() {
         let mut a = FaultInjector::new(FaultConfig::new(1, 0.3).unwrap()).unwrap();
         let mut b = FaultInjector::new(FaultConfig::new(2, 0.3).unwrap()).unwrap();
+        #[allow(clippy::cast_sign_loss)] // v ranges over 1..60
         let out_a: Vec<TermExpr> =
             (1..60).map(|v| a.corrupt_expr(&expr(v), Operand::Weight, v as u64, 0)).collect();
+        #[allow(clippy::cast_sign_loss)] // v ranges over 1..60
         let out_b: Vec<TermExpr> =
             (1..60).map(|v| b.corrupt_expr(&expr(v), Operand::Weight, v as u64, 0)).collect();
         assert_ne!(out_a, out_b);
@@ -677,7 +679,7 @@ mod tests {
         let mut raw = FaultInjector::new(raw_cfg).unwrap();
         let mut raw_codes = vec![0i32; 64];
         raw.corrupt_dram_codes(&mut raw_codes, 0);
-        assert!(raw_codes.iter().any(|&c| c == -128), "some byte flips bit 7");
+        assert!(raw_codes.contains(&-128), "some byte flips bit 7");
     }
 
     #[test]

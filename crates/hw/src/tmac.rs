@@ -146,6 +146,8 @@ impl Tmac {
 }
 
 #[cfg(test)]
+// Synthetic operand generators clamp to the i8 code band before casting.
+#[allow(clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use tr_core::{reveal_group, term_dot, TrConfig};

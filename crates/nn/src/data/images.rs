@@ -48,6 +48,8 @@ impl Prototype {
                     // position.
                     let sy = ((y as f32 + dy) * scale).clamp(0.0, (LOW - 1) as f32 - 1e-3);
                     let sx = ((xe + dx) * scale).clamp(0.0, (LOW - 1) as f32 - 1e-3);
+                    // sy/sx were clamped into [0, LOW-1) just above.
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
                     let (y0, x0) = (sy as usize, sx as usize);
                     let (fy, fx) = (sy - y0 as f32, sx - x0 as f32);
                     let at = |yy: usize, xx: usize| self.low[c * LOW * LOW + yy * LOW + xx];

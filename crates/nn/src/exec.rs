@@ -128,6 +128,51 @@ pub fn collect_pair_counts(model: &mut dyn Layer) -> PairCounts {
     total
 }
 
+/// Shape of one quantization site's weight, as the static analyzer sees
+/// it: `rows` output vectors each reducing over `reduction` elements.
+///
+/// Every site stores its weight as an `(out, in)` matrix — conv and
+/// depthwise included, via their im2col layout `(out_channels,
+/// in_channels·kh·kw)` — so `reduction` is exactly the dot-product length
+/// of `packed_term_matmul_i64` and of the ScratchArena conv kernel at
+/// that site. This is the only model fact the tr-analysis whole-model
+/// range prover needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteShape {
+    /// Site name as reported by `visit_quant_sites` (e.g. `"0.linear"`).
+    pub name: String,
+    /// Number of output vectors (rows of the weight matrix).
+    pub rows: usize,
+    /// Reduction length of each dot product (columns).
+    pub reduction: usize,
+}
+
+fn site_shape(name: String, dims: &[usize]) -> SiteShape {
+    let reduction = dims.last().copied().unwrap_or(0);
+    let rows = dims.iter().rev().skip(1).product();
+    SiteShape { name, rows, reduction }
+}
+
+/// Enumerate the weight shapes of every quantization site, in visit
+/// order (the order `prepare_model_precision` builds cache entries in).
+pub fn quant_site_shapes(model: &mut dyn Layer) -> Vec<SiteShape> {
+    let mut out = Vec::new();
+    model.visit_quant_sites(&mut |site| {
+        out.push(site_shape(site.name, site.weight.value.shape().dims()));
+    });
+    out
+}
+
+/// [`quant_site_shapes`] for the LSTM language model (which is not a
+/// [`Layer`] — it consumes token ids, not tensors).
+pub fn quant_site_shapes_lstm(lm: &mut LstmLm) -> Vec<SiteShape> {
+    let mut out = Vec::new();
+    lm.visit_quant_sites(&mut |site| {
+        out.push(site_shape(site.name, site.weight.value.shape().dims()));
+    });
+    out
+}
+
 /// Evaluate accuracy under the currently installed precision.
 pub fn evaluate_accuracy(model: &mut dyn Layer, dataset: &Dataset, rng: &mut Rng) -> f64 {
     eval_accuracy_on(model, &dataset.test.x, &dataset.test.y, 64, rng)

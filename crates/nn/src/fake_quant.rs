@@ -14,6 +14,7 @@
 //! while keeping inference fast enough for parameter sweeps.
 
 use std::sync::Arc;
+use tr_core::seal::{fnv1a_word, mix, FNV_OFFSET};
 use tr_core::{term_pairs_total_packed, PackedTermMatrix, TrConfig};
 use tr_encoding::Encoding;
 use tr_quant::{calibrate_max_abs, quantize, truncate_terms, QuantParams};
@@ -291,14 +292,6 @@ pub struct PreparedWeights {
     pub checksum: u64,
 }
 
-/// SplitMix64 finalizer for the deterministic tamper hook.
-fn mix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 impl PreparedWeights {
     /// Recompute the content checksum: FNV-1a over the reconstruction
     /// tensor bits, the quantizer, the packed-plane seal, the bounds,
@@ -307,9 +300,9 @@ impl PreparedWeights {
     /// the on-every-hit verify stays far below one batch of matmul.
     #[must_use]
     pub fn content_checksum(&self) -> u64 {
-        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        let mut h = FNV_OFFSET;
         let mut eat_word = |w: u64| {
-            h = (h ^ w).wrapping_mul(0x0000_0100_0000_01B3);
+            h = fnv1a_word(h, w);
         };
         if let Some(w) = &self.qweight {
             for d in w.shape().dims() {

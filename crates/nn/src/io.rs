@@ -110,6 +110,8 @@ fn save_tensors_inner(path: &Path, tensors: &[(String, Tensor)]) -> io::Result<(
         if nb.len() > MAX_NAME_LEN {
             return Err(io::Error::new(io::ErrorKind::InvalidInput, "tensor name too long"));
         }
+        // nb.len() <= MAX_NAME_LEN was checked above.
+        #[allow(clippy::cast_possible_truncation)]
         body.extend_from_slice(&(nb.len() as u32).to_le_bytes());
         body.extend_from_slice(nb);
         let dims = t.shape().dims();
@@ -117,6 +119,7 @@ fn save_tensors_inner(path: &Path, tensors: &[(String, Tensor)]) -> io::Result<(
         // reader validate each entry against the bytes actually present.
         let payload = 4u64 + 8 * dims.len() as u64 + 4 * t.data().len() as u64;
         body.extend_from_slice(&payload.to_le_bytes());
+        #[allow(clippy::cast_possible_truncation)] // rank is at most 4
         body.extend_from_slice(&(dims.len() as u32).to_le_bytes());
         for &d in dims {
             body.extend_from_slice(&(d as u64).to_le_bytes());

@@ -79,6 +79,9 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
+    // f64 statistics, f32 parameters — the narrowing casts are the
+    // layer's storage contract.
+    #[allow(clippy::cast_possible_truncation)]
     fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
         let (n, c, hw) = Self::stats_dims(x);
         assert_eq!(c, self.channels, "batchnorm channel mismatch");
@@ -128,6 +131,7 @@ impl Layer for BatchNorm2d {
         out
     }
 
+    #[allow(clippy::cast_possible_truncation)] // f64 grads → f32 params
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let cache = self.cached.take().expect("backward before forward");
         let (n, c, hw) = Self::stats_dims(grad_out);

@@ -43,7 +43,10 @@ pub mod qat;
 pub mod scratch;
 pub mod train;
 
-pub use exec::{apply_precision, calibrate_model, evaluate_accuracy, reset_pair_counting};
+pub use exec::{
+    apply_precision, calibrate_model, evaluate_accuracy, quant_site_shapes,
+    quant_site_shapes_lstm, reset_pair_counting, SiteShape,
+};
 pub use fake_quant::{prepare_weights, FakeQuant, PairCounts, Precision, PreparedWeights};
 pub use scratch::ScratchArena;
 pub use layer::{ForwardCtx, Layer, QuantSite, Sequential};

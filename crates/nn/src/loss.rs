@@ -41,6 +41,7 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
     }
     let scale = 1.0 / n as f32;
     grad.scale_inplace(scale);
+    #[allow(clippy::cast_possible_truncation)] // f64 mean loss → f32 report
     ((loss / n as f64) as f32, grad)
 }
 

@@ -88,6 +88,7 @@ pub fn train_qat(
             total_loss += loss as f64;
             batches += 1;
         }
+        #[allow(clippy::cast_possible_truncation)] // f64 mean loss → f32 report
         history.push(EpochStats {
             train_loss: (total_loss / batches.max(1) as f64) as f32,
             test_accuracy: eval_classifier(model, dataset, rng),
@@ -97,8 +98,8 @@ pub fn train_qat(
         if cfg.verbose {
             eprintln!(
                 "qat epoch {epoch}: loss {:.4}, quantized acc {:.2}%",
-                history.last().unwrap().train_loss,
-                100.0 * history.last().unwrap().test_accuracy
+                history.last().map_or(0.0, |s| s.train_loss),
+                100.0 * history.last().map_or(0.0, |s| s.test_accuracy)
             );
         }
     }
@@ -115,6 +116,9 @@ pub fn magnitude_prune(model: &mut dyn Layer, sparsity: f32) {
         let w = &mut site.weight.value;
         let mut mags: Vec<f32> = w.data().iter().map(|v| v.abs()).collect();
         mags.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        // sparsity ∈ [0, 1) was asserted above, so the product is a
+        // small non-negative float.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let cut = (sparsity * mags.len() as f32) as usize;
         if cut == 0 {
             return;

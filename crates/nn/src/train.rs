@@ -104,6 +104,7 @@ pub fn train_classifier(
             batches += 1;
         }
         let test_accuracy = eval_classifier(model, dataset, rng);
+        #[allow(clippy::cast_possible_truncation)] // f64 mean loss → f32 report
         let stats = EpochStats {
             train_loss: (total_loss / batches.max(1) as f64) as f32,
             test_accuracy,
@@ -333,7 +334,9 @@ mod tests {
         let skipped: usize = history.iter().map(|s| s.skipped_batches).sum();
         assert_eq!(skipped, 3 * 128usize.div_ceil(16));
         assert_eq!(total, MAX_LR_HALVINGS);
-        assert!(opt.lr() >= 0.1 * 0.5f32.powi(MAX_LR_HALVINGS as i32) * 0.99);
+        #[allow(clippy::cast_possible_truncation)] // MAX_LR_HALVINGS is tiny
+        let halvings = MAX_LR_HALVINGS as i32;
+        assert!(opt.lr() >= 0.1 * 0.5f32.powi(halvings) * 0.99);
     }
 
     #[test]

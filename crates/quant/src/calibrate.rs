@@ -34,8 +34,14 @@ impl QuantParams {
         if self.scale == 0.0 {
             return 0;
         }
-        let q = (x / self.scale).round() as i64;
-        q.clamp(-(self.qmax() as i64), self.qmax() as i64) as i32
+        // Saturating float→int: non-finite and huge inputs pin to ±qmax
+        // (`as` from f32 to i64 already saturates; the clamp then brings
+        // the code into the ≤ 16-bit band, so the i32 narrowing is exact).
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            let q = (x / self.scale).round() as i64;
+            q.clamp(-i64::from(self.qmax()), i64::from(self.qmax())) as i32
+        }
     }
 
     /// Real value of an integer code.
@@ -91,6 +97,7 @@ pub fn try_calibrate_percentile(t: &Tensor, bits: u8, pct: f64) -> Result<QuantP
         return Err(QuantError::UnsupportedBitWidth(bits));
     }
     if !(pct > 0.0 && pct <= 1.0) {
+        #[allow(clippy::cast_possible_truncation)] // ppm of a small float
         return Err(QuantError::InvalidPercentile((pct * 1e6) as i64));
     }
     if t.numel() == 0 {
@@ -98,6 +105,9 @@ pub fn try_calibrate_percentile(t: &Tensor, bits: u8, pct: f64) -> Result<QuantP
     }
     let mut mags: Vec<f32> = t.data().iter().map(|x| x.abs()).collect();
     mags.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // pct ∈ (0, 1] was checked above, so the product is a small positive
+    // float and the clamp pins the index into range.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let idx = ((pct * mags.len() as f64).ceil() as usize).clamp(1, mags.len()) - 1;
     let clip = mags[idx];
     let qmax = ((1i32 << (bits - 1)) - 1) as f32;

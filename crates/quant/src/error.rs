@@ -39,6 +39,8 @@ pub fn dequant_error(q: &QTensor, x: &Tensor) -> QuantErrorReport {
         sq_sum += (e as f64) * (e as f64);
         max_abs = max_abs.max(e.abs());
     }
+    // f64 accumulate, f32 report — the narrowing is the report contract.
+    #[allow(clippy::cast_possible_truncation)]
     QuantErrorReport {
         mae: (abs_sum / n) as f32,
         rmse: (sq_sum / n).sqrt() as f32,

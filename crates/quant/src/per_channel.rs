@@ -96,6 +96,7 @@ mod tests {
     fn heteroscedastic(rng: &mut Rng) -> Tensor {
         let mut t = Tensor::zeros(Shape::d2(8, 64));
         for r in 0..8 {
+            #[allow(clippy::cast_possible_truncation)] // r < 8
             let scale = 10f32.powi(r as i32 % 4 - 2); // 0.01 .. 10
             for v in t.row_mut(r) {
                 *v = rng.normal() * scale;

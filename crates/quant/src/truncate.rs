@@ -15,7 +15,12 @@ pub fn truncate_value(encoding: Encoding, code: i32, k: usize) -> i32 {
     if code == 0 {
         return 0;
     }
-    encoding.terms_of(code).truncate_top(k).value() as i32
+    // Dropping terms only shrinks the magnitude, so the truncated value
+    // stays inside the i32 band the code came from.
+    #[allow(clippy::cast_possible_truncation)]
+    {
+        encoding.terms_of(code).truncate_top(k).value() as i32
+    }
 }
 
 /// Truncate every code in a slice (in place) to its top `k` terms.

@@ -10,6 +10,8 @@ use crate::ladder::per_value_pair_bound;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
+use tr_analysis::CertificateTable;
+use tr_core::TrError;
 use tr_nn::exec::{apply_precision_prepared, prepare_model_precision, try_classify_batch};
 use tr_nn::layer::Layer;
 use tr_nn::{Precision, PreparedWeights, Sequential};
@@ -28,6 +30,12 @@ static CACHE_INTEGRITY_VIOLATIONS: Counter = Counter::new("serve.cache.integrity
 /// `prepare_weights` is a pure function of (weights, precision), so the
 /// rebuilt entry is bit-identical to the original — repair is lossless.
 static CACHE_REPAIRS: Counter = Counter::new("serve.cache.repairs");
+/// Soundness-certificate lookups performed by rung switches on engines
+/// with enforcement armed.
+static ENGINE_CERT_CHECKS: Counter = Counter::new("serve.engine.certificate.checks");
+/// Rung switches refused because the certificate was missing or failed
+/// its seal check.
+static ENGINE_CERT_REFUSALS: Counter = Counter::new("serve.engine.certificate.refusals");
 
 /// How an engine call failed without panicking.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,6 +122,10 @@ pub struct NnEngine {
     cache_misses: u64,
     integrity_violations: u64,
     integrity_repairs: u64,
+    /// When armed, every rung switch must present a valid soundness
+    /// certificate for `(fingerprint, rung label)` before the cache is
+    /// even consulted — an uncertified precision never touches weights.
+    certificates: Option<(Arc<CertificateTable>, u64)>,
 }
 
 /// What `set_precision` found in the rung cache.
@@ -141,7 +153,41 @@ impl NnEngine {
             cache_misses: 0,
             integrity_violations: 0,
             integrity_repairs: 0,
+            certificates: None,
         }
+    }
+
+    /// Arm certificate enforcement: from now on every precision switch
+    /// is checked against `table` under the model's `fingerprint` and
+    /// refused with [`TrError::Uncertified`] when no valid certificate
+    /// covers the rung. Use [`NnEngine::try_set_precision`] to observe
+    /// the refusal; the infallible [`Engine::set_precision`] panics on
+    /// it, routing the misconfiguration into the worker's restart
+    /// machinery like any other poison.
+    pub fn enforce_certificates(&mut self, table: Arc<CertificateTable>, fingerprint: u64) {
+        self.certificates = Some((table, fingerprint));
+    }
+
+    /// Fallible rung switch: certificate check (when armed) then the
+    /// cached install of [`Engine::set_precision`].
+    ///
+    /// # Errors
+    /// [`TrError::Uncertified`] when enforcement is armed and the rung
+    /// has no valid certificate; the engine's precision is unchanged.
+    pub fn try_set_precision(
+        &mut self,
+        precision: &Precision,
+        cost_factor: f64,
+    ) -> Result<(), TrError> {
+        if let Some((table, fingerprint)) = &self.certificates {
+            ENGINE_CERT_CHECKS.inc();
+            if let Err(e) = table.check(*fingerprint, &precision.label()) {
+                ENGINE_CERT_REFUSALS.inc();
+                return Err(e);
+            }
+        }
+        self.install_precision(precision, cost_factor);
+        Ok(())
     }
 
     /// `(hits, misses)` of the rung cache since construction. A ladder
@@ -169,8 +215,10 @@ impl NnEngine {
     }
 }
 
-impl Engine for NnEngine {
-    fn set_precision(&mut self, precision: &Precision, cost_factor: f64) {
+impl NnEngine {
+    /// The cache-aware precision install shared by the fallible and
+    /// infallible switch paths. Certificate checks happen *before* this.
+    fn install_precision(&mut self, precision: &Precision, cost_factor: f64) {
         let state = match self.rung_cache.get(precision) {
             None => CacheState::Miss,
             Some(entry) => {
@@ -210,6 +258,17 @@ impl Engine for NnEngine {
             }
         }
         self.cost_factor = cost_factor;
+    }
+}
+
+impl Engine for NnEngine {
+    fn set_precision(&mut self, precision: &Precision, cost_factor: f64) {
+        // An uncertified rung reaching the infallible path is a service
+        // misconfiguration, and like every other poison it panics so the
+        // worker quarantines and rebuilds rather than serving unsound math.
+        if let Err(e) = self.try_set_precision(precision, cost_factor) {
+            panic!("refusing rung {}: {e}", precision.label());
+        }
     }
 
     fn infer(&mut self, inputs: &[&[f32]]) -> Vec<usize> {
@@ -448,5 +507,59 @@ mod tests {
         let mut rng = Rng::seed_from_u64(2);
         let mut model = Sequential::new().push(Linear::new(9, 5, &mut rng));
         assert_eq!(model_input_dim(&mut model), Some(9));
+    }
+
+    /// The spec of `tiny_engine`'s architecture — shapes only, so a
+    /// freshly built twin fingerprints identically to the served model.
+    fn tiny_spec() -> tr_analysis::ModelSpec {
+        let mut rng = Rng::seed_from_u64(99);
+        let mut twin = Sequential::new().push(Linear::new(4, 3, &mut rng));
+        tr_analysis::ModelSpec::from_layer("tiny", &mut twin).unwrap()
+    }
+
+    #[test]
+    fn armed_engine_refuses_uncertified_rungs_and_serves_certified_ones() {
+        let mut e = tiny_engine();
+        let x = [0.3f32, -0.2, 0.9, 0.1];
+        let spec = tiny_spec();
+        let tr = Precision::Tr(TrConfig::new(2, 3).with_data_terms(2));
+        let qt = Precision::Qt { weight_bits: 8, act_bits: 8 };
+        // Certify only the TR rung; QT stays unproven.
+        let table = tr_analysis::CertificateTable::certify(&spec, &[tr]).unwrap();
+        e.enforce_certificates(Arc::new(table), spec.fingerprint());
+
+        e.try_set_precision(&tr, 1.0).expect("certified rung must install");
+        let certified_pred = e.infer(&[&x]);
+
+        let err = e.try_set_precision(&qt, 1.0).unwrap_err();
+        assert!(matches!(err, TrError::Uncertified(_)), "{err}");
+        // The refusal left the engine on the certified rung, still serving.
+        assert_eq!(e.infer(&[&x]), certified_pred);
+
+        // The infallible trait path treats the refusal as poison.
+        let r = catch_unwind(AssertUnwindSafe(|| e.set_precision(&qt, 1.0)));
+        assert!(r.is_err(), "uncertified rung through set_precision must panic");
+    }
+
+    #[test]
+    fn tampered_certificate_is_refused_by_the_engine() {
+        let mut e = tiny_engine();
+        let spec = tiny_spec();
+        let tr = Precision::Tr(TrConfig::new(2, 3).with_data_terms(2));
+        let mut table = tr_analysis::CertificateTable::certify(&spec, &[tr]).unwrap();
+        let fp = spec.fingerprint();
+        assert!(table.get_mut(fp, &tr.label()).unwrap().tamper(0x5EED));
+        e.enforce_certificates(Arc::new(table), fp);
+        let err = e.try_set_precision(&tr, 1.0).unwrap_err();
+        assert!(matches!(err, TrError::Uncertified(_)), "{err}");
+    }
+
+    #[test]
+    fn unarmed_engine_switches_without_certificates() {
+        // Enforcement is opt-in: engines outside a certified deployment
+        // keep the PR-6 behaviour bit-for-bit.
+        let mut e = tiny_engine();
+        let qt = Precision::Qt { weight_bits: 8, act_bits: 8 };
+        e.try_set_precision(&qt, 1.0).expect("unarmed engine must not require certificates");
     }
 }

@@ -15,8 +15,15 @@
 //! policy (watermarks, patience, cooldown) lives here and is unit-tested
 //! without threads or clocks.
 
+use tr_analysis::CertificateTable;
 use tr_core::{TrConfig, TrError};
 use tr_nn::Precision;
+use tr_obs::Counter;
+
+/// Certificate checks performed at ladder construction.
+static CERT_CHECKS: Counter = Counter::new("serve.certificate.checks");
+/// Checks that refused a rung (missing or tamper-failed certificate).
+static CERT_REJECTIONS: Counter = Counter::new("serve.certificate.rejections");
 
 /// One rung: a precision setting plus its relative hardware cost.
 #[derive(Debug, Clone)]
@@ -215,6 +222,31 @@ impl Ladder {
             seq: 0,
             transitions: Vec::new(),
         })
+    }
+
+    /// A controller that *refuses to come up* unless every rung holds a
+    /// valid soundness certificate for the model it will serve: each
+    /// rung label is looked up in `table` under the model's fingerprint
+    /// and its seal verified. This is the enforcement half of the
+    /// tr-analysis whole-model prover — an uncertified or tampered rung
+    /// is a configuration error at construction, not a runtime surprise.
+    ///
+    /// # Errors
+    /// [`TrError::Uncertified`] naming the first rung with a missing or
+    /// tamper-failed certificate; otherwise as [`Ladder::new`].
+    pub fn new_certified(
+        cfg: LadderConfig,
+        table: &CertificateTable,
+        fingerprint: u64,
+    ) -> Result<Ladder, TrError> {
+        for rung in &cfg.rungs {
+            CERT_CHECKS.inc();
+            if let Err(e) = table.check(fingerprint, &rung.label) {
+                CERT_REJECTIONS.inc();
+                return Err(e);
+            }
+        }
+        Ladder::new(cfg)
     }
 
     /// The active rung index.
@@ -470,6 +502,55 @@ mod tests {
             l.observe(1.0);
         }
         assert!(l.current() > 0, "ladder must keep degrading after a latch/clear cycle");
+    }
+
+    #[test]
+    fn certified_construction_accepts_a_fully_proven_ladder() {
+        let cfg = LadderConfig::default_tr_ladder();
+        let spec = tr_analysis::ModelSpec::new(
+            "mlp-tiny",
+            vec![tr_analysis::LayerSpec { name: "fc".into(), rows: 16, reduction: 64 }],
+        )
+        .unwrap();
+        let rungs: Vec<Precision> = cfg.rungs.iter().map(|r| r.precision).collect();
+        let table = CertificateTable::certify(&spec, &rungs).unwrap();
+        let l = Ladder::new_certified(cfg, &table, spec.fingerprint()).unwrap();
+        assert_eq!(l.current(), 0);
+    }
+
+    #[test]
+    fn certified_construction_refuses_missing_and_tampered_certificates() {
+        let cfg = LadderConfig::default_tr_ladder();
+        let spec = tr_analysis::ModelSpec::new(
+            "mlp-tiny",
+            vec![tr_analysis::LayerSpec { name: "fc".into(), rows: 16, reduction: 64 }],
+        )
+        .unwrap();
+        let fp = spec.fingerprint();
+        let rungs: Vec<Precision> = cfg.rungs.iter().map(|r| r.precision).collect();
+
+        // A table for a *different* model proves nothing about this one.
+        let other = tr_analysis::ModelSpec::new(
+            "mlp-other",
+            vec![tr_analysis::LayerSpec { name: "fc".into(), rows: 16, reduction: 128 }],
+        )
+        .unwrap();
+        let foreign = CertificateTable::certify(&other, &rungs).unwrap();
+        let err = Ladder::new_certified(cfg.clone(), &foreign, fp).unwrap_err();
+        assert!(matches!(err, TrError::Uncertified(_)), "{err}");
+
+        // Dropping one rung's certificate refuses the whole ladder.
+        let mut partial = CertificateTable::certify(&spec, &rungs).unwrap();
+        let victim = &cfg.rungs[2].label;
+        assert!(partial.remove(fp, victim).is_some());
+        let err = Ladder::new_certified(cfg.clone(), &partial, fp).unwrap_err();
+        assert!(matches!(err, TrError::Uncertified(_)), "{err}");
+
+        // A bit-flipped certificate fails its seal and is refused too.
+        let mut tampered = CertificateTable::certify(&spec, &rungs).unwrap();
+        assert!(tampered.get_mut(fp, victim).unwrap().tamper(0xBAD));
+        let err = Ladder::new_certified(cfg, &tampered, fp).unwrap_err();
+        assert!(matches!(err, TrError::Uncertified(_)), "{err}");
     }
 
     #[test]

@@ -119,6 +119,13 @@ pub fn im2col(input: &[f32], g: &Conv2dGeometry) -> Tensor {
 /// n_patches`. Every slot (including padding zeros) is written, so a dirty
 /// buffer reused across the images of a batch needs no clearing — this is
 /// what lets the conv layers unroll a whole batch with one allocation.
+/// Map a padded (possibly negative) input coordinate to an in-bounds
+/// index: `Some(i)` iff `0 <= v < limit`.
+#[inline]
+fn in_bounds(v: isize, limit: usize) -> Option<usize> {
+    usize::try_from(v).ok().filter(|&i| i < limit)
+}
+
 pub fn im2col_into(input: &[f32], g: &Conv2dGeometry, out: &mut Vec<f32>) {
     g.check();
     assert_eq!(input.len(), g.in_channels * g.in_h * g.in_w, "input length mismatch");
@@ -137,10 +144,9 @@ pub fn im2col_into(input: &[f32], g: &Conv2dGeometry, out: &mut Vec<f32>) {
                     let iy = (oy * g.stride + kh) as isize - g.pad as isize;
                     for ox in 0..ow {
                         let ix = (ox * g.stride + kw) as isize - g.pad as isize;
-                        orow[p] = if iy >= 0 && (iy as usize) < g.in_h && ix >= 0 && (ix as usize) < g.in_w {
-                            chan[iy as usize * g.in_w + ix as usize]
-                        } else {
-                            0.0
+                        orow[p] = match (in_bounds(iy, g.in_h), in_bounds(ix, g.in_w)) {
+                            (Some(y), Some(x)) => chan[y * g.in_w + x],
+                            _ => 0.0,
                         };
                         p += 1;
                     }
@@ -172,8 +178,8 @@ pub fn col2im(cols_mat: &Tensor, g: &Conv2dGeometry) -> Vec<f32> {
                     let iy = (oy * g.stride + kh) as isize - g.pad as isize;
                     for ox in 0..ow {
                         let ix = (ox * g.stride + kw) as isize - g.pad as isize;
-                        if iy >= 0 && (iy as usize) < g.in_h && ix >= 0 && (ix as usize) < g.in_w {
-                            chan[iy as usize * g.in_w + ix as usize] += crow[p];
+                        if let (Some(y), Some(x)) = (in_bounds(iy, g.in_h), in_bounds(ix, g.in_w)) {
+                            chan[y * g.in_w + x] += crow[p];
                         }
                         p += 1;
                     }
@@ -205,8 +211,8 @@ pub fn conv2d_reference(
                         for kw in 0..g.k_w {
                             let iy = (oy * g.stride + kh) as isize - g.pad as isize;
                             let ix = (ox * g.stride + kw) as isize - g.pad as isize;
-                            if iy >= 0 && (iy as usize) < g.in_h && ix >= 0 && (ix as usize) < g.in_w {
-                                let iv = input[c * g.in_h * g.in_w + iy as usize * g.in_w + ix as usize];
+                            if let (Some(y), Some(x)) = (in_bounds(iy, g.in_h), in_bounds(ix, g.in_w)) {
+                                let iv = input[c * g.in_h * g.in_w + y * g.in_w + x];
                                 let wv = weights
                                     [((o * g.in_channels + c) * g.k_h + kh) * g.k_w + kw];
                                 acc += (iv * wv) as f64;
@@ -214,7 +220,12 @@ pub fn conv2d_reference(
                         }
                     }
                 }
-                out[o * oh * ow + oy * ow + ox] = acc as f32;
+                // Accumulate in f64, deliver in f32: the narrowing is the
+                // point (the reference matches the f32 kernels' contract).
+                #[allow(clippy::cast_possible_truncation)]
+                {
+                    out[o * oh * ow + oy * ow + ox] = acc as f32;
+                }
             }
         }
     }

@@ -151,7 +151,11 @@ pub fn matmul_reference(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> V
             for kk in 0..k {
                 acc += (a[i * k + kk] as f64) * (b[kk * n + j] as f64);
             }
-            out[i * n + j] = acc as f32;
+            // f64 accumulate, f32 deliver — matches the optimized kernels.
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                out[i * n + j] = acc as f32;
+            }
         }
     }
     out

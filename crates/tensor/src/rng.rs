@@ -72,16 +72,21 @@ impl Rng {
     /// If `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is meaningless");
-        // Multiply-shift rejection (Lemire) for an unbiased draw.
-        let n = n as u64;
-        loop {
-            let x = self.next_u64();
-            let (hi, lo) = {
-                let wide = (x as u128) * (n as u128);
-                ((wide >> 64) as u64, wide as u64)
-            };
-            if lo >= n || lo >= n.wrapping_neg() % n {
-                return hi as usize;
+        // Multiply-shift rejection (Lemire) for an unbiased draw. The
+        // u128→u64 splits keep exactly the high/low halves by design,
+        // and hi < n ≤ usize::MAX so the final narrowing cannot lose.
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            let n = n as u64;
+            loop {
+                let x = self.next_u64();
+                let (hi, lo) = {
+                    let wide = u128::from(x) * u128::from(n);
+                    ((wide >> 64) as u64, wide as u64)
+                };
+                if lo >= n || lo >= n.wrapping_neg() % n {
+                    return hi as usize;
+                }
             }
         }
     }
@@ -218,6 +223,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // u ∈ [0,1)
     fn fork_streams_diverge() {
         let mut root = Rng::seed_from_u64(1);
         let mut a = root.fork();

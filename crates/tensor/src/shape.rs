@@ -100,7 +100,7 @@ impl Shape {
     /// If the shape has rank 0.
     pub fn as_matrix(&self) -> (usize, usize) {
         assert!(self.rank() >= 1, "cannot view scalar as matrix");
-        let cols = *self.dims.last().unwrap();
+        let cols = self.dims.last().copied().unwrap_or(1);
         let rows = self.numel() / cols.max(1);
         (rows, cols)
     }

@@ -35,10 +35,10 @@ impl Histogram {
             return;
         }
         let w = (self.hi - self.lo) / self.counts.len() as f32;
-        let mut bin = ((x - self.lo) / w) as usize;
-        if bin >= self.counts.len() {
-            bin = self.counts.len() - 1;
-        }
+        // x ∈ [lo, hi) here, so the quotient is finite and non-negative;
+        // the clamp below absorbs the one-past-the-end rounding case.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let bin = (((x - self.lo) / w) as usize).min(self.counts.len() - 1);
         self.counts[bin] += 1;
     }
 
@@ -82,7 +82,10 @@ impl Histogram {
         let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
         self.counts
             .iter()
-            .map(|&c| GLYPHS[(c as usize * (GLYPHS.len() - 1) + max as usize / 2) / max as usize])
+            .map(|&c| {
+                let i = (c.saturating_mul(GLYPHS.len() as u64 - 1) + max / 2) / max;
+                GLYPHS[usize::try_from(i).unwrap_or(GLYPHS.len() - 1).min(GLYPHS.len() - 1)]
+            })
             .collect()
     }
 }
@@ -164,7 +167,10 @@ impl CountHistogram {
 
     /// Smallest value whose CDF is at least `q` (empirical quantile).
     pub fn quantile(&self, q: f64) -> usize {
-        let target = (q * self.total as f64).ceil() as u64;
+        // q is a probability; clamp before the float→int conversion so a
+        // caller passing NaN or q<0 gets the smallest bin, not UB-ish wrap.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
         let mut acc = 0u64;
         for (v, &c) in self.counts.iter().enumerate() {
             acc += c;

@@ -199,7 +199,11 @@ impl Tensor {
 
     /// Sum of all elements (f64 accumulator for stability).
     pub fn sum(&self) -> f32 {
-        self.data.iter().map(|&x| x as f64).sum::<f64>() as f32
+        // f64 accumulate, f32 deliver — the narrowing is the API contract.
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            self.data.iter().map(|&x| f64::from(x)).sum::<f64>() as f32
+        }
     }
 
     /// Mean of all elements.
@@ -281,7 +285,10 @@ impl Tensor {
                 d * d
             })
             .sum();
-        (s / self.data.len() as f64) as f32
+        #[allow(clippy::cast_possible_truncation)] // f64 mean → f32 result
+        {
+            (s / self.data.len() as f64) as f32
+        }
     }
 
     /// Relative L2 error `||self - other|| / ||other||`.
@@ -301,7 +308,10 @@ impl Tensor {
                 f32::INFINITY
             }
         } else {
-            (num / den).sqrt() as f32
+            #[allow(clippy::cast_possible_truncation)] // f64 ratio → f32 result
+            {
+                (num / den).sqrt() as f32
+            }
         }
     }
 }

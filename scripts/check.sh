@@ -1,16 +1,24 @@
 #!/usr/bin/env bash
-# The full local gate: release build, the whole test suite, clippy with
-# warnings denied (plus the workspace-denied cast/unwrap lints in the
-# datapath and serving crates), the static bit-width proof of the
-# hardware datapath, and the serving resilience smoke. CI mirrors this;
-# run it before pushing.
+# The full local gate: release build, the whole test suite, clippy over
+# every target with warnings denied (the workspace cast/unwrap lints now
+# cover every crate, tests and benches included), the static bit-width
+# proof of the hardware datapath, the whole-model soundness
+# certificates, and the serving resilience smoke. CI mirrors this; run
+# it before pushing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --workspace
 cargo test -q --workspace
-cargo clippy --workspace -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 cargo run -q --release -p tr-bench --bin repro -- verify-widths
+# Whole-model soundness certificates: every default ladder rung of the
+# three zoo models must be provably overflow-free, twice over and
+# bit-identical, with the sealed table archived for tr-serve to
+# enforce (DESIGN.md SS13). `prove` panics on any unproven rung, so an
+# empty artifact means the gate never passed.
+cargo run -q --release -p tr-bench --bin repro -- --quick prove
+test -s CERTS_PR7.json
 # Serving resilience: the multi-threaded panic/deadline soak in release
 # mode (the dev-profile run is part of `cargo test` above), then the
 # quick serve experiment end to end — ladder shedding, fault latch,

@@ -3,6 +3,10 @@
 //! the difference between "a cosmic ray costs one retrain" and "a cosmic
 //! ray poisons every downstream accuracy number".
 
+// Helper fns outside #[test] bodies: the tests-may-unwrap clippy
+// exemption does not reach them, so carry the allows explicitly.
+#![allow(clippy::unwrap_used)]
+
 use std::panic::catch_unwind;
 use std::path::PathBuf;
 use tr_nn::io::{load_tensors, save_tensors};
@@ -76,6 +80,7 @@ fn wrong_magic_and_junk_fail_cleanly() {
     assert_clean_error(b"TRCK", "short magic");
     assert_clean_error(b"NOTMAGIC", "wrong magic, no body");
     assert_clean_error(b"TRCKPT99\x01\x00\x00\x00\x00\x00\x00\x00", "future version");
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // i*7%251 < 256
     let junk: Vec<u8> = (0..256).map(|i| (i * 7 % 251) as u8).collect();
     assert_clean_error(&junk, "random junk");
 }

@@ -90,7 +90,10 @@ proptest! {
         let v = sdr.value();
         let min = minimize_sdr(&sdr);
         prop_assert_eq!(min.value(), v);
-        prop_assert_eq!(min.weight(), minimal_weight(v.unsigned_abs() as u32));
+        // 20 signed digits sum to well inside u32.
+        #[allow(clippy::cast_possible_truncation)]
+        let mag = v.unsigned_abs() as u32;
+        prop_assert_eq!(min.weight(), minimal_weight(mag));
         prop_assert!(min.weight() <= sdr.weight());
     }
 }

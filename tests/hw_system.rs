@@ -35,7 +35,9 @@ fn full_datapath_matches_algorithmic_tr() {
     let (g, k, s) = (8usize, 12usize, 3usize);
     for _ in 0..20 {
         // Non-negative data (post-ReLU), signed weights.
+        #[allow(clippy::cast_possible_truncation)] // below(128) < 128
         let data: Vec<u32> = (0..g).map(|_| rng.below(128) as u32).collect();
+        #[allow(clippy::cast_possible_truncation)] // ±~200 fits i32
         let weights: Vec<i32> = (0..g).map(|_| (rng.normal() * 40.0) as i32).collect();
 
         // Hardware path, as in Fig. 9: the encoder + comparator apply
@@ -127,6 +129,7 @@ fn comparator_matches_receding_water_on_signed_weight_style_groups() {
     let mut rng = Rng::seed_from_u64(3);
     for &(g, k) in &[(2usize, 3usize), (4, 5), (8, 16)] {
         for _ in 0..20 {
+            #[allow(clippy::cast_possible_truncation)] // below(256) < 256
             let values: Vec<u32> = (0..g).map(|_| rng.below(256) as u32).collect();
             let streams: Vec<_> = values.iter().map(|&v| HeseEncoderUnit::encode(8, v)).collect();
             let out = TermComparator::new(g, k).process_group(&streams);

@@ -75,6 +75,7 @@ fn claim_hese_dominates_prior_encodings() {
     // Half-normal data codes. Real post-ReLU activations are sparser than
     // this synthetic draw (the fig8 experiment measures 98.7% on them);
     // the synthetic population still clears 95%.
+    #[allow(clippy::cast_possible_truncation)] // clamped into the i8 band
     let codes: Vec<i32> = (0..20_000).map(|_| (rng.normal().abs() * 30.0).min(127.0) as i32).collect();
     let hese = term_count_histogram(Encoding::Hese, &codes);
     let binary = term_count_histogram(Encoding::Binary, &codes);

@@ -91,6 +91,7 @@ fn group_budget_invariant_holds_after_reveal() {
 fn reveal_group_never_increases_term_count_per_value() {
     let mut rng = Rng::seed_from_u64(8);
     for _ in 0..100 {
+        #[allow(clippy::cast_possible_truncation)] // ±~300 fits i32 easily
         let vals: Vec<i32> = (0..8).map(|_| (rng.normal() * 60.0) as i32).collect();
         let exprs: Vec<TermExpr> = vals.iter().map(|&v| Encoding::Hese.terms_of(v)).collect();
         let out = reveal_group(&exprs, 10);
