@@ -1,4 +1,4 @@
-//! bench — the machine-readable performance baseline (`BENCH_PR6.json`).
+//! bench — the machine-readable performance baseline (`BENCH_PR8.json`).
 //!
 //! Not a paper figure: this experiment turns the `tr-obs` instrumentation
 //! threaded through core/nn/hw/serve into one schema-stable JSON artifact
@@ -20,13 +20,17 @@
 //!   registers, plus the functional array's per-tile cycle histogram;
 //! * **serve** — a short deterministic burst against the batched service,
 //!   reporting p50/p99 completed latency from the shared histogram;
+//! * **serve_sharded** — the same burst through the sharded multi-tenant
+//!   service with a single tenant, proving the shard/dispatch layer does
+//!   not regress single-tenant tail latency;
 //! * **integrity_overhead** — the chaos-overhead gate: checksum
 //!   verification must cost < 2% of the packed matmul it protects;
-//! * **baseline** — the committed `BENCH_PR5.json` read back (path
+//! * **baseline** — the committed `BENCH_PR6.json` read back (path
 //!   override: `TR_BENCH_BASELINE`), with packed-kernel wall-clock
-//!   ratios and a one-line regression verdict.
+//!   ratios, a sharded-vs-baseline serve p99 ratio, and a one-line
+//!   regression verdict.
 //!
-//! The artifact goes to `BENCH_PR6.json` (override with `TR_BENCH_OUT`).
+//! The artifact goes to `BENCH_PR8.json` (override with `TR_BENCH_OUT`).
 
 use crate::experiments::serve::{mlp_factory, wait_settled};
 use crate::report::Table;
@@ -40,7 +44,9 @@ use tr_nn::fake_quant::Precision;
 use tr_nn::layer::{ForwardCtx, Layer};
 use tr_nn::layers::{Conv2d, DepthwiseConv2d};
 use tr_obs::{recorder, set_enabled, JsonValue, Snapshot};
-use tr_serve::{Service, ServiceConfig};
+use tr_serve::{
+    DeadlineClass, Service, ServiceConfig, ShardedConfig, ShardedService, TenantPolicy,
+};
 use tr_tensor::{im2col, Conv2dGeometry, Rng, Shape, Tensor};
 
 /// Schema tag of the emitted artifact; bump only on breaking layout
@@ -518,6 +524,113 @@ fn serve_section(zoo: &Zoo, table: &mut Table) -> JsonValue {
     ])
 }
 
+/// The PR 8 non-regression probe: the same single-tenant burst as
+/// [`serve_section`] pushed through the *sharded* multi-tenant service
+/// (4 shards, one worker each, tenant-hash dispatch, per-tenant ladder).
+/// One tenant homes onto one shard, so this measures exactly what the
+/// shard/dispatch layer adds over the plain service on the path a
+/// single-tenant deployment pays.
+///
+/// Every shard worker builds its own engine replica at spawn; on a
+/// small host those builds serialize and would otherwise dominate the
+/// first ~hundred ms of the burst. One warm-up probe per shard (via
+/// throwaway tenants homed there by the same hash dispatch) retires
+/// that one-time cost before the clock starts, and the percentiles are
+/// read from the burst tenant's own class histogram so the probes
+/// never pollute them.
+fn sharded_serve_section(zoo: &Zoo, table: &mut Table) -> JsonValue {
+    let ds = zoo.digits();
+    const SHARDS: usize = 4;
+    const WARM_IDS: u32 = 16;
+    let mut tenants = vec![TenantPolicy::new("solo")];
+    tenants.extend((1..=WARM_IDS).map(|i| TenantPolicy::new(&format!("warm_{i}"))));
+    let cfg = ShardedConfig {
+        shards: SHARDS,
+        workers_per_shard: 1,
+        shard_queue_capacity: 128,
+        max_batch: 4,
+        batch_linger: Duration::from_millis(2),
+        service_estimate: Duration::from_millis(8),
+        ladder: tr_serve::LadderConfig::default_tr_ladder(),
+        tenants,
+        worker_idle_poll: Duration::from_millis(5),
+        ..ShardedConfig::default()
+    };
+    let n = if zoo.quick { 24 } else { 60 };
+    let svc = ShardedService::start(cfg, mlp_factory(zoo, Duration::from_micros(100)))
+        .expect("valid sharded config");
+    // One probe per shard: the hash dispatch is stable, so pick any
+    // warm tenant homed on each shard and wait for its completion.
+    let probes: Vec<u32> = (0..SHARDS)
+        .filter_map(|shard| (1..=WARM_IDS).find(|t| svc.home_shard(*t) == shard))
+        .collect();
+    for &t in &probes {
+        svc.submit(
+            t,
+            DeadlineClass::Interactive,
+            ds.test.x.row(0).to_vec(),
+            Some(Duration::from_secs(30)),
+        )
+        .expect("warm-up probe admitted");
+    }
+    let warm = Instant::now();
+    while warm.elapsed() < Duration::from_secs(30) {
+        if probes.iter().all(|t| svc.tenant_snapshot(*t).is_some_and(|s| s.completed >= 1)) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let t0 = Instant::now();
+    for i in 0..n {
+        let _ = svc.submit(
+            0,
+            DeadlineClass::Interactive,
+            ds.test.x.row(i % ds.test.len()).to_vec(),
+            Some(Duration::from_secs(10)),
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let settle = Instant::now();
+    while settle.elapsed() < Duration::from_secs(30) {
+        let m = svc.metrics_snapshot();
+        if m.terminal_total() >= m.submitted {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let wall = t0.elapsed();
+    let report = svc.shutdown();
+    report.verify_conservation().expect("sharded bench burst conserves every request");
+    let s = &report.snapshot;
+    let solo = &report.tenants[0].snapshot;
+    let cls = &solo.classes[DeadlineClass::Interactive.index()];
+    let p = |pm: u64| {
+        cls.latency_percentile(pm)
+            .map_or(JsonValue::Null, |d| JsonValue::Num(d.as_secs_f64() * 1e3))
+    };
+    table.row(vec![
+        "serve_sharded/burst".to_string(),
+        format!("{:.2}ms", wall.as_secs_f64() * 1e3),
+        format!(
+            "p50 {} / p99 {}",
+            cls.latency_percentile(500).map_or_else(|| "-".into(), |d| format!("{d:.1?}")),
+            cls.latency_percentile(990).map_or_else(|| "-".into(), |d| format!("{d:.1?}")),
+        ),
+        format!("{} completed over {SHARDS} shards", solo.completed),
+    ]);
+    obj(vec![
+        ("shards", uint(u64::try_from(SHARDS).unwrap_or(4))),
+        ("wall_ms", ms(wall)),
+        ("submitted", uint(solo.submitted)),
+        ("completed", uint(solo.completed)),
+        ("batches", uint(s.batches)),
+        ("p50_ms", p(500)),
+        ("p99_ms", p(990)),
+        ("steals", uint(s.steals)),
+        ("hot_swaps", uint(s.hot_swaps)),
+    ])
+}
+
 /// The chaos-overhead gate: checksum verification of the packed operands
 /// must cost < 2% of the packed matmul it protects.
 ///
@@ -579,47 +692,54 @@ fn integrity_overhead_section(table: &mut Table) -> (JsonValue, bool) {
     (json, pass)
 }
 
-/// Locate the committed PR5 baseline: `TR_BENCH_BASELINE` wins, then the
+/// Locate the committed PR6 baseline: `TR_BENCH_BASELINE` wins, then the
 /// repo-root file from either the root or a crate working directory.
 fn baseline_path() -> String {
     if let Ok(p) = std::env::var("TR_BENCH_BASELINE") {
         return p;
     }
-    for candidate in ["BENCH_PR5.json", "../../BENCH_PR5.json"] {
+    for candidate in ["BENCH_PR6.json", "../../BENCH_PR6.json"] {
         if std::path::Path::new(candidate).is_file() {
             return candidate.to_string();
         }
     }
-    "BENCH_PR5.json".to_string()
+    "BENCH_PR6.json".to_string()
 }
 
-/// A `{pr5_packed_wall_ms, packed_wall_ms, ratio_vs_pr5}` block for one
-/// core row: this run's packed kernel against the baseline's packed
-/// kernel (same code path, so the ratio is a pure same-machine drift
-/// check — ≥ 1.0 means this run is at least as fast). Returns the ratio
-/// alongside for the verdict line.
-fn baseline_core_row(row: &str, core: &JsonValue, pr5: &JsonValue) -> (JsonValue, Option<f64>) {
-    let pr5_wall = pr5.get("core").and_then(|c| c.get(row)).and_then(|r| r.get("packed_wall_ms"));
+/// A `{baseline_packed_wall_ms, packed_wall_ms, ratio_vs_baseline}`
+/// block for one core row: this run's packed kernel against the
+/// baseline's packed kernel (same code path, so the ratio is a pure
+/// same-machine drift check — ≥ 1.0 means this run is at least as
+/// fast). Returns the ratio alongside for the verdict line.
+fn baseline_core_row(row: &str, core: &JsonValue, base: &JsonValue) -> (JsonValue, Option<f64>) {
+    let base_wall = base.get("core").and_then(|c| c.get(row)).and_then(|r| r.get("packed_wall_ms"));
     let packed_wall = core.get(row).and_then(|r| r.get("packed_wall_ms"));
-    let ratio = match (pr5_wall.and_then(JsonValue::as_f64), packed_wall.and_then(JsonValue::as_f64)) {
+    let ratio = match (base_wall.and_then(JsonValue::as_f64), packed_wall.and_then(JsonValue::as_f64)) {
         (Some(old), Some(new)) => Some(old / new.max(f64::MIN_POSITIVE)),
         _ => None,
     };
     let block = obj(vec![
-        ("pr5_packed_wall_ms", pr5_wall.cloned().unwrap_or(JsonValue::Null)),
+        ("baseline_packed_wall_ms", base_wall.cloned().unwrap_or(JsonValue::Null)),
         ("packed_wall_ms", packed_wall.cloned().unwrap_or(JsonValue::Null)),
-        ("ratio_vs_pr5", ratio.map_or(JsonValue::Null, JsonValue::Num)),
+        ("ratio_vs_baseline", ratio.map_or(JsonValue::Null, JsonValue::Num)),
     ]);
     (block, ratio)
 }
 
-/// Read `BENCH_PR5.json` back and emit the regression block plus a
+/// Read `BENCH_PR6.json` back and emit the regression block plus a
 /// one-line verdict. A missing or shape-mismatched baseline degrades to
 /// `found: false` rather than failing the run (fresh checkouts, CI
 /// machines without the artifact).
+///
+/// Besides the packed-kernel drift ratios, the verdict folds in the
+/// PR 8 sharding question: the sharded service's single-tenant p99 vs
+/// the baseline's plain-service p99. Tail latencies wobble more than
+/// kernel wall clocks, so that ratio gets a wider band (0.5x) before it
+/// demotes the verdict.
 fn baseline_section(
     zoo: &Zoo,
     core: &JsonValue,
+    serve_sharded: &JsonValue,
     integrity_pass: bool,
     table: &mut Table,
 ) -> JsonValue {
@@ -628,11 +748,11 @@ fn baseline_section(
     let parsed = std::fs::read_to_string(&path)
         .map_err(|e| e.to_string())
         .and_then(|text| JsonValue::parse(&text));
-    let pr5 = match parsed {
+    let base = match parsed {
         Ok(v) => v,
         Err(e) => {
             let verdict =
-                format!("SKIPPED — no PR5 baseline ({e}); in-run: {integrity_note}");
+                format!("SKIPPED — no PR6 baseline ({e}); in-run: {integrity_note}");
             table.note(format!("verdict: {verdict}"));
             return obj(vec![
                 ("path", JsonValue::str(&path)),
@@ -643,28 +763,44 @@ fn baseline_section(
     };
     // Wall clocks only compare within the same problem size; a quick run
     // against a full baseline (or vice versa) is reported but flagged.
-    let comparable = pr5.get("quick").map(|q| q == &JsonValue::Bool(zoo.quick)).unwrap_or(false);
-    let (qt8_block, qt8) = baseline_core_row("qt8", core, &pr5);
-    let (tr_block, tr) = baseline_core_row("tr_g8_k12_s3", core, &pr5);
+    let comparable = base.get("quick").map(|q| q == &JsonValue::Bool(zoo.quick)).unwrap_or(false);
+    let (qt8_block, qt8) = baseline_core_row("qt8", core, &base);
+    let (tr_block, tr) = baseline_core_row("tr_g8_k12_s3", core, &base);
     let worst = match (qt8, tr) {
         (Some(a), Some(b)) => Some(a.min(b)),
         _ => None,
     };
+    // Sharding non-regression: baseline plain-serve p99 over this run's
+    // sharded single-tenant p99 (≥ 1.0 means sharding is at least as
+    // fast on the single-tenant path).
+    let base_p99 = base.get("serve").and_then(|s| s.get("p99_ms")).and_then(JsonValue::as_f64);
+    let sharded_p99 = serve_sharded.get("p99_ms").and_then(JsonValue::as_f64);
+    let serve_ratio = match (base_p99, sharded_p99) {
+        (Some(old), Some(new)) => Some(old / new.max(f64::MIN_POSITIVE)),
+        _ => None,
+    };
+    let serve_ok = serve_ratio.map_or(true, |r| r >= 0.5);
     // Same kernel on both sides, so the bands are drift tolerances, not
     // speedup targets: a shared CI box can easily wobble ±25%.
     let status = match worst {
         _ if !comparable => "INCOMPARABLE (quick-mode mismatch vs baseline)".to_string(),
-        Some(w) if w >= 0.75 && integrity_pass => "PASS".to_string(),
-        Some(w) if w >= 0.5 => {
+        Some(w) if w >= 0.75 && integrity_pass && serve_ok => "PASS".to_string(),
+        Some(w) if w >= 0.5 && serve_ok => {
             format!("WARN (drift band 0.75x, {integrity_note}; worst core {w:.2}x)")
         }
-        Some(w) => format!("REGRESSION (core packed {w:.2}x vs PR5 packed)"),
+        Some(w) if w >= 0.5 => format!(
+            "WARN (sharded serve p99 {:.2}x vs PR6 plain serve, band 0.5x)",
+            serve_ratio.unwrap_or(0.0)
+        ),
+        Some(w) => format!("REGRESSION (core packed {w:.2}x vs PR6 packed)"),
         None => "SKIPPED (baseline rows missing)".to_string(),
     };
     let verdict = format!(
-        "{status} — packed core qt8 {}x / tr {}x vs PR5, {integrity_note}",
+        "{status} — packed core qt8 {}x / tr {}x vs PR6, sharded single-tenant p99 {}x vs \
+         PR6 serve p99, {integrity_note}",
         qt8.map_or_else(|| "?".to_string(), |v| format!("{v:.2}")),
         tr.map_or_else(|| "?".to_string(), |v| format!("{v:.2}")),
+        serve_ratio.map_or_else(|| "?".to_string(), |v| format!("{v:.2}")),
     );
     table.note(format!("verdict: {verdict}"));
     obj(vec![
@@ -672,6 +808,14 @@ fn baseline_section(
         ("found", JsonValue::Bool(true)),
         ("comparable", JsonValue::Bool(comparable)),
         ("core", obj(vec![("qt8", qt8_block), ("tr_g8_k12_s3", tr_block)])),
+        (
+            "serve",
+            obj(vec![
+                ("baseline_p99_ms", base_p99.map_or(JsonValue::Null, JsonValue::Num)),
+                ("sharded_p99_ms", sharded_p99.map_or(JsonValue::Null, JsonValue::Num)),
+                ("ratio_vs_baseline", serve_ratio.map_or(JsonValue::Null, JsonValue::Num)),
+            ]),
+        ),
         ("integrity_pass", JsonValue::Bool(integrity_pass)),
         ("verdict", JsonValue::str(&verdict)),
     ])
@@ -693,22 +837,24 @@ pub fn run(zoo: &Zoo) -> Vec<Table> {
     let nn = nn_section(zoo, &mut table);
     let hw = hw_section(zoo, &mut table);
     let serve = serve_section(zoo, &mut table);
+    let serve_sharded = sharded_serve_section(zoo, &mut table);
     set_enabled(false);
     let (integrity, integrity_pass) = integrity_overhead_section(&mut table);
-    let baseline = baseline_section(zoo, &core, integrity_pass, &mut table);
+    let baseline = baseline_section(zoo, &core, &serve_sharded, integrity_pass, &mut table);
 
     let json = JsonValue::object(vec![
         ("schema".to_string(), JsonValue::str(SCHEMA)),
-        ("pr".to_string(), JsonValue::UInt(6)),
+        ("pr".to_string(), JsonValue::UInt(8)),
         ("quick".to_string(), JsonValue::Bool(zoo.quick)),
         ("core".to_string(), core),
         ("nn".to_string(), nn),
         ("hw".to_string(), hw),
         ("serve".to_string(), serve),
+        ("serve_sharded".to_string(), serve_sharded),
         ("integrity_overhead".to_string(), integrity),
         ("baseline".to_string(), baseline),
     ]);
-    let path = std::env::var("TR_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
+    let path = std::env::var("TR_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR8.json".to_string());
     match std::fs::write(&path, json.to_pretty_string() + "\n") {
         Ok(()) => table.note(format!("artifact written to {path}")),
         Err(e) => table.note(format!("could not write {path}: {e}")),
@@ -737,7 +883,7 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("artifact written");
         for key in [
             "\"schema\": \"tr-bench/v1\"",
-            "\"pr\": 6",
+            "\"pr\": 8",
             "\"integrity_overhead\"",
             "\"verify_overhead_pct\"",
             "\"verify_wall_ms\"",
@@ -757,6 +903,8 @@ mod tests {
             "\"hw\"",
             "\"functional\"",
             "\"serve\"",
+            "\"serve_sharded\"",
+            "\"steals\"",
             "\"p99_ms\"",
             "\"baseline\"",
             "\"verdict\"",

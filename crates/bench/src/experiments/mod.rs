@@ -18,6 +18,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod prove;
 pub mod serve;
+pub mod soak;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -28,10 +29,10 @@ use crate::report::Table;
 use crate::zoo::Zoo;
 
 /// Every experiment id in paper order.
-pub const ALL: [&str; 22] = [
+pub const ALL: [&str; 23] = [
     "fig3", "fig5", "fig7", "fig8", "fig15", "fig16", "fig17", "fig18", "fig19", "table1",
     "table2", "table3", "table4", "ablation", "bounds", "extensions", "faults", "serve",
-    "chaos", "verify-widths", "prove", "bench",
+    "chaos", "soak", "verify-widths", "prove", "bench",
 ];
 
 /// Run one experiment by id.
@@ -59,6 +60,7 @@ pub fn run(id: &str, zoo: &Zoo) -> Vec<Table> {
         "faults" => faults::run(zoo),
         "serve" => serve::run(zoo),
         "chaos" => chaos::run(zoo),
+        "soak" => soak::run(zoo),
         "verify-widths" => widths::run(),
         "prove" => prove::run(zoo),
         "bench" => bench::run(zoo),

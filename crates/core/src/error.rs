@@ -37,6 +37,15 @@ pub enum TrError {
     /// Unlike [`Integrity`](TrError::Integrity) this is not repairable by
     /// re-encoding: the rung must be re-proven before it may serve.
     Uncertified(String),
+    /// A per-tenant serving policy is inconsistent (empty tenant set,
+    /// zero-rate quota, an SLO pin past the ladder's pressure range, …).
+    /// Tenant policy is validated at service construction so a bad
+    /// policy is a startup error, never a mid-traffic surprise.
+    InvalidTenantPolicy(String),
+    /// A zero-downtime model hot-swap was refused (service shutting
+    /// down, or the replacement factory failed its first-touch
+    /// verification).
+    HotSwap(String),
 }
 
 impl std::fmt::Display for TrError {
@@ -51,6 +60,8 @@ impl std::fmt::Display for TrError {
             TrError::Training(m) => write!(f, "training error: {m}"),
             TrError::Integrity(m) => write!(f, "integrity violation: {m}"),
             TrError::Uncertified(m) => write!(f, "uncertified rung: {m}"),
+            TrError::InvalidTenantPolicy(m) => write!(f, "invalid tenant policy: {m}"),
+            TrError::HotSwap(m) => write!(f, "hot-swap refused: {m}"),
         }
     }
 }
@@ -108,6 +119,15 @@ mod tests {
         let e = TrError::Uncertified("no certificate for rung tr-g8k8s2".into());
         assert!(e.to_string().starts_with("uncertified rung:"), "{e}");
         assert!(e.to_string().contains("tr-g8k8s2"));
+    }
+
+    #[test]
+    fn tenant_policy_and_hot_swap_display() {
+        let e = TrError::InvalidTenantPolicy("tenant 'bulk' pin 9 past last pressure rung 3".into());
+        assert!(e.to_string().starts_with("invalid tenant policy:"), "{e}");
+        assert!(e.to_string().contains("bulk"));
+        let h = TrError::HotSwap("service shutting down".into());
+        assert!(h.to_string().starts_with("hot-swap refused:"), "{h}");
     }
 
     #[test]

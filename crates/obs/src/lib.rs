@@ -27,7 +27,9 @@ mod span;
 
 pub use hist::{bucket_lower_bound, bucket_of, bucket_upper_bound, HistSnapshot, Histogram, Log2Histogram, BUCKETS};
 pub use json::JsonValue;
-pub use recorder::{enabled, recorder, set_enabled, CounterSnapshot, Recorder, Snapshot, SpanSnapshot};
+pub use recorder::{
+    enabled, recorder, set_enabled, CounterSnapshot, NamedCounter, Recorder, Snapshot, SpanSnapshot,
+};
 pub use span::{span, span_lazy, Span};
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -137,6 +139,25 @@ mod tests {
         let snap = recorder().snapshot();
         let found = snap.counters.iter().find(|c| c.name == "test.snapshot_counter");
         assert!(found.is_some_and(|c| c.value >= 7), "{snap:?}");
+        set_enabled(false);
+    }
+
+    #[test]
+    fn named_counters_share_by_name_gate_on_enabled_and_snapshot() {
+        let _g = guard();
+        set_enabled(false);
+        let a = recorder().named_counter("test.named.tenant.alpha");
+        a.add(7);
+        assert_eq!(a.get(), 0, "disabled recorder must not count");
+        set_enabled(true);
+        let b = recorder().named_counter("test.named.tenant.alpha");
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3, "handles to one name share a value");
+        let snap = recorder().snapshot();
+        assert!(snap.counter("test.named.tenant.alpha") >= 3);
+        recorder().reset();
+        assert_eq!(b.get(), 0, "reset must zero named counters too");
         set_enabled(false);
     }
 

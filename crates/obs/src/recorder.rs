@@ -45,6 +45,7 @@ pub struct Recorder {
     counters: Mutex<Vec<&'static Counter>>,
     histograms: Mutex<Vec<&'static Histogram>>,
     spans: Mutex<BTreeMap<String, Arc<SpanStats>>>,
+    named: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
 }
 
 /// The global [`Recorder`].
@@ -54,13 +55,64 @@ pub fn recorder() -> &'static Recorder {
         counters: Mutex::new(Vec::new()),
         histograms: Mutex::new(Vec::new()),
         spans: Mutex::new(BTreeMap::new()),
+        named: Mutex::new(BTreeMap::new()),
     };
     &RECORDER
+}
+
+/// A handle to a *dynamically named* counter — for names only known at
+/// run time (per-tenant namespacing like `serve.tenant.paid.admitted`),
+/// where the `static` [`Counter`] cannot be used. Handles to the same
+/// name share one value; increments are recorder-gated exactly like the
+/// static counters, so a disabled recorder makes them one relaxed load.
+#[derive(Debug, Clone)]
+pub struct NamedCounter {
+    value: Arc<AtomicU64>,
+}
+
+impl NamedCounter {
+    /// Add `n` when the recorder is enabled; no-op otherwise.
+    pub fn add(&self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one (gated like [`NamedCounter::add`]).
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
 }
 
 impl Recorder {
     pub(crate) fn register_counter(&self, c: &'static Counter) {
         lock(&self.counters).push(c);
+    }
+
+    /// Create (or look up) a dynamically named counter. Registration
+    /// takes the registry mutex once per distinct name; the returned
+    /// handle's increments are lock-free. Named counters appear in
+    /// [`Recorder::snapshot`] alongside the static ones and are zeroed
+    /// by [`Recorder::reset`].
+    #[must_use]
+    pub fn named_counter(&self, name: &str) -> NamedCounter {
+        let mut named = lock(&self.named);
+        let value = match named.get(name) {
+            Some(v) => Arc::clone(v),
+            None => {
+                let v = Arc::new(AtomicU64::new(0));
+                named.insert(name.to_string(), Arc::clone(&v));
+                v
+            }
+        };
+        NamedCounter { value }
     }
 
     pub(crate) fn register_histogram(&self, h: &'static Histogram) {
@@ -91,6 +143,10 @@ impl Recorder {
             .iter()
             .map(|c| CounterSnapshot { name: c.name().to_string(), value: c.get() })
             .collect();
+        counters.extend(lock(&self.named).iter().map(|(name, v)| CounterSnapshot {
+            name: name.clone(),
+            value: v.load(Ordering::Relaxed),
+        }));
         counters.sort_by(|a, b| a.name.cmp(&b.name));
         let mut histograms: Vec<(String, HistSnapshot)> = lock(&self.histograms)
             .iter()
@@ -125,6 +181,9 @@ impl Recorder {
         for s in lock(&self.spans).values() {
             s.hist.reset();
             s.self_ns.store(0, Ordering::Relaxed);
+        }
+        for v in lock(&self.named).values() {
+            v.store(0, Ordering::Relaxed);
         }
     }
 }

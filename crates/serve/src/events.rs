@@ -20,6 +20,10 @@ static EV_BREAKER_CLOSED: Counter = Counter::new("serve.events.breaker_closed");
 static EV_WATCHDOG_RECYCLED: Counter = Counter::new("serve.events.watchdog_recycled");
 static EV_CACHE_REPAIRED: Counter = Counter::new("serve.events.cache_repaired");
 static EV_RETRY_EXHAUSTED: Counter = Counter::new("serve.events.retry_exhausted");
+static EV_QUOTA_REJECTED: Counter = Counter::new("serve.events.quota_rejected");
+static EV_HOT_SWAP: Counter = Counter::new("serve.events.hot_swap");
+static EV_ENGINE_REBUILT: Counter = Counter::new("serve.events.engine_rebuilt");
+static EV_WORK_STOLEN: Counter = Counter::new("serve.events.work_stolen");
 
 /// What happened. Worker-scoped kinds carry the worker slot index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +44,17 @@ pub enum EventKind {
     CacheRepaired { worker: usize },
     /// A worker exhausted its retry budget on transient errors.
     RetryExhausted { worker: usize },
+    /// A submission was refused because its tenant's token bucket was
+    /// empty (`RejectReason::TenantOverQuota`).
+    QuotaRejected { tenant: u32 },
+    /// A zero-downtime model hot-swap was published; workers rebuild
+    /// onto `generation` between batches.
+    HotSwap { generation: u64 },
+    /// A worker rebuilt its engine replica onto a new model generation.
+    EngineRebuilt { worker: usize, generation: u64 },
+    /// An idle shard stole a batch from an overloaded (or tripped)
+    /// shard's queue.
+    WorkStolen { from_shard: usize, to_shard: usize },
 }
 
 impl EventKind {
@@ -55,6 +70,10 @@ impl EventKind {
             EventKind::WatchdogRecycled { .. } => "watchdog_recycled",
             EventKind::CacheRepaired { .. } => "cache_repaired",
             EventKind::RetryExhausted { .. } => "retry_exhausted",
+            EventKind::QuotaRejected { .. } => "quota_rejected",
+            EventKind::HotSwap { .. } => "hot_swap",
+            EventKind::EngineRebuilt { .. } => "engine_rebuilt",
+            EventKind::WorkStolen { .. } => "work_stolen",
         }
     }
 
@@ -68,6 +87,10 @@ impl EventKind {
             EventKind::WatchdogRecycled { .. } => &EV_WATCHDOG_RECYCLED,
             EventKind::CacheRepaired { .. } => &EV_CACHE_REPAIRED,
             EventKind::RetryExhausted { .. } => &EV_RETRY_EXHAUSTED,
+            EventKind::QuotaRejected { .. } => &EV_QUOTA_REJECTED,
+            EventKind::HotSwap { .. } => &EV_HOT_SWAP,
+            EventKind::EngineRebuilt { .. } => &EV_ENGINE_REBUILT,
+            EventKind::WorkStolen { .. } => &EV_WORK_STOLEN,
         }
     }
 }
@@ -154,6 +177,10 @@ mod tests {
             _ => unreachable!(),
         }
         assert_eq!(EventKind::FaultLatchEngaged.label(), "fault_latch_engaged");
+        assert_eq!(EventKind::QuotaRejected { tenant: 3 }.label(), "quota_rejected");
+        assert_eq!(EventKind::HotSwap { generation: 2 }.label(), "hot_swap");
+        assert_eq!(EventKind::EngineRebuilt { worker: 1, generation: 2 }.label(), "engine_rebuilt");
+        assert_eq!(EventKind::WorkStolen { from_shard: 0, to_shard: 1 }.label(), "work_stolen");
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Zero-downtime model hot-swap with generation counters.
+//!
+//! A swap publishes a *new engine factory* under a bumped generation
+//! number. Nothing is torn down at publish time: each worker notices the
+//! generation change between batches, finishes the batch it is running
+//! on the old generation, then rebuilds its replica from the new
+//! factory — so no in-flight request is dropped, none is double-served,
+//! and the queue keeps draining throughout. The per-rung
+//! `PreparedWeights` cache inside the new engine is integrity-verified
+//! on first touch exactly like any fresh engine (the PR 6 detect-and-
+//! re-encode path), so a swap can never smuggle in corrupt weights.
+//!
+//! A *grace window* (measured on the injectable service clock) bounds
+//! how long a worker may keep serving the old generation: workers check
+//! between batches, so only a stalled worker can lag, and the shard
+//! supervisor recycles any slot still on an old generation once the
+//! window closes.
+
+use crate::clock::SharedClock;
+use crate::engine::EngineFactory;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One published model generation: the factory plus its number.
+#[derive(Clone)]
+pub struct ModelGeneration {
+    /// Monotonic generation number (0 = the factory the service started
+    /// with).
+    pub generation: u64,
+    /// Builds engine replicas of this generation.
+    pub factory: EngineFactory,
+}
+
+/// The swap cell: an `Arc`-swapped current generation plus a lock-free
+/// generation counter workers poll between batches.
+pub struct HotSwap {
+    current: Mutex<Arc<ModelGeneration>>,
+    /// Mirror of `current.generation` readable without the mutex — the
+    /// worker fast path is one atomic load per loop.
+    generation: AtomicU64,
+    /// When the latest swap was published (µs since `epoch` on the
+    /// service clock); workers lagging past `grace` get recycled.
+    swapped_at_us: AtomicU64,
+    clock: SharedClock,
+    epoch: Instant,
+}
+
+impl HotSwap {
+    /// Generation 0 with the starting factory.
+    #[must_use]
+    pub fn new(factory: EngineFactory, clock: SharedClock) -> HotSwap {
+        let epoch = clock.now();
+        HotSwap {
+            current: Mutex::new(Arc::new(ModelGeneration { generation: 0, factory })),
+            generation: AtomicU64::new(0),
+            swapped_at_us: AtomicU64::new(0),
+            clock,
+            epoch,
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.clock.now().duration_since(self.epoch).as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// The generation workers should be on (one relaxed-ish atomic load).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// The current generation's factory handle.
+    #[must_use]
+    pub fn current(&self) -> Arc<ModelGeneration> {
+        Arc::clone(&lock(&self.current))
+    }
+
+    /// Publish `factory` as the next generation and return its number.
+    /// In-flight batches finish on their old generation; workers rebuild
+    /// between batches.
+    pub fn swap(&self, factory: EngineFactory) -> u64 {
+        let mut g = lock(&self.current);
+        let generation = g.generation + 1;
+        *g = Arc::new(ModelGeneration { generation, factory });
+        // Publish order: timestamp before the counter, so a worker that
+        // sees the new generation also sees a swap time at or before
+        // "now" and the grace window can only be conservative.
+        self.swapped_at_us.store(self.now_us(), Ordering::SeqCst);
+        self.generation.store(generation, Ordering::SeqCst);
+        generation
+    }
+
+    /// Whether a worker still on `worker_generation` has outlived the
+    /// grace window of the latest swap and should be recycled.
+    #[must_use]
+    pub fn lagging(&self, worker_generation: u64, grace: Duration) -> bool {
+        if worker_generation >= self.generation() {
+            return false;
+        }
+        let grace_us = u64::try_from(grace.as_micros()).unwrap_or(u64::MAX);
+        self.now_us().saturating_sub(self.swapped_at_us.load(Ordering::SeqCst)) > grace_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::MockClock;
+    use crate::engine::Engine;
+    use tr_nn::Precision;
+
+    struct Tagged(usize);
+    impl Engine for Tagged {
+        fn set_precision(&mut self, _p: &Precision, _c: f64) {}
+        fn infer(&mut self, inputs: &[&[f32]]) -> Vec<usize> {
+            vec![self.0; inputs.len()]
+        }
+    }
+
+    fn tagged_factory(tag: usize) -> EngineFactory {
+        Arc::new(move || Box::new(Tagged(tag)))
+    }
+
+    #[test]
+    fn swap_bumps_generation_and_serves_the_new_factory() {
+        let clock: SharedClock = Arc::new(MockClock::new());
+        let hot = HotSwap::new(tagged_factory(10), Arc::clone(&clock));
+        assert_eq!(hot.generation(), 0);
+        let g0 = hot.current();
+        assert_eq!(g0.generation, 0);
+        assert_eq!((g0.factory)().infer(&[&[0.0]]), vec![10]);
+        assert_eq!(hot.swap(tagged_factory(20)), 1);
+        assert_eq!(hot.generation(), 1);
+        let g1 = hot.current();
+        assert_eq!(g1.generation, 1);
+        assert_eq!((g1.factory)().infer(&[&[0.0]]), vec![20]);
+        // The old handle still builds old-generation engines — exactly
+        // what an in-flight batch needs to finish on.
+        assert_eq!((g0.factory)().infer(&[&[0.0]]), vec![10]);
+    }
+
+    #[test]
+    fn lagging_respects_the_grace_window_on_the_injected_clock() {
+        let mock = Arc::new(MockClock::new());
+        let clock: SharedClock = Arc::clone(&mock) as SharedClock;
+        let hot = HotSwap::new(tagged_factory(1), clock);
+        let grace = Duration::from_millis(100);
+        assert!(!hot.lagging(0, grace), "no swap yet: nobody lags");
+        hot.swap(tagged_factory(2));
+        assert!(!hot.lagging(0, grace), "inside the grace window");
+        assert!(!hot.lagging(1, grace), "up-to-date worker never lags");
+        mock.advance(Duration::from_millis(150));
+        assert!(hot.lagging(0, grace), "past the window the straggler must be recycled");
+        assert!(!hot.lagging(1, grace));
+    }
+}

@@ -200,6 +200,11 @@ pub struct Ladder {
     low_streak: u32,
     cooldown_left: u32,
     fault_latched: bool,
+    /// SLO pin: deepest rung pressure stepping may reach (inclusive).
+    /// `None` = the whole pressure range. The fault latch still
+    /// overrides a pin — a faulty TR datapath must not keep serving at a
+    /// pinned TR rung just because a tenant paid for it.
+    pin: Option<usize>,
     seq: u64,
     transitions: Vec<Transition>,
 }
@@ -219,9 +224,42 @@ impl Ladder {
             low_streak: 0,
             cooldown_left: 0,
             fault_latched: false,
+            pin: None,
             seq: 0,
             transitions: Vec::new(),
         })
+    }
+
+    /// Pin pressure stepping at `pin` or better (the per-tenant SLO
+    /// pin): under sustained pressure this ladder stops degrading at
+    /// rung `pin` while unpinned ladders keep stepping down — so pinned
+    /// tenants hold their quality and unpinned tenants shed first.
+    ///
+    /// # Errors
+    /// [`TrError::InvalidTenantPolicy`] when `pin` is past the last
+    /// pressure rung.
+    pub fn with_slo_pin(mut self, pin: usize) -> Result<Ladder, TrError> {
+        if pin > self.cfg.last_pressure_rung() {
+            return Err(TrError::InvalidTenantPolicy(format!(
+                "SLO pin {pin} past last pressure rung {}",
+                self.cfg.last_pressure_rung()
+            )));
+        }
+        self.pin = Some(pin);
+        Ok(self)
+    }
+
+    /// The SLO pin, if set.
+    #[must_use]
+    pub fn slo_pin(&self) -> Option<usize> {
+        self.pin
+    }
+
+    /// Deepest rung pressure stepping may reach: the last pressure rung,
+    /// clamped by the SLO pin.
+    #[must_use]
+    pub fn pressure_floor(&self) -> usize {
+        self.pin.map_or(self.cfg.last_pressure_rung(), |p| p.min(self.cfg.last_pressure_rung()))
     }
 
     /// A controller that *refuses to come up* unless every rung holds a
@@ -331,7 +369,7 @@ impl Ladder {
             self.cooldown_left -= 1;
             return self.current;
         }
-        if self.high_streak >= self.cfg.patience && self.current < self.cfg.last_pressure_rung() {
+        if self.high_streak >= self.cfg.patience && self.current < self.pressure_floor() {
             let to = self.current + 1;
             self.step(to, StepReason::Pressure);
         } else if self.low_streak >= self.cfg.patience && self.current > 0 {
@@ -502,6 +540,34 @@ mod tests {
             l.observe(1.0);
         }
         assert!(l.current() > 0, "ladder must keep degrading after a latch/clear cycle");
+    }
+
+    #[test]
+    fn slo_pin_clamps_pressure_stepping_but_not_the_fault_latch() {
+        let mut pinned = ladder().with_slo_pin(1).unwrap();
+        let mut free = ladder();
+        for _ in 0..200 {
+            pinned.observe(1.0);
+            free.observe(1.0);
+        }
+        assert_eq!(pinned.current(), 1, "pinned ladder must hold at its SLO rung");
+        assert_eq!(pinned.pressure_floor(), 1);
+        assert_eq!(
+            free.current(),
+            free.config().last_pressure_rung(),
+            "unpinned ladder keeps stepping down — unpinned tenants shed first"
+        );
+        // A pin of 0 never degrades at all.
+        let mut full = ladder().with_slo_pin(0).unwrap();
+        for _ in 0..200 {
+            assert_eq!(full.observe(1.0), 0);
+        }
+        // The fault latch overrides the pin: trusted numerics beat SLOs.
+        pinned.latch_fault();
+        assert_eq!(pinned.current(), pinned.config().fallback.unwrap());
+        // An out-of-range pin is a policy error at construction.
+        let err = ladder().with_slo_pin(99).unwrap_err();
+        assert!(matches!(err, TrError::InvalidTenantPolicy(_)), "{err}");
     }
 
     #[test]

@@ -35,11 +35,14 @@ pub mod chaos;
 pub mod clock;
 pub mod engine;
 pub mod events;
+pub mod hotswap;
 pub mod ladder;
 pub mod metrics;
 pub mod queue;
 pub mod request;
 pub mod service;
+pub mod shard;
+pub mod tenant;
 
 pub use backoff::RetryPolicy;
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
@@ -49,8 +52,11 @@ pub use engine::{
     cost_factor_vs, model_input_dim, nn_engine_factory, Engine, EngineError, EngineFactory, NnEngine,
 };
 pub use events::{EventKind, EventLog, ServeEvent};
+pub use hotswap::{HotSwap, ModelGeneration};
 pub use ladder::{per_value_pair_bound, Ladder, LadderConfig, Rung, StepReason, Transition};
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{ClassSnapshot, Metrics, MetricsSnapshot, TenantMetrics, TenantSnapshot};
 pub use queue::{BoundedQueue, Pull};
 pub use request::{Completion, ExpiredAt, Outcome, RejectReason, Request, RequestId};
 pub use service::{Service, ServiceConfig, ServiceReport};
+pub use shard::{CertificatePolicy, ShardedConfig, ShardedReport, ShardedService};
+pub use tenant::{DeadlineClass, QuotaConfig, TenantId, TenantPolicy, TokenBucket, CLASSES};

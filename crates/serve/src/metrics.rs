@@ -13,6 +13,8 @@
 //! service tail latencies from the same registry as the core/nn/hw
 //! instrumentation.
 
+use crate::request::{ExpiredAt, Outcome};
+use crate::tenant::{DeadlineClass, CLASSES};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use tr_obs::{HistSnapshot, Histogram, Log2Histogram};
@@ -56,6 +58,21 @@ pub struct Metrics {
     pub watchdog_recycles: AtomicU64,
     /// Corrupt cached rungs detected and re-encoded by workers.
     pub cache_repairs: AtomicU64,
+    /// Steal operations: an idle shard pulled a batch from another
+    /// shard's queue (sharded service only).
+    pub steals: AtomicU64,
+    /// Requests that changed shards through stealing.
+    pub stolen_requests: AtomicU64,
+    /// Submissions refused by a tenant token bucket.
+    pub quota_rejections: AtomicU64,
+    /// Zero-downtime model hot-swaps published.
+    pub hot_swaps: AtomicU64,
+    /// Worker engine rebuilds onto a new model generation.
+    pub engine_rebuilds: AtomicU64,
+    /// Completions served *below* their tenant's SLO pin — must stay 0;
+    /// counted (not just asserted) so a violation is visible in any
+    /// artifact, not only under `debug_assertions`.
+    pub slo_pin_violations: AtomicU64,
     latencies_us: Log2Histogram,
 }
 
@@ -86,6 +103,12 @@ impl Metrics {
             breaker_opens: self.breaker_opens.load(Ordering::SeqCst),
             watchdog_recycles: self.watchdog_recycles.load(Ordering::SeqCst),
             cache_repairs: self.cache_repairs.load(Ordering::SeqCst),
+            steals: self.steals.load(Ordering::SeqCst),
+            stolen_requests: self.stolen_requests.load(Ordering::SeqCst),
+            quota_rejections: self.quota_rejections.load(Ordering::SeqCst),
+            hot_swaps: self.hot_swaps.load(Ordering::SeqCst),
+            engine_rebuilds: self.engine_rebuilds.load(Ordering::SeqCst),
+            slo_pin_violations: self.slo_pin_violations.load(Ordering::SeqCst),
             latencies_us: self.latencies_us.snapshot(),
         }
     }
@@ -127,6 +150,18 @@ pub struct MetricsSnapshot {
     pub watchdog_recycles: u64,
     /// See [`Metrics::cache_repairs`].
     pub cache_repairs: u64,
+    /// See [`Metrics::steals`].
+    pub steals: u64,
+    /// See [`Metrics::stolen_requests`].
+    pub stolen_requests: u64,
+    /// See [`Metrics::quota_rejections`].
+    pub quota_rejections: u64,
+    /// See [`Metrics::hot_swaps`].
+    pub hot_swaps: u64,
+    /// See [`Metrics::engine_rebuilds`].
+    pub engine_rebuilds: u64,
+    /// See [`Metrics::slo_pin_violations`].
+    pub slo_pin_violations: u64,
     /// Completed latencies in microseconds, log2-bucketed. Exact count,
     /// sum, min, and max; percentiles to bucket resolution.
     pub latencies_us: HistSnapshot,
@@ -176,14 +211,225 @@ impl MetricsSnapshot {
             breaker_opens: self.breaker_opens - earlier.breaker_opens,
             watchdog_recycles: self.watchdog_recycles - earlier.watchdog_recycles,
             cache_repairs: self.cache_repairs - earlier.cache_repairs,
+            steals: self.steals - earlier.steals,
+            stolen_requests: self.stolen_requests - earlier.stolen_requests,
+            quota_rejections: self.quota_rejections - earlier.quota_rejections,
+            hot_swaps: self.hot_swaps - earlier.hot_swaps,
+            engine_rebuilds: self.engine_rebuilds - earlier.engine_rebuilds,
+            slo_pin_violations: self.slo_pin_violations - earlier.slo_pin_violations,
             latencies_us: self.latencies_us.since(&earlier.latencies_us),
         }
+    }
+}
+
+/// Live per-class accounting inside a [`TenantMetrics`].
+#[derive(Debug, Default)]
+pub struct ClassMetrics {
+    /// Requests of this class completed in time.
+    pub completed: AtomicU64,
+    /// Requests of this class expired (queue or late).
+    pub expired: AtomicU64,
+    /// Requests of this class refused admission (any reason).
+    pub rejected: AtomicU64,
+    latencies_us: Log2Histogram,
+}
+
+/// Live per-tenant counters, updated through the sharded service's
+/// finish funnel. One per tenant in the policy table.
+#[derive(Debug, Default)]
+pub struct TenantMetrics {
+    /// Submissions naming this tenant (admitted or not).
+    pub submitted: AtomicU64,
+    /// Submissions that passed admission (quota + queue) for this tenant.
+    pub admitted: AtomicU64,
+    /// Completed in time.
+    pub completed: AtomicU64,
+    /// Refused by the tenant's token bucket.
+    pub rejected_quota: AtomicU64,
+    /// Refused for any other reason (queue full, shutdown).
+    pub rejected_other: AtomicU64,
+    /// Deadline missed (queue or late).
+    pub expired: AtomicU64,
+    /// Quarantined after panicking a worker solo.
+    pub quarantined: AtomicU64,
+    /// Completions served below rung 0.
+    pub degraded: AtomicU64,
+    /// Completions served below the tenant's SLO pin — must stay 0.
+    pub slo_violations: AtomicU64,
+    classes: [ClassMetrics; CLASSES],
+}
+
+impl TenantMetrics {
+    /// Fold one terminal outcome into the tenant's (and its class's)
+    /// counters. `pin` is the tenant's SLO pin, used to count (never
+    /// mask) pin violations. Returns `true` when the outcome violated
+    /// the pin so the caller can escalate.
+    pub fn record_outcome(&self, class: DeadlineClass, outcome: &Outcome, pin: Option<usize>) -> bool {
+        let cm = &self.classes[class.index()];
+        match outcome {
+            Outcome::Completed { latency, rung, .. } => {
+                self.completed.fetch_add(1, Ordering::SeqCst);
+                cm.completed.fetch_add(1, Ordering::SeqCst);
+                let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+                cm.latencies_us.record(us);
+                if *rung > 0 {
+                    self.degraded.fetch_add(1, Ordering::SeqCst);
+                }
+                if pin.is_some_and(|p| *rung > p) {
+                    self.slo_violations.fetch_add(1, Ordering::SeqCst);
+                    return true;
+                }
+            }
+            Outcome::Rejected(reason) => {
+                cm.rejected.fetch_add(1, Ordering::SeqCst);
+                match reason {
+                    crate::request::RejectReason::TenantOverQuota { .. } => {
+                        self.rejected_quota.fetch_add(1, Ordering::SeqCst);
+                    }
+                    _ => {
+                        self.rejected_other.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            Outcome::Expired(ExpiredAt::Queue | ExpiredAt::AfterExecution) => {
+                self.expired.fetch_add(1, Ordering::SeqCst);
+                cm.expired.fetch_add(1, Ordering::SeqCst);
+            }
+            Outcome::Quarantined => {
+                self.quarantined.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        false
+    }
+
+    /// Consistent copy for reporting.
+    pub fn snapshot(&self) -> TenantSnapshot {
+        TenantSnapshot {
+            submitted: self.submitted.load(Ordering::SeqCst),
+            admitted: self.admitted.load(Ordering::SeqCst),
+            completed: self.completed.load(Ordering::SeqCst),
+            rejected_quota: self.rejected_quota.load(Ordering::SeqCst),
+            rejected_other: self.rejected_other.load(Ordering::SeqCst),
+            expired: self.expired.load(Ordering::SeqCst),
+            quarantined: self.quarantined.load(Ordering::SeqCst),
+            degraded: self.degraded.load(Ordering::SeqCst),
+            slo_violations: self.slo_violations.load(Ordering::SeqCst),
+            classes: std::array::from_fn(|i| {
+                let cm = &self.classes[i];
+                ClassSnapshot {
+                    completed: cm.completed.load(Ordering::SeqCst),
+                    expired: cm.expired.load(Ordering::SeqCst),
+                    rejected: cm.rejected.load(Ordering::SeqCst),
+                    latencies_us: cm.latencies_us.snapshot(),
+                }
+            }),
+        }
+    }
+}
+
+/// Point-in-time copy of one class's accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClassSnapshot {
+    /// See [`ClassMetrics::completed`].
+    pub completed: u64,
+    /// See [`ClassMetrics::expired`].
+    pub expired: u64,
+    /// See [`ClassMetrics::rejected`].
+    pub rejected: u64,
+    /// Completed latencies of this class, log2-bucketed.
+    pub latencies_us: HistSnapshot,
+}
+
+impl ClassSnapshot {
+    /// Latency percentile over this class's completions (`per_mille` as
+    /// in [`MetricsSnapshot::latency_percentile`]).
+    #[must_use]
+    pub fn latency_percentile(&self, per_mille: u64) -> Option<Duration> {
+        self.latencies_us.quantile(per_mille).map(Duration::from_micros)
+    }
+}
+
+/// Point-in-time copy of one tenant's counters with per-class breakdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// See [`TenantMetrics::submitted`].
+    pub submitted: u64,
+    /// See [`TenantMetrics::admitted`].
+    pub admitted: u64,
+    /// See [`TenantMetrics::completed`].
+    pub completed: u64,
+    /// See [`TenantMetrics::rejected_quota`].
+    pub rejected_quota: u64,
+    /// See [`TenantMetrics::rejected_other`].
+    pub rejected_other: u64,
+    /// See [`TenantMetrics::expired`].
+    pub expired: u64,
+    /// See [`TenantMetrics::quarantined`].
+    pub quarantined: u64,
+    /// See [`TenantMetrics::degraded`].
+    pub degraded: u64,
+    /// See [`TenantMetrics::slo_violations`].
+    pub slo_violations: u64,
+    /// Per-class breakdown, indexed by [`DeadlineClass::index`].
+    pub classes: [ClassSnapshot; CLASSES],
+}
+
+impl TenantSnapshot {
+    /// Sum of terminal outcomes recorded for this tenant.
+    #[must_use]
+    pub fn terminal_total(&self) -> u64 {
+        self.completed + self.rejected_quota + self.rejected_other + self.expired + self.quarantined
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tenant_metrics_fold_outcomes_per_class_and_flag_pin_violations() {
+        let tm = TenantMetrics::default();
+        let done = |rung: usize| Outcome::Completed {
+            class: 1,
+            latency: Duration::from_micros(200),
+            rung,
+            generation: 0,
+        };
+        assert!(!tm.record_outcome(DeadlineClass::Interactive, &done(0), Some(1)));
+        assert!(!tm.record_outcome(DeadlineClass::Interactive, &done(1), Some(1)));
+        assert!(
+            tm.record_outcome(DeadlineClass::Batch, &done(2), Some(1)),
+            "serving below the pin must be flagged"
+        );
+        tm.record_outcome(
+            DeadlineClass::BestEffort,
+            &Outcome::Rejected(crate::request::RejectReason::TenantOverQuota { tenant: 0 }),
+            None,
+        );
+        tm.record_outcome(
+            DeadlineClass::BestEffort,
+            &Outcome::Rejected(crate::request::RejectReason::QueueFull { capacity: 4 }),
+            None,
+        );
+        tm.record_outcome(DeadlineClass::Batch, &Outcome::Expired(ExpiredAt::Queue), None);
+        tm.record_outcome(DeadlineClass::Batch, &Outcome::Quarantined, None);
+        let s = tm.snapshot();
+        assert_eq!(s.completed, 3);
+        assert_eq!(s.degraded, 2);
+        assert_eq!(s.slo_violations, 1);
+        assert_eq!(s.rejected_quota, 1);
+        assert_eq!(s.rejected_other, 1);
+        assert_eq!(s.expired, 1);
+        assert_eq!(s.quarantined, 1);
+        assert_eq!(s.terminal_total(), 7);
+        assert_eq!(s.classes[DeadlineClass::Interactive.index()].completed, 2);
+        assert_eq!(s.classes[DeadlineClass::Batch.index()].completed, 1);
+        assert_eq!(s.classes[DeadlineClass::Batch.index()].expired, 1);
+        assert_eq!(s.classes[DeadlineClass::BestEffort.index()].rejected, 2);
+        assert!(s.classes[DeadlineClass::Interactive.index()]
+            .latency_percentile(500)
+            .is_some());
+    }
 
     #[test]
     fn percentiles_nearest_rank() {

@@ -1,19 +1,24 @@
-//! The bounded request queue with explicit backpressure and
-//! deadline-aware batch formation.
+//! The bounded request queue with explicit backpressure, per-tenant
+//! FIFO lanes, and deadline-aware batch formation.
 //!
 //! Admission is all-or-nothing at a fixed capacity — the queue never
 //! grows without bound; a full queue rejects with a reason instead of
-//! absorbing load it cannot serve. Batch formation pulls FIFO but skips
-//! (and reports) requests whose deadline can no longer be met given the
-//! configured service-time estimate, so dead work is shed before it
-//! wastes compute.
+//! absorbing load it cannot serve. Internally the queue keeps one FIFO
+//! *lane per tenant* and forms batches by round-robin across lanes, so
+//! a single flooding tenant cannot starve the others: within each lane
+//! order is strict FIFO, across lanes service alternates. (A
+//! single-tenant queue degenerates to exactly the old global FIFO.)
+//! Batch formation skips (and reports) requests whose deadline can no
+//! longer be met given the configured service-time estimate, so dead
+//! work is shed before it wastes compute.
 
 use crate::clock::{monotonic, SharedClock};
 use crate::request::Request;
-use std::collections::VecDeque;
+use crate::tenant::TenantId;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Recover a mutex even if a panicking thread poisoned it — the service
 /// is designed to survive worker panics, so lock poisoning must never
@@ -34,10 +39,100 @@ pub struct Pull {
     pub depth: usize,
 }
 
-/// A fixed-capacity MPMC request queue.
+/// Which lanes a pop may draw batch members from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LaneFilter {
+    /// Round-robin across every tenant lane (fair interleave).
+    Any,
+    /// Only the given tenant's lane (single-tenant batches, so each
+    /// batch can run at its tenant's own precision rung).
+    Only(TenantId),
+}
+
+/// The per-tenant FIFO lanes plus the fairness cursor. One mutex guards
+/// the whole structure; the tenant count is small (a policy table, not
+/// a user population).
+#[derive(Debug, Default)]
+struct Lanes {
+    lanes: BTreeMap<TenantId, VecDeque<Request>>,
+    /// Next tenant the round-robin scan starts from.
+    cursor: TenantId,
+    /// Total queued requests across lanes.
+    len: usize,
+}
+
+impl Lanes {
+    fn push(&mut self, req: Request) {
+        self.lanes.entry(req.tenant).or_default().push_back(req);
+        self.len += 1;
+    }
+
+    /// First tenant at or after `from` (wrapping) whose lane is
+    /// non-empty.
+    fn next_with_work(&self, from: TenantId) -> Option<TenantId> {
+        self.lanes
+            .range(from..)
+            .chain(self.lanes.range(..from))
+            .find(|(_, q)| !q.is_empty())
+            .map(|(t, _)| *t)
+    }
+
+    /// Pop the next *viable* request from one lane, expiring hopeless
+    /// fronts into `expired`. `None` when the lane has nothing viable.
+    fn pop_viable(
+        &mut self,
+        tenant: TenantId,
+        now: Instant,
+        service_estimate: Duration,
+        expired: &mut Vec<Request>,
+    ) -> Option<Request> {
+        let q = self.lanes.get_mut(&tenant)?;
+        while let Some(front) = q.front() {
+            let hopeless = front.deadline <= now + service_estimate;
+            let r = q.pop_front()?;
+            self.len -= 1;
+            if hopeless {
+                expired.push(r);
+            } else {
+                return Some(r);
+            }
+        }
+        None
+    }
+
+    /// Pop the next viable request honouring `filter`. `Any` serves
+    /// lanes round-robin from the cursor and advances it past the lane
+    /// served; `Only` drains a single lane and leaves the cursor alone.
+    fn pop_next(
+        &mut self,
+        filter: LaneFilter,
+        now: Instant,
+        service_estimate: Duration,
+        expired: &mut Vec<Request>,
+    ) -> Option<Request> {
+        match filter {
+            LaneFilter::Only(t) => self.pop_viable(t, now, service_estimate, expired),
+            LaneFilter::Any => {
+                let mut from = self.cursor;
+                // Each iteration either returns a request or empties the
+                // scanned lane (all-hopeless), so this terminates.
+                while let Some(t) = self.next_with_work(from) {
+                    if let Some(r) = self.pop_viable(t, now, service_estimate, expired) {
+                        self.cursor = t.wrapping_add(1);
+                        return Some(r);
+                    }
+                    from = t.wrapping_add(1);
+                }
+                None
+            }
+        }
+    }
+}
+
+/// A fixed-capacity MPMC request queue with per-tenant FIFO lanes.
 #[derive(Debug)]
 pub struct BoundedQueue {
-    inner: Mutex<VecDeque<Request>>,
+    inner: Mutex<Lanes>,
     capacity: usize,
     cv: Condvar,
     clock: SharedClock,
@@ -61,12 +156,7 @@ impl BoundedQueue {
     #[must_use]
     pub fn with_clock(capacity: usize, clock: SharedClock) -> BoundedQueue {
         assert!(capacity > 0, "queue capacity must be non-zero");
-        BoundedQueue {
-            inner: Mutex::new(VecDeque::with_capacity(capacity)),
-            capacity,
-            cv: Condvar::new(),
-            clock,
-        }
+        BoundedQueue { inner: Mutex::new(Lanes::default()), capacity, cv: Condvar::new(), clock }
     }
 
     /// The configured capacity.
@@ -75,16 +165,16 @@ impl BoundedQueue {
         self.capacity
     }
 
-    /// Current depth.
+    /// Current depth (sum across lanes).
     #[must_use]
     pub fn len(&self) -> usize {
-        lock(&self.inner).len()
+        lock(&self.inner).len
     }
 
     /// Whether the queue is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        lock(&self.inner).is_empty()
+        self.len() == 0
     }
 
     /// Try to admit a request. On a full queue the request is handed
@@ -94,12 +184,24 @@ impl BoundedQueue {
     /// # Errors
     /// Returns the request itself when the queue is at capacity.
     pub fn try_push(&self, req: Request) -> Result<usize, Request> {
+        self.try_push_bounded(req, self.capacity)
+    }
+
+    /// [`BoundedQueue::try_push`] against a *lower* effective capacity:
+    /// admission fails once the depth reaches `min(limit, capacity)`.
+    /// This is how class-graded backpressure is enforced atomically —
+    /// best-effort traffic is refused while interactive headroom
+    /// remains.
+    ///
+    /// # Errors
+    /// Returns the request itself when the depth is at the limit.
+    pub fn try_push_bounded(&self, req: Request, limit: usize) -> Result<usize, Request> {
         let mut g = lock(&self.inner);
-        if g.len() >= self.capacity {
+        if g.len >= limit.min(self.capacity) {
             return Err(req);
         }
-        g.push_back(req);
-        let depth = g.len();
+        g.push(req);
+        let depth = g.len;
         drop(g);
         self.cv.notify_one();
         Ok(depth)
@@ -111,12 +213,20 @@ impl BoundedQueue {
         self.cv.notify_all();
     }
 
-    /// Remove and return everything still queued (shutdown sweep).
+    /// Remove and return everything still queued (shutdown sweep), lane
+    /// order then FIFO.
     pub fn drain_all(&self) -> Vec<Request> {
-        lock(&self.inner).drain(..).collect()
+        let mut g = lock(&self.inner);
+        let mut out = Vec::with_capacity(g.len);
+        for q in g.lanes.values_mut() {
+            out.extend(q.drain(..));
+        }
+        g.len = 0;
+        out
     }
 
-    /// Deadline-aware batch formation.
+    /// Deadline-aware batch formation, round-robin fair across tenant
+    /// lanes.
     ///
     /// Blocks until at least one viable request arrives (or `shutdown`
     /// is observed), then keeps collecting until either `max_batch`
@@ -140,23 +250,45 @@ impl BoundedQueue {
         max_idle: Duration,
         shutdown: &AtomicBool,
     ) -> Pull {
+        self.pop_batch_inner(false, max_batch, linger, service_estimate, max_idle, shutdown).0
+    }
+
+    /// [`BoundedQueue::pop_batch`] restricted to a *single tenant's*
+    /// lane: the first viable request (found round-robin, so lane
+    /// selection stays fair) fixes the batch's tenant and the fill phase
+    /// draws only from that lane. Returns the tenant alongside the pull
+    /// (`None` on an empty pull). Sharded serving uses this so every
+    /// batch can run at its tenant's own precision rung.
+    pub fn pop_batch_tenant(
+        &self,
+        max_batch: usize,
+        linger: Duration,
+        service_estimate: Duration,
+        max_idle: Duration,
+        shutdown: &AtomicBool,
+    ) -> (Pull, Option<TenantId>) {
+        self.pop_batch_inner(true, max_batch, linger, service_estimate, max_idle, shutdown)
+    }
+
+    /// Both pop flavours share this body. Phase 1 always scans fairly;
+    /// when `single_tenant` is set and the first request comes from lane
+    /// `t`, the fill phase continues on `Only(t)`, otherwise on `Any`.
+    fn pop_batch_inner(
+        &self,
+        single_tenant: bool,
+        max_batch: usize,
+        linger: Duration,
+        service_estimate: Duration,
+        max_idle: Duration,
+        shutdown: &AtomicBool,
+    ) -> (Pull, Option<TenantId>) {
         let mut expired = Vec::new();
         let mut g = lock(&self.inner);
-        // Phase 1: block for the first viable request.
+        // Phase 1: block for the first viable request (fair scan).
         let idle_from = self.clock.now();
         let first = loop {
             let now = self.clock.now();
-            let mut found = None;
-            while let Some(front) = g.front() {
-                if front.deadline <= now + service_estimate {
-                    if let Some(r) = g.pop_front() {
-                        expired.push(r);
-                    }
-                } else {
-                    found = g.pop_front();
-                    break;
-                }
-            }
+            let found = g.pop_next(LaneFilter::Any, now, service_estimate, &mut expired);
             if let Some(r) = found {
                 break r;
             }
@@ -167,8 +299,8 @@ impl BoundedQueue {
                 || shutdown.load(Ordering::SeqCst)
                 || now.duration_since(idle_from) >= max_idle
             {
-                let depth = g.len();
-                return Pull { batch: Vec::new(), expired, depth };
+                let depth = g.len;
+                return (Pull { batch: Vec::new(), expired, depth }, None);
             }
             let (ng, _timeout) = self
                 .cv
@@ -176,19 +308,17 @@ impl BoundedQueue {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             g = ng;
         };
+        // The caller asked for a single-tenant batch: pin the fill phase
+        // to the lane the fair scan landed on.
+        let tenant = first.tenant;
+        let fill = if single_tenant { LaneFilter::Only(tenant) } else { LaneFilter::Any };
         // Phase 2: fill the batch until close time or max_batch.
         let close = (self.clock.now() + linger).min(first.deadline - service_estimate);
         let mut batch = vec![first];
         while batch.len() < max_batch {
             let now = self.clock.now();
-            match g.pop_front() {
-                Some(r) => {
-                    if r.deadline <= now + service_estimate {
-                        expired.push(r);
-                    } else {
-                        batch.push(r);
-                    }
-                }
+            match g.pop_next(fill, now, service_estimate, &mut expired) {
+                Some(r) => batch.push(r),
                 None => {
                     if now >= close || shutdown.load(Ordering::SeqCst) {
                         break;
@@ -201,29 +331,41 @@ impl BoundedQueue {
                     // A frozen test clock never reaches `close`; the
                     // real-time condvar timeout terminates the linger
                     // regardless.
-                    if g.is_empty() && (timeout.timed_out() || self.clock.now() >= close) {
+                    if g.len == 0 && (timeout.timed_out() || self.clock.now() >= close) {
                         break;
                     }
                 }
             }
         }
-        let depth = g.len();
+        let depth = g.len;
         drop(g);
-        Pull { batch, expired, depth }
+        (Pull { batch, expired, depth }, Some(tenant))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tenant::DeadlineClass;
     use std::time::{Duration, Instant};
 
     /// Effectively-infinite idle bound for tests that predate it.
     const IDLE: Duration = Duration::from_secs(60);
 
     fn req(id: u64, deadline_in: Duration) -> Request {
+        treq(id, 0, deadline_in)
+    }
+
+    fn treq(id: u64, tenant: TenantId, deadline_in: Duration) -> Request {
         let now = Instant::now();
-        Request { id, input: vec![0.0], submitted: now, deadline: now + deadline_in }
+        Request {
+            id,
+            tenant,
+            class: DeadlineClass::Interactive,
+            input: vec![0.0],
+            submitted: now,
+            deadline: now + deadline_in,
+        }
     }
 
     #[test]
@@ -234,6 +376,17 @@ mod tests {
         let back = q.try_push(req(3, Duration::from_secs(1))).unwrap_err();
         assert_eq!(back.id, 3);
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn bounded_push_enforces_the_class_limit_below_capacity() {
+        let q = BoundedQueue::new(10);
+        assert!(q.try_push_bounded(req(1, Duration::from_secs(1)), 2).is_ok());
+        assert!(q.try_push_bounded(req(2, Duration::from_secs(1)), 2).is_ok());
+        // The graded limit refuses while full-capacity admission remains.
+        assert!(q.try_push_bounded(req(3, Duration::from_secs(1)), 2).is_err());
+        assert!(q.try_push(req(4, Duration::from_secs(1))).is_ok());
+        assert_eq!(q.len(), 3);
     }
 
     #[test]
@@ -327,6 +480,8 @@ mod tests {
         let now = clock.now();
         q.try_push(Request {
             id: 1,
+            tenant: 0,
+            class: DeadlineClass::Interactive,
             input: vec![0.0],
             submitted: now,
             deadline: now + Duration::from_millis(50),
@@ -342,5 +497,71 @@ mod tests {
         assert!(pull.batch.is_empty());
         assert_eq!(pull.expired.len(), 1);
         assert!(t0.elapsed() < Duration::from_millis(500), "expiry must not wait in real time");
+    }
+
+    /// The fairness regression the multi-tenant queue exists for: a 10:1
+    /// flood from one tenant must not push the minority tenant's
+    /// requests behind the whole flood. Round-robin lanes bound the
+    /// minority's wait at one request per flooding tenant per batch
+    /// slot, so every minority request surfaces within the first couple
+    /// of batches.
+    #[test]
+    fn flooding_tenant_cannot_starve_the_minority_lane() {
+        let q = BoundedQueue::new(64);
+        // Tenant 0 floods 30 requests *first*, then tenant 1 trickles 3.
+        for id in 0..30 {
+            q.try_push(treq(id, 0, Duration::from_secs(30))).unwrap();
+        }
+        for id in 100..103 {
+            q.try_push(treq(id, 1, Duration::from_secs(30))).unwrap();
+        }
+        let shutdown = AtomicBool::new(false);
+        let mut seen_minority = Vec::new();
+        for batch_no in 0..4 {
+            let pull = q.pop_batch(4, Duration::ZERO, Duration::ZERO, IDLE, &shutdown);
+            assert!(!pull.batch.is_empty());
+            for r in &pull.batch {
+                if r.tenant == 1 {
+                    seen_minority.push((batch_no, r.id));
+                }
+            }
+        }
+        // All three minority requests served within the first 4 batches
+        // (16 slots) despite 30 flood requests queued ahead of them; a
+        // global FIFO would have served none of them before slot 30.
+        assert_eq!(
+            seen_minority.iter().map(|&(_, id)| id).collect::<Vec<_>>(),
+            vec![100, 101, 102],
+            "minority lane must be served round-robin, in FIFO order"
+        );
+        assert!(
+            seen_minority.iter().all(|&(b, _)| b <= 2),
+            "minority requests must surface within the first batches: {seen_minority:?}"
+        );
+    }
+
+    /// Single-tenant pops pin the whole batch to one lane (so it can run
+    /// at that tenant's rung) while successive pops still alternate
+    /// lanes fairly.
+    #[test]
+    fn pop_batch_tenant_forms_single_tenant_batches_round_robin() {
+        let q = BoundedQueue::new(32);
+        for id in 0..6 {
+            q.try_push(treq(id, 3, Duration::from_secs(30))).unwrap();
+        }
+        for id in 10..16 {
+            q.try_push(treq(id, 7, Duration::from_secs(30))).unwrap();
+        }
+        let shutdown = AtomicBool::new(false);
+        let mut served = Vec::new();
+        for _ in 0..4 {
+            let (pull, tenant) =
+                q.pop_batch_tenant(3, Duration::ZERO, Duration::ZERO, IDLE, &shutdown);
+            let t = tenant.unwrap();
+            assert!(pull.batch.iter().all(|r| r.tenant == t), "batch must be single-tenant");
+            served.push((t, pull.batch.len()));
+        }
+        assert_eq!(served, vec![(3, 3), (7, 3), (3, 3), (7, 3)]);
+        assert!(q.is_empty());
     }
 }

@@ -5,6 +5,7 @@
 //! service's correctness story and is re-verified by
 //! [`crate::ServiceReport::verify_conservation`] after every run.
 
+use crate::tenant::{DeadlineClass, TenantId};
 use std::time::{Duration, Instant};
 
 /// Monotonically increasing request identifier, unique per service.
@@ -15,6 +16,12 @@ pub type RequestId = u64;
 pub struct Request {
     /// Identifier assigned at submission.
     pub id: RequestId,
+    /// Owning tenant (index into the service's policy table; the
+    /// single-tenant [`crate::Service`] uses tenant 0 throughout).
+    pub tenant: TenantId,
+    /// Urgency class: drives the default deadline and class-graded
+    /// admission.
+    pub class: DeadlineClass,
     /// Flat feature vector (one model input row).
     pub input: Vec<f32>,
     /// Submission timestamp (latency is measured from here).
@@ -26,13 +33,25 @@ pub struct Request {
 /// Why a submission was refused admission (explicit backpressure).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RejectReason {
-    /// The bounded queue is at capacity; the client should back off.
+    /// The bounded queue is at capacity (for this request's deadline
+    /// class); the client should back off.
     QueueFull {
         /// The configured queue capacity at the time of rejection.
         capacity: usize,
     },
     /// The service is shutting down and no longer admits work.
     ShuttingDown,
+    /// The tenant's token-bucket admission quota is exhausted right now;
+    /// backing off for `1/rate` will earn the next token.
+    TenantOverQuota {
+        /// The over-quota tenant.
+        tenant: TenantId,
+    },
+    /// The tenant id is not in the service's policy table.
+    UnknownTenant {
+        /// The unrecognised id.
+        tenant: TenantId,
+    },
 }
 
 impl std::fmt::Display for RejectReason {
@@ -42,6 +61,12 @@ impl std::fmt::Display for RejectReason {
                 write!(f, "queue full (capacity {capacity})")
             }
             RejectReason::ShuttingDown => write!(f, "service shutting down"),
+            RejectReason::TenantOverQuota { tenant } => {
+                write!(f, "tenant {tenant} over admission quota")
+            }
+            RejectReason::UnknownTenant { tenant } => {
+                write!(f, "unknown tenant {tenant}")
+            }
         }
     }
 }
@@ -70,8 +95,12 @@ pub enum Outcome {
         /// Degradation-ladder rung the request was served at
         /// (0 = full quality).
         rung: usize,
+        /// Model generation that served the request (bumped by each
+        /// zero-downtime hot-swap; the single-model [`crate::Service`]
+        /// always reports generation 0).
+        generation: u64,
     },
-    /// Refused admission (backpressure or shutdown).
+    /// Refused admission (backpressure, quota, or shutdown).
     Rejected(RejectReason),
     /// Deadline missed; no usable result.
     Expired(ExpiredAt),
@@ -94,11 +123,17 @@ impl Outcome {
     }
 }
 
-/// A request id paired with its terminal outcome.
+/// A request id paired with its terminal outcome, tagged with the
+/// tenant and class it belonged to so conservation can be re-verified
+/// *per tenant* as well as globally.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Completion {
     /// The request this outcome belongs to.
     pub id: RequestId,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Deadline class the request was submitted under.
+    pub class: DeadlineClass,
     /// Its terminal outcome.
     pub outcome: Outcome,
 }
@@ -110,7 +145,7 @@ mod tests {
     #[test]
     fn outcome_labels_are_distinct() {
         let outcomes = [
-            Outcome::Completed { class: 0, latency: Duration::ZERO, rung: 0 },
+            Outcome::Completed { class: 0, latency: Duration::ZERO, rung: 0, generation: 0 },
             Outcome::Rejected(RejectReason::QueueFull { capacity: 1 }),
             Outcome::Expired(ExpiredAt::Queue),
             Outcome::Expired(ExpiredAt::AfterExecution),
@@ -125,5 +160,8 @@ mod tests {
         let s = RejectReason::QueueFull { capacity: 64 }.to_string();
         assert!(s.contains("64"));
         assert!(RejectReason::ShuttingDown.to_string().contains("shutting down"));
+        let q = RejectReason::TenantOverQuota { tenant: 7 }.to_string();
+        assert!(q.contains('7') && q.contains("quota"), "{q}");
+        assert!(RejectReason::UnknownTenant { tenant: 9 }.to_string().contains("unknown"));
     }
 }

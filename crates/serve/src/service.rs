@@ -32,6 +32,7 @@ use crate::ladder::{Ladder, LadderConfig, Transition};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::queue::BoundedQueue;
 use crate::request::{Completion, ExpiredAt, Outcome, RejectReason, Request, RequestId};
+use crate::tenant::DeadlineClass;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard};
@@ -143,7 +144,7 @@ impl Shared {
     /// Record the terminal outcome of a request — the single funnel every
     /// path goes through, so the conservation law has one enforcement
     /// point.
-    fn finish(&self, id: RequestId, outcome: Outcome) {
+    fn finish(&self, id: RequestId, tenant: u32, class: DeadlineClass, outcome: Outcome) {
         match outcome {
             Outcome::Completed { latency, rung, .. } => {
                 self.metrics.completed.fetch_add(1, Ordering::SeqCst);
@@ -165,7 +166,7 @@ impl Shared {
                 self.metrics.quarantined.fetch_add(1, Ordering::SeqCst);
             }
         }
-        lock(&self.completions).push(Completion { id, outcome });
+        lock(&self.completions).push(Completion { id, tenant, class, outcome });
     }
 }
 
@@ -313,16 +314,23 @@ impl Service {
         self.shared.metrics.submitted.fetch_add(1, Ordering::SeqCst);
         if self.shared.shutdown.load(Ordering::SeqCst) {
             let reason = RejectReason::ShuttingDown;
-            self.shared.finish(id, Outcome::Rejected(reason));
+            self.shared.finish(id, 0, DeadlineClass::Interactive, Outcome::Rejected(reason));
             return Err(reason);
         }
         let now = self.shared.cfg.clock.now();
-        let req = Request { id, input, submitted: now, deadline: now + deadline_in };
+        let req = Request {
+            id,
+            tenant: 0,
+            class: DeadlineClass::Interactive,
+            input,
+            submitted: now,
+            deadline: now + deadline_in,
+        };
         match self.shared.queue.try_push(req) {
             Ok(_depth) => Ok(id),
             Err(_back) => {
                 let reason = RejectReason::QueueFull { capacity: self.shared.cfg.queue_capacity };
-                self.shared.finish(id, Outcome::Rejected(reason));
+                self.shared.finish(id, 0, DeadlineClass::Interactive, Outcome::Rejected(reason));
                 Err(reason)
             }
         }
@@ -408,7 +416,7 @@ impl Service {
         // panics during the drain are not respawned), account for the
         // leftovers so conservation still holds.
         for r in self.shared.queue.drain_all() {
-            self.shared.finish(r.id, Outcome::Rejected(RejectReason::ShuttingDown));
+            self.shared.finish(r.id, r.tenant, r.class, Outcome::Rejected(RejectReason::ShuttingDown));
         }
         let ladder = lock(&self.shared.ladder);
         ServiceReport {
@@ -584,7 +592,7 @@ fn worker_loop(shared: &Arc<Shared>, worker_id: usize, gen: u64) -> WorkerExit {
         // don't let that window count toward a stall verdict.
         shared.beat(worker_id);
         for r in pull.expired {
-            shared.finish(r.id, Outcome::Expired(ExpiredAt::Queue));
+            shared.finish(r.id, r.tenant, r.class, Outcome::Expired(ExpiredAt::Queue));
         }
         if pull.batch.is_empty() {
             // Nothing ran: hand back any half-open probe we claimed.
@@ -641,14 +649,17 @@ fn worker_loop(shared: &Arc<Shared>, worker_id: usize, gen: u64) -> WorkerExit {
                 let now = clock.now();
                 for (r, class) in pull.batch.iter().zip(preds) {
                     if now > r.deadline {
-                        shared.finish(r.id, Outcome::Expired(ExpiredAt::AfterExecution));
+                        shared.finish(r.id, r.tenant, r.class, Outcome::Expired(ExpiredAt::AfterExecution));
                     } else {
                         shared.finish(
                             r.id,
+                            r.tenant,
+                            r.class,
                             Outcome::Completed {
                                 class,
                                 latency: now.duration_since(r.submitted),
                                 rung,
+                                generation: 0,
                             },
                         );
                     }
@@ -679,7 +690,7 @@ fn quarantine_hunt(shared: &Arc<Shared>, batch: Vec<Request>, rung: usize) {
     sync_precision(shared, &mut engine, &mut engine_rung, rung);
     for r in batch {
         if clock.now() > r.deadline {
-            shared.finish(r.id, Outcome::Expired(ExpiredAt::AfterExecution));
+            shared.finish(r.id, r.tenant, r.class, Outcome::Expired(ExpiredAt::AfterExecution));
             continue;
         }
         let solo = catch_unwind(AssertUnwindSafe(|| engine.infer(&[r.input.as_slice()])));
@@ -687,20 +698,23 @@ fn quarantine_hunt(shared: &Arc<Shared>, batch: Vec<Request>, rung: usize) {
             Ok(preds) if preds.len() == 1 => {
                 let now = clock.now();
                 if now > r.deadline {
-                    shared.finish(r.id, Outcome::Expired(ExpiredAt::AfterExecution));
+                    shared.finish(r.id, r.tenant, r.class, Outcome::Expired(ExpiredAt::AfterExecution));
                 } else {
                     shared.finish(
                         r.id,
+                        r.tenant,
+                        r.class,
                         Outcome::Completed {
                             class: preds[0],
                             latency: now.duration_since(r.submitted),
                             rung,
+                            generation: 0,
                         },
                     );
                 }
             }
             Ok(_) | Err(_) => {
-                shared.finish(r.id, Outcome::Quarantined);
+                shared.finish(r.id, r.tenant, r.class, Outcome::Quarantined);
                 // The engine may be corrupted by the unwind: rebuild
                 // before touching the next request.
                 engine = (shared.factory)();

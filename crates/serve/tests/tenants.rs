@@ -1,0 +1,168 @@
+//! Multi-tenant sharded-service integration tests: work stealing under
+//! tripped breakers, and obs transparency of the per-tenant counters.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tr_serve::{
+    BreakerConfig, DeadlineClass, Engine, EngineFactory, EventKind, ShardedConfig, ShardedService,
+    TenantPolicy,
+};
+
+/// Classifies by the second feature; panics on a NaN first feature.
+struct TestEngine;
+
+impl Engine for TestEngine {
+    fn set_precision(&mut self, _p: &tr_nn::Precision, _c: f64) {}
+    fn infer(&mut self, inputs: &[&[f32]]) -> Vec<usize> {
+        inputs
+            .iter()
+            .map(|row| {
+                assert!(!row[0].is_nan(), "poison input");
+                row.get(1).map_or(0, |v| usize::from(*v >= 0.0))
+            })
+            .collect()
+    }
+}
+
+fn factory() -> EngineFactory {
+    Arc::new(|| Box::new(TestEngine))
+}
+
+fn wait_until(deadline: Duration, mut done: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if done() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    done()
+}
+
+/// A tripped shard's queued work is *stolen and served*, not dropped:
+/// the victim's breaker stays open (long cooldown, so no probe ever
+/// runs) while the other shard rescues every queued request.
+#[test]
+fn tripped_shards_queued_work_is_stolen_not_dropped() {
+    let tenants: Vec<TenantPolicy> =
+        (0..4).map(|i| TenantPolicy::new(&format!("steal_{i}"))).collect();
+    let cfg = ShardedConfig {
+        shards: 2,
+        workers_per_shard: 1,
+        shard_queue_capacity: 32,
+        max_batch: 4,
+        batch_linger: Duration::from_millis(1),
+        service_estimate: Duration::from_millis(1),
+        worker_idle_poll: Duration::from_millis(5),
+        steal_threshold: 1000, // imbalance stealing off: only rescue steals
+        breaker: BreakerConfig { failure_threshold: 1, cooldown: Duration::from_secs(30) },
+        tenants,
+        ..ShardedConfig::default()
+    };
+    let svc = ShardedService::start(cfg, factory()).unwrap();
+    // Find a tenant homed on each shard (hash dispatch is stable).
+    let victim_tenant = (0..4u32).find(|t| svc.home_shard(*t) == 0).expect("tenant on shard 0");
+    let victim_shard = 0;
+    // Trip shard 0: one poison request, failure threshold 1.
+    svc.submit(victim_tenant, DeadlineClass::Interactive, vec![f32::NAN, 0.0], Some(Duration::from_secs(60)))
+        .unwrap();
+    assert!(
+        wait_until(Duration::from_secs(5), || svc
+            .breaker_state(victim_shard)
+            .is_some_and(|s| s != tr_serve::BreakerState::Closed)),
+        "poison request must trip shard {victim_shard}'s breaker"
+    );
+    // Queue good work behind the tripped shard; its own worker won't
+    // touch it (breaker open for 30s), so only stealing can serve it.
+    let mut queued = 0;
+    for _ in 0..12 {
+        if svc
+            .submit(victim_tenant, DeadlineClass::Interactive, vec![0.0, 1.0], Some(Duration::from_secs(60)))
+            .is_ok()
+        {
+            queued += 1;
+        }
+    }
+    assert!(queued > 0);
+    let served = wait_until(Duration::from_secs(10), || {
+        svc.tenant_snapshot(victim_tenant).is_some_and(|t| t.completed >= queued)
+    });
+    let report = svc.shutdown();
+    report.verify_conservation().unwrap();
+    assert!(served, "rescue steals must serve the stranded work: {:?}", report.snapshot);
+    assert!(report.snapshot.steals > 0, "work must have been stolen");
+    assert!(
+        report
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::WorkStolen { from_shard: 0, to_shard: 1 })),
+        "steal event from the tripped shard must be logged"
+    );
+    // Nothing was dropped: every admitted request of the victim tenant
+    // completed (the poison one was quarantined).
+    let t = &report.tenants[usize::try_from(victim_tenant).unwrap()].snapshot;
+    assert_eq!(t.completed, queued);
+    assert_eq!(t.quarantined, 1);
+    assert_eq!(t.expired, 0, "stolen work completed before its deadline");
+}
+
+/// `serve.tenant.<name>.*` counters are recorder-transparent: zero cost
+/// and zero drift while obs is disabled, live totals once enabled.
+#[test]
+fn tenant_counters_are_recorder_transparent() {
+    let run = |names: (&str, &str)| {
+        let cfg = ShardedConfig {
+            shards: 2,
+            shard_queue_capacity: 16,
+            max_batch: 4,
+            batch_linger: Duration::from_millis(1),
+            service_estimate: Duration::from_millis(1),
+            worker_idle_poll: Duration::from_millis(5),
+            tenants: vec![
+                TenantPolicy::new(names.0),
+                TenantPolicy::new(names.1).with_quota(2, 0.0),
+            ],
+            ..ShardedConfig::default()
+        };
+        let svc = ShardedService::start(cfg, factory()).unwrap();
+        for _ in 0..8 {
+            let _ = svc.submit(0, DeadlineClass::Interactive, vec![0.0, 1.0], Some(Duration::from_secs(5)));
+            let _ = svc.submit(1, DeadlineClass::Interactive, vec![0.0, 1.0], Some(Duration::from_secs(5)));
+        }
+        wait_until(Duration::from_secs(5), || {
+            svc.tenant_snapshot(0).is_some_and(|t| t.completed >= 8)
+        });
+        svc.shutdown()
+    };
+
+    tr_obs::set_enabled(false);
+    let report = run(("dark_a", "dark_b"));
+    report.verify_conservation().unwrap();
+    let snap = tr_obs::recorder().snapshot();
+    assert_eq!(
+        snap.counter("serve.tenant.dark_a.admitted"),
+        0,
+        "disabled recorder must stay silent"
+    );
+    assert_eq!(snap.counter("serve.tenant.dark_b.rejected"), 0);
+
+    tr_obs::set_enabled(true);
+    let report = run(("lit_a", "lit_b"));
+    report.verify_conservation().unwrap();
+    let snap = tr_obs::recorder().snapshot();
+    assert_eq!(
+        snap.counter("serve.tenant.lit_a.admitted"),
+        report.tenants[0].snapshot.admitted,
+        "enabled recorder mirrors the tenant's admitted count"
+    );
+    assert_eq!(
+        snap.counter("serve.tenant.lit_b.rejected"),
+        report.tenants[1].snapshot.rejected_quota + report.tenants[1].snapshot.rejected_other,
+        "quota rejections surface under serve.tenant.<name>.rejected"
+    );
+    assert!(
+        snap.counter("serve.tenant.lit_b.rejected") >= 6,
+        "burst 2 at zero refill rejects 6 of 8"
+    );
+    tr_obs::set_enabled(false);
+}

@@ -30,9 +30,20 @@ cargo run -q --release -p tr-bench --bin repro -- --quick serve
 # breakers, watchdog recycling, conservation in every scenario, and a
 # bit-identical replay under fixed seeds (DESIGN.md SS12).
 cargo run -q --release -p tr-bench --bin repro -- --quick chaos
+# Sharded multi-tenant soak: the adversarial traffic campaign over the
+# sharded service — tenant-hash dispatch with work stealing, per-tenant
+# quotas and SLO-pinned ladders, two mid-soak hot swaps — asserting
+# global AND per-tenant request conservation, zero SLO-pin violations,
+# the generation audit, and a bit-identical plan digest across two
+# seeded executions (DESIGN.md SS14). Any violated gate panics, so an
+# empty artifact means the soak never passed.
+cargo run -q --release -p tr-bench --bin repro -- --quick soak
+test -s SOAK_PR8.json
 # Observability baseline: the bench experiment must produce its
 # schema-stable JSON artifact (DESIGN.md SS10), now including the
 # checksum-verify overhead gate and the regression verdict against the
-# committed BENCH_PR5.json baseline (DESIGN.md SS11). CI archives it.
+# committed BENCH_PR6.json baseline (DESIGN.md SS11) — which also
+# checks the sharded service does not regress single-tenant serve p99.
+# CI archives it.
 cargo run -q --release -p tr-bench --bin repro -- --quick bench
-test -s BENCH_PR6.json
+test -s BENCH_PR8.json
