@@ -174,6 +174,51 @@ fn narrowing_any_zoo_proof_by_one_bit_is_a_violation() {
     }
 }
 
+/// A narrowed accumulator is caught *by the prover*, never by wraparound:
+/// build a worst-case dot that exactly attains the proved envelope, show
+/// that an engine emulating one bit less would have silently wrapped it,
+/// and show `verify_width`/`violations_at` reject that width up front —
+/// before any kernel runs.
+#[test]
+fn narrowed_width_is_caught_by_the_prover_not_by_wraparound() {
+    let reduction = 48usize;
+    let precision = Precision::Qt { weight_bits: 8, act_bits: 8 };
+    let proof = analyze_model(&spec_for(1, reduction), &precision).expect("qt rung analyzes");
+    let layer = &proof.layers[0];
+    let required = proof.required_bits();
+    let narrow = required - 1;
+
+    // The prover rejects the narrowed width and names the site.
+    let bad = proof.violations_at(narrow);
+    assert_eq!(bad.len(), 1, "exactly the one site violates");
+    assert_eq!(bad[0].name, "dot");
+    let msg = proof.verify_width(narrow).expect_err("one bit short must fail").to_string();
+    assert!(msg.contains("insufficient") && msg.contains("dot"), "{msg}");
+
+    // Concrete worst case: sign-aligned max-magnitude codes, so every
+    // product is +127·127 and the accumulator lands exactly on the
+    // proved ceiling minus the one in-band bias addend (127).
+    let alt: Vec<f32> =
+        (0..reduction).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let qw = quantized(&alt, 1, reduction, 8);
+    let qx = quantized(&alt, reduction, 1, 8);
+    let wm = PackedTermMatrix::from_weights(&qw, tr_encoding::Encoding::Binary);
+    let xm = PackedTermMatrix::from_data_transposed(&qx, tr_encoding::Encoding::Binary);
+    let acc = packed_term_matmul_i64(&wm, &xm)[0];
+    assert_eq!(acc, reduction as i64 * 127 * 127);
+    assert_eq!(acc + 127, layer.acc_range.hi(), "witness + bias headroom attains the envelope");
+
+    // Had the engine trusted `narrow` bits, two's-complement wraparound
+    // would have corrupted this value silently. The proof gate is what
+    // stands between the kernel and that outcome.
+    let modulus = 1i128 << narrow;
+    let mut wrapped = i128::from(acc).rem_euclid(modulus);
+    if wrapped >= modulus / 2 {
+        wrapped -= modulus;
+    }
+    assert_ne!(wrapped, i128::from(acc), "a {narrow}-bit accumulator would wrap");
+}
+
 /// Deterministic end-to-end check on a real layer shape: the MLP's first
 /// linear site (512×784) under the tightest default TR rung, concrete
 /// random weights, every output inside the proved interval.

@@ -1,4 +1,4 @@
-//! bench — the machine-readable performance baseline (`BENCH_PR8.json`).
+//! bench — the machine-readable performance baseline (`BENCH_PR9.json`).
 //!
 //! Not a paper figure: this experiment turns the `tr-obs` instrumentation
 //! threaded through core/nn/hw/serve into one schema-stable JSON artifact
@@ -12,6 +12,11 @@
 //!   packed flat kernel, with per-row speedup ratios and the cost of a
 //!   full checksum verification of the packed operands (the integrity
 //!   pass the chaos-hardened cache pays on every rung revisit);
+//! * **bitplane** — the PR 9 popcount GEMM gate: the parallel
+//!   code-plane kernel vs the bit-plane kernel at the paper's
+//!   256×1152×196 shape (quick and full mode alike), swept down the
+//!   rung ladder; the speedup must grow monotonically as the term
+//!   budget shrinks and clear 2x on the tight rungs;
 //! * **nn** — zoo-model accuracy and forward timing per precision, with
 //!   the per-layer span breakdown `Sequential::try_forward` records, plus
 //!   a conv-forward row comparing the PR4-era per-image-allocation loop
@@ -25,18 +30,22 @@
 //!   not regress single-tenant tail latency;
 //! * **integrity_overhead** — the chaos-overhead gate: checksum
 //!   verification must cost < 2% of the packed matmul it protects;
-//! * **baseline** — the committed `BENCH_PR6.json` read back (path
+//! * **baseline** — the committed `BENCH_PR8.json` read back (path
 //!   override: `TR_BENCH_BASELINE`), with packed-kernel wall-clock
 //!   ratios, a sharded-vs-baseline serve p99 ratio, and a one-line
 //!   regression verdict.
 //!
-//! The artifact goes to `BENCH_PR8.json` (override with `TR_BENCH_OUT`).
+//! The artifact goes to `BENCH_PR9.json` (override with `TR_BENCH_OUT`).
 
 use crate::experiments::serve::{mlp_factory, wait_settled};
 use crate::report::Table;
 use crate::zoo::Zoo;
 use std::time::{Duration, Instant};
-use tr_core::{packed_term_matmul_i64, term_matmul_i64, term_pairs_total, TermMatrix, TrConfig};
+use tr_core::{
+    bitplane_matmul_i64, matmul_plan, packed_term_matmul_i64, term_matmul_i64, term_pairs_total,
+    try_packed_term_matmul_i64_planned, BitPlaneMatrix, MatmulPlan, PackedTermMatrix, TermMatrix,
+    TrConfig,
+};
 use tr_encoding::Encoding;
 use tr_hw::{ControlRegisters, MemorySubsystem, SystolicArray};
 use tr_nn::exec::{calibrate_model, evaluate_precision, forward_logits};
@@ -631,6 +640,120 @@ fn sharded_serve_section(zoo: &Zoo, table: &mut Table) -> JsonValue {
     ])
 }
 
+/// The rung ladder the bit-plane sweep walks, tightest last:
+/// (label, weight budget k, data terms s, data reveal budget or 0 for
+/// cap-only). The data-side reveal on the tight rungs mirrors the
+/// paper's run-time activation TR.
+const BITPLANE_RUNGS: [(&str, usize, usize, usize); 5] = [
+    ("k16_s3", 16, 3, 0),
+    ("k8_s3", 8, 3, 0),
+    ("k4_s2", 4, 2, 8),
+    ("k2_s1", 2, 1, 4),
+    ("k1_s1", 1, 1, 2),
+];
+
+/// The PR 9 popcount-GEMM gate: the parallel code-plane kernel (the
+/// pre-bitplane hot path at this shape) vs the bit-plane kernel down
+/// the rung ladder. Bit-identity is asserted on every rung; the
+/// wall-clock gate (speedup monotone in tightness, ≥2x at the tight
+/// end) runs at the fixed paper shape in quick and full mode alike —
+/// like the integrity gate, smoke-sized operands sit far below the
+/// dispatch crossover and would say nothing about the hot path.
+fn bitplane_section(table: &mut Table) -> (JsonValue, bool) {
+    const GATE_SPEEDUP: f64 = 2.0;
+    let (m, k, n) = (256usize, 1152usize, 196usize);
+    let mut rng = Rng::seed_from_u64(SEED ^ 0xB17);
+    let wt = Tensor::randn(Shape::d2(m, k), 0.25, &mut rng);
+    let xt = Tensor::randn(Shape::d2(k, n), 0.25, &mut rng);
+    let qw = tr_quant::quantize(&wt, tr_quant::calibrate_max_abs(&wt, 8));
+    let qx = tr_quant::quantize(&xt, tr_quant::calibrate_max_abs(&xt, 8));
+    recorder().reset();
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for (label, wk, s, data_k) in BITPLANE_RUNGS {
+        let w = PackedTermMatrix::from_weights(&qw, Encoding::Hese)
+            .reveal(&TrConfig::new(8, wk));
+        let mut x = PackedTermMatrix::from_data_transposed(&qx, Encoding::Hese);
+        if data_k > 0 {
+            x = x.reveal(&TrConfig::new(8, data_k));
+        }
+        let x = x.cap_terms(s);
+        let plan = matmul_plan(&w, &x);
+        let (bw, bx) = (BitPlaneMatrix::from_packed(&w), BitPlaneMatrix::from_packed(&x));
+        // The code side pins the plan the pre-bitplane dispatcher would
+        // choose at this shape; the default entry point would route the
+        // tight rungs to the bit-plane kernel and compare it to itself.
+        let (code_out, code_wall) = best_of(3, || {
+            try_packed_term_matmul_i64_planned(&w, &x, MatmulPlan::ParallelCodePlane)
+                .expect("shapes agree")
+        });
+        let (bit_out, bit_wall) = best_of(3, || bitplane_matmul_i64(&bw, &bx));
+        assert_eq!(bit_out, code_out, "bit-plane kernel must be bit-identical ({label})");
+        let speedup = code_wall.as_secs_f64() / bit_wall.as_secs_f64().max(f64::MIN_POSITIVE);
+        speedups.push(speedup);
+        table.row(vec![
+            format!("bitplane/{label} @{m}x{k}x{n}"),
+            format!(
+                "{:.2}ms code / {:.2}ms bit",
+                code_wall.as_secs_f64() * 1e3,
+                bit_wall.as_secs_f64() * 1e3
+            ),
+            format!(
+                "{} w-planes, {} x-planes, plan {}",
+                bw.total_planes(),
+                bx.total_planes(),
+                plan.name()
+            ),
+            format!("bit-plane {speedup:.2}x"),
+        ]);
+        rows.push((
+            label.to_string(),
+            obj(vec![
+                ("weight_k", uint(wk as u64)),
+                ("data_terms", uint(s as u64)),
+                ("data_k", uint(data_k as u64)),
+                ("code_wall_ms", ms(code_wall)),
+                ("bit_wall_ms", ms(bit_wall)),
+                ("speedup", JsonValue::Num(speedup)),
+                ("w_planes", uint(bw.total_planes() as u64)),
+                ("x_planes", uint(bx.total_planes() as u64)),
+                ("w_mean_row_planes", JsonValue::Num(bw.mean_row_planes())),
+                ("x_mean_row_planes", JsonValue::Num(bx.mean_row_planes())),
+                ("plan", JsonValue::str(plan.name())),
+            ]),
+        ));
+    }
+    let snap = recorder().snapshot();
+    let counters = JsonValue::object(
+        snap.counters_with_prefix("core.bitplane.")
+            .into_iter()
+            .map(|c| (c.name.clone(), uint(c.value)))
+            .collect(),
+    );
+    // Monotone with a 5% noise band: each tighter rung at least as fast
+    // relative to the pair walk as the looser one before it.
+    let monotone = speedups.windows(2).all(|p| p[1] >= p[0] * 0.95);
+    let peak = speedups.iter().copied().fold(0.0f64, f64::max);
+    let pass = monotone && peak >= GATE_SPEEDUP;
+    let status = if pass {
+        format!("PASS (monotone, peak {peak:.2}x >= {GATE_SPEEDUP}x)")
+    } else {
+        format!("WARN (monotone={monotone}, peak {peak:.2}x)")
+    };
+    table.note(format!("bitplane gate: {status}"));
+    let json = obj(vec![
+        ("shape", JsonValue::str(&format!("{m}x{k}x{n}"))),
+        ("rungs", JsonValue::object(rows.into_iter().collect())),
+        ("counters", counters),
+        ("monotone", JsonValue::Bool(monotone)),
+        ("peak_speedup", JsonValue::Num(peak)),
+        ("gate_speedup", JsonValue::Num(GATE_SPEEDUP)),
+        ("pass", JsonValue::Bool(pass)),
+        ("status", JsonValue::str(&status)),
+    ]);
+    (json, pass)
+}
+
 /// The chaos-overhead gate: checksum verification of the packed operands
 /// must cost < 2% of the packed matmul it protects.
 ///
@@ -692,18 +815,18 @@ fn integrity_overhead_section(table: &mut Table) -> (JsonValue, bool) {
     (json, pass)
 }
 
-/// Locate the committed PR6 baseline: `TR_BENCH_BASELINE` wins, then the
+/// Locate the committed PR8 baseline: `TR_BENCH_BASELINE` wins, then the
 /// repo-root file from either the root or a crate working directory.
 fn baseline_path() -> String {
     if let Ok(p) = std::env::var("TR_BENCH_BASELINE") {
         return p;
     }
-    for candidate in ["BENCH_PR6.json", "../../BENCH_PR6.json"] {
+    for candidate in ["BENCH_PR8.json", "../../BENCH_PR8.json"] {
         if std::path::Path::new(candidate).is_file() {
             return candidate.to_string();
         }
     }
-    "BENCH_PR6.json".to_string()
+    "BENCH_PR8.json".to_string()
 }
 
 /// A `{baseline_packed_wall_ms, packed_wall_ms, ratio_vs_baseline}`
@@ -726,25 +849,28 @@ fn baseline_core_row(row: &str, core: &JsonValue, base: &JsonValue) -> (JsonValu
     (block, ratio)
 }
 
-/// Read `BENCH_PR6.json` back and emit the regression block plus a
+/// Read `BENCH_PR8.json` back and emit the regression block plus a
 /// one-line verdict. A missing or shape-mismatched baseline degrades to
 /// `found: false` rather than failing the run (fresh checkouts, CI
 /// machines without the artifact).
 ///
 /// Besides the packed-kernel drift ratios, the verdict folds in the
-/// PR 8 sharding question: the sharded service's single-tenant p99 vs
-/// the baseline's plain-service p99. Tail latencies wobble more than
-/// kernel wall clocks, so that ratio gets a wider band (0.5x) before it
-/// demotes the verdict.
+/// sharding question carried over from PR 8 (the sharded service's
+/// single-tenant p99 vs the baseline's plain-service p99 — tails wobble
+/// more than kernel wall clocks, so that ratio gets a wider 0.5x band)
+/// and the PR 9 bit-plane gate.
 fn baseline_section(
     zoo: &Zoo,
     core: &JsonValue,
     serve_sharded: &JsonValue,
     integrity_pass: bool,
+    bitplane_pass: bool,
     table: &mut Table,
 ) -> JsonValue {
     let path = baseline_path();
     let integrity_note = if integrity_pass { "verify <2%" } else { "verify over 2% budget" };
+    let bitplane_note =
+        if bitplane_pass { "bitplane gate ok" } else { "bitplane gate failed" };
     let parsed = std::fs::read_to_string(&path)
         .map_err(|e| e.to_string())
         .and_then(|text| JsonValue::parse(&text));
@@ -752,7 +878,7 @@ fn baseline_section(
         Ok(v) => v,
         Err(e) => {
             let verdict =
-                format!("SKIPPED — no PR6 baseline ({e}); in-run: {integrity_note}");
+                format!("SKIPPED — no PR8 baseline ({e}); in-run: {integrity_note}, {bitplane_note}");
             table.note(format!("verdict: {verdict}"));
             return obj(vec![
                 ("path", JsonValue::str(&path)),
@@ -779,25 +905,30 @@ fn baseline_section(
         (Some(old), Some(new)) => Some(old / new.max(f64::MIN_POSITIVE)),
         _ => None,
     };
-    let serve_ok = serve_ratio.map_or(true, |r| r >= 0.5);
+    let serve_ok = serve_ratio.is_none_or(|r| r >= 0.5);
     // Same kernel on both sides, so the bands are drift tolerances, not
     // speedup targets: a shared CI box can easily wobble ±25%.
     let status = match worst {
         _ if !comparable => "INCOMPARABLE (quick-mode mismatch vs baseline)".to_string(),
-        Some(w) if w >= 0.75 && integrity_pass && serve_ok => "PASS".to_string(),
+        Some(w) if w >= 0.75 && integrity_pass && serve_ok && bitplane_pass => {
+            "PASS".to_string()
+        }
+        Some(w) if w >= 0.75 && serve_ok && integrity_pass => {
+            format!("WARN ({bitplane_note}; core drift ok at {w:.2}x)")
+        }
         Some(w) if w >= 0.5 && serve_ok => {
             format!("WARN (drift band 0.75x, {integrity_note}; worst core {w:.2}x)")
         }
         Some(w) if w >= 0.5 => format!(
-            "WARN (sharded serve p99 {:.2}x vs PR6 plain serve, band 0.5x)",
+            "WARN (sharded serve p99 {:.2}x vs PR8 plain serve, band 0.5x)",
             serve_ratio.unwrap_or(0.0)
         ),
-        Some(w) => format!("REGRESSION (core packed {w:.2}x vs PR6 packed)"),
+        Some(w) => format!("REGRESSION (core packed {w:.2}x vs PR8 packed)"),
         None => "SKIPPED (baseline rows missing)".to_string(),
     };
     let verdict = format!(
-        "{status} — packed core qt8 {}x / tr {}x vs PR6, sharded single-tenant p99 {}x vs \
-         PR6 serve p99, {integrity_note}",
+        "{status} — packed core qt8 {}x / tr {}x vs PR8, sharded single-tenant p99 {}x vs \
+         PR8 serve p99, {integrity_note}, {bitplane_note}",
         qt8.map_or_else(|| "?".to_string(), |v| format!("{v:.2}")),
         tr.map_or_else(|| "?".to_string(), |v| format!("{v:.2}")),
         serve_ratio.map_or_else(|| "?".to_string(), |v| format!("{v:.2}")),
@@ -834,19 +965,22 @@ pub fn run(zoo: &Zoo) -> Vec<Table> {
         &["section", "wall", "work", "outcome"],
     );
     let core = core_section(zoo, &mut table);
+    let (bitplane, bitplane_pass) = bitplane_section(&mut table);
     let nn = nn_section(zoo, &mut table);
     let hw = hw_section(zoo, &mut table);
     let serve = serve_section(zoo, &mut table);
     let serve_sharded = sharded_serve_section(zoo, &mut table);
     set_enabled(false);
     let (integrity, integrity_pass) = integrity_overhead_section(&mut table);
-    let baseline = baseline_section(zoo, &core, &serve_sharded, integrity_pass, &mut table);
+    let baseline =
+        baseline_section(zoo, &core, &serve_sharded, integrity_pass, bitplane_pass, &mut table);
 
     let json = JsonValue::object(vec![
         ("schema".to_string(), JsonValue::str(SCHEMA)),
-        ("pr".to_string(), JsonValue::UInt(8)),
+        ("pr".to_string(), JsonValue::UInt(9)),
         ("quick".to_string(), JsonValue::Bool(zoo.quick)),
         ("core".to_string(), core),
+        ("bitplane".to_string(), bitplane),
         ("nn".to_string(), nn),
         ("hw".to_string(), hw),
         ("serve".to_string(), serve),
@@ -854,7 +988,7 @@ pub fn run(zoo: &Zoo) -> Vec<Table> {
         ("integrity_overhead".to_string(), integrity),
         ("baseline".to_string(), baseline),
     ]);
-    let path = std::env::var("TR_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR8.json".to_string());
+    let path = std::env::var("TR_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR9.json".to_string());
     match std::fs::write(&path, json.to_pretty_string() + "\n") {
         Ok(()) => table.note(format!("artifact written to {path}")),
         Err(e) => table.note(format!("could not write {path}: {e}")),
@@ -883,7 +1017,12 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("artifact written");
         for key in [
             "\"schema\": \"tr-bench/v1\"",
-            "\"pr\": 8",
+            "\"pr\": 9",
+            "\"bitplane\"",
+            "\"code_wall_ms\"",
+            "\"bit_wall_ms\"",
+            "\"peak_speedup\"",
+            "\"k2_s1\"",
             "\"integrity_overhead\"",
             "\"verify_overhead_pct\"",
             "\"verify_wall_ms\"",

@@ -391,7 +391,7 @@ fn soak_table(zoo: &Zoo) -> Table {
         for i in 0..n {
             let sample = i % ds.test.len();
             let mut input = ds.test.x.row(sample).to_vec();
-            let is_poison = rng.next_u64() % 12 == 0;
+            let is_poison = rng.next_u64().is_multiple_of(12);
             if is_poison {
                 input[0] = f32::NAN; // trips the engine's poison assertion
             }

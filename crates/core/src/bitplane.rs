@@ -1,0 +1,749 @@
+//! Bit-plane decomposition and popcount matmul (PrecisionBatching-style).
+//!
+//! [`BitPlaneMatrix`] is the third operand layout of the TR hot path,
+//! after the Vec-of-Vec [`TermMatrix`](crate::TermMatrix) and the flat
+//! CSR [`PackedTermMatrix`]: every row is re-expressed as a small set of
+//! **sign-split exponent planes**. Plane `(e, neg)` of a row is a `u64`
+//! bitset over the row's elements with bit `c` set iff element `c`
+//! carries a term `±2^e` with that sign. HESE (and every encoding this
+//! workspace uses) emits at most one term per exponent per value, so the
+//! planes are well-defined, and a row reconstructs exactly as
+//!
+//! ```text
+//! row[c] = Σ_planes (neg ? -1 : +1) · 2^e · bit(plane, c)
+//! ```
+//!
+//! The payoff is the kernel: a dot product of two rows becomes
+//!
+//! ```text
+//! Σ_p Σ_q ±2^(e_p + e_q) · popcount(words_p ∧ words_q)
+//! ```
+//!
+//! — one AND + popcount per 64 elements per live plane pair, with the
+//! pair's sign and shift hoisted out of the word loop entirely. Integer
+//! addition is associative and commutative (also modulo 2⁶⁴), so the
+//! result is **bit-identical** to [`packed_term_matmul_i64`]
+//! (crate::packed_term_matmul_i64) and to the pair-walk kernels for any
+//! operand, regardless of summation order.
+//!
+//! Why this gets *faster as quantization gets more aggressive*: the cost
+//! is proportional to the product of live plane counts, and the receding
+//! water of Term Revealing drains low-exponent planes as `k` (and the
+//! per-value cap `s`) shrink. Dense code-plane matmul cost is flat in
+//! `k`. That crossover is the dispatch heuristic in
+//! [`matmul_plan`](crate::matmul::matmul_plan), and the speedup-vs-α
+//! table in the bench artifact is the paper's thesis restated on
+//! commodity CPUs (see PAPERS.md, *Quantized Neural Network Inference
+//! with Precision Batching*).
+
+use crate::error::TrError;
+use crate::packed::{off_usize, PackedTermMatrix};
+use crate::seal::{fnv1a_bytes, fnv1a_word, FNV_OFFSET};
+use rayon::prelude::*;
+use tr_encoding::Encoding;
+use tr_obs::{as_u64, Counter};
+
+/// Bit-plane decompositions built from packed planes.
+static BITPLANE_BUILDS: Counter = Counter::new("core.bitplane.builds");
+/// Sign-split planes materialized across all builds.
+static BITPLANE_PLANES: Counter = Counter::new("core.bitplane.planes");
+/// Popcount matmul invocations.
+static BITPLANE_MATMULS: Counter = Counter::new("core.bitplane.matmuls");
+/// Output cells computed by the popcount kernel.
+static BITPLANE_CELLS: Counter = Counter::new("core.bitplane.cells");
+/// Live plane pairs processed (Σ over outputs of `p_w · p_x`).
+static BITPLANE_PAIRS: Counter = Counter::new("core.bitplane.pairs");
+
+/// Output-row tile of the parallel popcount kernel (mirrors the packed
+/// kernel's tile: enough rows per task to amortize the shim's scoped
+/// thread spawn).
+const ROW_TILE: usize = 4;
+/// Minimum `plane pairs × words` before the popcount kernel parallelizes;
+/// below this, scoped-thread spawn overhead dominates (the same small-host
+/// lesson as `PAR_MIN_MACS` in `matmul`).
+const PAR_MIN_PAIR_WORDS: u64 = 1 << 17;
+
+/// A term matrix as per-row sign-split exponent bit-planes.
+///
+/// Rows and the reduction length mirror the [`PackedTermMatrix`] this was
+/// built from; the planes are a lossless re-layout of the same terms, so
+/// [`BitPlaneMatrix::reconstruct_codes`] agrees with
+/// [`PackedTermMatrix::reconstruct_codes`] exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitPlaneMatrix {
+    rows: usize,
+    len: usize,
+    /// `ceil(len / 64)` rounded up to a multiple of 8 — every plane holds
+    /// this many words. The zero padding is AND-neutral, and the round-up
+    /// lets the kernel run whole 512-bit popcount lanes with no scalar
+    /// tail per plane pair.
+    words_per_row: usize,
+    encoding: Encoding,
+    /// `rows + 1` entries; row `r` owns planes
+    /// `plane_exps[row_offsets[r] .. row_offsets[r+1]]`.
+    row_offsets: Vec<u32>,
+    /// Exponent of each plane.
+    plane_exps: Vec<u8>,
+    /// One bit per plane, LSB-first within each word; set = negative.
+    plane_negs: Vec<u64>,
+    /// Plane `p` occupies `words[p * words_per_row ..][.. words_per_row]`.
+    words: Vec<u64>,
+    /// FNV-1a over shape + planes, sealed at construction (same
+    /// silent-corruption contract as the packed planes).
+    checksum: u64,
+}
+
+impl BitPlaneMatrix {
+    /// Decompose packed term planes into bit-planes in **one flat walk**
+    /// of the offsets/exps/signs arrays — the same walk as
+    /// [`PackedTermMatrix::reconstruct_codes`], but fanning each term out
+    /// to its `(exp, sign)` plane instead of shift-accumulating it.
+    ///
+    /// Per row, a 512-entry slot map (`exp × sign → plane`) is cleared
+    /// incrementally (only the keys the row touched), so the build is
+    /// `O(total terms + planes · words_per_row)` with no per-row
+    /// allocation.
+    #[must_use]
+    pub fn from_packed(m: &PackedTermMatrix) -> BitPlaneMatrix {
+        let (rows, len) = (m.rows(), m.len());
+        let words_per_row = len.div_ceil(64).next_multiple_of(8);
+        let mut out = BitPlaneMatrix {
+            rows,
+            len,
+            words_per_row,
+            encoding: m.encoding(),
+            row_offsets: Vec::with_capacity(rows + 1),
+            plane_exps: Vec::new(),
+            plane_negs: Vec::new(),
+            words: Vec::new(),
+            checksum: 0,
+        };
+        out.row_offsets.push(0);
+        // Slot map: key = exp·2 + sign, value = plane index + 1 (0 = none).
+        let mut slots = [0u32; 512];
+        let mut touched: Vec<u16> = Vec::with_capacity(32);
+        let offsets = m.offsets();
+        let exps = m.exps();
+        let mut t = 0usize; // flat term cursor — never rewinds
+        for r in 0..rows {
+            for c in 0..len {
+                let end = off_usize(offsets[r * len + c + 1]);
+                while t < end {
+                    let e = exps[t];
+                    let neg = m.sign(t);
+                    let key = (usize::from(e) << 1) | usize::from(neg);
+                    let slot = slots[key];
+                    let plane = if slot == 0 {
+                        let plane = out.push_plane(e, neg);
+                        slots[key] = u32::try_from(plane + 1).expect("plane count fits u32");
+                        touched.push(u16::try_from(key).expect("slot key fits u16"));
+                        plane
+                    } else {
+                        off_usize(slot) - 1
+                    };
+                    out.words[plane * words_per_row + c / 64] |= 1u64 << (c % 64);
+                    t += 1;
+                }
+            }
+            for &k in &touched {
+                slots[usize::from(k)] = 0;
+            }
+            touched.clear();
+            out.row_offsets
+                .push(u32::try_from(out.plane_exps.len()).expect("plane count fits u32"));
+        }
+        BITPLANE_BUILDS.inc();
+        BITPLANE_PLANES.add(as_u64(out.plane_exps.len()));
+        out.seal()
+    }
+
+    /// Append an all-zero plane `(exp, neg)` and return its index.
+    #[inline]
+    fn push_plane(&mut self, exp: u8, neg: bool) -> usize {
+        let i = self.plane_exps.len();
+        if i.is_multiple_of(64) {
+            self.plane_negs.push(0);
+        }
+        if neg {
+            self.plane_negs[i / 64] |= 1u64 << (i % 64);
+        }
+        self.plane_exps.push(exp);
+        self.words.resize(self.words.len() + self.words_per_row, 0);
+        i
+    }
+
+    fn seal(mut self) -> BitPlaneMatrix {
+        self.checksum = self.content_checksum();
+        self
+    }
+
+    /// FNV-1a over shape, encoding, and all planes — a pure function of
+    /// content, so equal matrices hash equal (the property the prepared-
+    /// weights seal in `tr-nn` folds in).
+    #[must_use]
+    pub fn content_checksum(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        h = fnv1a_word(h, self.rows as u64);
+        h = fnv1a_word(h, self.len as u64);
+        h = fnv1a_bytes(h, self.encoding.name().as_bytes());
+        for &o in &self.row_offsets {
+            h = fnv1a_word(h, u64::from(o));
+        }
+        h = fnv1a_bytes(h, &self.plane_exps);
+        for &w in &self.plane_negs {
+            h = fnv1a_word(h, w);
+        }
+        for &w in &self.words {
+            h = fnv1a_word(h, w);
+        }
+        h
+    }
+
+    /// The checksum sealed at construction.
+    #[must_use]
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Verify the planes against their seal.
+    ///
+    /// # Errors
+    /// [`TrError::Integrity`] when the planes no longer match the seal.
+    pub fn verify_integrity(&self) -> Result<(), TrError> {
+        let actual = self.content_checksum();
+        if actual == self.checksum {
+            Ok(())
+        } else {
+            Err(TrError::Integrity(format!(
+                "bit-planes checksum {actual:#018x} != sealed {:#018x} \
+                 ({} rows x {} elems, {} planes)",
+                self.checksum,
+                self.rows,
+                self.len,
+                self.plane_exps.len()
+            )))
+        }
+    }
+
+    /// Number of dot-product vectors.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Length of each vector (the reduction dimension).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the matrix holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows * self.len == 0
+    }
+
+    /// The encoding the terms were produced by.
+    #[must_use]
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
+
+    /// Words per plane (`ceil(len / 64)`, padded up to a multiple of 8).
+    #[must_use]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Total sign-split planes across all rows.
+    #[must_use]
+    pub fn total_planes(&self) -> usize {
+        self.plane_exps.len()
+    }
+
+    /// Live planes of row `r`.
+    #[must_use]
+    pub fn row_planes(&self, r: usize) -> usize {
+        let (p0, p1) = self.row_plane_range(r);
+        p1 - p0
+    }
+
+    /// Largest per-row plane count.
+    #[must_use]
+    pub fn max_row_planes(&self) -> usize {
+        self.row_offsets.windows(2).map(|w| off_usize(w[1]) - off_usize(w[0])).max().unwrap_or(0)
+    }
+
+    /// Mean planes per row — the quantity the dispatch heuristic trades
+    /// against the dense kernel's flat cost.
+    #[must_use]
+    pub fn mean_row_planes(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.total_planes() as f64 / self.rows as f64
+        }
+    }
+
+    #[inline]
+    fn row_plane_range(&self, r: usize) -> (usize, usize) {
+        (off_usize(self.row_offsets[r]), off_usize(self.row_offsets[r + 1]))
+    }
+
+    /// Sign of plane `p` (true = negative).
+    #[inline]
+    fn plane_neg(&self, p: usize) -> bool {
+        (self.plane_negs[p / 64] >> (p % 64)) & 1 == 1
+    }
+
+    /// Reconstruct the integer codes the planes represent (row-major) —
+    /// the parity witness the equivalence tests compare against
+    /// [`PackedTermMatrix::reconstruct_codes`].
+    #[must_use]
+    pub fn reconstruct_codes(&self) -> Vec<i64> {
+        let mut out = vec![0i64; self.rows * self.len];
+        for r in 0..self.rows {
+            let (p0, p1) = self.row_plane_range(r);
+            let orow = &mut out[r * self.len..(r + 1) * self.len];
+            for p in p0..p1 {
+                let mag = crate::matmul::shl_exp(1, self.plane_exps[p]);
+                let v = if self.plane_neg(p) { mag.wrapping_neg() } else { mag };
+                let pw = &self.words[p * self.words_per_row..(p + 1) * self.words_per_row];
+                for (wi, &word) in pw.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let c = wi * 64 + usize::try_from(bits.trailing_zeros())
+                            .expect("bit index fits usize");
+                        orow[c] = crate::matmul::acc_add(orow[c], v);
+                        bits &= bits - 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Dot product of bit-plane row `wr` of `w` with row `xr` of `x`: the
+/// popcount counterpart of [`term_dot_packed`](crate::term_dot_packed),
+/// bit-identical to it for any operands built from the same packed
+/// planes.
+#[must_use]
+pub fn bitplane_dot(w: &BitPlaneMatrix, wr: usize, x: &BitPlaneMatrix, xr: usize) -> i64 {
+    debug_assert_eq!(w.len(), x.len());
+    let (wp0, wp1) = w.row_plane_range(wr);
+    let (xp0, xp1) = x.row_plane_range(xr);
+    dot_plane_ranges(w, wp0, wp1, x, xp0, xp1)
+}
+
+/// The kernel inner: Σ over live plane pairs of
+/// `±2^(e_w + e_x) · popcount(words_w ∧ words_x)`. Sign and shift are
+/// per-pair constants; the word loop is pure AND + popcount.
+///
+/// `inline(always)` so the feature-gated row wrappers below absorb this
+/// body and LLVM lowers `count_ones` to the real `popcnt` / `vpopcntq`
+/// instructions instead of the ~13-op portable bit-hack the baseline
+/// x86-64 target is restricted to.
+#[inline(always)]
+fn dot_plane_ranges(
+    w: &BitPlaneMatrix,
+    wp0: usize,
+    wp1: usize,
+    x: &BitPlaneMatrix,
+    xp0: usize,
+    xp1: usize,
+) -> i64 {
+    let wpr = w.words_per_row;
+    let mut acc = 0i64;
+    for p in wp0..wp1 {
+        let ww = &w.words[p * wpr..(p + 1) * wpr];
+        let we = w.plane_exps[p];
+        let wneg = w.plane_neg(p);
+        for q in xp0..xp1 {
+            let xw = &x.words[q * wpr..(q + 1) * wpr];
+            let mut cnt = 0i64;
+            for (&a, &b) in ww.iter().zip(xw) {
+                cnt += i64::from((a & b).count_ones());
+            }
+            if cnt == 0 {
+                continue;
+            }
+            // 2^(e_w + e_x), shifted in two steps so the release-mode
+            // masking matches the packed pair walk bit-for-bit even on
+            // (corrupt) out-of-range exponents; `shl_exp` asserts the
+            // legal range in debug builds.
+            let mag = crate::matmul::shl_exp(crate::matmul::shl_exp(cnt, we), x.plane_exps[q]);
+            let signed = if wneg != x.plane_neg(q) { mag.wrapping_neg() } else { mag };
+            acc = crate::matmul::acc_add(acc, signed);
+        }
+    }
+    acc
+}
+
+/// `W (M,K) @ X (K,N)` over bit-plane matrices — the popcount twin of
+/// [`packed_term_matmul_i64`](crate::packed_term_matmul_i64): bit-identical
+/// output for operands decomposed from the same packed planes, cost
+/// proportional to live plane pairs instead of dense MACs.
+///
+/// # Panics
+/// If the reduction dimensions differ. Use [`try_bitplane_matmul_i64`]
+/// for a `Result`.
+#[must_use]
+pub fn bitplane_matmul_i64(w: &BitPlaneMatrix, x: &BitPlaneMatrix) -> Vec<i64> {
+    match try_bitplane_matmul_i64(w, x) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`bitplane_matmul_i64`].
+///
+/// # Errors
+/// [`TrError::ShapeMismatch`] when the reduction dimensions differ.
+pub fn try_bitplane_matmul_i64(
+    w: &BitPlaneMatrix,
+    x: &BitPlaneMatrix,
+) -> Result<Vec<i64>, TrError> {
+    if w.len() != x.len() {
+        return Err(TrError::ShapeMismatch(format!(
+            "reduction dims differ: {} vs {}",
+            w.len(),
+            x.len()
+        )));
+    }
+    let (m, n) = (w.rows(), x.rows());
+    let _span = tr_obs::span("core.bitplane_matmul");
+    BITPLANE_MATMULS.inc();
+    BITPLANE_CELLS.add(as_u64(m).saturating_mul(as_u64(n)));
+    // Σ_i Σ_j p_w(i)·p_x(j) factors into (Σ p_w)(Σ p_x).
+    let pairs = as_u64(w.total_planes()).saturating_mul(as_u64(x.total_planes()));
+    BITPLANE_PAIRS.add(pairs);
+    let mut out = vec![0i64; m * n];
+    if m * n == 0 || w.words_per_row == 0 {
+        return Ok(out);
+    }
+    let row_fn = select_row_fn();
+    let pair_words = pairs.saturating_mul(as_u64(w.words_per_row));
+    if pair_words <= PAR_MIN_PAIR_WORDS || m < 2 * ROW_TILE {
+        for (i, orow) in out.chunks_mut(n).enumerate() {
+            // SAFETY: `select_row_fn` returns a feature-gated variant only
+            // when the CPU reported that feature at run time.
+            unsafe { row_fn(w, x, i, orow) };
+        }
+    } else {
+        out.par_chunks_mut(ROW_TILE * n).enumerate().for_each(|(t, block)| {
+            for (r, orow) in block.chunks_mut(n).enumerate() {
+                // SAFETY: as above — the selected variant's ISA features
+                // were verified present before it was chosen.
+                unsafe { row_fn(w, x, t * ROW_TILE + r, orow) };
+            }
+        });
+    }
+    Ok(out)
+}
+
+/// One output row of the popcount kernel, dispatched per matmul to the
+/// widest popcount ISA the host actually has.
+type RowFn = unsafe fn(&BitPlaneMatrix, &BitPlaneMatrix, usize, &mut [i64]);
+
+/// Pick the row kernel for this host. `is_x86_feature_detected!` caches
+/// its probe, so calling this once per matmul is two relaxed loads.
+#[inline]
+fn select_row_fn() -> RowFn {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
+        {
+            return bitplane_row_avx512;
+        }
+        if std::arch::is_x86_feature_detected!("popcnt") {
+            return bitplane_row_popcnt;
+        }
+    }
+    bitplane_row_portable
+}
+
+/// 512-bit lanes: the same pair walk as [`dot_plane_ranges`], but with the
+/// word loop pinned to explicit AND + `VPOPCNTQ` intrinsics. Left to the
+/// auto-vectorizer, LLVM outer-loop-vectorizes the nested plane-pair loop
+/// into `vpgatherqq` gathers (~10x slower than contiguous loads), so the
+/// vector shape is fixed by hand: planes are padded to whole 8-word lanes,
+/// giving `words_per_row / 8` full-width iterations and no scalar tail.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vpopcntdq")]
+unsafe fn bitplane_row_avx512(w: &BitPlaneMatrix, x: &BitPlaneMatrix, i: usize, orow: &mut [i64]) {
+    use std::arch::x86_64::{
+        _mm512_add_epi64, _mm512_and_si512, _mm512_loadu_epi64, _mm512_popcnt_epi64,
+        _mm512_reduce_add_epi64, _mm512_set1_epi64, _mm512_setzero_si512, _mm512_sll_epi64,
+        _mm512_sub_epi64, _mm512_xor_si512, _mm_cvtsi32_si128,
+    };
+    let wpr = w.words_per_row;
+    debug_assert_eq!(wpr % 8, 0);
+    let (wp0, wp1) = w.row_plane_range(i);
+    for (j, o) in orow.iter_mut().enumerate() {
+        let (xp0, xp1) = x.row_plane_range(j);
+        // Whole-cell vector accumulator: each pair's per-lane popcounts
+        // are shifted and signed in-register, and the 8 lanes reduce
+        // ONCE per output cell. Wrapping i64 addition is associative and
+        // commutative, and `<<` distributes over it mod 2^64, so the
+        // lane-split total is bit-identical to the scalar pair walk —
+        // including the two-step `& 63`-masked shift, which mirrors
+        // `shl_exp`'s release-mode `wrapping_shl` exactly.
+        let mut vacc = _mm512_setzero_si512();
+        for p in wp0..wp1 {
+            // In-bounds: plane `p` owns words `[p·wpr, (p+1)·wpr)` by
+            // construction, and `wpr % 8 == 0` keeps every 8-word load
+            // inside the plane.
+            let ww = w.words.as_ptr().add(p * wpr);
+            let wshift = _mm_cvtsi32_si128(i32::from(w.plane_exps[p] & 63));
+            let wneg = w.plane_neg(p);
+            // Branchless sign below: (mag ^ m) - m negates every lane
+            // when m is all-ones, is the identity when m is zero — the
+            // pair signs are data-dependent, so a conditional would
+            // mispredict half the time.
+            //
+            // x planes go two at a time so both pairs share the weight-
+            // plane loads (4.5 loads/pair instead of 6) and the two
+            // popcount chains overlap.
+            let mut q = xp0;
+            while q + 2 <= xp1 {
+                let xw0 = x.words.as_ptr().add(q * wpr);
+                let xw1 = x.words.as_ptr().add((q + 1) * wpr);
+                let mut v0 = _mm512_setzero_si512();
+                let mut v1 = _mm512_setzero_si512();
+                let mut c = 0usize;
+                while c < wpr {
+                    let a = _mm512_loadu_epi64(ww.add(c).cast());
+                    let b0 = _mm512_loadu_epi64(xw0.add(c).cast());
+                    let b1 = _mm512_loadu_epi64(xw1.add(c).cast());
+                    v0 = _mm512_add_epi64(v0, _mm512_popcnt_epi64(_mm512_and_si512(a, b0)));
+                    v1 = _mm512_add_epi64(v1, _mm512_popcnt_epi64(_mm512_and_si512(a, b1)));
+                    c += 8;
+                }
+                let xs0 = _mm_cvtsi32_si128(i32::from(x.plane_exps[q] & 63));
+                let xs1 = _mm_cvtsi32_si128(i32::from(x.plane_exps[q + 1] & 63));
+                let mag0 = _mm512_sll_epi64(_mm512_sll_epi64(v0, wshift), xs0);
+                let mag1 = _mm512_sll_epi64(_mm512_sll_epi64(v1, wshift), xs1);
+                let m0 = _mm512_set1_epi64(-i64::from(wneg != x.plane_neg(q)));
+                let m1 = _mm512_set1_epi64(-i64::from(wneg != x.plane_neg(q + 1)));
+                vacc = _mm512_add_epi64(vacc, _mm512_sub_epi64(_mm512_xor_si512(mag0, m0), m0));
+                vacc = _mm512_add_epi64(vacc, _mm512_sub_epi64(_mm512_xor_si512(mag1, m1), m1));
+                q += 2;
+            }
+            if q < xp1 {
+                let xw = x.words.as_ptr().add(q * wpr);
+                let mut v = _mm512_setzero_si512();
+                let mut c = 0usize;
+                while c < wpr {
+                    let a = _mm512_loadu_epi64(ww.add(c).cast());
+                    let b = _mm512_loadu_epi64(xw.add(c).cast());
+                    v = _mm512_add_epi64(v, _mm512_popcnt_epi64(_mm512_and_si512(a, b)));
+                    c += 8;
+                }
+                let xshift = _mm_cvtsi32_si128(i32::from(x.plane_exps[q] & 63));
+                let mag = _mm512_sll_epi64(_mm512_sll_epi64(v, wshift), xshift);
+                let m = _mm512_set1_epi64(-i64::from(wneg != x.plane_neg(q)));
+                vacc = _mm512_add_epi64(vacc, _mm512_sub_epi64(_mm512_xor_si512(mag, m), m));
+            }
+        }
+        *o = _mm512_reduce_add_epi64(vacc);
+    }
+}
+
+/// Scalar `popcnt` (SSE4.2-era): one instruction per word instead of the
+/// portable bit-hack.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "popcnt")]
+unsafe fn bitplane_row_popcnt(w: &BitPlaneMatrix, x: &BitPlaneMatrix, i: usize, orow: &mut [i64]) {
+    bitplane_row_impl(w, x, i, orow);
+}
+
+/// Baseline fallback — what every non-x86 target and featureless host
+/// runs; also the body the feature wrappers inline.
+fn bitplane_row_portable(w: &BitPlaneMatrix, x: &BitPlaneMatrix, i: usize, orow: &mut [i64]) {
+    bitplane_row_impl(w, x, i, orow);
+}
+
+/// The weight row's plane range is hoisted; each output cell pairs it
+/// with one data row's planes.
+#[inline(always)]
+fn bitplane_row_impl(w: &BitPlaneMatrix, x: &BitPlaneMatrix, i: usize, orow: &mut [i64]) {
+    let (wp0, wp1) = w.row_plane_range(i);
+    for (j, o) in orow.iter_mut().enumerate() {
+        let (xp0, xp1) = x.row_plane_range(j);
+        *o = dot_plane_ranges(w, wp0, wp1, x, xp0, xp1);
+    }
+}
+
+/// Σ over rows of the number of live `(exp, sign)` planes — what
+/// [`BitPlaneMatrix::from_packed`] would materialize, computed in one
+/// cheap pass over the flat planes without allocating them. The dispatch
+/// heuristic uses this to estimate the popcount kernel's cost before
+/// committing to the decomposition.
+#[must_use]
+pub(crate) fn live_plane_sum(m: &PackedTermMatrix) -> u64 {
+    let mut slots = [0u32; 512];
+    let mut touched: Vec<u16> = Vec::with_capacity(32);
+    let offsets = m.offsets();
+    let exps = m.exps();
+    let (rows, len) = (m.rows(), m.len());
+    let mut total = 0u64;
+    for r in 0..rows {
+        let t0 = off_usize(offsets[r * len]);
+        let t1 = off_usize(offsets[(r + 1) * len]);
+        for (t, &exp) in exps.iter().enumerate().take(t1).skip(t0) {
+            let key = (usize::from(exp) << 1) | usize::from(m.sign(t));
+            if slots[key] == 0 {
+                slots[key] = 1;
+                touched.push(u16::try_from(key).expect("slot key fits u16"));
+                total += 1;
+            }
+        }
+        for &k in &touched {
+            slots[usize::from(k)] = 0;
+        }
+        touched.clear();
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrConfig;
+    use crate::matmul::{packed_term_matmul_i64, term_dot_packed};
+    use tr_quant::{calibrate_max_abs, quantize, QTensor, QuantParams};
+    use tr_tensor::{Rng, Shape, Tensor};
+
+    fn random_qt(rows: usize, cols: usize, seed: u64) -> QTensor {
+        let mut rng = Rng::seed_from_u64(seed);
+        let t = Tensor::randn(Shape::d2(rows, cols), 0.25, &mut rng);
+        quantize(&t, calibrate_max_abs(&t, 8))
+    }
+
+    #[test]
+    fn codes_round_trip_through_bit_planes() {
+        let q = random_qt(5, 130, 1); // > 2 words per plane
+        for enc in Encoding::ALL {
+            let packed = PackedTermMatrix::from_weights(&q, enc);
+            let planes = BitPlaneMatrix::from_packed(&packed);
+            assert_eq!(planes.reconstruct_codes(), packed.reconstruct_codes(), "{enc}");
+            assert_eq!(planes.rows(), packed.rows());
+            assert_eq!(planes.len(), packed.len());
+            assert_eq!(planes.words_per_row(), 8); // ceil(130/64)=3, padded to 8
+        }
+    }
+
+    #[test]
+    fn plane_count_matches_cheap_estimator() {
+        let q = random_qt(7, 64, 2);
+        for cfg in [TrConfig::new(8, 12), TrConfig::new(8, 4), TrConfig::new(8, 2)] {
+            let packed = PackedTermMatrix::from_weights(&q, cfg.weight_encoding).reveal(&cfg);
+            let planes = BitPlaneMatrix::from_packed(&packed);
+            assert_eq!(as_u64(planes.total_planes()), live_plane_sum(&packed));
+        }
+    }
+
+    #[test]
+    fn aggressive_reveal_drains_planes() {
+        // The thesis the dispatch heuristic rests on: smaller k, fewer
+        // live planes.
+        let q = random_qt(8, 256, 3);
+        let counts: Vec<usize> = [24usize, 12, 4, 2]
+            .iter()
+            .map(|&k| {
+                let cfg = TrConfig::new(8, k);
+                let p = PackedTermMatrix::from_weights(&q, cfg.weight_encoding).reveal(&cfg);
+                BitPlaneMatrix::from_packed(&p).total_planes()
+            })
+            .collect();
+        for w in counts.windows(2) {
+            assert!(w[1] <= w[0], "plane counts should fall with k: {counts:?}");
+        }
+        assert!(counts[counts.len() - 1] < counts[0], "{counts:?}");
+    }
+
+    #[test]
+    fn dot_matches_pair_walk() {
+        let qw = random_qt(1, 200, 4);
+        let qx = random_qt(1, 200, 5);
+        for enc in Encoding::ALL {
+            let pw = PackedTermMatrix::from_weights(&qw, enc);
+            let px = PackedTermMatrix::from_weights(&qx, enc);
+            let bw = BitPlaneMatrix::from_packed(&pw);
+            let bx = BitPlaneMatrix::from_packed(&px);
+            assert_eq!(bitplane_dot(&bw, 0, &bx, 0), term_dot_packed(&pw, 0, &px, 0), "{enc}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_packed_kernel_serial_and_parallel() {
+        // Small (serial) and large-enough (parallel pair-words) shapes.
+        for (m, k, n, seed) in [(3usize, 40usize, 4usize, 6u64), (24, 300, 24, 7)] {
+            let qw = random_qt(m, k, seed);
+            let qx = random_qt(k, n, seed + 100);
+            let cfg = TrConfig::new(8, 12).with_data_terms(3);
+            let pw = PackedTermMatrix::from_weights(&qw, cfg.weight_encoding).reveal(&cfg);
+            let px = PackedTermMatrix::from_data_transposed(&qx, cfg.data_encoding).cap_terms(3);
+            let bw = BitPlaneMatrix::from_packed(&pw);
+            let bx = BitPlaneMatrix::from_packed(&px);
+            assert_eq!(bitplane_matmul_i64(&bw, &bx), packed_term_matmul_i64(&pw, &px));
+        }
+    }
+
+    #[test]
+    fn empty_and_zero_operands_are_well_formed() {
+        let empty = PackedTermMatrix::from_vector(&[], Encoding::Binary);
+        let be = BitPlaneMatrix::from_packed(&empty);
+        assert!(be.is_empty());
+        assert_eq!(be.total_planes(), 0);
+        assert_eq!(bitplane_matmul_i64(&be, &be), vec![0i64]); // 1x0 @ 0x1
+        // All-zero codes: no terms, no planes, zero outputs.
+        let zeros = PackedTermMatrix::from_vector(&[0; 70], Encoding::Hese);
+        let bz = BitPlaneMatrix::from_packed(&zeros);
+        assert_eq!(bz.total_planes(), 0);
+        assert_eq!(bz.reconstruct_codes(), vec![0i64; 70]);
+        assert_eq!(bitplane_matmul_i64(&bz, &bz), vec![0i64]);
+    }
+
+    #[test]
+    fn single_plane_operands_reduce_to_shifted_popcounts() {
+        // All values +8 → exactly one positive plane at exp 3 per row.
+        let q = QTensor::from_codes(
+            vec![8; 64],
+            QuantParams { scale: 1.0, bits: 8 },
+            Shape::d2(1, 64),
+        );
+        let p = PackedTermMatrix::from_weights(&q, Encoding::Hese);
+        let b = BitPlaneMatrix::from_packed(&p);
+        assert_eq!(b.total_planes(), 1);
+        assert_eq!(b.max_row_planes(), 1);
+        // 64 aligned pairs of 8·8 = 64·64.
+        assert_eq!(bitplane_dot(&b, 0, &b, 0), 64 * 64);
+    }
+
+    #[test]
+    fn seal_detects_corruption() {
+        let q = random_qt(3, 20, 9);
+        let p = PackedTermMatrix::from_weights(&q, Encoding::Hese);
+        let mut b = BitPlaneMatrix::from_packed(&p);
+        b.verify_integrity().unwrap();
+        assert_ne!(b.checksum(), 0);
+        b.words[0] ^= 1;
+        assert!(b.verify_integrity().is_err());
+    }
+
+    #[test]
+    fn matmul_rejects_mismatched_reduction_dims() {
+        let a = BitPlaneMatrix::from_packed(&PackedTermMatrix::from_vector(
+            &[1, 2],
+            Encoding::Binary,
+        ));
+        let b = BitPlaneMatrix::from_packed(&PackedTermMatrix::from_vector(
+            &[1, 2, 3],
+            Encoding::Binary,
+        ));
+        assert!(try_bitplane_matmul_i64(&a, &b).is_err());
+    }
+}

@@ -41,6 +41,7 @@
 //! assert!(tw.max_group_terms_for(8) <= 16);
 //! ```
 
+pub mod bitplane;
 pub mod config;
 pub mod error;
 pub mod error_bound;
@@ -51,12 +52,15 @@ pub mod seal;
 pub mod termmatrix;
 pub mod termpairs;
 
+pub use bitplane::{bitplane_dot, bitplane_matmul_i64, try_bitplane_matmul_i64, BitPlaneMatrix};
 pub use config::TrConfig;
 pub use error::TrError;
 pub use error_bound::{dot_product_error_bound, value_sigma, waterline_sigma_bound};
 pub use matmul::{
-    packed_term_matmul_i64, term_dot, term_dot_packed, term_matmul, term_matmul_i64,
-    try_packed_term_matmul_i64, try_term_matmul, try_term_matmul_i64, ACCUMULATOR_BITS,
+    matmul_plan, packed_term_matmul_i64, term_dot, term_dot_packed, term_matmul, term_matmul_i64,
+    try_packed_term_matmul_i64, try_packed_term_matmul_i64_cached,
+    try_packed_term_matmul_i64_planned, try_term_matmul, try_term_matmul_i64, MatmulPlan,
+    ACCUMULATOR_BITS,
 };
 pub use packed::PackedTermMatrix;
 pub use reveal::{

@@ -6,6 +6,7 @@
 //! matmul over the *reconstructed* (post-TR) codes, which is the property
 //! the hardware simulator and the paper-claims tests verify.
 
+use crate::bitplane::{live_plane_sum, try_bitplane_matmul_i64, BitPlaneMatrix};
 use crate::error::TrError;
 use crate::packed::{off_usize, PackedTermMatrix};
 use crate::termmatrix::TermMatrix;
@@ -18,6 +19,67 @@ use tr_obs::{as_u64, Counter};
 /// (model, rung) pair against this constant; narrowing it is how the
 /// negative tests manufacture overflow reports.
 pub const ACCUMULATOR_BITS: u32 = 64;
+
+/// Accumulator addition with the overflow contract spelled out: debug
+/// builds panic with an `ACCUMULATOR_BITS` message the moment a sum
+/// leaves `i64` (an operand tr-analysis should have rejected), release
+/// builds wrap explicitly — never the silent wrap of an unchecked `+`,
+/// and exactly the modulo-2⁶⁴ semantics under which every kernel in this
+/// module is bit-identical to every other regardless of summation order.
+#[inline]
+pub(crate) fn acc_add(acc: i64, v: i64) -> i64 {
+    #[cfg(debug_assertions)]
+    {
+        acc.checked_add(v).unwrap_or_else(|| {
+            panic!(
+                "i64 accumulator overflow: {acc} + {v} exceeds ACCUMULATOR_BITS = \
+                 {ACCUMULATOR_BITS} (tr-analysis must reject such a rung before it runs)"
+            )
+        })
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        acc.wrapping_add(v)
+    }
+}
+
+/// Code-plane product under the same contract as [`acc_add`]: checked in
+/// debug, explicitly wrapping in release.
+#[inline]
+pub(crate) fn acc_mul(a: i64, b: i64) -> i64 {
+    #[cfg(debug_assertions)]
+    {
+        a.checked_mul(b).unwrap_or_else(|| {
+            panic!(
+                "i64 product overflow: {a} * {b} exceeds ACCUMULATOR_BITS = \
+                 {ACCUMULATOR_BITS} (tr-analysis must reject such a rung before it runs)"
+            )
+        })
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        a.wrapping_mul(b)
+    }
+}
+
+/// Shift `v` left by a term exponent. Debug builds assert the shifted
+/// value survives (`checked_mul` by the power of two); release builds use
+/// `wrapping_shl` — the exponent masked modulo 64, matching what the `<<`
+/// the pair walk historically used compiles to.
+#[inline]
+pub(crate) fn shl_exp(v: i64, exp: u8) -> i64 {
+    #[cfg(debug_assertions)]
+    {
+        assert!(exp < 63, "term exponent {exp} shifts past ACCUMULATOR_BITS = {ACCUMULATOR_BITS}");
+        v.checked_mul(1i64 << exp).unwrap_or_else(|| {
+            panic!("i64 shift overflow: {v} << {exp} exceeds ACCUMULATOR_BITS = {ACCUMULATOR_BITS}")
+        })
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        v.wrapping_shl(u32::from(exp))
+    }
+}
 
 /// Term-pair matmul invocations.
 static MATMUL_CALLS: Counter = Counter::new("core.matmul.calls");
@@ -37,7 +99,7 @@ pub fn term_dot(w: &[TermExpr], x: &[TermExpr]) -> i64 {
         for wt in we.iter() {
             for xt in xe.iter() {
                 let p = wt.mul(*xt);
-                acc += p.value();
+                acc = acc_add(acc, p.value());
             }
         }
     }
@@ -89,6 +151,99 @@ const ROW_TILE: usize = 4;
 /// scoped threads per call (tens of microseconds), which would dominate
 /// the small matmuls the serve and bench quick paths issue.
 const PAR_MIN_MACS: u64 = 1 << 16;
+/// Operand-prep weight in the parallel-dispatch threshold. Reconstructing
+/// the code planes is a serial `O(total terms)` prefix every worker waits
+/// behind; if the dense MAC body is not at least this many times that
+/// prefix, fan-out buys nothing and the spawn overhead is pure loss — the
+/// PR 8 small-host lesson (quick-mode serve shapes crossed `PAR_MIN_MACS`
+/// on raw MACs alone and paid thread spawns for a sub-spawn-sized body).
+const PAR_PREP_FACTOR: u64 = 4;
+/// The popcount kernel is only considered at reductions at least this
+/// long: below it a plane is a word or two and the dense row walk is
+/// already effectively free.
+const BITPLANE_MIN_K: usize = 128;
+/// ... and on matmuls at least this large, so the two `O(total terms)`
+/// decomposition passes amortize.
+const BITPLANE_MIN_MACS: u64 = 1 << 20;
+/// Live-plane-pair budget: the bit-plane kernel wins when the *average*
+/// live plane-pair product per output cell is at most this. One plane
+/// pair costs one AND+popcount per 64 elements versus the dense kernel's
+/// one multiply-add per element; with the 512-bit popcount row kernel
+/// the measured break-even on the bench's paper shape (256×1152×196) sits
+/// near 150 pairs per output — see BENCH_PR9.json's `bitplane` section.
+/// The budget is set below that so hosts without AVX512-VPOPCNTDQ (whose
+/// crossover is lower) still come out ahead.
+const BITPLANE_PAIR_BUDGET: u128 = 96;
+
+/// How [`try_packed_term_matmul_i64`] will execute a given operand pair.
+///
+/// Public so callers with cost models of their own (benches, tests, the
+/// serve capacity planner) can interrogate — or force, via
+/// [`try_packed_term_matmul_i64_planned`] — the dispatch decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatmulPlan {
+    /// Reconstruct code planes, dense matmul, single thread.
+    SerialCodePlane,
+    /// Reconstruct code planes, dense matmul, rayon row tiles.
+    ParallelCodePlane,
+    /// Decompose into sign-split exponent bit-planes and run the
+    /// popcount kernel (which parallelizes internally by the same
+    /// pair-words threshold).
+    BitPlane,
+}
+
+impl MatmulPlan {
+    /// Stable label for tables and counters.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MatmulPlan::SerialCodePlane => "serial",
+            MatmulPlan::ParallelCodePlane => "parallel",
+            MatmulPlan::BitPlane => "bitplane",
+        }
+    }
+}
+
+/// Choose the kernel for `W @ X` from shape *and* live plane count.
+///
+/// Two decisions, both cost-model driven:
+///
+/// * **bit-plane vs code-plane** — the popcount kernel's cost is the live
+///   plane-pair product per output (measured exactly by a cheap
+///   `O(total terms)` scan), the dense kernel's is the reduction length;
+///   bit-planes win only when TR has actually drained the planes, which
+///   is the α/k-aggressiveness knob of the paper.
+/// * **parallel vs serial** — raw MACs must clear `PAR_MIN_MACS` *and*
+///   dominate the serial reconstruction prefix by `PAR_PREP_FACTOR`, and
+///   there must be at least two row tiles to hand out.
+#[must_use]
+pub fn matmul_plan(w: &PackedTermMatrix, x: &PackedTermMatrix) -> MatmulPlan {
+    let (m, n, k) = (w.rows(), x.rows(), w.len());
+    let macs = as_u64(m).saturating_mul(as_u64(n)).saturating_mul(as_u64(k));
+    if m == 0 || n == 0 || k == 0 {
+        return MatmulPlan::SerialCodePlane;
+    }
+    if k >= BITPLANE_MIN_K && macs >= BITPLANE_MIN_MACS {
+        let pw = live_plane_sum(w);
+        let px = live_plane_sum(x);
+        // Σ_i Σ_j p_w(i)·p_x(j) = (Σ p_w)(Σ p_x); average per output cell
+        // against the budget, kept in integers via cross-multiplication.
+        let pair_sum = u128::from(pw) * u128::from(px);
+        let cells = u128::from(as_u64(m)) * u128::from(as_u64(n));
+        if pair_sum <= BITPLANE_PAIR_BUDGET * cells {
+            return MatmulPlan::BitPlane;
+        }
+    }
+    let prep = as_u64(w.total_terms()).saturating_add(as_u64(x.total_terms()));
+    if macs > PAR_MIN_MACS
+        && macs >= PAR_PREP_FACTOR.saturating_mul(prep)
+        && m >= 2 * ROW_TILE
+    {
+        MatmulPlan::ParallelCodePlane
+    } else {
+        MatmulPlan::SerialCodePlane
+    }
+}
 
 /// Term-pair dot product of elements `c0..c1` of packed rows `wr` / `xr`.
 ///
@@ -117,10 +272,10 @@ fn packed_dot_range(
         for (dw, &wexp) in wexps[ws..we].iter().enumerate() {
             // ±2^exp of the weight term; shifting it by the data exponent
             // and conditionally negating reproduces `Term::mul().value()`.
-            let wv = if w.sign(ws + dw) { -1i64 } else { 1i64 } << wexp;
+            let wv = shl_exp(if w.sign(ws + dw) { -1i64 } else { 1i64 }, wexp);
             for (dx, &xexp) in xexps[xs..xe].iter().enumerate() {
-                let p = wv << xexp;
-                acc += if x.sign(xs + dx) { -p } else { p };
+                let p = shl_exp(wv, xexp);
+                acc = acc_add(acc, if x.sign(xs + dx) { p.wrapping_neg() } else { p });
             }
         }
         ws = we;
@@ -161,10 +316,75 @@ pub fn packed_term_matmul_i64(w: &PackedTermMatrix, x: &PackedTermMatrix) -> Vec
     }
 }
 
-/// Fallible [`packed_term_matmul_i64`].
+/// Fallible [`packed_term_matmul_i64`]: plans with [`matmul_plan`] and
+/// executes.
 pub fn try_packed_term_matmul_i64(
     w: &PackedTermMatrix,
     x: &PackedTermMatrix,
+) -> Result<Vec<i64>, TrError> {
+    try_packed_term_matmul_i64_cached(w, None, x, None)
+}
+
+/// [`try_packed_term_matmul_i64`] with optional pre-built bit-plane
+/// decompositions. When the plan lands on the popcount kernel, a provided
+/// decomposition is used as-is and only the missing side is built — this
+/// is how the serve `PreparedWeights` cache amortizes the weight-side
+/// decomposition across every batch of a rung. A provided decomposition
+/// **must** have been built (by [`BitPlaneMatrix::from_packed`]) from the
+/// matching packed operand; the prepared-weights content seal upholds
+/// that invariant for cached entries.
+///
+/// # Errors
+/// [`TrError::ShapeMismatch`] when the reduction dimensions differ.
+pub fn try_packed_term_matmul_i64_cached(
+    w: &PackedTermMatrix,
+    w_planes: Option<&BitPlaneMatrix>,
+    x: &PackedTermMatrix,
+    x_planes: Option<&BitPlaneMatrix>,
+) -> Result<Vec<i64>, TrError> {
+    match matmul_plan(w, x) {
+        MatmulPlan::BitPlane => {
+            if w.len() != x.len() {
+                return Err(TrError::ShapeMismatch(format!(
+                    "reduction dims differ: {} vs {}",
+                    w.len(),
+                    x.len()
+                )));
+            }
+            record_matmul(w.rows(), x.rows());
+            let built_w;
+            let wp = match w_planes {
+                Some(p) => p,
+                None => {
+                    built_w = BitPlaneMatrix::from_packed(w);
+                    &built_w
+                }
+            };
+            let built_x;
+            let xp = match x_planes {
+                Some(p) => p,
+                None => {
+                    built_x = BitPlaneMatrix::from_packed(x);
+                    &built_x
+                }
+            };
+            try_bitplane_matmul_i64(wp, xp)
+        }
+        plan => try_packed_term_matmul_i64_planned(w, x, plan),
+    }
+}
+
+/// [`try_packed_term_matmul_i64`] with the dispatch decision forced —
+/// the harness the benches and parity tests use to pit the kernels
+/// against each other on identical operands. Production callers should
+/// let [`matmul_plan`] decide.
+///
+/// # Errors
+/// [`TrError::ShapeMismatch`] when the reduction dimensions differ.
+pub fn try_packed_term_matmul_i64_planned(
+    w: &PackedTermMatrix,
+    x: &PackedTermMatrix,
+    plan: MatmulPlan,
 ) -> Result<Vec<i64>, TrError> {
     if w.len() != x.len() {
         return Err(TrError::ShapeMismatch(format!(
@@ -174,10 +394,13 @@ pub fn try_packed_term_matmul_i64(
         )));
     }
     let (m, n, k) = (w.rows(), x.rows(), w.len());
+    record_matmul(m, n);
+    if let MatmulPlan::BitPlane = plan {
+        let wp = BitPlaneMatrix::from_packed(w);
+        let xp = BitPlaneMatrix::from_packed(x);
+        return try_bitplane_matmul_i64(&wp, &xp);
+    }
     let _span = tr_obs::span("core.term_matmul");
-    MATMUL_CALLS.inc();
-    MATMUL_ROWS.add(as_u64(m));
-    MATMUL_CELLS.add(as_u64(m).saturating_mul(as_u64(n)));
     let mut out = vec![0i64; m * n];
     if m * n == 0 || k == 0 {
         return Ok(out);
@@ -186,19 +409,25 @@ pub fn try_packed_term_matmul_i64(
     // plane each dense row below reads contiguously.
     let wcodes = w.reconstruct_codes();
     let xcodes = x.reconstruct_codes();
-    let macs = as_u64(m).saturating_mul(as_u64(n)).saturating_mul(as_u64(k));
-    if macs <= PAR_MIN_MACS {
-        for (i, orow) in out.chunks_mut(n).enumerate() {
-            code_row(&wcodes, &xcodes, i, orow, k);
-        }
-    } else {
+    if let MatmulPlan::ParallelCodePlane = plan {
         out.par_chunks_mut(ROW_TILE * n).enumerate().for_each(|(t, block)| {
             for (r, orow) in block.chunks_mut(n).enumerate() {
                 code_row(&wcodes, &xcodes, t * ROW_TILE + r, orow, k);
             }
         });
+    } else {
+        for (i, orow) in out.chunks_mut(n).enumerate() {
+            code_row(&wcodes, &xcodes, i, orow, k);
+        }
     }
     Ok(out)
+}
+
+#[inline]
+fn record_matmul(m: usize, n: usize) {
+    MATMUL_CALLS.inc();
+    MATMUL_ROWS.add(as_u64(m));
+    MATMUL_CELLS.add(as_u64(m).saturating_mul(as_u64(n)));
 }
 
 /// One output row of the dense code-plane matmul: both operands are
@@ -208,7 +437,7 @@ fn code_row(wcodes: &[i64], xcodes: &[i64], i: usize, orow: &mut [i64], k: usize
     let wrow = &wcodes[i * k..(i + 1) * k];
     for (j, o) in orow.iter_mut().enumerate() {
         let xrow = &xcodes[j * k..(j + 1) * k];
-        *o = wrow.iter().zip(xrow).map(|(&a, &b)| a * b).sum();
+        *o = wrow.iter().zip(xrow).fold(0i64, |acc, (&a, &b)| acc_add(acc, acc_mul(a, b)));
     }
 }
 
@@ -360,6 +589,66 @@ mod tests {
         let x = TermMatrix::from_data_transposed(&qx, Encoding::Hese).cap_terms(3);
         let got = packed_term_matmul_i64(&w.to_packed(), &x.to_packed());
         assert_eq!(got, term_matmul_i64(&w, &x));
+    }
+
+    #[test]
+    fn serve_quick_shapes_stay_serial() {
+        // Regression for the PR 8 small-host lesson: the quick-mode serve
+        // MLP issues batch-4 matmuls like (out 256, in 128) x (batch 4) —
+        // 131072 raw MACs, over the old `PAR_MIN_MACS` bar, yet the dense
+        // body is only ~2x the serial reconstruction prefix. Fanning that
+        // out pays a scoped-thread spawn per call for no win; the plan
+        // must keep it serial now that prep cost is folded in.
+        let qw = quantized(256, 128, 30);
+        let qx = quantized(128, 4, 31);
+        let cfg = TrConfig::new(8, 12).with_data_terms(3);
+        let w = PackedTermMatrix::from_weights(&qw, Encoding::Hese).reveal(&cfg);
+        let x = PackedTermMatrix::from_data_transposed(&qx, Encoding::Hese).cap_terms(3);
+        let macs = (w.rows() * x.rows() * w.len()) as u64;
+        assert!(macs > super::PAR_MIN_MACS, "shape no longer covers the regression");
+        assert_eq!(matmul_plan(&w, &x), MatmulPlan::SerialCodePlane);
+        // A batch wide enough for the MAC body to dominate prep again
+        // goes (or stays) non-serial.
+        let qx_big = quantized(128, 96, 32);
+        let x_big = PackedTermMatrix::from_data_transposed(&qx_big, Encoding::Hese).cap_terms(3);
+        assert_ne!(matmul_plan(&w, &x_big), MatmulPlan::SerialCodePlane);
+    }
+
+    #[test]
+    fn plan_picks_bitplane_only_when_planes_are_drained() {
+        // Paper-sized reduction. At a generous budget the live plane-pair
+        // product is far over budget (bit-planes would lose); an
+        // aggressive rung drains the planes and flips the plan.
+        let qw = quantized(64, 1152, 33);
+        let qx = quantized(1152, 32, 34);
+        let loose = TrConfig::new(8, 16).with_data_terms(3);
+        let wl = PackedTermMatrix::from_weights(&qw, loose.weight_encoding).reveal(&loose);
+        let xl = PackedTermMatrix::from_data_transposed(&qx, loose.data_encoding).cap_terms(3);
+        assert_eq!(matmul_plan(&wl, &xl), MatmulPlan::ParallelCodePlane);
+        let tight = TrConfig::new(8, 2).with_data_terms(1);
+        let wt = PackedTermMatrix::from_weights(&qw, tight.weight_encoding).reveal(&tight);
+        let xt = PackedTermMatrix::from_data_transposed(&qx, tight.data_encoding)
+            .reveal(&TrConfig::new(8, 4))
+            .cap_terms(1);
+        assert_eq!(matmul_plan(&wt, &xt), MatmulPlan::BitPlane);
+        // Whatever the plan, all three kernels agree bit-for-bit.
+        let auto = packed_term_matmul_i64(&wt, &xt);
+        for plan in [MatmulPlan::SerialCodePlane, MatmulPlan::ParallelCodePlane, MatmulPlan::BitPlane] {
+            let forced = try_packed_term_matmul_i64_planned(&wt, &xt, plan).unwrap();
+            assert_eq!(forced, auto, "{}", plan.name());
+        }
+    }
+
+    #[test]
+    fn cached_planes_match_freshly_built_ones() {
+        let qw = quantized(48, 256, 35);
+        let qx = quantized(256, 48, 36);
+        let cfg = TrConfig::new(8, 2).with_data_terms(1);
+        let w = PackedTermMatrix::from_weights(&qw, cfg.weight_encoding).reveal(&cfg);
+        let x = PackedTermMatrix::from_data_transposed(&qx, cfg.data_encoding).cap_terms(1);
+        let wp = crate::bitplane::BitPlaneMatrix::from_packed(&w);
+        let cached = try_packed_term_matmul_i64_cached(&w, Some(&wp), &x, None).unwrap();
+        assert_eq!(cached, try_packed_term_matmul_i64(&w, &x).unwrap());
     }
 
     #[test]

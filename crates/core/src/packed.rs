@@ -172,7 +172,7 @@ impl PackedTermMatrix {
     #[inline]
     fn push_term(&mut self, exp: u8, neg: bool) {
         let i = self.exps.len();
-        if i % 64 == 0 {
+        if i.is_multiple_of(64) {
             self.signs.push(0);
         }
         if neg {
@@ -339,12 +339,27 @@ impl PackedTermMatrix {
     }
 
     /// Reconstruct the integer codes the kept terms represent (row-major).
+    ///
+    /// A true single flat pass over the offsets/exps/signs planes — the
+    /// term cursor advances monotonically and each sign bit is read from
+    /// the word it lives in, never through per-cell
+    /// [`PackedTermMatrix::value`] calls (which re-derive element bounds
+    /// and re-index the sign bitset per term). This is the pass the
+    /// `packed_term_matmul_i64` docs promise, and the same walk
+    /// [`BitPlaneMatrix::from_packed`](crate::BitPlaneMatrix::from_packed)
+    /// fans out into bit-planes.
     pub fn reconstruct_codes(&self) -> Vec<i64> {
         let mut out = Vec::with_capacity(self.rows * self.len);
-        for r in 0..self.rows {
-            for c in 0..self.len {
-                out.push(self.value(r, c));
+        let mut t = 0usize;
+        for w in self.offsets.windows(2) {
+            let end = off_usize(w[1]);
+            let mut acc = 0i64;
+            while t < end {
+                let mag = crate::matmul::shl_exp(1, self.exps[t]);
+                acc = crate::matmul::acc_add(acc, if self.sign(t) { mag.wrapping_neg() } else { mag });
+                t += 1;
             }
+            out.push(acc);
         }
         out
     }

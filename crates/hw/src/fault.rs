@@ -135,7 +135,7 @@ impl Mitigation {
     }
 
     fn validate(&self) -> Result<(), TrError> {
-        if self.voting_replicas == 0 || self.voting_replicas % 2 == 0 {
+        if self.voting_replicas == 0 || self.voting_replicas.is_multiple_of(2) {
             return Err(TrError::InvalidFaultConfig(format!(
                 "voting replicas must be odd and positive (got {})",
                 self.voting_replicas

@@ -108,6 +108,17 @@ pub fn enable_pair_counting(model: &mut dyn Layer, on: bool) {
     model.visit_quant_sites(&mut |site| site.fq.count_pairs = on);
 }
 
+/// Toggle bit-true integer execution at every site: layers with an
+/// integer kernel (currently `Linear`) run their forward over the packed
+/// term planes / bit-planes instead of the float-simulated
+/// reconstruction. Sites without the needed state (float precision, not
+/// yet calibrated) fall back to the float path silently, and precision
+/// switches via [`apply_precision_prepared`] leave the flag untouched —
+/// so a serving engine can set it once and flip rungs freely.
+pub fn set_integer_exec(model: &mut dyn Layer, on: bool) {
+    model.visit_quant_sites(&mut |site| site.fq.exec_integer = on);
+}
+
 /// Zero the accumulated pair counts.
 pub fn reset_pair_counting(model: &mut dyn Layer) {
     model.visit_quant_sites(&mut |site| site.fq.pairs = PairCounts::default());
@@ -426,6 +437,33 @@ mod tests {
         let acc_here = correct as f64 / n as f64;
         let acc_full = eval_accuracy_on(&mut model, &x, &ds.test.y[..n], 64, &mut rng);
         assert!((acc_here - acc_full).abs() < 1e-9, "{acc_here} vs {acc_full}");
+    }
+
+    #[test]
+    fn integer_exec_matches_float_simulation_end_to_end() {
+        let mut rng = Rng::seed_from_u64(7);
+        let (mut model, ds) = trained_mlp(&mut rng);
+        let calib = ds.train.x.slice_batch(0, 64);
+        calibrate_model(&mut model, &calib, 8, &mut rng);
+        let cfg = TrConfig::new(8, 4).with_data_terms(2);
+        apply_precision(&mut model, &Precision::Tr(cfg));
+        let x = ds.test.x.slice_batch(0, 16);
+        let sim = forward_logits(&mut model, &x, &mut rng);
+        set_integer_exec(&mut model, true);
+        let bit_true = forward_logits(&mut model, &x, &mut rng);
+        // Same real-valued product, different rounding points: the
+        // integer path rounds once per output, the simulation per f32 op.
+        assert!(sim.rel_l2(&bit_true) < 1e-4, "rel {}", sim.rel_l2(&bit_true));
+        // Precision flips leave the flag alone (the serve rung-switch
+        // contract): prepared installs don't touch exec_integer.
+        let prepared = prepare_model_precision(&mut model, &Precision::Tr(cfg));
+        apply_precision_prepared(&mut model, &Precision::Tr(cfg), &prepared);
+        let mut still_on = false;
+        model.visit_quant_sites(&mut |site| still_on |= site.fq.exec_integer);
+        assert!(still_on);
+        set_integer_exec(&mut model, false);
+        let off = forward_logits(&mut model, &x, &mut rng);
+        assert_eq!(off, sim);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 use tr_core::seal::{fnv1a_word, mix, FNV_OFFSET};
-use tr_core::{term_pairs_total_packed, PackedTermMatrix, TrConfig};
+use tr_core::{term_pairs_total_packed, BitPlaneMatrix, PackedTermMatrix, TrConfig};
 use tr_encoding::Encoding;
 use tr_quant::{calibrate_max_abs, quantize, truncate_terms, QuantParams};
 use tr_tensor::Tensor;
@@ -140,12 +140,21 @@ pub struct FakeQuant {
     pub weight_params: Option<QuantParams>,
     /// Packed weight term planes (post-TR) cached for pair counting.
     pub weight_terms: Option<Arc<PackedTermMatrix>>,
+    /// Bit-plane decomposition of `weight_terms`, pre-built for the
+    /// integer popcount forward so rung switches never pay the
+    /// decomposition on the request path.
+    pub weight_planes: Option<Arc<BitPlaneMatrix>>,
     /// Per-value weight term bound (for the QT bound accounting).
     pub weight_term_bound: usize,
     /// Per-value data term bound.
     pub data_term_bound: usize,
     /// TR config in effect, if mode is TR (for group bounds).
     pub tr_config: Option<TrConfig>,
+    /// When true, layers with an integer kernel (currently `Linear`)
+    /// execute bit-true over packed terms / bit-planes instead of the
+    /// float-simulated reconstruction. Orthogonal to the installed
+    /// precision: rung switches via `install_prepared` leave it alone.
+    pub exec_integer: bool,
     /// When true, forwards accumulate into `pairs`.
     pub count_pairs: bool,
     /// Accumulated pair counts.
@@ -225,6 +234,7 @@ impl FakeQuant {
         self.qweight = p.qweight.clone();
         self.weight_params = p.weight_params;
         self.weight_terms = p.weight_terms.clone();
+        self.weight_planes = p.weight_planes.clone();
         self.weight_term_bound = p.weight_term_bound;
         self.data_term_bound = p.data_term_bound;
         self.tr_config = p.tr_config;
@@ -279,6 +289,10 @@ pub struct PreparedWeights {
     pub weight_params: Option<QuantParams>,
     /// Packed weight term planes (post-TR) for pair counting.
     pub weight_terms: Option<Arc<PackedTermMatrix>>,
+    /// Bit-plane decomposition of `weight_terms`, built for TR rungs
+    /// (where the popcount kernel can win) so the serve cache hands the
+    /// integer forward its weight-side operand for free.
+    pub weight_planes: Option<Arc<BitPlaneMatrix>>,
     /// Per-value weight term bound (for the QT bound accounting).
     pub weight_term_bound: usize,
     /// Per-value data term bound.
@@ -323,6 +337,9 @@ impl PreparedWeights {
         if let Some(t) = &self.weight_terms {
             eat_word(t.checksum());
         }
+        if let Some(p) = &self.weight_planes {
+            eat_word(p.checksum());
+        }
         eat_word(self.weight_term_bound as u64);
         eat_word(self.data_term_bound as u64);
         if let Some(cfg) = &self.tr_config {
@@ -354,6 +371,9 @@ impl PreparedWeights {
     pub fn verify_integrity(&self) -> Result<(), tr_core::TrError> {
         if let Some(t) = &self.weight_terms {
             t.verify_integrity()?;
+        }
+        if let Some(p) = &self.weight_planes {
+            p.verify_integrity()?;
         }
         let actual = self.content_checksum();
         if actual == self.checksum {
@@ -408,6 +428,9 @@ pub fn prepare_weights(w: &Tensor, precision: &Precision) -> PreparedWeights {
                 qweight: Some(Arc::new(q.dequantize())),
                 weight_params: Some(params),
                 weight_terms: Some(Arc::new(PackedTermMatrix::from_weights(&q, Encoding::Binary))),
+                // Dense QT keeps every plane live; the popcount kernel
+                // can never win there, so skip the decomposition.
+                weight_planes: None,
                 weight_term_bound: params.max_terms(),
                 data_term_bound: *act_bits as usize - 1,
                 tr_config: None,
@@ -418,10 +441,15 @@ pub fn prepare_weights(w: &Tensor, precision: &Precision) -> PreparedWeights {
             let params = calibrate_max_abs(w, 8);
             let q = quantize(w, params);
             let truncated = truncate_terms(*encoding, &q, *weight_terms);
+            let tm = PackedTermMatrix::from_weights(&truncated, *encoding);
+            // Per-value truncation drains planes like TR does, so the
+            // popcount operand is worth caching here too.
+            let planes = BitPlaneMatrix::from_packed(&tm);
             PreparedWeights {
                 qweight: Some(Arc::new(truncated.dequantize())),
                 weight_params: Some(params),
-                weight_terms: Some(Arc::new(PackedTermMatrix::from_weights(&truncated, *encoding))),
+                weight_terms: Some(Arc::new(tm)),
+                weight_planes: Some(Arc::new(planes)),
                 weight_term_bound: *weight_terms,
                 data_term_bound: data_terms.unwrap_or(7),
                 tr_config: None,
@@ -435,10 +463,12 @@ pub fn prepare_weights(w: &Tensor, precision: &Precision) -> PreparedWeights {
             let tm = PackedTermMatrix::from_weights(&q, cfg.weight_encoding).reveal(cfg);
             let codes = tm.reconstruct_codes();
             let data: Vec<f32> = codes.iter().map(|&c| c as f32 * params.scale).collect();
+            let planes = BitPlaneMatrix::from_packed(&tm);
             PreparedWeights {
                 qweight: Some(Arc::new(Tensor::from_vec(data, w.shape().clone()))),
                 weight_params: Some(params),
                 weight_terms: Some(Arc::new(tm)),
+                weight_planes: Some(Arc::new(planes)),
                 weight_term_bound: cfg.group_budget, // per-group, see bound math
                 data_term_bound: cfg.data_terms.unwrap_or(7),
                 tr_config: Some(*cfg),
@@ -553,6 +583,7 @@ mod tests {
             cached.install_prepared(&prepared);
             assert_eq!(direct.qweight, cached.qweight, "{}", precision.label());
             assert_eq!(direct.weight_terms, cached.weight_terms, "{}", precision.label());
+            assert_eq!(direct.weight_planes, cached.weight_planes, "{}", precision.label());
             assert_eq!(direct.weight_params, cached.weight_params);
             assert_eq!(direct.weight_term_bound, cached.weight_term_bound);
             assert_eq!(direct.data_term_bound, cached.data_term_bound);

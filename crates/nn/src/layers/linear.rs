@@ -71,6 +71,46 @@ impl Linear {
         let n = x.shape().dim(0) as u64;
         self.fq.count_matmul(&dm, n);
     }
+
+    /// Bit-true integer forward over the packed/bit-plane kernels.
+    ///
+    /// Recovers the quantized input codes from the already-transformed
+    /// `xq` (exact — `transform_input` emits `code · scale`), packs them,
+    /// and multiplies against the cached weight term planes with
+    /// [`tr_core::try_packed_term_matmul_i64_cached`], which dispatches
+    /// to the popcount kernel when the rung has drained enough planes
+    /// and reuses the prepared weight-side [`tr_core::BitPlaneMatrix`].
+    /// The exact `i64` dot products are rescaled by the two quantizer
+    /// scales, so the only float rounding is one multiply per output —
+    /// the same arithmetic the paper's tMAC array performs.
+    ///
+    /// `None` when the site lacks integer state (float mode, calibrating,
+    /// no packed weights): the caller falls back to the float-simulated
+    /// path.
+    fn integer_forward(&self, xq: &Tensor) -> Option<Tensor> {
+        if !self.fq.exec_integer || self.fq.calibrating {
+            return None;
+        }
+        let act = self.fq.act_params?;
+        let wp = self.fq.weight_params?;
+        let wt = self.fq.weight_terms.as_deref()?;
+        let act = QuantParams { scale: act.scale.max(f32::MIN_POSITIVE), bits: act.bits };
+        let enc = self.fq.act_cap.map_or(tr_encoding::Encoding::Hese, |(e, _)| e);
+        let batch = xq.shape().dim(0);
+        let codes: Vec<i32> = xq.data().iter().map(|&v| act.code(v)).collect();
+        let q = QTensor::from_codes(codes, act, Shape::d2(batch, self.in_features));
+        let data = PackedTermMatrix::from_weights(&q, enc);
+        let y = tr_core::try_packed_term_matmul_i64_cached(
+            &data,
+            None,
+            wt,
+            self.fq.weight_planes.as_deref(),
+        )
+        .ok()?;
+        let scale = act.scale * wp.scale;
+        let out: Vec<f32> = y.iter().map(|&v| v as f32 * scale).collect();
+        Some(Tensor::from_vec(out, Shape::d2(batch, self.out_features)))
+    }
 }
 
 impl Layer for Linear {
@@ -92,8 +132,10 @@ impl Layer for Linear {
         if ctx.train {
             self.cached_input = Some(xq.clone());
         }
-        let w = self.fq.effective_weight(&self.weight.value);
-        let mut y = xq.matmul_transb(w);
+        let mut y = match self.integer_forward(&xq) {
+            Some(y) => y,
+            None => xq.matmul_transb(self.fq.effective_weight(&self.weight.value)),
+        };
         let b = self.bias.value.data();
         for row in 0..y.shape().dim(0) {
             for (o, &bv) in y.row_mut(row).iter_mut().zip(b) {
@@ -201,6 +243,73 @@ mod tests {
         let mut ctx = ForwardCtx::eval(&mut rng);
         let y = layer.forward(&x, &mut ctx);
         assert_eq!(y.data(), &[1.5, -0.5]);
+    }
+
+    /// The integer forward must be *exactly* the packed i64 matmul
+    /// rescaled — same codes, same kernel, one float multiply at the end.
+    #[test]
+    fn integer_forward_is_the_scaled_packed_matmul() {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut layer = Linear::new(32, 8, &mut rng);
+        let cfg = tr_core::TrConfig::new(8, 4).with_data_terms(2);
+        let precision = crate::fake_quant::Precision::Tr(cfg);
+        layer.fq.install_weights(&layer.weight.value.clone(), &precision);
+        layer.fq.install_act_cap(&precision);
+        layer.fq.act_params = Some(QuantParams { scale: 0.05, bits: 8 });
+        layer.fq.exec_integer = true;
+        layer.bias.value.data_mut().iter_mut().enumerate().for_each(|(i, b)| *b = i as f32);
+
+        let x = Tensor::randn(Shape::d2(4, 32), 1.0, &mut rng);
+        let mut ctx = ForwardCtx::eval(&mut rng);
+        let y = layer.forward(&x, &mut ctx);
+
+        // Reference: transform the input the same way, pack, multiply.
+        let act = layer.fq.act_params.unwrap();
+        let xq = layer.fq.clone().transform_input(&x);
+        let codes: Vec<i32> = xq.data().iter().map(|&v| act.code(v)).collect();
+        let q = QTensor::from_codes(codes, act, Shape::d2(4, 32));
+        let enc = layer.fq.act_cap.unwrap().0;
+        let data = PackedTermMatrix::from_weights(&q, enc);
+        let wt = layer.fq.weight_terms.as_ref().unwrap();
+        let exact = tr_core::packed_term_matmul_i64(&data, wt);
+        let scale = act.scale * layer.fq.weight_params.unwrap().scale;
+        for (r, chunk) in exact.chunks(8).enumerate() {
+            for (c, &v) in chunk.iter().enumerate() {
+                let expect = v as f32 * scale + c as f32; // + bias
+                assert_eq!(y.data()[r * 8 + c], expect, "cell ({r},{c})");
+            }
+        }
+    }
+
+    /// Flipping integer execution on must not change results beyond f32
+    /// rounding: both paths compute the same real-valued product.
+    #[test]
+    fn integer_forward_tracks_the_float_simulation() {
+        let mut rng = Rng::seed_from_u64(12);
+        let mut layer = Linear::new(64, 16, &mut rng);
+        let cfg = tr_core::TrConfig::new(8, 8).with_data_terms(3);
+        let precision = crate::fake_quant::Precision::Tr(cfg);
+        layer.fq.install_weights(&layer.weight.value.clone(), &precision);
+        layer.fq.install_act_cap(&precision);
+        layer.fq.act_params = Some(QuantParams { scale: 0.02, bits: 8 });
+        let x = Tensor::randn(Shape::d2(5, 64), 1.0, &mut rng);
+
+        let mut ctx = ForwardCtx::eval(&mut rng);
+        let y_float = layer.forward(&x, &mut ctx);
+        layer.fq.exec_integer = true;
+        let mut ctx = ForwardCtx::eval(&mut rng);
+        let y_int = layer.forward(&x, &mut ctx);
+        assert!(y_float.rel_l2(&y_int) < 1e-5, "rel {}", y_float.rel_l2(&y_int));
+        // Float mode ignores the flag: identical output, no integer state.
+        let mut plain = Linear::new(8, 4, &mut rng);
+        plain.fq.exec_integer = true;
+        let xs = Tensor::randn(Shape::d2(2, 8), 1.0, &mut rng);
+        let mut ctx = ForwardCtx::eval(&mut rng);
+        let a = plain.forward(&xs, &mut ctx);
+        plain.fq.exec_integer = false;
+        let mut ctx = ForwardCtx::eval(&mut rng);
+        let b = plain.forward(&xs, &mut ctx);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -231,6 +231,14 @@ impl Snapshot {
         self.counters.iter().find(|c| c.name == name).map_or(0, |c| c.value)
     }
 
+    /// All counters whose name starts with `prefix`, in registry (name)
+    /// order. Useful for pulling a whole subsystem's counters (e.g.
+    /// `core.bitplane.`) into a report without naming each one.
+    #[must_use]
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<&CounterSnapshot> {
+        self.counters.iter().filter(|c| c.name.starts_with(prefix)).collect()
+    }
+
     /// A named histogram's snapshot, if it was touched.
     #[must_use]
     pub fn histogram(&self, name: &str) -> Option<&HistSnapshot> {
@@ -315,5 +323,22 @@ mod tests {
         assert!(snap.span("missing").is_none());
         let j = snap.to_json().to_string();
         assert!(j.contains("\"a.b\":3"), "{j}");
+    }
+
+    #[test]
+    fn prefix_filter_selects_a_subsystem() {
+        let snap = Snapshot {
+            counters: vec![
+                CounterSnapshot { name: "core.bitplane.builds".into(), value: 2 },
+                CounterSnapshot { name: "core.bitplane.pairs".into(), value: 9 },
+                CounterSnapshot { name: "core.matmul.calls".into(), value: 1 },
+            ],
+            histograms: Vec::new(),
+            spans: Vec::new(),
+        };
+        let hits = snap.counters_with_prefix("core.bitplane.");
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|c| c.name.starts_with("core.bitplane.")));
+        assert!(snap.counters_with_prefix("nope.").is_empty());
     }
 }

@@ -92,7 +92,7 @@ impl CircuitBreaker {
             BreakerState::Open => {
                 let due = self
                     .opened_at
-                    .map_or(true, |t| now.duration_since(t) >= self.cfg.cooldown);
+                    .is_none_or(|t| now.duration_since(t) >= self.cfg.cooldown);
                 if due {
                     self.state = BreakerState::HalfOpen;
                     self.probing = true;

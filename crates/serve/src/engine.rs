@@ -36,6 +36,9 @@ static ENGINE_CERT_CHECKS: Counter = Counter::new("serve.engine.certificate.chec
 /// Rung switches refused because the certificate was missing or failed
 /// its seal check.
 static ENGINE_CERT_REFUSALS: Counter = Counter::new("serve.engine.certificate.refusals");
+/// Bit-true integer execution toggles (either direction).
+static ENGINE_INTEGER_EXEC_TOGGLES: Counter =
+    Counter::new("serve.engine.integer_exec.toggles");
 
 /// How an engine call failed without panicking.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -196,6 +199,18 @@ impl NnEngine {
     #[must_use]
     pub fn rung_cache_stats(&self) -> (u64, u64) {
         (self.cache_hits, self.cache_misses)
+    }
+
+    /// Switch the wrapped model between float-simulated and bit-true
+    /// integer execution (the packed-term / bit-plane popcount kernels).
+    /// The flag survives rung switches: `install_precision` swaps the
+    /// per-site weight transforms but never touches the execution mode,
+    /// so an operator can arm integer execution once and run the whole
+    /// precision ladder on it — including the cached `weight_planes`
+    /// each TR rung's [`PreparedWeights`] carries.
+    pub fn set_integer_exec(&mut self, on: bool) {
+        ENGINE_INTEGER_EXEC_TOGGLES.inc();
+        tr_nn::exec::set_integer_exec(&mut self.model, on);
     }
 
     /// Flip one bit inside the cached entry for `precision` (chaos
@@ -426,6 +441,39 @@ mod tests {
             fresh.set_precision(p, 1.0);
             assert_eq!(&fresh.infer(&[&x]), expect, "{}", p.label());
         }
+    }
+
+    #[test]
+    fn integer_exec_serves_across_the_rung_ladder() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut model = Sequential::new().push(Linear::new(4, 3, &mut rng));
+        let calib = Tensor::from_vec(
+            vec![0.5, -1.0, 0.25, 0.8, -0.3, 0.1, 0.9, -0.7],
+            Shape::d2(2, 4),
+        );
+        tr_nn::exec::calibrate_model(&mut model, &calib, 8, &mut rng);
+        let mut e = NnEngine::new(model, 4, Duration::ZERO, 7);
+        let x = [0.3f32, -0.2, 0.9, 0.1];
+        let rungs = [
+            Precision::Tr(TrConfig::new(2, 3).with_data_terms(2)),
+            Precision::Tr(TrConfig::new(2, 2).with_data_terms(2)),
+            Precision::Qt { weight_bits: 8, act_bits: 8 },
+        ];
+        let mut sim = Vec::new();
+        for p in &rungs {
+            e.set_precision(p, 1.0);
+            sim.push(e.infer(&[&x]));
+        }
+        // Bit-true integer execution classifies identically at every rung
+        // (same real-valued product, rounding differences far below the
+        // argmax margin), riding the cached entries installed above.
+        e.set_integer_exec(true);
+        for (p, expect) in rungs.iter().zip(&sim) {
+            e.set_precision(p, 1.0);
+            assert_eq!(&e.infer(&[&x]), expect, "{}", p.label());
+        }
+        e.set_integer_exec(false);
+        assert_eq!(&e.infer(&[&x]), sim.last().unwrap());
     }
 
     #[test]

@@ -871,7 +871,7 @@ fn try_steal(
         }
         let eligible =
             state == BreakerState::Open || depth >= shared.cfg.steal_threshold || draining;
-        if eligible && victim.map_or(true, |(_, d)| depth > d) {
+        if eligible && victim.is_none_or(|(_, d)| depth > d) {
             victim = Some((v, depth));
         }
     }

@@ -53,7 +53,7 @@ fn run_client(svc: &Service, seed: u64, requests: usize) -> ClientLog {
     let mut log = ClientLog { poison: Vec::new(), clean: Vec::new(), rejected: 0 };
     for _ in 0..requests {
         // ~6% of requests are poison (non-finite feature → engine panic).
-        let is_poison = rng.next_u64() % 16 == 0;
+        let is_poison = rng.next_u64().is_multiple_of(16);
         let mut input: Vec<f32> = (0..INPUT_DIM).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
         if is_poison {
             input[0] = f32::NAN;
@@ -71,7 +71,7 @@ fn run_client(svc: &Service, seed: u64, requests: usize) -> ClientLog {
             Err(_) => log.rejected += 1,
         }
         // Occasional pause so the queue drains and batches vary in size.
-        if rng.next_u64() % 8 == 0 {
+        if rng.next_u64().is_multiple_of(8) {
             std::thread::sleep(Duration::from_micros(500));
         }
     }

@@ -41,9 +41,10 @@ cargo run -q --release -p tr-bench --bin repro -- --quick soak
 test -s SOAK_PR8.json
 # Observability baseline: the bench experiment must produce its
 # schema-stable JSON artifact (DESIGN.md SS10), now including the
-# checksum-verify overhead gate and the regression verdict against the
-# committed BENCH_PR6.json baseline (DESIGN.md SS11) — which also
-# checks the sharded service does not regress single-tenant serve p99.
-# CI archives it.
+# bit-plane popcount-GEMM sweep (DESIGN.md SS15), the checksum-verify
+# overhead gate, and the regression verdict against the committed
+# BENCH_PR8.json baseline (DESIGN.md SS11) — which also checks the
+# sharded service does not regress single-tenant serve p99. CI
+# archives it.
 cargo run -q --release -p tr-bench --bin repro -- --quick bench
-test -s BENCH_PR8.json
+test -s BENCH_PR9.json

@@ -6,7 +6,10 @@
 
 use proptest::prelude::*;
 use tr_core::matmul::{term_dot, term_dot_packed, term_matmul_i64};
-use tr_core::{packed_term_matmul_i64, PackedTermMatrix, TermMatrix, TrConfig};
+use tr_core::{
+    bitplane_dot, bitplane_matmul_i64, packed_term_matmul_i64, try_packed_term_matmul_i64_cached,
+    BitPlaneMatrix, PackedTermMatrix, TermMatrix, TrConfig,
+};
 use tr_encoding::Encoding;
 use tr_nn::exec::{
     apply_precision, apply_precision_prepared, calibrate_model, forward_logits,
@@ -125,6 +128,80 @@ proptest! {
                 prop_assert_eq!(
                     term_dot_packed(&pw, r, &px, c),
                     term_dot(w.row(r), x.row(c))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_planes_round_trip_and_match_the_pair_walk(
+        (m, k, seed) in (1usize..5, 1usize..96, any::<u64>()),
+        enc in encoding(),
+        cfg in tr_config(),
+    ) {
+        // Build → reconstruct must reproduce the packed codes exactly;
+        // the popcount dot must match the packed pair walk bit for bit.
+        let q = quantized(m, k, seed);
+        let packed = PackedTermMatrix::from_weights(&q, enc).reveal(&cfg);
+        let planes = BitPlaneMatrix::from_packed(&packed);
+        prop_assert_eq!(
+            planes.reconstruct_codes(),
+            packed.reconstruct_codes()
+        );
+        let other = PackedTermMatrix::from_data_transposed(
+            &quantized(k, 3, seed.wrapping_add(9)), enc);
+        let op = BitPlaneMatrix::from_packed(&other);
+        for r in 0..m {
+            for c in 0..3 {
+                prop_assert_eq!(
+                    bitplane_dot(&planes, r, &op, c),
+                    term_dot_packed(&packed, r, &other, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bitplane_matmul_matches_packed_matmul_bitwise(
+        (m, k, n, seed) in (1usize..6, 1usize..96, 1usize..6, any::<u64>()),
+        enc in encoding(),
+        cfg in tr_config(),
+        cap in 1usize..5,
+    ) {
+        // Same product through three routes: the packed pair walk, the
+        // explicit bit-plane kernel, and the dispatching entry point fed
+        // prebuilt planes (as serve's rung cache does). All bit-equal.
+        let qw = quantized(m, k, seed);
+        let qx = quantized(k, n, seed.wrapping_add(1));
+        let w = PackedTermMatrix::from_weights(&qw, enc).reveal(&cfg);
+        let x = PackedTermMatrix::from_data_transposed(&qx, enc).cap_terms(cap);
+        let want = packed_term_matmul_i64(&w, &x);
+        let (bw, bx) = (BitPlaneMatrix::from_packed(&w), BitPlaneMatrix::from_packed(&x));
+        prop_assert_eq!(bitplane_matmul_i64(&bw, &bx), want.clone());
+        let dispatched = try_packed_term_matmul_i64_cached(&w, Some(&bw), &x, Some(&bx))
+            .expect("shapes agree");
+        prop_assert_eq!(dispatched, want);
+    }
+
+    #[test]
+    fn bit_planes_survive_pruned_and_single_plane_rows(
+        vals in proptest::collection::vec(-256i32..=256, 1..48),
+        enc in encoding(),
+    ) {
+        // Degenerate shapes: rows holding zeros only (no planes at all)
+        // and rows capped to one term (a single plane each) must still
+        // round-trip and dot correctly against themselves.
+        let mut zeroed = vals.clone();
+        for v in zeroed.iter_mut().skip(1) { *v = 0; }
+        for codes in [vals.as_slice(), zeroed.as_slice(), &[0, 0, 0][..]] {
+            let packed = TermMatrix::from_vector(codes, enc).to_packed();
+            let one = packed.clone().cap_terms(1);
+            for p in [&packed, &one] {
+                let planes = BitPlaneMatrix::from_packed(p);
+                prop_assert_eq!(planes.reconstruct_codes(), p.reconstruct_codes());
+                prop_assert_eq!(
+                    bitplane_dot(&planes, 0, &planes, 0),
+                    term_dot_packed(p, 0, p, 0)
                 );
             }
         }
