@@ -6,8 +6,10 @@
 //! shows up as the tight rungs losing their lead.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tr_core::tune::Isa;
 use tr_core::{
-    bitplane_matmul_i64, packed_term_matmul_i64, BitPlaneMatrix, PackedTermMatrix, TrConfig,
+    bitplane_matmul_i64, packed_term_matmul_i64, try_bitplane_matmul_i64_blocked,
+    try_bitplane_matmul_i64_with, BitPlaneMatrix, PackedTermMatrix, TrConfig,
 };
 use tr_encoding::Encoding;
 use tr_quant::{calibrate_max_abs, quantize, QTensor};
@@ -56,6 +58,63 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_isa_rows(c: &mut Criterion) {
+    // The same operands through every popcount row kernel the host can
+    // run: AVX512-VPOPCNTDQ, the AVX2 vpshufb-LUT, scalar POPCNT, and
+    // the portable software fold. This is the satellite table behind the
+    // tune table's ISA tiers — the LUT kernel must beat scalar popcnt,
+    // or the AVX2 dispatch tier is mistuned.
+    let mut group = c.benchmark_group("bitplane/isa");
+    group.throughput(Throughput::Elements((M * K * N) as u64));
+    let (w, x) = operands(2, 1, 4);
+    let (bw, bx) = (BitPlaneMatrix::from_packed(&w), BitPlaneMatrix::from_packed(&x));
+    for isa in Isa::ALL {
+        if !isa.available() {
+            continue;
+        }
+        group.bench_function(BenchmarkId::new("rows", isa.name()), |b| {
+            b.iter(|| {
+                try_bitplane_matmul_i64_with(black_box(&bw), black_box(&bx), isa)
+                    .expect("available ISA runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_deep_k(c: &mut Criterion) {
+    // Deep-reduction shape (K = 32768 → 512 words per plane row, a
+    // data-side plane set several times L2): the whole point of panel
+    // blocking. Flat refetches the data-side planes per output row;
+    // blocked holds one (column tile × K-panel) slab L2-resident while
+    // every output row sweeps it.
+    const DM: usize = 256;
+    const DK: usize = 32768;
+    const DN: usize = 196;
+    let mut group = c.benchmark_group("bitplane/deep_k");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((DM * DK * DN) as u64));
+    let wcfg = TrConfig::new(8, 1);
+    let w = PackedTermMatrix::from_weights(&quantized(DM, DK, 4), Encoding::Hese).reveal(&wcfg);
+    let x = PackedTermMatrix::from_data_transposed(&quantized(DK, DN, 5), Encoding::Hese)
+        .reveal(&TrConfig::new(8, 4))
+        .cap_terms(1);
+    let (bw, bx) = (BitPlaneMatrix::from_packed(&w), BitPlaneMatrix::from_packed(&x));
+    group.bench_function("flat", |b| {
+        b.iter(|| bitplane_matmul_i64(black_box(&bw), black_box(&bx)))
+    });
+    let t = tr_core::tune::active();
+    let cols = usize::try_from(t.block_cols).unwrap_or(16).max(1);
+    let words = usize::try_from(t.block_words).unwrap_or(512).max(1);
+    group.bench_function("blocked", |b| {
+        b.iter(|| {
+            try_bitplane_matmul_i64_blocked(black_box(&bw), black_box(&bx), cols, words)
+                .expect("tile sizes are nonzero")
+        })
+    });
+    group.finish();
+}
+
 fn bench_build(c: &mut Criterion) {
     // Plane construction is on the data path for activations (weights
     // are cached), so its cost must stay a small fraction of the matmul.
@@ -79,6 +138,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_kernels, bench_build
+    targets = bench_kernels, bench_isa_rows, bench_deep_k, bench_build
 }
 criterion_main!(benches);

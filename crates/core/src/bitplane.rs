@@ -39,6 +39,7 @@
 use crate::error::TrError;
 use crate::packed::{off_usize, PackedTermMatrix};
 use crate::seal::{fnv1a_bytes, fnv1a_word, FNV_OFFSET};
+use crate::tune::{self, Isa};
 use rayon::prelude::*;
 use tr_encoding::Encoding;
 use tr_obs::{as_u64, Counter};
@@ -56,12 +57,10 @@ static BITPLANE_PAIRS: Counter = Counter::new("core.bitplane.pairs");
 
 /// Output-row tile of the parallel popcount kernel (mirrors the packed
 /// kernel's tile: enough rows per task to amortize the shim's scoped
-/// thread spawn).
+/// thread spawn). The fan-out *threshold* itself is no longer a constant:
+/// it comes from the active [`TuneTable`](crate::tune::TuneTable)
+/// (`par_min_pair_words`), measured per host by `tr_core::tune`.
 const ROW_TILE: usize = 4;
-/// Minimum `plane pairs × words` before the popcount kernel parallelizes;
-/// below this, scoped-thread spawn overhead dominates (the same small-host
-/// lesson as `PAR_MIN_MACS` in `matmul`).
-const PAR_MIN_PAIR_WORDS: u64 = 1 << 17;
 
 /// A term matrix as per-row sign-split exponent bit-planes.
 ///
@@ -404,29 +403,33 @@ pub fn try_bitplane_matmul_i64(
     w: &BitPlaneMatrix,
     x: &BitPlaneMatrix,
 ) -> Result<Vec<i64>, TrError> {
-    if w.len() != x.len() {
-        return Err(TrError::ShapeMismatch(format!(
-            "reduction dims differ: {} vs {}",
-            w.len(),
-            x.len()
-        )));
-    }
-    let (m, n) = (w.rows(), x.rows());
+    check_reduction(w, x)?;
     let _span = tr_obs::span("core.bitplane_matmul");
-    BITPLANE_MATMULS.inc();
-    BITPLANE_CELLS.add(as_u64(m).saturating_mul(as_u64(n)));
-    // Σ_i Σ_j p_w(i)·p_x(j) factors into (Σ p_w)(Σ p_x).
-    let pairs = as_u64(w.total_planes()).saturating_mul(as_u64(x.total_planes()));
-    BITPLANE_PAIRS.add(pairs);
+    let pairs = record_bitplane(w, x);
+    let pair_words = pairs.saturating_mul(as_u64(w.words_per_row));
+    let parallel = pair_words > tune::active().par_min_pair_words;
+    Ok(bitplane_matmul_flat(w, x, parallel))
+}
+
+/// Flat (unblocked) popcount matmul with the fan-out decision made by the
+/// caller — the harness the autotuner races serial against parallel on.
+/// Reduction dims must already agree.
+#[must_use]
+pub(crate) fn bitplane_matmul_flat(
+    w: &BitPlaneMatrix,
+    x: &BitPlaneMatrix,
+    parallel: bool,
+) -> Vec<i64> {
+    debug_assert_eq!(w.len(), x.len());
+    let (m, n) = (w.rows(), x.rows());
     let mut out = vec![0i64; m * n];
     if m * n == 0 || w.words_per_row == 0 {
-        return Ok(out);
+        return out;
     }
-    let row_fn = select_row_fn();
-    let pair_words = pairs.saturating_mul(as_u64(w.words_per_row));
-    if pair_words <= PAR_MIN_PAIR_WORDS || m < 2 * ROW_TILE {
+    let row_fn = row_fn_for(Isa::detect());
+    if !parallel || m < 2 * ROW_TILE {
         for (i, orow) in out.chunks_mut(n).enumerate() {
-            // SAFETY: `select_row_fn` returns a feature-gated variant only
+            // SAFETY: `row_fn_for` returns a feature-gated variant only
             // when the CPU reported that feature at run time.
             unsafe { row_fn(w, x, i, orow) };
         }
@@ -439,29 +442,254 @@ pub fn try_bitplane_matmul_i64(
             }
         });
     }
+    out
+}
+
+/// [`try_bitplane_matmul_i64`] with the row-kernel ISA forced — the
+/// harness benches and parity tests use to pit the per-ISA kernels
+/// against each other on identical operands. Runs serially so the only
+/// variable is the kernel.
+///
+/// # Errors
+/// [`TrError::ShapeMismatch`] when the reduction dimensions differ;
+/// [`TrError::InvalidConfig`] when this host cannot execute `isa`.
+pub fn try_bitplane_matmul_i64_with(
+    w: &BitPlaneMatrix,
+    x: &BitPlaneMatrix,
+    isa: Isa,
+) -> Result<Vec<i64>, TrError> {
+    check_reduction(w, x)?;
+    if !isa.available() {
+        return Err(TrError::InvalidConfig(format!(
+            "row-kernel isa {} is not supported on this host",
+            isa.name()
+        )));
+    }
+    let _span = tr_obs::span("core.bitplane_matmul");
+    record_bitplane(w, x);
+    let (m, n) = (w.rows(), x.rows());
+    let mut out = vec![0i64; m * n];
+    if m * n == 0 || w.words_per_row == 0 {
+        return Ok(out);
+    }
+    let row_fn = row_fn_for(isa);
+    for (i, orow) in out.chunks_mut(n).enumerate() {
+        // SAFETY: `isa.available()` verified the required CPU features.
+        unsafe { row_fn(w, x, i, orow) };
+    }
     Ok(out)
+}
+
+/// Plane-level L2-blocked popcount matmul for deep reductions: the
+/// (weight plane × data plane) loop is tiled over `block_cols` output
+/// columns and `block_words`-word K-panels, so each panel of the data-side
+/// tile streams through cache once per weight plane instead of once per
+/// *pair*. Each `(p, q, panel)` triple contributes its partial popcount
+/// through the same shift/sign/accumulate chain as the flat walk;
+/// wrapping-i64 addition is associative and commutative and `<<`
+/// distributes over it mod 2⁶⁴, so any panel split is congruent — the
+/// output is **bit-identical** to [`try_bitplane_matmul_i64`] (the
+/// property `tests/packed_equivalence.rs` proves, ragged panels included).
+///
+/// # Errors
+/// [`TrError::ShapeMismatch`] when the reduction dimensions differ;
+/// [`TrError::InvalidConfig`] on a zero tile.
+pub fn try_bitplane_matmul_i64_blocked(
+    w: &BitPlaneMatrix,
+    x: &BitPlaneMatrix,
+    block_cols: usize,
+    block_words: usize,
+) -> Result<Vec<i64>, TrError> {
+    check_reduction(w, x)?;
+    if block_cols == 0 || block_words == 0 {
+        return Err(TrError::InvalidConfig(format!(
+            "blocked bit-plane tiles must be positive (got {block_cols} cols x {block_words} words)"
+        )));
+    }
+    let _span = tr_obs::span("core.bitplane_matmul");
+    let pairs = record_bitplane(w, x);
+    let (m, n) = (w.rows(), x.rows());
+    let mut out = vec![0i64; m * n];
+    let wpr = w.words_per_row;
+    if m * n == 0 || wpr == 0 {
+        return Ok(out);
+    }
+    // Panels stay whole 512-bit lanes: `wpr` is a multiple of 8, so
+    // rounding the panel up keeps every slice (ragged tail included) a
+    // multiple of 8 words and the SIMD counters tail-free.
+    let bw = block_words.next_multiple_of(8);
+    let cnt_fn = count_fn_for(Isa::detect());
+    let panel_fn = panel_row_fn_for(Isa::detect());
+    let pair_words = pairs.saturating_mul(as_u64(wpr));
+    let parallel = pair_words > tune::active().par_min_pair_words && m >= 2 * ROW_TILE;
+    for j0 in (0..n).step_by(block_cols) {
+        let j1 = (j0 + block_cols).min(n);
+        let tc = j1 - j0;
+        // Tile-local accumulator: row `i` of the tile is contiguous, so
+        // the parallel path hands out disjoint row chunks exactly like
+        // the flat kernel does.
+        let mut buf = vec![0i64; m * tc];
+        // The K-panel loop sits OUTSIDE the row loop: for a fixed panel,
+        // every output row sweeps the same `tc × x-planes × cw`-word slab
+        // of data-side panels, so that slab is fetched from memory once
+        // per (tile, panel) and served from cache for all M rows — the
+        // flat walk refetches the data-side row set per output row, which
+        // is exactly what drowns it once that set outgrows L2.
+        let mut c0 = 0usize;
+        while c0 < wpr {
+            let cw = bw.min(wpr - c0);
+            let row_panel = |i: usize, brow: &mut [i64]| {
+                // The AVX512 tier gets the same inner shape as the flat
+                // row kernel (paired x planes sharing weight loads, one
+                // vector accumulator reduced once per cell-panel) — the
+                // generic tier below pays a horizontal reduction per
+                // plane pair, which is fine for the narrower ISAs but
+                // would hand back a third of the blocking win here.
+                if let Some(panel_row) = panel_fn {
+                    // SAFETY: the variant was selected only after its ISA
+                    // features were runtime-verified, `c0 + cw <= wpr`,
+                    // and `cw` is a multiple of 8 (whole 512-bit lanes).
+                    unsafe { panel_row(w, x, i, j0, c0, cw, brow) };
+                    return;
+                }
+                let (wp0, wp1) = w.row_plane_range(i);
+                for p in wp0..wp1 {
+                    let we = w.plane_exps[p];
+                    let wneg = w.plane_neg(p);
+                    // In-bounds: plane `p` owns words `[p·wpr, (p+1)·wpr)`
+                    // and `c0 + cw <= wpr`.
+                    let wptr = unsafe { w.words.as_ptr().add(p * wpr + c0) };
+                    for (jj, o) in brow.iter_mut().enumerate() {
+                        let (xp0, xp1) = x.row_plane_range(j0 + jj);
+                        let mut acc = *o;
+                        for q in xp0..xp1 {
+                            // SAFETY: same plane-ownership bound as above,
+                            // and `cnt_fn`'s ISA was runtime-verified.
+                            let cnt = unsafe {
+                                cnt_fn(wptr, x.words.as_ptr().add(q * wpr + c0), cw)
+                            };
+                            let cnt = i64::try_from(cnt).expect("panel popcount fits i64");
+                            let mag =
+                                crate::matmul::shl_exp(crate::matmul::shl_exp(cnt, we), x.plane_exps[q]);
+                            let signed =
+                                if wneg != x.plane_neg(q) { mag.wrapping_neg() } else { mag };
+                            acc = crate::matmul::acc_add(acc, signed);
+                        }
+                        *o = acc;
+                    }
+                }
+            };
+            if parallel {
+                buf.par_chunks_mut(ROW_TILE * tc).enumerate().for_each(|(t, block)| {
+                    for (r, brow) in block.chunks_mut(tc).enumerate() {
+                        row_panel(t * ROW_TILE + r, brow);
+                    }
+                });
+            } else {
+                for (i, brow) in buf.chunks_mut(tc).enumerate() {
+                    row_panel(i, brow);
+                }
+            }
+            c0 += cw;
+        }
+        for (i, brow) in buf.chunks(tc).enumerate() {
+            out[i * n + j0..i * n + j1].copy_from_slice(brow);
+        }
+    }
+    Ok(out)
+}
+
+fn check_reduction(w: &BitPlaneMatrix, x: &BitPlaneMatrix) -> Result<(), TrError> {
+    if w.len() == x.len() {
+        Ok(())
+    } else {
+        Err(TrError::ShapeMismatch(format!(
+            "reduction dims differ: {} vs {}",
+            w.len(),
+            x.len()
+        )))
+    }
+}
+
+/// Shared matmul accounting; returns the live plane-pair product.
+fn record_bitplane(w: &BitPlaneMatrix, x: &BitPlaneMatrix) -> u64 {
+    BITPLANE_MATMULS.inc();
+    BITPLANE_CELLS.add(as_u64(w.rows()).saturating_mul(as_u64(x.rows())));
+    // Σ_i Σ_j p_w(i)·p_x(j) factors into (Σ p_w)(Σ p_x).
+    let pairs = as_u64(w.total_planes()).saturating_mul(as_u64(x.total_planes()));
+    BITPLANE_PAIRS.add(pairs);
+    pairs
 }
 
 /// One output row of the popcount kernel, dispatched per matmul to the
 /// widest popcount ISA the host actually has.
 type RowFn = unsafe fn(&BitPlaneMatrix, &BitPlaneMatrix, usize, &mut [i64]);
 
-/// Pick the row kernel for this host. `is_x86_feature_detected!` caches
-/// its probe, so calling this once per matmul is two relaxed loads.
-#[inline]
-fn select_row_fn() -> RowFn {
+/// AND + popcount of two equal-length word slices (by raw pointer so the
+/// feature-gated variants share one signature), the blocked kernel's
+/// panel primitive.
+type CountFn = unsafe fn(*const u64, *const u64, usize) -> u64;
+
+/// One output row of one (column tile, K-panel) block:
+/// `(w, x, row, tile col origin, panel word origin, panel words, tile row)`.
+/// Accumulates into the tile row (panels are partial sums).
+type PanelRowFn =
+    unsafe fn(&BitPlaneMatrix, &BitPlaneMatrix, usize, usize, usize, usize, &mut [i64]);
+
+/// The specialized panel-row kernel for `isa`, when one exists. Only the
+/// AVX512 tier has one today; the other tiers run the blocked kernel's
+/// generic per-pair inner over their [`CountFn`].
+fn panel_row_fn_for(isa: Isa) -> Option<PanelRowFn> {
     #[cfg(target_arch = "x86_64")]
     {
-        if std::arch::is_x86_feature_detected!("avx512f")
-            && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
-        {
-            return bitplane_row_avx512;
-        }
-        if std::arch::is_x86_feature_detected!("popcnt") {
-            return bitplane_row_popcnt;
+        match isa {
+            Isa::Avx512Vpopcnt => Some(bitplane_panel_row_avx512),
+            Isa::Avx2Lut | Isa::Popcnt | Isa::Portable => None,
         }
     }
-    bitplane_row_portable
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = isa;
+        None
+    }
+}
+
+/// The row kernel implementing `isa`. Callers must have verified
+/// [`Isa::available`]; unavailable tiers degrade to portable only for
+/// `Portable` itself — the mapping is total so dispatch stays a lookup.
+fn row_fn_for(isa: Isa) -> RowFn {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match isa {
+            Isa::Avx512Vpopcnt => bitplane_row_avx512,
+            Isa::Avx2Lut => bitplane_row_avx2,
+            Isa::Popcnt => bitplane_row_popcnt,
+            Isa::Portable => bitplane_row_portable,
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = isa;
+        bitplane_row_portable
+    }
+}
+
+/// The panel popcount primitive implementing `isa`.
+fn count_fn_for(isa: Isa) -> CountFn {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match isa {
+            Isa::Avx512Vpopcnt => and_popcount_avx512,
+            Isa::Avx2Lut => and_popcount_avx2,
+            Isa::Popcnt => and_popcount_popcnt,
+            Isa::Portable => and_popcount_portable,
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = isa;
+        and_popcount_portable
+    }
 }
 
 /// 512-bit lanes: the same pair walk as [`dot_plane_ranges`], but with the
@@ -549,6 +777,223 @@ unsafe fn bitplane_row_avx512(w: &BitPlaneMatrix, x: &BitPlaneMatrix, i: usize, 
         }
         *o = _mm512_reduce_add_epi64(vacc);
     }
+}
+
+/// 256-bit lanes for pre-Ice-Lake hosts: AVX2 has no `VPOPCNTQ`, so each
+/// AND'd vector is popcounted with the `vpshufb` nibble-LUT (Muła's
+/// algorithm): a 16-entry shuffle table maps each nibble to its bit
+/// count, low and high nibbles are looked up separately, and the byte
+/// counts fold into per-lane `u64`s via `VPSADBW` against zero — one sad
+/// per up to 31 vectors (248 words), since a byte accumulates at most
+/// 8 bits per vector and saturates at 255. The per-pair popcount is
+/// *exact*, and the pair's shift/sign/accumulate chain is byte-for-byte
+/// the scalar walk's, so the kernel is bit-identical by construction.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn bitplane_row_avx2(w: &BitPlaneMatrix, x: &BitPlaneMatrix, i: usize, orow: &mut [i64]) {
+    let wpr = w.words_per_row;
+    debug_assert_eq!(wpr % 8, 0);
+    let (wp0, wp1) = w.row_plane_range(i);
+    for (j, o) in orow.iter_mut().enumerate() {
+        let (xp0, xp1) = x.row_plane_range(j);
+        let mut acc = 0i64;
+        for p in wp0..wp1 {
+            // In-bounds: plane `p` owns words `[p·wpr, (p+1)·wpr)`.
+            let ww = w.words.as_ptr().add(p * wpr);
+            let we = w.plane_exps[p];
+            let wneg = w.plane_neg(p);
+            for q in xp0..xp1 {
+                let cnt = and_popcount_avx2(ww, x.words.as_ptr().add(q * wpr), wpr);
+                let cnt = i64::try_from(cnt).expect("row popcount fits i64");
+                if cnt == 0 {
+                    continue;
+                }
+                let mag =
+                    crate::matmul::shl_exp(crate::matmul::shl_exp(cnt, we), x.plane_exps[q]);
+                let signed = if wneg != x.plane_neg(q) { mag.wrapping_neg() } else { mag };
+                acc = crate::matmul::acc_add(acc, signed);
+            }
+        }
+        *o = acc;
+    }
+}
+
+/// `popcount(a[..words] ∧ b[..words])` over 256-bit lanes with the
+/// nibble-LUT (see [`bitplane_row_avx2`]). `words` must be a multiple
+/// of 4 (plane padding guarantees a multiple of 8) and both slices must
+/// hold `words` readable words.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn and_popcount_avx2(a: *const u64, b: *const u64, words: usize) -> u64 {
+    use std::arch::x86_64::{
+        _mm256_add_epi64, _mm256_add_epi8, _mm256_and_si256, _mm256_castsi256_si128,
+        _mm256_extracti128_si256, _mm256_loadu_si256, _mm256_sad_epu8, _mm256_set1_epi8,
+        _mm256_setr_epi8, _mm256_setzero_si256, _mm256_shuffle_epi8, _mm256_srli_epi16,
+        _mm_add_epi64, _mm_cvtsi128_si64, _mm_extract_epi64,
+    };
+    debug_assert_eq!(words % 4, 0);
+    #[rustfmt::skip]
+    let lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+    );
+    let low = _mm256_set1_epi8(0x0f);
+    let mut total = _mm256_setzero_si256();
+    let mut c = 0usize;
+    while c < words {
+        // ≤ 31 vectors per sad: 8 bits/byte/vector × 31 = 248 < 256.
+        let block_end = words.min(c + 124);
+        let mut bytes = _mm256_setzero_si256();
+        while c < block_end {
+            let v = _mm256_and_si256(
+                _mm256_loadu_si256(a.add(c).cast()),
+                _mm256_loadu_si256(b.add(c).cast()),
+            );
+            let lo = _mm256_shuffle_epi8(lut, _mm256_and_si256(v, low));
+            let hi = _mm256_shuffle_epi8(lut, _mm256_and_si256(_mm256_srli_epi16(v, 4), low));
+            bytes = _mm256_add_epi8(bytes, _mm256_add_epi8(lo, hi));
+            c += 4;
+        }
+        total = _mm256_add_epi64(total, _mm256_sad_epu8(bytes, _mm256_setzero_si256()));
+    }
+    let s = _mm_add_epi64(_mm256_castsi256_si128(total), _mm256_extracti128_si256(total, 1));
+    let lo = u64::try_from(_mm_cvtsi128_si64(s)).expect("lane popcount is nonnegative");
+    let hi = u64::try_from(_mm_extract_epi64(s, 1)).expect("lane popcount is nonnegative");
+    lo.wrapping_add(hi)
+}
+
+/// The AVX512 panel-row kernel: [`bitplane_row_avx512`]'s exact inner
+/// shape — x planes two at a time sharing the weight-plane loads, shifts
+/// and branchless signs applied in-register, one vector accumulator
+/// horizontally reduced once per cell — restricted to the `cw` words at
+/// `c0` and the output columns at `j0`. The per-(cell, panel) partial is
+/// folded into the tile row with the same wrapping add as every other
+/// route, so any panel split stays bit-identical to the flat walk.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vpopcntdq")]
+unsafe fn bitplane_panel_row_avx512(
+    w: &BitPlaneMatrix,
+    x: &BitPlaneMatrix,
+    i: usize,
+    j0: usize,
+    c0: usize,
+    cw: usize,
+    brow: &mut [i64],
+) {
+    use std::arch::x86_64::{
+        _mm512_add_epi64, _mm512_and_si512, _mm512_loadu_epi64, _mm512_popcnt_epi64,
+        _mm512_reduce_add_epi64, _mm512_set1_epi64, _mm512_setzero_si512, _mm512_sll_epi64,
+        _mm512_sub_epi64, _mm512_xor_si512, _mm_cvtsi32_si128,
+    };
+    let wpr = w.words_per_row;
+    debug_assert_eq!(cw % 8, 0);
+    debug_assert!(c0 + cw <= wpr);
+    let (wp0, wp1) = w.row_plane_range(i);
+    for (jj, o) in brow.iter_mut().enumerate() {
+        let (xp0, xp1) = x.row_plane_range(j0 + jj);
+        let mut vacc = _mm512_setzero_si512();
+        // Pair walk inverted relative to the flat row kernel: the
+        // data-side plane is OUTER and weight planes pair up inside, so
+        // each x panel is loaded once per cell (not once per w-plane)
+        // and the whole w panel row — a few planes × one panel — stays
+        // L1-resident across the sweep. Each wrapping lane-add still
+        // happens exactly once per live pair, and both `<<` steps and
+        // the branchless sign commute, so the accumulated lanes (and the
+        // single per-cell reduction) are bit-identical to every other
+        // route regardless of this ordering.
+        for q in xp0..xp1 {
+            // In-bounds: plane `q` owns words `[q·wpr, (q+1)·wpr)` and
+            // `c0 + cw <= wpr` keeps every 8-word load inside the panel.
+            let xw = x.words.as_ptr().add(q * wpr + c0);
+            let xshift = _mm_cvtsi32_si128(i32::from(x.plane_exps[q] & 63));
+            let xneg = x.plane_neg(q);
+            let mut p = wp0;
+            while p + 2 <= wp1 {
+                let ww0 = w.words.as_ptr().add(p * wpr + c0);
+                let ww1 = w.words.as_ptr().add((p + 1) * wpr + c0);
+                let mut v0 = _mm512_setzero_si512();
+                let mut v1 = _mm512_setzero_si512();
+                let mut c = 0usize;
+                while c < cw {
+                    let b = _mm512_loadu_epi64(xw.add(c).cast());
+                    let a0 = _mm512_loadu_epi64(ww0.add(c).cast());
+                    let a1 = _mm512_loadu_epi64(ww1.add(c).cast());
+                    v0 = _mm512_add_epi64(v0, _mm512_popcnt_epi64(_mm512_and_si512(b, a0)));
+                    v1 = _mm512_add_epi64(v1, _mm512_popcnt_epi64(_mm512_and_si512(b, a1)));
+                    c += 8;
+                }
+                let ws0 = _mm_cvtsi32_si128(i32::from(w.plane_exps[p] & 63));
+                let ws1 = _mm_cvtsi32_si128(i32::from(w.plane_exps[p + 1] & 63));
+                let mag0 = _mm512_sll_epi64(_mm512_sll_epi64(v0, xshift), ws0);
+                let mag1 = _mm512_sll_epi64(_mm512_sll_epi64(v1, xshift), ws1);
+                let m0 = _mm512_set1_epi64(-i64::from(xneg != w.plane_neg(p)));
+                let m1 = _mm512_set1_epi64(-i64::from(xneg != w.plane_neg(p + 1)));
+                vacc = _mm512_add_epi64(vacc, _mm512_sub_epi64(_mm512_xor_si512(mag0, m0), m0));
+                vacc = _mm512_add_epi64(vacc, _mm512_sub_epi64(_mm512_xor_si512(mag1, m1), m1));
+                p += 2;
+            }
+            if p < wp1 {
+                let ww = w.words.as_ptr().add(p * wpr + c0);
+                let mut v = _mm512_setzero_si512();
+                let mut c = 0usize;
+                while c < cw {
+                    let b = _mm512_loadu_epi64(xw.add(c).cast());
+                    let a = _mm512_loadu_epi64(ww.add(c).cast());
+                    v = _mm512_add_epi64(v, _mm512_popcnt_epi64(_mm512_and_si512(b, a)));
+                    c += 8;
+                }
+                let wshift = _mm_cvtsi32_si128(i32::from(w.plane_exps[p] & 63));
+                let mag = _mm512_sll_epi64(_mm512_sll_epi64(v, xshift), wshift);
+                let m = _mm512_set1_epi64(-i64::from(xneg != w.plane_neg(p)));
+                vacc = _mm512_add_epi64(vacc, _mm512_sub_epi64(_mm512_xor_si512(mag, m), m));
+            }
+        }
+        *o = crate::matmul::acc_add(*o, _mm512_reduce_add_epi64(vacc));
+    }
+}
+
+/// 512-bit panel popcount (`VPOPCNTQ`) for the blocked kernel. `words`
+/// must be a multiple of 8.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vpopcntdq")]
+unsafe fn and_popcount_avx512(a: *const u64, b: *const u64, words: usize) -> u64 {
+    use std::arch::x86_64::{
+        _mm512_add_epi64, _mm512_and_si512, _mm512_loadu_epi64, _mm512_popcnt_epi64,
+        _mm512_reduce_add_epi64, _mm512_setzero_si512,
+    };
+    debug_assert_eq!(words % 8, 0);
+    let mut v = _mm512_setzero_si512();
+    let mut c = 0usize;
+    while c < words {
+        v = _mm512_add_epi64(
+            v,
+            _mm512_popcnt_epi64(_mm512_and_si512(
+                _mm512_loadu_epi64(a.add(c).cast()),
+                _mm512_loadu_epi64(b.add(c).cast()),
+            )),
+        );
+        c += 8;
+    }
+    u64::try_from(_mm512_reduce_add_epi64(v)).expect("panel popcount is nonnegative")
+}
+
+/// Scalar-`popcnt` panel popcount.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "popcnt")]
+unsafe fn and_popcount_popcnt(a: *const u64, b: *const u64, words: usize) -> u64 {
+    and_popcount_impl(a, b, words)
+}
+
+/// Portable panel popcount — also the body the `popcnt` wrapper inlines.
+unsafe fn and_popcount_portable(a: *const u64, b: *const u64, words: usize) -> u64 {
+    and_popcount_impl(a, b, words)
+}
+
+#[inline(always)]
+unsafe fn and_popcount_impl(a: *const u64, b: *const u64, words: usize) -> u64 {
+    let aw = std::slice::from_raw_parts(a, words);
+    let bw = std::slice::from_raw_parts(b, words);
+    aw.iter().zip(bw).map(|(&x, &y)| u64::from((x & y).count_ones())).sum()
 }
 
 /// Scalar `popcnt` (SSE4.2-era): one instruction per word instead of the
@@ -732,6 +1177,49 @@ mod tests {
         assert_ne!(b.checksum(), 0);
         b.words[0] ^= 1;
         assert!(b.verify_integrity().is_err());
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_across_tiles() {
+        // Deep-ish reduction with ragged tails in both tiling dimensions:
+        // 777 elements → 13 words, padded to 16; n = 11 is not a multiple
+        // of any column tile.
+        let qw = random_qt(9, 777, 40);
+        let qx = random_qt(777, 11, 41);
+        let cfg = TrConfig::new(8, 4).with_data_terms(2);
+        let pw = PackedTermMatrix::from_weights(&qw, cfg.weight_encoding).reveal(&cfg);
+        let px = PackedTermMatrix::from_data_transposed(&qx, cfg.data_encoding).cap_terms(2);
+        let bw = BitPlaneMatrix::from_packed(&pw);
+        let bx = BitPlaneMatrix::from_packed(&px);
+        let flat = bitplane_matmul_i64(&bw, &bx);
+        for (cols, words) in [(1usize, 8usize), (3, 8), (4, 16), (64, 256), (11, 1000)] {
+            let blocked = try_bitplane_matmul_i64_blocked(&bw, &bx, cols, words)
+                .unwrap_or_else(|e| panic!("{cols}x{words}: {e}"));
+            assert_eq!(blocked, flat, "tile {cols} cols x {words} words");
+        }
+        assert!(try_bitplane_matmul_i64_blocked(&bw, &bx, 0, 8).is_err());
+        assert!(try_bitplane_matmul_i64_blocked(&bw, &bx, 4, 0).is_err());
+    }
+
+    #[test]
+    fn forced_isa_kernels_agree_where_available() {
+        let qw = random_qt(6, 200, 42);
+        let qx = random_qt(200, 7, 43);
+        let cfg = TrConfig::new(8, 2).with_data_terms(1);
+        let pw = PackedTermMatrix::from_weights(&qw, cfg.weight_encoding).reveal(&cfg);
+        let px = PackedTermMatrix::from_data_transposed(&qx, cfg.data_encoding).cap_terms(1);
+        let bw = BitPlaneMatrix::from_packed(&pw);
+        let bx = BitPlaneMatrix::from_packed(&px);
+        let reference = bitplane_matmul_i64(&bw, &bx);
+        for isa in Isa::ALL {
+            match try_bitplane_matmul_i64_with(&bw, &bx, isa) {
+                Ok(out) => assert_eq!(out, reference, "{}", isa.name()),
+                Err(e) => {
+                    assert!(!isa.available(), "{}: {e}", isa.name());
+                    assert!(matches!(e, TrError::InvalidConfig(_)), "{e}");
+                }
+            }
+        }
     }
 
     #[test]

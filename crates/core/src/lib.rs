@@ -51,16 +51,20 @@ pub mod reveal;
 pub mod seal;
 pub mod termmatrix;
 pub mod termpairs;
+pub mod tune;
 
-pub use bitplane::{bitplane_dot, bitplane_matmul_i64, try_bitplane_matmul_i64, BitPlaneMatrix};
+pub use bitplane::{
+    bitplane_dot, bitplane_matmul_i64, try_bitplane_matmul_i64, try_bitplane_matmul_i64_blocked,
+    try_bitplane_matmul_i64_with, BitPlaneMatrix,
+};
 pub use config::TrConfig;
 pub use error::TrError;
 pub use error_bound::{dot_product_error_bound, value_sigma, waterline_sigma_bound};
 pub use matmul::{
     matmul_plan, packed_term_matmul_i64, term_dot, term_dot_packed, term_matmul, term_matmul_i64,
     try_packed_term_matmul_i64, try_packed_term_matmul_i64_cached,
-    try_packed_term_matmul_i64_planned, try_term_matmul, try_term_matmul_i64, MatmulPlan,
-    ACCUMULATOR_BITS,
+    try_packed_term_matmul_i64_planned, try_packed_term_matmul_i64_planned_cached, try_term_matmul,
+    try_term_matmul_i64, MatmulPlan, MatmulPlanner, ACCUMULATOR_BITS,
 };
 pub use packed::PackedTermMatrix;
 pub use reveal::{

@@ -6,11 +6,16 @@
 //! matmul over the *reconstructed* (post-TR) codes, which is the property
 //! the hardware simulator and the paper-claims tests verify.
 
-use crate::bitplane::{live_plane_sum, try_bitplane_matmul_i64, BitPlaneMatrix};
+use crate::bitplane::{
+    live_plane_sum, try_bitplane_matmul_i64, try_bitplane_matmul_i64_blocked, BitPlaneMatrix,
+};
 use crate::error::TrError;
 use crate::packed::{off_usize, PackedTermMatrix};
+use crate::seal::{fnv1a_word, FNV_OFFSET};
 use crate::termmatrix::TermMatrix;
+use crate::tune::{self, TuneTable};
 use rayon::prelude::*;
+use std::sync::Mutex;
 use tr_encoding::TermExpr;
 use tr_obs::{as_u64, Counter};
 
@@ -87,6 +92,14 @@ static MATMUL_CALLS: Counter = Counter::new("core.matmul.calls");
 static MATMUL_ROWS: Counter = Counter::new("core.matmul.rows");
 /// Output cells (dot products) computed across invocations.
 static MATMUL_CELLS: Counter = Counter::new("core.matmul.cells");
+/// Matmuls executed over the serial code-plane route.
+static ROUTE_SERIAL: Counter = Counter::new("core.matmul.route.serial");
+/// Matmuls executed over the parallel code-plane route.
+static ROUTE_PARALLEL: Counter = Counter::new("core.matmul.route.parallel");
+/// Matmuls executed over the flat bit-plane popcount route.
+static ROUTE_BITPLANE: Counter = Counter::new("core.matmul.route.bitplane");
+/// Matmuls executed over the L2-blocked deep-K bit-plane route.
+static ROUTE_BITPLANE_BLOCKED: Counter = Counter::new("core.matmul.route.bitplane_blocked");
 
 /// Dot product of two equal-length term vectors via term pairs.
 ///
@@ -146,34 +159,12 @@ pub fn try_term_matmul_i64(w: &TermMatrix, x: &TermMatrix) -> Result<Vec<i64>, T
 
 /// Output-row tile of the blocked packed kernel: enough rows to amortize
 /// the per-task overhead of the thread pool without starving it.
+///
+/// Every dispatch *threshold* (`par_min_macs`, `par_prep_factor`, the
+/// bit-plane pair budget, the deep-K blocking cut) lives in the active
+/// [`TuneTable`] — measured per host by `tr_core::tune`, defaulting to
+/// the PR 9 constants when no table is installed.
 const ROW_TILE: usize = 4;
-/// Below this many MACs the matmul runs serially: the rayon shim spawns
-/// scoped threads per call (tens of microseconds), which would dominate
-/// the small matmuls the serve and bench quick paths issue.
-const PAR_MIN_MACS: u64 = 1 << 16;
-/// Operand-prep weight in the parallel-dispatch threshold. Reconstructing
-/// the code planes is a serial `O(total terms)` prefix every worker waits
-/// behind; if the dense MAC body is not at least this many times that
-/// prefix, fan-out buys nothing and the spawn overhead is pure loss — the
-/// PR 8 small-host lesson (quick-mode serve shapes crossed `PAR_MIN_MACS`
-/// on raw MACs alone and paid thread spawns for a sub-spawn-sized body).
-const PAR_PREP_FACTOR: u64 = 4;
-/// The popcount kernel is only considered at reductions at least this
-/// long: below it a plane is a word or two and the dense row walk is
-/// already effectively free.
-const BITPLANE_MIN_K: usize = 128;
-/// ... and on matmuls at least this large, so the two `O(total terms)`
-/// decomposition passes amortize.
-const BITPLANE_MIN_MACS: u64 = 1 << 20;
-/// Live-plane-pair budget: the bit-plane kernel wins when the *average*
-/// live plane-pair product per output cell is at most this. One plane
-/// pair costs one AND+popcount per 64 elements versus the dense kernel's
-/// one multiply-add per element; with the 512-bit popcount row kernel
-/// the measured break-even on the bench's paper shape (256×1152×196) sits
-/// near 150 pairs per output — see BENCH_PR9.json's `bitplane` section.
-/// The budget is set below that so hosts without AVX512-VPOPCNTDQ (whose
-/// crossover is lower) still come out ahead.
-const BITPLANE_PAIR_BUDGET: u128 = 96;
 
 /// How [`try_packed_term_matmul_i64`] will execute a given operand pair.
 ///
@@ -190,6 +181,11 @@ pub enum MatmulPlan {
     /// popcount kernel (which parallelizes internally by the same
     /// pair-words threshold).
     BitPlane,
+    /// The popcount kernel with the plane loop tiled over output columns
+    /// and K-word panels — the deep-reduction (`K ≫ 4k`) variant whose
+    /// panels stream through L2 once per output tile. Bit-identical to
+    /// [`MatmulPlan::BitPlane`] (wrapping addition is associative).
+    BitPlaneBlocked,
 }
 
 impl MatmulPlan {
@@ -200,49 +196,84 @@ impl MatmulPlan {
             MatmulPlan::SerialCodePlane => "serial",
             MatmulPlan::ParallelCodePlane => "parallel",
             MatmulPlan::BitPlane => "bitplane",
+            MatmulPlan::BitPlaneBlocked => "bitplane_blocked",
         }
     }
 }
 
-/// Choose the kernel for `W @ X` from shape *and* live plane count.
+/// The dispatch decision from operand statistics — the one cost model
+/// both [`matmul_plan`] (exact stats, one scan per operand) and
+/// [`MatmulPlanner`] (cached weight-side stats, estimated data side)
+/// evaluate, so the plan cache can never diverge from the direct path's
+/// *logic*, only from its input estimates.
 ///
-/// Two decisions, both cost-model driven:
-///
-/// * **bit-plane vs code-plane** — the popcount kernel's cost is the live
-///   plane-pair product per output (measured exactly by a cheap
-///   `O(total terms)` scan), the dense kernel's is the reduction length;
-///   bit-planes win only when TR has actually drained the planes, which
-///   is the α/k-aggressiveness knob of the paper.
-/// * **parallel vs serial** — raw MACs must clear `PAR_MIN_MACS` *and*
-///   dominate the serial reconstruction prefix by `PAR_PREP_FACTOR`, and
-///   there must be at least two row tiles to hand out.
-#[must_use]
-pub fn matmul_plan(w: &PackedTermMatrix, x: &PackedTermMatrix) -> MatmulPlan {
-    let (m, n, k) = (w.rows(), x.rows(), w.len());
+/// `planes` and `terms` are lazy: the plane scan only runs when the
+/// shape gates pass.
+fn decide_plan(
+    m: usize,
+    n: usize,
+    k: usize,
+    planes: impl FnOnce() -> (u64, u64),
+    terms: impl FnOnce() -> u64,
+    t: &TuneTable,
+) -> MatmulPlan {
     let macs = as_u64(m).saturating_mul(as_u64(n)).saturating_mul(as_u64(k));
     if m == 0 || n == 0 || k == 0 {
         return MatmulPlan::SerialCodePlane;
     }
-    if k >= BITPLANE_MIN_K && macs >= BITPLANE_MIN_MACS {
-        let pw = live_plane_sum(w);
-        let px = live_plane_sum(x);
+    if as_u64(k) >= t.bitplane_min_k && macs >= t.bitplane_min_macs {
+        let (pw, px) = planes();
         // Σ_i Σ_j p_w(i)·p_x(j) = (Σ p_w)(Σ p_x); average per output cell
         // against the budget, kept in integers via cross-multiplication.
         let pair_sum = u128::from(pw) * u128::from(px);
         let cells = u128::from(as_u64(m)) * u128::from(as_u64(n));
-        if pair_sum <= BITPLANE_PAIR_BUDGET * cells {
-            return MatmulPlan::BitPlane;
+        if pair_sum <= u128::from(t.bitplane_pair_budget) * cells {
+            let wpr = k.div_ceil(64).next_multiple_of(8);
+            return if as_u64(wpr) >= t.blocked_min_words {
+                MatmulPlan::BitPlaneBlocked
+            } else {
+                MatmulPlan::BitPlane
+            };
         }
     }
-    let prep = as_u64(w.total_terms()).saturating_add(as_u64(x.total_terms()));
-    if macs > PAR_MIN_MACS
-        && macs >= PAR_PREP_FACTOR.saturating_mul(prep)
+    let prep = terms();
+    if macs > t.par_min_macs
+        && macs >= t.par_prep_factor.saturating_mul(prep)
         && m >= 2 * ROW_TILE
     {
         MatmulPlan::ParallelCodePlane
     } else {
         MatmulPlan::SerialCodePlane
     }
+}
+
+/// Choose the kernel for `W @ X` from shape *and* live plane count.
+///
+/// Three decisions, all cost-model driven against the active
+/// [`TuneTable`]:
+///
+/// * **bit-plane vs code-plane** — the popcount kernel's cost is the live
+///   plane-pair product per output (measured exactly by a cheap
+///   `O(total terms)` scan), the dense kernel's is the reduction length;
+///   bit-planes win only when TR has actually drained the planes, which
+///   is the α/k-aggressiveness knob of the paper.
+/// * **flat vs blocked bit-planes** — at reductions past the table's
+///   `blocked_min_words`, the plane loop tiles over K-word panels so the
+///   data-side working set stays in L2.
+/// * **parallel vs serial** — raw MACs must clear `par_min_macs` *and*
+///   dominate the serial reconstruction prefix by `par_prep_factor`, and
+///   there must be at least two row tiles to hand out.
+#[must_use]
+pub fn matmul_plan(w: &PackedTermMatrix, x: &PackedTermMatrix) -> MatmulPlan {
+    let t = tune::active();
+    decide_plan(
+        w.rows(),
+        x.rows(),
+        w.len(),
+        || (live_plane_sum(w), live_plane_sum(x)),
+        || as_u64(w.total_terms()).saturating_add(as_u64(x.total_terms())),
+        &t,
+    )
 }
 
 /// Term-pair dot product of elements `c0..c1` of packed rows `wr` / `xr`.
@@ -342,48 +373,40 @@ pub fn try_packed_term_matmul_i64_cached(
     x: &PackedTermMatrix,
     x_planes: Option<&BitPlaneMatrix>,
 ) -> Result<Vec<i64>, TrError> {
-    match matmul_plan(w, x) {
-        MatmulPlan::BitPlane => {
-            if w.len() != x.len() {
-                return Err(TrError::ShapeMismatch(format!(
-                    "reduction dims differ: {} vs {}",
-                    w.len(),
-                    x.len()
-                )));
-            }
-            record_matmul(w.rows(), x.rows());
-            let built_w;
-            let wp = match w_planes {
-                Some(p) => p,
-                None => {
-                    built_w = BitPlaneMatrix::from_packed(w);
-                    &built_w
-                }
-            };
-            let built_x;
-            let xp = match x_planes {
-                Some(p) => p,
-                None => {
-                    built_x = BitPlaneMatrix::from_packed(x);
-                    &built_x
-                }
-            };
-            try_bitplane_matmul_i64(wp, xp)
-        }
-        plan => try_packed_term_matmul_i64_planned(w, x, plan),
-    }
+    let plan = matmul_plan(w, x);
+    try_packed_term_matmul_i64_planned_cached(w, w_planes, x, x_planes, plan)
 }
 
 /// [`try_packed_term_matmul_i64`] with the dispatch decision forced —
 /// the harness the benches and parity tests use to pit the kernels
 /// against each other on identical operands. Production callers should
-/// let [`matmul_plan`] decide.
+/// let [`matmul_plan`] (or a [`MatmulPlanner`]) decide.
 ///
 /// # Errors
 /// [`TrError::ShapeMismatch`] when the reduction dimensions differ.
 pub fn try_packed_term_matmul_i64_planned(
     w: &PackedTermMatrix,
     x: &PackedTermMatrix,
+    plan: MatmulPlan,
+) -> Result<Vec<i64>, TrError> {
+    try_packed_term_matmul_i64_planned_cached(w, None, x, None, plan)
+}
+
+/// The one execution path every matmul entry point funnels through: a
+/// forced [`MatmulPlan`] plus optional pre-built bit-plane
+/// decompositions. This is what the serve rung cache calls after
+/// resolving the plan once at prepare time via [`MatmulPlanner`].
+///
+/// # Errors
+/// [`TrError::ShapeMismatch`] when the reduction dimensions differ;
+/// [`TrError::InvalidConfig`] if the active tune table carries a zero
+/// blocking tile (a corrupt table is refused at install, so this only
+/// fires on a hand-built table).
+pub fn try_packed_term_matmul_i64_planned_cached(
+    w: &PackedTermMatrix,
+    w_planes: Option<&BitPlaneMatrix>,
+    x: &PackedTermMatrix,
+    x_planes: Option<&BitPlaneMatrix>,
     plan: MatmulPlan,
 ) -> Result<Vec<i64>, TrError> {
     if w.len() != x.len() {
@@ -395,10 +418,35 @@ pub fn try_packed_term_matmul_i64_planned(
     }
     let (m, n, k) = (w.rows(), x.rows(), w.len());
     record_matmul(m, n);
-    if let MatmulPlan::BitPlane = plan {
-        let wp = BitPlaneMatrix::from_packed(w);
-        let xp = BitPlaneMatrix::from_packed(x);
-        return try_bitplane_matmul_i64(&wp, &xp);
+    record_route(plan);
+    if matches!(plan, MatmulPlan::BitPlane | MatmulPlan::BitPlaneBlocked) {
+        let built_w;
+        let wp = match w_planes {
+            Some(p) => p,
+            None => {
+                built_w = BitPlaneMatrix::from_packed(w);
+                &built_w
+            }
+        };
+        let built_x;
+        let xp = match x_planes {
+            Some(p) => p,
+            None => {
+                built_x = BitPlaneMatrix::from_packed(x);
+                &built_x
+            }
+        };
+        if let MatmulPlan::BitPlaneBlocked = plan {
+            let t = tune::active();
+            let cols = usize::try_from(t.block_cols)
+                .expect("block_cols fits usize")
+                .max(1);
+            let words = usize::try_from(t.block_words)
+                .expect("block_words fits usize")
+                .max(1);
+            return try_bitplane_matmul_i64_blocked(wp, xp, cols, words);
+        }
+        return try_bitplane_matmul_i64(wp, xp);
     }
     let _span = tr_obs::span("core.term_matmul");
     let mut out = vec![0i64; m * n];
@@ -421,6 +469,150 @@ pub fn try_packed_term_matmul_i64_planned(
         }
     }
     Ok(out)
+}
+
+#[inline]
+fn record_route(plan: MatmulPlan) {
+    match plan {
+        MatmulPlan::SerialCodePlane => ROUTE_SERIAL.inc(),
+        MatmulPlan::ParallelCodePlane => ROUTE_PARALLEL.inc(),
+        MatmulPlan::BitPlane => ROUTE_BITPLANE.inc(),
+        MatmulPlan::BitPlaneBlocked => ROUTE_BITPLANE_BLOCKED.inc(),
+    }
+}
+
+/// Per-shape plan cache for a fixed packed operand — the "x"/weight side
+/// of `Linear::integer_forward`, whose statistics never change between
+/// forwards. Route selection then costs one memo lookup per batch shape
+/// instead of two `O(total terms)` operand scans per forward.
+///
+/// The streamed/activation side is *estimated* from the peer's term
+/// bound (calibrated against the BENCH_PR9 activation statistics:
+/// roughly `5·s + 4` live planes and `min(s, 3)` terms per value at
+/// 8-bit activations), so a planner plan can differ from the exact
+/// [`matmul_plan`] only near a crossover — where both routes cost the
+/// same by construction, and every route is bit-identical anyway.
+///
+/// Memoized plans are tagged with the [`TuneTable`] checksum they were
+/// decided under; installing a new table invalidates the memo on the
+/// next lookup. The planner itself carries an FNV seal over its cached
+/// statistics, folded into the prepared-weights content seal upstream.
+#[derive(Debug)]
+pub struct MatmulPlanner {
+    rows: usize,
+    k: usize,
+    planes: u64,
+    terms: u64,
+    peer_term_bound: usize,
+    plans: Mutex<(u64, Vec<(usize, MatmulPlan)>)>,
+    checksum: u64,
+}
+
+/// Upper bound on memoized batch shapes per planner: serve traffic
+/// clusters on a handful of batch sizes, and past this the lookup walk
+/// would cost more than the scan it saves.
+const PLANNER_MEMO_CAP: usize = 32;
+
+impl MatmulPlanner {
+    /// Scan the fixed operand once and freeze its statistics.
+    /// `peer_term_bound` is the term budget the *streamed* operand will
+    /// be quantized under (`data_term_bound` in the nn layer) — 0 means
+    /// unbounded and is estimated as the 8-bit worst case.
+    #[must_use]
+    pub fn for_weights(x: &PackedTermMatrix, peer_term_bound: usize) -> Self {
+        let rows = x.rows();
+        let k = x.len();
+        let planes = live_plane_sum(x);
+        let terms = as_u64(x.total_terms());
+        let mut h = FNV_OFFSET;
+        for v in [as_u64(rows), as_u64(k), planes, terms, as_u64(peer_term_bound)] {
+            h = fnv1a_word(h, v);
+        }
+        MatmulPlanner {
+            rows,
+            k,
+            planes,
+            terms,
+            peer_term_bound,
+            plans: Mutex::new((0, Vec::new())),
+            checksum: h,
+        }
+    }
+
+    /// Resolve the plan for a batch of `m` streamed rows against the
+    /// fixed operand. Memoized per batch size; the memo is cleared when
+    /// the active [`TuneTable`] changes.
+    #[must_use]
+    pub fn plan_for(&self, m: usize) -> MatmulPlan {
+        let t = tune::active();
+        let mut memo = self.plans.lock().expect("planner memo lock poisoned");
+        if memo.0 != t.checksum {
+            memo.0 = t.checksum;
+            memo.1.clear();
+        }
+        if let Some(&(_, plan)) = memo.1.iter().find(|&&(mm, _)| mm == m) {
+            tune::PLAN_HITS.inc();
+            return plan;
+        }
+        tune::PLAN_MISSES.inc();
+        // Streamed-side estimates from the peer term bound: live planes
+        // per row ≈ 5·s + 4 (sign-split exponent planes at 8-bit codes,
+        // capped at the 16 possible), terms per value ≈ min(s, 3).
+        let s_eff = if self.peer_term_bound == 0 { 7 } else { self.peer_term_bound };
+        let planes_per_row = as_u64((5 * s_eff + 4).min(16));
+        let est_planes = as_u64(m).saturating_mul(planes_per_row);
+        let est_terms =
+            as_u64(m).saturating_mul(as_u64(self.k)).saturating_mul(as_u64(s_eff.min(3)));
+        let plan = decide_plan(
+            m,
+            self.rows,
+            self.k,
+            || (est_planes, self.planes),
+            || est_terms.saturating_add(self.terms),
+            &t,
+        );
+        if memo.1.len() < PLANNER_MEMO_CAP {
+            memo.1.push((m, plan));
+        }
+        plan
+    }
+
+    /// FNV seal over the frozen operand statistics.
+    #[must_use]
+    pub fn content_checksum(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for v in [
+            as_u64(self.rows),
+            as_u64(self.k),
+            self.planes,
+            self.terms,
+            as_u64(self.peer_term_bound),
+        ] {
+            h = fnv1a_word(h, v);
+        }
+        h
+    }
+
+    /// The seal captured at construction.
+    #[must_use]
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Recompute the seal and compare against the captured one.
+    ///
+    /// # Errors
+    /// [`TrError::Integrity`] when the statistics have been altered since
+    /// construction.
+    pub fn verify_integrity(&self) -> Result<(), TrError> {
+        if self.content_checksum() == self.checksum {
+            Ok(())
+        } else {
+            Err(TrError::Integrity(
+                "matmul planner statistics do not match their seal".to_string(),
+            ))
+        }
+    }
 }
 
 #[inline]
@@ -599,13 +791,17 @@ mod tests {
         // body is only ~2x the serial reconstruction prefix. Fanning that
         // out pays a scoped-thread spawn per call for no win; the plan
         // must keep it serial now that prep cost is folded in.
+        let _serial = tune::test_guard();
         let qw = quantized(256, 128, 30);
         let qx = quantized(128, 4, 31);
         let cfg = TrConfig::new(8, 12).with_data_terms(3);
         let w = PackedTermMatrix::from_weights(&qw, Encoding::Hese).reveal(&cfg);
         let x = PackedTermMatrix::from_data_transposed(&qx, Encoding::Hese).cap_terms(3);
         let macs = (w.rows() * x.rows() * w.len()) as u64;
-        assert!(macs > super::PAR_MIN_MACS, "shape no longer covers the regression");
+        assert!(
+            macs > tune::active().par_min_macs,
+            "shape no longer covers the regression"
+        );
         assert_eq!(matmul_plan(&w, &x), MatmulPlan::SerialCodePlane);
         // A batch wide enough for the MAC body to dominate prep again
         // goes (or stays) non-serial.
@@ -619,6 +815,7 @@ mod tests {
         // Paper-sized reduction. At a generous budget the live plane-pair
         // product is far over budget (bit-planes would lose); an
         // aggressive rung drains the planes and flips the plan.
+        let _serial = tune::test_guard();
         let qw = quantized(64, 1152, 33);
         let qx = quantized(1152, 32, 34);
         let loose = TrConfig::new(8, 16).with_data_terms(3);
@@ -631,11 +828,85 @@ mod tests {
             .reveal(&TrConfig::new(8, 4))
             .cap_terms(1);
         assert_eq!(matmul_plan(&wt, &xt), MatmulPlan::BitPlane);
-        // Whatever the plan, all three kernels agree bit-for-bit.
+        // Whatever the plan, all four kernels agree bit-for-bit.
         let auto = packed_term_matmul_i64(&wt, &xt);
-        for plan in [MatmulPlan::SerialCodePlane, MatmulPlan::ParallelCodePlane, MatmulPlan::BitPlane] {
+        for plan in [
+            MatmulPlan::SerialCodePlane,
+            MatmulPlan::ParallelCodePlane,
+            MatmulPlan::BitPlane,
+            MatmulPlan::BitPlaneBlocked,
+        ] {
             let forced = try_packed_term_matmul_i64_planned(&wt, &xt, plan).unwrap();
             assert_eq!(forced, auto, "{}", plan.name());
+        }
+    }
+
+    #[test]
+    fn deep_reductions_take_the_blocked_route() {
+        // K = 16384 → 256 words per plane row, at the default
+        // blocked_min_words = 256 the drained rung must block; the memo
+        // planner must agree with the direct plan and the output must
+        // stay bit-identical either way.
+        let _serial = tune::test_guard();
+        let qw = quantized(16, 16384, 40);
+        let qx = quantized(16384, 16, 41);
+        let tight = TrConfig::new(8, 1).with_data_terms(1);
+        let w = PackedTermMatrix::from_weights(&qw, tight.weight_encoding).reveal(&tight);
+        let x = PackedTermMatrix::from_data_transposed(&qx, tight.data_encoding)
+            .reveal(&TrConfig::new(8, 4))
+            .cap_terms(1);
+        assert_eq!(matmul_plan(&w, &x), MatmulPlan::BitPlaneBlocked);
+        let blocked = packed_term_matmul_i64(&w, &x);
+        let flat = try_packed_term_matmul_i64_planned(&w, &x, MatmulPlan::BitPlane).unwrap();
+        assert_eq!(blocked, flat);
+    }
+
+    #[test]
+    fn planner_memoizes_and_tracks_the_tune_table() {
+        let _serial = tune::test_guard();
+        let qw = quantized(128, 256, 42);
+        let cfg = TrConfig::new(8, 2).with_data_terms(1);
+        let weights =
+            PackedTermMatrix::from_data_transposed(&qw, cfg.data_encoding).cap_terms(1);
+        let planner = MatmulPlanner::for_weights(&weights, 1);
+        planner.verify_integrity().unwrap();
+        let first = planner.plan_for(4);
+        assert_eq!(planner.plan_for(4), first, "memoized plan must be stable");
+        // Installing a table with an impossible pair budget flips every
+        // shape to a code-plane route — the memo must notice the change.
+        let mut strict = TuneTable::default_for(tune::Isa::detect());
+        strict.bitplane_pair_budget = 0;
+        strict.blocked_min_words = u64::MAX;
+        tune::install(strict.seal()).unwrap();
+        let after = planner.plan_for(4);
+        tune::reset();
+        assert!(
+            !matches!(after, MatmulPlan::BitPlane | MatmulPlan::BitPlaneBlocked),
+            "zero pair budget must forbid bit-plane routes, got {}",
+            after.name()
+        );
+    }
+
+    #[test]
+    fn planner_plans_agree_with_exact_plans_on_serve_shapes() {
+        let _serial = tune::test_guard();
+        // The planner estimates the streamed side; on the serve MLP
+        // shapes the estimate must land on the same side of every
+        // crossover as the exact scan.
+        let qw = quantized(256, 128, 43);
+        let cfg = TrConfig::new(8, 12).with_data_terms(3);
+        let weights = PackedTermMatrix::from_weights(&qw, Encoding::Hese).reveal(&cfg);
+        let planner = MatmulPlanner::for_weights(&weights, 3);
+        for batch in [1usize, 4, 32, 96] {
+            let qx = quantized(128, batch, 44 + batch as u64);
+            let x =
+                PackedTermMatrix::from_data_transposed(&qx, Encoding::Hese).cap_terms(3);
+            // Operand order in integer_forward: activations first.
+            assert_eq!(
+                planner.plan_for(batch),
+                matmul_plan(&x, &weights),
+                "batch {batch}"
+            );
         }
     }
 

@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 use tr_core::seal::{fnv1a_word, mix, FNV_OFFSET};
-use tr_core::{term_pairs_total_packed, BitPlaneMatrix, PackedTermMatrix, TrConfig};
+use tr_core::{term_pairs_total_packed, BitPlaneMatrix, MatmulPlanner, PackedTermMatrix, TrConfig};
 use tr_encoding::Encoding;
 use tr_quant::{calibrate_max_abs, quantize, truncate_terms, QuantParams};
 use tr_tensor::Tensor;
@@ -144,6 +144,10 @@ pub struct FakeQuant {
     /// integer popcount forward so rung switches never pay the
     /// decomposition on the request path.
     pub weight_planes: Option<Arc<BitPlaneMatrix>>,
+    /// Per-shape matmul plan cache over the frozen weight statistics,
+    /// shared from [`PreparedWeights`] so route selection happens once
+    /// per (rung, batch shape), not per forward.
+    pub planner: Option<Arc<MatmulPlanner>>,
     /// Per-value weight term bound (for the QT bound accounting).
     pub weight_term_bound: usize,
     /// Per-value data term bound.
@@ -235,6 +239,7 @@ impl FakeQuant {
         self.weight_params = p.weight_params;
         self.weight_terms = p.weight_terms.clone();
         self.weight_planes = p.weight_planes.clone();
+        self.planner = p.planner.clone();
         self.weight_term_bound = p.weight_term_bound;
         self.data_term_bound = p.data_term_bound;
         self.tr_config = p.tr_config;
@@ -293,6 +298,11 @@ pub struct PreparedWeights {
     /// (where the popcount kernel can win) so the serve cache hands the
     /// integer forward its weight-side operand for free.
     pub weight_planes: Option<Arc<BitPlaneMatrix>>,
+    /// Per-shape matmul plan cache over `weight_terms` — the weight
+    /// operand's statistics are scanned once here at prepare time, so
+    /// the integer forward resolves its route with a memo lookup
+    /// instead of two `O(total terms)` scans per batch.
+    pub planner: Option<Arc<MatmulPlanner>>,
     /// Per-value weight term bound (for the QT bound accounting).
     pub weight_term_bound: usize,
     /// Per-value data term bound.
@@ -338,6 +348,9 @@ impl PreparedWeights {
             eat_word(t.checksum());
         }
         if let Some(p) = &self.weight_planes {
+            eat_word(p.checksum());
+        }
+        if let Some(p) = &self.planner {
             eat_word(p.checksum());
         }
         eat_word(self.weight_term_bound as u64);
@@ -419,7 +432,7 @@ impl PreparedWeights {
 /// `(out, in)` matrix). Pure: same inputs, same transform — which is the
 /// property the serve-layer rung cache relies on.
 pub fn prepare_weights(w: &Tensor, precision: &Precision) -> PreparedWeights {
-    let prepared = match precision {
+    let mut prepared = match precision {
         Precision::Float => PreparedWeights::default(),
         Precision::Qt { weight_bits, act_bits } => {
             let params = calibrate_max_abs(w, *weight_bits);
@@ -431,6 +444,7 @@ pub fn prepare_weights(w: &Tensor, precision: &Precision) -> PreparedWeights {
                 // Dense QT keeps every plane live; the popcount kernel
                 // can never win there, so skip the decomposition.
                 weight_planes: None,
+                planner: None,
                 weight_term_bound: params.max_terms(),
                 data_term_bound: *act_bits as usize - 1,
                 tr_config: None,
@@ -450,6 +464,7 @@ pub fn prepare_weights(w: &Tensor, precision: &Precision) -> PreparedWeights {
                 weight_params: Some(params),
                 weight_terms: Some(Arc::new(tm)),
                 weight_planes: Some(Arc::new(planes)),
+                planner: None,
                 weight_term_bound: *weight_terms,
                 data_term_bound: data_terms.unwrap_or(7),
                 tr_config: None,
@@ -469,6 +484,7 @@ pub fn prepare_weights(w: &Tensor, precision: &Precision) -> PreparedWeights {
                 weight_params: Some(params),
                 weight_terms: Some(Arc::new(tm)),
                 weight_planes: Some(Arc::new(planes)),
+                planner: None,
                 weight_term_bound: cfg.group_budget, // per-group, see bound math
                 data_term_bound: cfg.data_terms.unwrap_or(7),
                 tr_config: Some(*cfg),
@@ -476,6 +492,12 @@ pub fn prepare_weights(w: &Tensor, precision: &Precision) -> PreparedWeights {
             }
         }
     };
+    // The planner freezes the weight-side statistics once; the peer
+    // bound seeds its estimate of the streamed activation operand.
+    prepared.planner = prepared
+        .weight_terms
+        .as_ref()
+        .map(|t| Arc::new(MatmulPlanner::for_weights(t, prepared.data_term_bound)));
     prepared.seal()
 }
 

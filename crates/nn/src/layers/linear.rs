@@ -100,12 +100,24 @@ impl Linear {
         let codes: Vec<i32> = xq.data().iter().map(|&v| act.code(v)).collect();
         let q = QTensor::from_codes(codes, act, Shape::d2(batch, self.in_features));
         let data = PackedTermMatrix::from_weights(&q, enc);
-        let y = tr_core::try_packed_term_matmul_i64_cached(
-            &data,
-            None,
-            wt,
-            self.fq.weight_planes.as_deref(),
-        )
+        // Route selection: the prepared planner memoizes the plan per
+        // batch size (one lookup); sites without a planner fall back to
+        // the exact two-scan decision.
+        let y = match self.fq.planner.as_deref() {
+            Some(p) => tr_core::try_packed_term_matmul_i64_planned_cached(
+                &data,
+                None,
+                wt,
+                self.fq.weight_planes.as_deref(),
+                p.plan_for(batch),
+            ),
+            None => tr_core::try_packed_term_matmul_i64_cached(
+                &data,
+                None,
+                wt,
+                self.fq.weight_planes.as_deref(),
+            ),
+        }
         .ok()?;
         let scale = act.scale * wp.scale;
         let out: Vec<f32> = y.iter().map(|&v| v as f32 * scale).collect();

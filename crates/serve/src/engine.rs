@@ -477,6 +477,48 @@ mod tests {
     }
 
     #[test]
+    fn integer_exec_rides_the_prepared_plan_cache() {
+        // The rung cache's PreparedWeights carry a MatmulPlanner, so the
+        // integer path resolves its route from the memo: repeated
+        // batches of one shape tick `core.tune.plan_hits` and a
+        // `core.matmul.route.*` counter, without per-forward plan scans.
+        tr_obs::set_enabled(true);
+        let mut rng = Rng::seed_from_u64(3);
+        let mut model = Sequential::new().push(Linear::new(4, 3, &mut rng));
+        let calib = Tensor::from_vec(
+            vec![0.5, -1.0, 0.25, 0.8, -0.3, 0.1, 0.9, -0.7],
+            Shape::d2(2, 4),
+        );
+        tr_nn::exec::calibrate_model(&mut model, &calib, 8, &mut rng);
+        let mut e = NnEngine::new(model, 4, Duration::ZERO, 7);
+        e.set_integer_exec(true);
+        e.set_precision(&Precision::Tr(TrConfig::new(2, 3).with_data_terms(2)), 1.0);
+        let x = [0.3f32, -0.2, 0.9, 0.1];
+        let snap = |name: &str| tr_obs::recorder().snapshot().counter(name);
+        let routes = [
+            "core.matmul.route.serial",
+            "core.matmul.route.parallel",
+            "core.matmul.route.bitplane",
+            "core.matmul.route.bitplane_blocked",
+        ];
+        let routes_before: u64 = routes.iter().map(|r| snap(r)).sum();
+        let hits_before = snap("core.tune.plan_hits");
+        e.infer(&[&x]);
+        for _ in 0..3 {
+            e.infer(&[&x]);
+        }
+        let routes_after: u64 = routes.iter().map(|r| snap(r)).sum();
+        assert!(
+            routes_after >= routes_before + 4,
+            "route counters did not tick: {routes_before} -> {routes_after}"
+        );
+        assert!(
+            snap("core.tune.plan_hits") >= hits_before + 3,
+            "repeated same-shape batches must hit the plan memo"
+        );
+    }
+
+    #[test]
     fn cost_factor_orders_precisions() {
         let tr24 = Precision::Tr(TrConfig::new(8, 24).with_data_terms(3));
         let tr8 = Precision::Tr(TrConfig::new(8, 8).with_data_terms(2));

@@ -39,12 +39,20 @@ cargo run -q --release -p tr-bench --bin repro -- --quick chaos
 # empty artifact means the soak never passed.
 cargo run -q --release -p tr-bench --bin repro -- --quick soak
 test -s SOAK_PR8.json
+# Kernel autotune: the seeded micro-autotuner measures the dispatch
+# crossovers on this host and seals them into TUNE_PR10.json
+# (DESIGN.md SS16). The bench run below replays that table, so the
+# kernel sections are benched under the exact dispatch policy the
+# artifact names.
+cargo run -q --release -p tr-bench --bin repro -- --quick tune
+test -s TUNE_PR10.json
 # Observability baseline: the bench experiment must produce its
 # schema-stable JSON artifact (DESIGN.md SS10), now including the
-# bit-plane popcount-GEMM sweep (DESIGN.md SS15), the checksum-verify
-# overhead gate, and the regression verdict against the committed
-# BENCH_PR8.json baseline (DESIGN.md SS11) — which also checks the
+# bit-plane popcount-GEMM sweep with per-ISA gates, the deep-K
+# blocking gate (DESIGN.md SS15-16), the checksum-verify overhead
+# gate, and the regression verdict against the committed
+# BENCH_PR9.json baseline (DESIGN.md SS11) — which also checks the
 # sharded service does not regress single-tenant serve p99. CI
-# archives it.
+# archives both artifacts.
 cargo run -q --release -p tr-bench --bin repro -- --quick bench
-test -s BENCH_PR9.json
+test -s BENCH_PR10.json

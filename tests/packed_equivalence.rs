@@ -5,10 +5,13 @@
 //! patterns, never tolerances.
 
 use proptest::prelude::*;
-use tr_core::matmul::{term_dot, term_dot_packed, term_matmul_i64};
+use tr_core::matmul::{term_dot, term_dot_packed, term_matmul_i64, MatmulPlanner};
+use tr_core::tune::Isa;
 use tr_core::{
-    bitplane_dot, bitplane_matmul_i64, packed_term_matmul_i64, try_packed_term_matmul_i64_cached,
-    BitPlaneMatrix, PackedTermMatrix, TermMatrix, TrConfig,
+    bitplane_dot, bitplane_matmul_i64, packed_term_matmul_i64, try_bitplane_matmul_i64_blocked,
+    try_bitplane_matmul_i64_with, try_packed_term_matmul_i64_cached,
+    try_packed_term_matmul_i64_planned_cached, BitPlaneMatrix, PackedTermMatrix, TermMatrix,
+    TrConfig,
 };
 use tr_encoding::Encoding;
 use tr_nn::exec::{
@@ -204,6 +207,86 @@ proptest! {
                     term_dot_packed(p, 0, p, 0)
                 );
             }
+        }
+    }
+
+    #[test]
+    fn blocked_kernel_is_bit_identical_for_any_tiling(
+        (m, k, n, seed) in (1usize..6, 1usize..640, 1usize..6, any::<u64>()),
+        enc in encoding(),
+        cfg in tr_config(),
+        cap in 1usize..5,
+        cols in 1usize..7,
+        words in 1usize..40,
+    ) {
+        // The panel-blocked deep-K kernel re-associates the wrapping-i64
+        // accumulation but may never change a single bit, for ANY tile
+        // geometry — including panel widths that leave ragged K tails
+        // (k up to 640 spans 1..10 words per plane row, while `words`
+        // stays below, at, and above that).
+        let qw = quantized(m, k, seed);
+        let qx = quantized(k, n, seed.wrapping_add(1));
+        let w = PackedTermMatrix::from_weights(&qw, enc).reveal(&cfg);
+        let x = PackedTermMatrix::from_data_transposed(&qx, enc).cap_terms(cap);
+        let want = packed_term_matmul_i64(&w, &x);
+        let (bw, bx) = (BitPlaneMatrix::from_packed(&w), BitPlaneMatrix::from_packed(&x));
+        let blocked = try_bitplane_matmul_i64_blocked(&bw, &bx, cols, words)
+            .expect("nonzero tiles");
+        prop_assert_eq!(blocked, want);
+    }
+
+    #[test]
+    fn every_available_isa_row_kernel_matches_the_pair_walk(
+        (m, k, seed) in (1usize..5, 1usize..256, any::<u64>()),
+        enc in encoding(),
+        cfg in tr_config(),
+        cap in 1usize..5,
+    ) {
+        // Forced-ISA parity: on this host every available tier (the AVX2
+        // vpshufb-LUT included, where present) must reproduce the packed
+        // pair walk exactly. Unavailable tiers are skipped — the
+        // host-gating the ISSUE calls for.
+        let qw = quantized(m, k, seed);
+        let qx = quantized(k, 3, seed.wrapping_add(2));
+        let w = PackedTermMatrix::from_weights(&qw, enc).reveal(&cfg);
+        let x = PackedTermMatrix::from_data_transposed(&qx, enc).cap_terms(cap);
+        let want = packed_term_matmul_i64(&w, &x);
+        let (bw, bx) = (BitPlaneMatrix::from_packed(&w), BitPlaneMatrix::from_packed(&x));
+        for isa in Isa::ALL {
+            if !isa.available() {
+                continue;
+            }
+            let got = try_bitplane_matmul_i64_with(&bw, &bx, isa)
+                .expect("available ISA runs");
+            prop_assert_eq!(got, want.clone(), "isa {}", isa.name());
+        }
+    }
+
+    #[test]
+    fn planner_resolved_routes_are_bit_identical(
+        (m, k, n, seed) in (1usize..8, 1usize..200, 1usize..8, any::<u64>()),
+        enc in encoding(),
+        cfg in tr_config(),
+        cap in 1usize..5,
+    ) {
+        // Whatever plan the per-shape cache resolves — including across
+        // repeated lookups hitting the memo — executing it must equal
+        // the pair walk bit for bit. This is the serve hot path:
+        // activations stream as the first operand, the planner's frozen
+        // weight statistics sit on the second.
+        let qw = quantized(k, n, seed);
+        let qx = quantized(m, k, seed.wrapping_add(3));
+        let weights = PackedTermMatrix::from_data_transposed(&qw, enc).reveal(&cfg);
+        let acts = PackedTermMatrix::from_weights(&qx, enc).cap_terms(cap);
+        let want = packed_term_matmul_i64(&acts, &weights);
+        let planner = MatmulPlanner::for_weights(&weights, cap);
+        planner.verify_integrity().expect("fresh planner verifies");
+        for _ in 0..2 {
+            let plan = planner.plan_for(m);
+            let got = try_packed_term_matmul_i64_planned_cached(
+                &acts, None, &weights, None, plan,
+            ).expect("shapes agree");
+            prop_assert_eq!(got, want.clone(), "plan {}", plan.name());
         }
     }
 
